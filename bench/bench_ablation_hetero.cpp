@@ -1,0 +1,67 @@
+// Ablation B: how much of HARL's gain comes from *heterogeneity-aware*
+// stripes vs region division alone?  Compares full HARL against the
+// segment-level scheme (the paper's reference [10]): same Algorithm-1
+// regions, but one homogeneous stripe size per region.
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+namespace {
+
+std::vector<harness::SchemeResult> run() {
+  harness::Experiment exp(default_options());
+  std::vector<harness::SchemeResult> all;
+
+  // Uniform IOR (heterogeneity matters, regions do not)...
+  {
+    const auto bundle = harness::ior_bundle(default_ior());
+    auto results = exp.run_all(
+        bundle, {harness::LayoutScheme::fixed(64 * KiB),
+                 harness::LayoutScheme::segment_level(),
+                 harness::LayoutScheme::harl()});
+    print_scheme_table(std::cout,
+                       "Ablation: heterogeneity-aware vs segment-level "
+                       "(uniform IOR, 512K)",
+                       results);
+    for (auto& r : results) {
+      r.label = "ior/" + r.label;
+      all.push_back(std::move(r));
+    }
+  }
+
+  // ...and the four-region workload (both dimensions matter).
+  {
+    workloads::MultiRegionConfig mr;
+    mr.processes = 16;
+    mr.regions = {
+        {256 * MiB, 128 * KiB},
+        {1 * GiB, 512 * KiB},
+        {2 * GiB, 2 * MiB},
+    };
+    mr.coverage = paper_scale() ? 1.0 : 0.08;
+    const auto bundle = harness::multiregion_bundle(mr);
+    auto results = exp.run_all(
+        bundle, {harness::LayoutScheme::fixed(64 * KiB),
+                 harness::LayoutScheme::segment_level(),
+                 harness::LayoutScheme::harl()});
+    print_scheme_table(std::cout,
+                       "Ablation: heterogeneity-aware vs segment-level "
+                       "(non-uniform)",
+                       results);
+    for (auto& r : results) {
+      r.label = "multiregion/" + r.label;
+      all.push_back(std::move(r));
+    }
+  }
+  std::cout << "(segment = Algorithm-1 regions with homogeneous per-region "
+               "stripes; the gap to HARL is the value of per-tier stripe "
+               "sizing)\n";
+  return all;
+}
+
+}  // namespace
+}  // namespace harl::bench
+
+int main(int argc, char** argv) {
+  return harl::bench::figure_bench_main(argc, argv, "ablation_hetero",
+                                        harl::bench::run);
+}

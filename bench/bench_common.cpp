@@ -1,0 +1,63 @@
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+
+void print_scheme_table(std::ostream& os, const std::string& title,
+                        const std::vector<harness::SchemeResult>& results,
+                        const std::string& baseline_label) {
+  const harness::SchemeResult* baseline = nullptr;
+  for (const auto& r : results) {
+    if (r.label == baseline_label) baseline = &r;
+  }
+
+  os << "\n== " << title << " ==\n";
+  harness::Table table({"layout", "read MB/s", "write MB/s", "total MB/s",
+                        "vs " + baseline_label, "layout detail"});
+  for (const auto& r : results) {
+    table.add_row({
+        r.label,
+        mbps(r.read.throughput()),
+        mbps(r.write.throughput()),
+        mbps(r.total.throughput()),
+        baseline != nullptr
+            ? harness::cell_ratio(r.total.throughput(),
+                                  baseline->total.throughput())
+            : "n/a",
+        r.layout_description,
+    });
+  }
+  table.print(os);
+}
+
+void register_sim_results(const std::string& prefix,
+                          const std::vector<harness::SchemeResult>& results) {
+  for (const auto& r : results) {
+    const double read = r.read.throughput() / (1024.0 * 1024.0);
+    const double write = r.write.throughput() / (1024.0 * 1024.0);
+    const double total = r.total.throughput() / (1024.0 * 1024.0);
+    benchmark::RegisterBenchmark(
+        (prefix + "/" + r.label).c_str(),
+        [read, write, total](benchmark::State& state) {
+          for (auto _ : state) {
+            benchmark::DoNotOptimize(total);
+          }
+          state.counters["sim_read_MBps"] = read;
+          state.counters["sim_write_MBps"] = write;
+          state.counters["sim_total_MBps"] = total;
+        })
+        ->Iterations(1);
+  }
+}
+
+int figure_bench_main(
+    int argc, char** argv, const std::string& prefix,
+    const std::function<std::vector<harness::SchemeResult>()>& produce) {
+  benchmark::Initialize(&argc, argv);
+  const auto results = produce();
+  register_sim_results(prefix, results);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace harl::bench

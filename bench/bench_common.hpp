@@ -1,0 +1,97 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper: it runs the
+// full pipeline (trace -> analysis -> placement -> measured run) on the
+// simulated hybrid PFS and prints the same rows/series the paper plots,
+// plus google-benchmark entries so the runs appear in machine-readable
+// benchmark output.
+//
+// Scale control: the HARL_BENCH_SCALE environment variable selects
+//   "ci"    (default) — minutes-long full suite, reduced request counts;
+//   "paper" — the paper's workload sizes (16 GiB IOR file, full coverage).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+#include "src/harness/table.hpp"
+
+namespace harl::bench {
+
+inline bool paper_scale() {
+  const char* v = std::getenv("HARL_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "paper";
+}
+
+/// Baseline experiment options used across figures (paper testbed shape).
+inline harness::ExperimentOptions default_options() {
+  harness::ExperimentOptions opts;
+  // Calibration sampling is cheap; keep it identical across scales so the
+  // planner decisions match between ci and paper runs.
+  opts.calibration.samples_per_size = 1000;
+  opts.calibration.beta_samples = 1000;
+  return opts;
+}
+
+/// The paper's IOR setup (Section IV-B): 16 processes, 512 KiB requests,
+/// 16 GiB shared file, random offsets.  At ci scale the per-process request
+/// count is capped; the file size (and therefore the offset space) stays.
+inline workloads::IorConfig default_ior() {
+  workloads::IorConfig ior;
+  ior.processes = 16;
+  ior.request_size = 512 * KiB;
+  ior.file_size = 16 * GiB;
+  ior.requests_per_process = paper_scale() ? 0 : 96;  // 0 = full segment
+  return ior;
+}
+
+/// The fixed-stripe sweep the paper's figures use ("#K" legends).
+inline std::vector<harness::LayoutScheme> fixed_sweep() {
+  return {
+      harness::LayoutScheme::fixed(16 * KiB),
+      harness::LayoutScheme::fixed(64 * KiB),
+      harness::LayoutScheme::fixed(256 * KiB),
+      harness::LayoutScheme::fixed(1 * MiB),
+      harness::LayoutScheme::fixed(2 * MiB),
+  };
+}
+
+/// Fixed sweep + two random-stripe baselines + HARL (Fig. 7/11/12 lineup).
+inline std::vector<harness::LayoutScheme> full_lineup() {
+  auto schemes = fixed_sweep();
+  schemes.push_back(harness::LayoutScheme::random_stripes(1));
+  schemes.push_back(harness::LayoutScheme::random_stripes(2));
+  schemes.push_back(harness::LayoutScheme::harl());
+  return schemes;
+}
+
+/// MB/s formatting for table cells.
+inline std::string mbps(double bytes_per_second) {
+  return harness::cell(bytes_per_second / (1024.0 * 1024.0), 1);
+}
+
+/// Prints a scheme-comparison table with read/write columns and the
+/// improvement of each scheme relative to the named baseline.
+void print_scheme_table(std::ostream& os, const std::string& title,
+                        const std::vector<harness::SchemeResult>& results,
+                        const std::string& baseline_label = "64K");
+
+/// Registers one google-benchmark entry per result so figure numbers also
+/// land in machine-readable benchmark output (counters sim_read_MBps /
+/// sim_write_MBps / sim_total_MBps).  Call before RunSpecifiedBenchmarks().
+void register_sim_results(const std::string& prefix,
+                          const std::vector<harness::SchemeResult>& results);
+
+/// Standard main body for figure benches: runs `produce` (which prints its
+/// tables and returns results to register), then the benchmark runner.
+int figure_bench_main(
+    int argc, char** argv, const std::string& prefix,
+    const std::function<std::vector<harness::SchemeResult>()>& produce);
+
+}  // namespace harl::bench

@@ -1,0 +1,47 @@
+// Paper Fig. 1a: per-server I/O time of IOR (16 processes, 512 KiB
+// requests) on the hybrid PFS under the default fixed 64 KiB layout,
+// normalized to the fastest server.  Servers 1-6 are HServers, 7-8 are
+// SServers; the paper observes HServers at roughly 350% of SServer time.
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+namespace {
+
+std::vector<harness::SchemeResult> run() {
+  harness::Experiment exp(default_options());
+  const auto bundle = harness::ior_bundle(default_ior());
+  auto result = exp.run(bundle, harness::LayoutScheme::fixed(64 * KiB));
+
+  double min_time = result.server_io_time.front();
+  for (Seconds t : result.server_io_time) min_time = std::min(min_time, t);
+
+  std::cout << "\n== Fig. 1a: per-server I/O time, IOR 16 procs x 512K, "
+               "fixed 64K layout ==\n";
+  harness::Table table({"server", "type", "io time (s)", "normalized"});
+  for (std::size_t i = 0; i < result.server_io_time.size(); ++i) {
+    table.add_row({
+        std::to_string(i + 1),
+        i < 6 ? "HServer" : "SServer",
+        harness::cell(result.server_io_time[i], 3),
+        harness::cell(result.server_io_time[i] / min_time * 100.0, 0) + "%",
+    });
+  }
+  table.print(std::cout);
+
+  double h_avg = 0.0;
+  double s_avg = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) h_avg += result.server_io_time[i] / 6.0;
+  for (std::size_t i = 6; i < 8; ++i) s_avg += result.server_io_time[i] / 2.0;
+  std::cout << "HServer avg / SServer avg = "
+            << harness::cell(h_avg / s_avg * 100.0, 0)
+            << "% (paper: ~350%)\n";
+  return {std::move(result)};
+}
+
+}  // namespace
+}  // namespace harl::bench
+
+int main(int argc, char** argv) {
+  return harl::bench::figure_bench_main(argc, argv, "fig01a",
+                                        harl::bench::run);
+}

@@ -1,0 +1,52 @@
+// Paper Fig. 1b: IOR throughput under varied request sizes (128K..2M) and
+// fixed stripe sizes (16K..2M), showing that no single stripe size is good
+// for every workload — the motivation for region-level, varied-size stripes.
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+namespace {
+
+std::vector<harness::SchemeResult> run() {
+  harness::Experiment exp(default_options());
+
+  const std::vector<Bytes> request_sizes = {128 * KiB, 256 * KiB, 512 * KiB,
+                                            1 * MiB, 2 * MiB};
+  const std::vector<Bytes> stripes = {16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB,
+                                      2 * MiB};
+
+  std::vector<harness::SchemeResult> all;
+  std::vector<std::string> headers = {"request"};
+  for (Bytes st : stripes) headers.push_back(format_size(st) + " MB/s");
+  harness::Table table(headers);
+
+  for (Bytes req : request_sizes) {
+    workloads::IorConfig ior = default_ior();
+    ior.request_size = req;
+    if (!paper_scale()) ior.requests_per_process = 64;
+    const auto bundle = harness::ior_bundle(ior);
+
+    std::vector<std::string> row = {format_size(req)};
+    for (Bytes st : stripes) {
+      auto result = exp.run(bundle, harness::LayoutScheme::fixed(st));
+      row.push_back(mbps(result.total.throughput()));
+      result.label = format_size(req) + "/" + result.label;
+      all.push_back(std::move(result));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "\n== Fig. 1b: IOR throughput vs request size x fixed stripe "
+               "size ==\n";
+  table.print(std::cout);
+  std::cout << "(rows: request size; columns: fixed stripe size; the best "
+               "stripe shifts with the request size)\n";
+  return all;
+}
+
+}  // namespace
+}  // namespace harl::bench
+
+int main(int argc, char** argv) {
+  return harl::bench::figure_bench_main(argc, argv, "fig01b",
+                                        harl::bench::run);
+}

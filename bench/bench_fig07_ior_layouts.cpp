@@ -1,0 +1,34 @@
+// Paper Fig. 7: IOR read and write throughput (16 processes, 512 KiB
+// requests, 16 GiB shared file) across layout schemes: fixed stripes
+// (16K..2M), randomly-chosen stripes, and HARL.  The paper reports HARL
+// picking {32K, 160K} for reads and {36K, 148K} for writes, improving
+// 73.4% / 176.7% over the 64K default.
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+namespace {
+
+std::vector<harness::SchemeResult> run() {
+  harness::Experiment exp(default_options());
+  const auto bundle = harness::ior_bundle(default_ior());
+  auto results = exp.run_all(bundle, full_lineup());
+  print_scheme_table(std::cout,
+                     "Fig. 7: IOR throughput by layout (16 procs, 512K "
+                     "requests)",
+                     results);
+  for (const auto& r : results) {
+    if (r.label == "HARL") {
+      std::cout << "HARL chose " << r.layout_description
+                << " (paper: {32K,160K} reads / {36K,148K} writes)\n";
+    }
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace harl::bench
+
+int main(int argc, char** argv) {
+  return harl::bench::figure_bench_main(argc, argv, "fig07",
+                                        harl::bench::run);
+}

@@ -1,0 +1,43 @@
+// Paper Fig. 9: IOR throughput with varied request sizes (128 KiB and
+// 1024 KiB).  The paper reports the optimal layout at 128 KiB is {0K, 64K}
+// (SServers only) while at 1024 KiB HARL spreads data over both tiers.
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+namespace {
+
+std::vector<harness::SchemeResult> run() {
+  harness::Experiment exp(default_options());
+  std::vector<harness::SchemeResult> all;
+
+  for (Bytes req : {128 * KiB, 1024 * KiB}) {
+    workloads::IorConfig ior = default_ior();
+    ior.request_size = req;
+    if (!paper_scale()) ior.requests_per_process = 96;
+    const auto bundle = harness::ior_bundle(ior);
+
+    auto results = exp.run_all(bundle, full_lineup());
+    print_scheme_table(
+        std::cout,
+        "Fig. 9: IOR throughput, request size " + format_size(req), results);
+    for (auto& r : results) {
+      if (r.label == "HARL") {
+        std::cout << "HARL chose " << r.layout_description
+                  << (req == 128 * KiB ? " (paper: {0K,64K}, SServers only)"
+                                       : " (paper: spread over both tiers)")
+                  << "\n";
+      }
+      r.label = format_size(req) + "/" + r.label;
+      all.push_back(std::move(r));
+    }
+  }
+  return all;
+}
+
+}  // namespace
+}  // namespace harl::bench
+
+int main(int argc, char** argv) {
+  return harl::bench::figure_bench_main(argc, argv, "fig09",
+                                        harl::bench::run);
+}

@@ -1,0 +1,54 @@
+// Paper Fig. 11 (Section IV-B.5): non-uniform I/O — a modified IOR accesses
+// a four-region file (256 MB / 1 GB / 2 GB / 4 GB) with a different request
+// size per region.  Region-level layout fits each region's workload where
+// any single file-level stripe cannot.
+#include "bench/bench_common.hpp"
+
+namespace harl::bench {
+namespace {
+
+std::vector<harness::SchemeResult> run() {
+  harness::Experiment exp(default_options());
+
+  workloads::MultiRegionConfig mr;
+  mr.processes = 16;
+  mr.regions = {
+      {256 * MiB, 128 * KiB},
+      {1 * GiB, 512 * KiB},
+      {2 * GiB, 1 * MiB},
+      {4 * GiB, 2 * MiB},
+  };
+  mr.coverage = paper_scale() ? 1.0 : 0.05;
+  const auto bundle = harness::multiregion_bundle(mr);
+
+  auto lineup = full_lineup();
+  // CARL baseline (paper reference [31]): region-level placement but each
+  // region entirely on one tier; SSD budget = a quarter of the file.
+  lineup.push_back(
+      harness::LayoutScheme::carl(workloads::multiregion_file_size(mr) / 4));
+  auto results = exp.run_all(bundle, lineup);
+  print_scheme_table(std::cout,
+                     "Fig. 11: non-uniform four-region workload by layout",
+                     results);
+  for (const auto& r : results) {
+    if (r.label == "HARL" && r.plan) {
+      std::cout << "HARL regions (" << r.region_count << " after merge):\n";
+      for (const auto& reg : r.plan->regions) {
+        std::cout << "  [" << format_size(reg.offset) << ", "
+                  << format_size(reg.end) << ") h=" << format_size(reg.stripes.h)
+                  << " s=" << format_size(reg.stripes.s)
+                  << " avg_req=" << format_size(static_cast<Bytes>(reg.avg_request))
+                  << "\n";
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace harl::bench
+
+int main(int argc, char** argv) {
+  return harl::bench::figure_bench_main(argc, argv, "fig11",
+                                        harl::bench::run);
+}

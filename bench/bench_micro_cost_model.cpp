@@ -1,0 +1,92 @@
+// Micro-benchmarks of the analytic cost model: geometry computation and
+// full request costing.  Algorithm 2 calls these millions of times per
+// region, so their per-call cost bounds the Analysis Phase runtime.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/cost_model.hpp"
+#include "src/core/tiered_cost_model.hpp"
+#include "src/storage/profiles.hpp"
+
+namespace harl::core {
+namespace {
+
+CostParams bench_params() {
+  CostParams p = make_cost_params(6, 2, storage::hdd_profile(),
+                                  storage::pcie_ssd_profile(),
+                                  1.0 / (117.0 * 1024 * 1024));
+  p.per_stripe_overhead = 50e-6;
+  return p;
+}
+
+void BM_RequestGeometry(benchmark::State& state) {
+  const StripePair hs{static_cast<Bytes>(state.range(0)),
+                      static_cast<Bytes>(state.range(1))};
+  Rng rng(1);
+  Bytes offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 1315423911u) & ((1u << 30) - 1);
+    benchmark::DoNotOptimize(request_geometry(offset, 512 * KiB, hs, 6, 2));
+  }
+}
+BENCHMARK(BM_RequestGeometry)
+    ->Args({64 * KiB, 64 * KiB})
+    ->Args({32 * KiB, 160 * KiB})
+    ->Args({0, 64 * KiB});
+
+void BM_RequestCost(benchmark::State& state) {
+  const CostParams p = bench_params();
+  const StripePair hs{static_cast<Bytes>(state.range(0)),
+                      static_cast<Bytes>(state.range(1))};
+  Bytes offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 2654435761u) & ((1u << 30) - 1);
+    benchmark::DoNotOptimize(
+        request_cost(p, IoOp::kRead, offset, 512 * KiB, hs));
+  }
+}
+BENCHMARK(BM_RequestCost)
+    ->Args({64 * KiB, 64 * KiB})
+    ->Args({32 * KiB, 160 * KiB});
+
+void BM_RequestCostBreakdown(benchmark::State& state) {
+  const CostParams p = bench_params();
+  Bytes offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 40503u * 4096u) & ((1u << 30) - 1);
+    benchmark::DoNotOptimize(request_cost_breakdown(
+        p, IoOp::kWrite, offset, 512 * KiB, {36 * KiB, 148 * KiB}));
+  }
+}
+BENCHMARK(BM_RequestCostBreakdown);
+
+void BM_TieredRequestCost(benchmark::State& state) {
+  TieredCostParams p;
+  p.t = 1.0 / (117.0 * 1024 * 1024);
+  TierSpec hdd{6, storage::hdd_profile()};
+  TierSpec sata{2, storage::sata_ssd_profile()};
+  TierSpec nvme{2, storage::nvme_ssd_profile()};
+  p.tiers = {hdd, sata, nvme};
+  const std::vector<Bytes> stripes = {16 * KiB, 64 * KiB, 256 * KiB};
+  Bytes offset = 0;
+  for (auto _ : state) {
+    offset = (offset + 97u * 4096u) & ((1u << 30) - 1);
+    benchmark::DoNotOptimize(
+        tiered_request_cost(p, IoOp::kRead, offset, 1 * MiB, stripes));
+  }
+}
+BENCHMARK(BM_TieredRequestCost);
+
+void BM_Fig5ClosedForm(benchmark::State& state) {
+  const StripePair hs{64 * KiB, 160 * KiB};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fig5_case_a_geometry(10 * KiB, 100 * KiB, hs, 6, 2));
+  }
+}
+BENCHMARK(BM_Fig5ClosedForm);
+
+}  // namespace
+}  // namespace harl::core
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Micro-benchmarks of Algorithm 1 (CV-driven region division) on large
+// traces: runtime scales linearly with trace length per tuning round.
+#include <benchmark/benchmark.h>
+
+#include "src/core/region_divider.hpp"
+#include "src/workloads/random_workload.hpp"
+
+namespace harl::core {
+namespace {
+
+std::vector<trace::TraceRecord> sorted_trace(std::size_t n, bool phased) {
+  workloads::RandomWorkloadConfig cfg;
+  cfg.requests = n;
+  cfg.file_size = 64 * GiB;
+  cfg.seed = 99;
+  if (phased) {
+    // Two size populations, separated in file space, to force real splits:
+    // overwrite sizes after generation.
+    cfg.min_request = 64 * KiB;
+    cfg.max_request = 64 * KiB;
+  }
+  auto records = workloads::make_random_trace(cfg);
+  if (phased) {
+    for (auto& r : records) {
+      if (r.offset > 32 * GiB) r.size = 2 * MiB;
+    }
+  }
+  std::sort(records.begin(), records.end(), trace::ByOffset{});
+  return records;
+}
+
+void BM_DivideRegions_Uniform(benchmark::State& state) {
+  const auto records = sorted_trace(static_cast<std::size_t>(state.range(0)),
+                                    /*phased=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(divide_regions(records));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_DivideRegions_Uniform)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DivideRegions_Phased(benchmark::State& state) {
+  const auto records = sorted_trace(static_cast<std::size_t>(state.range(0)),
+                                    /*phased=*/true);
+  std::size_t region_count = 0;
+  for (auto _ : state) {
+    const auto division = divide_regions(records);
+    region_count = division.regions.size();
+    benchmark::DoNotOptimize(division);
+  }
+  state.counters["regions"] = static_cast<double>(region_count);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_DivideRegions_Phased)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace harl::core
+
+BENCHMARK_MAIN();

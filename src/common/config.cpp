@@ -1,0 +1,81 @@
+#include "src/common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace harl {
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("config entry must be key=value: " + arg);
+    }
+    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::from_string(std::string_view text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!current.empty()) parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(std::move(current));
+  return from_args(parts);
+}
+
+void Config::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool Config::contains(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key, std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t fallback) const {
+  auto v = get(key);
+  return v ? std::stoll(*v) : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  auto v = get(key);
+  return v ? std::stod(*v) : fallback;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::string lowered = *v;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on") return true;
+  if (lowered == "0" || lowered == "false" || lowered == "no" || lowered == "off") return false;
+  throw std::invalid_argument("not a boolean: " + *v);
+}
+
+Bytes Config::get_size(const std::string& key, Bytes fallback) const {
+  auto v = get(key);
+  return v ? parse_size(*v) : fallback;
+}
+
+}  // namespace harl

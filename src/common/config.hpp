@@ -1,0 +1,46 @@
+// Key=value configuration parsing for bench binaries and examples.
+//
+// The bench harness accepts overrides such as `--harl file_size=1G procs=32`
+// so paper-scale and CI-scale runs share one binary.  Values are stored as
+// strings and converted on access; byte-size values accept "64K"-style units.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace harl {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses entries of the form "key=value"; later duplicates win.
+  /// Entries without '=' are rejected with std::invalid_argument.
+  static Config from_args(const std::vector<std::string>& args);
+
+  /// Parses a whitespace/comma separated "k=v k2=v2" string.
+  static Config from_string(std::string_view text);
+
+  void set(std::string key, std::string value);
+  bool contains(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, std::string fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  /// Accepts unit suffixes: "64K", "1G", plain bytes.
+  Bytes get_size(const std::string& key, Bytes fallback) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace harl

@@ -1,0 +1,47 @@
+// Half-open byte intervals [begin, end).
+//
+// File requests, regions, stripes and sub-requests are all byte ranges; this
+// tiny value type keeps the arithmetic in one audited place.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <compare>
+
+#include "src/common/units.hpp"
+
+namespace harl {
+
+/// A half-open byte range [begin, end).  Empty when begin == end.
+struct ByteInterval {
+  Bytes begin = 0;
+  Bytes end = 0;
+
+  constexpr Bytes length() const { return end - begin; }
+  constexpr bool empty() const { return begin >= end; }
+  constexpr bool contains(Bytes offset) const {
+    return offset >= begin && offset < end;
+  }
+  constexpr bool contains(const ByteInterval& other) const {
+    return other.empty() || (other.begin >= begin && other.end <= end);
+  }
+  constexpr bool overlaps(const ByteInterval& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  friend constexpr auto operator<=>(const ByteInterval&, const ByteInterval&) = default;
+};
+
+/// Creates the interval [offset, offset + size).
+constexpr ByteInterval interval_of(Bytes offset, Bytes size) {
+  return ByteInterval{offset, offset + size};
+}
+
+/// Intersection; empty interval ({x, x}) when disjoint.
+constexpr ByteInterval intersect(const ByteInterval& a, const ByteInterval& b) {
+  const Bytes lo = std::max(a.begin, b.begin);
+  const Bytes hi = std::min(a.end, b.end);
+  return lo < hi ? ByteInterval{lo, hi} : ByteInterval{lo, lo};
+}
+
+}  // namespace harl

@@ -1,0 +1,24 @@
+// Fundamental I/O request vocabulary shared by every layer.
+#pragma once
+
+#include <string_view>
+
+#include "src/common/units.hpp"
+
+namespace harl {
+
+/// Operation type of a file request (paper Table I, parameter `op`).
+enum class IoOp { kRead, kWrite };
+
+constexpr std::string_view to_string(IoOp op) {
+  return op == IoOp::kRead ? "read" : "write";
+}
+
+/// One application-level file request against a logical file.
+struct FileRequest {
+  IoOp op = IoOp::kRead;
+  Bytes offset = 0;  ///< byte offset within the logical file (paper `o`)
+  Bytes size = 0;    ///< request length in bytes (paper `r`)
+};
+
+}  // namespace harl

@@ -1,0 +1,34 @@
+#include "src/common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace harl {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard lock(g_io_mutex);
+  std::cerr << "[harl:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace harl

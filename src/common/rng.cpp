@@ -1,0 +1,56 @@
+#include "src/common/rng.hpp"
+
+#include <cassert>
+
+namespace harl {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = hi - lo;
+  if (span == ~static_cast<std::uint64_t>(0)) return next();
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t bound = span + 1;
+  const std::uint64_t limit = ~static_cast<std::uint64_t>(0) - (~static_cast<std::uint64_t>(0) % bound + 1) % bound;
+  std::uint64_t x = next();
+  while (x > limit) x = next();
+  return lo + x % bound;
+}
+
+Rng Rng::fork() {
+  return Rng(next() ^ 0xD1B54A32D192ED03ULL);
+}
+
+}  // namespace harl

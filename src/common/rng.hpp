@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in HARL (device startup latencies, random layout
+// baselines, workload offsets) flows through seedable generators so that every
+// simulation and test is bit-reproducible.  We use xoshiro256** seeded via
+// SplitMix64 — fast, high-quality, and independent of libstdc++'s unspecified
+// distribution implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace harl {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the repository-wide PRNG.  Satisfies the C++
+/// UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace harl

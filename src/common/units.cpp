@@ -1,0 +1,75 @@
+#include "src/common/units.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl {
+
+namespace {
+
+Bytes unit_multiplier(char c) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'K': return KiB;
+    case 'M': return MiB;
+    case 'G': return GiB;
+    case 'T': return 1024 * GiB;
+    default:
+      throw std::invalid_argument(std::string("unknown size unit: ") + c);
+  }
+}
+
+}  // namespace
+
+Bytes parse_size(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("empty size string");
+
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) {
+    throw std::invalid_argument("malformed size: " + std::string(text));
+  }
+
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  // Strip a trailing "B" or "iB" ("KiB", "KB", "B").
+  if (!suffix.empty() &&
+      (suffix.back() == 'B' || suffix.back() == 'b')) {
+    suffix.remove_suffix(1);
+    if (!suffix.empty() && (suffix.back() == 'i' || suffix.back() == 'I')) {
+      suffix.remove_suffix(1);
+    }
+  }
+
+  Bytes mult = 1;
+  if (!suffix.empty()) {
+    if (suffix.size() != 1) {
+      throw std::invalid_argument("malformed size suffix: " + std::string(text));
+    }
+    mult = unit_multiplier(suffix.front());
+  }
+
+  if (mult != 0 && value > std::numeric_limits<Bytes>::max() / mult) {
+    throw std::invalid_argument("size overflows 64 bits: " + std::string(text));
+  }
+  return value * mult;
+}
+
+std::string format_size(Bytes bytes) {
+  if (bytes >= GiB && bytes % GiB == 0) return std::to_string(bytes / GiB) + "G";
+  if (bytes >= MiB && bytes % MiB == 0) return std::to_string(bytes / MiB) + "M";
+  if (bytes >= KiB && bytes % KiB == 0) return std::to_string(bytes / KiB) + "K";
+  return std::to_string(bytes);
+}
+
+std::string format_throughput(double bytes_per_second) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << bytes_per_second / static_cast<double>(MiB) << " MB/s";
+  return os.str();
+}
+
+}  // namespace harl

@@ -1,0 +1,43 @@
+// Byte-size and time units used throughout HARL.
+//
+// All file offsets/sizes are plain 64-bit byte counts (`Bytes`); all simulated
+// durations are double-precision seconds (`Seconds`).  Helpers parse and
+// format human-readable sizes ("64K", "2M") in the same style the paper's
+// figures use (binary units: K = KiB).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace harl {
+
+/// Byte count or byte offset within a file.
+using Bytes = std::uint64_t;
+
+/// Simulated wall-clock duration in seconds.
+using Seconds = double;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+namespace literals {
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * GiB; }
+}  // namespace literals
+
+/// Parses a human-readable size such as "64K", "2M", "1G", "512" (bytes).
+/// Accepts an optional "iB"/"B" suffix ("64KiB", "64KB" are both 64 * 1024).
+/// Throws std::invalid_argument on malformed input or overflow.
+Bytes parse_size(std::string_view text);
+
+/// Formats a byte count the way the paper labels layouts: exact multiples of
+/// a unit collapse ("65536" -> "64K"), otherwise falls back to bytes.
+std::string format_size(Bytes bytes);
+
+/// Formats a throughput value (bytes per simulated second) as "123.4 MB/s".
+std::string format_throughput(double bytes_per_second);
+
+}  // namespace harl

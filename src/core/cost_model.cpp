@@ -1,0 +1,251 @@
+#include "src/core/cost_model.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/interval.hpp"
+#include "src/core/closed_form.hpp"
+
+namespace harl::core {
+
+CostParams make_cost_params(std::size_t M, std::size_t N,
+                            const storage::TierProfile& hserver,
+                            const storage::TierProfile& sserver, Seconds t) {
+  CostParams p;
+  p.M = M;
+  p.N = N;
+  p.t = t;
+  p.hserver_read = hserver.read;
+  p.hserver_write = hserver.write;
+  p.sserver_read = sserver.read;
+  p.sserver_write = sserver.write;
+  return p;
+}
+
+namespace {
+
+/// Accumulates max-bytes/touched over one tier's cells without allocating.
+/// `tier_base` is the tier's first cell offset within the period.
+void tier_geometry_inline(Bytes l_b, Bytes l_e, Bytes S, Bytes full_periods,
+                          Bytes tier_base, std::size_t count, Bytes stripe,
+                          Bytes& max_bytes, std::size_t& touched) {
+  if (stripe == 0 || count == 0) return;
+  Bytes cell_base = tier_base;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ByteInterval cell{cell_base, cell_base + stripe};
+    Bytes bytes = 0;
+    if (full_periods == ~static_cast<Bytes>(0)) {
+      // Single-period request: [l_b, l_e) within one period.
+      bytes = intersect({l_b, l_e}, cell).length();
+    } else {
+      bytes = intersect({l_b, S}, cell).length() + full_periods * stripe +
+              intersect({0, l_e}, cell).length();
+    }
+    if (bytes > 0) {
+      ++touched;
+      max_bytes = std::max(max_bytes, bytes);
+    }
+    cell_base += stripe;
+  }
+}
+
+}  // namespace
+
+SubreqGeometry request_geometry(Bytes o, Bytes r, StripePair hs, std::size_t M,
+                                std::size_t N) {
+  const Bytes S = static_cast<Bytes>(M) * hs.h + static_cast<Bytes>(N) * hs.s;
+  if (S == 0) throw std::invalid_argument("zero striping period");
+  SubreqGeometry g;
+  if (r == 0) return g;
+
+  // Fast path: the completed Fig. 4/5 closed forms are O(1) and exact when
+  // both tiers are present (closed_form_test.cpp pins the equivalence).
+  // Algorithm 2 evaluates this millions of times per region.
+  if (hs.h > 0 && hs.s > 0 && M > 0 && N > 0) {
+    return closed_form_geometry(o, r, hs, M, N);
+  }
+
+  const Bytes end = o + r;
+  const Bytes period_first = o / S;
+  const Bytes period_last = end / S;
+  const Bytes l_b = o - period_first * S;
+  const Bytes l_e = end - period_last * S;
+  // Sentinel ~0 marks the single-period case for tier_geometry_inline.
+  const Bytes full_periods = period_last == period_first
+                                 ? ~static_cast<Bytes>(0)
+                                 : period_last - period_first - 1;
+
+  tier_geometry_inline(l_b, l_e, S, full_periods, 0, M, hs.h, g.s_m, g.m);
+  tier_geometry_inline(l_b, l_e, S, full_periods,
+                       static_cast<Bytes>(M) * hs.h, N, hs.s, g.s_n, g.n);
+  return g;
+}
+
+SubreqGeometry request_geometry_reference(Bytes o, Bytes r, StripePair hs,
+                                          std::size_t M, std::size_t N) {
+  const Bytes S = static_cast<Bytes>(M) * hs.h + static_cast<Bytes>(N) * hs.s;
+  if (S == 0) throw std::invalid_argument("zero striping period");
+  std::vector<Bytes> per_server(M + N, 0);
+  Bytes pos = o;
+  const Bytes end = o + r;
+  while (pos < end) {
+    const Bytes within = pos % S;
+    // Find the server cell containing `within` by linear scan.
+    Bytes cell_base = 0;
+    std::size_t server = 0;
+    for (std::size_t i = 0; i < M + N; ++i) {
+      const Bytes st = i < M ? hs.h : hs.s;
+      if (within < cell_base + st) {
+        server = i;
+        break;
+      }
+      cell_base += st;
+    }
+    const Bytes st = server < M ? hs.h : hs.s;
+    const Bytes take = std::min(end - pos, cell_base + st - within);
+    per_server[server] += take;
+    pos += take;
+  }
+  SubreqGeometry g;
+  for (std::size_t i = 0; i < M + N; ++i) {
+    if (per_server[i] == 0) continue;
+    if (i < M) {
+      ++g.m;
+      g.s_m = std::max(g.s_m, per_server[i]);
+    } else {
+      ++g.n;
+      g.s_n = std::max(g.s_n, per_server[i]);
+    }
+  }
+  return g;
+}
+
+SubreqGeometry fig5_case_a_geometry(Bytes o, Bytes r, StripePair hs,
+                                    std::size_t M, std::size_t N) {
+  const Bytes h = hs.h;
+  const Bytes s = hs.s;
+  if (h == 0 || s == 0 || M == 0 || r == 0) {
+    throw std::domain_error("fig5 case (a) needs nonzero stripes and M > 0");
+  }
+  const Bytes S = static_cast<Bytes>(M) * h + static_cast<Bytes>(N) * s;
+  const Bytes r_b = o / S;
+  const Bytes r_e = (o + r) / S;
+  const Bytes l_b = o - r_b * S;
+  const Bytes l_e = (o + r) - r_e * S;
+  if (l_b >= M * h || l_e >= M * h) {
+    throw std::domain_error("request does not begin and end on HServers");
+  }
+  const Bytes n_b = l_b / h;
+  const Bytes n_e = l_e / h;
+  // Fragment sizes (the paper prints l_e where l_b is meant in s_b; and we
+  // take s_e as the bytes *into* the ending stripe, which is what makes the
+  // dr >= 1 rows exact).
+  const Bytes s_b = h - l_b % h;
+  const Bytes s_e = l_e % h;
+  const std::int64_t dr = static_cast<std::int64_t>(r_e) - static_cast<std::int64_t>(r_b);
+  const std::int64_t dc = static_cast<std::int64_t>(n_e) - static_cast<std::int64_t>(n_b);
+
+  SubreqGeometry g;
+  if (dr == 0) {
+    g.s_n = 0;
+    g.n = 0;
+    g.m = static_cast<std::size_t>(dc + 1);
+    if (dc == 0) {
+      g.s_m = s_b;  // paper's value; exact is r (upper bound, see header)
+    } else if (dc == 1) {
+      g.s_m = std::max(s_b, s_e);
+    } else {
+      g.s_m = h;
+    }
+  } else {
+    const Bytes drb = static_cast<Bytes>(dr);
+    g.s_n = drb * s;
+    g.n = N;
+    if (dc == 0) {
+      g.s_m = std::max(drb * h - h + s_b + s_e, drb * h);
+      g.m = M;
+    } else if (n_b + 1 == M && n_e == 0) {
+      g.s_m = std::max(drb * h - h + s_b, drb * h - h + s_e);
+      g.m = dr == 1 ? 2 : M;
+    } else {
+      g.s_m = drb * h;
+      g.m = dc < -1 ? static_cast<std::size_t>(static_cast<std::int64_t>(M) + 1 + dc)
+                    : M;
+    }
+  }
+  return g;
+}
+
+Seconds startup_expected_max(const storage::OpProfile& p, std::size_t k) {
+  if (k == 0) return 0.0;
+  const double frac = static_cast<double>(k) / static_cast<double>(k + 1);
+  return p.startup_min + frac * (p.startup_max - p.startup_min);
+}
+
+namespace {
+
+/// Per-stripe processing of the slowest sub-request: stripe units in the
+/// maximal per-server extent, per tier, costed at the calibrated overhead.
+Seconds stripe_processing(const CostParams& params, const SubreqGeometry& g,
+                          StripePair hs) {
+  if (params.per_stripe_overhead <= 0.0) return 0.0;
+  Bytes max_pieces = 0;
+  if (hs.h > 0 && g.s_m > 0) {
+    max_pieces = std::max(max_pieces, (g.s_m + hs.h - 1) / hs.h);
+  }
+  if (hs.s > 0 && g.s_n > 0) {
+    max_pieces = std::max(max_pieces, (g.s_n + hs.s - 1) / hs.s);
+  }
+  return params.per_stripe_overhead * static_cast<double>(max_pieces);
+}
+
+}  // namespace
+
+CostBreakdown request_cost_breakdown(const CostParams& params, IoOp op,
+                                     Bytes offset, Bytes size, StripePair hs) {
+  CostBreakdown out;
+  out.geometry = request_geometry(offset, size, hs, params.M, params.N);
+  const SubreqGeometry& g = out.geometry;
+
+  const storage::OpProfile& hp =
+      op == IoOp::kRead ? params.hserver_read : params.hserver_write;
+  const storage::OpProfile& sp =
+      op == IoOp::kRead ? params.sserver_read : params.sserver_write;
+
+  const Bytes max_bytes = std::max(g.s_m, g.s_n);
+  out.network = params.net_latency + static_cast<double>(params.net_hops) *
+                                         params.t *
+                                         static_cast<double>(max_bytes);
+  out.startup = std::max(startup_expected_max(hp, g.m),
+                         startup_expected_max(sp, g.n));
+  out.transfer = std::max(static_cast<double>(g.s_m) * hp.per_byte,
+                          static_cast<double>(g.s_n) * sp.per_byte) +
+                 stripe_processing(params, g, hs);
+  out.total = out.network + out.startup + out.transfer;
+  return out;
+}
+
+Seconds request_cost(const CostParams& params, IoOp op, Bytes offset,
+                     Bytes size, StripePair hs) {
+  // Inlined hot path of request_cost_breakdown (the optimizer calls this
+  // millions of times).
+  const SubreqGeometry g = request_geometry(offset, size, hs, params.M, params.N);
+  const storage::OpProfile& hp =
+      op == IoOp::kRead ? params.hserver_read : params.hserver_write;
+  const storage::OpProfile& sp =
+      op == IoOp::kRead ? params.sserver_read : params.sserver_write;
+  const Bytes max_bytes = std::max(g.s_m, g.s_n);
+  const Seconds network = params.net_latency +
+                          static_cast<double>(params.net_hops) * params.t *
+                              static_cast<double>(max_bytes);
+  const Seconds startup = std::max(startup_expected_max(hp, g.m),
+                                   startup_expected_max(sp, g.n));
+  const Seconds transfer = std::max(static_cast<double>(g.s_m) * hp.per_byte,
+                                    static_cast<double>(g.s_n) * sp.per_byte) +
+                           stripe_processing(params, g, hs);
+  return network + startup + transfer;
+}
+
+}  // namespace harl::core

@@ -1,0 +1,133 @@
+// HARL's analytic data-access cost model (paper Section III-D).
+//
+// The cost of one file request in a hybrid PFS is
+//
+//     T = T_X + T_S + T_T                                   (Eq. 7/8)
+//
+// where, for the two-tier (M HServers with stripe h, N SServers with
+// stripe s, round-robin) layout:
+//
+//   T_X = t * max(s_m, s_n)                                 (Eq. 1)
+//   T_S = max over touched tiers of E[max of k U(a_min,a_max)]
+//       = max( a_h^min + m/(m+1) (a_h^max - a_h^min),
+//              a_s^min + n/(n+1) (a_s^max - a_s^min) )      (Eq. 3-5)
+//   T_T = max( s_m * b_h, s_n * b_s )                       (Eq. 6)
+//
+// with s_m / s_n the *maximal per-server byte counts* on H/SServers and
+// m / n the numbers of H/SServers touched.  Because striping is
+// round-robin, all stripes of one request on one server form a single
+// contiguous server-local extent, so "maximal sub-request size" equals
+// "maximal per-server byte count" — the same quantity paper Fig. 5
+// tabulates (e.g. s_m = dr*h - h + s_b + s_e for a same-column wrap).
+//
+// We compute the geometry (s_m, s_n, m, n) *exactly* in O(M+N) from
+// round-robin arithmetic rather than case-by-case.  The paper's published
+// closed form for case (a) of Fig. 4 (request begins and ends on HServers)
+// is implemented in fig5_case_a_geometry() for cross-validation; its known
+// typos are documented there.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+#include "src/storage/profiles.hpp"
+
+namespace harl::core {
+
+/// The stripe-size pair being evaluated (paper Table I: h and s).
+struct StripePair {
+  Bytes h = 0;  ///< stripe on each HServer (0 = skip HServers)
+  Bytes s = 0;  ///< stripe on each SServer (0 = skip SServers)
+
+  friend bool operator==(const StripePair&, const StripePair&) = default;
+};
+
+/// Sub-request distribution of one request (paper Fig. 5's four outputs).
+struct SubreqGeometry {
+  Bytes s_m = 0;       ///< maximal per-HServer byte count
+  Bytes s_n = 0;       ///< maximal per-SServer byte count
+  std::size_t m = 0;   ///< HServers touched
+  std::size_t n = 0;   ///< SServers touched
+
+  friend bool operator==(const SubreqGeometry&, const SubreqGeometry&) = default;
+};
+
+/// All model parameters (paper Table I).
+struct CostParams {
+  std::size_t M = 6;  ///< number of HServers
+  std::size_t N = 2;  ///< number of SServers
+
+  Seconds t = 0.0;           ///< unit-byte network transfer time
+  Seconds net_latency = 0.0; ///< per-request fixed network overhead
+                             ///< (0 = paper-pure; calibration may set it)
+  int net_hops = 1;          ///< link traversals charged (1 = paper-pure,
+                             ///< 2 = store-and-forward source+destination)
+  /// Server-side processing charged per stripe unit of the largest
+  /// sub-request (0 = paper-pure).  Calibrated from the PFS request
+  /// protocol; prices the small-stripe penalty of paper Fig. 1b.
+  Seconds per_stripe_overhead = 0.0;
+
+  storage::OpProfile hserver_read;   ///< alpha_h / beta_h (reads)
+  storage::OpProfile hserver_write;  ///< alpha_h / beta_h (writes)
+  storage::OpProfile sserver_read;   ///< alpha_sr / beta_sr
+  storage::OpProfile sserver_write;  ///< alpha_sw / beta_sw
+};
+
+/// Builds CostParams from tier profiles and a unit network time.
+CostParams make_cost_params(std::size_t M, std::size_t N,
+                            const storage::TierProfile& hserver,
+                            const storage::TierProfile& sserver, Seconds t);
+
+/// Exact sub-request geometry of request [o, o+r) under round-robin striping
+/// with per-tier stripes `hs` over M HServers and N SServers.
+/// Requires hs.h > 0 or hs.s > 0 (with the matching server count nonzero).
+SubreqGeometry request_geometry(Bytes o, Bytes r, StripePair hs, std::size_t M,
+                                std::size_t N);
+
+/// Brute-force reference: walks the request byte-by-stripe.  O(r / stripe);
+/// used only by tests to validate request_geometry().
+SubreqGeometry request_geometry_reference(Bytes o, Bytes r, StripePair hs,
+                                          std::size_t M, std::size_t N);
+
+/// Paper Fig. 5 closed form for case (a) of Fig. 4: the request must begin
+/// and end within the HServer area of its period (l_b < M*h, l_e < M*h) and
+/// both stripes must be nonzero.  Throws std::domain_error otherwise.
+///
+/// Typo corrections relative to the printed table (validated against the
+/// exact geometry in tests):
+///  * the beginning-fragment formula uses l_b (the paper prints l_e), and
+///    fragments are s_b = h - l_b % h, s_e = l_e % h.
+/// Rows the printed table only approximates (tests assert exactness on the
+/// remaining rows and document these):
+///  * dr = 0, dc = 0: s_m = s_b is an upper bound; the exact value is r;
+///  * stripe-aligned request ends (l_e % h == 0) overcount m by one, since
+///    column n_e receives no bytes;
+///  * dr >= 1 with dc >= 1: middle columns hold (dr+1) full stripes, more
+///    than the printed dr*h; similarly several multi-period backward-wrap
+///    combinations under/overcount m.
+SubreqGeometry fig5_case_a_geometry(Bytes o, Bytes r, StripePair hs,
+                                    std::size_t M, std::size_t N);
+
+/// Expected maximum of `k` i.i.d. uniforms on [p.startup_min, p.startup_max]
+/// (paper Eq. 3/4): a_min + k/(k+1) * (a_max - a_min).  0 when k == 0.
+Seconds startup_expected_max(const storage::OpProfile& p, std::size_t k);
+
+/// Cost of one file request under stripes `hs` (paper Eq. 7 for reads,
+/// Eq. 8 for writes).
+Seconds request_cost(const CostParams& params, IoOp op, Bytes offset,
+                     Bytes size, StripePair hs);
+
+/// Decomposed cost, for diagnostics and tests.
+struct CostBreakdown {
+  SubreqGeometry geometry;
+  Seconds network = 0.0;   ///< T_X
+  Seconds startup = 0.0;   ///< T_S
+  Seconds transfer = 0.0;  ///< T_T
+  Seconds total = 0.0;     ///< T
+};
+
+CostBreakdown request_cost_breakdown(const CostParams& params, IoOp op,
+                                     Bytes offset, Bytes size, StripePair hs);
+
+}  // namespace harl::core

@@ -1,0 +1,205 @@
+#include "src/core/planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace harl::core {
+
+namespace {
+
+std::vector<trace::TraceRecord> sorted_copy(
+    std::span<const trace::TraceRecord> records) {
+  std::vector<trace::TraceRecord> sorted(records.begin(), records.end());
+  std::sort(sorted.begin(), sorted.end(), trace::ByOffset{});
+  return sorted;
+}
+
+std::vector<FileRequest> region_requests(
+    std::span<const trace::TraceRecord> sorted, const DividedRegion& region) {
+  std::vector<FileRequest> reqs;
+  reqs.reserve(region.request_count());
+  for (std::size_t i = region.first_request; i < region.last_request; ++i) {
+    reqs.push_back(FileRequest{sorted[i].op, sorted[i].offset, sorted[i].size});
+  }
+  return reqs;
+}
+
+Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
+                        const RegionDivision& division,
+                        const CostParams& params,
+                        const PlannerOptions& options, bool homogeneous) {
+  Plan plan;
+  plan.threshold_used = division.threshold_used;
+  plan.tuning_rounds = division.tuning_rounds;
+
+  for (const auto& region : division.regions) {
+    auto reqs = region_requests(sorted, region);
+    const RegionStripes opt =
+        homogeneous
+            ? optimize_region_homogeneous(params, reqs, region.avg_request,
+                                          options.optimizer)
+            : optimize_region(params, reqs, region.avg_request,
+                              options.optimizer);
+    PlannedRegion planned;
+    planned.offset = region.offset;
+    planned.end = region.end;
+    planned.stripes = opt.stripes;
+    planned.model_cost = opt.model_cost;
+    planned.avg_request = region.avg_request;
+    planned.request_count = region.request_count();
+    plan.regions.push_back(planned);
+    plan.rst.add(region.offset, opt.stripes);
+  }
+
+  plan.regions_before_merge = plan.rst.size();
+  if (options.merge_adjacent) plan.rst.merge_adjacent();
+  plan.regions_after_merge = plan.rst.size();
+  return plan;
+}
+
+}  // namespace
+
+Seconds Plan::total_model_cost() const {
+  return std::accumulate(regions.begin(), regions.end(), 0.0,
+                         [](Seconds acc, const PlannedRegion& r) {
+                           return acc + r.model_cost;
+                         });
+}
+
+Plan analyze(std::span<const trace::TraceRecord> records,
+             const CostParams& params, const PlannerOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  const auto sorted = sorted_copy(records);
+  const RegionDivision division = divide_regions(sorted, options.divider);
+  return plan_from_division(sorted, division, params, options, false);
+}
+
+Plan analyze_file_level(std::span<const trace::TraceRecord> records,
+                        const CostParams& params,
+                        const PlannerOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  const auto sorted = sorted_copy(records);
+
+  // One region spanning everything: the heterogeneity-aware but
+  // region-oblivious ablation.
+  RegionDivision division;
+  DividedRegion whole;
+  whole.offset = 0;
+  whole.first_request = 0;
+  whole.last_request = sorted.size();
+  Bytes max_end = 0;
+  double sum = 0.0;
+  for (const auto& r : sorted) {
+    max_end = std::max(max_end, r.offset + r.size);
+    sum += static_cast<double>(r.size);
+  }
+  whole.end = max_end;
+  whole.avg_request = sum / static_cast<double>(sorted.size());
+  division.regions.push_back(whole);
+  return plan_from_division(sorted, division, params, options, false);
+}
+
+Plan analyze_segment_level(std::span<const trace::TraceRecord> records,
+                           const CostParams& params,
+                           const PlannerOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  const auto sorted = sorted_copy(records);
+  const RegionDivision division = divide_regions(sorted, options.divider);
+  return plan_from_division(sorted, division, params, options, true);
+}
+
+Plan analyze_fixed_regions(std::span<const trace::TraceRecord> records,
+                           const CostParams& params, Bytes chunk_size,
+                           const PlannerOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  const auto sorted = sorted_copy(records);
+  const RegionDivision division = divide_regions_fixed(sorted, chunk_size);
+  return plan_from_division(sorted, division, params, options, false);
+}
+
+Plan analyze_carl(std::span<const trace::TraceRecord> records,
+                  const CostParams& params, Bytes ssd_capacity,
+                  const PlannerOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  const auto sorted = sorted_copy(records);
+  const RegionDivision division = divide_regions(sorted, options.divider);
+
+  // Per region: best single-tier placements and their model costs.
+  struct CarlRegion {
+    DividedRegion region;
+    RegionStripes hdd_only;
+    RegionStripes ssd_only;
+    Bytes extent = 0;       ///< bytes stored if placed on SServers
+    double density = 0.0;   ///< cost savings per stored byte
+  };
+  std::vector<CarlRegion> carl;
+  carl.reserve(division.regions.size());
+  for (const auto& region : division.regions) {
+    auto reqs = region_requests(sorted, region);
+    CarlRegion c;
+    c.region = region;
+
+    // HServer-only: force s = 0 by restricting the search to N = 0.
+    CostParams hdd_params = params;
+    hdd_params.N = 0;
+    c.hdd_only =
+        optimize_region(hdd_params, reqs, region.avg_request, options.optimizer);
+    c.hdd_only.stripes.s = 0;
+
+    // SServer-only: force h = 0 via M = 0.
+    CostParams ssd_params = params;
+    ssd_params.M = 0;
+    c.ssd_only =
+        optimize_region(ssd_params, reqs, region.avg_request, options.optimizer);
+    c.ssd_only.stripes.h = 0;
+
+    c.extent = region.end - region.offset;
+    c.density = c.extent > 0
+                    ? (c.hdd_only.model_cost - c.ssd_only.model_cost) /
+                          static_cast<double>(c.extent)
+                    : 0.0;
+    carl.push_back(std::move(c));
+  }
+
+  // Greedy: highest savings density first, until the SSD budget is spent.
+  std::vector<std::size_t> order(carl.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (carl[a].density != carl[b].density) {
+      return carl[a].density > carl[b].density;
+    }
+    return a < b;
+  });
+  std::vector<bool> on_ssd(carl.size(), false);
+  Bytes budget = ssd_capacity;
+  for (std::size_t idx : order) {
+    if (carl[idx].density <= 0.0) break;
+    if (carl[idx].extent <= budget) {
+      on_ssd[idx] = true;
+      budget -= carl[idx].extent;
+    }
+  }
+
+  Plan plan;
+  plan.threshold_used = division.threshold_used;
+  plan.tuning_rounds = division.tuning_rounds;
+  for (std::size_t i = 0; i < carl.size(); ++i) {
+    const RegionStripes& choice = on_ssd[i] ? carl[i].ssd_only : carl[i].hdd_only;
+    PlannedRegion planned;
+    planned.offset = carl[i].region.offset;
+    planned.end = carl[i].region.end;
+    planned.stripes = choice.stripes;
+    planned.model_cost = choice.model_cost;
+    planned.avg_request = carl[i].region.avg_request;
+    planned.request_count = carl[i].region.request_count();
+    plan.regions.push_back(planned);
+    plan.rst.add(planned.offset, planned.stripes);
+  }
+  plan.regions_before_merge = plan.rst.size();
+  if (options.merge_adjacent) plan.rst.merge_adjacent();
+  plan.regions_after_merge = plan.rst.size();
+  return plan;
+}
+
+}  // namespace harl::core

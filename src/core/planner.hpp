@@ -1,0 +1,84 @@
+// The HARL Analysis Phase, end to end (paper Fig. 3).
+//
+// Input: a trace from the application's first execution (Tracing Phase) and
+// the calibrated cost-model parameters.  Output: a Plan — the region stripe
+// table plus per-region diagnostics — which the Placing Phase turns into a
+// pfs::RegionLayout.  Pipeline: sort by offset -> Algorithm 1 region
+// division -> Algorithm 2 stripe determination per region -> RST assembly
+// with adjacent-equal merging.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/cost_model.hpp"
+#include "src/core/region_divider.hpp"
+#include "src/core/rst.hpp"
+#include "src/core/stripe_optimizer.hpp"
+
+namespace harl::core {
+
+struct PlannerOptions {
+  DividerOptions divider;
+  OptimizerOptions optimizer;
+  bool merge_adjacent = true;  ///< merge equal-stripe neighbours (Sec. III-E)
+};
+
+/// Per-region planning outcome (pre-merge).
+struct PlannedRegion {
+  Bytes offset = 0;
+  Bytes end = 0;
+  StripePair stripes;
+  Seconds model_cost = 0.0;
+  double avg_request = 0.0;
+  std::size_t request_count = 0;
+};
+
+struct Plan {
+  RegionStripeTable rst;               ///< post-merge placement table
+  std::vector<PlannedRegion> regions;  ///< pre-merge diagnostics
+  double threshold_used = 1.0;
+  int tuning_rounds = 0;
+  std::size_t regions_before_merge = 0;
+  std::size_t regions_after_merge = 0;
+
+  /// Total model cost across regions (the objective Algorithm 2 minimized).
+  Seconds total_model_cost() const;
+};
+
+/// Runs the Analysis Phase over `records` (any order; sorted internally).
+/// Throws std::invalid_argument on an empty trace.
+Plan analyze(std::span<const trace::TraceRecord> records,
+             const CostParams& params, const PlannerOptions& options = {});
+
+/// File-level ablation: one region spanning the whole trace (heterogeneity-
+/// aware stripes but no region division).
+Plan analyze_file_level(std::span<const trace::TraceRecord> records,
+                        const CostParams& params,
+                        const PlannerOptions& options = {});
+
+/// Segment-level ablation (scheme [10]): Algorithm 1 region division but
+/// homogeneous (h == s) stripes per region.
+Plan analyze_segment_level(std::span<const trace::TraceRecord> records,
+                           const CostParams& params,
+                           const PlannerOptions& options = {});
+
+/// Fixed-chunk ablation: the paper's rejected strawman (Section III-C) —
+/// regions at fixed `chunk_size` boundaries instead of Algorithm 1, with
+/// heterogeneity-aware stripes per chunk.
+Plan analyze_fixed_regions(std::span<const trace::TraceRecord> records,
+                           const CostParams& params, Bytes chunk_size,
+                           const PlannerOptions& options = {});
+
+/// CARL baseline (the paper's reference [31], its closest prior work): the
+/// same Algorithm-1 regions, but each region is placed *either* entirely on
+/// SServers or entirely on HServers — never striped across both tiers.
+/// Regions are moved to SServers greedily by model-cost savings per stored
+/// byte until `ssd_capacity` is exhausted; stripe sizes within each tier are
+/// optimized as usual.  HARL's advantage over CARL is exactly the ability to
+/// split one region across heterogeneous tiers (paper Section II).
+Plan analyze_carl(std::span<const trace::TraceRecord> records,
+                  const CostParams& params, Bytes ssd_capacity,
+                  const PlannerOptions& options = {});
+
+}  // namespace harl::core

@@ -1,0 +1,159 @@
+#include "src/core/region_divider.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/common/stats.hpp"
+
+namespace harl::core {
+
+namespace {
+
+/// One pass of Algorithm 1 at a fixed threshold.
+std::vector<DividedRegion> divide_once(std::span<const trace::TraceRecord> sorted,
+                                       double threshold) {
+  std::vector<DividedRegion> regions;
+  RunningStats window;
+  double cv_prev = 0.0;
+  std::size_t reg_init = 0;
+
+  auto close_region = [&](std::size_t last_exclusive) {
+    DividedRegion reg;
+    reg.offset = sorted[reg_init].offset;
+    reg.avg_request = window.mean();
+    reg.first_request = reg_init;
+    reg.last_request = last_exclusive;
+    regions.push_back(reg);
+  };
+
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    window.add(static_cast<double>(sorted[i].size));
+    const double cv_new = window.cv();
+
+    if (window.count() <= 2) {
+      // Seeding: the paper computes the first CV from the first two entries
+      // and only tests from the third onwards.
+      cv_prev = cv_new;
+      continue;
+    }
+    // Relative CV change.  The denominator is floored at kCvFloor so that a
+    // jump away from a zero CV (constant-size window) is a very large but
+    // *finite* relative change — otherwise raising the threshold (the
+    // paper's region-count control) could never loosen such splits.
+    constexpr double kCvFloor = 0.01;
+    const double relative_change =
+        std::abs(cv_new - cv_prev) / std::max(cv_prev, kCvFloor);
+    if (relative_change < threshold) {
+      cv_prev = cv_new;
+      continue;
+    }
+    // CV jumped: request i closes this region (it is included, as in the
+    // printed algorithm where avg is computed before the split) and the next
+    // region starts at request i + 1.
+    close_region(i + 1);
+    window.reset();
+    cv_prev = 0.0;
+    reg_init = i + 1;
+  }
+  if (reg_init < sorted.size()) close_region(sorted.size());
+
+  // Tile the touched extent: clamp the first region to offset 0 and set each
+  // region's end to its successor's start.
+  if (!regions.empty()) {
+    regions.front().offset = 0;
+    Bytes max_end = 0;
+    for (const auto& r : sorted) max_end = std::max(max_end, r.offset + r.size);
+    for (std::size_t i = 0; i + 1 < regions.size(); ++i) {
+      regions[i].end = regions[i + 1].offset;
+    }
+    regions.back().end = max_end;
+  }
+  return regions;
+}
+
+}  // namespace
+
+RegionDivision divide_regions_fixed(std::span<const trace::TraceRecord> sorted,
+                                    Bytes chunk_size) {
+  if (chunk_size == 0) throw std::invalid_argument("chunk size must be > 0");
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].offset < sorted[i - 1].offset) {
+      throw std::invalid_argument("trace must be sorted by ascending offset");
+    }
+  }
+  RegionDivision division;
+  if (sorted.empty()) return division;
+
+  Bytes max_end = 0;
+  for (const auto& r : sorted) max_end = std::max(max_end, r.offset + r.size);
+
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    // The chunk of request i; extend over any empty chunks that follow by
+    // taking requests while they fall into this chunk.
+    const Bytes chunk_index = sorted[i].offset / chunk_size;
+    const Bytes chunk_begin = chunk_index * chunk_size;
+    const Bytes chunk_end = chunk_begin + chunk_size;
+
+    DividedRegion region;
+    region.first_request = i;
+    RunningStats sizes;
+    while (i < sorted.size() && sorted[i].offset < chunk_end) {
+      sizes.add(static_cast<double>(sorted[i].size));
+      ++i;
+    }
+    region.last_request = i;
+    region.offset = chunk_begin;
+    region.avg_request = sizes.mean();
+    division.regions.push_back(region);
+  }
+
+  // Tile: clamp the first region to 0 and close each at its successor.
+  division.regions.front().offset = 0;
+  for (std::size_t r = 0; r + 1 < division.regions.size(); ++r) {
+    division.regions[r].end = division.regions[r + 1].offset;
+  }
+  division.regions.back().end = max_end;
+  return division;
+}
+
+RegionDivision divide_regions(std::span<const trace::TraceRecord> sorted,
+                              const DividerOptions& options) {
+  if (options.threshold <= 0.0) {
+    throw std::invalid_argument("divider threshold must be positive");
+  }
+  if (options.threshold_growth <= 1.0) {
+    throw std::invalid_argument("threshold growth must exceed 1");
+  }
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].offset < sorted[i - 1].offset) {
+      throw std::invalid_argument("trace must be sorted by ascending offset");
+    }
+  }
+
+  RegionDivision division;
+  division.threshold_used = options.threshold;
+  if (sorted.empty()) return division;
+
+  Bytes max_end = 0;
+  for (const auto& r : sorted) max_end = std::max(max_end, r.offset + r.size);
+  const std::size_t fixed_count = options.fixed_region_size > 0
+                                      ? static_cast<std::size_t>(
+                                            (max_end + options.fixed_region_size - 1) /
+                                            options.fixed_region_size)
+                                      : 0;
+
+  double threshold = options.threshold;
+  for (int round = 0;; ++round) {
+    division.regions = divide_once(sorted, threshold);
+    division.threshold_used = threshold;
+    division.tuning_rounds = round;
+    const bool too_many = fixed_count > 0 && division.regions.size() > fixed_count;
+    if (!too_many || round >= options.max_tuning_rounds) break;
+    threshold *= options.threshold_growth;
+  }
+  return division;
+}
+
+}  // namespace harl::core

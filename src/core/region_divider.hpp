@@ -1,0 +1,75 @@
+// File region division (paper Section III-C, Algorithm 1).
+//
+// Walks the trace's requests in ascending-offset order, growing a window and
+// tracking the coefficient of variation (CV) of request sizes.  When the CV
+// jumps by more than `threshold` (relative, 100% by default), the window is
+// closed as a region and a new one starts.  If the division produces more
+// regions than a fixed-size division (file_extent / fixed_region_size) would,
+// the threshold is raised and the division re-run, loosening sensitivity and
+// bounding metadata overhead.
+//
+// Edge-case conventions (the printed algorithm divides by cv_prev, which is
+// zero initially and after every split):
+//  * each window is seeded with its first two requests unconditionally (the
+//    paper "reads the first two entries ... and calculates the CV"), so the
+//    test applies from the third request on;
+//  * with cv_prev == 0 (constant-size window so far), the relative change
+//    denominator is floored at a small constant, so a CV jump reads as a
+//    very large but finite change — it splits at the default threshold yet
+//    can still be loosened by the region-count tuning.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/trace/record.hpp"
+
+namespace harl::core {
+
+struct DividerOptions {
+  /// Initial relative-CV split threshold; 1.0 == the paper's 100%.
+  double threshold = 1.0;
+  /// Region-count cap reference: the fixed-size division's chunk size.
+  Bytes fixed_region_size = 64 * MiB;
+  /// Multiplier applied to the threshold each tuning round.
+  double threshold_growth = 2.0;
+  /// Maximum tuning rounds before accepting the current division.
+  int max_tuning_rounds = 16;
+};
+
+/// One divided region: covers requests [first_request, last_request) of the
+/// sorted input and file bytes [offset, end).
+struct DividedRegion {
+  Bytes offset = 0;          ///< region start (first request's offset)
+  Bytes end = 0;             ///< region end (next region's start / file end)
+  double avg_request = 0.0;  ///< average request size in the region (paper A_i)
+  std::size_t first_request = 0;
+  std::size_t last_request = 0;  ///< exclusive
+
+  std::size_t request_count() const { return last_request - first_request; }
+};
+
+struct RegionDivision {
+  std::vector<DividedRegion> regions;
+  double threshold_used = 1.0;  ///< after auto-tuning
+  int tuning_rounds = 0;
+};
+
+/// Runs Algorithm 1 over `sorted` (must be ascending by offset — use
+/// TraceCollector::sorted_by_offset()).  The first region is clamped to
+/// start at offset 0 and the last extends to max(offset+size) so the regions
+/// tile the touched extent.  An empty trace yields no regions.
+RegionDivision divide_regions(std::span<const trace::TraceRecord> sorted,
+                              const DividerOptions& options = {});
+
+/// The strawman the paper rejects (Section III-C): "logically divide the
+/// address space of a file into regions by a fixed chunk size (e.g. 64MB or
+/// 128MB)".  Chunks are [0, chunk), [chunk, 2*chunk), ...; a request belongs
+/// to the chunk containing its offset; chunks with no requests are merged
+/// into the following occupied chunk.  Used as a baseline to show why
+/// workload-driven splitting wins (bench_ablation_division).
+RegionDivision divide_regions_fixed(std::span<const trace::TraceRecord> sorted,
+                                    Bytes chunk_size);
+
+}  // namespace harl::core

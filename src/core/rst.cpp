@@ -1,0 +1,89 @@
+#include "src/core/rst.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl::core {
+
+namespace {
+constexpr char kHeader[] = "harl-rst-v1";
+}
+
+void RegionStripeTable::add(Bytes offset, StripePair stripes) {
+  if (entries_.empty()) {
+    if (offset != 0) throw std::invalid_argument("first RST region must start at 0");
+  } else if (offset <= entries_.back().offset) {
+    throw std::invalid_argument("RST offsets must be strictly increasing");
+  }
+  if (stripes.h == 0 && stripes.s == 0) {
+    throw std::invalid_argument("RST region needs a nonzero stripe");
+  }
+  entries_.push_back(RstEntry{offset, stripes});
+}
+
+std::size_t RegionStripeTable::region_of(Bytes offset) const {
+  if (entries_.empty()) throw std::logic_error("lookup in empty RST");
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), offset,
+      [](Bytes off, const RstEntry& e) { return off < e.offset; });
+  return static_cast<std::size_t>(std::distance(entries_.begin(), it)) - 1;
+}
+
+const RstEntry& RegionStripeTable::lookup(Bytes offset) const {
+  return entries_[region_of(offset)];
+}
+
+std::size_t RegionStripeTable::merge_adjacent() {
+  if (entries_.empty()) return 0;
+  std::vector<RstEntry> merged;
+  merged.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    if (!merged.empty() && merged.back().stripes == e.stripes) continue;
+    merged.push_back(e);
+  }
+  const std::size_t removed = entries_.size() - merged.size();
+  entries_ = std::move(merged);
+  return removed;
+}
+
+void RegionStripeTable::save(std::ostream& os) const {
+  os << kHeader << '\n';
+  for (const auto& e : entries_) {
+    os << e.offset << ' ' << e.stripes.h << ' ' << e.stripes.s << '\n';
+  }
+}
+
+RegionStripeTable RegionStripeTable::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("bad RST header");
+  }
+  RegionStripeTable table;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    Bytes offset = 0;
+    StripePair hs;
+    if (!(ss >> offset >> hs.h >> hs.s)) {
+      throw std::runtime_error("malformed RST row: " + line);
+    }
+    table.add(offset, hs);
+  }
+  return table;
+}
+
+std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
+    std::size_t M, std::size_t N) const {
+  if (entries_.empty()) throw std::logic_error("cannot build layout from empty RST");
+  std::vector<pfs::RegionSpec> specs;
+  specs.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    specs.push_back(pfs::RegionSpec{e.offset, e.stripes.h, e.stripes.s});
+  }
+  return std::make_shared<pfs::RegionLayout>(M, N, std::move(specs));
+}
+
+}  // namespace harl::core

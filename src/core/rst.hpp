@@ -1,0 +1,63 @@
+// Region Stripe Table (paper Section III-E, Fig. 6).
+//
+// The RST is HARL's placement metadata: per file region, the offset where
+// the region starts and the optimal stripe sizes for HServers and SServers.
+// The MDS consults it to answer client placement lookups; the middleware
+// loads it at MPI_Init time.  Adjacent regions with equal stripe pairs are
+// merged to shrink metadata (Section III-E).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/cost_model.hpp"
+#include "src/pfs/region_layout.hpp"
+
+namespace harl::core {
+
+/// One RST row (paper Fig. 6: Region #, File_offset, HServer stripe size,
+/// SServer stripe size — the region number is implicit in the row index).
+struct RstEntry {
+  Bytes offset = 0;
+  StripePair stripes;
+
+  friend bool operator==(const RstEntry&, const RstEntry&) = default;
+};
+
+class RegionStripeTable {
+ public:
+  RegionStripeTable() = default;
+
+  /// Appends a region; offsets must be added in strictly increasing order
+  /// and the first must be 0.
+  void add(Bytes offset, StripePair stripes);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const RstEntry& entry(std::size_t i) const { return entries_.at(i); }
+  const std::vector<RstEntry>& entries() const { return entries_; }
+
+  /// The stripe pair governing `offset` (binary search); the table must be
+  /// non-empty.
+  const RstEntry& lookup(Bytes offset) const;
+
+  /// Index of the region containing `offset`.
+  std::size_t region_of(Bytes offset) const;
+
+  /// Merges adjacent regions with identical stripe pairs; returns the number
+  /// of regions removed.
+  std::size_t merge_adjacent();
+
+  /// Text serialization: header line, then "offset h s" per region.
+  void save(std::ostream& os) const;
+  static RegionStripeTable load(std::istream& is);
+
+  /// Converts to the pfs placement layout over M HServers and N SServers.
+  std::shared_ptr<pfs::RegionLayout> to_layout(std::size_t M, std::size_t N) const;
+
+ private:
+  std::vector<RstEntry> entries_;
+};
+
+}  // namespace harl::core

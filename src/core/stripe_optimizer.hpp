@@ -1,0 +1,64 @@
+// Region stripe-size determination (paper Section III-E, Algorithm 2).
+//
+// For one region, grid-search stripe pairs (h, s) in `step` increments:
+// h in {0, step, ..., R} and s in {h + step, ..., R} where R is the region's
+// average request size — s starts above h because SServers are faster and
+// should carry more bytes per period (load balance), and h may be 0 so a
+// region can live entirely on SServers ({0K, 64K} in paper Section IV-B.3).
+// Each candidate is scored by the summed cost-model time of the region's
+// requests (reads via Eq. 7, writes via Eq. 8); the minimum wins.
+//
+// The search is exact, embarrassingly parallel (sharded over h), and runs
+// offline; `max_requests` caps the per-candidate scoring work by sampling
+// the region's requests with a deterministic stride when the trace is huge.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/cost_model.hpp"
+
+namespace harl::core {
+
+struct OptimizerOptions {
+  Bytes step = 4 * KiB;          ///< the paper's 4 KB grid step
+  std::size_t max_requests = 4096;  ///< request-sampling cap (0 = no cap)
+  ThreadPool* pool = nullptr;    ///< optional: shard the h-axis over a pool
+  /// Space-aware constraint (PSA, the authors' companion work [33], and the
+  /// paper's Discussion): bound the fraction of each region's bytes stored
+  /// on SServers to N*s / (M*h + N*s) <= max_sserver_share.  1.0 = no bound
+  /// (paper-pure Algorithm 2).  If no candidate satisfies the bound, the
+  /// feasible candidate with the smallest SServer share wins instead.
+  double max_sserver_share = 1.0;
+};
+
+/// Result of optimizing one region.
+struct RegionStripes {
+  StripePair stripes;       ///< the winning (H, S)
+  Seconds model_cost = 0.0; ///< summed model cost of the scored requests
+  std::size_t candidates_evaluated = 0;
+};
+
+/// Runs Algorithm 2.  `requests` are the region's file requests (any order);
+/// `avg_request_size` is the region's A value from Algorithm 1.
+/// Requires at least one request, M + N > 0, and avg_request_size > 0.
+RegionStripes optimize_region(const CostParams& params,
+                              std::span<const FileRequest> requests,
+                              double avg_request_size,
+                              const OptimizerOptions& options = {});
+
+/// Baseline for the segment-level ablation: best *homogeneous* stripe
+/// (h == s) for the region, searched over the same grid.
+RegionStripes optimize_region_homogeneous(const CostParams& params,
+                                          std::span<const FileRequest> requests,
+                                          double avg_request_size,
+                                          const OptimizerOptions& options = {});
+
+/// Scores one candidate: summed model cost over (sampled) requests.
+Seconds region_cost(const CostParams& params,
+                    std::span<const FileRequest> requests, StripePair hs,
+                    std::size_t max_requests = 0);
+
+}  // namespace harl::core

@@ -1,0 +1,83 @@
+#include "src/core/tiered_cost_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/interval.hpp"
+#include "src/core/cost_model.hpp"
+
+namespace harl::core {
+
+std::vector<TierGeometry> tiered_geometry(Bytes o, Bytes r,
+                                          std::span<const std::size_t> counts,
+                                          std::span<const Bytes> stripes) {
+  if (counts.size() != stripes.size()) {
+    throw std::invalid_argument("counts/stripes size mismatch");
+  }
+  std::vector<TierGeometry> out(counts.size());
+  Bytes S = 0;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    S += static_cast<Bytes>(counts[j]) * stripes[j];
+  }
+  if (S == 0) throw std::invalid_argument("zero striping period");
+  if (r == 0) return out;
+
+  const Bytes end = o + r;
+  const Bytes period_first = o / S;
+  const Bytes period_last = end / S;
+  const Bytes l_b = o - period_first * S;
+  const Bytes l_e = end - period_last * S;
+
+  Bytes cell_base = 0;  // start of the current server's cell in the period
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    const Bytes st = stripes[j];
+    for (std::size_t i = 0; i < counts[j]; ++i) {
+      if (st == 0) continue;
+      const ByteInterval cell{cell_base, cell_base + st};
+      Bytes bytes = 0;
+      if (period_last == period_first) {
+        bytes = intersect({l_b, l_e}, cell).length();
+      } else {
+        bytes = intersect({l_b, S}, cell).length() +
+                (period_last - period_first - 1) * st +
+                intersect({0, l_e}, cell).length();
+      }
+      if (bytes > 0) {
+        ++out[j].touched;
+        out[j].max_bytes = std::max(out[j].max_bytes, bytes);
+      }
+      cell_base += st;
+    }
+  }
+  return out;
+}
+
+Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
+                            Bytes offset, Bytes size,
+                            std::span<const Bytes> stripes) {
+  if (params.tiers.size() != stripes.size()) {
+    throw std::invalid_argument("tiers/stripes size mismatch");
+  }
+  std::vector<std::size_t> counts(params.tiers.size());
+  for (std::size_t j = 0; j < params.tiers.size(); ++j) {
+    counts[j] = params.tiers[j].count;
+  }
+  const auto geo = tiered_geometry(offset, size, counts, stripes);
+
+  Bytes max_bytes = 0;
+  Seconds startup = 0.0;
+  Seconds transfer = 0.0;
+  for (std::size_t j = 0; j < geo.size(); ++j) {
+    const storage::OpProfile& p = params.tiers[j].profile.op(op);
+    max_bytes = std::max(max_bytes, geo[j].max_bytes);
+    startup = std::max(startup, startup_expected_max(p, geo[j].touched));
+    transfer = std::max(transfer,
+                        static_cast<double>(geo[j].max_bytes) * p.per_byte);
+  }
+  const Seconds network = params.net_latency +
+                          static_cast<double>(params.net_hops) * params.t *
+                              static_cast<double>(max_bytes);
+  return network + startup + transfer;
+}
+
+}  // namespace harl::core

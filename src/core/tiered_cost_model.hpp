@@ -1,0 +1,57 @@
+// Generalized multi-tier cost model.
+//
+// The paper's model is written for two server classes; its conclusion names
+// "extend our cost model to accommodate more than two server performance
+// profiles" as future work.  This module is that extension: k tiers, each
+// with a server count, an OpProfile pair, and its own stripe size.  The
+// two-tier functions in cost_model.hpp are thin wrappers over these.
+//
+// Geometry convention: servers are ordered tier 0 first, then tier 1, ...,
+// and striping is round-robin across all servers in that order (the same
+// convention pfs::VariedStripeLayout and the paper use for HServers followed
+// by SServers).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+#include "src/storage/profiles.hpp"
+
+namespace harl::core {
+
+/// One storage tier of the cluster.
+struct TierSpec {
+  std::size_t count = 0;           ///< number of servers in this tier
+  storage::TierProfile profile;    ///< alpha/beta parameters per op
+};
+
+/// Per-tier sub-request distribution of one request.
+struct TierGeometry {
+  Bytes max_bytes = 0;     ///< maximal per-server byte count in the tier
+  std::size_t touched = 0; ///< servers of the tier with nonzero bytes
+};
+
+/// Exact per-tier geometry of request [o, o+r) under round-robin striping.
+/// `counts[j]` servers in tier j each use stripe `stripes[j]` (0 = skip).
+/// Requires counts.size() == stripes.size() and a nonzero total period.
+std::vector<TierGeometry> tiered_geometry(Bytes o, Bytes r,
+                                          std::span<const std::size_t> counts,
+                                          std::span<const Bytes> stripes);
+
+struct TieredCostParams {
+  std::vector<TierSpec> tiers;
+  Seconds t = 0.0;            ///< unit-byte network time
+  Seconds net_latency = 0.0;  ///< fixed per-request overhead (0 = paper-pure)
+  int net_hops = 1;           ///< link traversals charged
+};
+
+/// Cost of one request with per-tier stripe sizes (generalized Eq. 7/8):
+///   T_X = hops * t * max_j(max_bytes_j) + latency
+///   T_S = max_j E[max of touched_j uniforms on tier j's startup window]
+///   T_T = max_j (max_bytes_j * beta_j)
+Seconds tiered_request_cost(const TieredCostParams& params, IoOp op, Bytes offset,
+                            Bytes size, std::span<const Bytes> stripes);
+
+}  // namespace harl::core

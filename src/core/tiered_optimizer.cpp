@@ -1,0 +1,159 @@
+#include "src/core/tiered_optimizer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+namespace harl::core {
+
+namespace {
+
+std::size_t sample_stride(std::size_t n, std::size_t max_requests) {
+  if (max_requests == 0 || n <= max_requests) return 1;
+  return (n + max_requests - 1) / max_requests;
+}
+
+Bytes round_up(Bytes value, Bytes step) {
+  return (value + step - 1) / step * step;
+}
+
+struct Candidate {
+  Seconds cost = std::numeric_limits<Seconds>::infinity();
+  std::vector<Bytes> stripes;
+
+  bool better_than(const Candidate& other) const {
+    if (cost != other.cost) return cost < other.cost;
+    if (stripes.size() != other.stripes.size()) {
+      return stripes.size() > other.stripes.size();  // beats the empty sentinel
+    }
+    // Ties prefer larger stripes (fewer stripe units for the same per-server
+    // byte distribution); lexicographic from the last (fastest) tier.
+    for (std::size_t i = stripes.size(); i-- > 0;) {
+      if (stripes[i] != other.stripes[i]) {
+        return stripes[i] > other.stripes[i];
+      }
+    }
+    return false;
+  }
+};
+
+/// Recursively enumerates stripe vectors; calls `visit` on each.
+void enumerate(std::vector<Bytes>& stripes, std::size_t tier, Bytes R,
+               Bytes step, bool monotone,
+               const std::function<void(const std::vector<Bytes>&)>& visit) {
+  if (tier == stripes.size()) {
+    for (Bytes s : stripes) {
+      if (s > 0) {
+        visit(stripes);
+        return;
+      }
+    }
+    return;  // all-zero is not a layout
+  }
+  const Bytes lo = monotone && tier > 0 ? stripes[tier - 1] : 0;
+  // Candidate sizes for this tier: lo, then grid points up to R (a zero
+  // lower bound admits 0 itself, i.e. "skip this tier").
+  for (Bytes s = lo; s <= R; s = (s == 0 ? step : s + step)) {
+    stripes[tier] = s;
+    enumerate(stripes, tier + 1, R, step, monotone, visit);
+  }
+  stripes[tier] = 0;
+}
+
+}  // namespace
+
+Seconds tiered_region_cost(const TieredCostParams& params,
+                           std::span<const FileRequest> requests,
+                           std::span<const Bytes> stripes,
+                           std::size_t max_requests) {
+  const std::size_t stride = sample_stride(requests.size(), max_requests);
+  Seconds total = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i < requests.size(); i += stride) {
+    total += tiered_request_cost(params, requests[i].op, requests[i].offset,
+                                 requests[i].size, stripes);
+    ++scored;
+  }
+  if (scored == 0) return 0.0;
+  return total * static_cast<double>(requests.size()) /
+         static_cast<double>(scored);
+}
+
+TieredRegionStripes optimize_region_tiered(
+    const TieredCostParams& params, std::span<const FileRequest> requests,
+    double avg_request_size, const TieredOptimizerOptions& options) {
+  if (requests.empty()) {
+    throw std::invalid_argument("optimizer needs at least one request");
+  }
+  if (options.step == 0) throw std::invalid_argument("step must be > 0");
+  if (avg_request_size <= 0.0) {
+    throw std::invalid_argument("average request size must be positive");
+  }
+  std::size_t total_servers = 0;
+  for (const auto& t : params.tiers) total_servers += t.count;
+  if (total_servers == 0) {
+    throw std::invalid_argument("no servers in tiered params");
+  }
+
+  const Bytes step = options.step;
+  const Bytes R =
+      std::max(step, round_up(static_cast<Bytes>(avg_request_size), step));
+  const std::size_t k = params.tiers.size();
+
+  // Materialize the candidate list up front so scoring can be sharded.
+  std::vector<std::vector<Bytes>> candidates;
+  {
+    std::vector<Bytes> stripes(k, 0);
+    enumerate(stripes, 0, R, step, options.monotone,
+              [&candidates](const std::vector<Bytes>& s) {
+                candidates.push_back(s);
+              });
+  }
+  if (candidates.empty()) throw std::logic_error("no tiered candidates");
+
+  const std::size_t stride =
+      sample_stride(requests.size(), options.max_requests);
+  auto score = [&](const std::vector<Bytes>& stripes) {
+    Seconds total = 0.0;
+    std::size_t scored = 0;
+    for (std::size_t i = 0; i < requests.size(); i += stride) {
+      total += tiered_request_cost(params, requests[i].op, requests[i].offset,
+                                   requests[i].size, stripes);
+      ++scored;
+    }
+    return total * static_cast<double>(requests.size()) /
+           static_cast<double>(scored);
+  };
+
+  Candidate best;
+  if (options.pool != nullptr && candidates.size() > 1) {
+    const std::size_t shards =
+        std::min(options.pool->thread_count() * 4, candidates.size());
+    std::vector<Candidate> shard_best(shards);
+    options.pool->parallel_for(shards, [&](std::size_t shard) {
+      Candidate local;
+      for (std::size_t i = shard; i < candidates.size(); i += shards) {
+        Candidate c{score(candidates[i]), candidates[i]};
+        if (c.better_than(local)) local = c;
+      }
+      shard_best[shard] = local;
+    });
+    for (auto& c : shard_best) {
+      if (c.better_than(best)) best = std::move(c);
+    }
+  } else {
+    for (const auto& stripes : candidates) {
+      Candidate c{score(stripes), stripes};
+      if (c.better_than(best)) best = std::move(c);
+    }
+  }
+
+  TieredRegionStripes result;
+  result.stripes = std::move(best.stripes);
+  result.model_cost = best.cost;
+  result.candidates_evaluated = candidates.size();
+  return result;
+}
+
+}  // namespace harl::core

@@ -1,0 +1,52 @@
+// Generalized stripe-size determination for k storage tiers.
+//
+// Extends Algorithm 2 to clusters with more than two server performance
+// profiles (the paper's stated future work).  Candidates are per-tier
+// stripe vectors (s_0, ..., s_{k-1}) on the same 4 KiB-style grid, subject
+// to the monotonicity constraint s_0 <= s_1 <= ... <= s_{k-1} when tiers
+// are ordered slowest-first — the k-tier analogue of the paper's "s starts
+// from a size larger than h" load-balance rule.  Not all stripes may be
+// zero.  The per-candidate score is the summed tiered cost-model time of
+// the region's requests; ties prefer lexicographically larger vectors (see
+// stripe_optimizer.cpp for why larger equivalent stripes win).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/tiered_cost_model.hpp"
+
+namespace harl::core {
+
+struct TieredOptimizerOptions {
+  Bytes step = 4 * KiB;
+  std::size_t max_requests = 4096;  ///< request-sampling cap (0 = no cap)
+  ThreadPool* pool = nullptr;       ///< shard the first tier's axis
+  /// Require stripes to be non-decreasing across tiers (slowest-first
+  /// ordering).  Disable for clusters whose tier order is not by speed.
+  bool monotone = true;
+};
+
+struct TieredRegionStripes {
+  std::vector<Bytes> stripes;   ///< winning per-tier sizes
+  Seconds model_cost = 0.0;
+  std::size_t candidates_evaluated = 0;
+};
+
+/// Exhaustive grid search over per-tier stripes for one region.
+/// Requires at least one request, at least one tier with servers, and
+/// avg_request_size > 0.  Grid cost grows as (R/step)^k — use coarser
+/// steps for k >= 3 (candidates are reported for tuning).
+TieredRegionStripes optimize_region_tiered(
+    const TieredCostParams& params, std::span<const FileRequest> requests,
+    double avg_request_size, const TieredOptimizerOptions& options = {});
+
+/// Scores one candidate: summed tiered model cost over (sampled) requests.
+Seconds tiered_region_cost(const TieredCostParams& params,
+                           std::span<const FileRequest> requests,
+                           std::span<const Bytes> stripes,
+                           std::size_t max_requests = 0);
+
+}  // namespace harl::core

@@ -1,0 +1,176 @@
+#include "src/harness/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/middleware/mpi_world.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace harl::harness {
+
+WorkloadBundle ior_bundle(const workloads::IorConfig& config) {
+  WorkloadBundle bundle;
+  bundle.name = "ior.dat";
+  bundle.processes = config.processes;
+
+  workloads::IorConfig write_cfg = config;
+  write_cfg.op = IoOp::kWrite;
+  bundle.write_programs = workloads::make_ior_programs(write_cfg);
+
+  // The read pass re-reads the same offsets (same seed -> same stream).
+  workloads::IorConfig read_cfg = config;
+  read_cfg.op = IoOp::kRead;
+  bundle.read_programs = workloads::make_ior_programs(read_cfg);
+  return bundle;
+}
+
+WorkloadBundle multiregion_bundle(const workloads::MultiRegionConfig& config) {
+  WorkloadBundle bundle;
+  bundle.name = "multiregion.dat";
+  bundle.processes = config.processes;
+
+  workloads::MultiRegionConfig write_cfg = config;
+  write_cfg.op = IoOp::kWrite;
+  bundle.write_programs = workloads::make_multiregion_programs(write_cfg);
+
+  workloads::MultiRegionConfig read_cfg = config;
+  read_cfg.op = IoOp::kRead;
+  bundle.read_programs = workloads::make_multiregion_programs(read_cfg);
+  return bundle;
+}
+
+WorkloadBundle btio_bundle(const workloads::BtioConfig& config) {
+  WorkloadBundle bundle;
+  bundle.name = "btio.out";
+  bundle.processes = config.processes;
+  bundle.mixed_programs = workloads::make_btio_programs(config);
+  return bundle;
+}
+
+Experiment::Experiment(ExperimentOptions options)
+    : options_(std::move(options)) {}
+
+const core::CostParams& Experiment::cost_params() {
+  if (!cached_params_) {
+    cached_params_ = calibrate(options_.cluster, options_.calibration);
+  }
+  return *cached_params_;
+}
+
+std::vector<trace::TraceRecord> Experiment::collect_trace(
+    const WorkloadBundle& bundle) {
+  // Tracing Phase: first execution on the default fixed-stripe layout with
+  // the IOSIG-like collector attached.
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, options_.cluster);
+  mw::MpiWorld world(cluster, bundle.processes);
+  trace::TraceCollector collector;
+  auto layout = pfs::make_fixed_layout(cluster.num_servers(),
+                                       options_.tracing_stripe);
+  mw::ProgramRunner runner(world, bundle.name, layout, &collector,
+                           options_.collective);
+  if (!bundle.write_programs.empty()) runner.run(bundle.write_programs);
+  if (!bundle.read_programs.empty()) runner.run(bundle.read_programs);
+  if (!bundle.mixed_programs.empty()) runner.run(bundle.mixed_programs);
+  return collector.sorted_by_offset();
+}
+
+SchemeResult Experiment::run(const WorkloadBundle& bundle,
+                             const LayoutScheme& scheme) {
+  if (bundle.write_programs.empty() && bundle.read_programs.empty() &&
+      bundle.mixed_programs.empty()) {
+    throw std::invalid_argument("workload bundle has no programs");
+  }
+
+  std::vector<trace::TraceRecord> trace_records;
+  if (scheme.needs_analysis()) trace_records = collect_trace(bundle);
+
+  SchemeResult result;
+  result.label = scheme.label();
+  core::Plan plan;
+  auto layout =
+      build_layout(scheme, options_.cluster, trace_records, cost_params(),
+                   options_.planner, &plan);
+  result.layout_description = layout->describe();
+  if (scheme.needs_analysis()) {
+    result.region_count = plan.rst.size();
+    result.plan = std::move(plan);
+  }
+
+  // Measured run on a fresh cluster.
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, options_.cluster);
+  mw::MpiWorld world(cluster, bundle.processes);
+  mw::ProgramRunner runner(world, bundle.name, layout, nullptr,
+                           options_.collective);
+
+  auto run_phase = [&](const std::vector<mw::RankProgram>& programs,
+                       bool separate_rw) {
+    if (programs.empty()) return;
+    const mw::RunResult r = runner.run(programs);
+    if (separate_rw) {
+      if (r.bytes_written > 0 && r.bytes_read == 0) {
+        result.write.makespan += r.makespan;
+        result.write.bytes += r.bytes_written;
+      } else if (r.bytes_read > 0 && r.bytes_written == 0) {
+        result.read.makespan += r.makespan;
+        result.read.bytes += r.bytes_read;
+      } else {
+        // Mixed phase: attribute to both proportionally via totals only.
+        result.write.bytes += r.bytes_written;
+        result.read.bytes += r.bytes_read;
+      }
+    }
+    result.total.makespan += r.makespan;
+    result.total.bytes += r.bytes_read + r.bytes_written;
+  };
+
+  run_phase(bundle.write_programs, true);
+  run_phase(bundle.read_programs, true);
+  run_phase(bundle.mixed_programs, true);
+
+  result.server_io_time.reserve(cluster.num_servers());
+  for (std::size_t i = 0; i < cluster.num_servers(); ++i) {
+    result.server_io_time.push_back(cluster.server_io_time(i));
+  }
+  return result;
+}
+
+Experiment::ReplicatedResult Experiment::run_replicated(
+    const WorkloadBundle& bundle, const LayoutScheme& scheme,
+    std::size_t replicas) {
+  if (replicas == 0) throw std::invalid_argument("needs >= 1 replica");
+  ReplicatedResult out;
+  const ExperimentOptions saved = options_;
+  for (std::size_t i = 0; i < replicas; ++i) {
+    options_.cluster.seed = saved.cluster.seed + i;
+    options_.calibration.seed = saved.calibration.seed + i;
+    cached_params_.reset();  // recalibrate against this replica's devices
+    out.runs.push_back(run(bundle, scheme));
+  }
+  options_ = saved;
+  cached_params_.reset();
+
+  double sum = 0.0;
+  out.min_total = out.runs.front().total.throughput();
+  out.max_total = out.min_total;
+  for (const auto& r : out.runs) {
+    const double t = r.total.throughput();
+    sum += t;
+    out.min_total = std::min(out.min_total, t);
+    out.max_total = std::max(out.max_total, t);
+  }
+  out.mean_total = sum / static_cast<double>(replicas);
+  return out;
+}
+
+std::vector<SchemeResult> Experiment::run_all(
+    const WorkloadBundle& bundle, const std::vector<LayoutScheme>& schemes) {
+  std::vector<SchemeResult> results;
+  results.reserve(schemes.size());
+  for (const auto& scheme : schemes) results.push_back(run(bundle, scheme));
+  return results;
+}
+
+}  // namespace harl::harness

@@ -1,0 +1,111 @@
+// Experiment runner: (cluster config) x (workload) x (layout scheme)
+// -> simulated throughput and per-server statistics.
+//
+// This is the machinery every bench binary and example shares.  A run of an
+// analysis-based scheme reproduces the paper's full pipeline: a traced first
+// execution on the default fixed layout (Tracing Phase), offline analysis
+// with the calibrated cost model (Analysis Phase), then the measured run on
+// the optimized layout placed through the middleware (Placing Phase).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/planner.hpp"
+#include "src/harness/calibration.hpp"
+#include "src/harness/scheme.hpp"
+#include "src/middleware/program.hpp"
+#include "src/middleware/runner.hpp"
+#include "src/workloads/btio.hpp"
+#include "src/workloads/ior.hpp"
+#include "src/workloads/multiregion.hpp"
+
+namespace harl::harness {
+
+/// A workload packaged as its measured phases.
+struct WorkloadBundle {
+  std::string name = "file";
+  std::size_t processes = 16;
+  std::vector<mw::RankProgram> write_programs;  ///< phase 1 (optional)
+  std::vector<mw::RankProgram> read_programs;   ///< phase 2 (optional)
+  std::vector<mw::RankProgram> mixed_programs;  ///< single mixed run (BTIO)
+};
+
+/// IOR: a write pass and a read pass over the same offsets.
+WorkloadBundle ior_bundle(const workloads::IorConfig& config);
+
+/// Four-region non-uniform IOR variant: write pass + read pass.
+WorkloadBundle multiregion_bundle(const workloads::MultiRegionConfig& config);
+
+/// BTIO: one mixed run (interleaved compute, collective writes, read-back).
+WorkloadBundle btio_bundle(const workloads::BtioConfig& config);
+
+struct PhaseStats {
+  Seconds makespan = 0.0;
+  Bytes bytes = 0;
+
+  double throughput() const {
+    return makespan > 0.0 ? static_cast<double>(bytes) / makespan : 0.0;
+  }
+};
+
+struct SchemeResult {
+  std::string label;
+  std::string layout_description;
+  PhaseStats write;
+  PhaseStats read;
+  PhaseStats total;                     ///< all phases combined
+  std::vector<Seconds> server_io_time;  ///< per server, all phases (Fig. 1a)
+  std::size_t region_count = 1;
+  std::optional<core::Plan> plan;       ///< analysis-based schemes only
+};
+
+struct ExperimentOptions {
+  pfs::ClusterConfig cluster;
+  core::PlannerOptions planner;
+  CalibrationOptions calibration;
+  /// Layout of the traced first execution (OrangeFS default 64K).
+  Bytes tracing_stripe = 64 * KiB;
+  mw::CollectiveOptions collective;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentOptions options);
+
+  /// Runs one scheme against one workload (fresh simulated cluster per call;
+  /// results are independent and reproducible).
+  SchemeResult run(const WorkloadBundle& bundle, const LayoutScheme& scheme);
+
+  /// Convenience: run several schemes against the same workload.
+  std::vector<SchemeResult> run_all(const WorkloadBundle& bundle,
+                                    const std::vector<LayoutScheme>& schemes);
+
+  /// Seed replication: reruns the scheme under `replicas` different device
+  /// RNG seeds (the only stochastic input) and reports the spread.  The
+  /// planner runs per replica against that replica's calibration, as a real
+  /// deployment would.
+  struct ReplicatedResult {
+    std::vector<SchemeResult> runs;
+    double mean_total = 0.0;  ///< bytes/s
+    double min_total = 0.0;
+    double max_total = 0.0;
+  };
+  ReplicatedResult run_replicated(const WorkloadBundle& bundle,
+                                  const LayoutScheme& scheme,
+                                  std::size_t replicas);
+
+  /// The calibrated cost-model parameters (lazily computed, cached).
+  const core::CostParams& cost_params();
+
+  const ExperimentOptions& options() const { return options_; }
+
+ private:
+  std::vector<trace::TraceRecord> collect_trace(const WorkloadBundle& bundle);
+
+  ExperimentOptions options_;
+  std::optional<core::CostParams> cached_params_;
+};
+
+}  // namespace harl::harness

@@ -1,0 +1,131 @@
+#include "src/harness/scheme.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace harl::harness {
+
+LayoutScheme LayoutScheme::fixed(Bytes stripe) {
+  if (stripe == 0) throw std::invalid_argument("fixed stripe must be nonzero");
+  LayoutScheme s;
+  s.kind = SchemeKind::kFixed;
+  s.fixed_stripe = stripe;
+  return s;
+}
+
+LayoutScheme LayoutScheme::random_stripes(std::uint64_t seed) {
+  LayoutScheme s;
+  s.kind = SchemeKind::kRandomStripes;
+  s.random_seed = seed;
+  return s;
+}
+
+LayoutScheme LayoutScheme::harl() {
+  LayoutScheme s;
+  s.kind = SchemeKind::kHarl;
+  return s;
+}
+
+LayoutScheme LayoutScheme::file_level_harl() {
+  LayoutScheme s;
+  s.kind = SchemeKind::kFileLevelHarl;
+  return s;
+}
+
+LayoutScheme LayoutScheme::segment_level() {
+  LayoutScheme s;
+  s.kind = SchemeKind::kSegmentLevel;
+  return s;
+}
+
+LayoutScheme LayoutScheme::carl(Bytes ssd_capacity) {
+  LayoutScheme s;
+  s.kind = SchemeKind::kCarl;
+  s.carl_ssd_capacity = ssd_capacity;
+  return s;
+}
+
+LayoutScheme LayoutScheme::harl_space_bounded(double max_sserver_share) {
+  LayoutScheme s;
+  s.kind = SchemeKind::kHarlSpaceBounded;
+  s.max_sserver_share = max_sserver_share;
+  return s;
+}
+
+std::string LayoutScheme::label() const {
+  switch (kind) {
+    case SchemeKind::kFixed: return format_size(fixed_stripe);
+    case SchemeKind::kRandomStripes: return "rand" + std::to_string(random_seed);
+    case SchemeKind::kHarl: return "HARL";
+    case SchemeKind::kFileLevelHarl: return "HARL-file";
+    case SchemeKind::kSegmentLevel: return "segment";
+    case SchemeKind::kCarl: return "CARL";
+    case SchemeKind::kHarlSpaceBounded: {
+      std::ostringstream os;
+      os << "HARL<=" << static_cast<int>(max_sserver_share * 100.0) << "%ssd";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+std::shared_ptr<const pfs::Layout> build_layout(
+    const LayoutScheme& scheme, const pfs::ClusterConfig& cluster,
+    std::span<const trace::TraceRecord> trace_records,
+    const core::CostParams& params,
+    const core::PlannerOptions& planner_options, core::Plan* plan_out) {
+  const std::size_t M = cluster.num_hservers;
+  const std::size_t N = cluster.num_sservers;
+
+  switch (scheme.kind) {
+    case SchemeKind::kFixed:
+      return pfs::make_fixed_layout(M + N, scheme.fixed_stripe);
+
+    case SchemeKind::kRandomStripes: {
+      // Independent random power-of-two stripe per server in [16K, 2M],
+      // the paper's "randomly varied stripe sizes" strategy.
+      Rng rng(scheme.random_seed * 0x9E3779B97F4A7C15ULL + 1);
+      std::vector<Bytes> stripes(M + N);
+      for (auto& st : stripes) {
+        st = (16 * KiB) << rng.uniform_u64(0, 7);  // 16K..2M
+      }
+      return std::make_shared<pfs::VariedStripeLayout>(std::move(stripes));
+    }
+
+    case SchemeKind::kHarl:
+    case SchemeKind::kFileLevelHarl:
+    case SchemeKind::kSegmentLevel:
+    case SchemeKind::kCarl:
+    case SchemeKind::kHarlSpaceBounded: {
+      if (trace_records.empty()) {
+        throw std::invalid_argument(
+            "analysis-based scheme requires a first-execution trace");
+      }
+      core::Plan plan;
+      if (scheme.kind == SchemeKind::kHarl) {
+        plan = core::analyze(trace_records, params, planner_options);
+      } else if (scheme.kind == SchemeKind::kHarlSpaceBounded) {
+        core::PlannerOptions bounded = planner_options;
+        bounded.optimizer.max_sserver_share = scheme.max_sserver_share;
+        plan = core::analyze(trace_records, params, bounded);
+      } else if (scheme.kind == SchemeKind::kFileLevelHarl) {
+        plan = core::analyze_file_level(trace_records, params, planner_options);
+      } else if (scheme.kind == SchemeKind::kCarl) {
+        plan = core::analyze_carl(trace_records, params,
+                                  scheme.carl_ssd_capacity, planner_options);
+      } else {
+        plan = core::analyze_segment_level(trace_records, params,
+                                           planner_options);
+      }
+      auto layout = plan.rst.to_layout(M, N);
+      if (plan_out != nullptr) *plan_out = std::move(plan);
+      return layout;
+    }
+  }
+  throw std::logic_error("unknown scheme kind");
+}
+
+}  // namespace harl::harness

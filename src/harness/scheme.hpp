@@ -1,0 +1,75 @@
+// Layout schemes compared in the paper's evaluation.
+//
+//  * fixed   — one stripe size for every server and the whole file
+//              (the conventional layout; 64K is the OrangeFS default)
+//  * random  — per-server stripe sizes drawn at random (the paper's
+//              "randomly-chosen stripe" strategy)
+//  * HARL    — trace -> Algorithm 1 regions -> Algorithm 2 stripes -> RST
+//  * HARL-file    — ablation: heterogeneity-aware stripes, single region
+//  * segment-level — ablation: Algorithm 1 regions, homogeneous stripes
+//                    (the segment-level scheme the paper cites as [10])
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/core/planner.hpp"
+#include "src/pfs/cluster.hpp"
+#include "src/pfs/layout.hpp"
+#include "src/trace/record.hpp"
+
+namespace harl::harness {
+
+enum class SchemeKind {
+  kFixed,
+  kRandomStripes,
+  kHarl,
+  kFileLevelHarl,
+  kSegmentLevel,
+  kCarl,
+  kHarlSpaceBounded,
+};
+
+struct LayoutScheme {
+  SchemeKind kind = SchemeKind::kFixed;
+  Bytes fixed_stripe = 64 * KiB;   ///< kFixed only
+  std::uint64_t random_seed = 1;   ///< kRandomStripes only
+  Bytes carl_ssd_capacity = 0;     ///< kCarl only
+  double max_sserver_share = 1.0;  ///< kHarlSpaceBounded only
+
+  static LayoutScheme fixed(Bytes stripe);
+  static LayoutScheme random_stripes(std::uint64_t seed);
+  static LayoutScheme harl();
+  static LayoutScheme file_level_harl();
+  static LayoutScheme segment_level();
+  /// CARL baseline (paper reference [31]): each region entirely on one tier,
+  /// hottest regions moved to SServers under `ssd_capacity`.
+  static LayoutScheme carl(Bytes ssd_capacity);
+  /// PSA-style space-bounded HARL ([33] / the paper's Discussion): full
+  /// region-level optimization with each region's SServer byte share capped.
+  static LayoutScheme harl_space_bounded(double max_sserver_share);
+
+  /// Figure-legend style label: "64K", "rand1", "HARL", ...
+  std::string label() const;
+
+  /// True for the schemes that require a trace + Analysis Phase.
+  bool needs_analysis() const {
+    return kind == SchemeKind::kHarl || kind == SchemeKind::kFileLevelHarl ||
+           kind == SchemeKind::kSegmentLevel || kind == SchemeKind::kCarl ||
+           kind == SchemeKind::kHarlSpaceBounded;
+  }
+};
+
+/// Materializes a scheme into a concrete layout for `cluster`.  For
+/// analysis-based schemes, `trace` (the first-execution trace) and `params`
+/// (calibrated model) drive the planner; `plan_out` (optional) receives the
+/// plan for diagnostics.
+std::shared_ptr<const pfs::Layout> build_layout(
+    const LayoutScheme& scheme, const pfs::ClusterConfig& cluster,
+    std::span<const trace::TraceRecord> trace_records,
+    const core::CostParams& params, const core::PlannerOptions& planner_options,
+    core::Plan* plan_out = nullptr);
+
+}  // namespace harl::harness

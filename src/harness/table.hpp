@@ -1,0 +1,33 @@
+// Plain-text table/series printing for bench binaries and examples.
+//
+// Every figure-reproduction bench prints the same rows/series the paper
+// plots; this keeps the formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace harl::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Right-pads each column to its widest cell, separated by two spaces.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision numeric formatting helpers for table cells.
+std::string cell(double value, int precision = 1);
+std::string cell_ratio(double value, double baseline);  ///< "+73.4%" style
+
+}  // namespace harl::harness

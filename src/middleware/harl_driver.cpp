@@ -1,0 +1,72 @@
+#include "src/middleware/harl_driver.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace harl::mw {
+
+namespace {
+
+std::string rst_path(const std::string& dir, const std::string& name) {
+  return dir + "/" + name + ".rst";
+}
+std::string r2f_path(const std::string& dir, const std::string& name) {
+  return dir + "/" + name + ".r2f";
+}
+
+}  // namespace
+
+void HarlDriver::save(const std::string& directory,
+                      const std::string& logical_name, const core::Plan& plan) {
+  {
+    std::ofstream os(rst_path(directory, logical_name));
+    if (!os) throw std::runtime_error("cannot write RST for " + logical_name);
+    plan.rst.save(os);
+  }
+  {
+    std::ofstream os(r2f_path(directory, logical_name));
+    if (!os) throw std::runtime_error("cannot write R2F for " + logical_name);
+    RegionFileMap::for_file(logical_name, plan.rst.size()).save(os);
+  }
+}
+
+core::RegionStripeTable HarlDriver::load_rst(const std::string& directory,
+                                             const std::string& logical_name) {
+  std::ifstream is(rst_path(directory, logical_name));
+  if (!is) throw std::runtime_error("cannot read RST for " + logical_name);
+  return core::RegionStripeTable::load(is);
+}
+
+RegionFileMap HarlDriver::load_r2f(const std::string& directory,
+                                   const std::string& logical_name) {
+  std::ifstream is(r2f_path(directory, logical_name));
+  if (!is) throw std::runtime_error("cannot read R2F for " + logical_name);
+  return RegionFileMap::load(is);
+}
+
+std::shared_ptr<pfs::RegionLayout> HarlDriver::install(
+    const core::RegionStripeTable& rst, const std::string& logical_name,
+    pfs::Cluster& cluster) {
+  auto layout =
+      rst.to_layout(cluster.num_hservers(), cluster.num_sservers());
+  cluster.mds().register_file(logical_name, layout);
+  // Each region is its own physical file (R2F); register those names too so
+  // per-region opens resolve, striped with that region's stripe pair alone.
+  const auto r2f = RegionFileMap::for_file(logical_name, rst.size());
+  for (std::size_t i = 0; i < rst.size(); ++i) {
+    const auto& entry = rst.entry(i);
+    cluster.mds().register_file(
+        r2f.physical(i),
+        pfs::make_two_tier_layout(cluster.num_hservers(), entry.stripes.h,
+                                  cluster.num_sservers(), entry.stripes.s));
+  }
+  return layout;
+}
+
+std::shared_ptr<pfs::RegionLayout> HarlDriver::load_and_install(
+    const std::string& directory, const std::string& logical_name,
+    pfs::Cluster& cluster) {
+  return install(load_rst(directory, logical_name), logical_name, cluster);
+}
+
+}  // namespace harl::mw

@@ -1,0 +1,48 @@
+// The HARL middleware driver (paper Section III-G).
+//
+// In the paper, RST and R2F are stored in the application's directory,
+// loaded when MPI_Init() runs and unloaded at MPI_Finalize(); the MPI-IO
+// read/write paths then forward requests to the per-region physical files.
+// This driver is that glue: it persists a Plan's RST + R2F next to the
+// application, and at "init time" rebuilds the region layout and registers
+// it (and the per-region physical file names) with the cluster's MDS.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/core/planner.hpp"
+#include "src/middleware/r2f.hpp"
+#include "src/pfs/cluster.hpp"
+#include "src/pfs/region_layout.hpp"
+
+namespace harl::mw {
+
+class HarlDriver {
+ public:
+  /// Persists `plan`'s RST and the derived R2F as
+  /// `<directory>/<logical_name>.rst` / `.r2f`.
+  static void save(const std::string& directory,
+                   const std::string& logical_name, const core::Plan& plan);
+
+  /// Loads previously-saved RST/R2F artifacts.
+  static core::RegionStripeTable load_rst(const std::string& directory,
+                                          const std::string& logical_name);
+  static RegionFileMap load_r2f(const std::string& directory,
+                                const std::string& logical_name);
+
+  /// MPI_Init-time installation: builds the region layout from `rst` over
+  /// the cluster's server split and registers the logical file (plus each
+  /// physical region file) at the MDS.  Returns the layout for use by a
+  /// ProgramRunner.
+  static std::shared_ptr<pfs::RegionLayout> install(
+      const core::RegionStripeTable& rst, const std::string& logical_name,
+      pfs::Cluster& cluster);
+
+  /// load_rst + install in one step.
+  static std::shared_ptr<pfs::RegionLayout> load_and_install(
+      const std::string& directory, const std::string& logical_name,
+      pfs::Cluster& cluster);
+};
+
+}  // namespace harl::mw

@@ -1,0 +1,20 @@
+#include "src/middleware/mpi_world.hpp"
+
+#include <stdexcept>
+
+namespace harl::mw {
+
+MpiWorld::MpiWorld(pfs::Cluster& cluster, std::size_t nranks)
+    : cluster_(cluster), nranks_(nranks) {
+  if (nranks == 0) throw std::invalid_argument("MPI world needs >= 1 rank");
+}
+
+std::size_t MpiWorld::node_of(std::size_t rank) const {
+  return rank % cluster_.num_clients();
+}
+
+pfs::Client& MpiWorld::client_of(std::size_t rank) {
+  return cluster_.client(node_of(rank));
+}
+
+}  // namespace harl::mw

@@ -1,0 +1,35 @@
+// A simulated MPI world: ranks pinned to compute nodes.
+//
+// The paper runs MPI programs (IOR, BTIO) whose processes are spread over
+// the cluster's compute nodes; each rank issues I/O through the PFS client
+// of its node.  Ranks are assigned round-robin over nodes (16 processes on
+// 8 nodes -> 2 per node), which is what makes the per-node NIC a shared,
+// contended resource in the simulation.
+#pragma once
+
+#include <cstddef>
+
+#include "src/pfs/cluster.hpp"
+
+namespace harl::mw {
+
+class MpiWorld {
+ public:
+  /// `nranks` processes over the cluster's compute nodes.
+  MpiWorld(pfs::Cluster& cluster, std::size_t nranks);
+
+  std::size_t size() const { return nranks_; }
+  pfs::Cluster& cluster() { return cluster_; }
+
+  /// Compute node hosting `rank` (round-robin assignment).
+  std::size_t node_of(std::size_t rank) const;
+
+  /// The PFS client (per-node) that `rank` issues I/O through.
+  pfs::Client& client_of(std::size_t rank);
+
+ private:
+  pfs::Cluster& cluster_;
+  std::size_t nranks_;
+};
+
+}  // namespace harl::mw

@@ -1,0 +1,461 @@
+#include "src/middleware/runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/interval.hpp"
+#include "src/sim/resource.hpp"
+
+namespace harl::mw {
+
+namespace {
+
+/// Mutable execution state shared by all in-flight callbacks of one run().
+/// run() is synchronous (it drains the simulator before returning), so the
+/// raw references outlive every event.
+struct RunState {
+  MpiWorld& world;
+  const std::vector<RankProgram>& programs;
+  const pfs::Layout& layout;
+  trace::TraceCollector* collector;
+  std::size_t num_aggregators;
+  Bytes cb_buffer_size;
+  bool per_request_metadata;
+  NoncontigStrategy noncontig;
+  double sieve_min_density;
+  std::string file_name;
+
+  std::vector<std::size_t> pc;        // per-rank program counter
+  std::vector<std::size_t> sync_seq;  // per-rank sync points passed
+
+  struct SyncPoint {
+    std::size_t arrived = 0;
+    std::vector<const IoAction*> actions;  // indexed by rank
+  };
+  std::map<std::size_t, SyncPoint> syncs;
+
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+
+  RunState(MpiWorld& w, const std::vector<RankProgram>& p,
+           const pfs::Layout& l, trace::TraceCollector* c,
+           const RunnerOptions& opts, std::string name)
+      : world(w),
+        programs(p),
+        layout(l),
+        collector(c),
+        num_aggregators(opts.collective.aggregators),
+        cb_buffer_size(opts.collective.buffer_size),
+        per_request_metadata(opts.per_request_metadata),
+        noncontig(opts.noncontig),
+        sieve_min_density(opts.sieve_min_density),
+        file_name(std::move(name)),
+        pc(p.size(), 0),
+        sync_seq(p.size(), 0) {}
+
+  sim::Simulator& sim() { return world.cluster().simulator(); }
+
+  void account(IoOp op, Bytes size) {
+    (op == IoOp::kRead ? bytes_read : bytes_written) += size;
+  }
+
+  void trace_request(std::uint32_t rank, IoOp op, Bytes offset, Bytes size,
+                     Seconds t_start) {
+    if (collector != nullptr) {
+      collector->record(rank, /*fd=*/0, op, offset, size, t_start, sim().now());
+    }
+  }
+};
+
+void step(const std::shared_ptr<RunState>& st, std::size_t rank);
+
+void advance(const std::shared_ptr<RunState>& st, std::size_t rank) {
+  ++st->pc[rank];
+  step(st, rank);
+}
+
+/// Naive non-contiguous path: one PFS request per extent, strictly in
+/// sequence (the unoptimized POSIX loop).
+void issue_list_naive(const std::shared_ptr<RunState>& st, std::size_t rank,
+                      IoOp op, std::shared_ptr<std::vector<Extent>> extents,
+                      std::size_t index) {
+  if (index == extents->size()) {
+    advance(st, rank);
+    return;
+  }
+  const Extent e = (*extents)[index];
+  const Seconds t0 = st->sim().now();
+  st->world.client_of(rank).io(
+      st->layout, op, e.offset, e.size,
+      [st, rank, op, e, t0, extents, index] {
+        st->trace_request(static_cast<std::uint32_t>(rank), op, e.offset,
+                          e.size, t0);
+        issue_list_naive(st, rank, op, extents, index + 1);
+      });
+}
+
+/// List I/O path: the extent list travels as one request and its pieces are
+/// serviced concurrently; the operation completes when the last piece does.
+void issue_list_io(const std::shared_ptr<RunState>& st, std::size_t rank,
+                   IoOp op, const std::vector<Extent>& extents) {
+  auto join = std::make_shared<sim::JoinCounter>(
+      extents.size(), [st, rank] { advance(st, rank); });
+  for (const Extent& e : extents) {
+    const Seconds t0 = st->sim().now();
+    st->world.client_of(rank).io(
+        st->layout, op, e.offset, e.size, [st, rank, op, e, t0, join] {
+          st->trace_request(static_cast<std::uint32_t>(rank), op, e.offset,
+                            e.size, t0);
+          join->done();
+        });
+  }
+}
+
+/// Dispatches a kListIo action per the configured strategy.  Data sieving
+/// trades extra transferred bytes (the holes, and a read-modify-write cycle
+/// for writes) against issuing one large contiguous request.
+void issue_noncontig(const std::shared_ptr<RunState>& st, std::size_t rank,
+                     const IoAction& action) {
+  const IoOp op = action.op;
+  Bytes useful = 0;
+  Bytes lo = ~static_cast<Bytes>(0);
+  Bytes hi = 0;
+  for (const Extent& e : action.extents) {
+    useful += e.size;
+    lo = std::min(lo, e.offset);
+    hi = std::max(hi, e.offset + e.size);
+  }
+  st->account(op, useful);
+  if (useful == 0) {
+    st->sim().schedule_after(0.0, [st, rank] { advance(st, rank); });
+    return;
+  }
+
+  const double density =
+      static_cast<double>(useful) / static_cast<double>(hi - lo);
+  const bool sieve = st->noncontig == NoncontigStrategy::kDataSieving &&
+                     density >= st->sieve_min_density &&
+                     action.extents.size() > 1;
+  if (sieve) {
+    const Bytes cover = hi - lo;
+    const Seconds t0 = st->sim().now();
+    if (op == IoOp::kRead) {
+      st->world.client_of(rank).io(st->layout, IoOp::kRead, lo, cover,
+                                   [st, rank, lo, cover, t0] {
+                                     st->trace_request(
+                                         static_cast<std::uint32_t>(rank),
+                                         IoOp::kRead, lo, cover, t0);
+                                     advance(st, rank);
+                                   });
+    } else {
+      // Read-modify-write: fetch the covering extent, then write it back.
+      st->world.client_of(rank).io(
+          st->layout, IoOp::kRead, lo, cover, [st, rank, lo, cover, t0] {
+            st->trace_request(static_cast<std::uint32_t>(rank), IoOp::kRead,
+                              lo, cover, t0);
+            const Seconds t1 = st->sim().now();
+            st->world.client_of(rank).io(
+                st->layout, IoOp::kWrite, lo, cover, [st, rank, lo, cover, t1] {
+                  st->trace_request(static_cast<std::uint32_t>(rank),
+                                    IoOp::kWrite, lo, cover, t1);
+                  advance(st, rank);
+                });
+          });
+    }
+    return;
+  }
+
+  if (st->noncontig == NoncontigStrategy::kNaive) {
+    auto extents = std::make_shared<std::vector<Extent>>(action.extents);
+    issue_list_naive(st, rank, op, std::move(extents), 0);
+  } else {
+    issue_list_io(st, rank, op, action.extents);
+  }
+}
+
+/// Issues one aggregator's contiguous range as sequential rounds of at most
+/// cb_buffer_size bytes (ROMIO collective buffering), tracing each round.
+void issue_aggregator_rounds(const std::shared_ptr<RunState>& st,
+                             std::size_t agg_rank, IoOp op, Bytes offset,
+                             Bytes remaining,
+                             const std::shared_ptr<sim::JoinCounter>& join) {
+  const Bytes take = st->cb_buffer_size == 0
+                         ? remaining
+                         : std::min(remaining, st->cb_buffer_size);
+  const Seconds t0 = st->sim().now();
+  st->world.client_of(agg_rank)
+      .io(st->layout, op, offset, take,
+          [st, agg_rank, op, offset, take, remaining, join, t0] {
+            st->trace_request(static_cast<std::uint32_t>(agg_rank), op, offset,
+                              take, t0);
+            if (remaining > take) {
+              issue_aggregator_rounds(st, agg_rank, op, offset + take,
+                                      remaining - take, join);
+            } else {
+              join->done();
+            }
+          });
+}
+
+/// Two-phase collective I/O over the actions gathered at one sync point.
+void run_collective(const std::shared_ptr<RunState>& st,
+                    const std::vector<const IoAction*>& actions) {
+  const std::size_t nranks = st->programs.size();
+  const IoOp op = actions.front()->op;
+  for (const auto* a : actions) {
+    if (a->op != op) {
+      throw std::logic_error("collective ops disagree on read/write");
+    }
+  }
+
+  // Aggregate file range across all ranks.
+  Bytes lo = ~static_cast<Bytes>(0);
+  Bytes hi = 0;
+  Bytes app_bytes = 0;
+  for (const auto* a : actions) {
+    for (const auto& e : a->extents) {
+      if (e.size == 0) continue;
+      lo = std::min(lo, e.offset);
+      hi = std::max(hi, e.offset + e.size);
+      app_bytes += e.size;
+    }
+  }
+  auto release_all = [st] {
+    for (std::size_t r = 0; r < st->programs.size(); ++r) advance(st, r);
+  };
+  if (app_bytes == 0) {
+    st->sim().schedule_after(0.0, release_all);
+    return;
+  }
+  st->account(op, app_bytes);
+
+  // One aggregator per compute node (ranks 0..A-1 land on distinct nodes
+  // under round-robin placement), unless configured otherwise.
+  const std::size_t A =
+      std::min(st->num_aggregators != 0 ? st->num_aggregators
+                                        : st->world.cluster().num_clients(),
+               nranks);
+  const Bytes span = hi - lo;
+  const Bytes base = span / A;
+  const Bytes rem = span % A;
+  struct AggRange {
+    std::size_t rank;
+    Bytes offset;
+    Bytes size;
+  };
+  std::vector<AggRange> ranges;
+  Bytes cursor = lo;
+  for (std::size_t a = 0; a < A; ++a) {
+    const Bytes size = base + (a < rem ? 1 : 0);
+    if (size > 0) ranges.push_back(AggRange{a, cursor, size});
+    cursor += size;
+  }
+
+  // Shuffle volumes: bytes rank r contributes to / receives from each
+  // aggregator range.
+  std::vector<std::vector<Bytes>> volume(nranks,
+                                         std::vector<Bytes>(ranges.size(), 0));
+  for (std::size_t r = 0; r < nranks; ++r) {
+    for (const auto& e : actions[r]->extents) {
+      const ByteInterval ext = interval_of(e.offset, e.size);
+      for (std::size_t a = 0; a < ranges.size(); ++a) {
+        volume[r][a] +=
+            intersect(ext, interval_of(ranges[a].offset, ranges[a].size))
+                .length();
+      }
+    }
+  }
+
+  auto& network = st->world.cluster().network();
+
+  auto do_phase2 = [st, ranges, op, release_all] {
+    auto join = std::make_shared<sim::JoinCounter>(ranges.size(), release_all);
+    for (const auto& range : ranges) {
+      issue_aggregator_rounds(st, range.rank, op, range.offset, range.size,
+                              join);
+    }
+  };
+
+  auto do_shuffle = [st, volume, ranges, &network](std::function<void()> next) {
+    std::size_t transfers = 0;
+    for (std::size_t r = 0; r < volume.size(); ++r) {
+      for (std::size_t a = 0; a < ranges.size(); ++a) {
+        if (volume[r][a] > 0 &&
+            st->world.node_of(r) != st->world.node_of(ranges[a].rank)) {
+          ++transfers;
+        }
+      }
+    }
+    if (transfers == 0) {
+      st->sim().schedule_after(0.0, std::move(next));
+      return;
+    }
+    auto join = std::make_shared<sim::JoinCounter>(transfers, std::move(next));
+    for (std::size_t r = 0; r < volume.size(); ++r) {
+      for (std::size_t a = 0; a < ranges.size(); ++a) {
+        if (volume[r][a] == 0) continue;
+        const std::size_t src = st->world.node_of(r);
+        const std::size_t dst = st->world.node_of(ranges[a].rank);
+        if (src == dst) continue;
+        network.client_transfer(src, dst, volume[r][a],
+                                [join] { join->done(); });
+      }
+    }
+  };
+
+  if (op == IoOp::kWrite) {
+    // Exchange data to aggregators, then aggregated writes.
+    do_shuffle(do_phase2);
+  } else {
+    // Aggregated reads, then scatter to ranks.  Reuse the shuffle volumes
+    // (direction reverses but the byte counts are identical).
+    auto join = std::make_shared<sim::JoinCounter>(
+        ranges.size(), [do_shuffle, release_all] { do_shuffle(release_all); });
+    for (const auto& range : ranges) {
+      issue_aggregator_rounds(st, range.rank, op, range.offset, range.size,
+                              join);
+    }
+  }
+}
+
+void resolve_sync(const std::shared_ptr<RunState>& st, std::size_t seq) {
+  auto node = st->syncs.extract(seq);
+  const auto& actions = node.mapped().actions;
+
+  const bool any_collective =
+      std::any_of(actions.begin(), actions.end(), [](const IoAction* a) {
+        return a->kind == IoAction::Kind::kCollectiveIo;
+      });
+  if (!any_collective) {
+    // Pure barrier: release everyone on the next event-loop turn.
+    st->sim().schedule_after(0.0, [st] {
+      for (std::size_t r = 0; r < st->programs.size(); ++r) advance(st, r);
+    });
+    return;
+  }
+  for (const auto* a : actions) {
+    if (a->kind != IoAction::Kind::kCollectiveIo) {
+      throw std::logic_error("sync point mixes barrier and collective I/O");
+    }
+  }
+  run_collective(st, actions);
+}
+
+void step(const std::shared_ptr<RunState>& st, std::size_t rank) {
+  const RankProgram& prog = st->programs[rank];
+  if (st->pc[rank] >= prog.size()) return;  // rank finished
+  const IoAction& action = prog[st->pc[rank]];
+
+  switch (action.kind) {
+    case IoAction::Kind::kCompute:
+      st->sim().schedule_after(action.compute, [st, rank] { advance(st, rank); });
+      return;
+
+    case IoAction::Kind::kIo: {
+      const Extent e = action.extents.at(0);
+      const IoOp op = action.op;
+      st->account(op, e.size);
+      const Seconds t0 = st->sim().now();
+      auto issue = [st, rank, op, e, t0] {
+        st->world.client_of(rank).io(
+            st->layout, op, e.offset, e.size, [st, rank, op, e, t0] {
+              st->trace_request(static_cast<std::uint32_t>(rank), op, e.offset,
+                                e.size, t0);
+              advance(st, rank);
+            });
+      };
+      if (st->per_request_metadata) {
+        // Placement resolution: the MDS consults the RST for this request.
+        st->world.cluster().mds().placement_lookup(
+            st->file_name,
+            [issue = std::move(issue)](std::shared_ptr<const pfs::Layout>) {
+              issue();
+            });
+      } else {
+        issue();
+      }
+      return;
+    }
+
+    case IoAction::Kind::kListIo: {
+      if (st->per_request_metadata) {
+        st->world.cluster().mds().placement_lookup(
+            st->file_name,
+            [st, rank, &action](std::shared_ptr<const pfs::Layout>) {
+              issue_noncontig(st, rank, action);
+            });
+      } else {
+        issue_noncontig(st, rank, action);
+      }
+      return;
+    }
+
+    case IoAction::Kind::kBarrier:
+    case IoAction::Kind::kCollectiveIo: {
+      const std::size_t seq = st->sync_seq[rank]++;
+      auto& sp = st->syncs[seq];
+      if (sp.actions.empty()) sp.actions.resize(st->programs.size(), nullptr);
+      sp.actions[rank] = &action;
+      if (++sp.arrived == st->programs.size()) resolve_sync(st, seq);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ProgramRunner::ProgramRunner(MpiWorld& world, std::string file_name,
+                             std::shared_ptr<const pfs::Layout> layout,
+                             trace::TraceCollector* collector,
+                             RunnerOptions options)
+    : world_(world),
+      file_name_(std::move(file_name)),
+      layout_(std::move(layout)),
+      collector_(collector),
+      options_(options) {
+  if (!layout_) throw std::invalid_argument("runner needs a layout");
+  world_.cluster().mds().register_file(file_name_, layout_);
+}
+
+RunResult ProgramRunner::run(const std::vector<RankProgram>& programs) {
+  if (programs.size() != world_.size()) {
+    throw std::invalid_argument("one program per rank required");
+  }
+  auto& sim = world_.cluster().simulator();
+  const Seconds start = sim.now();
+
+  auto st = std::make_shared<RunState>(world_, programs, *layout_, collector_,
+                                       options_, file_name_);
+
+  // MPI_File_open: every compute node resolves the file at the MDS once,
+  // then all ranks start.
+  const std::size_t nodes = world_.cluster().num_clients();
+  auto open_join = std::make_shared<sim::JoinCounter>(nodes, [st] {
+    for (std::size_t r = 0; r < st->programs.size(); ++r) step(st, r);
+  });
+  for (std::size_t nodeidx = 0; nodeidx < nodes; ++nodeidx) {
+    world_.cluster().mds().lookup(
+        file_name_, [open_join](std::shared_ptr<const pfs::Layout>) {
+          open_join->done();
+        });
+  }
+  sim.run();
+
+  // The advance past the final action leaves pc == size for every rank.
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    if (st->pc[r] < programs[r].size()) {
+      throw std::logic_error("rank deadlocked: mismatched sync points?");
+    }
+  }
+
+  RunResult result;
+  result.makespan = sim.now() - start;
+  result.bytes_read = st->bytes_read;
+  result.bytes_written = st->bytes_written;
+  return result;
+}
+
+}  // namespace harl::mw

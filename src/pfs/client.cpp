@@ -1,0 +1,61 @@
+#include "src/pfs/client.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace harl::pfs {
+
+Client::Client(sim::Simulator& sim, net::Network& network,
+               std::vector<DataServer*> servers, std::size_t id)
+    : sim_(sim), network_(network), servers_(std::move(servers)), id_(id) {
+  if (servers_.empty()) throw std::invalid_argument("client needs servers");
+}
+
+void Client::io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
+                std::function<void()> on_complete) {
+  ++requests_issued_;
+  if (size == 0) {
+    sim_.schedule_after(0.0, std::move(on_complete));
+    return;
+  }
+  auto subs = layout.map(offset, size);
+  if (subs.empty()) throw std::logic_error("layout mapped request to nothing");
+  auto join =
+      std::make_shared<sim::JoinCounter>(subs.size(), std::move(on_complete));
+  for (const auto& sub : subs) {
+    if (sub.server >= servers_.size()) {
+      throw std::out_of_range("layout references unknown server");
+    }
+    if (op == IoOp::kRead) {
+      issue_read(sub, join);
+    } else {
+      issue_write(op, sub, join);
+    }
+  }
+}
+
+void Client::issue_read(const SubRequest& sub,
+                        const std::shared_ptr<sim::JoinCounter>& join) {
+  DataServer& server = *servers_[sub.server];
+  const std::size_t server_idx = sub.server;
+  const Bytes bytes = sub.size;
+  server.submit(IoOp::kRead, sub.object, sub.server_offset, bytes, sub.pieces,
+                [this, server_idx, bytes, join] {
+                  network_.transfer(id_, server_idx, bytes,
+                                    net::Direction::kServerToClient,
+                                    [join] { join->done(); });
+                });
+}
+
+void Client::issue_write(IoOp op, const SubRequest& sub,
+                         const std::shared_ptr<sim::JoinCounter>& join) {
+  DataServer* server = servers_[sub.server];
+  network_.transfer(id_, sub.server, sub.size, net::Direction::kClientToServer,
+                    [op, server, sub, join] {
+                      server->submit(op, sub.object, sub.server_offset,
+                                     sub.size, sub.pieces,
+                                     [join] { join->done(); });
+                    });
+}
+
+}  // namespace harl::pfs

@@ -1,0 +1,53 @@
+// PFS client: issues file requests on behalf of application processes.
+//
+// A client splits a request via the file's layout into per-server
+// sub-requests, then drives the data path:
+//   read : server disk -> server NIC -> client NIC -> done (per sub-request)
+//   write: client NIC -> server NIC -> server disk -> done
+// The request completes when its last sub-request completes (the cost
+// model's "maximal cost of all sub-requests").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/net/network.hpp"
+#include "src/pfs/data_server.hpp"
+#include "src/pfs/layout.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace harl::pfs {
+
+class Client {
+ public:
+  /// `servers` must outlive the client; `id` indexes the client's NIC link
+  /// in `network` (one link per compute node).
+  Client(sim::Simulator& sim, net::Network& network,
+         std::vector<DataServer*> servers, std::size_t id);
+
+  /// Issues one file request against `layout`; `on_complete` fires when all
+  /// sub-requests have finished.  Zero-byte requests complete immediately
+  /// (next event-loop turn).
+  void io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
+          std::function<void()> on_complete);
+
+  std::size_t id() const { return id_; }
+  std::uint64_t requests_issued() const { return requests_issued_; }
+
+ private:
+  void issue_read(const SubRequest& sub,
+                  const std::shared_ptr<sim::JoinCounter>& join);
+  void issue_write(IoOp op, const SubRequest& sub,
+                   const std::shared_ptr<sim::JoinCounter>& join);
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  std::vector<DataServer*> servers_;
+  std::size_t id_;
+  std::uint64_t requests_issued_ = 0;
+};
+
+}  // namespace harl::pfs

@@ -1,0 +1,85 @@
+#include "src/pfs/cluster.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/common/rng.hpp"
+
+namespace harl::pfs {
+
+std::vector<TierGroup> ClusterConfig::effective_tiers() const {
+  if (!tiers.empty()) return tiers;
+  std::vector<TierGroup> groups;
+  if (num_hservers > 0) {
+    groups.push_back(TierGroup{"hserver", num_hservers, hdd, false});
+  }
+  if (num_sservers > 0) {
+    groups.push_back(TierGroup{"sserver", num_sservers, ssd, true});
+  }
+  return groups;
+}
+
+Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
+    : sim_(sim), config_(config), tiers_(config.effective_tiers()) {
+  std::size_t total = 0;
+  for (const auto& t : tiers_) {
+    tier_begin_.push_back(total);
+    total += t.count;
+    (t.is_ssd ? num_sservers_ : num_hservers_) += t.count;
+  }
+  if (total == 0) throw std::invalid_argument("cluster needs file servers");
+  if (config.num_clients == 0) throw std::invalid_argument("cluster needs clients");
+
+  network_ = std::make_unique<net::Network>(sim_, config.network,
+                                            config.num_clients, total);
+
+  Rng seeder(config.seed);
+  for (const auto& t : tiers_) {
+    for (std::size_t i = 0; i < t.count; ++i) {
+      const std::string name = t.name + std::to_string(i);
+      std::unique_ptr<storage::StorageDevice> device;
+      if (t.is_ssd) {
+        device = std::make_unique<storage::SsdDevice>(t.profile, seeder.next(),
+                                                      config.ssd_gc);
+      } else {
+        device = std::make_unique<storage::HddDevice>(
+            t.profile, seeder.next(), config.hdd_sequential_factor);
+      }
+      const std::size_t global_index = servers_.size();
+      if (auto it = config.server_faults.find(global_index);
+          it != config.server_faults.end()) {
+        device = std::make_unique<storage::FaultyDevice>(std::move(device),
+                                                         it->second);
+      }
+      servers_.push_back(std::make_unique<DataServer>(
+          sim_, std::move(device), name, t.is_ssd,
+          config.server_per_stripe_overhead));
+    }
+  }
+
+  mds_ = std::make_unique<MetadataServer>(sim_, config.mds_lookup_cost,
+                                          config.mds_per_region_cost);
+
+  std::vector<DataServer*> server_ptrs;
+  server_ptrs.reserve(servers_.size());
+  for (auto& s : servers_) server_ptrs.push_back(s.get());
+  for (std::size_t i = 0; i < config.num_clients; ++i) {
+    clients_.push_back(std::make_unique<Client>(sim_, *network_, server_ptrs, i));
+  }
+}
+
+Seconds Cluster::server_io_time(std::size_t i) const {
+  return servers_.at(i)->io_time() + network_->server_link(i).busy_time();
+}
+
+void Cluster::reset_stats() {
+  for (auto& s : servers_) s->reset_stats();
+  for (std::size_t i = 0; i < num_servers(); ++i) {
+    network_->server_link(i).reset_stats();
+  }
+  for (std::size_t i = 0; i < num_clients(); ++i) {
+    network_->client_link(i).reset_stats();
+  }
+}
+
+}  // namespace harl::pfs

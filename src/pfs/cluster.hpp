@@ -1,0 +1,121 @@
+// Hybrid PFS cluster assembly.
+//
+// Mirrors the paper's testbed shape: M HServers (HDD-backed) followed by N
+// SServers (SSD-backed) behind one file system namespace, a metadata server,
+// and a set of compute nodes (client NICs) over a shared-parameter network.
+// Global server indices [0, M) are HServers and [M, M+N) are SServers — the
+// same convention the layouts and the cost model use.
+//
+// Beyond the paper, the cluster generalizes to any number of *tier groups*
+// (the paper's stated future work: "extend our cost model to accommodate
+// more than two server performance profiles"): set ClusterConfig::tiers to
+// an ordered list of groups and the two-tier fields are ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.hpp"
+#include "src/pfs/client.hpp"
+#include "src/pfs/data_server.hpp"
+#include "src/pfs/mds.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/storage/faulty.hpp"
+#include "src/storage/hdd.hpp"
+#include "src/storage/profiles.hpp"
+#include "src/storage/ssd.hpp"
+
+namespace harl::pfs {
+
+/// One homogeneous group of file servers.
+struct TierGroup {
+  std::string name;                 ///< e.g. "hserver", "sata", "nvme"
+  std::size_t count = 0;
+  storage::TierProfile profile;
+  bool is_ssd = false;              ///< selects the SSD vs HDD device model
+};
+
+struct ClusterConfig {
+  // --- two-tier convenience (the paper's shape); used when `tiers` empty --
+  std::size_t num_hservers = 6;  ///< paper default
+  std::size_t num_sservers = 2;  ///< paper default
+  storage::TierProfile hdd = storage::hdd_profile();
+  storage::TierProfile ssd = storage::pcie_ssd_profile();
+
+  /// Generalized form: ordered tier groups (slowest first by convention).
+  /// When non-empty this overrides the two-tier fields above.
+  std::vector<TierGroup> tiers;
+
+  std::size_t num_clients = 8;   ///< compute nodes (paper: 8)
+  net::NetworkParams network = net::gigabit_ethernet();
+  Seconds mds_lookup_cost = 200e-6;
+  /// Added per RST region on MDS placement lookups (metadata management
+  /// overhead of rich region tables, paper Section III-C).
+  Seconds mds_per_region_cost = 2e-6;
+  /// Per-stripe-unit request processing on data servers (flow buffers,
+  /// request protocol): what makes small stripes costly for large requests.
+  Seconds server_per_stripe_overhead = 50e-6;
+  double hdd_sequential_factor = 0.55;
+  storage::SsdDevice::GcModel ssd_gc{};  ///< disabled by default
+  std::uint64_t seed = 1;                ///< per-device streams fork from this
+
+  /// Fault injection: degrade specific servers (by global index) with a
+  /// slowdown factor and/or periodic hiccups.
+  std::map<std::size_t, storage::FaultyDevice::Faults> server_faults;
+
+  /// The tier-group view, synthesizing it from the two-tier fields when
+  /// `tiers` is empty.
+  std::vector<TierGroup> effective_tiers() const;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, const ClusterConfig& config);
+
+  /// Servers in non-SSD groups (== the paper's M for two-tier clusters).
+  std::size_t num_hservers() const { return num_hservers_; }
+  /// Servers in SSD groups (== the paper's N for two-tier clusters).
+  std::size_t num_sservers() const { return num_sservers_; }
+  std::size_t num_servers() const { return servers_.size(); }
+  std::size_t num_clients() const { return clients_.size(); }
+
+  /// Tier-group topology (ordered; global server indices are contiguous
+  /// per group, in order).
+  std::size_t num_tiers() const { return tiers_.size(); }
+  const TierGroup& tier(std::size_t i) const { return tiers_.at(i); }
+  /// Global index of tier i's first server.
+  std::size_t tier_begin(std::size_t i) const { return tier_begin_.at(i); }
+
+  DataServer& server(std::size_t i) { return *servers_.at(i); }
+  const DataServer& server(std::size_t i) const { return *servers_.at(i); }
+  Client& client(std::size_t i) { return *clients_.at(i); }
+  MetadataServer& mds() { return *mds_; }
+  net::Network& network() { return *network_; }
+  const net::Network& network() const { return *network_; }
+  sim::Simulator& simulator() { return sim_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Per-server "I/O time" including NIC serialization — the quantity the
+  /// paper plots in Fig. 1a.
+  Seconds server_io_time(std::size_t i) const;
+
+  /// Zeroes all server/NIC statistics and device state between phases.
+  void reset_stats();
+
+ private:
+  sim::Simulator& sim_;
+  ClusterConfig config_;
+  std::vector<TierGroup> tiers_;
+  std::vector<std::size_t> tier_begin_;
+  std::size_t num_hservers_ = 0;
+  std::size_t num_sservers_ = 0;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<DataServer>> servers_;
+  std::unique_ptr<MetadataServer> mds_;
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace harl::pfs

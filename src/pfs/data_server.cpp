@@ -1,0 +1,42 @@
+#include "src/pfs/data_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace harl::pfs {
+
+DataServer::DataServer(sim::Simulator& sim,
+                       std::unique_ptr<storage::StorageDevice> device,
+                       std::string name, bool is_ssd,
+                       Seconds per_stripe_overhead)
+    : sim_(sim),
+      device_(std::move(device)),
+      name_(std::move(name)),
+      is_ssd_(is_ssd),
+      per_stripe_overhead_(per_stripe_overhead),
+      queue_(sim_, name_ + "/disk") {}
+
+void DataServer::submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
+                        Bytes pieces, std::function<void()> on_complete) {
+  const Bytes device_offset = static_cast<Bytes>(object) * kObjectStride + offset;
+  // FIFO order equals arrival order, so sampling the device at submission
+  // time preserves the sequential-access detection of stateful devices.
+  const Seconds service =
+      device_->service_time(op, device_offset, size) +
+      per_stripe_overhead_ * static_cast<double>(std::max<Bytes>(pieces, 1));
+  if (op == IoOp::kRead) {
+    bytes_read_ += size;
+  } else {
+    bytes_written_ += size;
+  }
+  queue_.submit(service, std::move(on_complete));
+}
+
+void DataServer::reset_stats() {
+  bytes_read_ = 0;
+  bytes_written_ = 0;
+  device_->reset();
+  queue_.reset_stats();
+}
+
+}  // namespace harl::pfs

@@ -1,0 +1,66 @@
+// A file server: one storage device behind a FIFO service queue.
+//
+// Sub-requests arrive from clients (already aggregated per server by the
+// layout), queue on the device, and complete after the device's modelled
+// service time.  Distinct physical objects (one per HARL region, via the R2F
+// mapping) are placed at widely separated device offsets so the HDD
+// sequentiality model never confuses extents of different objects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/io.hpp"
+#include "src/sim/resource.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/storage/device.hpp"
+
+namespace harl::pfs {
+
+class DataServer {
+ public:
+  /// `per_stripe_overhead` is charged once per stripe unit of each access
+  /// (PFS request-protocol/flow-buffer processing): the term that makes tiny
+  /// stripes expensive for large requests (paper Fig. 1b).
+  DataServer(sim::Simulator& sim, std::unique_ptr<storage::StorageDevice> device,
+             std::string name, bool is_ssd, Seconds per_stripe_overhead = 0.0);
+
+  /// Queues one server-local access spanning `pieces` stripe units;
+  /// `on_complete` fires when the device finishes it (FIFO after all
+  /// previously queued accesses).
+  void submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
+              Bytes pieces, std::function<void()> on_complete);
+
+  const std::string& name() const { return name_; }
+  bool is_ssd() const { return is_ssd_; }
+  storage::StorageDevice& device() { return *device_; }
+  const storage::StorageDevice& device() const { return *device_; }
+
+  /// Cumulative device busy time: the per-server "I/O time" reported in the
+  /// paper's Fig. 1a.
+  Seconds io_time() const { return queue_.busy_time(); }
+  Seconds queue_delay() const { return queue_.total_queue_delay(); }
+  std::uint64_t requests_served() const { return queue_.jobs(); }
+  Bytes bytes_read() const { return bytes_read_; }
+  Bytes bytes_written() const { return bytes_written_; }
+
+  /// Clears statistics and device state between experiment phases.
+  void reset_stats();
+
+ private:
+  /// Device-address stride separating physical objects (regions).
+  static constexpr Bytes kObjectStride = static_cast<Bytes>(1) << 40;
+
+  sim::Simulator& sim_;
+  std::unique_ptr<storage::StorageDevice> device_;
+  std::string name_;
+  bool is_ssd_;
+  Seconds per_stripe_overhead_;
+  sim::FifoResource queue_;
+  Bytes bytes_read_ = 0;
+  Bytes bytes_written_ = 0;
+};
+
+}  // namespace harl::pfs

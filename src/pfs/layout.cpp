@@ -1,0 +1,153 @@
+#include "src/pfs/layout.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl::pfs {
+
+VariedStripeLayout::VariedStripeLayout(std::vector<Bytes> stripes)
+    : stripes_(std::move(stripes)) {
+  if (stripes_.empty()) {
+    throw std::invalid_argument("layout needs at least one server");
+  }
+  cell_start_.resize(stripes_.size());
+  Bytes cum = 0;
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    cell_start_[i] = cum;
+    cum += stripes_[i];
+  }
+  period_ = cum;
+  if (period_ == 0) {
+    throw std::invalid_argument("all stripe sizes are zero");
+  }
+}
+
+std::vector<SubRequest> VariedStripeLayout::map(Bytes offset, Bytes size) const {
+  std::vector<SubRequest> out;
+  if (size == 0) return out;
+
+  const Bytes S = period_;
+  const Bytes end = offset + size;
+  const Bytes period_first = offset / S;       // r_b in the paper
+  const Bytes period_last = end / S;           // r_e
+  const Bytes l_b = offset - period_first * S;
+  const Bytes l_e = end - period_last * S;
+
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    const Bytes st = stripes_[i];
+    if (st == 0) continue;
+    const ByteInterval cell{cell_start_[i], cell_start_[i] + st};
+
+    Bytes bytes = 0;
+    Bytes pieces = 0;       // stripe units merged into the extent
+    Bytes local_start = 0;  // server-local offset of the first byte touched
+    Bytes file_start = 0;   // logical-file offset of that byte
+
+    if (period_last == period_first) {
+      const ByteInterval ov = intersect({l_b, l_e}, cell);
+      bytes = ov.length();
+      if (bytes > 0) {
+        pieces = 1;
+        local_start = period_first * st + (ov.begin - cell.begin);
+        file_start = period_first * S + ov.begin;
+      }
+    } else {
+      const ByteInterval first_ov = intersect({l_b, S}, cell);
+      const ByteInterval last_ov = intersect({0, l_e}, cell);
+      const Bytes full = period_last - period_first - 1;
+      const Bytes mid = full * st;
+      bytes = first_ov.length() + mid + last_ov.length();
+      pieces = (first_ov.length() > 0 ? 1 : 0) + full +
+               (last_ov.length() > 0 ? 1 : 0);
+      if (first_ov.length() > 0) {
+        local_start = period_first * st + (first_ov.begin - cell.begin);
+        file_start = period_first * S + first_ov.begin;
+      } else if (mid > 0) {
+        local_start = (period_first + 1) * st;
+        file_start = (period_first + 1) * S + cell.begin;
+      } else if (last_ov.length() > 0) {
+        local_start = period_last * st + (last_ov.begin - cell.begin);
+        file_start = period_last * S + last_ov.begin;
+      }
+    }
+
+    if (bytes > 0) {
+      out.push_back(SubRequest{i, 0, local_start, bytes, file_start, pieces});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const SubRequest& a, const SubRequest& b) {
+    return a.file_offset < b.file_offset;
+  });
+  return out;
+}
+
+std::vector<SubRequest> VariedStripeLayout::map_pieces(Bytes offset,
+                                                       Bytes size) const {
+  std::vector<SubRequest> out;
+  Bytes pos = offset;
+  const Bytes end = offset + size;
+  while (pos < end) {
+    const Bytes period = pos / period_;
+    const Bytes within = pos - period * period_;
+    // Locate the server cell containing `within`.
+    auto it = std::upper_bound(cell_start_.begin(), cell_start_.end(), within);
+    auto idx = static_cast<std::size_t>(std::distance(cell_start_.begin(), it)) - 1;
+    // Skip zero-stripe cells (their cell_start equals the next cell's).
+    while (stripes_[idx] == 0) ++idx;
+    const Bytes cell_end = cell_start_[idx] + stripes_[idx];
+    const Bytes take = std::min(end - pos, cell_end - within);
+    out.push_back(SubRequest{idx, 0,
+                             period * stripes_[idx] + (within - cell_start_[idx]),
+                             take, pos});
+    pos += take;
+  }
+  return out;
+}
+
+std::string VariedStripeLayout::describe() const {
+  // Collapse runs of equal stripe sizes: "6x36K+2x148K".
+  std::ostringstream os;
+  std::size_t i = 0;
+  bool first = true;
+  while (i < stripes_.size()) {
+    std::size_t j = i;
+    while (j < stripes_.size() && stripes_[j] == stripes_[i]) ++j;
+    if (!first) os << '+';
+    os << (j - i) << 'x' << format_size(stripes_[i]);
+    first = false;
+    i = j;
+  }
+  return os.str();
+}
+
+std::shared_ptr<VariedStripeLayout> make_fixed_layout(std::size_t servers,
+                                                      Bytes stripe) {
+  return std::make_shared<VariedStripeLayout>(
+      std::vector<Bytes>(servers, stripe));
+}
+
+std::shared_ptr<VariedStripeLayout> make_two_tier_layout(std::size_t M, Bytes h,
+                                                         std::size_t N, Bytes s) {
+  std::vector<Bytes> stripes;
+  stripes.reserve(M + N);
+  stripes.insert(stripes.end(), M, h);
+  stripes.insert(stripes.end(), N, s);
+  return std::make_shared<VariedStripeLayout>(std::move(stripes));
+}
+
+std::shared_ptr<VariedStripeLayout> make_tiered_layout(
+    const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes) {
+  if (counts.size() != stripes.size()) {
+    throw std::invalid_argument("counts/stripes size mismatch");
+  }
+  std::vector<Bytes> per_server;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    per_server.insert(per_server.end(), counts[j], stripes[j]);
+  }
+  return std::make_shared<VariedStripeLayout>(std::move(per_server));
+}
+
+}  // namespace harl::pfs

@@ -1,0 +1,102 @@
+// File data layouts: how logical file bytes map onto file servers.
+//
+// A layout answers one question: given a file request [offset, offset+size),
+// which server-local extents does it touch?  The conventional scheme is
+// round-robin striping with one fixed stripe size (paper Fig. 2a).  HARL's
+// building block is the *varied-size* stripe: every server gets its own
+// stripe size within the round-robin period (Fig. 2b), with stripe 0 meaning
+// "skip this server" (e.g. the {0K, 64K} layout of paper Section IV-B.3 that
+// places data only on SServers).
+//
+// Because striping is round-robin, all stripes a request touches on one
+// server form a single contiguous server-local extent; `map()` returns these
+// aggregated extents (what is actually sent to servers), while
+// `VariedStripeLayout::map_pieces()` exposes the raw stripe-by-stripe walk
+// for tests and the brute-force cost-model cross-check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/interval.hpp"
+#include "src/common/units.hpp"
+
+namespace harl::pfs {
+
+/// One server-local extent of a file request.
+struct SubRequest {
+  std::size_t server = 0;       ///< global server index [0, server_count)
+  std::uint32_t object = 0;     ///< physical object id on the server (region index)
+  Bytes server_offset = 0;      ///< byte offset within that object
+  Bytes size = 0;               ///< extent length
+  Bytes file_offset = 0;        ///< logical-file offset of the extent's first byte
+  /// Stripe units merged into this extent (periods the server is touched
+  /// in).  The extent is contiguous on the server, but each stripe unit is
+  /// processed separately by the PFS request protocol, so servers charge a
+  /// per-unit overhead — this is what makes very small stripes expensive for
+  /// large requests (paper Fig. 1b).
+  Bytes pieces = 1;
+
+  friend bool operator==(const SubRequest&, const SubRequest&) = default;
+};
+
+/// Abstract mapping from logical file ranges to server-local extents.
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  /// Aggregated sub-requests (one per touched (server, object) pair),
+  /// ordered by ascending file_offset.  The union of the returned extents
+  /// partitions [offset, offset+size) exactly.
+  virtual std::vector<SubRequest> map(Bytes offset, Bytes size) const = 0;
+
+  /// Number of servers this layout distributes over (touched or not).
+  virtual std::size_t server_count() const = 0;
+
+  /// Human-readable summary, e.g. "fixed 64K x8" or "region-level, 3 regions".
+  virtual std::string describe() const = 0;
+};
+
+/// Round-robin striping with a per-server stripe size.
+class VariedStripeLayout final : public Layout {
+ public:
+  /// `stripes[i]` is server i's stripe size; 0 skips the server.  At least
+  /// one stripe must be nonzero.
+  explicit VariedStripeLayout(std::vector<Bytes> stripes);
+
+  std::vector<SubRequest> map(Bytes offset, Bytes size) const override;
+  std::size_t server_count() const override { return stripes_.size(); }
+  std::string describe() const override;
+
+  /// Raw stripe-by-stripe mapping in file order, without per-server
+  /// aggregation.  O(size / min_stripe); intended for tests.
+  std::vector<SubRequest> map_pieces(Bytes offset, Bytes size) const;
+
+  /// The round-robin period: sum of all stripe sizes.
+  Bytes period() const { return period_; }
+  const std::vector<Bytes>& stripes() const { return stripes_; }
+
+ private:
+  std::vector<Bytes> stripes_;
+  std::vector<Bytes> cell_start_;  // cell_start_[i]: server i's offset in the period
+  Bytes period_ = 0;
+};
+
+/// Conventional fixed-size striping over `servers` servers (paper Fig. 2a).
+std::shared_ptr<VariedStripeLayout> make_fixed_layout(std::size_t servers,
+                                                      Bytes stripe);
+
+/// Two-tier layout: M HServers with stripe `h` followed by N SServers with
+/// stripe `s` (the paper's canonical configuration).  h or s may be 0.
+std::shared_ptr<VariedStripeLayout> make_two_tier_layout(std::size_t M, Bytes h,
+                                                         std::size_t N, Bytes s);
+
+/// Generalized per-tier layout: group j contributes `counts[j]` servers,
+/// each striped at `stripes[j]` (0 = skip the tier).  Server order matches
+/// pfs::Cluster's tier-group order.
+std::shared_ptr<VariedStripeLayout> make_tiered_layout(
+    const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes);
+
+}  // namespace harl::pfs

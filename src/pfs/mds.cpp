@@ -1,0 +1,58 @@
+#include "src/pfs/mds.hpp"
+
+#include "src/pfs/region_layout.hpp"
+
+#include <utility>
+
+namespace harl::pfs {
+
+MetadataServer::MetadataServer(sim::Simulator& sim, Seconds lookup_cost,
+                               Seconds per_region_cost)
+    : queue_(sim, "mds"),
+      lookup_cost_(lookup_cost),
+      per_region_cost_(per_region_cost) {}
+
+void MetadataServer::register_file(const std::string& name,
+                                   std::shared_ptr<const Layout> layout) {
+  files_[name] = std::move(layout);
+}
+
+void MetadataServer::remove_file(const std::string& name) { files_.erase(name); }
+
+bool MetadataServer::has_file(const std::string& name) const {
+  return files_.count(name) > 0;
+}
+
+void MetadataServer::lookup(
+    const std::string& name,
+    std::function<void(std::shared_ptr<const Layout>)> cb) {
+  auto layout = layout_of(name);
+  queue_.submit(lookup_cost_,
+                [cb = std::move(cb), layout = std::move(layout)] { cb(layout); });
+}
+
+void MetadataServer::placement_lookup(
+    const std::string& name,
+    std::function<void(std::shared_ptr<const Layout>)> cb) {
+  auto layout = layout_of(name);
+  const std::size_t regions = layout ? region_count_of(*layout) : 1;
+  const Seconds service =
+      lookup_cost_ + per_region_cost_ * static_cast<double>(regions);
+  queue_.submit(service,
+                [cb = std::move(cb), layout = std::move(layout)] { cb(layout); });
+}
+
+std::size_t MetadataServer::region_count_of(const Layout& layout) {
+  if (const auto* region = dynamic_cast<const RegionLayout*>(&layout)) {
+    return region->region_count();
+  }
+  return 1;
+}
+
+std::shared_ptr<const Layout> MetadataServer::layout_of(
+    const std::string& name) const {
+  auto it = files_.find(name);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+}  // namespace harl::pfs

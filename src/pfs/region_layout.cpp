@@ -1,0 +1,80 @@
+#include "src/pfs/region_layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl::pfs {
+
+RegionLayout::RegionLayout(std::size_t M, std::size_t N,
+                           std::vector<RegionSpec> regions)
+    : M_(M), N_(N), specs_(std::move(regions)) {
+  if (M_ + N_ == 0) throw std::invalid_argument("layout needs servers");
+  if (specs_.empty()) throw std::invalid_argument("region layout needs regions");
+  if (specs_.front().offset != 0) {
+    throw std::invalid_argument("first region must start at offset 0");
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (i > 0 && specs_[i].offset <= specs_[i - 1].offset) {
+      throw std::invalid_argument("regions must have increasing offsets");
+    }
+    if (specs_[i].h == 0 && specs_[i].s == 0) {
+      throw std::invalid_argument("region must stripe over at least one tier");
+    }
+    if ((N_ == 0 && specs_[i].h == 0) || (M_ == 0 && specs_[i].s == 0)) {
+      throw std::invalid_argument("region stripes only over absent servers");
+    }
+    region_layouts_.push_back(
+        make_two_tier_layout(M_, specs_[i].h, N_, specs_[i].s));
+  }
+}
+
+std::size_t RegionLayout::region_of(Bytes offset) const {
+  // Last spec with spec.offset <= offset.
+  auto it = std::upper_bound(
+      specs_.begin(), specs_.end(), offset,
+      [](Bytes off, const RegionSpec& spec) { return off < spec.offset; });
+  return static_cast<std::size_t>(std::distance(specs_.begin(), it)) - 1;
+}
+
+Bytes RegionLayout::region_end(std::size_t i) const {
+  return i + 1 < specs_.size() ? specs_[i + 1].offset
+                               : std::numeric_limits<Bytes>::max();
+}
+
+std::vector<SubRequest> RegionLayout::map(Bytes offset, Bytes size) const {
+  std::vector<SubRequest> out;
+  Bytes pos = offset;
+  const Bytes end = offset + size;
+  while (pos < end) {
+    const std::size_t reg = region_of(pos);
+    const Bytes reg_begin = specs_[reg].offset;
+    const Bytes reg_end_off = region_end(reg);
+    const Bytes take = std::min(end, reg_end_off) - pos;
+    // Region-relative addressing: each region is its own physical object,
+    // striped from its own origin.
+    auto subs = region_layouts_[reg]->map(pos - reg_begin, take);
+    for (auto& sub : subs) {
+      sub.object = static_cast<std::uint32_t>(reg);
+      sub.file_offset += reg_begin;
+      out.push_back(sub);
+    }
+    pos += take;
+  }
+  return out;
+}
+
+std::string RegionLayout::describe() const {
+  std::ostringstream os;
+  os << "region-level(" << specs_.size() << " regions:";
+  for (std::size_t i = 0; i < specs_.size() && i < 4; ++i) {
+    os << ' ' << format_size(specs_[i].offset) << "@{"
+       << format_size(specs_[i].h) << ',' << format_size(specs_[i].s) << '}';
+  }
+  if (specs_.size() > 4) os << " ...";
+  os << ')';
+  return os.str();
+}
+
+}  // namespace harl::pfs

@@ -1,0 +1,59 @@
+// Region-level layout: the data-placement half of HARL (paper Fig. 2b).
+//
+// The logical file is split at region boundaries; each region is striped
+// independently with its own per-tier stripe sizes and is backed by its own
+// physical object per server (the paper maps each region to a separate
+// OrangeFS file via the R2F table).  Requests spanning region boundaries are
+// split and mapped per region; the SubRequest::object field carries the
+// region index so servers address distinct physical objects.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/pfs/layout.hpp"
+
+namespace harl::pfs {
+
+/// Stripe configuration of one region, mirroring an RST row (paper Fig. 6).
+struct RegionSpec {
+  Bytes offset = 0;  ///< region start; the region extends to the next spec
+  Bytes h = 0;       ///< HServer stripe size (0 = skip HServers)
+  Bytes s = 0;       ///< SServer stripe size (0 = skip SServers)
+
+  friend bool operator==(const RegionSpec&, const RegionSpec&) = default;
+};
+
+class RegionLayout final : public Layout {
+ public:
+  /// `M` HServers occupy global server slots [0, M); `N` SServers occupy
+  /// [M, M+N).  `regions` must be sorted by strictly increasing offset and
+  /// start at offset 0; the last region extends to infinity.  Each region
+  /// must have h > 0 or s > 0.
+  RegionLayout(std::size_t M, std::size_t N, std::vector<RegionSpec> regions);
+
+  std::vector<SubRequest> map(Bytes offset, Bytes size) const override;
+  std::size_t server_count() const override { return M_ + N_; }
+  std::string describe() const override;
+
+  std::size_t region_count() const { return specs_.size(); }
+  const RegionSpec& region(std::size_t i) const { return specs_.at(i); }
+  const std::vector<RegionSpec>& regions() const { return specs_; }
+
+  /// Index of the region containing `offset` (binary search).
+  std::size_t region_of(Bytes offset) const;
+
+  /// End offset of region i (start of region i+1, or +inf for the last).
+  Bytes region_end(std::size_t i) const;
+
+  std::size_t num_hservers() const { return M_; }
+  std::size_t num_sservers() const { return N_; }
+
+ private:
+  std::size_t M_;
+  std::size_t N_;
+  std::vector<RegionSpec> specs_;
+  std::vector<std::shared_ptr<VariedStripeLayout>> region_layouts_;
+};
+
+}  // namespace harl::pfs

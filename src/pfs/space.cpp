@@ -1,0 +1,104 @@
+#include "src/pfs/space.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace harl::pfs {
+
+Bytes SpaceUsage::hserver_bytes(std::size_t M) const {
+  return std::accumulate(per_server.begin(),
+                         per_server.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::min(M, per_server.size())),
+                         Bytes{0});
+}
+
+Bytes SpaceUsage::sserver_bytes(std::size_t M) const {
+  if (M >= per_server.size()) return 0;
+  return std::accumulate(per_server.begin() + static_cast<std::ptrdiff_t>(M),
+                         per_server.end(), Bytes{0});
+}
+
+SpaceUsage storage_footprint(const Layout& layout, Bytes file_size) {
+  SpaceUsage usage;
+  usage.per_server.assign(layout.server_count(), 0);
+  if (file_size == 0) return usage;
+  for (const auto& sub : layout.map(0, file_size)) {
+    usage.per_server.at(sub.server) += sub.size;
+    usage.total += sub.size;
+  }
+  return usage;
+}
+
+MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
+                             Bytes ssd_capacity_total,
+                             const std::vector<RegionHeat>& heat) {
+  const std::size_t M = layout.num_hservers();
+  if (M == 0) {
+    throw std::invalid_argument("cannot migrate to HServers: none exist");
+  }
+
+  MigrationPlan plan;
+  plan.regions = layout.regions();
+
+  // Per-region SServer footprint.
+  std::vector<Bytes> region_ssd_bytes(plan.regions.size(), 0);
+  for (std::size_t i = 0; i < plan.regions.size(); ++i) {
+    const Bytes begin = plan.regions[i].offset;
+    const Bytes end = std::min<Bytes>(layout.region_end(i), file_size);
+    if (begin >= end) continue;
+    auto sub_layout = make_two_tier_layout(M, plan.regions[i].h,
+                                           layout.num_sservers(),
+                                           plan.regions[i].s);
+    const SpaceUsage u = storage_footprint(*sub_layout, end - begin);
+    region_ssd_bytes[i] = u.sserver_bytes(M);
+  }
+  plan.sserver_bytes_before = std::accumulate(region_ssd_bytes.begin(),
+                                              region_ssd_bytes.end(), Bytes{0});
+
+  Bytes ssd_bytes = plan.sserver_bytes_before;
+  if (ssd_bytes <= ssd_capacity_total) {
+    plan.sserver_bytes_after = ssd_bytes;
+    return plan;  // already fits; nothing to demote
+  }
+
+  // Coldness = accessed bytes per stored SSD byte; demote coldest first.
+  std::vector<Bytes> accessed(plan.regions.size(), 0);
+  for (const auto& h : heat) {
+    if (h.region < accessed.size()) accessed[h.region] += h.bytes_accessed;
+  }
+  std::vector<std::size_t> order(plan.regions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double heat_a = region_ssd_bytes[a] > 0
+                              ? static_cast<double>(accessed[a]) /
+                                    static_cast<double>(region_ssd_bytes[a])
+                              : 1e300;
+    const double heat_b = region_ssd_bytes[b] > 0
+                              ? static_cast<double>(accessed[b]) /
+                                    static_cast<double>(region_ssd_bytes[b])
+                              : 1e300;
+    if (heat_a != heat_b) return heat_a < heat_b;
+    return a < b;
+  });
+
+  for (std::size_t idx : order) {
+    if (ssd_bytes <= ssd_capacity_total) break;
+    if (region_ssd_bytes[idx] == 0) continue;
+    RegionSpec& spec = plan.regions[idx];
+    spec.h = std::max(spec.h, spec.s);
+    spec.s = 0;
+    ssd_bytes -= region_ssd_bytes[idx];
+    region_ssd_bytes[idx] = 0;
+    plan.demoted.push_back(idx);
+  }
+
+  if (ssd_bytes > ssd_capacity_total) {
+    throw std::runtime_error(
+        "SSD capacity cannot be met even with full demotion");
+  }
+  plan.sserver_bytes_after = ssd_bytes;
+  return plan;
+}
+
+}  // namespace harl::pfs

@@ -1,0 +1,51 @@
+// Storage-space accounting and SSD-relief migration planning.
+//
+// HARL gives SServers larger stripes, so they hold a disproportionate share
+// of the file.  The paper's Discussion section proposes migrating data from
+// SServers to HServers when SSD space runs low; this module computes the
+// per-server footprint of a layout and plans which (cold) regions to demote
+// so the SServer footprint fits a capacity budget.
+#pragma once
+
+#include <vector>
+
+#include "src/pfs/region_layout.hpp"
+
+namespace harl::pfs {
+
+struct SpaceUsage {
+  std::vector<Bytes> per_server;  ///< bytes stored on each server
+  Bytes total = 0;
+
+  Bytes hserver_bytes(std::size_t M) const;
+  Bytes sserver_bytes(std::size_t M) const;
+};
+
+/// Bytes each server stores for a file of `file_size` bytes under `layout`.
+SpaceUsage storage_footprint(const Layout& layout, Bytes file_size);
+
+/// One region's access intensity, as observed in a trace.
+struct RegionHeat {
+  std::size_t region = 0;
+  Bytes bytes_accessed = 0;
+};
+
+struct MigrationPlan {
+  /// New region specs (same offsets, possibly rebalanced stripes).
+  std::vector<RegionSpec> regions;
+  /// Regions whose SServer share was demoted to HServers, coldest first.
+  std::vector<std::size_t> demoted;
+  Bytes sserver_bytes_before = 0;
+  Bytes sserver_bytes_after = 0;
+};
+
+/// Plans SServer->HServer migration: demotes whole regions (coldest first,
+/// by bytes_accessed per stored byte) to HServer-only striping until the
+/// aggregate SServer footprint fits `ssd_capacity_total`.  Demoted regions
+/// get h = max(previous h, previous s) so striping stays sane.  Throws if
+/// even full demotion cannot fit (capacity < 0 is impossible by types).
+MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
+                             Bytes ssd_capacity_total,
+                             const std::vector<RegionHeat>& heat);
+
+}  // namespace harl::pfs

@@ -1,0 +1,38 @@
+#include "src/sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace harl::sim {
+
+void Simulator::schedule_at(Time t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("cannot schedule event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("negative event delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::dispatch_next() {
+  // Move the event out before popping: the callback may schedule new events,
+  // which mutates the queue.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++dispatched_;
+  ev.fn();
+}
+
+Time Simulator::run() {
+  while (!queue_.empty()) dispatch_next();
+  return now_;
+}
+
+Time Simulator::run_until(Time limit) {
+  while (!queue_.empty() && queue_.top().time <= limit) dispatch_next();
+  return now_;
+}
+
+}  // namespace harl::sim

@@ -1,0 +1,70 @@
+// Discrete-event simulation core.
+//
+// The simulated hybrid PFS runs entirely inside this single-threaded,
+// deterministic event loop: clients, servers, NICs and disks schedule
+// callbacks at future simulated times.  Ties are broken by insertion order so
+// runs are bit-reproducible regardless of platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace harl::sim {
+
+/// Simulated time in seconds from simulation start.
+using Time = Seconds;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.  0 before the first event fires.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute simulated time `t`; requires t >= now().
+  void schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` `delay` seconds from now; requires delay >= 0.
+  void schedule_after(Time delay, std::function<void()> fn);
+
+  /// Runs until the event queue drains.  Returns the final time.
+  Time run();
+
+  /// Runs until the queue drains or simulated time would exceed `limit`
+  /// (events after `limit` stay queued).  Returns now().
+  Time run_until(Time limit);
+
+  /// True when no events are pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Total events dispatched since construction (for micro-benchmarks).
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch_next();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace harl::sim

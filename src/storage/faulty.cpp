@@ -1,0 +1,36 @@
+#include "src/storage/faulty.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace harl::storage {
+
+FaultyDevice::FaultyDevice(std::unique_ptr<StorageDevice> inner, Faults faults)
+    : inner_(std::move(inner)), faults_(faults) {
+  if (!inner_) throw std::invalid_argument("FaultyDevice needs a device");
+  if (faults_.slowdown < 1.0) {
+    throw std::invalid_argument("slowdown must be >= 1");
+  }
+  if (faults_.hiccup_every < 0 || faults_.hiccup_delay < 0.0) {
+    throw std::invalid_argument("invalid hiccup configuration");
+  }
+}
+
+Seconds FaultyDevice::service_time(IoOp op, Bytes offset, Bytes size) {
+  ++accesses_;
+  Seconds t = inner_->service_time(op, offset, size) * faults_.slowdown;
+  if (faults_.hiccup_every > 0 &&
+      accesses_ % static_cast<std::uint64_t>(faults_.hiccup_every) == 0) {
+    t += faults_.hiccup_delay;
+    ++hiccups_;
+  }
+  return t;
+}
+
+void FaultyDevice::reset() {
+  inner_->reset();
+  accesses_ = 0;
+  hiccups_ = 0;
+}
+
+}  // namespace harl::storage

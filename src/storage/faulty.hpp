@@ -1,0 +1,40 @@
+// Fault-injection device decorator.
+//
+// Wraps another StorageDevice and degrades it: a constant slowdown factor
+// (an ageing or failing drive, a rebuilding RAID member) plus optional
+// periodic hiccups (firmware housekeeping, thermal throttling windows).
+// Used by tests and experiments to check how layouts behave when one server
+// of a tier stops keeping up.
+#pragma once
+
+#include <memory>
+
+#include "src/storage/device.hpp"
+
+namespace harl::storage {
+
+class FaultyDevice final : public StorageDevice {
+ public:
+  struct Faults {
+    double slowdown = 1.0;     ///< multiplies every service time (>= 1)
+    int hiccup_every = 0;      ///< every Nth access stalls (0 = never)
+    Seconds hiccup_delay = 0.0;
+  };
+
+  FaultyDevice(std::unique_ptr<StorageDevice> inner, Faults faults);
+
+  Seconds service_time(IoOp op, Bytes offset, Bytes size) override;
+  const TierProfile& profile() const override { return inner_->profile(); }
+  void reset() override;
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t hiccups() const { return hiccups_; }
+
+ private:
+  std::unique_ptr<StorageDevice> inner_;
+  Faults faults_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t hiccups_ = 0;
+};
+
+}  // namespace harl::storage

@@ -1,0 +1,32 @@
+#include "src/storage/hdd.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace harl::storage {
+
+HddDevice::HddDevice(TierProfile profile, std::uint64_t seed,
+                     double sequential_factor)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      sequential_factor_(sequential_factor),
+      rng_(seed) {
+  if (sequential_factor < 0.0 || sequential_factor > 1.0) {
+    throw std::invalid_argument("sequential_factor must be in [0,1]");
+  }
+}
+
+Seconds HddDevice::service_time(IoOp op, Bytes offset, Bytes size) {
+  const OpProfile& p = profile_.op(op);
+  Seconds startup = rng_.uniform(p.startup_min, p.startup_max);
+  if (offset == last_end_) startup *= sequential_factor_;
+  last_end_ = offset + size;
+  return startup + static_cast<double>(size) * p.per_byte;
+}
+
+void HddDevice::reset() {
+  rng_ = Rng(seed_);
+  last_end_ = ~static_cast<Bytes>(0);
+}
+
+}  // namespace harl::storage

@@ -1,0 +1,37 @@
+// Rotating-disk device model (HServer).
+//
+// Service time = startup + size * beta.  Startup is drawn uniformly from
+// [alpha_min, alpha_max] (matching the cost model's assumption) unless the
+// access is sequential with the previous one, in which case only a small
+// fraction of the window applies — striped round-robin access patterns do
+// retain per-server sequentiality, and this is what keeps measured HDD
+// startup below the raw average-seek figure.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/storage/device.hpp"
+
+namespace harl::storage {
+
+class HddDevice final : public StorageDevice {
+ public:
+  /// `sequential_factor` scales the sampled startup when an access starts
+  /// exactly where the previous one ended (0 = free, 1 = full seek).
+  HddDevice(TierProfile profile, std::uint64_t seed,
+            double sequential_factor = 0.55);
+
+  Seconds service_time(IoOp op, Bytes offset, Bytes size) override;
+  const TierProfile& profile() const override { return profile_; }
+  void reset() override;
+
+ private:
+  TierProfile profile_;
+  std::uint64_t seed_;
+  double sequential_factor_;
+  Rng rng_;
+  Bytes last_end_ = ~static_cast<Bytes>(0);  // "nowhere": first access seeks
+};
+
+}  // namespace harl::storage

@@ -1,0 +1,36 @@
+// Device parameter estimation (the paper's Analysis-Phase calibration).
+//
+// The paper measures alpha (startup) and beta (per-byte transfer) for each
+// server class by running repeated read/write tests on one server and
+// averaging "thousands of times (the number is configurable)".  This profiler
+// does the same against a StorageDevice: it samples service times at two
+// access sizes, fits beta from the mean slope, and recovers the startup
+// window from the residual extremes.  The fitted TierProfile feeds the cost
+// model, so model parameters are *measured* rather than copied from presets.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/storage/device.hpp"
+
+namespace harl::storage {
+
+struct ProfilerOptions {
+  Bytes small_size = 4 * KiB;    ///< first probe size
+  Bytes large_size = 1 * MiB;    ///< second probe size
+  int samples_per_size = 2000;   ///< accesses per (op, size) pair
+  Bytes span = 4 * GiB;          ///< offsets drawn uniformly from [0, span)
+  std::uint64_t seed = 42;       ///< offset-stream seed
+  /// false (default): probe a single sequential stream per size, the way the
+  /// paper calibrates against one otherwise-idle file server — an HDD then
+  /// shows its (small) sequential startup.  true: random offsets, exposing
+  /// the full positioning window (what contended multi-client access sees).
+  bool random_offsets = false;
+};
+
+/// Fits a TierProfile from observed service times.  The device is reset()
+/// before and after probing so profiling does not perturb later simulation.
+TierProfile profile_device(StorageDevice& device, const ProfilerOptions& opts = {});
+
+}  // namespace harl::storage

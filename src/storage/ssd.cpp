@@ -1,0 +1,33 @@
+#include "src/storage/ssd.hpp"
+
+#include <utility>
+
+namespace harl::storage {
+
+SsdDevice::SsdDevice(TierProfile profile, std::uint64_t seed, GcModel gc)
+    : profile_(std::move(profile)), seed_(seed), gc_(gc), rng_(seed) {}
+
+Seconds SsdDevice::service_time(IoOp op, Bytes /*offset*/, Bytes size) {
+  const OpProfile& p = profile_.op(op);
+  Seconds t = rng_.uniform(p.startup_min, p.startup_max) +
+              static_cast<double>(size) * p.per_byte;
+  if (op == IoOp::kWrite) {
+    bytes_written_ += size;
+    if (gc_.interval > 0) {
+      gc_debt_ += size;
+      while (gc_debt_ >= gc_.interval) {
+        gc_debt_ -= gc_.interval;
+        t += gc_.stall;
+      }
+    }
+  }
+  return t;
+}
+
+void SsdDevice::reset() {
+  rng_ = Rng(seed_);
+  bytes_written_ = 0;
+  gc_debt_ = 0;
+}
+
+}  // namespace harl::storage

@@ -1,0 +1,46 @@
+// Flash SSD device model (SServer).
+//
+// Reads and writes use separate startup windows and transfer rates (writes
+// pay for garbage collection and wear leveling, paper Section III-D).  An
+// optional coarse GC model adds a stall after every `gc_interval` bytes
+// written, modelling periodic background cleanup kicking in under sustained
+// write load.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "src/common/rng.hpp"
+#include "src/storage/device.hpp"
+
+namespace harl::storage {
+
+class SsdDevice final : public StorageDevice {
+ public:
+  struct GcModel {
+    Bytes interval = 0;       ///< bytes written between stalls; 0 disables GC
+    Seconds stall = 0.0;      ///< extra time charged when a stall triggers
+  };
+
+  SsdDevice(TierProfile profile, std::uint64_t seed, GcModel gc);
+  SsdDevice(TierProfile profile, std::uint64_t seed)
+      : SsdDevice(std::move(profile), seed, GcModel{}) {}
+
+  Seconds service_time(IoOp op, Bytes offset, Bytes size) override;
+  const TierProfile& profile() const override { return profile_; }
+  void reset() override;
+
+  /// Bytes written since construction/reset (drives the GC model and the
+  /// space-accounting diagnostics in src/pfs/space.hpp).
+  Bytes bytes_written() const { return bytes_written_; }
+
+ private:
+  TierProfile profile_;
+  std::uint64_t seed_;
+  GcModel gc_;
+  Rng rng_;
+  Bytes bytes_written_ = 0;
+  Bytes gc_debt_ = 0;
+};
+
+}  // namespace harl::storage

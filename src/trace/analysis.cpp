@@ -1,0 +1,69 @@
+#include "src/trace/analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "src/common/units.hpp"
+
+namespace harl::trace {
+
+WorkloadStats characterize(std::span<const TraceRecord> records) {
+  WorkloadStats stats;
+  if (records.empty()) return stats;
+
+  std::vector<double> all;
+  std::vector<double> reads;
+  std::vector<double> writes;
+  all.reserve(records.size());
+  stats.min_offset = records.front().offset;
+
+  for (const auto& r : records) {
+    ++stats.total_requests;
+    all.push_back(static_cast<double>(r.size));
+    stats.min_offset = std::min(stats.min_offset, r.offset);
+    stats.max_end = std::max(stats.max_end, r.offset + r.size);
+    if (r.op == IoOp::kRead) {
+      ++stats.read_requests;
+      stats.read_bytes += r.size;
+      reads.push_back(static_cast<double>(r.size));
+    } else {
+      ++stats.write_requests;
+      stats.write_bytes += r.size;
+      writes.push_back(static_cast<double>(r.size));
+    }
+  }
+  stats.request_size = summarize(all);
+  stats.read_request_size = summarize(reads);
+  stats.write_request_size = summarize(writes);
+  return stats;
+}
+
+std::vector<IoPhase> io_phases(std::span<const TraceRecord> records) {
+  std::vector<IoPhase> phases;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (phases.empty() || phases.back().op != records[i].op) {
+      phases.push_back(IoPhase{records[i].op, i, 0, 0});
+    }
+    ++phases.back().count;
+    phases.back().bytes += records[i].size;
+  }
+  return phases;
+}
+
+std::string describe(const WorkloadStats& stats) {
+  std::ostringstream os;
+  os << "requests: " << stats.total_requests << " (" << stats.read_requests
+     << " reads, " << stats.write_requests << " writes)\n";
+  os << "bytes: read " << format_size(stats.read_bytes) << ", write "
+     << format_size(stats.write_bytes) << "\n";
+  os << "request size: mean " << static_cast<Bytes>(stats.request_size.mean)
+     << " B, cv " << stats.request_size.cv << ", min "
+     << static_cast<Bytes>(stats.request_size.min) << " B, max "
+     << static_cast<Bytes>(stats.request_size.max) << " B\n";
+  os << "touched extent: [" << stats.min_offset << ", " << stats.max_end
+     << ")";
+  return os.str();
+}
+
+}  // namespace harl::trace

@@ -1,0 +1,47 @@
+// Workload characterization over collected traces.
+//
+// Summaries feed the examples and EXPERIMENTS.md narratives; `io_phases`
+// provides the op-type phase view the paper's motivation cites ("request
+// types can be read in one I/O phase but write in another").
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hpp"
+#include "src/trace/record.hpp"
+
+namespace harl::trace {
+
+/// Aggregate statistics of a trace (per op and combined).
+struct WorkloadStats {
+  std::size_t total_requests = 0;
+  std::size_t read_requests = 0;
+  std::size_t write_requests = 0;
+  Bytes read_bytes = 0;
+  Bytes write_bytes = 0;
+  Summary request_size;        ///< over all requests
+  Summary read_request_size;   ///< reads only
+  Summary write_request_size;  ///< writes only
+  Bytes min_offset = 0;
+  Bytes max_end = 0;  ///< max(offset + size): the touched extent of the file
+};
+
+WorkloadStats characterize(std::span<const TraceRecord> records);
+
+/// A maximal run of consecutive (in time order) records with the same op.
+struct IoPhase {
+  IoOp op = IoOp::kRead;
+  std::size_t first = 0;  ///< index into the input span
+  std::size_t count = 0;
+  Bytes bytes = 0;
+};
+
+/// Splits a temporally-ordered trace into read/write phases.
+std::vector<IoPhase> io_phases(std::span<const TraceRecord> records);
+
+/// Human-readable multi-line description of a workload (for examples).
+std::string describe(const WorkloadStats& stats);
+
+}  // namespace harl::trace

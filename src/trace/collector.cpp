@@ -1,0 +1,38 @@
+#include "src/trace/collector.hpp"
+
+#include <algorithm>
+
+namespace harl::trace {
+
+void TraceCollector::record(std::uint32_t rank, std::uint32_t fd, IoOp op,
+                            Bytes offset, Bytes size, Seconds t_start,
+                            Seconds t_end) {
+  TraceRecord rec;
+  rec.pid = rank;  // the simulated world runs one process per rank
+  rec.rank = rank;
+  rec.fd = fd;
+  rec.op = op;
+  rec.offset = offset;
+  rec.size = size;
+  rec.t_start = t_start;
+  rec.t_end = t_end;
+  records_.push_back(rec);
+}
+
+std::vector<TraceRecord> TraceCollector::sorted_by_offset() const {
+  std::vector<TraceRecord> out = records_;
+  std::sort(out.begin(), out.end(), ByOffset{});
+  return out;
+}
+
+std::vector<TraceRecord> TraceCollector::sorted_by_offset(std::uint32_t fd) const {
+  std::vector<TraceRecord> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    if (r.fd == fd) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), ByOffset{});
+  return out;
+}
+
+}  // namespace harl::trace

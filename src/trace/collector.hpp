@@ -1,0 +1,44 @@
+// IOSIG-like run-time trace collector.
+//
+// Attached to the middleware, it records every MPI-IO level file operation
+// during an application's first execution (the paper's Tracing Phase).  The
+// collector itself is passive storage; `sorted_by_offset()` applies the
+// ascending-offset ordering the region-division algorithm expects.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/trace/record.hpp"
+
+namespace harl::trace {
+
+class TraceCollector {
+ public:
+  /// Appends one completed operation.
+  void record(const TraceRecord& rec) { records_.push_back(rec); }
+
+  /// Convenience: record an operation with explicit fields.
+  void record(std::uint32_t rank, std::uint32_t fd, IoOp op, Bytes offset,
+              Bytes size, Seconds t_start, Seconds t_end);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// Records in capture (temporal) order.
+  std::span<const TraceRecord> records() const { return records_; }
+
+  /// Copy sorted ascending by offset (Section III-B: "the collector sorts
+  /// all file read and write requests in ascending order of their offsets").
+  std::vector<TraceRecord> sorted_by_offset() const;
+
+  /// Copy containing only records for file `fd`, sorted by offset.
+  std::vector<TraceRecord> sorted_by_offset(std::uint32_t fd) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace harl::trace

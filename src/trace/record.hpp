@@ -1,0 +1,39 @@
+// Trace records in the shape IOSIG produces.
+//
+// The paper's Tracing Phase captures, per file operation: process ID, MPI
+// rank, file descriptor, operation type, offset, request size and timestamps
+// (Section III-B).  HARL's Analysis Phase consumes these records sorted by
+// ascending offset.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+
+namespace harl::trace {
+
+struct TraceRecord {
+  std::uint32_t pid = 0;   ///< simulated OS process id
+  std::uint32_t rank = 0;  ///< MPI rank
+  std::uint32_t fd = 0;    ///< file descriptor / logical file id
+  IoOp op = IoOp::kRead;
+  Bytes offset = 0;
+  Bytes size = 0;
+  Seconds t_start = 0.0;   ///< simulated issue time
+  Seconds t_end = 0.0;     ///< simulated completion time
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Ordering used by the Analysis Phase: ascending offset, ties by start time
+/// then rank, so sorting is total and deterministic.
+struct ByOffset {
+  bool operator()(const TraceRecord& a, const TraceRecord& b) const {
+    if (a.offset != b.offset) return a.offset < b.offset;
+    if (a.t_start != b.t_start) return a.t_start < b.t_start;
+    return a.rank < b.rank;
+  }
+};
+
+}  // namespace harl::trace

@@ -1,0 +1,140 @@
+#include "src/trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl::trace {
+
+namespace {
+
+constexpr char kCsvHeader[] = "pid,rank,fd,op,offset,size,t_start,t_end";
+constexpr char kMagic[8] = {'H', 'A', 'R', 'L', 'T', 'R', 'C', '1'};
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T take(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("truncated binary trace");
+  return v;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << kCsvHeader << '\n';
+  os.precision(17);
+  for (const auto& r : records) {
+    os << r.pid << ',' << r.rank << ',' << r.fd << ',' << to_string(r.op)
+       << ',' << r.offset << ',' << r.size << ',' << r.t_start << ','
+       << r.t_end << '\n';
+  }
+}
+
+std::vector<TraceRecord> read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kCsvHeader) {
+    throw std::runtime_error("bad trace CSV header");
+  }
+  std::vector<TraceRecord> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    if (fields.size() != 8) {
+      throw std::runtime_error("trace CSV line has wrong field count: " + line);
+    }
+    TraceRecord r;
+    r.pid = static_cast<std::uint32_t>(std::stoul(fields[0]));
+    r.rank = static_cast<std::uint32_t>(std::stoul(fields[1]));
+    r.fd = static_cast<std::uint32_t>(std::stoul(fields[2]));
+    if (fields[3] == "read") {
+      r.op = IoOp::kRead;
+    } else if (fields[3] == "write") {
+      r.op = IoOp::kWrite;
+    } else {
+      throw std::runtime_error("unknown op in trace CSV: " + fields[3]);
+    }
+    r.offset = std::stoull(fields[4]);
+    r.size = std::stoull(fields[5]);
+    r.t_start = std::stod(fields[6]);
+    r.t_end = std::stod(fields[7]);
+    out.push_back(r);
+  }
+  return out;
+}
+
+void write_binary(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os.write(kMagic, sizeof(kMagic));
+  put<std::uint64_t>(os, records.size());
+  for (const auto& r : records) {
+    put(os, r.pid);
+    put(os, r.rank);
+    put(os, r.fd);
+    put<std::uint8_t>(os, r.op == IoOp::kRead ? 0 : 1);
+    put(os, r.offset);
+    put(os, r.size);
+    put(os, r.t_start);
+    put(os, r.t_end);
+  }
+}
+
+std::vector<TraceRecord> read_binary(std::istream& is) {
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("bad binary trace magic");
+  }
+  const auto count = take<std::uint64_t>(is);
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TraceRecord r;
+    r.pid = take<std::uint32_t>(is);
+    r.rank = take<std::uint32_t>(is);
+    r.fd = take<std::uint32_t>(is);
+    r.op = take<std::uint8_t>(is) == 0 ? IoOp::kRead : IoOp::kWrite;
+    r.offset = take<Bytes>(is);
+    r.size = take<Bytes>(is);
+    r.t_start = take<double>(is);
+    r.t_end = take<double>(is);
+    out.push_back(r);
+  }
+  return out;
+}
+
+void save_trace(const std::string& path, const std::vector<TraceRecord>& records) {
+  const bool csv = path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+  std::ofstream os(path, csv ? std::ios::out : std::ios::out | std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open trace file for write: " + path);
+  if (csv) {
+    write_csv(os, records);
+  } else {
+    write_binary(os, records);
+  }
+}
+
+std::vector<TraceRecord> load_trace(const std::string& path) {
+  const bool csv = path.size() >= 4 && path.substr(path.size() - 4) == ".csv";
+  std::ifstream is(path, csv ? std::ios::in : std::ios::in | std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open trace file for read: " + path);
+  return csv ? read_csv(is) : read_binary(is);
+}
+
+}  // namespace harl::trace

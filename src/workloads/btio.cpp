@@ -1,0 +1,118 @@
+#include "src/workloads/btio.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace harl::workloads {
+
+namespace {
+
+std::size_t integer_sqrt(std::size_t n) {
+  auto root = static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(n))));
+  while (root * root > n) --root;
+  while ((root + 1) * (root + 1) <= n) ++root;
+  return root;
+}
+
+/// Block bounds of index `i` when `extent` points split over `parts` parts.
+std::pair<Bytes, Bytes> block_bounds(std::size_t i, std::size_t parts,
+                                     std::size_t extent) {
+  const std::size_t base = extent / parts;
+  const std::size_t rem = extent % parts;
+  const std::size_t begin = i * base + std::min(i, rem);
+  const std::size_t size = base + (i < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+/// This rank's extents within one solution dump, with contiguous runs merged.
+std::vector<mw::Extent> dump_extents(const BtioConfig& c, std::size_t rank,
+                                     Bytes dump_base) {
+  const std::size_t p = integer_sqrt(c.processes);
+  const std::size_t rx = rank % p;
+  const std::size_t ry = rank / p;
+  const auto [x0, x1] = block_bounds(rx, p, c.grid);
+  const auto [y0, y1] = block_bounds(ry, p, c.grid);
+  const Bytes G = c.grid;
+  const Bytes cb = c.cell_bytes;
+
+  std::vector<mw::Extent> extents;
+  extents.reserve(static_cast<std::size_t>(G) * (y1 - y0));
+  for (Bytes z = 0; z < G; ++z) {
+    for (Bytes y = y0; y < y1; ++y) {
+      const Bytes offset = dump_base + ((z * G + y) * G + x0) * cb;
+      const Bytes size = (x1 - x0) * cb;
+      if (!extents.empty() &&
+          extents.back().offset + extents.back().size == offset) {
+        extents.back().size += size;  // merge contiguous lines
+      } else {
+        extents.push_back(mw::Extent{offset, size});
+      }
+    }
+  }
+  return extents;
+}
+
+void validate(const BtioConfig& c) {
+  const std::size_t p = integer_sqrt(c.processes);
+  if (p * p != c.processes || c.processes == 0) {
+    throw std::invalid_argument("BTIO requires a square number of processes");
+  }
+  if (c.grid < p) throw std::invalid_argument("grid smaller than process grid");
+  if (c.time_steps <= 0 || c.write_interval <= 0) {
+    throw std::invalid_argument("BTIO needs positive steps and interval");
+  }
+  if (c.cell_bytes == 0) throw std::invalid_argument("zero cell size");
+}
+
+}  // namespace
+
+BtioConfig btio_paper_config(std::size_t processes) {
+  BtioConfig c;
+  c.processes = processes;
+  c.grid = 81;  // 40 dumps x 81^3 x 40 B = 0.85 GB written; +read-back = 1.69 GB
+  return c;
+}
+
+int btio_dump_count(const BtioConfig& config) {
+  int dumps = config.time_steps / config.write_interval;
+  if (config.max_dumps > 0) dumps = std::min(dumps, config.max_dumps);
+  return dumps;
+}
+
+Bytes btio_file_size(const BtioConfig& config) {
+  const Bytes G = config.grid;
+  return static_cast<Bytes>(btio_dump_count(config)) * G * G * G *
+         config.cell_bytes;
+}
+
+std::vector<mw::RankProgram> make_btio_programs(const BtioConfig& config) {
+  validate(config);
+  const int dumps = btio_dump_count(config);
+  const Bytes G = config.grid;
+  const Bytes dump_bytes = G * G * G * config.cell_bytes;
+
+  std::vector<mw::RankProgram> programs(config.processes);
+  for (std::size_t rank = 0; rank < config.processes; ++rank) {
+    mw::RankProgram& prog = programs[rank];
+    for (int d = 0; d < dumps; ++d) {
+      if (config.compute_per_step > 0.0) {
+        prog.push_back(mw::IoAction::compute_for(
+            config.compute_per_step * config.write_interval));
+      }
+      prog.push_back(mw::IoAction::collective(
+          IoOp::kWrite,
+          dump_extents(config, rank, static_cast<Bytes>(d) * dump_bytes)));
+    }
+    if (config.read_back) {
+      prog.push_back(mw::IoAction::barrier());
+      for (int d = 0; d < dumps; ++d) {
+        prog.push_back(mw::IoAction::collective(
+            IoOp::kRead,
+            dump_extents(config, rank, static_cast<Bytes>(d) * dump_bytes)));
+      }
+    }
+  }
+  return programs;
+}
+
+}  // namespace harl::workloads

@@ -1,0 +1,68 @@
+#include "src/workloads/ior.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace harl::workloads {
+
+namespace {
+
+std::size_t default_request_count(const IorConfig& c) {
+  const Bytes segment = c.file_size / c.processes;
+  return static_cast<std::size_t>(segment / c.request_size);
+}
+
+}  // namespace
+
+std::vector<mw::RankProgram> make_ior_programs(const IorConfig& config) {
+  if (config.processes == 0) throw std::invalid_argument("IOR needs processes");
+  if (config.request_size == 0) throw std::invalid_argument("zero request size");
+  if (config.file_size / config.processes < config.request_size) {
+    throw std::invalid_argument("segment smaller than one request");
+  }
+
+  const Bytes segment = config.file_size / config.processes;
+  const Bytes slots = segment / config.request_size;
+  const std::size_t per_process = config.requests_per_process != 0
+                                      ? config.requests_per_process
+                                      : default_request_count(config);
+
+  Rng seeder(config.seed);
+  std::vector<mw::RankProgram> programs(config.processes);
+  for (std::size_t rank = 0; rank < config.processes; ++rank) {
+    Rng rng = seeder.fork();
+    const Bytes base = static_cast<Bytes>(rank) * segment;
+    mw::RankProgram& prog = programs[rank];
+    prog.reserve(per_process);
+    for (std::size_t i = 0; i < per_process; ++i) {
+      const Bytes slot =
+          config.random_offsets
+              ? rng.uniform_u64(0, slots - 1)
+              : static_cast<Bytes>(i) % slots;
+      // Segmented: slot within the rank's contiguous segment.  Interleaved:
+      // the rank's slots stride through the whole file by the process count.
+      const Bytes offset =
+          config.pattern == IorAccessPattern::kSegmented
+              ? base + slot * config.request_size
+              : (slot * config.processes + rank) * config.request_size;
+      if (config.collective) {
+        prog.push_back(mw::IoAction::collective(
+            config.op, {mw::Extent{offset, config.request_size}}));
+      } else {
+        prog.push_back(mw::IoAction::io(config.op, offset, config.request_size));
+      }
+    }
+  }
+  return programs;
+}
+
+Bytes ior_total_bytes(const IorConfig& config) {
+  const std::size_t per_process = config.requests_per_process != 0
+                                      ? config.requests_per_process
+                                      : default_request_count(config);
+  return static_cast<Bytes>(config.processes) * per_process *
+         config.request_size;
+}
+
+}  // namespace harl::workloads

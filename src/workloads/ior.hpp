@@ -1,0 +1,50 @@
+// IOR-like synthetic workload generator.
+//
+// Mirrors how the paper runs IOR (Section IV-B): P processes share one file;
+// each process owns the 1/P contiguous segment of the file and continuously
+// issues fixed-size requests at random (or sequential) offsets within its
+// segment.  Read and write phases are generated separately, exactly as IOR
+// performs its write pass and read pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+#include "src/middleware/program.hpp"
+
+namespace harl::workloads {
+
+/// How ranks carve up the shared file (IOR's two canonical modes).
+enum class IorAccessPattern {
+  /// Each rank owns one contiguous 1/P segment (the paper's setup).
+  kSegmented,
+  /// Blocks are interleaved round-robin by rank (IOR "strided"): rank r
+  /// touches blocks r, r+P, r+2P, ...
+  kInterleaved,
+};
+
+struct IorConfig {
+  std::size_t processes = 16;
+  Bytes request_size = 512 * KiB;
+  Bytes file_size = 16 * GiB;
+  /// Requests each process issues; 0 = cover its whole segment once.
+  std::size_t requests_per_process = 0;
+  /// Random request offsets within the rank's share (paper's mode);
+  /// sequential otherwise.  Offsets are request-size aligned either way.
+  bool random_offsets = true;
+  IorAccessPattern pattern = IorAccessPattern::kSegmented;
+  IoOp op = IoOp::kWrite;
+  /// Issue via two-phase collective I/O instead of independent requests.
+  bool collective = false;
+  std::uint64_t seed = 7;
+};
+
+/// One program per rank implementing the configured IOR pass.
+std::vector<mw::RankProgram> make_ior_programs(const IorConfig& config);
+
+/// Total application bytes the pass moves.
+Bytes ior_total_bytes(const IorConfig& config);
+
+}  // namespace harl::workloads

@@ -1,0 +1,75 @@
+#include "src/workloads/multiregion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace harl::workloads {
+
+std::vector<mw::RankProgram> make_multiregion_programs(
+    const MultiRegionConfig& config) {
+  if (config.processes == 0) throw std::invalid_argument("needs processes");
+  if (config.regions.empty()) throw std::invalid_argument("needs regions");
+  if (config.coverage <= 0.0 || config.coverage > 1.0) {
+    throw std::invalid_argument("coverage must be in (0, 1]");
+  }
+
+  Rng seeder(config.seed);
+  std::vector<mw::RankProgram> programs(config.processes);
+  std::vector<Rng> rank_rngs;
+  rank_rngs.reserve(config.processes);
+  for (std::size_t r = 0; r < config.processes; ++r) {
+    rank_rngs.push_back(seeder.fork());
+  }
+
+  Bytes region_base = 0;
+  for (const auto& region : config.regions) {
+    if (region.request_size == 0 || region.size == 0) {
+      throw std::invalid_argument("region needs nonzero size and request size");
+    }
+    const Bytes segment = region.size / config.processes;
+    if (segment < region.request_size) {
+      throw std::invalid_argument("region segment smaller than one request");
+    }
+    const Bytes slots = segment / region.request_size;
+    const auto per_process = static_cast<std::size_t>(
+        std::max<double>(1.0, config.coverage * static_cast<double>(slots)));
+
+    for (std::size_t rank = 0; rank < config.processes; ++rank) {
+      const Bytes base = region_base + static_cast<Bytes>(rank) * segment;
+      for (std::size_t i = 0; i < per_process; ++i) {
+        const Bytes slot = config.random_offsets
+                               ? rank_rngs[rank].uniform_u64(0, slots - 1)
+                               : static_cast<Bytes>(i) % slots;
+        programs[rank].push_back(mw::IoAction::io(
+            config.op, base + slot * region.request_size, region.request_size));
+      }
+      // Distinct I/O phase per region: ranks sync before moving on.
+      programs[rank].push_back(mw::IoAction::barrier());
+    }
+    region_base += region.size;
+  }
+  return programs;
+}
+
+Bytes multiregion_file_size(const MultiRegionConfig& config) {
+  Bytes total = 0;
+  for (const auto& r : config.regions) total += r.size;
+  return total;
+}
+
+Bytes multiregion_total_bytes(const MultiRegionConfig& config) {
+  Bytes total = 0;
+  for (const auto& region : config.regions) {
+    const Bytes segment = region.size / config.processes;
+    const Bytes slots = segment / region.request_size;
+    const auto per_process = static_cast<std::size_t>(
+        std::max<double>(1.0, config.coverage * static_cast<double>(slots)));
+    total += static_cast<Bytes>(config.processes) * per_process *
+             region.request_size;
+  }
+  return total;
+}
+
+}  // namespace harl::workloads

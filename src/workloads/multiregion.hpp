@@ -1,0 +1,51 @@
+// Non-uniform multi-region workload (paper Section IV-B.5).
+//
+// The paper modifies IOR to access a four-region data file (regions of
+// 256 MB / 1 GB / 2 GB / 4 GB) with a different request size per region —
+// the workload that motivates *region-level* layout.  Each region is
+// accessed IOR-style: split into per-process segments, fixed-size requests
+// at random offsets, one region after another (ranks synchronize between
+// regions with a barrier, as distinct I/O phases).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+#include "src/middleware/program.hpp"
+
+namespace harl::workloads {
+
+struct MultiRegionConfig {
+  struct Region {
+    Bytes size = 0;          ///< region length in the file
+    Bytes request_size = 0;  ///< request size used within the region
+  };
+
+  /// Paper defaults: 256M/1G/2G/4G with request sizes spanning 128K..2M.
+  std::vector<Region> regions = {
+      {256 * MiB, 128 * KiB},
+      {1 * GiB, 512 * KiB},
+      {2 * GiB, 1 * MiB},
+      {4 * GiB, 2 * MiB},
+  };
+  std::size_t processes = 16;
+  IoOp op = IoOp::kWrite;
+  /// Fraction of each region actually issued (1.0 = paper scale); lets CI
+  /// runs keep the same shape at a smaller volume.
+  double coverage = 1.0;
+  bool random_offsets = true;
+  std::uint64_t seed = 11;
+};
+
+std::vector<mw::RankProgram> make_multiregion_programs(
+    const MultiRegionConfig& config);
+
+/// Total file extent covered by the configured regions.
+Bytes multiregion_file_size(const MultiRegionConfig& config);
+
+/// Total application bytes issued.
+Bytes multiregion_total_bytes(const MultiRegionConfig& config);
+
+}  // namespace harl::workloads

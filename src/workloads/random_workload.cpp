@@ -1,0 +1,68 @@
+#include "src/workloads/random_workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace harl::workloads {
+
+namespace {
+
+Bytes align_down(Bytes value, Bytes align) {
+  return align > 1 ? value / align * align : value;
+}
+
+void validate(const RandomWorkloadConfig& c) {
+  if (c.requests == 0) throw std::invalid_argument("needs requests");
+  if (c.min_request == 0 || c.min_request > c.max_request) {
+    throw std::invalid_argument("bad request size range");
+  }
+  if (c.max_request > c.file_size) {
+    throw std::invalid_argument("max request exceeds file size");
+  }
+  if (c.write_fraction < 0.0 || c.write_fraction > 1.0) {
+    throw std::invalid_argument("write_fraction must be in [0,1]");
+  }
+  if (c.ranks == 0) throw std::invalid_argument("needs ranks");
+}
+
+}  // namespace
+
+std::vector<trace::TraceRecord> make_random_trace(
+    const RandomWorkloadConfig& config) {
+  validate(config);
+  Rng rng(config.seed);
+  std::vector<trace::TraceRecord> records;
+  records.reserve(config.requests);
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    trace::TraceRecord rec;
+    Bytes size = rng.uniform_u64(config.min_request, config.max_request);
+    size = std::max<Bytes>(align_down(size, config.align), config.min_request);
+    Bytes offset = rng.uniform_u64(0, config.file_size - size);
+    offset = align_down(offset, config.align);
+    rec.op = rng.uniform01() < config.write_fraction ? IoOp::kWrite : IoOp::kRead;
+    rec.offset = offset;
+    rec.size = size;
+    rec.rank = static_cast<std::uint32_t>(i % config.ranks);
+    rec.pid = rec.rank;
+    rec.fd = 0;
+    rec.t_start = static_cast<double>(i) * 1e-3;
+    rec.t_end = rec.t_start + 0.5e-3;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+std::vector<mw::RankProgram> make_random_programs(
+    const RandomWorkloadConfig& config) {
+  const auto trace = make_random_trace(config);
+  std::vector<mw::RankProgram> programs(config.ranks);
+  for (const auto& rec : trace) {
+    programs[rec.rank].push_back(
+        mw::IoAction::io(rec.op, rec.offset, rec.size));
+  }
+  return programs;
+}
+
+}  // namespace harl::workloads

@@ -1,0 +1,37 @@
+// Randomized workload/trace generation for property-based tests.
+//
+// Produces seeded, reproducible traces with controllable request-size
+// distributions so parameterized tests can sweep the input space of the
+// region divider, the cost model and the optimizer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/middleware/program.hpp"
+#include "src/trace/record.hpp"
+
+namespace harl::workloads {
+
+struct RandomWorkloadConfig {
+  std::size_t requests = 1000;
+  Bytes file_size = 1 * GiB;
+  Bytes min_request = 4 * KiB;
+  Bytes max_request = 2 * MiB;
+  double write_fraction = 0.5;  ///< probability a request is a write
+  Bytes align = 4 * KiB;        ///< offsets/sizes rounded to this (0 = byte)
+  std::uint32_t ranks = 4;
+  std::uint64_t seed = 1234;
+};
+
+/// A seeded random trace with offsets within [0, file_size).
+std::vector<trace::TraceRecord> make_random_trace(
+    const RandomWorkloadConfig& config);
+
+/// The same requests as rank programs (round-robin over ranks, temporal
+/// order), for end-to-end replay tests.
+std::vector<mw::RankProgram> make_random_programs(
+    const RandomWorkloadConfig& config);
+
+}  // namespace harl::workloads

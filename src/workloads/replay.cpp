@@ -1,0 +1,40 @@
+#include "src/workloads/replay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace harl::workloads {
+
+std::vector<mw::RankProgram> make_replay_programs(
+    std::span<const trace::TraceRecord> records, const ReplayOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot replay empty trace");
+
+  std::uint32_t max_rank = 0;
+  for (const auto& r : records) max_rank = std::max(max_rank, r.rank);
+  const std::size_t ranks =
+      options.ranks != 0 ? options.ranks : static_cast<std::size_t>(max_rank) + 1;
+  if (ranks <= max_rank) {
+    throw std::invalid_argument("trace contains ranks beyond the program set");
+  }
+
+  // Stable per-rank temporal order.
+  std::vector<trace::TraceRecord> ordered(records.begin(), records.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const trace::TraceRecord& a, const trace::TraceRecord& b) {
+                     return a.t_start < b.t_start;
+                   });
+
+  std::vector<mw::RankProgram> programs(ranks);
+  std::vector<Seconds> last_end(ranks, 0.0);
+  for (const auto& r : ordered) {
+    if (options.preserve_gaps && r.t_start > last_end[r.rank]) {
+      programs[r.rank].push_back(
+          mw::IoAction::compute_for(r.t_start - last_end[r.rank]));
+    }
+    programs[r.rank].push_back(mw::IoAction::io(r.op, r.offset, r.size));
+    last_end[r.rank] = std::max(last_end[r.rank], r.t_end);
+  }
+  return programs;
+}
+
+}  // namespace harl::workloads

@@ -1,0 +1,34 @@
+// Trace replay: turns a collected I/O trace back into rank programs.
+//
+// The paper motivates HARL with applications whose I/O patterns repeat
+// across runs (Section III-A); replay closes that loop in this codebase —
+// a trace captured from any source (our collector, a converted IOSIG/LANL
+// trace CSV) can be re-executed against the simulated PFS under any layout.
+// Requests are grouped by their recorded rank and replayed in each rank's
+// recorded temporal order; optional inter-arrival pacing reproduces compute
+// gaps between consecutive operations of a rank.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/middleware/program.hpp"
+#include "src/trace/record.hpp"
+
+namespace harl::workloads {
+
+struct ReplayOptions {
+  /// Reproduce think time: when a rank's next request started later than its
+  /// previous one ended, insert a compute action for the gap.
+  bool preserve_gaps = false;
+  /// Ranks in the generated program set; 0 = max rank in the trace + 1.
+  std::size_t ranks = 0;
+};
+
+/// One program per rank replaying `records`.  Records keep their per-rank
+/// temporal order (sorted by t_start within each rank).
+std::vector<mw::RankProgram> make_replay_programs(
+    std::span<const trace::TraceRecord> records,
+    const ReplayOptions& options = {});
+
+}  // namespace harl::workloads

@@ -1,0 +1,351 @@
+// Unit tests for src/common: units, RNG, statistics, intervals, config,
+// thread pool.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "src/common/config.hpp"
+#include "src/common/interval.hpp"
+#include "src/common/log.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/stats.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/units.hpp"
+
+namespace harl {
+namespace {
+
+using namespace harl::literals;
+
+// ---------------------------------------------------------------- units ----
+
+TEST(Units, ParsesPlainBytes) {
+  EXPECT_EQ(parse_size("0"), 0u);
+  EXPECT_EQ(parse_size("512"), 512u);
+}
+
+TEST(Units, ParsesBinarySuffixes) {
+  EXPECT_EQ(parse_size("64K"), 64 * KiB);
+  EXPECT_EQ(parse_size("2M"), 2 * MiB);
+  EXPECT_EQ(parse_size("1G"), 1 * GiB);
+  EXPECT_EQ(parse_size("3T"), 3 * 1024 * GiB);
+}
+
+TEST(Units, ParsesVerboseSuffixes) {
+  EXPECT_EQ(parse_size("64KB"), 64 * KiB);
+  EXPECT_EQ(parse_size("64KiB"), 64 * KiB);
+  EXPECT_EQ(parse_size("64k"), 64 * KiB);
+  EXPECT_EQ(parse_size("512B"), 512u);
+}
+
+TEST(Units, RejectsMalformedInput) {
+  EXPECT_THROW(parse_size(""), std::invalid_argument);
+  EXPECT_THROW(parse_size("K"), std::invalid_argument);
+  EXPECT_THROW(parse_size("12Q"), std::invalid_argument);
+  EXPECT_THROW(parse_size("12KXB"), std::invalid_argument);
+  EXPECT_THROW(parse_size("99999999999999999999G"), std::invalid_argument);
+}
+
+TEST(Units, RejectsOverflow) {
+  EXPECT_THROW(parse_size("18014398509481984G"), std::invalid_argument);
+}
+
+TEST(Units, FormatsExactMultiples) {
+  EXPECT_EQ(format_size(64 * KiB), "64K");
+  EXPECT_EQ(format_size(2 * MiB), "2M");
+  EXPECT_EQ(format_size(3 * GiB), "3G");
+  EXPECT_EQ(format_size(1000), "1000");
+}
+
+TEST(Units, FormatRoundTripsThroughParse) {
+  for (Bytes v : {4_KiB, 36_KiB, 148_KiB, 1_MiB, 7_GiB, Bytes{123}}) {
+    EXPECT_EQ(parse_size(format_size(v)), v);
+  }
+}
+
+TEST(Units, LiteralsMatchConstants) {
+  EXPECT_EQ(1_KiB, KiB);
+  EXPECT_EQ(1_MiB, MiB);
+  EXPECT_EQ(1_GiB, GiB);
+}
+
+TEST(Units, FormatsThroughput) {
+  EXPECT_EQ(format_throughput(117.0 * 1024 * 1024), "117.0 MB/s");
+  EXPECT_EQ(format_throughput(0.0), "0.0 MB/s");
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64CoversFullRangeInclusive) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_u64(10, 13));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 10u);
+  EXPECT_EQ(*seen.rbegin(), 13u);
+}
+
+TEST(Rng, UniformU64SingletonRange) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(5, 5), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  Rng parent2(21);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child.next(), child2.next());
+  // Child differs from a fresh parent stream.
+  Rng fresh(21);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += child.next() == fresh.next();
+  EXPECT_LT(same, 3);
+}
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+  EXPECT_EQ(rs.cv(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedFormOnKnownSample) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(rs.cv(), 0.4);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, ConstantSampleHasZeroCv) {
+  RunningStats rs;
+  for (int i = 0; i < 50; ++i) rs.add(512.0);
+  EXPECT_DOUBLE_EQ(rs.cv(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats rs;
+  rs.add(1.0);
+  rs.add(2.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableOnLargeOffsets) {
+  RunningStats rs;
+  const double base = 1e12;
+  for (double x : {base + 1, base + 2, base + 3}) rs.add(x);
+  EXPECT_NEAR(rs.mean(), base + 2, 1e-3);
+  EXPECT_NEAR(rs.variance(), 2.0 / 3.0, 1e-6);
+}
+
+TEST(Summarize, AgreesWithRunningStats) {
+  std::vector<double> xs = {1, 5, 2, 8, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.8);
+  EXPECT_DOUBLE_EQ(s.sum, 19.0);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 8.0);
+}
+
+TEST(Percentile, HandlesEdgesAndInterpolation) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(Histogram, CountsBucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(5.0);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(2), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_high(1), 4.0);
+}
+
+TEST(Histogram, RejectsDegenerateRanges) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- interval ----
+
+TEST(Interval, BasicPredicates) {
+  const ByteInterval iv{10, 20};
+  EXPECT_EQ(iv.length(), 10u);
+  EXPECT_FALSE(iv.empty());
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_FALSE(iv.contains(20));
+  EXPECT_TRUE(iv.contains(ByteInterval{12, 18}));
+  EXPECT_FALSE(iv.contains(ByteInterval{12, 21}));
+  EXPECT_TRUE(iv.contains(ByteInterval{5, 5}));  // empty is contained
+}
+
+TEST(Interval, OverlapAndIntersection) {
+  const ByteInterval a{0, 10};
+  const ByteInterval b{5, 15};
+  const ByteInterval c{10, 20};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));  // half-open: touching is disjoint
+  EXPECT_EQ(intersect(a, b), (ByteInterval{5, 10}));
+  EXPECT_TRUE(intersect(a, c).empty());
+}
+
+TEST(Interval, IntervalOfBuildsHalfOpenRange) {
+  EXPECT_EQ(interval_of(100, 50), (ByteInterval{100, 150}));
+  EXPECT_TRUE(interval_of(100, 0).empty());
+}
+
+// --------------------------------------------------------------- config ----
+
+TEST(Config, ParsesKeyValuePairs) {
+  const auto cfg = Config::from_args({"a=1", "b=hello", "size=64K"});
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_or("b", ""), "hello");
+  EXPECT_EQ(cfg.get_size("size", 0), 64 * KiB);
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+}
+
+TEST(Config, LaterDuplicatesWin) {
+  const auto cfg = Config::from_args({"x=1", "x=2"});
+  EXPECT_EQ(cfg.get_int("x", 0), 2);
+}
+
+TEST(Config, FromStringSplitsOnWhitespaceAndCommas) {
+  const auto cfg = Config::from_string("a=1, b=2\n c=3");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_int("b", 0), 2);
+  EXPECT_EQ(cfg.get_int("c", 0), 3);
+}
+
+TEST(Config, BooleansAcceptCommonSpellings) {
+  const auto cfg = Config::from_args({"t=yes", "f=OFF"});
+  EXPECT_TRUE(cfg.get_bool("t", false));
+  EXPECT_FALSE(cfg.get_bool("f", true));
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(Config, RejectsMalformedEntries) {
+  EXPECT_THROW(Config::from_args({"novalue"}), std::invalid_argument);
+  EXPECT_THROW(Config::from_args({"=x"}), std::invalid_argument);
+  const auto cfg = Config::from_args({"b=maybe"});
+  EXPECT_THROW(cfg.get_bool("b", false), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ log ----
+
+TEST(Log, LevelGatesEmission) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold calls are no-ops (observable only via the level check,
+  // but they must not crash or deadlock).
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2);
+  log_warn("dropped ", 3);
+  set_log_level(LogLevel::kOff);
+  log_error("also dropped");
+  set_log_level(before);
+}
+
+// ---------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitExceptionsSurfaceThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace harl

@@ -1,0 +1,160 @@
+// End-to-end integration tests: the full Tracing -> Analysis -> Placing
+// pipeline against the simulated hybrid PFS, asserting the paper's headline
+// *shape* results (who wins) at CI scale.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.hpp"
+
+namespace harl::harness {
+namespace {
+
+ExperimentOptions ci_options() {
+  ExperimentOptions opts;
+  opts.calibration.samples_per_size = 400;
+  opts.calibration.beta_samples = 400;
+  return opts;
+}
+
+workloads::IorConfig ci_ior(Bytes request_size = 512 * KiB) {
+  workloads::IorConfig ior;
+  ior.processes = 16;
+  ior.file_size = 1 * GiB;
+  ior.request_size = request_size;
+  ior.requests_per_process = 24;
+  return ior;
+}
+
+TEST(Integration, HarlBeatsTheDefaultLayoutOnUniformIor) {
+  Experiment exp(ci_options());
+  const auto bundle = ior_bundle(ci_ior());
+  const auto fixed64 = exp.run(bundle, LayoutScheme::fixed(64 * KiB));
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  // Paper Fig. 7: HARL improves on the 64 KiB default for both ops.
+  EXPECT_GT(harl.write.throughput(), fixed64.write.throughput());
+  EXPECT_GT(harl.read.throughput(), fixed64.read.throughput());
+}
+
+TEST(Integration, HarlIsCompetitiveWithEveryFixedStripe) {
+  Experiment exp(ci_options());
+  const auto bundle = ior_bundle(ci_ior());
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  for (Bytes stripe : {16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 2 * MiB}) {
+    const auto fixed = exp.run(bundle, LayoutScheme::fixed(stripe));
+    // The model is an approximation of the simulator, so allow a small
+    // margin; the paper's claim is that no fixed stripe beats HARL.
+    EXPECT_GE(harl.total.throughput(), 0.93 * fixed.total.throughput())
+        << "fixed stripe " << format_size(stripe);
+  }
+}
+
+TEST(Integration, HarlBeatsRandomStripes) {
+  Experiment exp(ci_options());
+  const auto bundle = ior_bundle(ci_ior());
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const auto rnd = exp.run(bundle, LayoutScheme::random_stripes(seed));
+    EXPECT_GE(harl.total.throughput(), rnd.total.throughput()) << "seed " << seed;
+  }
+}
+
+TEST(Integration, DefaultLayoutShowsLoadImbalance) {
+  // Paper Fig. 1a: under the fixed 64 KiB layout, HServers spend several
+  // times the I/O time of SServers.
+  Experiment exp(ci_options());
+  const auto result = exp.run(ior_bundle(ci_ior()), LayoutScheme::fixed(64 * KiB));
+  ASSERT_EQ(result.server_io_time.size(), 8u);
+  Seconds h_avg = 0.0;
+  Seconds s_avg = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) h_avg += result.server_io_time[i] / 6.0;
+  for (std::size_t i = 6; i < 8; ++i) s_avg += result.server_io_time[i] / 2.0;
+  const double ratio = h_avg / s_avg;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 7.0);
+}
+
+TEST(Integration, HarlEvensOutServerIoTimes) {
+  Experiment exp(ci_options());
+  const auto bundle = ior_bundle(ci_ior());
+  const auto fixed64 = exp.run(bundle, LayoutScheme::fixed(64 * KiB));
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  auto imbalance = [](const SchemeResult& r) {
+    Seconds h = 0.0;
+    Seconds s = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) h += r.server_io_time[i] / 6.0;
+    for (std::size_t i = 6; i < 8; ++i) s += r.server_io_time[i] / 2.0;
+    return s > 0.0 ? h / s : 0.0;
+  };
+  // HARL shifts bytes toward SServers, closing the H/S gap.
+  EXPECT_LT(imbalance(harl), imbalance(fixed64));
+}
+
+TEST(Integration, RegionLevelBeatsFileLevelOnNonUniformWorkload) {
+  // Paper Section IV-B.5: when different parts of the file see
+  // qualitatively different workloads (tiny requests that belong on
+  // SServers only vs huge requests that want a hybrid spread), one
+  // file-level stripe pair cannot fit both and region-level layout wins.
+  ExperimentOptions opts = ci_options();
+  Experiment exp(opts);
+
+  workloads::MultiRegionConfig mr;
+  mr.processes = 8;
+  mr.regions = {
+      {32 * MiB, 16 * KiB},
+      {128 * MiB, 512 * KiB},
+      {256 * MiB, 2 * MiB},
+  };
+  mr.coverage = 0.2;
+  const auto bundle = multiregion_bundle(mr);
+
+  const auto region_level = exp.run(bundle, LayoutScheme::harl());
+  const auto file_level = exp.run(bundle, LayoutScheme::file_level_harl());
+  EXPECT_GE(region_level.total.throughput(), file_level.total.throughput());
+  EXPECT_GT(region_level.region_count, file_level.region_count);
+}
+
+TEST(Integration, HarlBeatsDefaultOnNonUniformWorkload) {
+  Experiment exp(ci_options());
+  workloads::MultiRegionConfig mr;
+  mr.processes = 8;
+  mr.regions = {
+      {64 * MiB, 128 * KiB},
+      {128 * MiB, 1 * MiB},
+  };
+  mr.coverage = 0.2;
+  const auto bundle = multiregion_bundle(mr);
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  const auto fixed64 = exp.run(bundle, LayoutScheme::fixed(64 * KiB));
+  EXPECT_GT(harl.total.throughput(), fixed64.total.throughput());
+}
+
+TEST(Integration, BtioHarlBeatsDefault) {
+  // Paper Fig. 12 at CI scale: small grid, few dumps.
+  ExperimentOptions opts = ci_options();
+  Experiment exp(opts);
+  workloads::BtioConfig btio;
+  btio.processes = 16;
+  btio.grid = 32;
+  btio.time_steps = 20;
+  btio.write_interval = 5;
+  const auto bundle = btio_bundle(btio);
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  const auto fixed64 = exp.run(bundle, LayoutScheme::fixed(64 * KiB));
+  EXPECT_GT(harl.total.throughput(), fixed64.total.throughput());
+  EXPECT_GT(harl.total.bytes, 0u);
+}
+
+TEST(Integration, WholePipelineIsDeterministic) {
+  const auto run_once = [] {
+    Experiment exp(ci_options());
+    workloads::IorConfig ior = ci_ior();
+    ior.requests_per_process = 8;
+    return exp.run(ior_bundle(ior), LayoutScheme::harl());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total.makespan, b.total.makespan);
+  EXPECT_EQ(a.layout_description, b.layout_description);
+}
+
+}  // namespace
+}  // namespace harl::harness

@@ -1,0 +1,294 @@
+// Tests for file data layouts: fixed/varied striping and region-level
+// layouts, including the partition property (every mapped request exactly
+// tiles its byte range) checked over randomized parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/common/rng.hpp"
+#include "src/pfs/layout.hpp"
+#include "src/pfs/region_layout.hpp"
+
+namespace harl::pfs {
+namespace {
+
+/// Verifies that `subs` exactly tiles [offset, offset+size) with no overlap,
+/// by reconstructing coverage from (file_offset, size) of each sub-request
+/// combined with per-(server, object) contiguity.
+void expect_partition(const std::vector<SubRequest>& subs, Bytes offset,
+                      Bytes size, const Layout& layout) {
+  Bytes total = 0;
+  for (const auto& sub : subs) {
+    EXPECT_GT(sub.size, 0u);
+    EXPECT_LT(sub.server, layout.server_count());
+    total += sub.size;
+  }
+  EXPECT_EQ(total, size);
+
+  // Cross-check against the piecewise walk when available: per-server byte
+  // totals must agree.
+  if (const auto* varied = dynamic_cast<const VariedStripeLayout*>(&layout)) {
+    std::map<std::size_t, Bytes> agg;
+    std::map<std::size_t, Bytes> pieces;
+    for (const auto& sub : subs) agg[sub.server] += sub.size;
+    for (const auto& sub : varied->map_pieces(offset, size)) {
+      pieces[sub.server] += sub.size;
+    }
+    EXPECT_EQ(agg, pieces);
+  }
+}
+
+TEST(FixedLayout, MapsOnePeriodRoundRobin) {
+  auto layout = make_fixed_layout(4, 64 * KiB);
+  const auto subs = layout->map(0, 256 * KiB);
+  ASSERT_EQ(subs.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(subs[i].server, i);
+    EXPECT_EQ(subs[i].size, 64 * KiB);
+    EXPECT_EQ(subs[i].server_offset, 0u);
+    EXPECT_EQ(subs[i].file_offset, i * 64 * KiB);
+  }
+}
+
+TEST(FixedLayout, SecondPeriodAdvancesServerOffsets) {
+  auto layout = make_fixed_layout(2, 1 * KiB);
+  const auto subs = layout->map(2 * KiB, 2 * KiB);  // period 1 exactly
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].server_offset, 1 * KiB);
+  EXPECT_EQ(subs[1].server_offset, 1 * KiB);
+}
+
+TEST(FixedLayout, UnalignedRequestSplitsAtStripeBoundaries) {
+  auto layout = make_fixed_layout(2, 100);
+  // Request [150, 350): 50 bytes on server 1 (period 0), 100 on server 0
+  // (period 1), 50 on server 1 (period 1) -> aggregated per server.
+  const auto subs = layout->map(150, 200);
+  ASSERT_EQ(subs.size(), 2u);
+  // Order by file_offset: server 1 first (its extent starts at 150).
+  EXPECT_EQ(subs[0].server, 1u);
+  EXPECT_EQ(subs[0].size, 100u);
+  EXPECT_EQ(subs[0].server_offset, 50u);
+  EXPECT_EQ(subs[1].server, 0u);
+  EXPECT_EQ(subs[1].size, 100u);
+  EXPECT_EQ(subs[1].server_offset, 100u);
+}
+
+TEST(VariedLayout, ZeroStripeServersAreSkipped) {
+  VariedStripeLayout layout({0, 0, 64 * KiB, 64 * KiB});
+  const auto subs = layout.map(0, 256 * KiB);
+  for (const auto& sub : subs) EXPECT_GE(sub.server, 2u);
+  Bytes total = 0;
+  for (const auto& sub : subs) total += sub.size;
+  EXPECT_EQ(total, 256 * KiB);
+}
+
+TEST(VariedLayout, TwoTierStripesFollowPeriodStructure) {
+  // Paper Fig. 2b-style: 2 HServers @ 36K, 1 SServer @ 148K; period 220K.
+  auto layout = make_two_tier_layout(2, 36 * KiB, 1, 148 * KiB);
+  EXPECT_EQ(layout->period(), 220 * KiB);
+  const auto subs = layout->map(0, 220 * KiB);
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0].size, 36 * KiB);
+  EXPECT_EQ(subs[1].size, 36 * KiB);
+  EXPECT_EQ(subs[2].size, 148 * KiB);
+  EXPECT_EQ(subs[2].server, 2u);
+}
+
+TEST(VariedLayout, AggregatedExtentIsContiguousOnServer) {
+  auto layout = make_fixed_layout(2, 100);
+  // Request spans 3 periods: each server's pieces fuse into one extent.
+  const auto subs = layout->map(0, 600);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].size, 300u);
+  EXPECT_EQ(subs[0].server_offset, 0u);
+  EXPECT_EQ(subs[1].size, 300u);
+}
+
+TEST(VariedLayout, EmptyRequestMapsToNothing) {
+  auto layout = make_fixed_layout(3, 64 * KiB);
+  EXPECT_TRUE(layout->map(123, 0).empty());
+}
+
+TEST(VariedLayout, RejectsDegenerateConfigs) {
+  EXPECT_THROW(VariedStripeLayout({}), std::invalid_argument);
+  EXPECT_THROW(VariedStripeLayout({0, 0}), std::invalid_argument);
+}
+
+TEST(VariedLayout, DescribeCollapsesRuns) {
+  auto layout = make_two_tier_layout(6, 36 * KiB, 2, 148 * KiB);
+  EXPECT_EQ(layout->describe(), "6x36K+2x148K");
+  auto fixed = make_fixed_layout(8, 64 * KiB);
+  EXPECT_EQ(fixed->describe(), "8x64K");
+}
+
+TEST(VariedLayout, MapPiecesWalksFileOrder) {
+  auto layout = make_fixed_layout(2, 100);
+  const auto pieces = layout->map_pieces(50, 200);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].file_offset, 50u);
+  EXPECT_EQ(pieces[0].size, 50u);
+  EXPECT_EQ(pieces[1].file_offset, 100u);
+  EXPECT_EQ(pieces[1].size, 100u);
+  EXPECT_EQ(pieces[2].file_offset, 200u);
+  EXPECT_EQ(pieces[2].size, 50u);
+}
+
+// Property sweep: random layouts and requests, aggregated map vs piecewise
+// walk must agree and tile exactly.
+struct LayoutCase {
+  std::size_t M;
+  std::size_t N;
+  Bytes h;
+  Bytes s;
+};
+
+class LayoutPartitionProperty : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutPartitionProperty, MapTilesRequestsExactly) {
+  const LayoutCase c = GetParam();
+  auto layout = make_two_tier_layout(c.M, c.h, c.N, c.s);
+  Rng rng(c.M * 1000 + c.N * 100 + c.h + c.s);
+  // Cap sizes so the O(size/stripe) reference walk stays fast for
+  // byte-granularity stripes.
+  const Bytes max_size = std::min<Bytes>(4 * MiB, layout->period() * 50);
+  for (int i = 0; i < 200; ++i) {
+    const Bytes offset = rng.uniform_u64(0, 8 * MiB);
+    const Bytes size = rng.uniform_u64(1, max_size);
+    const auto subs = layout->map(offset, size);
+    expect_partition(subs, offset, size, *layout);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutPartitionProperty,
+    ::testing::Values(LayoutCase{6, 2, 64 * KiB, 64 * KiB},
+                      LayoutCase{6, 2, 36 * KiB, 148 * KiB},
+                      LayoutCase{6, 2, 0, 64 * KiB},
+                      LayoutCase{2, 6, 4 * KiB, 2 * MiB},
+                      LayoutCase{7, 1, 13, 29},      // odd byte-level stripes
+                      LayoutCase{1, 1, 1, 5},
+                      LayoutCase{4, 0, 128 * KiB, 0},
+                      LayoutCase{0, 3, 0, 32 * KiB}));
+
+TEST(VariedLayout, PiecesCountStripeUnits) {
+  auto layout = make_fixed_layout(2, 100);
+  // Request spanning 3 periods: each server's extent merges 3 stripe units.
+  for (const auto& sub : layout->map(0, 600)) EXPECT_EQ(sub.pieces, 3u);
+  // Single-period partial: one unit.
+  for (const auto& sub : layout->map(0, 150)) EXPECT_EQ(sub.pieces, 1u);
+}
+
+class LayoutPiecesProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutPiecesProperty, PiecesMatchThePiecewiseWalk) {
+  auto layout = make_two_tier_layout(3, 20 * KiB, 2, 52 * KiB);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 150; ++i) {
+    const Bytes offset = rng.uniform_u64(0, 4 * MiB);
+    const Bytes size = rng.uniform_u64(1, 2 * MiB);
+    std::map<std::size_t, Bytes> walk_pieces;
+    for (const auto& piece : layout->map_pieces(offset, size)) {
+      ++walk_pieces[piece.server];
+    }
+    for (const auto& sub : layout->map(offset, size)) {
+      EXPECT_EQ(sub.pieces, walk_pieces[sub.server])
+          << "o=" << offset << " r=" << size << " server=" << sub.server;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutPiecesProperty, ::testing::Values(1, 2));
+
+// ------------------------------------------------------------- regions ----
+
+RegionLayout three_region_layout() {
+  // Paper Fig. 6's example RST.
+  return RegionLayout(6, 2,
+                      {RegionSpec{0, 16 * KiB, 64 * KiB},
+                       RegionSpec{128 * MiB, 36 * KiB, 144 * KiB},
+                       RegionSpec{192 * MiB, 26 * KiB, 80 * KiB}});
+}
+
+TEST(RegionLayout, RegionOfFindsGoverningRegion) {
+  const auto layout = three_region_layout();
+  EXPECT_EQ(layout.region_of(0), 0u);
+  EXPECT_EQ(layout.region_of(128 * MiB - 1), 0u);
+  EXPECT_EQ(layout.region_of(128 * MiB), 1u);
+  EXPECT_EQ(layout.region_of(300 * MiB), 2u);
+}
+
+TEST(RegionLayout, SubRequestsCarryRegionObjectIds) {
+  const auto layout = three_region_layout();
+  for (const auto& sub : layout.map(10 * MiB, 1 * MiB)) EXPECT_EQ(sub.object, 0u);
+  for (const auto& sub : layout.map(130 * MiB, 1 * MiB)) EXPECT_EQ(sub.object, 1u);
+  for (const auto& sub : layout.map(200 * MiB, 1 * MiB)) EXPECT_EQ(sub.object, 2u);
+}
+
+TEST(RegionLayout, RequestSpanningBoundarySplitsPerRegion) {
+  const auto layout = three_region_layout();
+  const Bytes offset = 128 * MiB - 512 * KiB;
+  const auto subs = layout.map(offset, 1 * MiB);
+  Bytes region0 = 0;
+  Bytes region1 = 0;
+  for (const auto& sub : subs) {
+    (sub.object == 0 ? region0 : region1) += sub.size;
+    EXPECT_LE(sub.object, 1u);
+  }
+  EXPECT_EQ(region0, 512 * KiB);
+  EXPECT_EQ(region1, 512 * KiB);
+}
+
+TEST(RegionLayout, RegionRelativeAddressingStartsAtZero) {
+  const auto layout = three_region_layout();
+  // First bytes of region 1 land at server offset 0 of its objects.
+  const auto subs = layout.map(128 * MiB, 36 * KiB);
+  ASSERT_FALSE(subs.empty());
+  EXPECT_EQ(subs[0].server, 0u);
+  EXPECT_EQ(subs[0].server_offset, 0u);
+}
+
+TEST(RegionLayout, TilesAcrossAllRegions) {
+  const auto layout = three_region_layout();
+  const Bytes offset = 100 * MiB;
+  const Bytes size = 150 * MiB;  // touches all three regions
+  Bytes total = 0;
+  for (const auto& sub : layout.map(offset, size)) total += sub.size;
+  EXPECT_EQ(total, size);
+}
+
+TEST(RegionLayout, ValidatesConstruction) {
+  EXPECT_THROW(RegionLayout(6, 2, {}), std::invalid_argument);
+  EXPECT_THROW(RegionLayout(6, 2, {RegionSpec{10, 64 * KiB, 64 * KiB}}),
+               std::invalid_argument);  // must start at 0
+  EXPECT_THROW(RegionLayout(6, 2,
+                            {RegionSpec{0, 64 * KiB, 64 * KiB},
+                             RegionSpec{0, 4 * KiB, 4 * KiB}}),
+               std::invalid_argument);  // strictly increasing
+  EXPECT_THROW(RegionLayout(6, 2, {RegionSpec{0, 0, 0}}),
+               std::invalid_argument);  // all-zero stripes
+  EXPECT_THROW(RegionLayout(0, 2, {RegionSpec{0, 64 * KiB, 0}}),
+               std::invalid_argument);  // stripes only over absent servers
+}
+
+TEST(RegionLayout, DescribeSummarizesRegions) {
+  const auto layout = three_region_layout();
+  const std::string text = layout.describe();
+  EXPECT_NE(text.find("3 regions"), std::string::npos);
+  EXPECT_NE(text.find("{16K,64K}"), std::string::npos);
+}
+
+TEST(RegionLayout, LastRegionExtendsToInfinity) {
+  const auto layout = three_region_layout();
+  const auto subs = layout.map(10 * GiB, 1 * MiB);
+  Bytes total = 0;
+  for (const auto& sub : subs) {
+    EXPECT_EQ(sub.object, 2u);
+    total += sub.size;
+  }
+  EXPECT_EQ(total, 1 * MiB);
+}
+
+}  // namespace
+}  // namespace harl::pfs

@@ -1,0 +1,118 @@
+// Unit tests for the network model.
+#include <gtest/gtest.h>
+
+#include "src/net/network.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace harl::net {
+namespace {
+
+NetworkParams simple_params() {
+  NetworkParams p;
+  p.per_byte = 1e-6;       // 1 us per byte: easy arithmetic
+  p.message_latency = 1e-3;
+  return p;
+}
+
+TEST(Network, PresetsLookLikeTheirLinkSpeeds) {
+  const NetworkParams ge = gigabit_ethernet();
+  EXPECT_NEAR(1.0 / ge.per_byte / (1024.0 * 1024.0), 117.0, 1.0);
+  const NetworkParams tge = ten_gigabit_ethernet();
+  EXPECT_LT(tge.per_byte, ge.per_byte);
+}
+
+TEST(Network, SingleTransferCrossesTwoLinks) {
+  sim::Simulator sim;
+  Network nw(sim, simple_params(), 1, 1);
+  Seconds done = 0.0;
+  nw.transfer(0, 0, 1000, Direction::kServerToClient, [&] { done = sim.now(); });
+  sim.run();
+  // Two hops: each latency + 1000 bytes * 1us.
+  EXPECT_DOUBLE_EQ(done, 2 * (1e-3 + 1000e-6));
+}
+
+TEST(Network, ServerLinkSerializesConcurrentPulls) {
+  sim::Simulator sim;
+  Network nw(sim, simple_params(), 2, 1);
+  std::vector<Seconds> done;
+  // Two clients pull from the same server at t=0: the server NIC serializes
+  // the first hop.
+  nw.transfer(0, 0, 1000, Direction::kServerToClient, [&] { done.push_back(sim.now()); });
+  nw.transfer(1, 0, 1000, Direction::kServerToClient, [&] { done.push_back(sim.now()); });
+  sim.run();
+  const Seconds hop = 1e-3 + 1000e-6;
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2 * hop);
+  EXPECT_DOUBLE_EQ(done[1], 3 * hop);  // queued one hop behind on the server NIC
+}
+
+TEST(Network, DistinctServersDoNotContend) {
+  sim::Simulator sim;
+  Network nw(sim, simple_params(), 2, 2);
+  std::vector<Seconds> done;
+  nw.transfer(0, 0, 1000, Direction::kServerToClient, [&] { done.push_back(sim.now()); });
+  nw.transfer(1, 1, 1000, Direction::kServerToClient, [&] { done.push_back(sim.now()); });
+  sim.run();
+  const Seconds hop = 1e-3 + 1000e-6;
+  EXPECT_DOUBLE_EQ(done[0], 2 * hop);
+  EXPECT_DOUBLE_EQ(done[1], 2 * hop);
+}
+
+TEST(Network, WriteDirectionLoadsClientLinkFirst) {
+  sim::Simulator sim;
+  Network nw(sim, simple_params(), 1, 2);
+  // Client pushes to two servers: its own NIC is the shared first hop.
+  std::vector<Seconds> done;
+  nw.transfer(0, 0, 1000, Direction::kClientToServer, [&] { done.push_back(sim.now()); });
+  nw.transfer(0, 1, 1000, Direction::kClientToServer, [&] { done.push_back(sim.now()); });
+  sim.run();
+  const Seconds hop = 1e-3 + 1000e-6;
+  EXPECT_DOUBLE_EQ(done[0], 2 * hop);
+  EXPECT_DOUBLE_EQ(done[1], 3 * hop);
+  EXPECT_DOUBLE_EQ(nw.client_link(0).busy_time(), 2 * hop);
+}
+
+TEST(Network, ClientTransferSameNodeIsFree) {
+  sim::Simulator sim;
+  Network nw(sim, simple_params(), 2, 1);
+  bool fired = false;
+  nw.client_transfer(1, 1, 1 * GiB, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(nw.client_link(1).busy_time(), 0.0);
+}
+
+TEST(Network, ClientTransferCrossNodeUsesBothLinks) {
+  sim::Simulator sim;
+  Network nw(sim, simple_params(), 2, 1);
+  Seconds done = 0.0;
+  nw.client_transfer(0, 1, 500, [&] { done = sim.now(); });
+  sim.run();
+  const Seconds hop = 1e-3 + 500e-6;
+  EXPECT_DOUBLE_EQ(done, 2 * hop);
+  EXPECT_DOUBLE_EQ(nw.client_link(0).busy_time(), hop);
+  EXPECT_DOUBLE_EQ(nw.client_link(1).busy_time(), hop);
+}
+
+TEST(Network, RejectsEmptyTopology) {
+  sim::Simulator sim;
+  EXPECT_THROW(Network(sim, simple_params(), 0, 1), std::invalid_argument);
+  EXPECT_THROW(Network(sim, simple_params(), 1, 0), std::invalid_argument);
+}
+
+TEST(NetworkProfiler, RecoversParameters) {
+  const NetworkParams actual = gigabit_ethernet();
+  const NetworkParams fitted = profile_network(actual, 200);
+  EXPECT_NEAR(fitted.per_byte, actual.per_byte, actual.per_byte * 1e-6);
+  EXPECT_NEAR(fitted.message_latency, actual.message_latency,
+              actual.message_latency * 1e-6);
+}
+
+TEST(NetworkProfiler, RejectsBadArguments) {
+  EXPECT_THROW(profile_network(gigabit_ethernet(), 0), std::invalid_argument);
+  EXPECT_THROW(profile_network(gigabit_ethernet(), 10, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harl::net

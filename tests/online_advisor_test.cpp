@@ -1,0 +1,162 @@
+// Tests for the on-line re-layout advisor (paper future work #2).
+#include <gtest/gtest.h>
+
+#include "src/core/online_advisor.hpp"
+#include "src/storage/profiles.hpp"
+
+namespace harl::core {
+namespace {
+
+CostParams calibrated_params() {
+  CostParams p = make_cost_params(6, 2, storage::hdd_profile(),
+                                  storage::pcie_ssd_profile(),
+                                  1.0 / (117.0 * 1024 * 1024));
+  for (storage::OpProfile* prof : {&p.hserver_read, &p.hserver_write}) {
+    prof->per_byte += prof->startup_mean() / static_cast<double>(64 * KiB);
+    prof->startup_min *= 0.55;
+    prof->startup_max *= 0.55;
+  }
+  return p;
+}
+
+trace::TraceRecord request(Bytes offset, Bytes size, IoOp op = IoOp::kRead) {
+  trace::TraceRecord r;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  return r;
+}
+
+/// An RST optimized for 512 KiB requests (paper-shaped hybrid pair).
+RegionStripeTable tuned_for_large_requests() {
+  RegionStripeTable rst;
+  rst.add(0, {28 * KiB, 172 * KiB});
+  return rst;
+}
+
+TEST(OnlineAdvisor, SteadyWorkloadProducesNoRecommendation) {
+  OnlineAdvisor::Options opts;
+  opts.window = 64;
+  OnlineAdvisor advisor(calibrated_params(), tuned_for_large_requests(), opts);
+
+  // The workload the RST was built for: no window should clear min_gain.
+  for (int w = 0; w < 3; ++w) {
+    for (std::size_t i = 0; i < 64; ++i) {
+      const auto rec =
+          advisor.observe(request((i % 512) * 512 * KiB, 512 * KiB));
+      EXPECT_FALSE(rec.has_value());
+    }
+  }
+  EXPECT_EQ(advisor.windows_analyzed(), 3u);
+  EXPECT_EQ(advisor.recommendations_made(), 0u);
+}
+
+TEST(OnlineAdvisor, WorkloadShiftTriggersRecommendation) {
+  OnlineAdvisor::Options opts;
+  opts.window = 64;
+  OnlineAdvisor advisor(calibrated_params(), tuned_for_large_requests(), opts);
+
+  // The workload shifts to small requests, for which the optimal layout is
+  // SServer-only (paper Fig. 9) — the hybrid RST is now badly wrong.
+  std::optional<OnlineAdvisor::Recommendation> rec;
+  for (std::size_t i = 0; i < 64 && !rec; ++i) {
+    rec = advisor.observe(request((i % 1024) * 128 * KiB, 128 * KiB));
+  }
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_GT(rec->gain, 0.10);
+  EXPECT_LT(rec->optimized_cost, rec->current_cost);
+  EXPECT_EQ(rec->window_requests, 64u);
+  EXPECT_GT(rec->affected_extent, 0u);
+  // The proposed layout is SServer-only for the small-request window.
+  EXPECT_EQ(rec->rst.lookup(0).stripes.h, 0u);
+}
+
+TEST(OnlineAdvisor, AdoptInstallsTheNewTable) {
+  OnlineAdvisor::Options opts;
+  opts.window = 64;
+  OnlineAdvisor advisor(calibrated_params(), tuned_for_large_requests(), opts);
+
+  std::optional<OnlineAdvisor::Recommendation> rec;
+  for (std::size_t i = 0; i < 64; ++i) {
+    rec = advisor.observe(request((i % 1024) * 128 * KiB, 128 * KiB));
+  }
+  ASSERT_TRUE(rec.has_value());
+  advisor.adopt(*rec);
+  EXPECT_EQ(advisor.current().lookup(0).stripes, rec->rst.lookup(0).stripes);
+
+  // After adoption the same workload no longer triggers recommendations.
+  std::optional<OnlineAdvisor::Recommendation> again;
+  for (std::size_t i = 0; i < 64; ++i) {
+    again = advisor.observe(request((i % 1024) * 128 * KiB, 128 * KiB));
+    EXPECT_FALSE(again.has_value());
+  }
+}
+
+TEST(OnlineAdvisor, MinGainGatesRecommendations) {
+  OnlineAdvisor::Options strict;
+  strict.window = 64;
+  strict.min_gain = 0.95;  // practically unreachable
+  OnlineAdvisor advisor(calibrated_params(), tuned_for_large_requests(), strict);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_FALSE(
+        advisor.observe(request((i % 1024) * 128 * KiB, 128 * KiB)).has_value());
+  }
+  EXPECT_EQ(advisor.windows_analyzed(), 1u);
+  EXPECT_EQ(advisor.recommendations_made(), 0u);
+}
+
+TEST(OnlineAdvisor, CostUnderUsesGoverningRegions) {
+  const CostParams params = calibrated_params();
+  RegionStripeTable rst;
+  rst.add(0, {0, 64 * KiB});
+  rst.add(1 * GiB, {28 * KiB, 172 * KiB});
+  std::vector<trace::TraceRecord> records = {
+      request(0, 128 * KiB),
+      request(2 * GiB, 512 * KiB),
+  };
+  const Seconds total = OnlineAdvisor::cost_under(params, rst, records);
+  const Seconds expect =
+      request_cost(params, IoOp::kRead, 0, 128 * KiB, {0, 64 * KiB}) +
+      request_cost(params, IoOp::kRead, 2 * GiB, 512 * KiB,
+                   {28 * KiB, 172 * KiB});
+  EXPECT_DOUBLE_EQ(total, expect);
+}
+
+TEST(OnlineAdvisor, ValidatesConstruction) {
+  const CostParams params = calibrated_params();
+  EXPECT_THROW(OnlineAdvisor(params, RegionStripeTable{}, {}),
+               std::invalid_argument);
+  OnlineAdvisor::Options bad_window;
+  bad_window.window = 0;
+  EXPECT_THROW(OnlineAdvisor(params, tuned_for_large_requests(), bad_window),
+               std::invalid_argument);
+  OnlineAdvisor::Options bad_gain;
+  bad_gain.min_gain = 1.5;
+  EXPECT_THROW(OnlineAdvisor(params, tuned_for_large_requests(), bad_gain),
+               std::invalid_argument);
+}
+
+TEST(OnlineAdvisor, AffectedExtentTracksChangedSpanOnly) {
+  // Current table has two regions; the shift only invalidates the first.
+  const CostParams params = calibrated_params();
+  RegionStripeTable rst;
+  rst.add(0, {28 * KiB, 172 * KiB});
+  rst.add(1 * GiB, {0, 64 * KiB});
+
+  OnlineAdvisor::Options opts;
+  opts.window = 64;
+  OnlineAdvisor advisor(params, rst, opts);
+
+  // Small requests confined to the first region.
+  std::optional<OnlineAdvisor::Recommendation> rec;
+  for (std::size_t i = 0; i < 64; ++i) {
+    rec = advisor.observe(request((i % 512) * 128 * KiB, 128 * KiB));
+  }
+  ASSERT_TRUE(rec.has_value());
+  // Affected extent is bounded by the window's touched span (< 512 * 128K),
+  // far below the 1 GiB second region.
+  EXPECT_LE(rec->affected_extent, 512 * 128 * KiB);
+}
+
+}  // namespace
+}  // namespace harl::core

@@ -1,0 +1,219 @@
+// Tests for Algorithm 2: region stripe-size determination.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/stripe_optimizer.hpp"
+#include "src/storage/profiles.hpp"
+
+namespace harl::core {
+namespace {
+
+/// Calibrated-style parameters (sequential-fit alpha, effective beta) — what
+/// harness::calibrate produces; see tests/cost_model_test.cpp for rationale.
+CostParams calibrated_params(std::size_t M = 6, std::size_t N = 2) {
+  CostParams p = make_cost_params(M, N, storage::hdd_profile(),
+                                  storage::pcie_ssd_profile(),
+                                  1.0 / (117.0 * 1024 * 1024));
+  for (storage::OpProfile* prof : {&p.hserver_read, &p.hserver_write}) {
+    prof->per_byte += prof->startup_mean() / static_cast<double>(64 * KiB);
+    prof->startup_min *= 0.55;
+    prof->startup_max *= 0.55;
+  }
+  return p;
+}
+
+std::vector<FileRequest> uniform_requests(Bytes size, std::size_t count,
+                                          IoOp op = IoOp::kRead,
+                                          std::uint64_t seed = 3) {
+  Rng rng(seed);
+  std::vector<FileRequest> reqs;
+  for (std::size_t i = 0; i < count; ++i) {
+    reqs.push_back(FileRequest{op, rng.uniform_u64(0, 4096) * size, size});
+  }
+  return reqs;
+}
+
+TEST(Optimizer, PicksLargerSserverStripe) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 64);
+  const auto result = optimize_region(p, reqs, 512.0 * KiB);
+  // Heterogeneity-aware: SServers get strictly larger stripes (or all data).
+  EXPECT_GT(result.stripes.s, result.stripes.h);
+  EXPECT_GT(result.candidates_evaluated, 100u);
+  EXPECT_GT(result.model_cost, 0.0);
+}
+
+TEST(Optimizer, HybridWinsForLargeRequests) {
+  // Paper Fig. 7: at 512 KiB both tiers carry data ({32K, 160K}-shaped).
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 64);
+  const auto result = optimize_region(p, reqs, 512.0 * KiB);
+  EXPECT_GT(result.stripes.h, 0u);
+  // The winning ratio is strongly SServer-biased (paper: 160/32 = 5).
+  EXPECT_GE(result.stripes.s / std::max<Bytes>(result.stripes.h, 1), 2u);
+}
+
+TEST(Optimizer, SmallRequestsGoSsdOnly) {
+  // Paper Fig. 9: at 128 KiB the optimal pair is {0K, 64K} — SServers only.
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(128 * KiB, 64);
+  const auto result = optimize_region(p, reqs, 128.0 * KiB);
+  EXPECT_EQ(result.stripes.h, 0u);
+  EXPECT_GT(result.stripes.s, 0u);
+}
+
+TEST(Optimizer, ChosenPairBeatsEveryFixedStripeOnTheModel) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 48);
+  const auto result = optimize_region(p, reqs, 512.0 * KiB);
+  for (Bytes stripe = 4 * KiB; stripe <= 512 * KiB; stripe += 4 * KiB) {
+    const Seconds fixed = region_cost(p, reqs, {stripe, stripe});
+    EXPECT_LE(result.model_cost, fixed + 1e-12) << "stripe=" << stripe;
+  }
+}
+
+TEST(Optimizer, HomogeneousSearchNeverBeatsFullSearch) {
+  const CostParams p = calibrated_params();
+  for (Bytes req : {128 * KiB, 512 * KiB, 1 * MiB}) {
+    const auto reqs = uniform_requests(req, 32);
+    const auto full = optimize_region(p, reqs, static_cast<double>(req));
+    const auto homo =
+        optimize_region_homogeneous(p, reqs, static_cast<double>(req));
+    EXPECT_LE(full.model_cost, homo.model_cost + 1e-12) << "req=" << req;
+    EXPECT_EQ(homo.stripes.h, homo.stripes.s);
+  }
+}
+
+TEST(Optimizer, ParallelSearchMatchesSerial) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 40);
+  const auto serial = optimize_region(p, reqs, 512.0 * KiB);
+
+  ThreadPool pool(4);
+  OptimizerOptions opts;
+  opts.pool = &pool;
+  const auto parallel = optimize_region(p, reqs, 512.0 * KiB, opts);
+  EXPECT_EQ(serial.stripes, parallel.stripes);
+  EXPECT_DOUBLE_EQ(serial.model_cost, parallel.model_cost);
+}
+
+TEST(Optimizer, SamplingPreservesTheArgmin) {
+  const CostParams p = calibrated_params();
+  // All requests identical: sampling cannot change anything.
+  std::vector<FileRequest> reqs(500, FileRequest{IoOp::kRead, 0, 512 * KiB});
+  OptimizerOptions sampled;
+  sampled.max_requests = 10;
+  const auto full = optimize_region(p, reqs, 512.0 * KiB);
+  const auto sub = optimize_region(p, reqs, 512.0 * KiB, sampled);
+  EXPECT_EQ(full.stripes, sub.stripes);
+  EXPECT_NEAR(full.model_cost, sub.model_cost, full.model_cost * 1e-9);
+}
+
+TEST(Optimizer, StepControlsGridResolution) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(256 * KiB, 16);
+  OptimizerOptions coarse;
+  coarse.step = 64 * KiB;
+  OptimizerOptions fine;
+  fine.step = 4 * KiB;
+  const auto c = optimize_region(p, reqs, 256.0 * KiB, coarse);
+  const auto f = optimize_region(p, reqs, 256.0 * KiB, fine);
+  EXPECT_LT(c.candidates_evaluated, f.candidates_evaluated);
+  // Finer grids can only improve (the coarse grid is a subset).
+  EXPECT_LE(f.model_cost, c.model_cost + 1e-12);
+  // Results land on their grids.
+  EXPECT_EQ(c.stripes.h % (64 * KiB), 0u);
+  EXPECT_EQ(f.stripes.h % (4 * KiB), 0u);
+}
+
+TEST(Optimizer, WriteRegionsUseWriteCosts) {
+  const CostParams p = calibrated_params();
+  const auto reads = uniform_requests(512 * KiB, 32, IoOp::kRead);
+  const auto writes = uniform_requests(512 * KiB, 32, IoOp::kWrite);
+  const auto r = optimize_region(p, reads, 512.0 * KiB);
+  const auto w = optimize_region(p, writes, 512.0 * KiB);
+  // SSD writes are slower than reads, so the write-optimal layout leans
+  // (weakly) more on HServers; at minimum the costs must differ.
+  EXPECT_NE(r.model_cost, w.model_cost);
+}
+
+TEST(Optimizer, HserverOnlyClusterStaysOnHservers) {
+  const CostParams p = calibrated_params(4, 0);
+  const auto reqs = uniform_requests(256 * KiB, 16);
+  const auto result = optimize_region(p, reqs, 256.0 * KiB);
+  EXPECT_GT(result.stripes.h, 0u);
+  EXPECT_EQ(result.stripes.s, 0u);
+}
+
+TEST(Optimizer, SserverOnlyClusterStaysOnSservers) {
+  const CostParams p = calibrated_params(0, 4);
+  const auto reqs = uniform_requests(256 * KiB, 16);
+  const auto result = optimize_region(p, reqs, 256.0 * KiB);
+  EXPECT_EQ(result.stripes.h, 0u);
+  EXPECT_GT(result.stripes.s, 0u);
+}
+
+TEST(Optimizer, SserverShareBoundIsRespected) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 32);
+  OptimizerOptions opts;
+  opts.max_sserver_share = 0.4;
+  const auto result = optimize_region(p, reqs, 512.0 * KiB, opts);
+  const double S = 6.0 * result.stripes.h + 2.0 * result.stripes.s;
+  EXPECT_LE(2.0 * result.stripes.s / S, 0.4 + 1e-9);
+  // Constraining the search can only cost model time.
+  const auto unconstrained = optimize_region(p, reqs, 512.0 * KiB);
+  EXPECT_GE(result.model_cost, unconstrained.model_cost - 1e-12);
+}
+
+TEST(Optimizer, ImpossibleShareBoundFallsBackToFrugalest) {
+  // On an SServer-only cluster every candidate has share 1; the bound is
+  // infeasible, so the minimum-share candidates must still be searched.
+  const CostParams p = calibrated_params(0, 4);
+  const auto reqs = uniform_requests(256 * KiB, 8);
+  OptimizerOptions opts;
+  opts.max_sserver_share = 0.1;
+  const auto result = optimize_region(p, reqs, 256.0 * KiB, opts);
+  EXPECT_GT(result.stripes.s, 0u);
+}
+
+TEST(Optimizer, RejectsBadShareBound) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(64 * KiB, 4);
+  OptimizerOptions opts;
+  opts.max_sserver_share = 0.0;
+  EXPECT_THROW(optimize_region(p, reqs, 64.0 * KiB, opts),
+               std::invalid_argument);
+  opts.max_sserver_share = 1.5;
+  EXPECT_THROW(optimize_region(p, reqs, 64.0 * KiB, opts),
+               std::invalid_argument);
+}
+
+TEST(Optimizer, ValidatesInputs) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(64 * KiB, 4);
+  EXPECT_THROW(optimize_region(p, {}, 64.0 * KiB), std::invalid_argument);
+  EXPECT_THROW(optimize_region(p, reqs, 0.0), std::invalid_argument);
+  OptimizerOptions bad;
+  bad.step = 0;
+  EXPECT_THROW(optimize_region(p, reqs, 64.0 * KiB, bad), std::invalid_argument);
+}
+
+TEST(RegionCost, SumsPerRequestCosts) {
+  const CostParams p = calibrated_params();
+  std::vector<FileRequest> reqs = {
+      FileRequest{IoOp::kRead, 0, 512 * KiB},
+      FileRequest{IoOp::kWrite, 1 * MiB, 512 * KiB},
+  };
+  const Seconds total = region_cost(p, reqs, {64 * KiB, 64 * KiB});
+  const Seconds expect =
+      request_cost(p, IoOp::kRead, 0, 512 * KiB, {64 * KiB, 64 * KiB}) +
+      request_cost(p, IoOp::kWrite, 1 * MiB, 512 * KiB, {64 * KiB, 64 * KiB});
+  EXPECT_DOUBLE_EQ(total, expect);
+}
+
+}  // namespace
+}  // namespace harl::core

@@ -1,0 +1,199 @@
+// Unit tests for storage device models and the device profiler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/storage/hdd.hpp"
+#include "src/storage/profiler.hpp"
+#include "src/storage/profiles.hpp"
+#include "src/storage/ssd.hpp"
+
+namespace harl::storage {
+namespace {
+
+TEST(Profiles, PresetsAreInternallyConsistent) {
+  for (const TierProfile& p : {hdd_profile(), pcie_ssd_profile(),
+                               sata_ssd_profile(), nvme_ssd_profile()}) {
+    SCOPED_TRACE(p.name);
+    EXPECT_LE(p.read.startup_min, p.read.startup_max);
+    EXPECT_LE(p.write.startup_min, p.write.startup_max);
+    EXPECT_GT(p.read.per_byte, 0.0);
+    EXPECT_GT(p.write.per_byte, 0.0);
+  }
+}
+
+TEST(Profiles, SsdIsFasterThanHddAndWriteSlowerThanRead) {
+  const TierProfile hdd = hdd_profile();
+  const TierProfile ssd = pcie_ssd_profile();
+  EXPECT_LT(ssd.read.startup_max, hdd.read.startup_min);
+  EXPECT_LT(ssd.read.per_byte, hdd.read.per_byte);
+  // Paper Section III-D: SSD writes are slower than SSD reads.
+  EXPECT_GT(ssd.write.per_byte, ssd.read.per_byte);
+  EXPECT_GT(ssd.write.startup_max, ssd.read.startup_max);
+}
+
+TEST(Profiles, OpSelectorPicksTheRightSide) {
+  const TierProfile p = pcie_ssd_profile();
+  EXPECT_EQ(p.op(IoOp::kRead).per_byte, p.read.per_byte);
+  EXPECT_EQ(p.op(IoOp::kWrite).per_byte, p.write.per_byte);
+}
+
+TEST(Hdd, ServiceTimeWithinModelBounds) {
+  HddDevice hdd(hdd_profile(), 1, /*sequential_factor=*/1.0);
+  const OpProfile& p = hdd_profile().read;
+  for (int i = 0; i < 1000; ++i) {
+    // Random-ish distinct offsets: never sequential.
+    const Bytes offset = static_cast<Bytes>(i) * 10 * MiB;
+    const Seconds t = hdd.service_time(IoOp::kRead, offset, 64 * KiB);
+    const double transfer = 64.0 * 1024.0 * p.per_byte;
+    EXPECT_GE(t, p.startup_min + transfer);
+    EXPECT_LE(t, p.startup_max + transfer);
+  }
+}
+
+TEST(Hdd, SequentialAccessGetsDiscountedStartup) {
+  HddDevice hdd(hdd_profile(), 2, /*sequential_factor=*/0.0);
+  const OpProfile& p = hdd_profile().read;
+  hdd.service_time(IoOp::kRead, 0, 1 * MiB);
+  // Next access starts where the last one ended: startup fully discounted.
+  const Seconds t = hdd.service_time(IoOp::kRead, 1 * MiB, 1 * MiB);
+  EXPECT_DOUBLE_EQ(t, static_cast<double>(1 * MiB) * p.per_byte);
+}
+
+TEST(Hdd, NonSequentialAccessPaysFullStartup) {
+  HddDevice hdd(hdd_profile(), 3, /*sequential_factor=*/0.0);
+  hdd.service_time(IoOp::kRead, 0, 1 * MiB);
+  const Seconds t = hdd.service_time(IoOp::kRead, 5 * MiB, 1 * MiB);
+  EXPECT_GT(t, static_cast<double>(1 * MiB) * hdd_profile().read.per_byte);
+}
+
+TEST(Hdd, ResetReplaysIdenticalServiceTimes) {
+  HddDevice hdd(hdd_profile(), 4);
+  std::vector<Seconds> first;
+  for (int i = 0; i < 50; ++i) {
+    first.push_back(hdd.service_time(IoOp::kRead, static_cast<Bytes>(i) * MiB, 4 * KiB));
+  }
+  hdd.reset();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(hdd.service_time(IoOp::kRead, static_cast<Bytes>(i) * MiB, 4 * KiB),
+              first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Hdd, RejectsBadSequentialFactor) {
+  EXPECT_THROW(HddDevice(hdd_profile(), 1, -0.1), std::invalid_argument);
+  EXPECT_THROW(HddDevice(hdd_profile(), 1, 1.5), std::invalid_argument);
+}
+
+TEST(Hdd, LargerAccessesTakeLonger) {
+  HddDevice hdd(hdd_profile(), 5, 1.0);
+  Seconds small_total = 0.0;
+  Seconds large_total = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    small_total += hdd.service_time(IoOp::kRead, static_cast<Bytes>(2 * i) * 16 * MiB, 4 * KiB);
+    large_total += hdd.service_time(IoOp::kRead, static_cast<Bytes>(2 * i + 1) * 16 * MiB, 4 * MiB);
+  }
+  EXPECT_GT(large_total, small_total);
+}
+
+TEST(Ssd, ReadFasterThanWriteOnAverage) {
+  SsdDevice ssd(pcie_ssd_profile(), 6);
+  Seconds read_total = 0.0;
+  Seconds write_total = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    read_total += ssd.service_time(IoOp::kRead, 0, 256 * KiB);
+    write_total += ssd.service_time(IoOp::kWrite, 0, 256 * KiB);
+  }
+  EXPECT_GT(write_total, read_total);
+}
+
+TEST(Ssd, TracksBytesWritten) {
+  SsdDevice ssd(pcie_ssd_profile(), 7);
+  ssd.service_time(IoOp::kWrite, 0, 100);
+  ssd.service_time(IoOp::kRead, 0, 999);  // reads don't count
+  ssd.service_time(IoOp::kWrite, 0, 28);
+  EXPECT_EQ(ssd.bytes_written(), 128u);
+  ssd.reset();
+  EXPECT_EQ(ssd.bytes_written(), 0u);
+}
+
+TEST(Ssd, GcStallsTriggerEveryInterval) {
+  SsdDevice::GcModel gc{1 * MiB, 0.5};
+  SsdDevice with_gc(pcie_ssd_profile(), 8, gc);
+  SsdDevice without_gc(pcie_ssd_profile(), 8);
+  Seconds t_gc = 0.0;
+  Seconds t_plain = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    t_gc += with_gc.service_time(IoOp::kWrite, 0, 512 * KiB);
+    t_plain += without_gc.service_time(IoOp::kWrite, 0, 512 * KiB);
+  }
+  // 4 MiB written -> 4 stalls of 0.5 s.
+  EXPECT_NEAR(t_gc - t_plain, 4 * 0.5, 1e-9);
+}
+
+TEST(Ssd, ResetReplaysIdenticalStream) {
+  SsdDevice ssd(pcie_ssd_profile(), 9);
+  const Seconds a = ssd.service_time(IoOp::kWrite, 0, 64 * KiB);
+  ssd.reset();
+  EXPECT_EQ(ssd.service_time(IoOp::kWrite, 0, 64 * KiB), a);
+}
+
+// ------------------------------------------------------------- profiler ----
+
+class ProfilerFitsKnownDevice : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfilerFitsKnownDevice, RecoverasAlphaBetaWithinTolerance) {
+  TierProfile nominal;
+  if (std::string(GetParam()) == "hdd") {
+    nominal = hdd_profile();
+  } else if (std::string(GetParam()) == "pcie") {
+    nominal = pcie_ssd_profile();
+  } else {
+    nominal = sata_ssd_profile();
+  }
+
+  // Fit against a device with no sequential discount so the model matches
+  // the alpha + size*beta form exactly.
+  HddDevice device(nominal, 77, /*sequential_factor=*/1.0);
+  ProfilerOptions opts;
+  opts.samples_per_size = 4000;
+  const TierProfile fitted = profile_device(device, opts);
+
+  for (IoOp op : {IoOp::kRead, IoOp::kWrite}) {
+    const OpProfile& truth = nominal.op(op);
+    const OpProfile& fit = fitted.op(op);
+    EXPECT_NEAR(fit.per_byte, truth.per_byte, truth.per_byte * 0.15);
+    // The startup window is recovered from residual extremes: bounds are
+    // inside the truth window and close to its edges.
+    EXPECT_GE(fit.startup_min, truth.startup_min * 0.5);
+    EXPECT_LE(fit.startup_max, truth.startup_max * 1.3);
+    const double window = truth.startup_max - truth.startup_min;
+    EXPECT_NEAR(fit.startup_min, truth.startup_min, 0.25 * window + 1e-6);
+    EXPECT_NEAR(fit.startup_max, truth.startup_max, 0.25 * window + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTiers, ProfilerFitsKnownDevice,
+                         ::testing::Values("hdd", "pcie", "sata"));
+
+TEST(Profiler, ResetsDeviceStateAfterProbing) {
+  HddDevice device(hdd_profile(), 12);
+  const Seconds before = device.service_time(IoOp::kRead, 0, 4 * KiB);
+  device.reset();
+  profile_device(device);
+  EXPECT_EQ(device.service_time(IoOp::kRead, 0, 4 * KiB), before);
+}
+
+TEST(Profiler, RejectsBadOptions) {
+  HddDevice device(hdd_profile(), 13);
+  ProfilerOptions bad;
+  bad.small_size = 1 * MiB;
+  bad.large_size = 4 * KiB;
+  EXPECT_THROW(profile_device(device, bad), std::invalid_argument);
+  ProfilerOptions few;
+  few.samples_per_size = 1;
+  EXPECT_THROW(profile_device(device, few), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harl::storage

@@ -1,0 +1,377 @@
+// Tests for the workload generators: IOR, multi-region IOR, BTIO, and the
+// random property-test workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/workloads/btio.hpp"
+#include "src/workloads/ior.hpp"
+#include "src/workloads/multiregion.hpp"
+#include "src/workloads/random_workload.hpp"
+
+namespace harl::workloads {
+namespace {
+
+// -------------------------------------------------------------------- IOR --
+
+TEST(Ior, GeneratesOneProgramPerProcess) {
+  IorConfig cfg;
+  cfg.processes = 4;
+  cfg.file_size = 64 * MiB;
+  cfg.request_size = 512 * KiB;
+  const auto programs = make_ior_programs(cfg);
+  ASSERT_EQ(programs.size(), 4u);
+  // Default request count fills each segment once.
+  const std::size_t expected = 64 * MiB / 4 / (512 * KiB);
+  for (const auto& p : programs) EXPECT_EQ(p.size(), expected);
+}
+
+TEST(Ior, RequestsStayWithinTheRankSegment) {
+  IorConfig cfg;
+  cfg.processes = 4;
+  cfg.file_size = 64 * MiB;
+  cfg.request_size = 256 * KiB;
+  cfg.requests_per_process = 200;
+  const auto programs = make_ior_programs(cfg);
+  const Bytes segment = cfg.file_size / cfg.processes;
+  for (std::size_t rank = 0; rank < programs.size(); ++rank) {
+    for (const auto& action : programs[rank]) {
+      ASSERT_EQ(action.extents.size(), 1u);
+      const auto& e = action.extents[0];
+      EXPECT_GE(e.offset, rank * segment);
+      EXPECT_LE(e.offset + e.size, (rank + 1) * segment);
+      EXPECT_EQ(e.size, cfg.request_size);
+      EXPECT_EQ(e.offset % cfg.request_size, 0u);  // aligned
+    }
+  }
+}
+
+TEST(Ior, SequentialModeCoversTheSegmentInOrder) {
+  IorConfig cfg;
+  cfg.processes = 2;
+  cfg.file_size = 8 * MiB;
+  cfg.request_size = 1 * MiB;
+  cfg.random_offsets = false;
+  const auto programs = make_ior_programs(cfg);
+  for (std::size_t i = 0; i < programs[0].size(); ++i) {
+    EXPECT_EQ(programs[0][i].extents[0].offset, i * MiB);
+  }
+}
+
+TEST(Ior, RandomOffsetsAreSeededDeterministically) {
+  IorConfig cfg;
+  cfg.processes = 2;
+  cfg.file_size = 32 * MiB;
+  cfg.requests_per_process = 50;
+  const auto a = make_ior_programs(cfg);
+  const auto b = make_ior_programs(cfg);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t i = 0; i < a[r].size(); ++i) {
+      EXPECT_EQ(a[r][i].extents[0], b[r][i].extents[0]);
+    }
+  }
+  cfg.seed = 8888;
+  const auto c = make_ior_programs(cfg);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a[0].size(); ++i) {
+    any_differ |= !(a[0][i].extents[0] == c[0][i].extents[0]);
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Ior, InterleavedPatternStridesByRank) {
+  IorConfig cfg;
+  cfg.processes = 4;
+  cfg.file_size = 16 * MiB;
+  cfg.request_size = 1 * MiB;
+  cfg.random_offsets = false;
+  cfg.pattern = IorAccessPattern::kInterleaved;
+  const auto programs = make_ior_programs(cfg);
+  for (std::size_t rank = 0; rank < 4; ++rank) {
+    for (std::size_t i = 0; i < programs[rank].size(); ++i) {
+      EXPECT_EQ(programs[rank][i].extents[0].offset,
+                (i * 4 + rank) * MiB);
+    }
+  }
+}
+
+TEST(Ior, InterleavedRandomOffsetsStayOnTheRanksStride) {
+  IorConfig cfg;
+  cfg.processes = 4;
+  cfg.file_size = 64 * MiB;
+  cfg.request_size = 512 * KiB;
+  cfg.requests_per_process = 40;
+  cfg.pattern = IorAccessPattern::kInterleaved;
+  const auto programs = make_ior_programs(cfg);
+  for (std::size_t rank = 0; rank < 4; ++rank) {
+    for (const auto& action : programs[rank]) {
+      const Bytes block = action.extents[0].offset / cfg.request_size;
+      EXPECT_EQ(block % 4, rank);
+      EXPECT_LT(action.extents[0].offset + cfg.request_size,
+                cfg.file_size + 1);
+    }
+  }
+}
+
+TEST(Ior, CollectiveFlagProducesCollectiveActions) {
+  IorConfig cfg;
+  cfg.processes = 2;
+  cfg.file_size = 8 * MiB;
+  cfg.collective = true;
+  const auto programs = make_ior_programs(cfg);
+  for (const auto& p : programs) {
+    for (const auto& a : p) {
+      EXPECT_EQ(a.kind, mw::IoAction::Kind::kCollectiveIo);
+    }
+  }
+}
+
+TEST(Ior, TotalBytesMatchesGeneratedPrograms) {
+  IorConfig cfg;
+  cfg.processes = 8;
+  cfg.file_size = 128 * MiB;
+  cfg.request_size = 512 * KiB;
+  const auto programs = make_ior_programs(cfg);
+  EXPECT_EQ(ior_total_bytes(cfg), program_volume(programs).write);
+}
+
+TEST(Ior, ValidatesConfig) {
+  IorConfig bad;
+  bad.processes = 0;
+  EXPECT_THROW(make_ior_programs(bad), std::invalid_argument);
+  IorConfig small;
+  small.processes = 16;
+  small.file_size = 1 * MiB;
+  small.request_size = 512 * KiB;  // segment 64K < request
+  EXPECT_THROW(make_ior_programs(small), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- multi-region --
+
+TEST(MultiRegion, PaperDefaultsCoverSevenAndAQuarterGigabytes) {
+  const MultiRegionConfig cfg;
+  EXPECT_EQ(multiregion_file_size(cfg),
+            256 * MiB + 1 * GiB + 2 * GiB + 4 * GiB);
+}
+
+TEST(MultiRegion, RequestsUseTheirRegionsRequestSize) {
+  MultiRegionConfig cfg;
+  cfg.regions = {{16 * MiB, 128 * KiB}, {32 * MiB, 1 * MiB}};
+  cfg.processes = 4;
+  cfg.coverage = 0.5;
+  const auto programs = make_multiregion_programs(cfg);
+  ASSERT_EQ(programs.size(), 4u);
+  for (const auto& prog : programs) {
+    for (const auto& action : prog) {
+      if (action.kind != mw::IoAction::Kind::kIo) continue;
+      const auto& e = action.extents[0];
+      if (e.offset < 16 * MiB) {
+        EXPECT_EQ(e.size, 128 * KiB);
+      } else {
+        EXPECT_EQ(e.size, 1 * MiB);
+        EXPECT_GE(e.offset, 16 * MiB);
+        EXPECT_LT(e.offset + e.size, 48 * MiB + 1);
+      }
+    }
+  }
+}
+
+TEST(MultiRegion, BarriersSeparateRegionPhases) {
+  MultiRegionConfig cfg;
+  cfg.regions = {{16 * MiB, 128 * KiB}, {32 * MiB, 1 * MiB}};
+  cfg.processes = 2;
+  cfg.coverage = 0.1;
+  const auto programs = make_multiregion_programs(cfg);
+  for (const auto& prog : programs) {
+    const std::size_t barriers = static_cast<std::size_t>(
+        std::count_if(prog.begin(), prog.end(), [](const mw::IoAction& a) {
+          return a.kind == mw::IoAction::Kind::kBarrier;
+        }));
+    EXPECT_EQ(barriers, cfg.regions.size());
+  }
+}
+
+TEST(MultiRegion, CoverageScalesVolume) {
+  MultiRegionConfig full;
+  full.regions = {{64 * MiB, 512 * KiB}};
+  full.processes = 4;
+  MultiRegionConfig half = full;
+  half.coverage = 0.5;
+  EXPECT_NEAR(static_cast<double>(multiregion_total_bytes(half)),
+              static_cast<double>(multiregion_total_bytes(full)) / 2.0,
+              static_cast<double>(4 * 512 * KiB));
+}
+
+TEST(MultiRegion, ValidatesConfig) {
+  MultiRegionConfig bad;
+  bad.coverage = 0.0;
+  EXPECT_THROW(make_multiregion_programs(bad), std::invalid_argument);
+  MultiRegionConfig tiny;
+  tiny.regions = {{1 * MiB, 512 * KiB}};
+  tiny.processes = 16;  // segment 64K < request 512K
+  EXPECT_THROW(make_multiregion_programs(tiny), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- BTIO --
+
+TEST(Btio, RequiresSquareProcessCounts) {
+  BtioConfig cfg;
+  cfg.processes = 3;
+  EXPECT_THROW(make_btio_programs(cfg), std::invalid_argument);
+  cfg.processes = 4;
+  cfg.grid = 8;
+  EXPECT_NO_THROW(make_btio_programs(cfg));
+}
+
+TEST(Btio, DumpCountFollowsStepsAndInterval) {
+  BtioConfig cfg;
+  cfg.time_steps = 200;
+  cfg.write_interval = 5;
+  EXPECT_EQ(btio_dump_count(cfg), 40);
+  cfg.max_dumps = 3;
+  EXPECT_EQ(btio_dump_count(cfg), 3);
+}
+
+TEST(Btio, EachDumpIsWrittenExactlyOnce) {
+  BtioConfig cfg;
+  cfg.processes = 4;
+  cfg.grid = 8;
+  cfg.time_steps = 10;
+  cfg.write_interval = 5;  // 2 dumps
+  cfg.read_back = false;
+  const auto programs = make_btio_programs(cfg);
+  const Bytes dump_bytes = 8 * 8 * 8 * cfg.cell_bytes;
+
+  // Sum extents per dump across ranks; verify exact tiling of [0, dump).
+  std::map<int, Bytes> dump_total;
+  std::map<int, std::set<std::pair<Bytes, Bytes>>> dump_extents;
+  for (const auto& prog : programs) {
+    int dump_index = 0;
+    for (const auto& action : prog) {
+      if (action.kind != mw::IoAction::Kind::kCollectiveIo) continue;
+      for (const auto& e : action.extents) {
+        dump_total[dump_index] += e.size;
+        const Bytes base = static_cast<Bytes>(dump_index) * dump_bytes;
+        EXPECT_GE(e.offset, base);
+        EXPECT_LE(e.offset + e.size, base + dump_bytes);
+        auto [it, inserted] =
+            dump_extents[dump_index].emplace(e.offset, e.size);
+        EXPECT_TRUE(inserted);  // no duplicate extents
+      }
+      ++dump_index;
+    }
+    EXPECT_EQ(dump_index, 2);
+  }
+  ASSERT_EQ(dump_total.size(), 2u);
+  EXPECT_EQ(dump_total[0], dump_bytes);
+  EXPECT_EQ(dump_total[1], dump_bytes);
+}
+
+TEST(Btio, ReadBackMirrorsTheWrites) {
+  BtioConfig cfg;
+  cfg.processes = 4;
+  cfg.grid = 8;
+  cfg.time_steps = 5;
+  cfg.write_interval = 5;  // 1 dump
+  cfg.read_back = true;
+  const auto programs = make_btio_programs(cfg);
+  const auto volume = program_volume(programs);
+  EXPECT_EQ(volume.read, volume.write);
+  EXPECT_EQ(volume.write, btio_file_size(cfg));
+}
+
+TEST(Btio, ContiguousLinesAreMerged) {
+  // With a 1x1 process grid the whole dump is one contiguous extent.
+  BtioConfig cfg;
+  cfg.processes = 1;
+  cfg.grid = 8;
+  cfg.time_steps = 5;
+  cfg.write_interval = 5;
+  cfg.read_back = false;
+  const auto programs = make_btio_programs(cfg);
+  ASSERT_EQ(programs.size(), 1u);
+  const auto& action = programs[0][0];
+  ASSERT_EQ(action.extents.size(), 1u);
+  EXPECT_EQ(action.extents[0].size, 8 * 8 * 8 * cfg.cell_bytes);
+}
+
+TEST(Btio, ComputePhasesAppearBetweenDumps) {
+  BtioConfig cfg;
+  cfg.processes = 4;
+  cfg.grid = 8;
+  cfg.time_steps = 10;
+  cfg.write_interval = 5;
+  cfg.compute_per_step = 0.01;
+  cfg.read_back = false;
+  const auto programs = make_btio_programs(cfg);
+  const auto& prog = programs[0];
+  const std::size_t computes = static_cast<std::size_t>(
+      std::count_if(prog.begin(), prog.end(), [](const mw::IoAction& a) {
+        return a.kind == mw::IoAction::Kind::kCompute;
+      }));
+  EXPECT_EQ(computes, 2u);  // one per dump window
+}
+
+TEST(Btio, PaperConfigMoves169GBTotal) {
+  const BtioConfig cfg = btio_paper_config(16);
+  const double total = 2.0 * static_cast<double>(btio_file_size(cfg));
+  EXPECT_NEAR(total / 1e9, 1.69, 0.05);
+}
+
+// ------------------------------------------------------------------ random --
+
+TEST(RandomWorkload, RespectsBoundsAndAlignment) {
+  RandomWorkloadConfig cfg;
+  cfg.requests = 500;
+  cfg.file_size = 256 * MiB;
+  cfg.min_request = 8 * KiB;
+  cfg.max_request = 1 * MiB;
+  cfg.align = 4 * KiB;
+  const auto trace = make_random_trace(cfg);
+  ASSERT_EQ(trace.size(), 500u);
+  for (const auto& r : trace) {
+    EXPECT_GE(r.size, cfg.min_request);
+    EXPECT_LE(r.size, cfg.max_request);
+    EXPECT_LE(r.offset + r.size, cfg.file_size);
+    EXPECT_EQ(r.offset % cfg.align, 0u);
+    EXPECT_LT(r.rank, cfg.ranks);
+  }
+}
+
+TEST(RandomWorkload, WriteFractionExtremes) {
+  RandomWorkloadConfig cfg;
+  cfg.requests = 200;
+  cfg.write_fraction = 0.0;
+  for (const auto& r : make_random_trace(cfg)) EXPECT_EQ(r.op, IoOp::kRead);
+  cfg.write_fraction = 1.0;
+  for (const auto& r : make_random_trace(cfg)) EXPECT_EQ(r.op, IoOp::kWrite);
+}
+
+TEST(RandomWorkload, ProgramsMatchTraceRequests) {
+  RandomWorkloadConfig cfg;
+  cfg.requests = 100;
+  cfg.ranks = 4;
+  const auto trace = make_random_trace(cfg);
+  const auto programs = make_random_programs(cfg);
+  ASSERT_EQ(programs.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& p : programs) total += p.size();
+  EXPECT_EQ(total, trace.size());
+}
+
+TEST(RandomWorkload, ValidatesConfig) {
+  RandomWorkloadConfig bad;
+  bad.min_request = 0;
+  EXPECT_THROW(make_random_trace(bad), std::invalid_argument);
+  RandomWorkloadConfig big;
+  big.max_request = 100 * GiB;
+  EXPECT_THROW(make_random_trace(big), std::invalid_argument);
+  RandomWorkloadConfig frac;
+  frac.write_fraction = 1.5;
+  EXPECT_THROW(make_random_trace(frac), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace harl::workloads

@@ -1,0 +1,130 @@
+// harl_sim — config-driven experiment runner.
+//
+// Runs one workload x layout-scheme grid on the simulated hybrid PFS and
+// prints the comparison table.  All parameters are key=value arguments:
+//
+//   ./build/tools/harl_sim workload=ior request=512K procs=16 file=4G \
+//        requests=64 schemes=64K,256K,harl
+//
+// Keys (defaults in parentheses):
+//   workload   ior | multiregion | btio            (ior)
+//   procs      process count                       (16)
+//   request    IOR request size                    (512K)
+//   file       IOR file size                       (4G)
+//   requests   IOR requests per process, 0 = full  (64)
+//   coverage   multiregion coverage fraction       (0.1)
+//   grid       BTIO grid points per dimension      (48)
+//   dumps      BTIO max dumps, 0 = all             (4)
+//   hservers   HDD server count                    (6)
+//   sservers   SSD server count                    (2)
+//   clients    compute nodes                       (8)
+//   schemes    comma list: <size> | randN | harl | harl-file | segment
+//              (64K,256K,harl)
+//   seed       workload seed                       (7)
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/harness/experiment.hpp"
+#include "src/harness/table.hpp"
+
+using namespace harl;
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream ss(text);
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+harness::LayoutScheme parse_scheme(const std::string& token) {
+  if (token == "harl") return harness::LayoutScheme::harl();
+  if (token == "harl-file") return harness::LayoutScheme::file_level_harl();
+  if (token == "segment") return harness::LayoutScheme::segment_level();
+  if (token.rfind("rand", 0) == 0) {
+    return harness::LayoutScheme::random_stripes(
+        std::stoull(token.substr(4)));
+  }
+  return harness::LayoutScheme::fixed(parse_size(token));
+}
+
+harness::WorkloadBundle make_bundle(const Config& cfg) {
+  const std::string kind = cfg.get_or("workload", "ior");
+  if (kind == "ior") {
+    workloads::IorConfig ior;
+    ior.processes = static_cast<std::size_t>(cfg.get_int("procs", 16));
+    ior.request_size = cfg.get_size("request", 512 * KiB);
+    ior.file_size = cfg.get_size("file", 4 * GiB);
+    ior.requests_per_process =
+        static_cast<std::size_t>(cfg.get_int("requests", 64));
+    ior.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+    return harness::ior_bundle(ior);
+  }
+  if (kind == "multiregion") {
+    workloads::MultiRegionConfig mr;
+    mr.processes = static_cast<std::size_t>(cfg.get_int("procs", 16));
+    mr.coverage = cfg.get_double("coverage", 0.1);
+    mr.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+    return harness::multiregion_bundle(mr);
+  }
+  if (kind == "btio") {
+    workloads::BtioConfig btio;
+    btio.processes = static_cast<std::size_t>(cfg.get_int("procs", 16));
+    btio.grid = static_cast<std::size_t>(cfg.get_int("grid", 48));
+    btio.max_dumps = static_cast<int>(cfg.get_int("dumps", 4));
+    return harness::btio_bundle(btio);
+  }
+  throw std::invalid_argument("unknown workload: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const Config cfg = Config::from_args(args);
+
+    harness::ExperimentOptions options;
+    options.cluster.num_hservers =
+        static_cast<std::size_t>(cfg.get_int("hservers", 6));
+    options.cluster.num_sservers =
+        static_cast<std::size_t>(cfg.get_int("sservers", 2));
+    options.cluster.num_clients =
+        static_cast<std::size_t>(cfg.get_int("clients", 8));
+
+    std::vector<harness::LayoutScheme> schemes;
+    for (const auto& token :
+         split_commas(cfg.get_or("schemes", "64K,256K,harl"))) {
+      schemes.push_back(parse_scheme(token));
+    }
+
+    harness::Experiment experiment(options);
+    const auto bundle = make_bundle(cfg);
+    const auto results = experiment.run_all(bundle, schemes);
+
+    harness::Table table({"layout", "read MB/s", "write MB/s", "total MB/s",
+                          "regions", "detail"});
+    for (const auto& r : results) {
+      table.add_row({
+          r.label,
+          harness::cell(r.read.throughput() / (1024.0 * 1024.0), 1),
+          harness::cell(r.write.throughput() / (1024.0 * 1024.0), 1),
+          harness::cell(r.total.throughput() / (1024.0 * 1024.0), 1),
+          std::to_string(r.region_count),
+          r.layout_description,
+      });
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "harl_sim: " << e.what() << "\n";
+    return 1;
+  }
+}

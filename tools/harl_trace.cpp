@@ -1,0 +1,107 @@
+// harl_trace — trace file utility.
+//
+//   harl_trace stats   <trace>            workload characterization
+//   harl_trace convert <in> <out>         CSV <-> binary (by extension)
+//   harl_trace regions <trace> [k=v ...]  run Algorithm 1 and print regions
+//                                         (threshold=1.0 chunk=64M)
+//   harl_trace gen     <out> [k=v ...]    generate a synthetic trace
+//                                         (requests=1000 file=1G min=4K
+//                                          max=2M writes=0.5 seed=1234)
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hpp"
+#include "src/core/region_divider.hpp"
+#include "src/harness/table.hpp"
+#include "src/trace/analysis.hpp"
+#include "src/trace/trace_io.hpp"
+#include "src/workloads/random_workload.hpp"
+
+using namespace harl;
+
+namespace {
+
+int cmd_stats(const std::string& path) {
+  const auto records = trace::load_trace(path);
+  std::cout << trace::describe(trace::characterize(records)) << "\n";
+  const auto phases = trace::io_phases(records);
+  std::cout << "I/O phases: " << phases.size() << "\n";
+  for (std::size_t i = 0; i < phases.size() && i < 8; ++i) {
+    std::cout << "  phase " << i << ": " << to_string(phases[i].op) << " x"
+              << phases[i].count << " (" << format_size(phases[i].bytes)
+              << ")\n";
+  }
+  if (phases.size() > 8) std::cout << "  ...\n";
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  const auto records = trace::load_trace(in);
+  trace::save_trace(out, records);
+  std::cout << "wrote " << records.size() << " records to " << out << "\n";
+  return 0;
+}
+
+int cmd_regions(const std::string& path, const Config& cfg) {
+  auto records = trace::load_trace(path);
+  std::sort(records.begin(), records.end(), trace::ByOffset{});
+  core::DividerOptions opts;
+  opts.threshold = cfg.get_double("threshold", 1.0);
+  opts.fixed_region_size = cfg.get_size("chunk", 64 * MiB);
+  const auto division = core::divide_regions(records, opts);
+  std::cout << division.regions.size() << " region(s), threshold "
+            << division.threshold_used * 100.0 << "% after "
+            << division.tuning_rounds << " tuning round(s)\n";
+  harness::Table table({"region", "offset", "end", "avg request", "requests"});
+  for (std::size_t i = 0; i < division.regions.size(); ++i) {
+    const auto& r = division.regions[i];
+    table.add_row({std::to_string(i), format_size(r.offset),
+                   format_size(r.end),
+                   format_size(static_cast<Bytes>(r.avg_request)),
+                   std::to_string(r.request_count())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_gen(const std::string& out, const Config& cfg) {
+  workloads::RandomWorkloadConfig wcfg;
+  wcfg.requests = static_cast<std::size_t>(cfg.get_int("requests", 1000));
+  wcfg.file_size = cfg.get_size("file", 1 * GiB);
+  wcfg.min_request = cfg.get_size("min", 4 * KiB);
+  wcfg.max_request = cfg.get_size("max", 2 * MiB);
+  wcfg.write_fraction = cfg.get_double("writes", 0.5);
+  wcfg.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1234));
+  const auto records = workloads::make_random_trace(wcfg);
+  trace::save_trace(out, records);
+  std::cout << "generated " << records.size() << " records to " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.size() >= 2 && args[0] == "stats") return cmd_stats(args[1]);
+    if (args.size() >= 3 && args[0] == "convert") {
+      return cmd_convert(args[1], args[2]);
+    }
+    if (args.size() >= 2 && args[0] == "regions") {
+      return cmd_regions(args[1], Config::from_args({args.begin() + 2,
+                                                     args.end()}));
+    }
+    if (args.size() >= 2 && args[0] == "gen") {
+      return cmd_gen(args[1],
+                     Config::from_args({args.begin() + 2, args.end()}));
+    }
+    std::cerr << "usage: harl_trace stats|convert|regions|gen ... (see "
+                 "header comment)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "harl_trace: " << e.what() << "\n";
+    return 1;
+  }
+}
