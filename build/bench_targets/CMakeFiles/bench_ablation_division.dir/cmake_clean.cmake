@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_division"
+  "../bench/bench_ablation_division.pdb"
+  "CMakeFiles/bench_ablation_division.dir/bench_ablation_division.cpp.o"
+  "CMakeFiles/bench_ablation_division.dir/bench_ablation_division.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hetero"
+  "../bench/bench_ablation_hetero.pdb"
+  "CMakeFiles/bench_ablation_hetero.dir/bench_ablation_hetero.cpp.o"
+  "CMakeFiles/bench_ablation_hetero.dir/bench_ablation_hetero.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

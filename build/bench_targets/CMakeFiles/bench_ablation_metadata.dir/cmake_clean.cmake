@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_metadata"
+  "../bench/bench_ablation_metadata.pdb"
+  "CMakeFiles/bench_ablation_metadata.dir/bench_ablation_metadata.cpp.o"
+  "CMakeFiles/bench_ablation_metadata.dir/bench_ablation_metadata.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_regions"
+  "../bench/bench_ablation_regions.pdb"
+  "CMakeFiles/bench_ablation_regions.dir/bench_ablation_regions.cpp.o"
+  "CMakeFiles/bench_ablation_regions.dir/bench_ablation_regions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

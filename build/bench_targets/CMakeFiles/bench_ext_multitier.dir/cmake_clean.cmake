@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_multitier"
+  "../bench/bench_ext_multitier.pdb"
+  "CMakeFiles/bench_ext_multitier.dir/bench_ext_multitier.cpp.o"
+  "CMakeFiles/bench_ext_multitier.dir/bench_ext_multitier.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

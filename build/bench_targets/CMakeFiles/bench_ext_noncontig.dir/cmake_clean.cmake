@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_noncontig"
+  "../bench/bench_ext_noncontig.pdb"
+  "CMakeFiles/bench_ext_noncontig.dir/bench_ext_noncontig.cpp.o"
+  "CMakeFiles/bench_ext_noncontig.dir/bench_ext_noncontig.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_noncontig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_online"
+  "../bench/bench_ext_online.pdb"
+  "CMakeFiles/bench_ext_online.dir/bench_ext_online.cpp.o"
+  "CMakeFiles/bench_ext_online.dir/bench_ext_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01a_load_imbalance"
+  "../bench/bench_fig01a_load_imbalance.pdb"
+  "CMakeFiles/bench_fig01a_load_imbalance.dir/bench_fig01a_load_imbalance.cpp.o"
+  "CMakeFiles/bench_fig01a_load_imbalance.dir/bench_fig01a_load_imbalance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01a_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01a_load_imbalance.
+# This may be replaced when dependencies are built.

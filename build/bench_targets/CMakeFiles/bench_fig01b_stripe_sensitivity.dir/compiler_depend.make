@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig01b_stripe_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01b_stripe_sensitivity.
+# This may be replaced when dependencies are built.

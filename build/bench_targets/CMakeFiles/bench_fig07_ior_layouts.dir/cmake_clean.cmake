@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_ior_layouts"
+  "../bench/bench_fig07_ior_layouts.pdb"
+  "CMakeFiles/bench_fig07_ior_layouts.dir/bench_fig07_ior_layouts.cpp.o"
+  "CMakeFiles/bench_fig07_ior_layouts.dir/bench_fig07_ior_layouts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ior_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_process_scaling"
+  "../bench/bench_fig08_process_scaling.pdb"
+  "CMakeFiles/bench_fig08_process_scaling.dir/bench_fig08_process_scaling.cpp.o"
+  "CMakeFiles/bench_fig08_process_scaling.dir/bench_fig08_process_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_process_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

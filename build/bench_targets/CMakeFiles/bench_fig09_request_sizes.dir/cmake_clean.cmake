@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_request_sizes"
+  "../bench/bench_fig09_request_sizes.pdb"
+  "CMakeFiles/bench_fig09_request_sizes.dir/bench_fig09_request_sizes.cpp.o"
+  "CMakeFiles/bench_fig09_request_sizes.dir/bench_fig09_request_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_request_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

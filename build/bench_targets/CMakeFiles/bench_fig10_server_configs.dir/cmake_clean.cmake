@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_server_configs"
+  "../bench/bench_fig10_server_configs.pdb"
+  "CMakeFiles/bench_fig10_server_configs.dir/bench_fig10_server_configs.cpp.o"
+  "CMakeFiles/bench_fig10_server_configs.dir/bench_fig10_server_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_server_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_server_configs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_nonuniform"
+  "../bench/bench_fig11_nonuniform.pdb"
+  "CMakeFiles/bench_fig11_nonuniform.dir/bench_fig11_nonuniform.cpp.o"
+  "CMakeFiles/bench_fig11_nonuniform.dir/bench_fig11_nonuniform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_nonuniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

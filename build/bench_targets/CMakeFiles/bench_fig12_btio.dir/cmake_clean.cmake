@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_btio"
+  "../bench/bench_fig12_btio.pdb"
+  "CMakeFiles/bench_fig12_btio.dir/bench_fig12_btio.cpp.o"
+  "CMakeFiles/bench_fig12_btio.dir/bench_fig12_btio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_btio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

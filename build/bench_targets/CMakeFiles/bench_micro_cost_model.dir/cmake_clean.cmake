@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_cost_model"
+  "../bench/bench_micro_cost_model.pdb"
+  "CMakeFiles/bench_micro_cost_model.dir/bench_micro_cost_model.cpp.o"
+  "CMakeFiles/bench_micro_cost_model.dir/bench_micro_cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_model_accuracy"
+  "../bench/bench_micro_model_accuracy.pdb"
+  "CMakeFiles/bench_micro_model_accuracy.dir/bench_micro_model_accuracy.cpp.o"
+  "CMakeFiles/bench_micro_model_accuracy.dir/bench_micro_model_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_model_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_optimizer"
+  "../bench/bench_micro_optimizer.pdb"
+  "CMakeFiles/bench_micro_optimizer.dir/bench_micro_optimizer.cpp.o"
+  "CMakeFiles/bench_micro_optimizer.dir/bench_micro_optimizer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_region_division"
+  "../bench/bench_micro_region_division.pdb"
+  "CMakeFiles/bench_micro_region_division.dir/bench_micro_region_division.cpp.o"
+  "CMakeFiles/bench_micro_region_division.dir/bench_micro_region_division.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_region_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/harl_bench_common.dir/bench_common.cpp.o.d"
+  "libharl_bench_common.a"
+  "libharl_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_adaptation.dir/online_adaptation.cpp.o"
+  "CMakeFiles/online_adaptation.dir/online_adaptation.cpp.o.d"
+  "online_adaptation"
+  "online_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_common.dir/config.cpp.o"
+  "CMakeFiles/harl_common.dir/config.cpp.o.d"
+  "CMakeFiles/harl_common.dir/log.cpp.o"
+  "CMakeFiles/harl_common.dir/log.cpp.o.d"
+  "CMakeFiles/harl_common.dir/rng.cpp.o"
+  "CMakeFiles/harl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/harl_common.dir/stats.cpp.o"
+  "CMakeFiles/harl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/harl_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/harl_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/harl_common.dir/units.cpp.o"
+  "CMakeFiles/harl_common.dir/units.cpp.o.d"
+  "libharl_common.a"
+  "libharl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/closed_form.cpp" "src/core/CMakeFiles/harl_core.dir/closed_form.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/closed_form.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/harl_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/online_advisor.cpp" "src/core/CMakeFiles/harl_core.dir/online_advisor.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/online_advisor.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/harl_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/region_divider.cpp" "src/core/CMakeFiles/harl_core.dir/region_divider.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/region_divider.cpp.o.d"
+  "/root/repo/src/core/rst.cpp" "src/core/CMakeFiles/harl_core.dir/rst.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/rst.cpp.o.d"
+  "/root/repo/src/core/stripe_optimizer.cpp" "src/core/CMakeFiles/harl_core.dir/stripe_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/stripe_optimizer.cpp.o.d"
+  "/root/repo/src/core/tiered_cost_model.cpp" "src/core/CMakeFiles/harl_core.dir/tiered_cost_model.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/tiered_cost_model.cpp.o.d"
+  "/root/repo/src/core/tiered_optimizer.cpp" "src/core/CMakeFiles/harl_core.dir/tiered_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/harl_core.dir/tiered_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/harl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/harl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/harl_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_core.dir/closed_form.cpp.o"
+  "CMakeFiles/harl_core.dir/closed_form.cpp.o.d"
+  "CMakeFiles/harl_core.dir/cost_model.cpp.o"
+  "CMakeFiles/harl_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/harl_core.dir/online_advisor.cpp.o"
+  "CMakeFiles/harl_core.dir/online_advisor.cpp.o.d"
+  "CMakeFiles/harl_core.dir/planner.cpp.o"
+  "CMakeFiles/harl_core.dir/planner.cpp.o.d"
+  "CMakeFiles/harl_core.dir/region_divider.cpp.o"
+  "CMakeFiles/harl_core.dir/region_divider.cpp.o.d"
+  "CMakeFiles/harl_core.dir/rst.cpp.o"
+  "CMakeFiles/harl_core.dir/rst.cpp.o.d"
+  "CMakeFiles/harl_core.dir/stripe_optimizer.cpp.o"
+  "CMakeFiles/harl_core.dir/stripe_optimizer.cpp.o.d"
+  "CMakeFiles/harl_core.dir/tiered_cost_model.cpp.o"
+  "CMakeFiles/harl_core.dir/tiered_cost_model.cpp.o.d"
+  "CMakeFiles/harl_core.dir/tiered_optimizer.cpp.o"
+  "CMakeFiles/harl_core.dir/tiered_optimizer.cpp.o.d"
+  "libharl_core.a"
+  "libharl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_harness.dir/calibration.cpp.o"
+  "CMakeFiles/harl_harness.dir/calibration.cpp.o.d"
+  "CMakeFiles/harl_harness.dir/experiment.cpp.o"
+  "CMakeFiles/harl_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/harl_harness.dir/scheme.cpp.o"
+  "CMakeFiles/harl_harness.dir/scheme.cpp.o.d"
+  "CMakeFiles/harl_harness.dir/table.cpp.o"
+  "CMakeFiles/harl_harness.dir/table.cpp.o.d"
+  "libharl_harness.a"
+  "libharl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

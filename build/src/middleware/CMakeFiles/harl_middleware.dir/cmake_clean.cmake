@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_middleware.dir/harl_driver.cpp.o"
+  "CMakeFiles/harl_middleware.dir/harl_driver.cpp.o.d"
+  "CMakeFiles/harl_middleware.dir/mpi_world.cpp.o"
+  "CMakeFiles/harl_middleware.dir/mpi_world.cpp.o.d"
+  "CMakeFiles/harl_middleware.dir/r2f.cpp.o"
+  "CMakeFiles/harl_middleware.dir/r2f.cpp.o.d"
+  "CMakeFiles/harl_middleware.dir/runner.cpp.o"
+  "CMakeFiles/harl_middleware.dir/runner.cpp.o.d"
+  "libharl_middleware.a"
+  "libharl_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for harl_middleware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_net.dir/network.cpp.o"
+  "CMakeFiles/harl_net.dir/network.cpp.o.d"
+  "libharl_net.a"
+  "libharl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfs/client.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/client.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/client.cpp.o.d"
+  "/root/repo/src/pfs/cluster.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/cluster.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/cluster.cpp.o.d"
+  "/root/repo/src/pfs/data_server.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/data_server.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/data_server.cpp.o.d"
+  "/root/repo/src/pfs/layout.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/layout.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/layout.cpp.o.d"
+  "/root/repo/src/pfs/mds.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/mds.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/mds.cpp.o.d"
+  "/root/repo/src/pfs/region_layout.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/region_layout.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/region_layout.cpp.o.d"
+  "/root/repo/src/pfs/space.cpp" "src/pfs/CMakeFiles/harl_pfs.dir/space.cpp.o" "gcc" "src/pfs/CMakeFiles/harl_pfs.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/harl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_pfs.dir/client.cpp.o"
+  "CMakeFiles/harl_pfs.dir/client.cpp.o.d"
+  "CMakeFiles/harl_pfs.dir/cluster.cpp.o"
+  "CMakeFiles/harl_pfs.dir/cluster.cpp.o.d"
+  "CMakeFiles/harl_pfs.dir/data_server.cpp.o"
+  "CMakeFiles/harl_pfs.dir/data_server.cpp.o.d"
+  "CMakeFiles/harl_pfs.dir/layout.cpp.o"
+  "CMakeFiles/harl_pfs.dir/layout.cpp.o.d"
+  "CMakeFiles/harl_pfs.dir/mds.cpp.o"
+  "CMakeFiles/harl_pfs.dir/mds.cpp.o.d"
+  "CMakeFiles/harl_pfs.dir/region_layout.cpp.o"
+  "CMakeFiles/harl_pfs.dir/region_layout.cpp.o.d"
+  "CMakeFiles/harl_pfs.dir/space.cpp.o"
+  "CMakeFiles/harl_pfs.dir/space.cpp.o.d"
+  "libharl_pfs.a"
+  "libharl_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_sim.dir/resource.cpp.o"
+  "CMakeFiles/harl_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/harl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/harl_sim.dir/simulator.cpp.o.d"
+  "libharl_sim.a"
+  "libharl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/faulty.cpp" "src/storage/CMakeFiles/harl_storage.dir/faulty.cpp.o" "gcc" "src/storage/CMakeFiles/harl_storage.dir/faulty.cpp.o.d"
+  "/root/repo/src/storage/hdd.cpp" "src/storage/CMakeFiles/harl_storage.dir/hdd.cpp.o" "gcc" "src/storage/CMakeFiles/harl_storage.dir/hdd.cpp.o.d"
+  "/root/repo/src/storage/profiler.cpp" "src/storage/CMakeFiles/harl_storage.dir/profiler.cpp.o" "gcc" "src/storage/CMakeFiles/harl_storage.dir/profiler.cpp.o.d"
+  "/root/repo/src/storage/profiles.cpp" "src/storage/CMakeFiles/harl_storage.dir/profiles.cpp.o" "gcc" "src/storage/CMakeFiles/harl_storage.dir/profiles.cpp.o.d"
+  "/root/repo/src/storage/ssd.cpp" "src/storage/CMakeFiles/harl_storage.dir/ssd.cpp.o" "gcc" "src/storage/CMakeFiles/harl_storage.dir/ssd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

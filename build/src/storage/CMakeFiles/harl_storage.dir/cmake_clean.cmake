@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_storage.dir/faulty.cpp.o"
+  "CMakeFiles/harl_storage.dir/faulty.cpp.o.d"
+  "CMakeFiles/harl_storage.dir/hdd.cpp.o"
+  "CMakeFiles/harl_storage.dir/hdd.cpp.o.d"
+  "CMakeFiles/harl_storage.dir/profiler.cpp.o"
+  "CMakeFiles/harl_storage.dir/profiler.cpp.o.d"
+  "CMakeFiles/harl_storage.dir/profiles.cpp.o"
+  "CMakeFiles/harl_storage.dir/profiles.cpp.o.d"
+  "CMakeFiles/harl_storage.dir/ssd.cpp.o"
+  "CMakeFiles/harl_storage.dir/ssd.cpp.o.d"
+  "libharl_storage.a"
+  "libharl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

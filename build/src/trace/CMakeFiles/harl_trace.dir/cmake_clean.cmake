@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_trace.dir/analysis.cpp.o"
+  "CMakeFiles/harl_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/harl_trace.dir/collector.cpp.o"
+  "CMakeFiles/harl_trace.dir/collector.cpp.o.d"
+  "CMakeFiles/harl_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/harl_trace.dir/trace_io.cpp.o.d"
+  "libharl_trace.a"
+  "libharl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

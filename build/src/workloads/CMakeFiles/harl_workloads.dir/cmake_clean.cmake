@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_workloads.dir/btio.cpp.o"
+  "CMakeFiles/harl_workloads.dir/btio.cpp.o.d"
+  "CMakeFiles/harl_workloads.dir/ior.cpp.o"
+  "CMakeFiles/harl_workloads.dir/ior.cpp.o.d"
+  "CMakeFiles/harl_workloads.dir/multiregion.cpp.o"
+  "CMakeFiles/harl_workloads.dir/multiregion.cpp.o.d"
+  "CMakeFiles/harl_workloads.dir/random_workload.cpp.o"
+  "CMakeFiles/harl_workloads.dir/random_workload.cpp.o.d"
+  "CMakeFiles/harl_workloads.dir/replay.cpp.o"
+  "CMakeFiles/harl_workloads.dir/replay.cpp.o.d"
+  "libharl_workloads.a"
+  "libharl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

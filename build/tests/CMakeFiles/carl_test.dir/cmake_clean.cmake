@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carl_test.dir/carl_test.cpp.o"
+  "CMakeFiles/carl_test.dir/carl_test.cpp.o.d"
+  "carl_test"
+  "carl_test.pdb"
+  "carl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

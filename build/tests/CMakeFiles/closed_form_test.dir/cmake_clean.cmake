@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_form_test.dir/closed_form_test.cpp.o"
+  "CMakeFiles/closed_form_test.dir/closed_form_test.cpp.o.d"
+  "closed_form_test"
+  "closed_form_test.pdb"
+  "closed_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divider_test.dir/divider_test.cpp.o"
+  "CMakeFiles/divider_test.dir/divider_test.cpp.o.d"
+  "divider_test"
+  "divider_test.pdb"
+  "divider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_test.dir/middleware_test.cpp.o"
+  "CMakeFiles/middleware_test.dir/middleware_test.cpp.o.d"
+  "middleware_test"
+  "middleware_test.pdb"
+  "middleware_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

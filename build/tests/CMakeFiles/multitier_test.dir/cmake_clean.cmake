@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitier_test.dir/multitier_test.cpp.o"
+  "CMakeFiles/multitier_test.dir/multitier_test.cpp.o.d"
+  "multitier_test"
+  "multitier_test.pdb"
+  "multitier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

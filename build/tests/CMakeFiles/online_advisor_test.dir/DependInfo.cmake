@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/online_advisor_test.cpp" "tests/CMakeFiles/online_advisor_test.dir/online_advisor_test.cpp.o" "gcc" "tests/CMakeFiles/online_advisor_test.dir/online_advisor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/harl_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/harl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/harl_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/harl_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/harl_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/harl_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_advisor_test.dir/online_advisor_test.cpp.o"
+  "CMakeFiles/online_advisor_test.dir/online_advisor_test.cpp.o.d"
+  "online_advisor_test"
+  "online_advisor_test.pdb"
+  "online_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rst_test.dir/rst_test.cpp.o"
+  "CMakeFiles/rst_test.dir/rst_test.cpp.o.d"
+  "rst_test"
+  "rst_test.pdb"
+  "rst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

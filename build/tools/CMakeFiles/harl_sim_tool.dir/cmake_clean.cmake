@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_sim_tool.dir/harl_sim.cpp.o"
+  "CMakeFiles/harl_sim_tool.dir/harl_sim.cpp.o.d"
+  "harl_sim"
+  "harl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harl_trace_tool.dir/harl_trace.cpp.o"
+  "CMakeFiles/harl_trace_tool.dir/harl_trace.cpp.o.d"
+  "harl_trace"
+  "harl_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harl_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
