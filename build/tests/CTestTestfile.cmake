@@ -16,6 +16,7 @@ include("/root/repo/build/tests/divider_test[1]_include.cmake")
 include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
 include("/root/repo/build/tests/rst_test[1]_include.cmake")
 include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_parallel_test[1]_include.cmake")
 include("/root/repo/build/tests/middleware_test[1]_include.cmake")
 include("/root/repo/build/tests/workloads_test[1]_include.cmake")
 include("/root/repo/build/tests/harness_test[1]_include.cmake")
