@@ -4,6 +4,8 @@
 // replay per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include "src/pfs/cluster.hpp"
 #include "src/sim/resource.hpp"
 #include "src/sim/simulator.hpp"
@@ -24,6 +26,31 @@ void BM_EventDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_EventDispatchHeavyCallback(benchmark::State& state) {
+  // Dispatch rate with callbacks whose captures exceed std::function's
+  // small-buffer size, so each Event's fn owns a heap allocation.  Before
+  // dispatch_next() moved events off the priority queue, every dispatch
+  // deep-copied that allocation; this entry pins the move-out win.
+  const int batch = static_cast<int>(state.range(0));
+  struct Payload {
+    std::uint64_t bytes[8] = {0};  // 64 B: above any libstdc++/libc++ SBO
+  };
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < batch; ++i) {
+      Payload payload;
+      payload.bytes[0] = static_cast<std::uint64_t>(i);
+      sim.schedule_at(static_cast<sim::Time>(i),
+                      [payload, &sink] { sink += payload.bytes[0]; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventDispatchHeavyCallback)->Arg(1000)->Arg(100000);
 
 void BM_FifoResourceChain(benchmark::State& state) {
   // Self-perpetuating job chain: measures per-job overhead including the

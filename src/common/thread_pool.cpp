@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace harl {
 
@@ -21,6 +22,11 @@ ThreadPool::~ThreadPool() {
     stopping_ = true;
   }
   cv_.notify_all();
+  // Join in the destructor body: members are destroyed in reverse
+  // declaration order, so waiting for the jthread members' implicit join
+  // would destroy queue_/mutex_/cv_ while workers still drain the queue
+  // (parallel_for may leave already-satisfied driver tasks behind).
+  for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::worker_loop() {
@@ -40,20 +46,60 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+
+  // Shared claim/completion state.  Workers that dequeue a driver after all
+  // iterations are claimed touch only `next`, so the state (not `fn`) must
+  // outlive the call — hence the shared_ptr; `fn` is only reached through a
+  // successfully claimed index, and the caller does not return before every
+  // claimed index has finished.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::mutex m;
+    std::condition_variable cv;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = &fn;
+
+  auto drive = [state] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) return;
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        std::lock_guard lock(state->m);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->n) {
+        std::lock_guard lock(state->m);  // pair with the waiter's check
+        state->cv.notify_all();
+      }
     }
+  };
+
+  // One helper driver per worker (capped by the iteration count); the caller
+  // is the remaining driver and always makes progress on its own.
+  const std::size_t helpers = std::min(thread_count(), n - 1);
+  if (helpers > 0) {
+    {
+      std::lock_guard lock(mutex_);
+      for (std::size_t i = 0; i < helpers; ++i) queue_.emplace_back(drive);
+    }
+    cv_.notify_all();
   }
-  if (first_error) std::rethrow_exception(first_error);
+  drive();
+
+  std::unique_lock lock(state->m);
+  state->cv.wait(lock,
+                 [&] { return state->done.load(std::memory_order_acquire) ==
+                              state->n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace harl

@@ -1,10 +1,19 @@
 // A small fixed-size thread pool for embarrassingly-parallel work.
 //
-// Used by the stripe-size optimizer (Algorithm 2 shards its h-axis) and by
-// the benchmark harness to evaluate independent layout candidates.  The
-// discrete-event simulator itself is single-threaded and deterministic; the
-// pool is only ever handed independent tasks, so there is no cross-task
-// synchronization to reason about beyond the queue.
+// Used by the Analysis-Phase planner (independent regions optimize
+// concurrently), by the stripe-size optimizer (Algorithm 2 shards its
+// candidate grid), and by the benchmark harness to evaluate independent
+// layout candidates.  The discrete-event simulator itself is
+// single-threaded and deterministic; the pool is only ever handed
+// independent tasks, so there is no cross-task synchronization to reason
+// about beyond the queue.
+//
+// parallel_for() is *work-helping*: the calling thread claims iterations
+// alongside the workers, so a task running on the pool may itself call
+// parallel_for() on the same pool without deadlock — in the worst case the
+// nested caller executes every nested iteration itself.  This is what lets
+// the planner parallelize over regions while each region's optimizer is
+// free to shard its candidate axis on the same pool.
 #pragma once
 
 #include <condition_variable>
@@ -46,7 +55,11 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Exceptions from any invocation are rethrown (the first one observed).
+  /// The caller participates (claims iterations itself), so nesting
+  /// parallel_for inside a pool task cannot deadlock.  Iteration-to-thread
+  /// assignment is nondeterministic; callers that need deterministic output
+  /// must write results by index.  Exceptions from any invocation are
+  /// rethrown after all iterations finish (the first one observed).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,6 +1,7 @@
 #include "src/core/planner.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
 
@@ -8,11 +9,19 @@ namespace harl::core {
 
 namespace {
 
-std::vector<trace::TraceRecord> sorted_copy(
-    std::span<const trace::TraceRecord> records) {
-  std::vector<trace::TraceRecord> sorted(records.begin(), records.end());
-  std::sort(sorted.begin(), sorted.end(), trace::ByOffset{});
-  return sorted;
+/// Returns a view of `records` in ByOffset order.  Pre-sorted input (the
+/// normal case: TraceCollector::sorted_by_offset() and the harness both
+/// hand over sorted traces) is used in place; otherwise a sorted copy is
+/// materialized in `storage`.
+std::span<const trace::TraceRecord> ensure_sorted(
+    std::span<const trace::TraceRecord> records,
+    std::vector<trace::TraceRecord>& storage) {
+  if (std::is_sorted(records.begin(), records.end(), trace::ByOffset{})) {
+    return records;
+  }
+  storage.assign(records.begin(), records.end());
+  std::sort(storage.begin(), storage.end(), trace::ByOffset{});
+  return storage;
 }
 
 std::vector<FileRequest> region_requests(
@@ -25,6 +34,42 @@ std::vector<FileRequest> region_requests(
   return reqs;
 }
 
+PlannedRegion planned_from(const DividedRegion& region,
+                           const RegionStripes& opt) {
+  PlannedRegion planned;
+  planned.offset = region.offset;
+  planned.end = region.end;
+  planned.stripes = opt.stripes;
+  planned.model_cost = opt.model_cost;
+  planned.avg_request = region.avg_request;
+  planned.request_count = region.request_count();
+  planned.candidates_evaluated = opt.candidates_evaluated;
+  planned.cost_evals = opt.cost_evals;
+  planned.cost_evals_saved = opt.cost_evals_saved;
+  return planned;
+}
+
+/// Runs `fn(i)` for each region index: concurrently on options.pool when
+/// regions can use it, serially otherwise.  Callers store results by index,
+/// so either path yields identical output.
+void for_each_region(std::size_t count, const PlannerOptions& options,
+                     const std::function<void(std::size_t)>& fn) {
+  if (options.pool != nullptr && count > 1) {
+    options.pool->parallel_for(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+/// Per-region optimizer options for the region-parallel path: regions are
+/// the parallel grain, so the nested candidate sharding is disabled.
+OptimizerOptions region_grain_optimizer(const PlannerOptions& options,
+                                        std::size_t region_count) {
+  OptimizerOptions opt = options.optimizer;
+  if (options.pool != nullptr && region_count > 1) opt.pool = nullptr;
+  return opt;
+}
+
 Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
                         const RegionDivision& division,
                         const CostParams& params,
@@ -33,23 +78,25 @@ Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
   plan.threshold_used = division.threshold_used;
   plan.tuning_rounds = division.tuning_rounds;
 
-  for (const auto& region : division.regions) {
-    auto reqs = region_requests(sorted, region);
-    const RegionStripes opt =
+  const std::size_t count = division.regions.size();
+  const OptimizerOptions opt_options = region_grain_optimizer(options, count);
+  std::vector<RegionStripes> optimized(count);
+  for_each_region(count, options, [&](std::size_t i) {
+    const DividedRegion& region = division.regions[i];
+    const auto reqs = region_requests(sorted, region);
+    optimized[i] =
         homogeneous
             ? optimize_region_homogeneous(params, reqs, region.avg_request,
-                                          options.optimizer)
-            : optimize_region(params, reqs, region.avg_request,
-                              options.optimizer);
-    PlannedRegion planned;
-    planned.offset = region.offset;
-    planned.end = region.end;
-    planned.stripes = opt.stripes;
-    planned.model_cost = opt.model_cost;
-    planned.avg_request = region.avg_request;
-    planned.request_count = region.request_count();
-    plan.regions.push_back(planned);
-    plan.rst.add(region.offset, opt.stripes);
+                                          opt_options)
+            : optimize_region(params, reqs, region.avg_request, opt_options);
+  });
+
+  // Deterministic assembly in region order, independent of which thread
+  // optimized which region.
+  plan.regions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    plan.regions.push_back(planned_from(division.regions[i], optimized[i]));
+    plan.rst.add(division.regions[i].offset, optimized[i].stripes);
   }
 
   plan.regions_before_merge = plan.rst.size();
@@ -67,10 +114,25 @@ Seconds Plan::total_model_cost() const {
                          });
 }
 
+std::uint64_t Plan::total_cost_evals() const {
+  return std::accumulate(regions.begin(), regions.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const PlannedRegion& r) {
+                           return acc + r.cost_evals;
+                         });
+}
+
+std::uint64_t Plan::total_cost_evals_saved() const {
+  return std::accumulate(regions.begin(), regions.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const PlannedRegion& r) {
+                           return acc + r.cost_evals_saved;
+                         });
+}
+
 Plan analyze(std::span<const trace::TraceRecord> records,
              const CostParams& params, const PlannerOptions& options) {
   if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
-  const auto sorted = sorted_copy(records);
+  std::vector<trace::TraceRecord> storage;
+  const auto sorted = ensure_sorted(records, storage);
   const RegionDivision division = divide_regions(sorted, options.divider);
   return plan_from_division(sorted, division, params, options, false);
 }
@@ -79,7 +141,8 @@ Plan analyze_file_level(std::span<const trace::TraceRecord> records,
                         const CostParams& params,
                         const PlannerOptions& options) {
   if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
-  const auto sorted = sorted_copy(records);
+  std::vector<trace::TraceRecord> storage;
+  const auto sorted = ensure_sorted(records, storage);
 
   // One region spanning everything: the heterogeneity-aware but
   // region-oblivious ablation.
@@ -104,7 +167,8 @@ Plan analyze_segment_level(std::span<const trace::TraceRecord> records,
                            const CostParams& params,
                            const PlannerOptions& options) {
   if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
-  const auto sorted = sorted_copy(records);
+  std::vector<trace::TraceRecord> storage;
+  const auto sorted = ensure_sorted(records, storage);
   const RegionDivision division = divide_regions(sorted, options.divider);
   return plan_from_division(sorted, division, params, options, true);
 }
@@ -113,7 +177,8 @@ Plan analyze_fixed_regions(std::span<const trace::TraceRecord> records,
                            const CostParams& params, Bytes chunk_size,
                            const PlannerOptions& options) {
   if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
-  const auto sorted = sorted_copy(records);
+  std::vector<trace::TraceRecord> storage;
+  const auto sorted = ensure_sorted(records, storage);
   const RegionDivision division = divide_regions_fixed(sorted, chunk_size);
   return plan_from_division(sorted, division, params, options, false);
 }
@@ -122,7 +187,8 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
                   const CostParams& params, Bytes ssd_capacity,
                   const PlannerOptions& options) {
   if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
-  const auto sorted = sorted_copy(records);
+  std::vector<trace::TraceRecord> storage;
+  const auto sorted = ensure_sorted(records, storage);
   const RegionDivision division = divide_regions(sorted, options.divider);
 
   // Per region: best single-tier placements and their model costs.
@@ -133,33 +199,47 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
     Bytes extent = 0;       ///< bytes stored if placed on SServers
     double density = 0.0;   ///< cost savings per stored byte
   };
-  std::vector<CarlRegion> carl;
-  carl.reserve(division.regions.size());
-  for (const auto& region : division.regions) {
-    auto reqs = region_requests(sorted, region);
-    CarlRegion c;
-    c.region = region;
+  const std::size_t count = division.regions.size();
+  std::vector<CarlRegion> carl(count);
 
-    // HServer-only: force s = 0 by restricting the search to N = 0.
-    CostParams hdd_params = params;
-    hdd_params.N = 0;
-    c.hdd_only =
-        optimize_region(hdd_params, reqs, region.avg_request, options.optimizer);
-    c.hdd_only.stripes.s = 0;
+  // HServer-only: force s = 0 by restricting the search to N = 0;
+  // SServer-only: force h = 0 via M = 0.
+  CostParams hdd_params = params;
+  hdd_params.N = 0;
+  CostParams ssd_params = params;
+  ssd_params.M = 0;
 
-    // SServer-only: force h = 0 via M = 0.
-    CostParams ssd_params = params;
-    ssd_params.M = 0;
-    c.ssd_only =
-        optimize_region(ssd_params, reqs, region.avg_request, options.optimizer);
-    c.ssd_only.stripes.h = 0;
+  // The two single-tier searches per region are independent of each other,
+  // so the parallel grain is (region, tier): 2 * count tasks.
+  const OptimizerOptions opt_options = region_grain_optimizer(options, 2 * count);
+  auto optimize_half = [&](std::size_t task) {
+    const std::size_t r = task / 2;
+    const DividedRegion& region = division.regions[r];
+    const auto reqs = region_requests(sorted, region);
+    if (task % 2 == 0) {
+      carl[r].hdd_only =
+          optimize_region(hdd_params, reqs, region.avg_request, opt_options);
+      carl[r].hdd_only.stripes.s = 0;
+    } else {
+      carl[r].ssd_only =
+          optimize_region(ssd_params, reqs, region.avg_request, opt_options);
+      carl[r].ssd_only.stripes.h = 0;
+    }
+  };
+  if (options.pool != nullptr && count > 0) {
+    options.pool->parallel_for(2 * count, optimize_half);
+  } else {
+    for (std::size_t task = 0; task < 2 * count; ++task) optimize_half(task);
+  }
 
-    c.extent = region.end - region.offset;
+  for (std::size_t r = 0; r < count; ++r) {
+    CarlRegion& c = carl[r];
+    c.region = division.regions[r];
+    c.extent = c.region.end - c.region.offset;
     c.density = c.extent > 0
                     ? (c.hdd_only.model_cost - c.ssd_only.model_cost) /
                           static_cast<double>(c.extent)
                     : 0.0;
-    carl.push_back(std::move(c));
   }
 
   // Greedy: highest savings density first, until the SSD budget is spent.
@@ -193,6 +273,13 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
     planned.model_cost = choice.model_cost;
     planned.avg_request = carl[i].region.avg_request;
     planned.request_count = carl[i].region.request_count();
+    // Both single-tier searches count toward the region's analysis effort.
+    planned.candidates_evaluated = carl[i].hdd_only.candidates_evaluated +
+                                   carl[i].ssd_only.candidates_evaluated;
+    planned.cost_evals =
+        carl[i].hdd_only.cost_evals + carl[i].ssd_only.cost_evals;
+    planned.cost_evals_saved = carl[i].hdd_only.cost_evals_saved +
+                               carl[i].ssd_only.cost_evals_saved;
     plan.regions.push_back(planned);
     plan.rst.add(planned.offset, planned.stripes);
   }

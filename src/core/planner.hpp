@@ -8,6 +8,7 @@
 // with adjacent-equal merging.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,14 @@ struct PlannerOptions {
   DividerOptions divider;
   OptimizerOptions optimizer;
   bool merge_adjacent = true;  ///< merge equal-stripe neighbours (Sec. III-E)
+  /// Optional region-level parallelism: when set, independent regions (and
+  /// CARL's hdd-only/ssd-only pair per region) optimize concurrently on
+  /// this pool.  Results are written back by region index, so the produced
+  /// Plan is bit-identical to the serial path.  While regions run in
+  /// parallel the per-region optimizer runs serially (optimizer.pool is
+  /// ignored) — regions are the parallel grain; with a single region the
+  /// optimizer's candidate sharding applies instead.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-region planning outcome (pre-merge).
@@ -32,6 +41,9 @@ struct PlannedRegion {
   Seconds model_cost = 0.0;
   double avg_request = 0.0;
   std::size_t request_count = 0;
+  std::size_t candidates_evaluated = 0;  ///< Algorithm 2 grid size
+  std::uint64_t cost_evals = 0;          ///< request_cost calls made
+  std::uint64_t cost_evals_saved = 0;    ///< calls avoided by coalescing
 };
 
 struct Plan {
@@ -44,9 +56,15 @@ struct Plan {
 
   /// Total model cost across regions (the objective Algorithm 2 minimized).
   Seconds total_model_cost() const;
+
+  /// Aggregated Algorithm 2 effort across regions, for perf diagnostics.
+  std::uint64_t total_cost_evals() const;
+  std::uint64_t total_cost_evals_saved() const;
 };
 
-/// Runs the Analysis Phase over `records` (any order; sorted internally).
+/// Runs the Analysis Phase over `records` (any order; input already in
+/// ByOffset order — e.g. TraceCollector::sorted_by_offset() — is used in
+/// place, so multi-scheme experiments sort the trace once).
 /// Throws std::invalid_argument on an empty trace.
 Plan analyze(std::span<const trace::TraceRecord> records,
              const CostParams& params, const PlannerOptions& options = {});

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/core/cost_memo.hpp"
+
 namespace harl::core {
 
 namespace {
@@ -103,47 +105,84 @@ RegionStripes search(const CostParams& params,
   }
 
   const std::size_t stride = sample_stride(requests.size(), options.max_requests);
-  auto score = [&](StripePair hs) {
+  const std::size_t sampled = (requests.size() + stride - 1) / stride;
+
+  // Scores one candidate.  With coalescing, `memo` caches request_cost per
+  // (op, size, offset mod S) class; requests are still accumulated in their
+  // original order with identical values, so the total is bit-identical to
+  // the brute-force sum (see cost_memo.hpp).  Scaled back to the full
+  // region so reported costs are comparable regardless of sampling.
+  auto score = [&](StripePair hs, CostMemo* memo) {
     Seconds total = 0.0;
-    std::size_t scored = 0;
-    for (std::size_t i = 0; i < requests.size(); i += stride) {
-      const FileRequest& req = requests[i];
-      total += request_cost(params, req.op, req.offset, req.size, hs);
-      ++scored;
+    if (memo != nullptr) {
+      const Bytes S = static_cast<Bytes>(params.M) * hs.h +
+                      static_cast<Bytes>(params.N) * hs.s;
+      memo->reset(sampled);
+      for (std::size_t i = 0; i < requests.size(); i += stride) {
+        const FileRequest& req = requests[i];
+        total += memo->cost(req.op, req.size, req.offset % S,
+                            [&](Bytes residue) {
+                              return request_cost(params, req.op, residue,
+                                                  req.size, hs);
+                            });
+      }
+    } else {
+      for (std::size_t i = 0; i < requests.size(); i += stride) {
+        const FileRequest& req = requests[i];
+        total += request_cost(params, req.op, req.offset, req.size, hs);
+      }
     }
-    // Scale sampled cost back to the full region so reported costs are
-    // comparable across regions regardless of sampling.
     return total * static_cast<double>(requests.size()) /
-           static_cast<double>(scored);
+           static_cast<double>(sampled);
   };
 
   Candidate best;
+  std::uint64_t cost_evals = 0;
+  std::uint64_t cost_evals_saved = 0;
   if (options.pool != nullptr && candidates.size() > 1) {
     const std::size_t shards =
         std::min(options.pool->thread_count() * 4, candidates.size());
     std::vector<Candidate> shard_best(shards);
+    std::vector<std::uint64_t> shard_evals(shards, 0);
+    std::vector<std::uint64_t> shard_saved(shards, 0);
     options.pool->parallel_for(shards, [&](std::size_t shard) {
       Candidate local;
+      CostMemo memo;  // per-shard scratch, reused across candidates
       for (std::size_t i = shard; i < candidates.size(); i += shards) {
-        Candidate c{score(candidates[i]), candidates[i]};
+        Candidate c{score(candidates[i], options.coalesce ? &memo : nullptr),
+                    candidates[i]};
         if (c.better_than(local)) local = c;
       }
       shard_best[shard] = local;
+      shard_evals[shard] = options.coalesce
+                               ? memo.misses()
+                               : (candidates.size() / shards +
+                                  (shard < candidates.size() % shards)) *
+                                     sampled;
+      shard_saved[shard] = memo.hits();
     });
-    for (const auto& c : shard_best) {
-      if (c.better_than(best)) best = c;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      if (shard_best[shard].better_than(best)) best = shard_best[shard];
+      cost_evals += shard_evals[shard];
+      cost_evals_saved += shard_saved[shard];
     }
   } else {
+    CostMemo memo;
     for (const auto& hs : candidates) {
-      Candidate c{score(hs), hs};
+      Candidate c{score(hs, options.coalesce ? &memo : nullptr), hs};
       if (c.better_than(best)) best = c;
     }
+    cost_evals = options.coalesce ? memo.misses()
+                                  : candidates.size() * sampled;
+    cost_evals_saved = memo.hits();
   }
 
   RegionStripes result;
   result.stripes = best.stripes;
   result.model_cost = best.cost;
   result.candidates_evaluated = candidates.size();
+  result.cost_evals = cost_evals;
+  result.cost_evals_saved = cost_evals_saved;
   return result;
 }
 
@@ -165,14 +204,28 @@ RegionStripes optimize_region_homogeneous(const CostParams& params,
 
 Seconds region_cost(const CostParams& params,
                     std::span<const FileRequest> requests, StripePair hs,
-                    std::size_t max_requests) {
+                    std::size_t max_requests, bool coalesce) {
   const std::size_t stride = sample_stride(requests.size(), max_requests);
   Seconds total = 0.0;
   std::size_t scored = 0;
-  for (std::size_t i = 0; i < requests.size(); i += stride) {
-    total += request_cost(params, requests[i].op, requests[i].offset,
-                          requests[i].size, hs);
-    ++scored;
+  if (coalesce) {
+    const Bytes S = static_cast<Bytes>(params.M) * hs.h +
+                    static_cast<Bytes>(params.N) * hs.s;
+    CostMemo memo;
+    memo.reset((requests.size() + stride - 1) / stride);
+    for (std::size_t i = 0; i < requests.size(); i += stride) {
+      const FileRequest& req = requests[i];
+      total += memo.cost(req.op, req.size, req.offset % S, [&](Bytes residue) {
+        return request_cost(params, req.op, residue, req.size, hs);
+      });
+      ++scored;
+    }
+  } else {
+    for (std::size_t i = 0; i < requests.size(); i += stride) {
+      total += request_cost(params, requests[i].op, requests[i].offset,
+                            requests[i].size, hs);
+      ++scored;
+    }
   }
   if (scored == 0) return 0.0;
   return total * static_cast<double>(requests.size()) /

@@ -8,11 +8,15 @@
 // Each candidate is scored by the summed cost-model time of the region's
 // requests (reads via Eq. 7, writes via Eq. 8); the minimum wins.
 //
-// The search is exact, embarrassingly parallel (sharded over h), and runs
-// offline; `max_requests` caps the per-candidate scoring work by sampling
-// the region's requests with a deterministic stride when the trace is huge.
+// The search is exact, embarrassingly parallel (sharded over the candidate
+// grid), and runs offline; `max_requests` caps the per-candidate scoring
+// work by sampling the region's requests with a deterministic stride when
+// the trace is huge, and request-class coalescing (cost_memo.hpp) collapses
+// same-class requests to one cost evaluation per candidate without changing
+// a single output bit.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -26,6 +30,14 @@ struct OptimizerOptions {
   Bytes step = 4 * KiB;          ///< the paper's 4 KB grid step
   std::size_t max_requests = 4096;  ///< request-sampling cap (0 = no cap)
   ThreadPool* pool = nullptr;    ///< optional: shard the h-axis over a pool
+  /// Request-class coalescing: memoize request_cost per candidate keyed by
+  /// (op, size, offset mod S) — the cost model is exactly periodic in the
+  /// offset with the candidate's striping period S, so each class is scored
+  /// once and reused.  Totals (and thus the chosen stripes, tie-breaks
+  /// included) are bit-identical to the brute-force path because requests
+  /// are still accumulated in their original order with identical values.
+  /// Disable only for A/B verification against the brute-force scorer.
+  bool coalesce = true;
   /// Space-aware constraint (PSA, the authors' companion work [33], and the
   /// paper's Discussion): bound the fraction of each region's bytes stored
   /// on SServers to N*s / (M*h + N*s) <= max_sserver_share.  1.0 = no bound
@@ -39,6 +51,12 @@ struct RegionStripes {
   StripePair stripes;       ///< the winning (H, S)
   Seconds model_cost = 0.0; ///< summed model cost of the scored requests
   std::size_t candidates_evaluated = 0;
+  /// request_cost evaluations actually performed across all candidates.
+  std::uint64_t cost_evals = 0;
+  /// Evaluations avoided by request-class coalescing (cache hits); 0 when
+  /// coalescing is disabled.  cost_evals + cost_evals_saved == the work the
+  /// brute-force scorer would have done.
+  std::uint64_t cost_evals_saved = 0;
 };
 
 /// Runs Algorithm 2.  `requests` are the region's file requests (any order);
@@ -57,8 +75,11 @@ RegionStripes optimize_region_homogeneous(const CostParams& params,
                                           const OptimizerOptions& options = {});
 
 /// Scores one candidate: summed model cost over (sampled) requests.
+/// `coalesce` memoizes per request class exactly as the search does; the
+/// result is bit-identical either way (the default is the plain loop, kept
+/// as the A/B reference).
 Seconds region_cost(const CostParams& params,
                     std::span<const FileRequest> requests, StripePair hs,
-                    std::size_t max_requests = 0);
+                    std::size_t max_requests = 0, bool coalesce = false);
 
 }  // namespace harl::core

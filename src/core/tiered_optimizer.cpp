@@ -1,9 +1,12 @@
 #include "src/core/tiered_optimizer.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <stdexcept>
+
+#include "src/core/cost_memo.hpp"
 
 namespace harl::core {
 
@@ -114,45 +117,84 @@ TieredRegionStripes optimize_region_tiered(
 
   const std::size_t stride =
       sample_stride(requests.size(), options.max_requests);
-  auto score = [&](const std::vector<Bytes>& stripes) {
+  const std::size_t sampled = (requests.size() + stride - 1) / stride;
+  auto score = [&](const std::vector<Bytes>& stripes, CostMemo* memo) {
     Seconds total = 0.0;
-    std::size_t scored = 0;
-    for (std::size_t i = 0; i < requests.size(); i += stride) {
-      total += tiered_request_cost(params, requests[i].op, requests[i].offset,
-                                   requests[i].size, stripes);
-      ++scored;
+    if (memo != nullptr) {
+      Bytes S = 0;
+      for (std::size_t j = 0; j < stripes.size(); ++j) {
+        S += static_cast<Bytes>(params.tiers[j].count) * stripes[j];
+      }
+      memo->reset(sampled);
+      for (std::size_t i = 0; i < requests.size(); i += stride) {
+        const FileRequest& req = requests[i];
+        total += memo->cost(req.op, req.size, req.offset % S,
+                            [&](Bytes residue) {
+                              return tiered_request_cost(params, req.op,
+                                                         residue, req.size,
+                                                         stripes);
+                            });
+      }
+    } else {
+      for (std::size_t i = 0; i < requests.size(); i += stride) {
+        total += tiered_request_cost(params, requests[i].op,
+                                     requests[i].offset, requests[i].size,
+                                     stripes);
+      }
     }
     return total * static_cast<double>(requests.size()) /
-           static_cast<double>(scored);
+           static_cast<double>(sampled);
   };
 
   Candidate best;
+  std::uint64_t cost_evals = 0;
+  std::uint64_t cost_evals_saved = 0;
   if (options.pool != nullptr && candidates.size() > 1) {
     const std::size_t shards =
         std::min(options.pool->thread_count() * 4, candidates.size());
     std::vector<Candidate> shard_best(shards);
+    std::vector<std::uint64_t> shard_evals(shards, 0);
+    std::vector<std::uint64_t> shard_saved(shards, 0);
     options.pool->parallel_for(shards, [&](std::size_t shard) {
       Candidate local;
+      CostMemo memo;
       for (std::size_t i = shard; i < candidates.size(); i += shards) {
-        Candidate c{score(candidates[i]), candidates[i]};
+        Candidate c{score(candidates[i], options.coalesce ? &memo : nullptr),
+                    candidates[i]};
         if (c.better_than(local)) local = c;
       }
       shard_best[shard] = local;
+      shard_evals[shard] = options.coalesce
+                               ? memo.misses()
+                               : (candidates.size() / shards +
+                                  (shard < candidates.size() % shards)) *
+                                     sampled;
+      shard_saved[shard] = memo.hits();
     });
-    for (auto& c : shard_best) {
-      if (c.better_than(best)) best = std::move(c);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      if (shard_best[shard].better_than(best)) {
+        best = std::move(shard_best[shard]);
+      }
+      cost_evals += shard_evals[shard];
+      cost_evals_saved += shard_saved[shard];
     }
   } else {
+    CostMemo memo;
     for (const auto& stripes : candidates) {
-      Candidate c{score(stripes), stripes};
+      Candidate c{score(stripes, options.coalesce ? &memo : nullptr), stripes};
       if (c.better_than(best)) best = std::move(c);
     }
+    cost_evals = options.coalesce ? memo.misses()
+                                  : candidates.size() * sampled;
+    cost_evals_saved = memo.hits();
   }
 
   TieredRegionStripes result;
   result.stripes = std::move(best.stripes);
   result.model_cost = best.cost;
   result.candidates_evaluated = candidates.size();
+  result.cost_evals = cost_evals;
+  result.cost_evals_saved = cost_evals_saved;
   return result;
 }
 

@@ -11,6 +11,7 @@
 // stripe_optimizer.cpp for why larger equivalent stripes win).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -27,12 +28,18 @@ struct TieredOptimizerOptions {
   /// Require stripes to be non-decreasing across tiers (slowest-first
   /// ordering).  Disable for clusters whose tier order is not by speed.
   bool monotone = true;
+  /// Request-class coalescing, as in OptimizerOptions: the k-tier cost is
+  /// also exactly periodic in the offset (period = sum count_j * stripe_j),
+  /// so per-candidate memoization is bit-identical to brute force.
+  bool coalesce = true;
 };
 
 struct TieredRegionStripes {
   std::vector<Bytes> stripes;   ///< winning per-tier sizes
   Seconds model_cost = 0.0;
   std::size_t candidates_evaluated = 0;
+  std::uint64_t cost_evals = 0;        ///< tiered_request_cost calls made
+  std::uint64_t cost_evals_saved = 0;  ///< calls avoided by coalescing
 };
 
 /// Exhaustive grid search over per-tier stripes for one region.

@@ -78,13 +78,18 @@ std::vector<trace::TraceRecord> Experiment::collect_trace(
 
 SchemeResult Experiment::run(const WorkloadBundle& bundle,
                              const LayoutScheme& scheme) {
+  std::vector<trace::TraceRecord> trace_records;
+  if (scheme.needs_analysis()) trace_records = collect_trace(bundle);
+  return run_with_trace(bundle, scheme, trace_records);
+}
+
+SchemeResult Experiment::run_with_trace(
+    const WorkloadBundle& bundle, const LayoutScheme& scheme,
+    std::span<const trace::TraceRecord> trace_records) {
   if (bundle.write_programs.empty() && bundle.read_programs.empty() &&
       bundle.mixed_programs.empty()) {
     throw std::invalid_argument("workload bundle has no programs");
   }
-
-  std::vector<trace::TraceRecord> trace_records;
-  if (scheme.needs_analysis()) trace_records = collect_trace(bundle);
 
   SchemeResult result;
   result.label = scheme.label();
@@ -167,9 +172,20 @@ Experiment::ReplicatedResult Experiment::run_replicated(
 
 std::vector<SchemeResult> Experiment::run_all(
     const WorkloadBundle& bundle, const std::vector<LayoutScheme>& schemes) {
+  // Trace the first execution once: the collector's output depends only on
+  // the bundle and the fixed tracing layout, so every analysis-based scheme
+  // can share it (and the planner reuses its sorted order in place).
+  std::vector<trace::TraceRecord> trace_records;
+  bool traced = false;
   std::vector<SchemeResult> results;
   results.reserve(schemes.size());
-  for (const auto& scheme : schemes) results.push_back(run(bundle, scheme));
+  for (const auto& scheme : schemes) {
+    if (scheme.needs_analysis() && !traced) {
+      trace_records = collect_trace(bundle);
+      traced = true;
+    }
+    results.push_back(run_with_trace(bundle, scheme, trace_records));
+  }
   return results;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,7 +79,17 @@ class Experiment {
   /// results are independent and reproducible).
   SchemeResult run(const WorkloadBundle& bundle, const LayoutScheme& scheme);
 
-  /// Convenience: run several schemes against the same workload.
+  /// Runs one scheme against a pre-collected first-execution trace (already
+  /// in ByOffset order).  Lets callers trace once and evaluate many schemes
+  /// without re-tracing or re-sorting; `trace_records` may be empty for
+  /// schemes that need no analysis.
+  SchemeResult run_with_trace(const WorkloadBundle& bundle,
+                              const LayoutScheme& scheme,
+                              std::span<const trace::TraceRecord> trace_records);
+
+  /// Convenience: run several schemes against the same workload.  The
+  /// first-execution trace is collected (and sorted) once and shared by
+  /// every analysis-based scheme.
   std::vector<SchemeResult> run_all(const WorkloadBundle& bundle,
                                     const std::vector<LayoutScheme>& schemes);
 

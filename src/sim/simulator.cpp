@@ -17,8 +17,11 @@ void Simulator::schedule_after(Time delay, std::function<void()> fn) {
 
 void Simulator::dispatch_next() {
   // Move the event out before popping: the callback may schedule new events,
-  // which mutates the queue.
-  Event ev = queue_.top();
+  // which mutates the queue.  top() is const, so moving needs a const_cast;
+  // this is safe because pop() follows immediately and the heap's sift-down
+  // only reads `time` and `seq`, which the move leaves intact (only the
+  // std::function's storage — potentially a heap allocation — is stolen).
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
   ++dispatched_;

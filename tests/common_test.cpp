@@ -347,5 +347,47 @@ TEST(ThreadPool, SubmitExceptionsSurfaceThroughFuture) {
   EXPECT_THROW(f.get(), std::logic_error);
 }
 
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // parallel_for is work-helping: the caller claims iterations itself, so
+  // an inner parallel_for on the same pool always makes progress even when
+  // every pool thread is blocked inside the outer loop.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesInnerExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::size_t outer) {
+                          pool.parallel_for(4, [&](std::size_t inner) {
+                            if (outer == 1 && inner == 2) {
+                              throw std::runtime_error("inner boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCompletesRemainingWorkAfterThrow) {
+  // One failing iteration must not strand the others: every index is still
+  // visited exactly once, then the first exception is rethrown.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   hits[i]++;
+                                   if (i % 17 == 0) {
+                                     throw std::runtime_error("sparse boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 }  // namespace
 }  // namespace harl

@@ -216,6 +216,26 @@ TEST(TieredOptimizer, ParallelMatchesSerial) {
   EXPECT_DOUBLE_EQ(a.model_cost, b.model_cost);
 }
 
+TEST(TieredOptimizer, CoalescedSearchIsBitIdenticalToBruteForce) {
+  // The k-tier cost is periodic in the offset with period
+  // sum(count_j * stripe_j); coalescing memoizes per class but sums in
+  // original order, so the result matches brute force bit for bit.
+  const auto p = three_tier_params();
+  const auto reqs = uniform_requests(1 * MiB, 48);
+  core::TieredOptimizerOptions brute;
+  brute.step = 64 * KiB;
+  brute.coalesce = false;
+  core::TieredOptimizerOptions coalesced = brute;
+  coalesced.coalesce = true;
+  const auto a = core::optimize_region_tiered(p, reqs, 1.0 * MiB, brute);
+  const auto b = core::optimize_region_tiered(p, reqs, 1.0 * MiB, coalesced);
+  EXPECT_EQ(a.stripes, b.stripes);
+  EXPECT_EQ(a.model_cost, b.model_cost);
+  EXPECT_EQ(a.cost_evals_saved, 0u);
+  EXPECT_GT(b.cost_evals_saved, 0u);
+  EXPECT_EQ(b.cost_evals + b.cost_evals_saved, a.cost_evals);
+}
+
 TEST(TieredOptimizer, NonMonotoneModeWidensTheGrid) {
   const auto p = three_tier_params();
   const auto reqs = uniform_requests(512 * KiB, 16);

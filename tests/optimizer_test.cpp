@@ -100,6 +100,61 @@ TEST(Optimizer, ParallelSearchMatchesSerial) {
   EXPECT_DOUBLE_EQ(serial.model_cost, parallel.model_cost);
 }
 
+TEST(Optimizer, CoalescedSearchIsBitIdenticalToBruteForce) {
+  // Request-class coalescing memoizes request_cost per (op, size,
+  // offset mod S) but accumulates in original order, so every output —
+  // stripes, tie-breaks, the cost double itself — matches brute force
+  // exactly.  Mixed ops and sizes to exercise multiple classes.
+  const CostParams p = calibrated_params();
+  Rng rng(19);
+  std::vector<FileRequest> reqs;
+  for (std::size_t i = 0; i < 300; ++i) {
+    const Bytes size = i % 4 ? 256 * KiB : 512 * KiB;
+    reqs.push_back(FileRequest{i % 2 ? IoOp::kWrite : IoOp::kRead,
+                               rng.uniform_u64(0, 2048) * (64 * KiB), size});
+  }
+  OptimizerOptions brute;
+  brute.coalesce = false;
+  OptimizerOptions coalesced;
+  coalesced.coalesce = true;
+  const auto a = optimize_region(p, reqs, 384.0 * KiB, brute);
+  const auto b = optimize_region(p, reqs, 384.0 * KiB, coalesced);
+  EXPECT_EQ(a.stripes, b.stripes);
+  EXPECT_EQ(a.model_cost, b.model_cost);  // exact, not approximate
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+  // Counter accounting: brute force does cost_evals work and saves nothing;
+  // coalescing's evals + saved must equal brute force's total.
+  EXPECT_EQ(a.cost_evals_saved, 0u);
+  EXPECT_GT(b.cost_evals_saved, 0u);
+  EXPECT_EQ(b.cost_evals + b.cost_evals_saved, a.cost_evals);
+}
+
+TEST(Optimizer, CoalescedShardedSearchMatchesBruteForce) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 64);
+  OptimizerOptions brute;
+  brute.coalesce = false;
+  ThreadPool pool(4);
+  OptimizerOptions sharded;
+  sharded.pool = &pool;
+  const auto a = optimize_region(p, reqs, 512.0 * KiB, brute);
+  const auto b = optimize_region(p, reqs, 512.0 * KiB, sharded);
+  EXPECT_EQ(a.stripes, b.stripes);
+  EXPECT_EQ(a.model_cost, b.model_cost);
+  EXPECT_EQ(b.cost_evals + b.cost_evals_saved, a.cost_evals);
+}
+
+TEST(RegionCost, CoalescedScoreMatchesPlainLoop) {
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(256 * KiB, 128, IoOp::kWrite);
+  const StripePair hs{32 * KiB, 160 * KiB};
+  EXPECT_EQ(region_cost(p, reqs, hs, 0, false),
+            region_cost(p, reqs, hs, 0, true));
+  // Sampling composes with coalescing.
+  EXPECT_EQ(region_cost(p, reqs, hs, 32, false),
+            region_cost(p, reqs, hs, 32, true));
+}
+
 TEST(Optimizer, SamplingPreservesTheArgmin) {
   const CostParams p = calibrated_params();
   // All requests identical: sampling cannot change anything.

@@ -1,0 +1,242 @@
+// Determinism regression tests for the region-parallel planning pipeline.
+//
+// The contract under test: analyze()/analyze_carl()/analyze_segment_level()
+// with a thread pool and the coalescing scorer produce Plans that are
+// *bit-identical* — stripe for stripe, cost double for cost double — to the
+// serial, brute-force-scored baseline.  Parallelism only reorders who
+// computes each region, never what is computed; coalescing memoizes cost
+// values but accumulates them in the original request order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/planner.hpp"
+#include "src/core/stripe_optimizer.hpp"
+#include "src/storage/profiles.hpp"
+#include "src/trace/record.hpp"
+#include "src/workloads/btio.hpp"
+#include "src/workloads/ior.hpp"
+
+namespace harl::core {
+namespace {
+
+CostParams calibrated_params() {
+  CostParams p = make_cost_params(6, 2, storage::hdd_profile(),
+                                  storage::pcie_ssd_profile(),
+                                  1.0 / (117.0 * 1024 * 1024));
+  for (storage::OpProfile* prof : {&p.hserver_read, &p.hserver_write}) {
+    prof->per_byte += prof->startup_mean() / static_cast<double>(64 * KiB);
+    prof->startup_min *= 0.55;
+    prof->startup_max *= 0.55;
+  }
+  return p;
+}
+
+/// Flattens rank programs into trace records the way the Tracing Phase
+/// would see them (one record per extent, issue order preserved via
+/// t_start), without paying for a simulated execution.
+void flatten(const std::vector<mw::RankProgram>& programs,
+             std::vector<trace::TraceRecord>* out) {
+  for (std::size_t rank = 0; rank < programs.size(); ++rank) {
+    for (const auto& action : programs[rank]) {
+      if (action.kind == mw::IoAction::Kind::kCompute ||
+          action.kind == mw::IoAction::Kind::kBarrier) {
+        continue;
+      }
+      for (const auto& extent : action.extents) {
+        trace::TraceRecord rec;
+        rec.rank = static_cast<std::uint32_t>(rank);
+        rec.op = action.op;
+        rec.offset = extent.offset;
+        rec.size = extent.size;
+        rec.t_start = static_cast<Seconds>(out->size());
+        out->push_back(rec);
+      }
+    }
+  }
+}
+
+std::vector<trace::TraceRecord> ior_trace() {
+  workloads::IorConfig cfg;
+  cfg.processes = 8;
+  cfg.file_size = 256 * MiB;
+  cfg.request_size = 512 * KiB;
+  cfg.requests_per_process = 24;
+  std::vector<trace::TraceRecord> records;
+  cfg.op = IoOp::kWrite;
+  flatten(workloads::make_ior_programs(cfg), &records);
+  cfg.op = IoOp::kRead;
+  flatten(workloads::make_ior_programs(cfg), &records);
+  return records;
+}
+
+std::vector<trace::TraceRecord> btio_trace() {
+  workloads::BtioConfig cfg;
+  cfg.processes = 4;
+  cfg.grid = 24;
+  cfg.max_dumps = 2;
+  std::vector<trace::TraceRecord> records;
+  flatten(workloads::make_btio_programs(cfg), &records);
+  return records;
+}
+
+std::vector<trace::TraceRecord> random_trace(std::uint64_t seed) {
+  // Randomized phase structure: contiguous runs whose request sizes differ
+  // phase to phase, so Algorithm 1 has real boundaries to find, with random
+  // ops/ranks and a shuffled record order (exercising the sort path).
+  Rng rng(seed);
+  std::vector<trace::TraceRecord> records;
+  Bytes base = 0;
+  for (std::size_t phase = 0; phase < 4; ++phase) {
+    const Bytes size = (64 * KiB) << rng.uniform_u64(0, 5);  // 64 KiB .. 1 MiB
+    for (std::size_t i = 0; i < 96; ++i) {
+      trace::TraceRecord rec;
+      rec.rank = static_cast<std::uint32_t>(rng.uniform_u64(0, 16));
+      rec.op = rng.uniform_u64(0, 2) ? IoOp::kRead : IoOp::kWrite;
+      rec.offset = base;
+      rec.size = size;
+      base += size;
+      records.push_back(rec);
+    }
+  }
+  // Deterministic shuffle so input order differs from ByOffset order
+  // (uniform_u64 bounds are inclusive).
+  for (std::size_t i = records.size(); i > 1; --i) {
+    std::swap(records[i - 1], records[rng.uniform_u64(0, i - 1)]);
+  }
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].t_start = static_cast<Seconds>(i);
+  }
+  return records;
+}
+
+void expect_identical(const Plan& got, const Plan& want) {
+  ASSERT_EQ(got.regions.size(), want.regions.size());
+  for (std::size_t i = 0; i < want.regions.size(); ++i) {
+    SCOPED_TRACE("region " + std::to_string(i));
+    EXPECT_EQ(got.regions[i].offset, want.regions[i].offset);
+    EXPECT_EQ(got.regions[i].end, want.regions[i].end);
+    EXPECT_EQ(got.regions[i].stripes, want.regions[i].stripes);
+    // Bit-identical, not approximately equal: coalescing accumulates the
+    // same doubles in the same order as brute force.
+    EXPECT_EQ(got.regions[i].model_cost, want.regions[i].model_cost);
+    EXPECT_EQ(got.regions[i].candidates_evaluated,
+              want.regions[i].candidates_evaluated);
+  }
+  ASSERT_EQ(got.rst.size(), want.rst.size());
+  for (std::size_t i = 0; i < want.rst.size(); ++i) {
+    EXPECT_EQ(got.rst.entry(i).offset, want.rst.entry(i).offset);
+    EXPECT_EQ(got.rst.entry(i).stripes, want.rst.entry(i).stripes);
+  }
+  EXPECT_EQ(got.total_model_cost(), want.total_model_cost());
+}
+
+/// Serial, brute-force-scored baseline vs pooled, coalescing configuration.
+struct OptionPair {
+  PlannerOptions baseline;
+  PlannerOptions fast;
+};
+
+OptionPair option_pair(ThreadPool* pool) {
+  OptionPair pair;
+  pair.baseline.optimizer.coalesce = false;
+  pair.fast.pool = pool;
+  // Also hand the optimizer the pool: the planner must ignore it while
+  // regions are the parallel grain, so this must not perturb the plan.
+  pair.fast.optimizer.pool = pool;
+  // Small regions so the synthetic traces divide and the parallel path has
+  // real multi-region work (applied to both sides identically).
+  pair.baseline.divider.fixed_region_size = 8 * MiB;
+  pair.fast.divider.fixed_region_size = 8 * MiB;
+  return pair;
+}
+
+TEST(PlannerParallel, IorTraceMatchesSerialBruteForce) {
+  const auto records = ior_trace();
+  const CostParams params = calibrated_params();
+  ThreadPool pool(4);
+  const OptionPair opts = option_pair(&pool);
+  const Plan want = analyze(records, params, opts.baseline);
+  const Plan got = analyze(records, params, opts.fast);
+  expect_identical(got, want);
+  EXPECT_GT(got.total_cost_evals_saved(), 0u);
+  EXPECT_EQ(got.total_cost_evals() + got.total_cost_evals_saved(),
+            want.total_cost_evals());
+}
+
+TEST(PlannerParallel, BtioTraceMatchesSerialBruteForce) {
+  const auto records = btio_trace();
+  const CostParams params = calibrated_params();
+  ThreadPool pool(4);
+  const OptionPair opts = option_pair(&pool);
+  expect_identical(analyze(records, params, opts.fast),
+                   analyze(records, params, opts.baseline));
+}
+
+TEST(PlannerParallel, RandomTracesMatchSerialBruteForce) {
+  const CostParams params = calibrated_params();
+  ThreadPool pool(4);
+  const OptionPair opts = option_pair(&pool);
+  bool saw_multi_region = false;
+  for (std::uint64_t seed : {3u, 5u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto records = random_trace(seed);
+    const Plan want = analyze(records, params, opts.baseline);
+    saw_multi_region = saw_multi_region || want.regions.size() > 1;
+    expect_identical(analyze(records, params, opts.fast), want);
+  }
+  // The regression only bites if the parallel path really fans out.
+  EXPECT_TRUE(saw_multi_region);
+}
+
+TEST(PlannerParallel, PresortedInputMatchesUnsorted) {
+  // ensure_sorted() uses a ByOffset-ordered input in place; the plan must
+  // not depend on which path ran.
+  const CostParams params = calibrated_params();
+  auto records = random_trace(7);
+  const Plan from_unsorted = analyze(records, params);
+  std::sort(records.begin(), records.end(), trace::ByOffset{});
+  expect_identical(analyze(records, params), from_unsorted);
+}
+
+TEST(PlannerParallel, CarlMatchesSerialBruteForce) {
+  // CARL's parallel grain is (region, tier): two single-tier searches per
+  // region, all concurrent, reassembled by index.
+  const auto records = random_trace(11);
+  const CostParams params = calibrated_params();
+  ThreadPool pool(4);
+  const OptionPair opts = option_pair(&pool);
+  expect_identical(analyze_carl(records, params, 1 * GiB, opts.fast),
+                   analyze_carl(records, params, 1 * GiB, opts.baseline));
+}
+
+TEST(PlannerParallel, SegmentLevelMatchesSerialBruteForce) {
+  const auto records = random_trace(13);
+  const CostParams params = calibrated_params();
+  ThreadPool pool(4);
+  const OptionPair opts = option_pair(&pool);
+  expect_identical(analyze_segment_level(records, params, opts.fast),
+                   analyze_segment_level(records, params, opts.baseline));
+}
+
+TEST(PlannerParallel, RepeatedParallelRunsAreStable) {
+  // Flush out schedule-dependent nondeterminism: many parallel runs over
+  // the same trace must agree exactly.
+  const auto records = random_trace(29);
+  const CostParams params = calibrated_params();
+  ThreadPool pool(4);
+  PlannerOptions opts;
+  opts.pool = &pool;
+  opts.divider.fixed_region_size = 8 * MiB;
+  const Plan first = analyze(records, params, opts);
+  for (int run = 0; run < 4; ++run) {
+    expect_identical(analyze(records, params, opts), first);
+  }
+}
+
+}  // namespace
+}  // namespace harl::core

@@ -21,12 +21,17 @@
 //   schemes    comma list: <size> | randN | harl | harl-file | segment
 //              (64K,256K,harl)
 //   seed       workload seed                       (7)
+//   threads    planner threads, 0 = serial         (0)
+//              (plans are bit-identical at any width; only analysis
+//              wall time changes)
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/config.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/harness/table.hpp"
 
@@ -98,6 +103,18 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cfg.get_int("sservers", 2));
     options.cluster.num_clients =
         static_cast<std::size_t>(cfg.get_int("clients", 8));
+
+    // Optional region-parallel analysis; the pool must outlive the
+    // experiment, which keeps a pointer to it through PlannerOptions.
+    std::unique_ptr<ThreadPool> pool;
+    const long long threads = cfg.get_int("threads", 0);
+    if (threads < 0 || threads > 1024) {
+      throw std::invalid_argument("threads must be in [0, 1024]");
+    }
+    if (threads > 0) {
+      pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
+      options.planner.pool = pool.get();
+    }
 
     std::vector<harness::LayoutScheme> schemes;
     for (const auto& token :
