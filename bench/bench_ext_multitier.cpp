@@ -14,7 +14,7 @@
 #include <iostream>
 
 #include "src/common/rng.hpp"
-#include "src/core/tiered_optimizer.hpp"
+#include "src/core/stripe_optimizer.hpp"
 #include "src/harness/table.hpp"
 #include "src/pfs/cluster.hpp"
 #include "src/sim/simulator.hpp"

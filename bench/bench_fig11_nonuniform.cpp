@@ -35,8 +35,8 @@ std::vector<harness::SchemeResult> run() {
       std::cout << "HARL regions (" << r.region_count << " after merge):\n";
       for (const auto& reg : r.plan->regions) {
         std::cout << "  [" << format_size(reg.offset) << ", "
-                  << format_size(reg.end) << ") h=" << format_size(reg.stripes.h)
-                  << " s=" << format_size(reg.stripes.s)
+                  << format_size(reg.end) << ") h=" << format_size(reg.stripes[0])
+                  << " s=" << format_size(reg.stripes[1])
                   << " avg_req=" << format_size(static_cast<Bytes>(reg.avg_request))
                   << "\n";
       }

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
         std::find(migration.demoted.begin(), migration.demoted.end(), i) !=
         migration.demoted.end();
     table.add_row({std::to_string(i), format_size(spec.offset),
-                   format_size(spec.h), format_size(spec.s),
+                   format_size(spec.h()), format_size(spec.s()),
                    demoted ? "demoted to HServers" : "unchanged"});
   }
   table.print(std::cout);

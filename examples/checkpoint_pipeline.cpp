@@ -85,8 +85,8 @@ int main(int argc, char** argv) {
   for (const auto& region : plan.regions) {
     std::cout << "  [" << format_size(region.offset) << ", "
               << format_size(region.end) << ") -> {"
-              << format_size(region.stripes.h) << ", "
-              << format_size(region.stripes.s) << "}\n";
+              << format_size(region.stripes[0]) << ", "
+              << format_size(region.stripes[1]) << "}\n";
   }
 
   // ---------------------------------------------------------------------

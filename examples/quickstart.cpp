@@ -53,8 +53,8 @@ int main() {
     for (const auto& region : r.plan->regions) {
       std::cout << "  region [" << format_size(region.offset) << ", "
                 << format_size(region.end) << "): HServer stripe "
-                << format_size(region.stripes.h) << ", SServer stripe "
-                << format_size(region.stripes.s) << " (avg request "
+                << format_size(region.stripes[0]) << ", SServer stripe "
+                << format_size(region.stripes[1]) << " (avg request "
                 << format_size(static_cast<Bytes>(region.avg_request))
                 << ", " << region.request_count << " requests)\n";
     }

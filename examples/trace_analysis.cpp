@@ -88,8 +88,8 @@ int main(int argc, char** argv) {
         format_size(r.end),
         format_size(static_cast<Bytes>(r.avg_request)),
         std::to_string(r.request_count),
-        format_size(r.stripes.h),
-        format_size(r.stripes.s),
+        format_size(r.stripes[0]),
+        format_size(r.stripes[1]),
         harness::cell(r.model_cost, 4),
     });
   }

@@ -7,6 +7,7 @@
 
 #include "src/common/interval.hpp"
 #include "src/core/closed_form.hpp"
+#include "src/core/tiered_cost_model.hpp"
 
 namespace harl::core {
 
@@ -24,63 +25,47 @@ CostParams make_cost_params(std::size_t M, std::size_t N,
   return p;
 }
 
+TieredCostParams to_tiered(const CostParams& params) {
+  TieredCostParams out;
+  out.tiers.resize(2);
+  out.tiers[0].count = params.M;
+  out.tiers[0].profile.name = "hserver";
+  out.tiers[0].profile.read = params.hserver_read;
+  out.tiers[0].profile.write = params.hserver_write;
+  out.tiers[1].count = params.N;
+  out.tiers[1].profile.name = "sserver";
+  out.tiers[1].profile.read = params.sserver_read;
+  out.tiers[1].profile.write = params.sserver_write;
+  out.t = params.t;
+  out.net_latency = params.net_latency;
+  out.net_hops = params.net_hops;
+  out.per_stripe_overhead = params.per_stripe_overhead;
+  return out;
+}
+
+std::uint64_t params_fingerprint(const CostParams& params) {
+  return params_fingerprint(to_tiered(params));
+}
+
 namespace {
 
-/// Accumulates max-bytes/touched over one tier's cells without allocating.
-/// `tier_base` is the tier's first cell offset within the period.
-void tier_geometry_inline(Bytes l_b, Bytes l_e, Bytes S, Bytes full_periods,
-                          Bytes tier_base, std::size_t count, Bytes stripe,
-                          Bytes& max_bytes, std::size_t& touched) {
-  if (stripe == 0 || count == 0) return;
-  Bytes cell_base = tier_base;
-  for (std::size_t i = 0; i < count; ++i) {
-    const ByteInterval cell{cell_base, cell_base + stripe};
-    Bytes bytes = 0;
-    if (full_periods == ~static_cast<Bytes>(0)) {
-      // Single-period request: [l_b, l_e) within one period.
-      bytes = intersect({l_b, l_e}, cell).length();
-    } else {
-      bytes = intersect({l_b, S}, cell).length() + full_periods * stripe +
-              intersect({0, l_e}, cell).length();
-    }
-    if (bytes > 0) {
-      ++touched;
-      max_bytes = std::max(max_bytes, bytes);
-    }
-    cell_base += stripe;
-  }
+/// Profiles for `op`, in tier order (HServers then SServers).
+inline void select_profiles(const CostParams& params, IoOp op,
+                            const storage::OpProfile* (&profs)[2]) {
+  profs[0] = op == IoOp::kRead ? &params.hserver_read : &params.hserver_write;
+  profs[1] = op == IoOp::kRead ? &params.sserver_read : &params.sserver_write;
 }
 
 }  // namespace
 
 SubreqGeometry request_geometry(Bytes o, Bytes r, StripePair hs, std::size_t M,
                                 std::size_t N) {
-  const Bytes S = static_cast<Bytes>(M) * hs.h + static_cast<Bytes>(N) * hs.s;
-  if (S == 0) throw std::invalid_argument("zero striping period");
-  SubreqGeometry g;
-  if (r == 0) return g;
-
-  // Fast path: the completed Fig. 4/5 closed forms are O(1) and exact when
-  // both tiers are present (closed_form_test.cpp pins the equivalence).
-  // Algorithm 2 evaluates this millions of times per region.
-  if (hs.h > 0 && hs.s > 0 && M > 0 && N > 0) {
-    return closed_form_geometry(o, r, hs, M, N);
-  }
-
-  const Bytes end = o + r;
-  const Bytes period_first = o / S;
-  const Bytes period_last = end / S;
-  const Bytes l_b = o - period_first * S;
-  const Bytes l_e = end - period_last * S;
-  // Sentinel ~0 marks the single-period case for tier_geometry_inline.
-  const Bytes full_periods = period_last == period_first
-                                 ? ~static_cast<Bytes>(0)
-                                 : period_last - period_first - 1;
-
-  tier_geometry_inline(l_b, l_e, S, full_periods, 0, M, hs.h, g.s_m, g.m);
-  tier_geometry_inline(l_b, l_e, S, full_periods,
-                       static_cast<Bytes>(M) * hs.h, N, hs.s, g.s_n, g.n);
-  return g;
+  const std::size_t counts[2] = {M, N};
+  const Bytes stripes[2] = {hs.h, hs.s};
+  TierGeometry out[2];
+  tiered_geometry_into(o, r, counts, stripes, out);
+  return SubreqGeometry{out[0].max_bytes, out[1].max_bytes, out[0].touched,
+                        out[1].touched};
 }
 
 SubreqGeometry request_geometry_reference(Bytes o, Bytes r, StripePair hs,
@@ -178,74 +163,50 @@ SubreqGeometry fig5_case_a_geometry(Bytes o, Bytes r, StripePair hs,
   return g;
 }
 
-Seconds startup_expected_max(const storage::OpProfile& p, std::size_t k) {
-  if (k == 0) return 0.0;
-  const double frac = static_cast<double>(k) / static_cast<double>(k + 1);
-  return p.startup_min + frac * (p.startup_max - p.startup_min);
-}
-
-namespace {
-
-/// Per-stripe processing of the slowest sub-request: stripe units in the
-/// maximal per-server extent, per tier, costed at the calibrated overhead.
-Seconds stripe_processing(const CostParams& params, const SubreqGeometry& g,
-                          StripePair hs) {
-  if (params.per_stripe_overhead <= 0.0) return 0.0;
-  Bytes max_pieces = 0;
-  if (hs.h > 0 && g.s_m > 0) {
-    max_pieces = std::max(max_pieces, (g.s_m + hs.h - 1) / hs.h);
-  }
-  if (hs.s > 0 && g.s_n > 0) {
-    max_pieces = std::max(max_pieces, (g.s_n + hs.s - 1) / hs.s);
-  }
-  return params.per_stripe_overhead * static_cast<double>(max_pieces);
-}
-
-}  // namespace
-
 CostBreakdown request_cost_breakdown(const CostParams& params, IoOp op,
                                      Bytes offset, Bytes size, StripePair hs) {
+  // Diagnostic decomposition; the term expressions mirror tiered_cost_kernel
+  // exactly so total always equals request_cost.
   CostBreakdown out;
   out.geometry = request_geometry(offset, size, hs, params.M, params.N);
   const SubreqGeometry& g = out.geometry;
 
-  const storage::OpProfile& hp =
-      op == IoOp::kRead ? params.hserver_read : params.hserver_write;
-  const storage::OpProfile& sp =
-      op == IoOp::kRead ? params.sserver_read : params.sserver_write;
+  const storage::OpProfile* profs[2];
+  select_profiles(params, op, profs);
 
   const Bytes max_bytes = std::max(g.s_m, g.s_n);
   out.network = params.net_latency + static_cast<double>(params.net_hops) *
                                          params.t *
                                          static_cast<double>(max_bytes);
-  out.startup = std::max(startup_expected_max(hp, g.m),
-                         startup_expected_max(sp, g.n));
-  out.transfer = std::max(static_cast<double>(g.s_m) * hp.per_byte,
-                          static_cast<double>(g.s_n) * sp.per_byte) +
-                 stripe_processing(params, g, hs);
+  out.startup = std::max(startup_expected_max(*profs[0], g.m),
+                         startup_expected_max(*profs[1], g.n));
+  out.transfer = std::max(static_cast<double>(g.s_m) * profs[0]->per_byte,
+                          static_cast<double>(g.s_n) * profs[1]->per_byte);
+  if (params.per_stripe_overhead > 0.0) {
+    Bytes max_pieces = 0;
+    if (hs.h > 0 && g.s_m > 0) {
+      max_pieces = std::max(max_pieces, (g.s_m + hs.h - 1) / hs.h);
+    }
+    if (hs.s > 0 && g.s_n > 0) {
+      max_pieces = std::max(max_pieces, (g.s_n + hs.s - 1) / hs.s);
+    }
+    out.transfer +=
+        params.per_stripe_overhead * static_cast<double>(max_pieces);
+  }
   out.total = out.network + out.startup + out.transfer;
   return out;
 }
 
 Seconds request_cost(const CostParams& params, IoOp op, Bytes offset,
                      Bytes size, StripePair hs) {
-  // Inlined hot path of request_cost_breakdown (the optimizer calls this
-  // millions of times).
-  const SubreqGeometry g = request_geometry(offset, size, hs, params.M, params.N);
-  const storage::OpProfile& hp =
-      op == IoOp::kRead ? params.hserver_read : params.hserver_write;
-  const storage::OpProfile& sp =
-      op == IoOp::kRead ? params.sserver_read : params.sserver_write;
-  const Bytes max_bytes = std::max(g.s_m, g.s_n);
-  const Seconds network = params.net_latency +
-                          static_cast<double>(params.net_hops) * params.t *
-                              static_cast<double>(max_bytes);
-  const Seconds startup = std::max(startup_expected_max(hp, g.m),
-                                   startup_expected_max(sp, g.n));
-  const Seconds transfer = std::max(static_cast<double>(g.s_m) * hp.per_byte,
-                                    static_cast<double>(g.s_n) * sp.per_byte) +
-                           stripe_processing(params, g, hs);
-  return network + startup + transfer;
+  const std::size_t counts[2] = {params.M, params.N};
+  const Bytes stripes[2] = {hs.h, hs.s};
+  const storage::OpProfile* profs[2];
+  select_profiles(params, op, profs);
+  TierGeometry scratch[2];
+  return tiered_cost_kernel(counts, profs, params.t, params.net_latency,
+                            params.net_hops, params.per_stripe_overhead,
+                            offset, size, stripes, scratch);
 }
 
 }  // namespace harl::core

@@ -25,12 +25,21 @@
 // closed form for case (a) of Fig. 4 (request begins and ends on HServers)
 // is implemented in fig5_case_a_geometry() for cross-validation; its known
 // typos are documented there.
+//
+// Since the tier-vector refactor this header is a thin k = 2 adapter over
+// the general engine in tiered_cost_model.hpp: CostParams maps to a
+// two-entry TieredCostParams and every cost/geometry function routes through
+// the shared kernel.  The adapter is bit-exact — the k = 2 path produces
+// the same doubles the dedicated two-tier implementation did (pinned by
+// cost_model_test and the planner golden-plan tests).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "src/common/io.hpp"
 #include "src/common/units.hpp"
+#include "src/core/tiered_cost_model.hpp"
 #include "src/storage/profiles.hpp"
 
 namespace harl::core {
@@ -79,6 +88,17 @@ CostParams make_cost_params(std::size_t M, std::size_t N,
                             const storage::TierProfile& hserver,
                             const storage::TierProfile& sserver, Seconds t);
 
+/// The tier-vector view of two-tier parameters (tier 0 = HServers, tier 1 =
+/// SServers).  All adapters in this header are equivalent to converting with
+/// this and calling the general engine.
+TieredCostParams to_tiered(const CostParams& params);
+
+/// Fingerprint of the k = 2 calibration; equals
+/// params_fingerprint(to_tiered(params)), so a plan computed through the
+/// two-tier API and one computed through the general engine with the same
+/// parameters carry the same fingerprint.
+std::uint64_t params_fingerprint(const CostParams& params);
+
 /// Exact sub-request geometry of request [o, o+r) under round-robin striping
 /// with per-tier stripes `hs` over M HServers and N SServers.
 /// Requires hs.h > 0 or hs.s > 0 (with the matching server count nonzero).
@@ -109,9 +129,7 @@ SubreqGeometry request_geometry_reference(Bytes o, Bytes r, StripePair hs,
 SubreqGeometry fig5_case_a_geometry(Bytes o, Bytes r, StripePair hs,
                                     std::size_t M, std::size_t N);
 
-/// Expected maximum of `k` i.i.d. uniforms on [p.startup_min, p.startup_max]
-/// (paper Eq. 3/4): a_min + k/(k+1) * (a_max - a_min).  0 when k == 0.
-Seconds startup_expected_max(const storage::OpProfile& p, std::size_t k);
+// startup_expected_max (paper Eq. 3/4) lives in tiered_cost_model.hpp.
 
 /// Cost of one file request under stripes `hs` (paper Eq. 7 for reads,
 /// Eq. 8 for writes).

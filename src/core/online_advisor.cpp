@@ -28,7 +28,7 @@ Seconds OnlineAdvisor::cost_under(const CostParams& params,
   Seconds total = 0.0;
   for (const auto& r : records) {
     const RstEntry& entry = rst.lookup(r.offset);
-    total += request_cost(params, r.op, r.offset, r.size, entry.stripes);
+    total += request_cost(params, r.op, r.offset, r.size, entry.pair());
   }
   return total;
 }

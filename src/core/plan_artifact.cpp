@@ -1,0 +1,282 @@
+#include "src/core/plan_artifact.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'A', 'R', 'L', 'P', 'L', 'A', 'N'};
+constexpr char kCsvHeader[] = "harl-plan-csv-v1";
+/// Allocation guards against corrupt length fields; generous compared to any
+/// realistic cluster (tiers) or trace (regions, name length).
+constexpr std::uint64_t kMaxTiers = 1024;
+constexpr std::uint64_t kMaxRegions = 1u << 28;
+constexpr std::uint64_t kMaxNameLength = 1u << 16;
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf, sizeof(buf));
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(buf, sizeof(buf));
+}
+
+std::uint32_t get_u32(std::istream& is) {
+  char buf[4];
+  if (!is.read(buf, sizeof(buf))) {
+    throw std::runtime_error("truncated plan artifact");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char buf[8];
+  if (!is.read(buf, sizeof(buf))) {
+    throw std::runtime_error("truncated plan artifact");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  return v;
+}
+
+void check_files_shape(const PlanArtifact& artifact) {
+  if (!artifact.region_files.empty() &&
+      artifact.region_files.size() != artifact.rst.size()) {
+    throw std::runtime_error("plan artifact R2F size does not match RST");
+  }
+}
+
+}  // namespace
+
+PlanArtifact PlanArtifact::from_plan(const Plan& plan) {
+  PlanArtifact artifact;
+  artifact.tier_counts = plan.tier_counts;
+  artifact.calibration_fingerprint = plan.calibration_fingerprint;
+  artifact.rst = plan.rst;
+  return artifact;
+}
+
+void save_plan_binary(const PlanArtifact& artifact, std::ostream& os) {
+  check_files_shape(artifact);
+  os.write(kMagic, sizeof(kMagic));
+  put_u32(os, kPlanArtifactVersion);
+  put_u32(os, static_cast<std::uint32_t>(artifact.tier_counts.size()));
+  put_u64(os, artifact.calibration_fingerprint);
+  for (std::size_t c : artifact.tier_counts) put_u64(os, c);
+  put_u64(os, artifact.rst.size());
+  for (const RstEntry& e : artifact.rst.entries()) {
+    if (e.stripes.size() != artifact.tier_counts.size()) {
+      throw std::runtime_error("plan artifact RST does not match tier table");
+    }
+    put_u64(os, e.offset);
+    for (Bytes s : e.stripes) put_u64(os, s);
+  }
+  put_u64(os, artifact.region_files.size());
+  for (const std::string& name : artifact.region_files) {
+    put_u32(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  if (!os) throw std::runtime_error("plan artifact write failed");
+}
+
+PlanArtifact load_plan_binary(std::istream& is) {
+  char magic[sizeof(kMagic)];
+  if (!is.read(magic, sizeof(magic)) ||
+      !std::equal(std::begin(magic), std::end(magic), std::begin(kMagic))) {
+    throw std::runtime_error("bad plan artifact magic");
+  }
+  const std::uint32_t version = get_u32(is);
+  if (version != kPlanArtifactVersion) {
+    throw std::runtime_error("unsupported plan artifact version " +
+                             std::to_string(version));
+  }
+  const std::uint64_t k = get_u32(is);
+  if (k == 0 || k > kMaxTiers) {
+    throw std::runtime_error("corrupt plan artifact tier count");
+  }
+  PlanArtifact artifact;
+  artifact.calibration_fingerprint = get_u64(is);
+  for (std::uint64_t j = 0; j < k; ++j) {
+    artifact.tier_counts.push_back(static_cast<std::size_t>(get_u64(is)));
+  }
+  const std::uint64_t regions = get_u64(is);
+  if (regions > kMaxRegions) {
+    throw std::runtime_error("corrupt plan artifact region count");
+  }
+  for (std::uint64_t r = 0; r < regions; ++r) {
+    const Bytes offset = get_u64(is);
+    std::vector<Bytes> stripes(k);
+    for (std::uint64_t j = 0; j < k; ++j) stripes[j] = get_u64(is);
+    artifact.rst.add(offset, std::move(stripes));
+  }
+  const std::uint64_t files = get_u64(is);
+  if (files != 0 && files != regions) {
+    throw std::runtime_error("plan artifact R2F size does not match RST");
+  }
+  for (std::uint64_t f = 0; f < files; ++f) {
+    const std::uint32_t len = get_u32(is);
+    if (len > kMaxNameLength) {
+      throw std::runtime_error("corrupt plan artifact file name");
+    }
+    std::string name(len, '\0');
+    if (len > 0 && !is.read(name.data(), len)) {
+      throw std::runtime_error("truncated plan artifact");
+    }
+    artifact.region_files.push_back(std::move(name));
+  }
+  return artifact;
+}
+
+void save_plan_csv(const PlanArtifact& artifact, std::ostream& os) {
+  check_files_shape(artifact);
+  os << kCsvHeader << '\n';
+  os << "fingerprint," << artifact.calibration_fingerprint << '\n';
+  os << "tiers";
+  for (std::size_t c : artifact.tier_counts) os << ',' << c;
+  os << '\n';
+  for (const RstEntry& e : artifact.rst.entries()) {
+    if (e.stripes.size() != artifact.tier_counts.size()) {
+      throw std::runtime_error("plan artifact RST does not match tier table");
+    }
+    os << "region," << e.offset;
+    for (Bytes s : e.stripes) os << ',' << s;
+    os << '\n';
+  }
+  for (std::size_t i = 0; i < artifact.region_files.size(); ++i) {
+    os << "file," << i << ',' << artifact.region_files[i] << '\n';
+  }
+  if (!os) throw std::runtime_error("plan artifact write failed");
+}
+
+PlanArtifact load_plan_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kCsvHeader) {
+    throw std::runtime_error("bad plan artifact CSV header");
+  }
+  PlanArtifact artifact;
+  bool saw_fingerprint = false;
+  bool saw_tiers = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string field;
+    std::getline(ss, field, ',');
+    auto next_u64 = [&]() {
+      std::string token;
+      if (!std::getline(ss, token, ',')) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      std::size_t pos = 0;
+      std::uint64_t v = 0;
+      try {
+        v = std::stoull(token, &pos);
+      } catch (const std::exception&) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      if (pos != token.size()) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      return v;
+    };
+    if (field == "fingerprint") {
+      artifact.calibration_fingerprint = next_u64();
+      saw_fingerprint = true;
+    } else if (field == "tiers") {
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        std::size_t pos = 0;
+        std::uint64_t v = 0;
+        try {
+          v = std::stoull(token, &pos);
+        } catch (const std::exception&) {
+          throw std::runtime_error("malformed plan artifact row: " + line);
+        }
+        if (pos != token.size()) {
+          throw std::runtime_error("malformed plan artifact row: " + line);
+        }
+        artifact.tier_counts.push_back(static_cast<std::size_t>(v));
+      }
+      if (artifact.tier_counts.empty() ||
+          artifact.tier_counts.size() > kMaxTiers) {
+        throw std::runtime_error("corrupt plan artifact tier count");
+      }
+      saw_tiers = true;
+    } else if (field == "region") {
+      if (!saw_tiers) {
+        throw std::runtime_error("plan artifact region row before tiers row");
+      }
+      const Bytes offset = next_u64();
+      std::vector<Bytes> stripes;
+      for (std::size_t j = 0; j < artifact.tier_counts.size(); ++j) {
+        stripes.push_back(next_u64());
+      }
+      std::string extra;
+      if (std::getline(ss, extra, ',')) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      artifact.rst.add(offset, std::move(stripes));
+    } else if (field == "file") {
+      const std::uint64_t index = next_u64();
+      if (index != artifact.region_files.size()) {
+        throw std::runtime_error("plan artifact file rows out of order");
+      }
+      std::string name;
+      std::getline(ss, name);
+      artifact.region_files.push_back(std::move(name));
+    } else {
+      throw std::runtime_error("unknown plan artifact row: " + line);
+    }
+  }
+  if (!saw_fingerprint || !saw_tiers) {
+    throw std::runtime_error("plan artifact CSV missing header rows");
+  }
+  if (!artifact.region_files.empty() &&
+      artifact.region_files.size() != artifact.rst.size()) {
+    throw std::runtime_error("plan artifact R2F size does not match RST");
+  }
+  return artifact;
+}
+
+void save_plan(const PlanArtifact& artifact, const std::string& path) {
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::ofstream os(path, csv ? std::ios::out : std::ios::out | std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open plan artifact for write: " + path);
+  if (csv) {
+    save_plan_csv(artifact, os);
+  } else {
+    save_plan_binary(artifact, os);
+  }
+}
+
+PlanArtifact load_plan(const std::string& path) {
+  std::ifstream is(path, std::ios::in | std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open plan artifact: " + path);
+  // Sniff: binary artifacts start with the 8-byte magic, CSV ones with the
+  // text header line.
+  char first = 0;
+  is.get(first);
+  is.unget();
+  if (first == 'H') {
+    // Could still be either ("HARLPLAN" vs "harl-..." differs in case).
+    return load_plan_binary(is);
+  }
+  return load_plan_csv(is);
+}
+
+}  // namespace harl::core

@@ -39,7 +39,7 @@ PlannedRegion planned_from(const DividedRegion& region,
   PlannedRegion planned;
   planned.offset = region.offset;
   planned.end = region.end;
-  planned.stripes = opt.stripes;
+  planned.stripes = {opt.stripes.h, opt.stripes.s};
   planned.model_cost = opt.model_cost;
   planned.avg_request = region.avg_request;
   planned.request_count = region.request_count();
@@ -75,6 +75,8 @@ Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
                         const CostParams& params,
                         const PlannerOptions& options, bool homogeneous) {
   Plan plan;
+  plan.tier_counts = {params.M, params.N};
+  plan.calibration_fingerprint = params_fingerprint(params);
   plan.threshold_used = division.threshold_used;
   plan.tuning_rounds = division.tuning_rounds;
 
@@ -96,7 +98,8 @@ Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
   plan.regions.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     plan.regions.push_back(planned_from(division.regions[i], optimized[i]));
-    plan.rst.add(division.regions[i].offset, optimized[i].stripes);
+    plan.rst.add(division.regions[i].offset,
+                 {optimized[i].stripes.h, optimized[i].stripes.s});
   }
 
   plan.regions_before_merge = plan.rst.size();
@@ -262,6 +265,8 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
   }
 
   Plan plan;
+  plan.tier_counts = {params.M, params.N};
+  plan.calibration_fingerprint = params_fingerprint(params);
   plan.threshold_used = division.threshold_used;
   plan.tuning_rounds = division.tuning_rounds;
   for (std::size_t i = 0; i < carl.size(); ++i) {
@@ -269,7 +274,7 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
     PlannedRegion planned;
     planned.offset = carl[i].region.offset;
     planned.end = carl[i].region.end;
-    planned.stripes = choice.stripes;
+    planned.stripes = {choice.stripes.h, choice.stripes.s};
     planned.model_cost = choice.model_cost;
     planned.avg_request = carl[i].region.avg_request;
     planned.request_count = carl[i].region.request_count();
@@ -283,6 +288,60 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
     plan.regions.push_back(planned);
     plan.rst.add(planned.offset, planned.stripes);
   }
+  plan.regions_before_merge = plan.rst.size();
+  if (options.merge_adjacent) plan.rst.merge_adjacent();
+  plan.regions_after_merge = plan.rst.size();
+  return plan;
+}
+
+Plan analyze_tiered(std::span<const trace::TraceRecord> records,
+                    const TieredCostParams& params,
+                    const TieredPlannerOptions& options) {
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  std::vector<trace::TraceRecord> storage;
+  const auto sorted = ensure_sorted(records, storage);
+  const RegionDivision division = divide_regions(sorted, options.divider);
+
+  Plan plan;
+  plan.tier_counts.reserve(params.tiers.size());
+  for (const auto& tier : params.tiers) plan.tier_counts.push_back(tier.count);
+  plan.calibration_fingerprint = params_fingerprint(params);
+  plan.threshold_used = division.threshold_used;
+  plan.tuning_rounds = division.tuning_rounds;
+
+  const std::size_t count = division.regions.size();
+  TieredOptimizerOptions opt_options = options.optimizer;
+  if (options.pool != nullptr && count > 1) opt_options.pool = nullptr;
+  std::vector<TieredRegionStripes> optimized(count);
+  auto optimize_one = [&](std::size_t i) {
+    const DividedRegion& region = division.regions[i];
+    const auto reqs = region_requests(sorted, region);
+    optimized[i] =
+        optimize_region_tiered(params, reqs, region.avg_request, opt_options);
+  };
+  if (options.pool != nullptr && count > 1) {
+    options.pool->parallel_for(count, optimize_one);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) optimize_one(i);
+  }
+
+  plan.regions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DividedRegion& region = division.regions[i];
+    PlannedRegion planned;
+    planned.offset = region.offset;
+    planned.end = region.end;
+    planned.stripes = optimized[i].stripes;
+    planned.model_cost = optimized[i].model_cost;
+    planned.avg_request = region.avg_request;
+    planned.request_count = region.request_count();
+    planned.candidates_evaluated = optimized[i].candidates_evaluated;
+    planned.cost_evals = optimized[i].cost_evals;
+    planned.cost_evals_saved = optimized[i].cost_evals_saved;
+    plan.regions.push_back(std::move(planned));
+    plan.rst.add(region.offset, optimized[i].stripes);
+  }
+
   plan.regions_before_merge = plan.rst.size();
   if (options.merge_adjacent) plan.rst.merge_adjacent();
   plan.regions_after_merge = plan.rst.size();

@@ -37,18 +37,24 @@ struct PlannerOptions {
 struct PlannedRegion {
   Bytes offset = 0;
   Bytes end = 0;
-  StripePair stripes;
+  std::vector<Bytes> stripes;  ///< winning per-tier sizes ({h, s} for k = 2)
   Seconds model_cost = 0.0;
   double avg_request = 0.0;
   std::size_t request_count = 0;
   std::size_t candidates_evaluated = 0;  ///< Algorithm 2 grid size
-  std::uint64_t cost_evals = 0;          ///< request_cost calls made
+  std::uint64_t cost_evals = 0;          ///< cost-kernel calls made
   std::uint64_t cost_evals_saved = 0;    ///< calls avoided by coalescing
 };
 
 struct Plan {
   RegionStripeTable rst;               ///< post-merge placement table
   std::vector<PlannedRegion> regions;  ///< pre-merge diagnostics
+  /// Per-tier server counts the plan was computed for ({M, N} for two-tier);
+  /// the Placing Phase validates these against the target cluster.
+  std::vector<std::size_t> tier_counts;
+  /// Fingerprint of the calibration used (params_fingerprint); lets a loaded
+  /// plan detect that it was computed against different parameters.
+  std::uint64_t calibration_fingerprint = 0;
   double threshold_used = 1.0;
   int tuning_rounds = 0;
   std::size_t regions_before_merge = 0;
@@ -98,5 +104,21 @@ Plan analyze_fixed_regions(std::span<const trace::TraceRecord> records,
 Plan analyze_carl(std::span<const trace::TraceRecord> records,
                   const CostParams& params, Bytes ssd_capacity,
                   const PlannerOptions& options = {});
+
+/// Options for the k-tier Analysis Phase (same pipeline, tiered optimizer).
+struct TieredPlannerOptions {
+  DividerOptions divider;
+  TieredOptimizerOptions optimizer;
+  bool merge_adjacent = true;  ///< merge equal-stripe neighbours (Sec. III-E)
+  ThreadPool* pool = nullptr;  ///< region-level parallelism, as PlannerOptions
+};
+
+/// Runs the Analysis Phase against a k-tier calibration: Algorithm 1 region
+/// division, then the tiered grid search per region.  For a two-tier
+/// calibration this differs from analyze() only in the candidate grid (the
+/// monotone tier-vector enumeration instead of the paper's (h, s) grid).
+Plan analyze_tiered(std::span<const trace::TraceRecord> records,
+                    const TieredCostParams& params,
+                    const TieredPlannerOptions& options = {});
 
 }  // namespace harl::core

@@ -9,19 +9,34 @@
 namespace harl::core {
 
 namespace {
-constexpr char kHeader[] = "harl-rst-v1";
+constexpr char kHeaderV1[] = "harl-rst-v1";  ///< two-tier legacy format
+constexpr char kHeaderV2[] = "harl-rst-v2";  ///< k inferred from columns
+}  // namespace
+
+StripePair RstEntry::pair() const {
+  if (stripes.size() != 2) {
+    throw std::logic_error("RST entry is not two-tier");
+  }
+  return StripePair{stripes[0], stripes[1]};
 }
 
-void RegionStripeTable::add(Bytes offset, StripePair stripes) {
+void RegionStripeTable::add(Bytes offset, std::vector<Bytes> stripes) {
   if (entries_.empty()) {
     if (offset != 0) throw std::invalid_argument("first RST region must start at 0");
   } else if (offset <= entries_.back().offset) {
     throw std::invalid_argument("RST offsets must be strictly increasing");
   }
-  if (stripes.h == 0 && stripes.s == 0) {
+  if (stripes.empty()) {
+    throw std::invalid_argument("RST region needs at least one tier");
+  }
+  if (!entries_.empty() && stripes.size() != entries_.back().stripes.size()) {
+    throw std::invalid_argument("RST entries must agree on tier count");
+  }
+  if (std::all_of(stripes.begin(), stripes.end(),
+                  [](Bytes s) { return s == 0; })) {
     throw std::invalid_argument("RST region needs a nonzero stripe");
   }
-  entries_.push_back(RstEntry{offset, stripes});
+  entries_.push_back(RstEntry{offset, std::move(stripes)});
 }
 
 std::size_t RegionStripeTable::region_of(Bytes offset) const {
@@ -50,40 +65,62 @@ std::size_t RegionStripeTable::merge_adjacent() {
 }
 
 void RegionStripeTable::save(std::ostream& os) const {
-  os << kHeader << '\n';
+  // Two-tier tables keep the v1 format so files round-trip byte-identically
+  // with pre-refactor readers; other tier counts need the v2 header.
+  const bool v1 = entries_.empty() || num_tiers() == 2;
+  os << (v1 ? kHeaderV1 : kHeaderV2) << '\n';
   for (const auto& e : entries_) {
-    os << e.offset << ' ' << e.stripes.h << ' ' << e.stripes.s << '\n';
+    os << e.offset;
+    for (Bytes s : e.stripes) os << ' ' << s;
+    os << '\n';
   }
 }
 
 RegionStripeTable RegionStripeTable::load(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != kHeader) {
+  if (!std::getline(is, line) || (line != kHeaderV1 && line != kHeaderV2)) {
     throw std::runtime_error("bad RST header");
   }
+  const bool v1 = line == kHeaderV1;
   RegionStripeTable table;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     std::istringstream ss(line);
     Bytes offset = 0;
-    StripePair hs;
-    if (!(ss >> offset >> hs.h >> hs.s)) {
+    if (!(ss >> offset)) {
       throw std::runtime_error("malformed RST row: " + line);
     }
-    table.add(offset, hs);
+    std::vector<Bytes> stripes;
+    Bytes s = 0;
+    while (ss >> s) stripes.push_back(s);
+    if (!ss.eof() || stripes.empty() || (v1 && stripes.size() != 2)) {
+      throw std::runtime_error("malformed RST row: " + line);
+    }
+    table.add(offset, std::move(stripes));
   }
   return table;
 }
 
 std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
-    std::size_t M, std::size_t N) const {
+    std::span<const std::size_t> tier_counts) const {
   if (entries_.empty()) throw std::logic_error("cannot build layout from empty RST");
+  if (tier_counts.size() != num_tiers()) {
+    throw std::invalid_argument("RST tier count does not match cluster tiers");
+  }
   std::vector<pfs::RegionSpec> specs;
   specs.reserve(entries_.size());
   for (const auto& e : entries_) {
-    specs.push_back(pfs::RegionSpec{e.offset, e.stripes.h, e.stripes.s});
+    specs.push_back(pfs::RegionSpec{e.offset, e.stripes});
   }
-  return std::make_shared<pfs::RegionLayout>(M, N, std::move(specs));
+  return std::make_shared<pfs::RegionLayout>(
+      std::vector<std::size_t>(tier_counts.begin(), tier_counts.end()),
+      std::move(specs));
+}
+
+std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
+    std::size_t M, std::size_t N) const {
+  const std::size_t counts[2] = {M, N};
+  return to_layout(counts);
 }
 
 }  // namespace harl::core

@@ -1,13 +1,23 @@
 // Region Stripe Table (paper Section III-E, Fig. 6).
 //
 // The RST is HARL's placement metadata: per file region, the offset where
-// the region starts and the optimal stripe sizes for HServers and SServers.
-// The MDS consults it to answer client placement lookups; the middleware
-// loads it at MPI_Init time.  Adjacent regions with equal stripe pairs are
-// merged to shrink metadata (Section III-E).
+// the region starts and the optimal per-tier stripe sizes.  The MDS consults
+// it to answer client placement lookups; the middleware loads it at MPI_Init
+// time.  Adjacent regions with equal stripe vectors are merged to shrink
+// metadata (Section III-E).
+//
+// Since the tier-vector refactor every entry holds a stripe vector
+// (s_0, ..., s_{k-1}); the paper's two-tier table is k = 2 with tier 0 =
+// HServers and tier 1 = SServers.  All entries of one table must agree on k.
+//
+// Text serialization: two-tier tables keep the legacy "harl-rst-v1" format
+// ("offset h s" rows) byte-for-byte; tables with k != 2 use "harl-rst-v2"
+// ("offset s_0 ... s_{k-1}" rows, k inferred from the column count).  load()
+// accepts both.
 #pragma once
 
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,7 +30,10 @@ namespace harl::core {
 /// SServer stripe size — the region number is implicit in the row index).
 struct RstEntry {
   Bytes offset = 0;
-  StripePair stripes;
+  std::vector<Bytes> stripes;  ///< per-tier stripe sizes (0 = skip the tier)
+
+  /// Two-tier view; requires exactly two tiers.
+  StripePair pair() const;
 
   friend bool operator==(const RstEntry&, const RstEntry&) = default;
 };
@@ -29,31 +42,43 @@ class RegionStripeTable {
  public:
   RegionStripeTable() = default;
 
-  /// Appends a region; offsets must be added in strictly increasing order
-  /// and the first must be 0.
-  void add(Bytes offset, StripePair stripes);
+  /// Appends a region; offsets must be added in strictly increasing order,
+  /// the first must be 0, at least one stripe must be nonzero, and every
+  /// entry must carry the same number of tiers.
+  void add(Bytes offset, std::vector<Bytes> stripes);
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   const RstEntry& entry(std::size_t i) const { return entries_.at(i); }
   const std::vector<RstEntry>& entries() const { return entries_; }
 
-  /// The stripe pair governing `offset` (binary search); the table must be
+  /// Tiers per entry (0 for an empty table).
+  std::size_t num_tiers() const {
+    return entries_.empty() ? 0 : entries_.front().stripes.size();
+  }
+
+  /// The stripe vector governing `offset` (binary search); the table must be
   /// non-empty.
   const RstEntry& lookup(Bytes offset) const;
 
   /// Index of the region containing `offset`.
   std::size_t region_of(Bytes offset) const;
 
-  /// Merges adjacent regions with identical stripe pairs; returns the number
-  /// of regions removed.
+  /// Merges adjacent regions with identical stripe vectors; returns the
+  /// number of regions removed.
   std::size_t merge_adjacent();
 
-  /// Text serialization: header line, then "offset h s" per region.
+  /// Text serialization: header line, then "offset s_0 ... s_{k-1}" per
+  /// region (see the format note in the file header).
   void save(std::ostream& os) const;
   static RegionStripeTable load(std::istream& is);
 
-  /// Converts to the pfs placement layout over M HServers and N SServers.
+  /// Converts to the pfs placement layout; `tier_counts[j]` servers in
+  /// tier j.  Requires tier_counts.size() == num_tiers().
+  std::shared_ptr<pfs::RegionLayout> to_layout(
+      std::span<const std::size_t> tier_counts) const;
+
+  /// Two-tier convenience: M HServers and N SServers.
   std::shared_ptr<pfs::RegionLayout> to_layout(std::size_t M, std::size_t N) const;
 
  private:

@@ -1,8 +1,10 @@
 #include "src/core/stripe_optimizer.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/cost_memo.hpp"
 
@@ -16,28 +18,186 @@ std::size_t sample_stride(std::size_t n, std::size_t max_requests) {
   return (n + max_requests - 1) / max_requests;
 }
 
+Bytes round_up(Bytes value, Bytes step) {
+  return (value + step - 1) / step * step;
+}
+
 struct Candidate {
   Seconds cost = std::numeric_limits<Seconds>::infinity();
-  StripePair stripes;
+  std::vector<Bytes> stripes;  ///< empty = sentinel (loses to any real one)
 
-  /// Total order: lower cost wins; ties prefer *larger* (h, s).  Round-robin
-  /// aggregation makes many stripe pairs cost-equivalent under the model
+  /// Total order: lower cost wins; ties prefer *larger* stripes.  Round-robin
+  /// aggregation makes many stripe vectors cost-equivalent under the model
   /// (e.g. every s <= r/N gives the same per-SServer bytes for aligned
   /// requests); the largest of them minimizes per-stripe overheads the model
   /// does not price, and matches the paper's reported optima ({0K, 64K} for
   /// 128 KiB requests rather than {0K, 4K}).  The order is deterministic, so
   /// results are independent of evaluation order and parallel sharding.
-  bool better_than(const Candidate& other) const {
+  /// `tie_from_front` selects the lexicographic scan direction: the two-tier
+  /// API compares (h, s) from the front; the k-tier API compares from the
+  /// last (fastest) tier.
+  bool better_than(const Candidate& other, bool tie_from_front) const {
     if (cost != other.cost) return cost < other.cost;
-    if (stripes.h != other.stripes.h) return stripes.h > other.stripes.h;
-    return stripes.s > other.stripes.s;
+    if (stripes.size() != other.stripes.size()) {
+      return stripes.size() > other.stripes.size();  // beats the empty sentinel
+    }
+    if (tie_from_front) {
+      for (std::size_t i = 0; i < stripes.size(); ++i) {
+        if (stripes[i] != other.stripes[i]) return stripes[i] > other.stripes[i];
+      }
+    } else {
+      for (std::size_t i = stripes.size(); i-- > 0;) {
+        if (stripes[i] != other.stripes[i]) return stripes[i] > other.stripes[i];
+      }
+    }
+    return false;
   }
 };
 
-Bytes round_up(Bytes value, Bytes step) {
-  return (value + step - 1) / step * step;
+/// Recursively enumerates k-tier stripe vectors; calls `visit` on each.
+void enumerate(std::vector<Bytes>& stripes, std::size_t tier, Bytes R,
+               Bytes step, bool monotone,
+               const std::function<void(const std::vector<Bytes>&)>& visit) {
+  if (tier == stripes.size()) {
+    for (Bytes s : stripes) {
+      if (s > 0) {
+        visit(stripes);
+        return;
+      }
+    }
+    return;  // all-zero is not a layout
+  }
+  const Bytes lo = monotone && tier > 0 ? stripes[tier - 1] : 0;
+  // Candidate sizes for this tier: lo, then grid points up to R (a zero
+  // lower bound admits 0 itself, i.e. "skip this tier").
+  for (Bytes s = lo; s <= R; s = (s == 0 ? step : s + step)) {
+    stripes[tier] = s;
+    enumerate(stripes, tier + 1, R, step, monotone, visit);
+  }
+  stripes[tier] = 0;
 }
 
+struct EngineResult {
+  std::vector<Bytes> stripes;
+  Seconds model_cost = 0.0;
+  std::size_t candidates_evaluated = 0;
+  std::uint64_t cost_evals = 0;
+  std::uint64_t cost_evals_saved = 0;
+};
+
+/// The one search engine both public APIs feed: scores every candidate
+/// stripe vector against the k-tier cost kernel, sharded over the candidate
+/// list when a pool is provided.  Pre-selects per-op profile pointers once
+/// so the hot loop pays no per-request branching beyond the op pick, and
+/// reuses per-shard TierGeometry scratch so scoring never allocates.
+EngineResult search_engine(const TieredCostParams& params,
+                           std::span<const FileRequest> requests,
+                           const std::vector<std::vector<Bytes>>& candidates,
+                           std::size_t max_requests, ThreadPool* pool,
+                           bool coalesce, bool tie_from_front) {
+  const std::size_t k = params.tiers.size();
+  std::vector<std::size_t> counts(k);
+  std::vector<const storage::OpProfile*> read_profiles(k);
+  std::vector<const storage::OpProfile*> write_profiles(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    counts[j] = params.tiers[j].count;
+    read_profiles[j] = &params.tiers[j].profile.read;
+    write_profiles[j] = &params.tiers[j].profile.write;
+  }
+
+  const std::size_t stride = sample_stride(requests.size(), max_requests);
+  const std::size_t sampled = (requests.size() + stride - 1) / stride;
+
+  // Scores one candidate.  With coalescing, `memo` caches the kernel per
+  // (op, size, offset mod S) class; requests are still accumulated in their
+  // original order with identical values, so the total is bit-identical to
+  // the brute-force sum (see cost_memo.hpp).  Scaled back to the full
+  // region so reported costs are comparable regardless of sampling.
+  auto score = [&](std::span<const Bytes> stripes, CostMemo* memo,
+                   std::span<TierGeometry> scratch) {
+    auto eval = [&](const FileRequest& req, Bytes offset) {
+      const auto& profiles =
+          req.op == IoOp::kRead ? read_profiles : write_profiles;
+      return tiered_cost_kernel(counts, profiles, params.t, params.net_latency,
+                                params.net_hops, params.per_stripe_overhead,
+                                offset, req.size, stripes, scratch);
+    };
+    Seconds total = 0.0;
+    if (memo != nullptr) {
+      Bytes S = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        S += static_cast<Bytes>(counts[j]) * stripes[j];
+      }
+      memo->reset(sampled);
+      for (std::size_t i = 0; i < requests.size(); i += stride) {
+        const FileRequest& req = requests[i];
+        total += memo->cost(req.op, req.size, req.offset % S,
+                            [&](Bytes residue) { return eval(req, residue); });
+      }
+    } else {
+      for (std::size_t i = 0; i < requests.size(); i += stride) {
+        const FileRequest& req = requests[i];
+        total += eval(req, req.offset);
+      }
+    }
+    return total * static_cast<double>(requests.size()) /
+           static_cast<double>(sampled);
+  };
+
+  Candidate best;
+  std::uint64_t cost_evals = 0;
+  std::uint64_t cost_evals_saved = 0;
+  if (pool != nullptr && candidates.size() > 1) {
+    const std::size_t shards =
+        std::min(pool->thread_count() * 4, candidates.size());
+    std::vector<Candidate> shard_best(shards);
+    std::vector<std::uint64_t> shard_evals(shards, 0);
+    std::vector<std::uint64_t> shard_saved(shards, 0);
+    pool->parallel_for(shards, [&](std::size_t shard) {
+      Candidate local;
+      CostMemo memo;  // per-shard scratch, reused across candidates
+      std::vector<TierGeometry> scratch(k);
+      for (std::size_t i = shard; i < candidates.size(); i += shards) {
+        Candidate c{score(candidates[i], coalesce ? &memo : nullptr, scratch),
+                    candidates[i]};
+        if (c.better_than(local, tie_from_front)) local = std::move(c);
+      }
+      shard_best[shard] = std::move(local);
+      shard_evals[shard] = coalesce ? memo.misses()
+                                    : (candidates.size() / shards +
+                                       (shard < candidates.size() % shards)) *
+                                          sampled;
+      shard_saved[shard] = memo.hits();
+    });
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      if (shard_best[shard].better_than(best, tie_from_front)) {
+        best = std::move(shard_best[shard]);
+      }
+      cost_evals += shard_evals[shard];
+      cost_evals_saved += shard_saved[shard];
+    }
+  } else {
+    CostMemo memo;
+    std::vector<TierGeometry> scratch(k);
+    for (const auto& stripes : candidates) {
+      Candidate c{score(stripes, coalesce ? &memo : nullptr, scratch), stripes};
+      if (c.better_than(best, tie_from_front)) best = std::move(c);
+    }
+    cost_evals = coalesce ? memo.misses() : candidates.size() * sampled;
+    cost_evals_saved = memo.hits();
+  }
+
+  EngineResult result;
+  result.stripes = std::move(best.stripes);
+  result.model_cost = best.cost;
+  result.candidates_evaluated = candidates.size();
+  result.cost_evals = cost_evals;
+  result.cost_evals_saved = cost_evals_saved;
+  return result;
+}
+
+/// Two-tier front end: the legacy (h, s) grid and space-aware filter, fed
+/// through the shared engine with from-front tie-breaking.
 RegionStripes search(const CostParams& params,
                      std::span<const FileRequest> requests,
                      double avg_request_size, const OptimizerOptions& options,
@@ -59,7 +219,7 @@ RegionStripes search(const CostParams& params,
   const Bytes step = options.step;
   const Bytes R = std::max(step, round_up(static_cast<Bytes>(avg_request_size), step));
 
-  // Enumerate candidate pairs up front so the h-axis can be sharded.
+  // Enumerate candidate pairs up front so the grid can be sharded.
   std::vector<StripePair> candidates;
   if (homogeneous) {
     for (Bytes v = step; v <= R; v += step) {
@@ -104,85 +264,21 @@ RegionStripes search(const CostParams& params,
     candidates = std::move(feasible);
   }
 
-  const std::size_t stride = sample_stride(requests.size(), options.max_requests);
-  const std::size_t sampled = (requests.size() + stride - 1) / stride;
-
-  // Scores one candidate.  With coalescing, `memo` caches request_cost per
-  // (op, size, offset mod S) class; requests are still accumulated in their
-  // original order with identical values, so the total is bit-identical to
-  // the brute-force sum (see cost_memo.hpp).  Scaled back to the full
-  // region so reported costs are comparable regardless of sampling.
-  auto score = [&](StripePair hs, CostMemo* memo) {
-    Seconds total = 0.0;
-    if (memo != nullptr) {
-      const Bytes S = static_cast<Bytes>(params.M) * hs.h +
-                      static_cast<Bytes>(params.N) * hs.s;
-      memo->reset(sampled);
-      for (std::size_t i = 0; i < requests.size(); i += stride) {
-        const FileRequest& req = requests[i];
-        total += memo->cost(req.op, req.size, req.offset % S,
-                            [&](Bytes residue) {
-                              return request_cost(params, req.op, residue,
-                                                  req.size, hs);
-                            });
-      }
-    } else {
-      for (std::size_t i = 0; i < requests.size(); i += stride) {
-        const FileRequest& req = requests[i];
-        total += request_cost(params, req.op, req.offset, req.size, hs);
-      }
-    }
-    return total * static_cast<double>(requests.size()) /
-           static_cast<double>(sampled);
-  };
-
-  Candidate best;
-  std::uint64_t cost_evals = 0;
-  std::uint64_t cost_evals_saved = 0;
-  if (options.pool != nullptr && candidates.size() > 1) {
-    const std::size_t shards =
-        std::min(options.pool->thread_count() * 4, candidates.size());
-    std::vector<Candidate> shard_best(shards);
-    std::vector<std::uint64_t> shard_evals(shards, 0);
-    std::vector<std::uint64_t> shard_saved(shards, 0);
-    options.pool->parallel_for(shards, [&](std::size_t shard) {
-      Candidate local;
-      CostMemo memo;  // per-shard scratch, reused across candidates
-      for (std::size_t i = shard; i < candidates.size(); i += shards) {
-        Candidate c{score(candidates[i], options.coalesce ? &memo : nullptr),
-                    candidates[i]};
-        if (c.better_than(local)) local = c;
-      }
-      shard_best[shard] = local;
-      shard_evals[shard] = options.coalesce
-                               ? memo.misses()
-                               : (candidates.size() / shards +
-                                  (shard < candidates.size() % shards)) *
-                                     sampled;
-      shard_saved[shard] = memo.hits();
-    });
-    for (std::size_t shard = 0; shard < shards; ++shard) {
-      if (shard_best[shard].better_than(best)) best = shard_best[shard];
-      cost_evals += shard_evals[shard];
-      cost_evals_saved += shard_saved[shard];
-    }
-  } else {
-    CostMemo memo;
-    for (const auto& hs : candidates) {
-      Candidate c{score(hs, options.coalesce ? &memo : nullptr), hs};
-      if (c.better_than(best)) best = c;
-    }
-    cost_evals = options.coalesce ? memo.misses()
-                                  : candidates.size() * sampled;
-    cost_evals_saved = memo.hits();
+  std::vector<std::vector<Bytes>> vectors;
+  vectors.reserve(candidates.size());
+  for (const auto& hs : candidates) {
+    vectors.push_back({hs.h, hs.s});
   }
+  EngineResult engine =
+      search_engine(to_tiered(params), requests, vectors, options.max_requests,
+                    options.pool, options.coalesce, /*tie_from_front=*/true);
 
   RegionStripes result;
-  result.stripes = best.stripes;
-  result.model_cost = best.cost;
-  result.candidates_evaluated = candidates.size();
-  result.cost_evals = cost_evals;
-  result.cost_evals_saved = cost_evals_saved;
+  result.stripes = StripePair{engine.stripes[0], engine.stripes[1]};
+  result.model_cost = engine.model_cost;
+  result.candidates_evaluated = engine.candidates_evaluated;
+  result.cost_evals = engine.cost_evals;
+  result.cost_evals_saved = engine.cost_evals_saved;
   return result;
 }
 
@@ -226,6 +322,68 @@ Seconds region_cost(const CostParams& params,
                             requests[i].size, hs);
       ++scored;
     }
+  }
+  if (scored == 0) return 0.0;
+  return total * static_cast<double>(requests.size()) /
+         static_cast<double>(scored);
+}
+
+TieredRegionStripes optimize_region_tiered(
+    const TieredCostParams& params, std::span<const FileRequest> requests,
+    double avg_request_size, const TieredOptimizerOptions& options) {
+  if (requests.empty()) {
+    throw std::invalid_argument("optimizer needs at least one request");
+  }
+  if (options.step == 0) throw std::invalid_argument("step must be > 0");
+  if (avg_request_size <= 0.0) {
+    throw std::invalid_argument("average request size must be positive");
+  }
+  std::size_t total_servers = 0;
+  for (const auto& t : params.tiers) total_servers += t.count;
+  if (total_servers == 0) {
+    throw std::invalid_argument("no servers in tiered params");
+  }
+
+  const Bytes step = options.step;
+  const Bytes R =
+      std::max(step, round_up(static_cast<Bytes>(avg_request_size), step));
+  const std::size_t k = params.tiers.size();
+
+  // Materialize the candidate list up front so scoring can be sharded.
+  std::vector<std::vector<Bytes>> candidates;
+  {
+    std::vector<Bytes> stripes(k, 0);
+    enumerate(stripes, 0, R, step, options.monotone,
+              [&candidates](const std::vector<Bytes>& s) {
+                candidates.push_back(s);
+              });
+  }
+  if (candidates.empty()) throw std::logic_error("no tiered candidates");
+
+  EngineResult engine =
+      search_engine(params, requests, candidates, options.max_requests,
+                    options.pool, options.coalesce, /*tie_from_front=*/false);
+
+  TieredRegionStripes result;
+  result.stripes = std::move(engine.stripes);
+  result.model_cost = engine.model_cost;
+  result.candidates_evaluated = engine.candidates_evaluated;
+  result.cost_evals = engine.cost_evals;
+  result.cost_evals_saved = engine.cost_evals_saved;
+  return result;
+}
+
+Seconds tiered_region_cost(const TieredCostParams& params,
+                           std::span<const FileRequest> requests,
+                           std::span<const Bytes> stripes,
+                           std::size_t max_requests) {
+  const std::size_t stride = sample_stride(requests.size(), max_requests);
+  Seconds total = 0.0;
+  std::size_t scored = 0;
+  for (std::size_t i = 0; i < requests.size(); i += stride) {
+    total += tiered_request_cost(params, requests[i].op, requests[i].offset,
+                                 requests[i].size, stripes);
+    ++scored;
   }
   if (scored == 0) return 0.0;
   return total * static_cast<double>(requests.size()) /

@@ -1,12 +1,25 @@
-// Region stripe-size determination (paper Section III-E, Algorithm 2).
+// Region stripe-size determination (paper Section III-E, Algorithm 2), for
+// any number of storage tiers.
 //
-// For one region, grid-search stripe pairs (h, s) in `step` increments:
-// h in {0, step, ..., R} and s in {h + step, ..., R} where R is the region's
-// average request size — s starts above h because SServers are faster and
-// should carry more bytes per period (load balance), and h may be 0 so a
-// region can live entirely on SServers ({0K, 64K} in paper Section IV-B.3).
-// Each candidate is scored by the summed cost-model time of the region's
-// requests (reads via Eq. 7, writes via Eq. 8); the minimum wins.
+// Since the tier-vector refactor this is the ONE grid search: a region's
+// candidate layout is a per-tier stripe vector (s_0, ..., s_{k-1}) with
+// striping period S = sum_j count_j * s_j, and a single sharded engine
+// scores every candidate by the summed cost-model time of the region's
+// requests (reads via Eq. 7, writes via Eq. 8); the minimum wins.  The
+// two-tier API below is a k = 2 front end over that engine and reproduces
+// the dedicated two-tier optimizer bit-for-bit (pinned by optimizer_test).
+//
+// Two-tier candidate grid (the paper's Algorithm 2): pairs (h, s) in `step`
+// increments, h in {0, step, ..., R} and s in {h + step, ..., R} where R is
+// the region's average request size — s starts above h because SServers are
+// faster and should carry more bytes per period (load balance), and h may
+// be 0 so a region can live entirely on SServers ({0K, 64K} in paper
+// Section IV-B.3).
+//
+// k-tier candidate grid (the paper's stated future work): stripe vectors on
+// the same grid subject to the monotonicity constraint s_0 <= ... <= s_{k-1}
+// when tiers are ordered slowest-first — the k-tier analogue of "s starts
+// from a size larger than h".  Not all stripes may be zero.
 //
 // The search is exact, embarrassingly parallel (sharded over the candidate
 // grid), and runs offline; `max_requests` caps the per-candidate scoring
@@ -23,15 +36,16 @@
 #include "src/common/io.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/cost_model.hpp"
+#include "src/core/tiered_cost_model.hpp"
 
 namespace harl::core {
 
 struct OptimizerOptions {
   Bytes step = 4 * KiB;          ///< the paper's 4 KB grid step
   std::size_t max_requests = 4096;  ///< request-sampling cap (0 = no cap)
-  ThreadPool* pool = nullptr;    ///< optional: shard the h-axis over a pool
-  /// Request-class coalescing: memoize request_cost per candidate keyed by
-  /// (op, size, offset mod S) — the cost model is exactly periodic in the
+  ThreadPool* pool = nullptr;    ///< optional: shard the candidate grid
+  /// Request-class coalescing: memoize the request cost per candidate keyed
+  /// by (op, size, offset mod S) — the cost model is exactly periodic in the
   /// offset with the candidate's striping period S, so each class is scored
   /// once and reused.  Totals (and thus the chosen stripes, tie-breaks
   /// included) are bit-identical to the brute-force path because requests
@@ -46,12 +60,12 @@ struct OptimizerOptions {
   double max_sserver_share = 1.0;
 };
 
-/// Result of optimizing one region.
+/// Result of optimizing one region (two-tier view).
 struct RegionStripes {
   StripePair stripes;       ///< the winning (H, S)
   Seconds model_cost = 0.0; ///< summed model cost of the scored requests
   std::size_t candidates_evaluated = 0;
-  /// request_cost evaluations actually performed across all candidates.
+  /// Cost-kernel evaluations actually performed across all candidates.
   std::uint64_t cost_evals = 0;
   /// Evaluations avoided by request-class coalescing (cache hits); 0 when
   /// coalescing is disabled.  cost_evals + cost_evals_saved == the work the
@@ -81,5 +95,43 @@ RegionStripes optimize_region_homogeneous(const CostParams& params,
 Seconds region_cost(const CostParams& params,
                     std::span<const FileRequest> requests, StripePair hs,
                     std::size_t max_requests = 0, bool coalesce = false);
+
+struct TieredOptimizerOptions {
+  Bytes step = 4 * KiB;
+  std::size_t max_requests = 4096;  ///< request-sampling cap (0 = no cap)
+  ThreadPool* pool = nullptr;       ///< shard the candidate grid
+  /// Require stripes to be non-decreasing across tiers (slowest-first
+  /// ordering).  Disable for clusters whose tier order is not by speed.
+  bool monotone = true;
+  /// Request-class coalescing, as in OptimizerOptions: the k-tier cost is
+  /// also exactly periodic in the offset (period = sum count_j * stripe_j),
+  /// so per-candidate memoization is bit-identical to brute force.
+  bool coalesce = true;
+};
+
+/// Result of optimizing one region (general tier-vector view).
+struct TieredRegionStripes {
+  std::vector<Bytes> stripes;   ///< winning per-tier sizes
+  Seconds model_cost = 0.0;
+  std::size_t candidates_evaluated = 0;
+  std::uint64_t cost_evals = 0;        ///< cost-kernel calls made
+  std::uint64_t cost_evals_saved = 0;  ///< calls avoided by coalescing
+};
+
+/// Exhaustive grid search over per-tier stripes for one region.
+/// Requires at least one request, at least one tier with servers, and
+/// avg_request_size > 0.  Grid cost grows as (R/step)^k — use coarser
+/// steps for k >= 3 (candidates are reported for tuning).
+/// Tie-break: lower cost, then the lexicographically larger vector compared
+/// from the last (fastest) tier.
+TieredRegionStripes optimize_region_tiered(
+    const TieredCostParams& params, std::span<const FileRequest> requests,
+    double avg_request_size, const TieredOptimizerOptions& options = {});
+
+/// Scores one candidate: summed tiered model cost over (sampled) requests.
+Seconds tiered_region_cost(const TieredCostParams& params,
+                           std::span<const FileRequest> requests,
+                           std::span<const Bytes> stripes,
+                           std::size_t max_requests = 0);
 
 }  // namespace harl::core

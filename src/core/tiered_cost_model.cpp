@@ -4,52 +4,130 @@
 #include <stdexcept>
 
 #include "src/common/interval.hpp"
+#include "src/core/closed_form.hpp"
 #include "src/core/cost_model.hpp"
 
 namespace harl::core {
 
-std::vector<TierGeometry> tiered_geometry(Bytes o, Bytes r,
-                                          std::span<const std::size_t> counts,
-                                          std::span<const Bytes> stripes) {
-  if (counts.size() != stripes.size()) {
+namespace {
+
+/// Accumulates max-bytes/touched over one tier's cells without allocating.
+/// `tier_base` is the tier's first cell offset within the period; the
+/// sentinel full_periods == ~0 marks a single-period request [l_b, l_e).
+void tier_geometry_inline(Bytes l_b, Bytes l_e, Bytes S, Bytes full_periods,
+                          Bytes tier_base, std::size_t count, Bytes stripe,
+                          TierGeometry& out) {
+  if (stripe == 0 || count == 0) return;
+  Bytes cell_base = tier_base;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ByteInterval cell{cell_base, cell_base + stripe};
+    Bytes bytes = 0;
+    if (full_periods == ~static_cast<Bytes>(0)) {
+      bytes = intersect({l_b, l_e}, cell).length();
+    } else {
+      bytes = intersect({l_b, S}, cell).length() + full_periods * stripe +
+              intersect({0, l_e}, cell).length();
+    }
+    if (bytes > 0) {
+      ++out.touched;
+      out.max_bytes = std::max(out.max_bytes, bytes);
+    }
+    cell_base += stripe;
+  }
+}
+
+}  // namespace
+
+void tiered_geometry_into(Bytes o, Bytes r,
+                          std::span<const std::size_t> counts,
+                          std::span<const Bytes> stripes,
+                          std::span<TierGeometry> out) {
+  if (counts.size() != stripes.size() || counts.size() != out.size()) {
     throw std::invalid_argument("counts/stripes size mismatch");
   }
-  std::vector<TierGeometry> out(counts.size());
   Bytes S = 0;
   for (std::size_t j = 0; j < counts.size(); ++j) {
     S += static_cast<Bytes>(counts[j]) * stripes[j];
   }
   if (S == 0) throw std::invalid_argument("zero striping period");
-  if (r == 0) return out;
+  std::fill(out.begin(), out.end(), TierGeometry{});
+  if (r == 0) return;
+
+  // Fast path for the paper's hybrid shape: the completed Fig. 4/5 closed
+  // forms are O(1) and exact when both tiers are present
+  // (closed_form_test.cpp pins the equivalence with the cell walk).
+  if (counts.size() == 2 && counts[0] > 0 && counts[1] > 0 && stripes[0] > 0 &&
+      stripes[1] > 0) {
+    const SubreqGeometry g = closed_form_geometry(
+        o, r, StripePair{stripes[0], stripes[1]}, counts[0], counts[1]);
+    out[0] = TierGeometry{g.s_m, g.m};
+    out[1] = TierGeometry{g.s_n, g.n};
+    return;
+  }
 
   const Bytes end = o + r;
   const Bytes period_first = o / S;
   const Bytes period_last = end / S;
   const Bytes l_b = o - period_first * S;
   const Bytes l_e = end - period_last * S;
+  const Bytes full_periods = period_last == period_first
+                                 ? ~static_cast<Bytes>(0)
+                                 : period_last - period_first - 1;
 
-  Bytes cell_base = 0;  // start of the current server's cell in the period
+  Bytes tier_base = 0;
   for (std::size_t j = 0; j < counts.size(); ++j) {
-    const Bytes st = stripes[j];
-    for (std::size_t i = 0; i < counts[j]; ++i) {
-      if (st == 0) continue;
-      const ByteInterval cell{cell_base, cell_base + st};
-      Bytes bytes = 0;
-      if (period_last == period_first) {
-        bytes = intersect({l_b, l_e}, cell).length();
-      } else {
-        bytes = intersect({l_b, S}, cell).length() +
-                (period_last - period_first - 1) * st +
-                intersect({0, l_e}, cell).length();
-      }
-      if (bytes > 0) {
-        ++out[j].touched;
-        out[j].max_bytes = std::max(out[j].max_bytes, bytes);
-      }
-      cell_base += st;
+    tier_geometry_inline(l_b, l_e, S, full_periods, tier_base, counts[j],
+                         stripes[j], out[j]);
+    tier_base += static_cast<Bytes>(counts[j]) * stripes[j];
+  }
+}
+
+std::vector<TierGeometry> tiered_geometry(Bytes o, Bytes r,
+                                          std::span<const std::size_t> counts,
+                                          std::span<const Bytes> stripes) {
+  std::vector<TierGeometry> out(counts.size());
+  tiered_geometry_into(o, r, counts, stripes, out);
+  return out;
+}
+
+Seconds startup_expected_max(const storage::OpProfile& p, std::size_t k) {
+  if (k == 0) return 0.0;
+  const double frac = static_cast<double>(k) / static_cast<double>(k + 1);
+  return p.startup_min + frac * (p.startup_max - p.startup_min);
+}
+
+Seconds tiered_cost_kernel(std::span<const std::size_t> counts,
+                           std::span<const storage::OpProfile* const> profiles,
+                           Seconds t, Seconds net_latency, int net_hops,
+                           Seconds per_stripe_overhead, Bytes offset,
+                           Bytes size, std::span<const Bytes> stripes,
+                           std::span<TierGeometry> scratch) {
+  tiered_geometry_into(offset, size, counts, stripes, scratch);
+
+  Bytes max_bytes = 0;
+  Seconds startup = 0.0;
+  Seconds transfer = 0.0;
+  Bytes max_pieces = 0;
+  for (std::size_t j = 0; j < scratch.size(); ++j) {
+    const TierGeometry& g = scratch[j];
+    const storage::OpProfile& p = *profiles[j];
+    max_bytes = std::max(max_bytes, g.max_bytes);
+    startup = std::max(startup, startup_expected_max(p, g.touched));
+    transfer = std::max(transfer,
+                        static_cast<double>(g.max_bytes) * p.per_byte);
+    // Stripe units in the maximal per-server extent (the per-stripe request
+    // protocol charge of CostParams::per_stripe_overhead, tier-generalized).
+    if (per_stripe_overhead > 0.0 && stripes[j] > 0 && g.max_bytes > 0) {
+      max_pieces =
+          std::max(max_pieces, (g.max_bytes + stripes[j] - 1) / stripes[j]);
     }
   }
-  return out;
+  if (per_stripe_overhead > 0.0) {
+    transfer += per_stripe_overhead * static_cast<double>(max_pieces);
+  }
+  const Seconds network = net_latency + static_cast<double>(net_hops) * t *
+                                            static_cast<double>(max_bytes);
+  return network + startup + transfer;
 }
 
 Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
@@ -58,26 +136,48 @@ Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
   if (params.tiers.size() != stripes.size()) {
     throw std::invalid_argument("tiers/stripes size mismatch");
   }
-  std::vector<std::size_t> counts(params.tiers.size());
-  for (std::size_t j = 0; j < params.tiers.size(); ++j) {
+  const std::size_t k = params.tiers.size();
+  std::vector<std::size_t> counts(k);
+  std::vector<const storage::OpProfile*> profiles(k);
+  for (std::size_t j = 0; j < k; ++j) {
     counts[j] = params.tiers[j].count;
+    profiles[j] = &params.tiers[j].profile.op(op);
   }
-  const auto geo = tiered_geometry(offset, size, counts, stripes);
+  std::vector<TierGeometry> scratch(k);
+  return tiered_cost_kernel(counts, profiles, params.t, params.net_latency,
+                            params.net_hops, params.per_stripe_overhead,
+                            offset, size, stripes, scratch);
+}
 
-  Bytes max_bytes = 0;
-  Seconds startup = 0.0;
-  Seconds transfer = 0.0;
-  for (std::size_t j = 0; j < geo.size(); ++j) {
-    const storage::OpProfile& p = params.tiers[j].profile.op(op);
-    max_bytes = std::max(max_bytes, geo[j].max_bytes);
-    startup = std::max(startup, startup_expected_max(p, geo[j].touched));
-    transfer = std::max(transfer,
-                        static_cast<double>(geo[j].max_bytes) * p.per_byte);
+std::uint64_t params_fingerprint(const TieredCostParams& params) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(params.tiers.size());
+  mix_double(params.t);
+  mix_double(params.net_latency);
+  mix(static_cast<std::uint64_t>(params.net_hops));
+  mix_double(params.per_stripe_overhead);
+  for (const TierSpec& tier : params.tiers) {
+    mix(tier.count);
+    for (IoOp op : {IoOp::kRead, IoOp::kWrite}) {
+      const storage::OpProfile& p = tier.profile.op(op);
+      mix_double(p.startup_min);
+      mix_double(p.startup_max);
+      mix_double(p.per_byte);
+    }
   }
-  const Seconds network = params.net_latency +
-                          static_cast<double>(params.net_hops) * params.t *
-                              static_cast<double>(max_bytes);
-  return network + startup + transfer;
+  return h;
 }
 
 }  // namespace harl::core

@@ -1,17 +1,20 @@
-// Generalized multi-tier cost model.
+// The cost model, in its general k-tier form (the ONLY cost engine).
 //
 // The paper's model is written for two server classes; its conclusion names
 // "extend our cost model to accommodate more than two server performance
-// profiles" as future work.  This module is that extension: k tiers, each
-// with a server count, an OpProfile pair, and its own stripe size.  The
-// two-tier functions in cost_model.hpp are thin wrappers over these.
+// profiles" as future work.  This module is that extension — and, since the
+// tier-vector refactor, also the implementation the paper's two-tier API in
+// cost_model.hpp adapts to (k = 2): one geometry routine, one cost kernel,
+// one set of calibration parameters per tier.
 //
 // Geometry convention: servers are ordered tier 0 first, then tier 1, ...,
 // and striping is round-robin across all servers in that order (the same
 // convention pfs::VariedStripeLayout and the paper use for HServers followed
-// by SServers).
+// by SServers).  A region's layout is the stripe vector (s_0, ..., s_{k-1});
+// the striping period is S = sum_j count_j * s_j.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -40,18 +43,52 @@ std::vector<TierGeometry> tiered_geometry(Bytes o, Bytes r,
                                           std::span<const std::size_t> counts,
                                           std::span<const Bytes> stripes);
 
+/// Allocation-free form: writes per-tier geometry into `out` (same size as
+/// `counts`).  For k == 2 with both tiers present and both stripes nonzero
+/// this dispatches to the O(1) closed forms of paper Fig. 4/5 (exactness is
+/// pinned by closed_form_test); otherwise it walks the period's cells in
+/// O(sum counts).  The optimizer calls this millions of times per region.
+void tiered_geometry_into(Bytes o, Bytes r,
+                          std::span<const std::size_t> counts,
+                          std::span<const Bytes> stripes,
+                          std::span<TierGeometry> out);
+
 struct TieredCostParams {
   std::vector<TierSpec> tiers;
   Seconds t = 0.0;            ///< unit-byte network time
   Seconds net_latency = 0.0;  ///< fixed per-request overhead (0 = paper-pure)
   int net_hops = 1;           ///< link traversals charged
+  /// Server-side processing charged per stripe unit of the largest
+  /// sub-request (0 = paper-pure); see CostParams::per_stripe_overhead.
+  Seconds per_stripe_overhead = 0.0;
 };
 
-/// Cost of one request with per-tier stripe sizes (generalized Eq. 7/8):
+/// Expected maximum of `k` i.i.d. uniforms on [p.startup_min, p.startup_max]
+/// (paper Eq. 3/4): a_min + k/(k+1) * (a_max - a_min).  0 when k == 0.
+Seconds startup_expected_max(const storage::OpProfile& p, std::size_t k);
+
+/// The shared cost kernel (generalized Eq. 7/8):
 ///   T_X = hops * t * max_j(max_bytes_j) + latency
 ///   T_S = max_j E[max of touched_j uniforms on tier j's startup window]
-///   T_T = max_j (max_bytes_j * beta_j)
+///   T_T = max_j (max_bytes_j * beta_j) + per_stripe_overhead * max pieces
+/// `profiles[j]` is tier j's OpProfile for the request's op (pre-selected so
+/// hot loops pay no per-request branching) and `scratch` is caller-provided
+/// TierGeometry storage of the same size as `counts`.
+Seconds tiered_cost_kernel(std::span<const std::size_t> counts,
+                           std::span<const storage::OpProfile* const> profiles,
+                           Seconds t, Seconds net_latency, int net_hops,
+                           Seconds per_stripe_overhead, Bytes offset,
+                           Bytes size, std::span<const Bytes> stripes,
+                           std::span<TierGeometry> scratch);
+
+/// Cost of one request with per-tier stripe sizes (generalized Eq. 7/8).
 Seconds tiered_request_cost(const TieredCostParams& params, IoOp op, Bytes offset,
                             Bytes size, std::span<const Bytes> stripes);
+
+/// Order-independent fingerprint of the calibration (FNV-1a over the tier
+/// counts and every parameter double's bit pattern).  Stored in Plan
+/// artifacts so the Placing Phase can detect that a plan was computed
+/// against a different calibration than the one in force.
+std::uint64_t params_fingerprint(const TieredCostParams& params);
 
 }  // namespace harl::core

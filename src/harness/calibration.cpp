@@ -71,24 +71,9 @@ core::CostParams calibrate(const pfs::ClusterConfig& config,
 
 core::TieredCostParams calibrate_tiered(const pfs::ClusterConfig& config,
                                         const CalibrationOptions& options) {
-  const core::CostParams two_tier = calibrate(config, options);
-  core::TieredCostParams params;
-  params.t = two_tier.t;
-  params.net_latency = two_tier.net_latency;
-  params.net_hops = two_tier.net_hops;
-
-  core::TierSpec hs;
-  hs.count = config.num_hservers;
-  hs.profile.name = "hserver";
-  hs.profile.read = two_tier.hserver_read;
-  hs.profile.write = two_tier.hserver_write;
-  core::TierSpec ss;
-  ss.count = config.num_sservers;
-  ss.profile.name = "sserver";
-  ss.profile.read = two_tier.sserver_read;
-  ss.profile.write = two_tier.sserver_write;
-  params.tiers = {hs, ss};
-  return params;
+  // The k=2 view of the same calibration: carries every field (including
+  // per_stripe_overhead) so params_fingerprint() matches calibrate()'s.
+  return core::to_tiered(calibrate(config, options));
 }
 
 }  // namespace harl::harness

@@ -98,7 +98,7 @@ SchemeResult Experiment::run_with_trace(
       build_layout(scheme, options_.cluster, trace_records, cost_params(),
                    options_.planner, &plan);
   result.layout_description = layout->describe();
-  if (scheme.needs_analysis()) {
+  if (scheme.produces_plan()) {
     result.region_count = plan.rst.size();
     result.plan = std::move(plan);
   }

@@ -59,7 +59,7 @@ struct SchemeResult {
   PhaseStats total;                     ///< all phases combined
   std::vector<Seconds> server_io_time;  ///< per server, all phases (Fig. 1a)
   std::size_t region_count = 1;
-  std::optional<core::Plan> plan;       ///< analysis-based schemes only
+  std::optional<core::Plan> plan;       ///< plan-producing schemes only
 };
 
 struct ExperimentOptions {

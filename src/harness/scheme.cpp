@@ -2,9 +2,11 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/core/plan_artifact.hpp"
 
 namespace harl::harness {
 
@@ -55,6 +57,14 @@ LayoutScheme LayoutScheme::harl_space_bounded(double max_sserver_share) {
   return s;
 }
 
+LayoutScheme LayoutScheme::from_plan_file(std::string path) {
+  if (path.empty()) throw std::invalid_argument("plan file path is empty");
+  LayoutScheme s;
+  s.kind = SchemeKind::kLoadedPlan;
+  s.plan_file = std::move(path);
+  return s;
+}
+
 std::string LayoutScheme::label() const {
   switch (kind) {
     case SchemeKind::kFixed: return format_size(fixed_stripe);
@@ -68,6 +78,7 @@ std::string LayoutScheme::label() const {
       os << "HARL<=" << static_cast<int>(max_sserver_share * 100.0) << "%ssd";
       return os.str();
     }
+    case SchemeKind::kLoadedPlan: return "plan";
   }
   return "?";
 }
@@ -122,6 +133,34 @@ std::shared_ptr<const pfs::Layout> build_layout(
       }
       auto layout = plan.rst.to_layout(M, N);
       if (plan_out != nullptr) *plan_out = std::move(plan);
+      return layout;
+    }
+
+    case SchemeKind::kLoadedPlan: {
+      core::PlanArtifact artifact = core::load_plan(scheme.plan_file);
+      if (artifact.calibration_fingerprint != core::params_fingerprint(params)) {
+        throw std::runtime_error(
+            "plan artifact was produced under a different calibration: " +
+            scheme.plan_file);
+      }
+      // The artifact's tier table against this cluster: normally the two-tier
+      // (M, N) view; a generic artifact must match it tier-for-tier.
+      std::vector<std::size_t> counts = {M, N};
+      if (artifact.tier_counts != counts) {
+        throw std::runtime_error(
+            "plan artifact tier table does not match the cluster: " +
+            scheme.plan_file);
+      }
+      auto layout = artifact.rst.to_layout(counts);
+      if (plan_out != nullptr) {
+        core::Plan plan;
+        plan.tier_counts = artifact.tier_counts;
+        plan.calibration_fingerprint = artifact.calibration_fingerprint;
+        plan.regions_before_merge = artifact.rst.size();
+        plan.regions_after_merge = artifact.rst.size();
+        plan.rst = std::move(artifact.rst);
+        *plan_out = std::move(plan);
+      }
       return layout;
     }
   }

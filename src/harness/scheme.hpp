@@ -30,6 +30,7 @@ enum class SchemeKind {
   kSegmentLevel,
   kCarl,
   kHarlSpaceBounded,
+  kLoadedPlan,
 };
 
 struct LayoutScheme {
@@ -38,6 +39,7 @@ struct LayoutScheme {
   std::uint64_t random_seed = 1;   ///< kRandomStripes only
   Bytes carl_ssd_capacity = 0;     ///< kCarl only
   double max_sserver_share = 1.0;  ///< kHarlSpaceBounded only
+  std::string plan_file;           ///< kLoadedPlan only
 
   static LayoutScheme fixed(Bytes stripe);
   static LayoutScheme random_stripes(std::uint64_t seed);
@@ -50,6 +52,10 @@ struct LayoutScheme {
   /// PSA-style space-bounded HARL ([33] / the paper's Discussion): full
   /// region-level optimization with each region's SServer byte share capped.
   static LayoutScheme harl_space_bounded(double max_sserver_share);
+  /// Placing Phase from a saved Plan artifact (see core/plan_artifact.hpp):
+  /// no trace or analysis; the artifact's calibration fingerprint and tier
+  /// table are validated at build time.
+  static LayoutScheme from_plan_file(std::string path);
 
   /// Figure-legend style label: "64K", "rand1", "HARL", ...
   std::string label() const;
@@ -59,6 +65,12 @@ struct LayoutScheme {
     return kind == SchemeKind::kHarl || kind == SchemeKind::kFileLevelHarl ||
            kind == SchemeKind::kSegmentLevel || kind == SchemeKind::kCarl ||
            kind == SchemeKind::kHarlSpaceBounded;
+  }
+
+  /// True when build_layout() yields a Plan (analysis-based schemes and
+  /// loaded Plan artifacts).
+  bool produces_plan() const {
+    return needs_analysis() || kind == SchemeKind::kLoadedPlan;
   }
 };
 

@@ -19,6 +19,13 @@ std::vector<TierGroup> ClusterConfig::effective_tiers() const {
   return groups;
 }
 
+std::vector<std::size_t> Cluster::tier_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(tiers_.size());
+  for (const auto& t : tiers_) counts.push_back(t.count);
+  return counts;
+}
+
 Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
     : sim_(sim), config_(config), tiers_(config.effective_tiers()) {
   std::size_t total = 0;

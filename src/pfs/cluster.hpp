@@ -88,6 +88,9 @@ class Cluster {
   const TierGroup& tier(std::size_t i) const { return tiers_.at(i); }
   /// Global index of tier i's first server.
   std::size_t tier_begin(std::size_t i) const { return tier_begin_.at(i); }
+  /// Per-tier server counts, in tier order — the shape the tier-vector
+  /// layout path (RST, RegionLayout, Plan artifact) is keyed by.
+  std::vector<std::size_t> tier_counts() const;
 
   DataServer& server(std::size_t i) { return *servers_.at(i); }
   const DataServer& server(std::size_t i) const { return *servers_.at(i); }

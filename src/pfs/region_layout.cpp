@@ -7,10 +7,11 @@
 
 namespace harl::pfs {
 
-RegionLayout::RegionLayout(std::size_t M, std::size_t N,
+RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
                            std::vector<RegionSpec> regions)
-    : M_(M), N_(N), specs_(std::move(regions)) {
-  if (M_ + N_ == 0) throw std::invalid_argument("layout needs servers");
+    : tier_counts_(std::move(tier_counts)), specs_(std::move(regions)) {
+  for (std::size_t c : tier_counts_) total_servers_ += c;
+  if (total_servers_ == 0) throw std::invalid_argument("layout needs servers");
   if (specs_.empty()) throw std::invalid_argument("region layout needs regions");
   if (specs_.front().offset != 0) {
     throw std::invalid_argument("first region must start at offset 0");
@@ -19,16 +20,30 @@ RegionLayout::RegionLayout(std::size_t M, std::size_t N,
     if (i > 0 && specs_[i].offset <= specs_[i - 1].offset) {
       throw std::invalid_argument("regions must have increasing offsets");
     }
-    if (specs_[i].h == 0 && specs_[i].s == 0) {
+    if (specs_[i].stripes.size() != tier_counts_.size()) {
+      throw std::invalid_argument("region stripe vector does not match tiers");
+    }
+    bool any_stripe = false;
+    bool any_effective = false;  // a nonzero stripe on a tier with servers
+    for (std::size_t j = 0; j < tier_counts_.size(); ++j) {
+      if (specs_[i].stripes[j] == 0) continue;
+      any_stripe = true;
+      if (tier_counts_[j] > 0) any_effective = true;
+    }
+    if (!any_stripe) {
       throw std::invalid_argument("region must stripe over at least one tier");
     }
-    if ((N_ == 0 && specs_[i].h == 0) || (M_ == 0 && specs_[i].s == 0)) {
+    if (!any_effective) {
       throw std::invalid_argument("region stripes only over absent servers");
     }
     region_layouts_.push_back(
-        make_two_tier_layout(M_, specs_[i].h, N_, specs_[i].s));
+        make_tiered_layout(tier_counts_, specs_[i].stripes));
   }
 }
+
+RegionLayout::RegionLayout(std::size_t M, std::size_t N,
+                           std::vector<RegionSpec> regions)
+    : RegionLayout(std::vector<std::size_t>{M, N}, std::move(regions)) {}
 
 std::size_t RegionLayout::region_of(Bytes offset) const {
   // Last spec with spec.offset <= offset.
@@ -69,8 +84,12 @@ std::string RegionLayout::describe() const {
   std::ostringstream os;
   os << "region-level(" << specs_.size() << " regions:";
   for (std::size_t i = 0; i < specs_.size() && i < 4; ++i) {
-    os << ' ' << format_size(specs_[i].offset) << "@{"
-       << format_size(specs_[i].h) << ',' << format_size(specs_[i].s) << '}';
+    os << ' ' << format_size(specs_[i].offset) << "@{";
+    for (std::size_t j = 0; j < specs_[i].stripes.size(); ++j) {
+      if (j > 0) os << ',';
+      os << format_size(specs_[i].stripes[j]);
+    }
+    os << '}';
   }
   if (specs_.size() > 4) os << " ...";
   os << ')';

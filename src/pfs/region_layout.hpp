@@ -6,6 +6,11 @@
 // OrangeFS file via the R2F table).  Requests spanning region boundaries are
 // split and mapped per region; the SubRequest::object field carries the
 // region index so servers address distinct physical objects.
+//
+// Since the tier-vector refactor a region's stripe configuration is the
+// per-tier vector (s_0, ..., s_{k-1}); the paper's two-tier shape is k = 2
+// with tier 0 = HServers and tier 1 = SServers.  Clusters with 3+ tiers use
+// the exact same placement code.
 #pragma once
 
 #include <memory>
@@ -18,22 +23,37 @@ namespace harl::pfs {
 /// Stripe configuration of one region, mirroring an RST row (paper Fig. 6).
 struct RegionSpec {
   Bytes offset = 0;  ///< region start; the region extends to the next spec
-  Bytes h = 0;       ///< HServer stripe size (0 = skip HServers)
-  Bytes s = 0;       ///< SServer stripe size (0 = skip SServers)
+  std::vector<Bytes> stripes;  ///< per-tier stripe sizes (0 = skip the tier)
+
+  RegionSpec() = default;
+  RegionSpec(Bytes offset_, std::vector<Bytes> stripes_)
+      : offset(offset_), stripes(std::move(stripes_)) {}
+  /// Two-tier convenience: HServer stripe `h`, SServer stripe `s`.
+  RegionSpec(Bytes offset_, Bytes h, Bytes s) : offset(offset_), stripes{h, s} {}
+
+  /// Two-tier views (tier 0 / tier 1; 0 when the tier is absent).
+  Bytes h() const { return stripes.empty() ? 0 : stripes[0]; }
+  Bytes s() const { return stripes.size() < 2 ? 0 : stripes[1]; }
 
   friend bool operator==(const RegionSpec&, const RegionSpec&) = default;
 };
 
 class RegionLayout final : public Layout {
  public:
-  /// `M` HServers occupy global server slots [0, M); `N` SServers occupy
-  /// [M, M+N).  `regions` must be sorted by strictly increasing offset and
-  /// start at offset 0; the last region extends to infinity.  Each region
-  /// must have h > 0 or s > 0.
+  /// `tier_counts[j]` servers form tier j; tiers occupy consecutive global
+  /// server slots in order (tier 0 first).  `regions` must be sorted by
+  /// strictly increasing offset and start at offset 0; the last region
+  /// extends to infinity.  Each region must carry one stripe per tier, with
+  /// at least one nonzero stripe on a tier that has servers.
+  RegionLayout(std::vector<std::size_t> tier_counts,
+               std::vector<RegionSpec> regions);
+
+  /// Two-tier convenience: `M` HServers occupy global server slots [0, M);
+  /// `N` SServers occupy [M, M+N).
   RegionLayout(std::size_t M, std::size_t N, std::vector<RegionSpec> regions);
 
   std::vector<SubRequest> map(Bytes offset, Bytes size) const override;
-  std::size_t server_count() const override { return M_ + N_; }
+  std::size_t server_count() const override { return total_servers_; }
   std::string describe() const override;
 
   std::size_t region_count() const { return specs_.size(); }
@@ -46,12 +66,20 @@ class RegionLayout final : public Layout {
   /// End offset of region i (start of region i+1, or +inf for the last).
   Bytes region_end(std::size_t i) const;
 
-  std::size_t num_hservers() const { return M_; }
-  std::size_t num_sservers() const { return N_; }
+  std::size_t num_tiers() const { return tier_counts_.size(); }
+  const std::vector<std::size_t>& tier_counts() const { return tier_counts_; }
+
+  /// Two-tier views: tier 0 / tier 1 server counts (0 when absent).
+  std::size_t num_hservers() const {
+    return tier_counts_.empty() ? 0 : tier_counts_[0];
+  }
+  std::size_t num_sservers() const {
+    return tier_counts_.size() < 2 ? 0 : tier_counts_[1];
+  }
 
  private:
-  std::size_t M_;
-  std::size_t N_;
+  std::vector<std::size_t> tier_counts_;
+  std::size_t total_servers_ = 0;
   std::vector<RegionSpec> specs_;
   std::vector<std::shared_ptr<VariedStripeLayout>> region_layouts_;
 };

@@ -47,9 +47,8 @@ MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
     const Bytes begin = plan.regions[i].offset;
     const Bytes end = std::min<Bytes>(layout.region_end(i), file_size);
     if (begin >= end) continue;
-    auto sub_layout = make_two_tier_layout(M, plan.regions[i].h,
-                                           layout.num_sservers(),
-                                           plan.regions[i].s);
+    auto sub_layout =
+        make_tiered_layout(layout.tier_counts(), plan.regions[i].stripes);
     const SpaceUsage u = storage_footprint(*sub_layout, end - begin);
     region_ssd_bytes[i] = u.sserver_bytes(M);
   }
@@ -85,9 +84,14 @@ MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
   for (std::size_t idx : order) {
     if (ssd_bytes <= ssd_capacity_total) break;
     if (region_ssd_bytes[idx] == 0) continue;
+    // Demote to the capacity tier (tier 0): keep the region's largest stripe
+    // there and clear every faster tier.  For k = 2 this is the original
+    // h = max(h, s), s = 0 rule.
     RegionSpec& spec = plan.regions[idx];
-    spec.h = std::max(spec.h, spec.s);
-    spec.s = 0;
+    Bytes widest = 0;
+    for (Bytes st : spec.stripes) widest = std::max(widest, st);
+    spec.stripes.assign(spec.stripes.size(), 0);
+    spec.stripes[0] = widest;
     ssd_bytes -= region_ssd_bytes[idx];
     region_ssd_bytes[idx] = 0;
     plan.demoted.push_back(idx);

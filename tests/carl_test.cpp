@@ -57,8 +57,8 @@ TEST(Carl, EveryRegionLivesOnExactlyOneTier) {
       analyze_carl(two_region_trace(), calibrated_params(), 10 * GiB, fine_regions());
   ASSERT_FALSE(plan.regions.empty());
   for (const auto& region : plan.regions) {
-    const bool ssd_only = region.stripes.h == 0 && region.stripes.s > 0;
-    const bool hdd_only = region.stripes.s == 0 && region.stripes.h > 0;
+    const bool ssd_only = region.stripes[0] == 0 && region.stripes[1] > 0;
+    const bool hdd_only = region.stripes[1] == 0 && region.stripes[0] > 0;
     EXPECT_TRUE(ssd_only || hdd_only)
         << "region at " << region.offset << " spans both tiers";
   }
@@ -70,15 +70,15 @@ TEST(Carl, UnlimitedCapacityMovesBeneficialRegionsToSsd) {
   const CostParams params = calibrated_params();
   const auto plan = analyze_carl(two_region_trace(), params, 1000 * GiB, fine_regions());
   std::size_t on_ssd = 0;
-  for (const auto& region : plan.regions) on_ssd += region.stripes.h == 0;
+  for (const auto& region : plan.regions) on_ssd += region.stripes[0] == 0;
   EXPECT_GT(on_ssd, 0u);
 }
 
 TEST(Carl, ZeroCapacityKeepsEverythingOnHdds) {
   const auto plan = analyze_carl(two_region_trace(), calibrated_params(), 0, fine_regions());
   for (const auto& region : plan.regions) {
-    EXPECT_GT(region.stripes.h, 0u);
-    EXPECT_EQ(region.stripes.s, 0u);
+    EXPECT_GT(region.stripes[0], 0u);
+    EXPECT_EQ(region.stripes[1], 0u);
   }
 }
 
@@ -89,7 +89,7 @@ TEST(Carl, CapacityGatesTheGreedyChoice) {
   ASSERT_GE(plan.regions.size(), 2u);
   Bytes ssd_extent = 0;
   for (const auto& region : plan.regions) {
-    if (region.stripes.h == 0) ssd_extent += region.end - region.offset;
+    if (region.stripes[0] == 0) ssd_extent += region.end - region.offset;
   }
   EXPECT_LE(ssd_extent, 16 * MiB);
 }

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "src/core/plan_artifact.hpp"
 #include "src/harness/calibration.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/harness/scheme.hpp"
@@ -249,8 +250,8 @@ TEST(Scheme, SpaceBoundedHarlCapsTheSsdShare) {
   EXPECT_EQ(bounded.label, "HARL<=35%ssd");
   ASSERT_TRUE(bounded.plan.has_value());
   for (const auto& region : bounded.plan->regions) {
-    const double S = 6.0 * region.stripes.h + 2.0 * region.stripes.s;
-    EXPECT_LE(2.0 * region.stripes.s / S, 0.35 + 1e-9);
+    const double S = 6.0 * region.stripes[0] + 2.0 * region.stripes[1];
+    EXPECT_LE(2.0 * region.stripes[1] / S, 0.35 + 1e-9);
   }
   // The unconstrained plan uses more SServer share (and no less model cost).
   EXPECT_LE(free_harl.plan->total_model_cost(),
@@ -287,6 +288,71 @@ TEST(Experiment, EmptyBundleThrows) {
   WorkloadBundle empty;
   EXPECT_THROW(exp.run(empty, LayoutScheme::fixed(64 * KiB)),
                std::invalid_argument);
+}
+
+TEST(Scheme, LoadedPlanReproducesInProcessAnalysis) {
+  // Placing Phase from the Plan artifact, as a separate process would run
+  // it: the loaded scheme's simulated result must equal the in-process HARL
+  // scheme's, makespan for makespan.
+  ExperimentOptions opts;
+  opts.cluster.num_clients = 4;
+  opts.calibration.samples_per_size = 200;
+  opts.calibration.beta_samples = 200;
+
+  workloads::IorConfig ior;
+  ior.processes = 4;
+  ior.file_size = 64 * MiB;
+  ior.request_size = 512 * KiB;
+  ior.requests_per_process = 16;
+  const auto bundle = ior_bundle(ior);
+
+  Experiment exp(opts);
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  ASSERT_TRUE(harl.plan.has_value());
+  const std::string path = ::testing::TempDir() + "/harness_scheme.plan";
+  core::save_plan(core::PlanArtifact::from_plan(*harl.plan), path);
+
+  const auto scheme = LayoutScheme::from_plan_file(path);
+  EXPECT_EQ(scheme.label(), "plan");
+  EXPECT_FALSE(scheme.needs_analysis());
+  EXPECT_TRUE(scheme.produces_plan());
+  const auto loaded = exp.run(bundle, scheme);
+  ASSERT_TRUE(loaded.plan.has_value());
+  EXPECT_EQ(loaded.layout_description, harl.layout_description);
+  EXPECT_EQ(loaded.total.makespan, harl.total.makespan);
+  EXPECT_EQ(loaded.write.makespan, harl.write.makespan);
+  EXPECT_EQ(loaded.read.makespan, harl.read.makespan);
+  EXPECT_EQ(loaded.region_count, harl.region_count);
+}
+
+TEST(Scheme, LoadedPlanRejectsStaleCalibration) {
+  // A plan computed against different calibrated parameters must be refused
+  // at build time (the fingerprint check), not silently installed.
+  ExperimentOptions opts;
+  opts.cluster.num_clients = 4;
+  opts.calibration.samples_per_size = 200;
+  opts.calibration.beta_samples = 200;
+
+  workloads::IorConfig ior;
+  ior.processes = 4;
+  ior.file_size = 64 * MiB;
+  ior.request_size = 512 * KiB;
+  ior.requests_per_process = 16;
+  const auto bundle = ior_bundle(ior);
+
+  Experiment exp(opts);
+  const auto harl = exp.run(bundle, LayoutScheme::harl());
+  ASSERT_TRUE(harl.plan.has_value());
+  core::Plan stale = *harl.plan;
+  stale.calibration_fingerprint ^= 1;  // simulate a recalibrated cluster
+  const std::string path = ::testing::TempDir() + "/harness_stale.plan";
+  core::save_plan(core::PlanArtifact::from_plan(stale), path);
+  EXPECT_THROW(exp.run(bundle, LayoutScheme::from_plan_file(path)),
+               std::runtime_error);
+}
+
+TEST(Scheme, FromPlanFileRejectsEmptyPath) {
+  EXPECT_THROW(LayoutScheme::from_plan_file(""), std::invalid_argument);
 }
 
 }  // namespace

@@ -463,7 +463,7 @@ TEST(HarlDriver, SaveLoadInstallRoundTrip) {
 
   const auto rst = HarlDriver::load_rst(dir, "app.dat");
   ASSERT_EQ(rst.size(), 2u);
-  EXPECT_EQ(rst.entry(1).stripes, (core::StripePair{36 * KiB, 144 * KiB}));
+  EXPECT_EQ(rst.entry(1).pair(), (core::StripePair{36 * KiB, 144 * KiB}));
 
   const auto r2f = HarlDriver::load_r2f(dir, "app.dat");
   EXPECT_EQ(r2f.region_count(), 2u);
@@ -482,6 +482,45 @@ TEST(HarlDriver, SaveLoadInstallRoundTrip) {
 TEST(HarlDriver, MissingArtifactsThrow) {
   EXPECT_THROW(HarlDriver::load_rst("/nonexistent", "x"), std::runtime_error);
   EXPECT_THROW(HarlDriver::load_r2f("/nonexistent", "x"), std::runtime_error);
+  EXPECT_THROW(HarlDriver::load_plan("/nonexistent", "x"), std::runtime_error);
+}
+
+TEST(HarlDriver, PlanArtifactSaveLoadInstallRoundTrip) {
+  core::Plan plan;
+  plan.tier_counts = {2, 1};  // matches small_config()
+  plan.calibration_fingerprint = 77;
+  plan.rst.add(0, {16 * KiB, 64 * KiB});
+  plan.rst.add(128 * MiB, {36 * KiB, 144 * KiB});
+
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "harl_driver_plan_test")
+          .string();
+  std::filesystem::create_directories(dir);
+  HarlDriver::save_plan(dir, "app.dat", plan);
+
+  const auto artifact = HarlDriver::load_plan(dir, "app.dat");
+  EXPECT_EQ(artifact.tier_counts, plan.tier_counts);
+  EXPECT_EQ(artifact.calibration_fingerprint, 77u);
+  ASSERT_EQ(artifact.region_files.size(), 2u);
+  EXPECT_EQ(artifact.region_files[0], "app.dat.r0");
+
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, small_config());
+  const auto layout = HarlDriver::install(artifact, "app.dat", cluster);
+  EXPECT_EQ(layout->region_count(), 2u);
+  EXPECT_TRUE(cluster.mds().has_file("app.dat"));
+  EXPECT_TRUE(cluster.mds().has_file("app.dat.r1"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HarlDriver, InstallRejectsWrongTierTable) {
+  core::PlanArtifact artifact;
+  artifact.tier_counts = {6, 2};  // small_config() is {2, 1}
+  artifact.rst.add(0, {16 * KiB, 64 * KiB});
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, small_config());
+  EXPECT_THROW(HarlDriver::install(artifact, "app.dat", cluster),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -4,11 +4,14 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.hpp"
+#include "src/core/plan_artifact.hpp"
+#include "src/core/planner.hpp"
 #include "src/core/stripe_optimizer.hpp"
-#include "src/core/tiered_optimizer.hpp"
+#include "src/middleware/harl_driver.hpp"
 #include "src/pfs/cluster.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/storage/profiles.hpp"
+#include "src/trace/record.hpp"
 
 namespace harl {
 namespace {
@@ -288,6 +291,71 @@ TEST(TieredIntegration, AwareLayoutBeatsUniformInSimulation) {
   const Seconds tier_aware =
       run_layout(pfs::make_tiered_layout(counts, aware.stripes));
   EXPECT_LT(tier_aware, uniform);
+}
+
+TEST(TieredIntegration, PlannerToPlacementUsesOnePath) {
+  // Full three-tier pipeline on the generic tier-vector representation:
+  // trace -> analyze_tiered -> Plan artifact round trip -> HarlDriver
+  // install on a three-tier cluster -> simulated I/O.  Exactly the same
+  // placement code the two-tier path uses.
+  const auto p = three_tier_params();
+  std::vector<trace::TraceRecord> records;
+  {
+    Rng rng(5);
+    for (std::size_t i = 0; i < 128; ++i) {
+      trace::TraceRecord rec;
+      rec.rank = static_cast<std::uint32_t>(i % 4);
+      rec.op = i % 2 ? IoOp::kRead : IoOp::kWrite;
+      // Two bands with different request sizes so Algorithm 1 can split.
+      if (i % 2) {
+        rec.size = 64 * KiB;
+        rec.offset = rng.uniform_u64(0, 255) * rec.size;
+      } else {
+        rec.size = 1 * MiB;
+        rec.offset = 64 * MiB + rng.uniform_u64(0, 255) * rec.size;
+      }
+      rec.t_start = static_cast<Seconds>(i);
+      records.push_back(rec);
+    }
+  }
+  core::TieredPlannerOptions opts;
+  opts.optimizer.step = 32 * KiB;
+  opts.divider.fixed_region_size = 16 * MiB;
+  const core::Plan plan = core::analyze_tiered(records, p, opts);
+  ASSERT_GE(plan.rst.size(), 1u);
+  EXPECT_EQ(plan.rst.num_tiers(), 3u);
+  EXPECT_EQ(plan.tier_counts, (std::vector<std::size_t>{4, 2, 2}));
+  EXPECT_EQ(plan.calibration_fingerprint, core::params_fingerprint(p));
+
+  // Through the artifact, as a separate Placing process would see it.
+  const std::string path =
+      ::testing::TempDir() + "/three_tier_roundtrip.plan";
+  core::save_plan(core::PlanArtifact::from_plan(plan), path);
+  const core::PlanArtifact loaded = core::load_plan(path);
+  EXPECT_EQ(loaded.tier_counts, plan.tier_counts);
+
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, three_tier_config());
+  const auto layout = mw::HarlDriver::install(loaded, "mt.dat", cluster);
+  ASSERT_NE(layout, nullptr);
+  EXPECT_EQ(layout->server_count(), 8u);
+  EXPECT_EQ(layout->region_count(), loaded.rst.size());
+  for (const auto& rec : records) {
+    cluster.client(rec.rank % cluster.num_clients())
+        .io(*layout, rec.op, rec.offset, rec.size, [] {});
+  }
+  sim.run();
+  EXPECT_GT(sim.now(), 0.0);
+}
+
+TEST(TieredIntegration, InstallRejectsMismatchedTierTable) {
+  core::PlanArtifact artifact;
+  artifact.tier_counts = {6, 2};  // two-tier plan against a 3-tier cluster
+  artifact.rst.add(0, {16 * KiB, 64 * KiB});
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, three_tier_config());
+  EXPECT_THROW(mw::HarlDriver::install(artifact, "mt.dat", cluster),
+               std::runtime_error);
 }
 
 }  // namespace

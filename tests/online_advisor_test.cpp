@@ -68,7 +68,7 @@ TEST(OnlineAdvisor, WorkloadShiftTriggersRecommendation) {
   EXPECT_EQ(rec->window_requests, 64u);
   EXPECT_GT(rec->affected_extent, 0u);
   // The proposed layout is SServer-only for the small-request window.
-  EXPECT_EQ(rec->rst.lookup(0).stripes.h, 0u);
+  EXPECT_EQ(rec->rst.lookup(0).stripes[0], 0u);
 }
 
 TEST(OnlineAdvisor, AdoptInstallsTheNewTable) {

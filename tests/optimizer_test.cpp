@@ -257,6 +257,56 @@ TEST(Optimizer, ValidatesInputs) {
   EXPECT_THROW(optimize_region(p, reqs, 64.0 * KiB, bad), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Pinned optima, captured from the dedicated two-tier optimizer before the
+// grid search generalized to tier vectors.  The generic k=2 engine must
+// reproduce them *bit for bit* — stripes, model cost, and grid size — so
+// these fail on any change to candidate order, tie-breaking, or the cost
+// kernel's accumulation order.
+// ---------------------------------------------------------------------------
+
+TEST(Optimizer, PinnedHybridOptimumAt512K) {
+  // The paper's {32K, 160K}-class hybrid regime (Fig. 7, large requests).
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(512 * KiB, 64);
+  const auto result = optimize_region(p, reqs, 512.0 * KiB);
+  EXPECT_EQ(result.stripes.h, 12288u);
+  EXPECT_EQ(result.stripes.s, 225280u);
+  EXPECT_EQ(result.model_cost, 0x1.62a0edd8cc586p-3);
+  EXPECT_EQ(result.candidates_evaluated, 8257u);
+}
+
+TEST(Optimizer, PinnedSsdOnlyOptimumAt128K) {
+  // The paper's {0K, 64K} SServer-only regime (Fig. 9, small requests).
+  const CostParams p = calibrated_params();
+  const auto reqs = uniform_requests(128 * KiB, 64);
+  const auto result = optimize_region(p, reqs, 128.0 * KiB);
+  EXPECT_EQ(result.stripes.h, 0u);
+  EXPECT_EQ(result.stripes.s, 65536u);
+  EXPECT_EQ(result.model_cost, 0x1.856557900ba3fp-5);
+  EXPECT_EQ(result.candidates_evaluated, 529u);
+}
+
+TEST(Optimizer, TieredSearchAgreesWithTwoTierPathOnK2) {
+  // The k-tier enumeration covers a different grid (monotone tier vectors),
+  // but when the two-tier optimum lies inside both grids the winning stripes
+  // and cost must agree exactly — same kernel, same accumulation order.
+  const CostParams p = calibrated_params();
+  const TieredCostParams tp = to_tiered(p);
+  for (const Bytes size : {128 * KiB, 512 * KiB}) {
+    SCOPED_TRACE("request size " + std::to_string(size));
+    const auto reqs = uniform_requests(size, 64);
+    const auto two_tier =
+        optimize_region(p, reqs, static_cast<double>(size));
+    const auto tiered =
+        optimize_region_tiered(tp, reqs, static_cast<double>(size));
+    ASSERT_EQ(tiered.stripes.size(), 2u);
+    EXPECT_EQ(tiered.stripes[0], two_tier.stripes.h);
+    EXPECT_EQ(tiered.stripes[1], two_tier.stripes.s);
+    EXPECT_EQ(tiered.model_cost, two_tier.model_cost);
+  }
+}
+
 TEST(RegionCost, SumsPerRequestCosts) {
   const CostParams p = calibrated_params();
   std::vector<FileRequest> reqs = {

@@ -306,11 +306,11 @@ TEST(Space, MigrationDemotesColdestRegionsFirst) {
       plan_migration(layout, 128 * MiB, ssd_total / 2 + 1024, heat);
   ASSERT_EQ(plan.demoted.size(), 1u);
   EXPECT_EQ(plan.demoted[0], 1u);  // the cold one
-  EXPECT_EQ(plan.regions[1].s, 0u);
-  EXPECT_GE(plan.regions[1].h, 256 * KiB);  // inherits the bigger stripe
+  EXPECT_EQ(plan.regions[1].s(), 0u);
+  EXPECT_GE(plan.regions[1].h(), 256 * KiB);  // inherits the bigger stripe
   EXPECT_LE(plan.sserver_bytes_after, ssd_total / 2 + 1024);
   // The hot region keeps its SServer striping.
-  EXPECT_EQ(plan.regions[0].s, 256 * KiB);
+  EXPECT_EQ(plan.regions[0].s(), 256 * KiB);
 }
 
 TEST(Space, MigrationRequiresHServers) {

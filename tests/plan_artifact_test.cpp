@@ -1,0 +1,214 @@
+// Tests for the versioned Plan artifact (core/plan_artifact.hpp): the
+// single-file serialization of an Analysis Phase result that lets the
+// Placing Phase run in a separate process.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/plan_artifact.hpp"
+
+namespace harl::core {
+namespace {
+
+PlanArtifact sample_artifact(bool with_files = true) {
+  PlanArtifact artifact;
+  artifact.tier_counts = {6, 2};
+  artifact.calibration_fingerprint = 0x0123456789abcdefull;
+  artifact.rst.add(0, {16 * KiB, 64 * KiB});
+  artifact.rst.add(128 * MiB, {36 * KiB, 144 * KiB});
+  artifact.rst.add(192 * MiB, {0, 80 * KiB});
+  if (with_files) {
+    artifact.region_files = {"app.dat.r0", "app.dat.r1", "app.dat.r2"};
+  }
+  return artifact;
+}
+
+PlanArtifact three_tier_artifact() {
+  PlanArtifact artifact;
+  artifact.tier_counts = {4, 2, 2};
+  artifact.calibration_fingerprint = 42;
+  artifact.rst.add(0, {16 * KiB, 64 * KiB, 128 * KiB});
+  artifact.rst.add(64 * MiB, {0, 0, 256 * KiB});
+  return artifact;
+}
+
+void expect_equal(const PlanArtifact& got, const PlanArtifact& want) {
+  EXPECT_EQ(got.tier_counts, want.tier_counts);
+  EXPECT_EQ(got.calibration_fingerprint, want.calibration_fingerprint);
+  ASSERT_EQ(got.rst.size(), want.rst.size());
+  for (std::size_t i = 0; i < want.rst.size(); ++i) {
+    SCOPED_TRACE("region " + std::to_string(i));
+    EXPECT_EQ(got.rst.entry(i).offset, want.rst.entry(i).offset);
+    EXPECT_EQ(got.rst.entry(i).stripes, want.rst.entry(i).stripes);
+  }
+  EXPECT_EQ(got.region_files, want.region_files);
+}
+
+TEST(PlanArtifact, BinaryRoundTrips) {
+  const PlanArtifact artifact = sample_artifact();
+  std::stringstream ss;
+  save_plan_binary(artifact, ss);
+  expect_equal(load_plan_binary(ss), artifact);
+}
+
+TEST(PlanArtifact, BinaryRoundTripsWithoutFileNames) {
+  const PlanArtifact artifact = sample_artifact(/*with_files=*/false);
+  std::stringstream ss;
+  save_plan_binary(artifact, ss);
+  expect_equal(load_plan_binary(ss), artifact);
+}
+
+TEST(PlanArtifact, BinaryRoundTripsThreeTiers) {
+  const PlanArtifact artifact = three_tier_artifact();
+  std::stringstream ss;
+  save_plan_binary(artifact, ss);
+  expect_equal(load_plan_binary(ss), artifact);
+}
+
+TEST(PlanArtifact, CsvRoundTrips) {
+  const PlanArtifact artifact = sample_artifact();
+  std::stringstream ss;
+  save_plan_csv(artifact, ss);
+  expect_equal(load_plan_csv(ss), artifact);
+}
+
+TEST(PlanArtifact, CsvRoundTripsThreeTiers) {
+  const PlanArtifact artifact = three_tier_artifact();
+  std::stringstream ss;
+  save_plan_csv(artifact, ss);
+  expect_equal(load_plan_csv(ss), artifact);
+}
+
+TEST(PlanArtifact, RejectsBadMagic) {
+  std::stringstream ss("NOTAPLAN........................");
+  EXPECT_THROW(load_plan_binary(ss), std::runtime_error);
+}
+
+TEST(PlanArtifact, RejectsTruncation) {
+  const PlanArtifact artifact = sample_artifact();
+  std::stringstream full;
+  save_plan_binary(artifact, full);
+  const std::string bytes = full.str();
+  // Any prefix strictly shorter than the full artifact must be rejected,
+  // never silently produce a partial table.
+  for (const std::size_t len :
+       {std::size_t{4}, std::size_t{11}, std::size_t{20}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    std::stringstream cut(bytes.substr(0, len));
+    EXPECT_THROW(load_plan_binary(cut), std::runtime_error);
+  }
+}
+
+TEST(PlanArtifact, RejectsVersionMismatch) {
+  const PlanArtifact artifact = sample_artifact();
+  std::stringstream full;
+  save_plan_binary(artifact, full);
+  std::string bytes = full.str();
+  // The version is the little-endian u32 right after the 8-byte magic.
+  bytes[8] = static_cast<char>(kPlanArtifactVersion + 1);
+  std::stringstream patched(bytes);
+  try {
+    load_plan_binary(patched);
+    FAIL() << "version mismatch was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST(PlanArtifact, RejectsCorruptTierCount) {
+  const PlanArtifact artifact = sample_artifact();
+  std::stringstream full;
+  save_plan_binary(artifact, full);
+  std::string bytes = full.str();
+  // Tier count is the u32 after magic + version; forge an absurd value.
+  bytes[12] = static_cast<char>(0xff);
+  bytes[13] = static_cast<char>(0xff);
+  std::stringstream patched(bytes);
+  EXPECT_THROW(load_plan_binary(patched), std::runtime_error);
+}
+
+TEST(PlanArtifact, RejectsFileCountMismatch) {
+  PlanArtifact artifact = sample_artifact();
+  artifact.region_files.pop_back();  // 2 names, 3 regions
+  std::stringstream ss;
+  EXPECT_THROW(save_plan_binary(artifact, ss), std::runtime_error);
+  EXPECT_THROW(save_plan_csv(artifact, ss), std::runtime_error);
+}
+
+TEST(PlanArtifact, RejectsRstTierTableMismatch) {
+  PlanArtifact artifact = sample_artifact(/*with_files=*/false);
+  artifact.tier_counts = {6, 2, 1};  // RST rows carry 2 stripes each
+  std::stringstream ss;
+  EXPECT_THROW(save_plan_binary(artifact, ss), std::runtime_error);
+  EXPECT_THROW(save_plan_csv(artifact, ss), std::runtime_error);
+}
+
+TEST(PlanArtifact, RejectsBadCsvHeader) {
+  std::stringstream ss("not-a-plan\nfingerprint,1\n");
+  EXPECT_THROW(load_plan_csv(ss), std::runtime_error);
+}
+
+TEST(PlanArtifact, RejectsCsvMissingHeaderRows) {
+  // A region row before the tiers row is declared malformed, as is a file
+  // that never states its fingerprint or tier table.
+  {
+    std::stringstream ss("harl-plan-csv-v1\nregion,0,16384,65536\n");
+    EXPECT_THROW(load_plan_csv(ss), std::runtime_error);
+  }
+  {
+    std::stringstream ss("harl-plan-csv-v1\ntiers,6,2\n");
+    EXPECT_THROW(load_plan_csv(ss), std::runtime_error);
+  }
+}
+
+TEST(PlanArtifact, RejectsMalformedCsvRows) {
+  const std::string header = "harl-plan-csv-v1\nfingerprint,1\ntiers,6,2\n";
+  for (const std::string row :
+       {"region,0,16384\n",              // too few stripes
+        "region,0,16384,65536,4096\n",   // too many stripes
+        "region,zero,16384,65536\n",     // non-numeric
+        "bogus,1,2\n"}) {                // unknown row kind
+    SCOPED_TRACE(row);
+    std::stringstream ss(header + row);
+    EXPECT_THROW(load_plan_csv(ss), std::runtime_error);
+  }
+}
+
+TEST(PlanArtifact, FromPlanCarriesTierTableAndFingerprint) {
+  Plan plan;
+  plan.tier_counts = {6, 2};
+  plan.calibration_fingerprint = 7;
+  plan.rst.add(0, {16 * KiB, 64 * KiB});
+  const PlanArtifact artifact = PlanArtifact::from_plan(plan);
+  EXPECT_EQ(artifact.tier_counts, plan.tier_counts);
+  EXPECT_EQ(artifact.calibration_fingerprint, 7u);
+  ASSERT_EQ(artifact.rst.size(), 1u);
+  EXPECT_TRUE(artifact.region_files.empty());
+}
+
+TEST(PlanArtifact, PathBasedSaveLoadPicksFormatByExtension) {
+  const PlanArtifact artifact = sample_artifact();
+  const std::string dir = ::testing::TempDir();
+  const std::string bin_path = dir + "/artifact_test.plan";
+  const std::string csv_path = dir + "/artifact_test.plan.csv";
+  save_plan(artifact, bin_path);
+  save_plan(artifact, csv_path);
+  expect_equal(load_plan(bin_path), artifact);
+  expect_equal(load_plan(csv_path), artifact);
+  // The CSV form is human-readable text, the binary form starts with magic.
+  std::ifstream csv(csv_path);
+  std::string first_line;
+  std::getline(csv, first_line);
+  EXPECT_EQ(first_line, "harl-plan-csv-v1");
+}
+
+TEST(PlanArtifact, LoadOnMissingFileThrows) {
+  EXPECT_THROW(load_plan("/nonexistent/nope.plan"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace harl::core

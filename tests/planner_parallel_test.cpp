@@ -238,5 +238,104 @@ TEST(PlannerParallel, RepeatedParallelRunsAreStable) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pinned golden plans, captured from the dedicated two-tier planning path
+// before the optimizer and planner generalized to tier vectors.  The generic
+// k=2 path must reproduce every field double for double: offsets, stripes,
+// model costs (as exact bit patterns, written as hex floats), and grid
+// sizes.  A failure here means the refactored path is no longer the same
+// computation.
+// ---------------------------------------------------------------------------
+
+struct GoldenRegion {
+  Bytes offset;
+  Bytes end;
+  Bytes h;
+  Bytes s;
+  Seconds model_cost;
+  std::size_t candidates;
+};
+
+PlannerOptions golden_options() {
+  PlannerOptions opts;
+  opts.divider.fixed_region_size = 8 * MiB;
+  return opts;
+}
+
+void expect_matches_golden(const Plan& plan,
+                           const std::vector<GoldenRegion>& want,
+                           Seconds total_cost) {
+  ASSERT_EQ(plan.regions.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("region " + std::to_string(i));
+    EXPECT_EQ(plan.regions[i].offset, want[i].offset);
+    EXPECT_EQ(plan.regions[i].end, want[i].end);
+    ASSERT_EQ(plan.regions[i].stripes.size(), 2u);
+    EXPECT_EQ(plan.regions[i].stripes[0], want[i].h);
+    EXPECT_EQ(plan.regions[i].stripes[1], want[i].s);
+    EXPECT_EQ(plan.regions[i].model_cost, want[i].model_cost);
+    EXPECT_EQ(plan.regions[i].candidates_evaluated, want[i].candidates);
+  }
+  // None of the golden traces produce mergeable neighbours, so the RST
+  // mirrors the regions row for row.
+  ASSERT_EQ(plan.rst.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE("rst row " + std::to_string(i));
+    EXPECT_EQ(plan.rst.entry(i).offset, want[i].offset);
+    EXPECT_EQ(plan.rst.entry(i).stripes,
+              (std::vector<Bytes>{want[i].h, want[i].s}));
+  }
+  EXPECT_EQ(plan.total_model_cost(), total_cost);
+  EXPECT_EQ(plan.tier_counts, (std::vector<std::size_t>{6, 2}));
+}
+
+TEST(PlannerGolden, IorTraceMatchesPreRefactorPlan) {
+  const Plan plan = analyze(ior_trace(), calibrated_params(), golden_options());
+  expect_matches_golden(
+      plan,
+      {{0ull, 267386880ull, 16384ull, 212992ull, 0x1.139c79ccdafacp+0, 8257u}},
+      0x1.139c79ccdafacp+0);
+}
+
+TEST(PlannerGolden, BtioTraceMatchesPreRefactorPlan) {
+  const Plan plan =
+      analyze(btio_trace(), calibrated_params(), golden_options());
+  expect_matches_golden(
+      plan,
+      {{0ull, 1105920ull, 0ull, 4096ull, 0x1.fc444dbcf21b5p-1, 2u}},
+      0x1.fc444dbcf21b5p-1);
+}
+
+TEST(PlannerGolden, RandomTraceMatchesPreRefactorPlan) {
+  const Plan plan =
+      analyze(random_trace(3), calibrated_params(), golden_options());
+  expect_matches_golden(
+      plan,
+      {
+          {0ull, 25690112ull, 0ull, 131072ull, 0x1.2c1af41a46132p-3, 2146u},
+          {25690112ull, 75563008ull, 8192ull, 106496ull, 0x1.0f54af4d1613ep-2,
+           8129u},
+          {75563008ull, 82837504ull, 0ull, 32768ull, 0x1.a6949d45364bfp-5,
+           191u},
+          {82837504ull, 182452224ull, 32768ull, 425984ull, 0x1.f25c741fe52dcp-2,
+           32897u},
+      },
+      0x1.e6489891628a6p-1);
+}
+
+TEST(PlannerGolden, ParallelCoalescingPathMatchesGoldenToo) {
+  // The same goldens through the pooled, coalescing configuration: the
+  // region-parallel engine must not perturb a single bit either.
+  ThreadPool pool(4);
+  PlannerOptions opts = golden_options();
+  opts.pool = &pool;
+  opts.optimizer.pool = &pool;
+  const Plan plan = analyze(ior_trace(), calibrated_params(), opts);
+  expect_matches_golden(
+      plan,
+      {{0ull, 267386880ull, 16384ull, 212992ull, 0x1.139c79ccdafacp+0, 8257u}},
+      0x1.139c79ccdafacp+0);
+}
+
 }  // namespace
 }  // namespace harl::core

@@ -98,7 +98,7 @@ TEST(Planner, RegionLevelBeatsFileLevelOnNonUniformTraces) {
 TEST(Planner, SegmentLevelUsesHomogeneousStripes) {
   const auto plan = analyze_segment_level(two_phase_trace(), calibrated_params());
   for (const auto& region : plan.regions) {
-    EXPECT_EQ(region.stripes.h, region.stripes.s);
+    EXPECT_EQ(region.stripes[0], region.stripes[1]);
   }
 }
 

@@ -19,10 +19,10 @@ RegionStripeTable paper_fig6_table() {
 
 TEST(Rst, LookupFindsGoverningRegion) {
   const auto rst = paper_fig6_table();
-  EXPECT_EQ(rst.lookup(0).stripes, (StripePair{16 * KiB, 64 * KiB}));
-  EXPECT_EQ(rst.lookup(128 * MiB - 1).stripes, (StripePair{16 * KiB, 64 * KiB}));
-  EXPECT_EQ(rst.lookup(128 * MiB).stripes, (StripePair{36 * KiB, 144 * KiB}));
-  EXPECT_EQ(rst.lookup(500 * MiB).stripes, (StripePair{26 * KiB, 80 * KiB}));
+  EXPECT_EQ(rst.lookup(0).pair(), (StripePair{16 * KiB, 64 * KiB}));
+  EXPECT_EQ(rst.lookup(128 * MiB - 1).pair(), (StripePair{16 * KiB, 64 * KiB}));
+  EXPECT_EQ(rst.lookup(128 * MiB).pair(), (StripePair{36 * KiB, 144 * KiB}));
+  EXPECT_EQ(rst.lookup(500 * MiB).pair(), (StripePair{26 * KiB, 80 * KiB}));
   EXPECT_EQ(rst.region_of(150 * MiB), 1u);
 }
 
@@ -55,7 +55,7 @@ TEST(Rst, MergeAdjacentCombinesEqualStripePairs) {
   EXPECT_EQ(rst.entry(1).offset, 128 * MiB);
   EXPECT_EQ(rst.entry(2).offset, 192 * MiB);
   // Lookups in the merged range still resolve correctly.
-  EXPECT_EQ(rst.lookup(100 * MiB).stripes, (StripePair{16 * KiB, 64 * KiB}));
+  EXPECT_EQ(rst.lookup(100 * MiB).pair(), (StripePair{16 * KiB, 64 * KiB}));
 }
 
 TEST(Rst, MergeOnUniformTableLeavesOne) {
@@ -89,13 +89,77 @@ TEST(Rst, LoadRejectsBadInput) {
   }
 }
 
+// ------------------------------------------------ k-tier entries (v2) ----
+
+TEST(Rst, TwoTierTablesSaveInLegacyV1Format) {
+  // Byte compatibility: k = 2 tables keep emitting the original v1 header
+  // and row shape, so pre-existing saved tables and new ones interoperate.
+  const auto rst = paper_fig6_table();
+  std::stringstream ss;
+  rst.save(ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "harl-rst-v1");
+}
+
+TEST(Rst, KTierTablesRoundTripInV2Format) {
+  RegionStripeTable rst;
+  rst.add(0, {16 * KiB, 64 * KiB, 128 * KiB});
+  rst.add(64 * MiB, {0, 32 * KiB, 256 * KiB});
+  EXPECT_EQ(rst.num_tiers(), 3u);
+  std::stringstream ss;
+  rst.save(ss);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "harl-rst-v2");
+  ss.seekg(0);
+  const auto loaded = RegionStripeTable::load(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.entry(0).stripes,
+            (std::vector<Bytes>{16 * KiB, 64 * KiB, 128 * KiB}));
+  EXPECT_EQ(loaded.entry(1).stripes,
+            (std::vector<Bytes>{0, 32 * KiB, 256 * KiB}));
+}
+
+TEST(Rst, V1RowsMustBeTwoTier) {
+  // The legacy header promises exactly two stripe columns per row.
+  std::stringstream ss("harl-rst-v1\n0 16384 65536 131072\n");
+  EXPECT_THROW(RegionStripeTable::load(ss), std::runtime_error);
+}
+
+TEST(Rst, AddRejectsInconsistentTierCounts) {
+  RegionStripeTable rst;
+  rst.add(0, {16 * KiB, 64 * KiB});
+  EXPECT_THROW(rst.add(64 * MiB, {16 * KiB, 64 * KiB, 128 * KiB}),
+               std::invalid_argument);
+  EXPECT_THROW(rst.add(64 * MiB, std::vector<Bytes>{}),
+               std::invalid_argument);
+}
+
+TEST(Rst, PairAccessorRequiresTwoTiers) {
+  RegionStripeTable rst;
+  rst.add(0, {16 * KiB, 64 * KiB, 128 * KiB});
+  EXPECT_THROW(rst.entry(0).pair(), std::logic_error);
+}
+
+TEST(Rst, ToLayoutAcceptsTierCountVector) {
+  RegionStripeTable rst;
+  rst.add(0, {16 * KiB, 64 * KiB, 128 * KiB});
+  const std::size_t counts[] = {4, 2, 2};
+  const auto layout = rst.to_layout(counts);
+  EXPECT_EQ(layout->server_count(), 8u);
+  // Mismatched tier-count shape is rejected.
+  const std::size_t wrong[] = {6, 2};
+  EXPECT_THROW(rst.to_layout(wrong), std::invalid_argument);
+}
+
 TEST(Rst, ToLayoutBuildsMatchingRegionLayout) {
   const auto rst = paper_fig6_table();
   const auto layout = rst.to_layout(6, 2);
   ASSERT_EQ(layout->region_count(), 3u);
   EXPECT_EQ(layout->region(1).offset, 128 * MiB);
-  EXPECT_EQ(layout->region(1).h, 36 * KiB);
-  EXPECT_EQ(layout->region(1).s, 144 * KiB);
+  EXPECT_EQ(layout->region(1).h(), 36 * KiB);
+  EXPECT_EQ(layout->region(1).s(), 144 * KiB);
   EXPECT_EQ(layout->server_count(), 8u);
 }
 

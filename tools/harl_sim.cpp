@@ -24,6 +24,12 @@
 //   threads    planner threads, 0 = serial         (0)
 //              (plans are bit-identical at any width; only analysis
 //              wall time changes)
+//   save-plan  path; write the first analysis-based scheme's Plan
+//              artifact (binary, or CSV if the path ends in .csv)
+//   load-plan  path; Placing Phase only — append a scheme built from a
+//              previously saved Plan artifact, skipping trace + analysis
+//
+// `harl_sim help` prints this key table.
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -32,12 +38,43 @@
 
 #include "src/common/config.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/core/plan_artifact.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/harness/table.hpp"
 
 using namespace harl;
 
 namespace {
+
+constexpr const char* kUsage = R"(harl_sim — config-driven experiment runner.
+
+All parameters are key=value arguments (defaults in parentheses):
+  workload   ior | multiregion | btio            (ior)
+  procs      process count                       (16)
+  request    IOR request size                    (512K)
+  file       IOR file size                       (4G)
+  requests   IOR requests per process, 0 = full  (64)
+  coverage   multiregion coverage fraction       (0.1)
+  grid       BTIO grid points per dimension      (48)
+  dumps      BTIO max dumps, 0 = all             (4)
+  hservers   HDD server count                    (6)
+  sservers   SSD server count                    (2)
+  clients    compute nodes                       (8)
+  schemes    comma list: <size> | randN | harl | harl-file | segment
+             (64K,256K,harl)
+  seed       workload seed                       (7)
+  threads    planner threads, 0 = serial         (0)
+             plans are bit-identical at any thread count; only
+             analysis wall time changes
+  save-plan  path; write the first analysis-based scheme's Plan
+             artifact (binary, or CSV if the path ends in .csv)
+  load-plan  path; Placing Phase only — append a scheme built from a
+             previously saved Plan artifact, skipping trace + analysis
+
+Separate Analysis and Placing processes:
+  harl_sim schemes=harl save-plan=ior.plan     # analyze + save
+  harl_sim schemes=64K load-plan=ior.plan      # place from the artifact
+)";
 
 std::vector<std::string> split_commas(const std::string& text) {
   std::vector<std::string> out;
@@ -94,6 +131,12 @@ harness::WorkloadBundle make_bundle(const Config& cfg) {
 int main(int argc, char** argv) {
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
+    for (const auto& a : args) {
+      if (a == "help" || a == "-h" || a == "--help") {
+        std::cout << kUsage;
+        return 0;
+      }
+    }
     const Config cfg = Config::from_args(args);
 
     harness::ExperimentOptions options;
@@ -121,10 +164,34 @@ int main(int argc, char** argv) {
          split_commas(cfg.get_or("schemes", "64K,256K,harl"))) {
       schemes.push_back(parse_scheme(token));
     }
+    const std::string load_plan_path = cfg.get_or("load-plan", "");
+    if (!load_plan_path.empty()) {
+      schemes.push_back(harness::LayoutScheme::from_plan_file(load_plan_path));
+    }
 
     harness::Experiment experiment(options);
     const auto bundle = make_bundle(cfg);
     const auto results = experiment.run_all(bundle, schemes);
+
+    const std::string save_plan_path = cfg.get_or("save-plan", "");
+    if (!save_plan_path.empty()) {
+      const harness::SchemeResult* analyzed = nullptr;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (schemes[i].needs_analysis() && results[i].plan.has_value()) {
+          analyzed = &results[i];
+          break;
+        }
+      }
+      if (analyzed == nullptr) {
+        throw std::invalid_argument(
+            "save-plan needs at least one analysis-based scheme (e.g. harl)");
+      }
+      core::save_plan(core::PlanArtifact::from_plan(*analyzed->plan),
+                      save_plan_path);
+      std::cout << "saved " << analyzed->label << " plan ("
+                << analyzed->region_count << " region(s)) to "
+                << save_plan_path << "\n";
+    }
 
     harness::Table table({"layout", "read MB/s", "write MB/s", "total MB/s",
                           "regions", "detail"});

@@ -7,13 +7,24 @@
 //   harl_trace gen     <out> [k=v ...]    generate a synthetic trace
 //                                         (requests=1000 file=1G min=4K
 //                                          max=2M writes=0.5 seed=1234)
+//   harl_trace analyze <trace> save-plan=<out> [k=v ...]
+//                                         full Analysis Phase: calibrate,
+//                                         divide, optimize, save the Plan
+//                                         artifact (hservers=6 sservers=2
+//                                          threshold=1.0 chunk=64M threads=0)
+//   harl_trace plan    <artifact>         inspect a saved Plan artifact
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/config.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/core/plan_artifact.hpp"
+#include "src/core/planner.hpp"
 #include "src/core/region_divider.hpp"
+#include "src/harness/calibration.hpp"
 #include "src/harness/table.hpp"
 #include "src/trace/analysis.hpp"
 #include "src/trace/trace_io.hpp"
@@ -66,6 +77,64 @@ int cmd_regions(const std::string& path, const Config& cfg) {
   return 0;
 }
 
+int cmd_analyze(const std::string& in, const Config& cfg) {
+  const std::string out = cfg.get_or("save-plan", "");
+  if (out.empty()) {
+    throw std::invalid_argument("analyze requires save-plan=<path>");
+  }
+  auto records = trace::load_trace(in);
+  std::sort(records.begin(), records.end(), trace::ByOffset{});
+
+  pfs::ClusterConfig cluster;
+  cluster.num_hservers = static_cast<std::size_t>(cfg.get_int("hservers", 6));
+  cluster.num_sservers = static_cast<std::size_t>(cfg.get_int("sservers", 2));
+  const core::CostParams params = harness::calibrate(cluster, {});
+
+  core::PlannerOptions opts;
+  opts.divider.threshold = cfg.get_double("threshold", 1.0);
+  opts.divider.fixed_region_size = cfg.get_size("chunk", 64 * MiB);
+  std::unique_ptr<ThreadPool> pool;
+  const long long threads = cfg.get_int("threads", 0);
+  if (threads < 0 || threads > 1024) {
+    throw std::invalid_argument("threads must be in [0, 1024]");
+  }
+  if (threads > 0) {
+    pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
+    opts.pool = pool.get();
+  }
+
+  const core::Plan plan = core::analyze(records, params, opts);
+  core::save_plan(core::PlanArtifact::from_plan(plan), out);
+  std::cout << "analyzed " << records.size() << " records -> "
+            << plan.rst.size() << " region(s), model cost "
+            << plan.total_model_cost() << " s; saved plan to " << out << "\n";
+  return 0;
+}
+
+int cmd_plan(const std::string& path) {
+  const core::PlanArtifact artifact = core::load_plan(path);
+  std::cout << "plan artifact " << path << "\n";
+  std::cout << "calibration fingerprint: " << artifact.calibration_fingerprint
+            << "\n";
+  std::cout << "tiers:";
+  for (std::size_t c : artifact.tier_counts) std::cout << " " << c;
+  std::cout << " (server counts per tier)\n";
+  harness::Table table({"region", "offset", "stripes", "file"});
+  for (std::size_t i = 0; i < artifact.rst.size(); ++i) {
+    const core::RstEntry& e = artifact.rst.entry(i);
+    std::string stripes;
+    for (std::size_t j = 0; j < e.stripes.size(); ++j) {
+      if (j > 0) stripes += ",";
+      stripes += format_size(e.stripes[j]);
+    }
+    table.add_row({std::to_string(i), format_size(e.offset), stripes,
+                   i < artifact.region_files.size() ? artifact.region_files[i]
+                                                    : "-"});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int cmd_gen(const std::string& out, const Config& cfg) {
   workloads::RandomWorkloadConfig wcfg;
   wcfg.requests = static_cast<std::size_t>(cfg.get_int("requests", 1000));
@@ -97,8 +166,13 @@ int main(int argc, char** argv) {
       return cmd_gen(args[1],
                      Config::from_args({args.begin() + 2, args.end()}));
     }
-    std::cerr << "usage: harl_trace stats|convert|regions|gen ... (see "
-                 "header comment)\n";
+    if (args.size() >= 2 && args[0] == "analyze") {
+      return cmd_analyze(args[1],
+                         Config::from_args({args.begin() + 2, args.end()}));
+    }
+    if (args.size() >= 2 && args[0] == "plan") return cmd_plan(args[1]);
+    std::cerr << "usage: harl_trace stats|convert|regions|gen|analyze|plan "
+                 "... (see header comment)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "harl_trace: " << e.what() << "\n";
