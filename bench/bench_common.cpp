@@ -1,6 +1,38 @@
 #include "bench/bench_common.hpp"
 
+#include <memory>
+#include <stdexcept>
+
 namespace harl::bench {
+
+namespace {
+
+/// Width requested via threads=N (takes precedence) or HARL_BENCH_THREADS.
+std::size_t requested_threads() {
+  const char* env = std::getenv("HARL_BENCH_THREADS");
+  if (env == nullptr) return 0;
+  const long long n = std::stoll(env);
+  if (n < 0 || n > 1024) {
+    throw std::invalid_argument("HARL_BENCH_THREADS must be in [0, 1024]");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::size_t& thread_override() {
+  static std::size_t value = 0;
+  return value;
+}
+
+}  // namespace
+
+ThreadPool* bench_pool() {
+  static std::unique_ptr<ThreadPool> pool = [] {
+    const std::size_t n =
+        thread_override() != 0 ? thread_override() : requested_threads();
+    return n > 0 ? std::make_unique<ThreadPool>(n) : nullptr;
+  }();
+  return pool.get();
+}
 
 void print_scheme_table(std::ostream& os, const std::string& title,
                         const std::vector<harness::SchemeResult>& results,
@@ -52,6 +84,24 @@ void register_sim_results(const std::string& prefix,
 int figure_bench_main(
     int argc, char** argv, const std::string& prefix,
     const std::function<std::vector<harness::SchemeResult>()>& produce) {
+  // Strip threads=N before google-benchmark sees the argument list (it
+  // rejects flags it does not know).  Must happen before the first
+  // bench_pool() call — the pool is created on first use.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("threads=", 0) == 0) {
+      const long long n = std::stoll(arg.substr(8));
+      if (n < 0 || n > 1024) {
+        std::cerr << prefix << ": threads must be in [0, 1024]\n";
+        return 1;
+      }
+      thread_override() = static_cast<std::size_t>(n);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   const auto results = produce();
   register_sim_results(prefix, results);

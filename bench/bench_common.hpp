@@ -9,6 +9,11 @@
 // Scale control: the HARL_BENCH_SCALE environment variable selects
 //   "ci"    (default) — minutes-long full suite, reduced request counts;
 //   "paper" — the paper's workload sizes (16 GiB IOR file, full coverage).
+//
+// Parallelism: a `threads=N` argument (or the HARL_BENCH_THREADS
+// environment variable) runs the planner's analysis and the per-scheme
+// measured runs on an N-thread pool.  Tables are bit-identical at any
+// width — parallelism only changes wall time.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -19,10 +24,15 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.hpp"
 #include "src/harness/experiment.hpp"
 #include "src/harness/table.hpp"
 
 namespace harl::bench {
+
+/// The pool shared by the figure benches, sized by `threads=N` /
+/// HARL_BENCH_THREADS (created on first use; nullptr when serial).
+ThreadPool* bench_pool();
 
 inline bool paper_scale() {
   const char* v = std::getenv("HARL_BENCH_SCALE");
@@ -36,6 +46,10 @@ inline harness::ExperimentOptions default_options() {
   // planner decisions match between ci and paper runs.
   opts.calibration.samples_per_size = 1000;
   opts.calibration.beta_samples = 1000;
+  // Same pool for analysis-phase regions and harness-level scheme fan-out
+  // (nested parallel_for on one pool is safe — it is work-helping).
+  opts.planner.pool = bench_pool();
+  opts.pool = bench_pool();
   return opts;
 }
 
@@ -88,8 +102,9 @@ void print_scheme_table(std::ostream& os, const std::string& title,
 void register_sim_results(const std::string& prefix,
                           const std::vector<harness::SchemeResult>& results);
 
-/// Standard main body for figure benches: runs `produce` (which prints its
-/// tables and returns results to register), then the benchmark runner.
+/// Standard main body for figure benches: strips a `threads=N` argument
+/// (sizing bench_pool), runs `produce` (which prints its tables and returns
+/// results to register), then the benchmark runner.
 int figure_bench_main(
     int argc, char** argv, const std::string& prefix,
     const std::function<std::vector<harness::SchemeResult>()>& produce);

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <functional>
 
 #include "src/pfs/cluster.hpp"
 #include "src/sim/resource.hpp"
@@ -13,8 +14,18 @@
 namespace harl {
 namespace {
 
+/// allocations/event of one simulator run: arena chunk growth (the only
+/// scheduling-path malloc) plus callables that spilled out of InlineTask's
+/// in-place buffer.  ~0 at steady state; BENCH_sim.json tracks it.
+double allocs_per_event(const sim::Simulator::Stats& stats) {
+  if (stats.events_dispatched == 0) return 0.0;
+  return static_cast<double>(stats.pool_misses + stats.heap_callbacks) /
+         static_cast<double>(stats.events_dispatched);
+}
+
 void BM_EventDispatch(benchmark::State& state) {
   const int batch = static_cast<int>(state.range(0));
+  sim::Simulator::Stats last_stats;
   for (auto _ : state) {
     sim::Simulator sim;
     for (int i = 0; i < batch; ++i) {
@@ -22,10 +33,36 @@ void BM_EventDispatch(benchmark::State& state) {
     }
     sim.run();
     benchmark::DoNotOptimize(sim.now());
+    last_stats = sim.stats();
   }
   state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["allocs_per_event"] = allocs_per_event(last_stats);
+  state.counters["pool_chunks"] =
+      static_cast<double>(last_stats.pool_chunks);
 }
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
+
+void BM_EventDispatchZeroDelay(benchmark::State& state) {
+  // Self-perpetuating zero-delay chain: every event enters the now lane
+  // (FIFO, no heap traffic) — the handoff pattern client/network/runner use
+  // between pipeline stages.
+  const int batch = static_cast<int>(state.range(0));
+  sim::Simulator::Stats last_stats;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = batch;
+    std::function<void()> next = [&] {
+      if (remaining-- > 0) sim.schedule_after(0.0, next);
+    };
+    next();
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+    last_stats = sim.stats();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["allocs_per_event"] = allocs_per_event(last_stats);
+}
+BENCHMARK(BM_EventDispatchZeroDelay)->Arg(100000);
 
 void BM_EventDispatchHeavyCallback(benchmark::State& state) {
   // Dispatch rate with callbacks whose captures exceed std::function's

@@ -139,7 +139,17 @@ SchemeResult Experiment::run_with_trace(
   for (std::size_t i = 0; i < cluster.num_servers(); ++i) {
     result.server_io_time.push_back(cluster.server_io_time(i));
   }
+  result.sim_stats = sim.stats();
   return result;
+}
+
+void Experiment::for_indices(ThreadPool* pool, std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
 }
 
 Experiment::ReplicatedResult Experiment::run_replicated(
@@ -147,15 +157,19 @@ Experiment::ReplicatedResult Experiment::run_replicated(
     std::size_t replicas) {
   if (replicas == 0) throw std::invalid_argument("needs >= 1 replica");
   ReplicatedResult out;
-  const ExperimentOptions saved = options_;
-  for (std::size_t i = 0; i < replicas; ++i) {
-    options_.cluster.seed = saved.cluster.seed + i;
-    options_.calibration.seed = saved.calibration.seed + i;
-    cached_params_.reset();  // recalibrate against this replica's devices
-    out.runs.push_back(run(bundle, scheme));
-  }
-  options_ = saved;
-  cached_params_.reset();
+  out.runs.resize(replicas);
+  // Each replica is a self-contained Experiment over shifted seeds (the only
+  // stochastic input), recalibrated against its own devices as a real
+  // deployment would be.  Replicas share no mutable state, so they may run
+  // concurrently; results land by index, making the output byte-identical
+  // to the serial order at any pool width.
+  for_indices(options_.pool, replicas, [&](std::size_t i) {
+    ExperimentOptions replica_options = options_;
+    replica_options.cluster.seed = options_.cluster.seed + i;
+    replica_options.calibration.seed = options_.calibration.seed + i;
+    Experiment replica(std::move(replica_options));
+    out.runs[i] = replica.run(bundle, scheme);
+  });
 
   double sum = 0.0;
   out.min_total = out.runs.front().total.throughput();
@@ -176,16 +190,20 @@ std::vector<SchemeResult> Experiment::run_all(
   // the bundle and the fixed tracing layout, so every analysis-based scheme
   // can share it (and the planner reuses its sorted order in place).
   std::vector<trace::TraceRecord> trace_records;
-  bool traced = false;
-  std::vector<SchemeResult> results;
-  results.reserve(schemes.size());
   for (const auto& scheme : schemes) {
-    if (scheme.needs_analysis() && !traced) {
+    if (scheme.needs_analysis()) {
       trace_records = collect_trace(bundle);
-      traced = true;
+      break;
     }
-    results.push_back(run_with_trace(bundle, scheme, trace_records));
   }
+  // Calibrate before fanning out: run_with_trace only reads the cached
+  // params once they exist, so pre-warming makes it safe to evaluate the
+  // schemes concurrently (each on its own simulated cluster).
+  if (!schemes.empty()) cost_params();
+  std::vector<SchemeResult> results(schemes.size());
+  for_indices(options_.pool, schemes.size(), [&](std::size_t i) {
+    results[i] = run_with_trace(bundle, schemes[i], trace_records);
+  });
   return results;
 }
 

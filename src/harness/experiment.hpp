@@ -13,11 +13,13 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.hpp"
 #include "src/core/planner.hpp"
 #include "src/harness/calibration.hpp"
 #include "src/harness/scheme.hpp"
 #include "src/middleware/program.hpp"
 #include "src/middleware/runner.hpp"
+#include "src/sim/simulator.hpp"
 #include "src/workloads/btio.hpp"
 #include "src/workloads/ior.hpp"
 #include "src/workloads/multiregion.hpp"
@@ -60,6 +62,8 @@ struct SchemeResult {
   std::vector<Seconds> server_io_time;  ///< per server, all phases (Fig. 1a)
   std::size_t region_count = 1;
   std::optional<core::Plan> plan;       ///< plan-producing schemes only
+  /// Event-engine counters of the measured run (harl_sim stats=1).
+  sim::Simulator::Stats sim_stats;
 };
 
 struct ExperimentOptions {
@@ -69,6 +73,12 @@ struct ExperimentOptions {
   /// Layout of the traced first execution (OrangeFS default 64K).
   Bytes tracing_stripe = 64 * KiB;
   mw::CollectiveOptions collective;
+  /// Optional pool for evaluating independent schemes (run_all) and replicas
+  /// (run_replicated) concurrently — each on its own Simulator instance.
+  /// Results are written by index, so the output is byte-identical to the
+  /// serial order regardless of pool width.  May alias planner.pool: nested
+  /// parallel_for on the same pool is deadlock-free (work-helping).
+  ThreadPool* pool = nullptr;
 };
 
 class Experiment {
@@ -114,6 +124,11 @@ class Experiment {
 
  private:
   std::vector<trace::TraceRecord> collect_trace(const WorkloadBundle& bundle);
+
+  /// Runs fn(i) for i in [0, n): on `pool` when set (and n > 1), else
+  /// inline.  Callers write output by index for deterministic results.
+  static void for_indices(ThreadPool* pool, std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
 
   ExperimentOptions options_;
   std::optional<core::CostParams> cached_params_;

@@ -34,34 +34,39 @@ Network::Network(sim::Simulator& sim, NetworkParams params,
   }
 }
 
+void Network::two_hop(sim::FifoResource& src, sim::FifoResource& dst,
+                      Seconds hop, sim::InlineTask on_done) {
+  // Store-and-forward: the payload serializes on the source link, then on
+  // the destination link.  The completion task is parked in the simulator's
+  // arena and chained by its 4-byte handle — capturing the task itself would
+  // push both chaining lambdas past InlineTask's in-place buffer and cost a
+  // heap allocation per transfer.
+  const sim::Simulator::TaskHandle done = sim_.park(std::move(on_done));
+  sim::Simulator* sim = &sim_;
+  src.submit(hop, [sim, &dst, hop, done] {
+    dst.submit(hop, [sim, done] { sim->fire_parked(done); });
+  });
+}
+
 void Network::transfer(std::size_t client, std::size_t server, Bytes size,
-                       Direction dir, std::function<void()> on_done) {
+                       Direction dir, sim::InlineTask on_done) {
   sim::FifoResource& src = dir == Direction::kClientToServer
                                ? client_link(client)
                                : server_link(server);
   sim::FifoResource& dst = dir == Direction::kClientToServer
                                ? server_link(server)
                                : client_link(client);
-  const Seconds hop = wire_time(size);
-  // Store-and-forward: the payload serializes on the source link, then on
-  // the destination link.
-  src.submit(hop, [&dst, hop, done = std::move(on_done)]() mutable {
-    dst.submit(hop, std::move(done));
-  });
+  two_hop(src, dst, wire_time(size), std::move(on_done));
 }
 
 void Network::client_transfer(std::size_t from, std::size_t to, Bytes size,
-                              std::function<void()> on_done) {
+                              sim::InlineTask on_done) {
   if (from == to) {
     sim_.schedule_after(0.0, std::move(on_done));
     return;
   }
-  sim::FifoResource& src = client_link(from);
-  sim::FifoResource& dst = client_link(to);
-  const Seconds hop = wire_time(size);
-  src.submit(hop, [&dst, hop, done = std::move(on_done)]() mutable {
-    dst.submit(hop, std::move(done));
-  });
+  two_hop(client_link(from), client_link(to), wire_time(size),
+          std::move(on_done));
 }
 
 NetworkParams profile_network(const NetworkParams& actual, int samples,

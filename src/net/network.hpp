@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,13 +40,13 @@ class Network {
   /// Moves `size` bytes between client `client` and server `server`;
   /// `on_done` fires when the last byte clears the destination link.
   void transfer(std::size_t client, std::size_t server, Bytes size,
-                Direction dir, std::function<void()> on_done);
+                Direction dir, sim::InlineTask on_done);
 
   /// Client-to-client transfer (the shuffle phase of two-phase collective
   /// I/O).  Same-node transfers (from == to) complete on the next event-loop
   /// turn without consuming link time.
   void client_transfer(std::size_t from, std::size_t to, Bytes size,
-                       std::function<void()> on_done);
+                       sim::InlineTask on_done);
 
   const NetworkParams& params() const { return params_; }
   std::size_t num_clients() const { return client_links_.size(); }
@@ -66,6 +65,9 @@ class Network {
   Seconds wire_time(Bytes size) const {
     return params_.message_latency + static_cast<double>(size) * params_.per_byte;
   }
+
+  void two_hop(sim::FifoResource& src, sim::FifoResource& dst, Seconds hop,
+               sim::InlineTask on_done);
 
   sim::Simulator& sim_;
   NetworkParams params_;

@@ -12,7 +12,7 @@ Client::Client(sim::Simulator& sim, net::Network& network,
 }
 
 void Client::io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
-                std::function<void()> on_complete) {
+                sim::InlineTask on_complete) {
   ++requests_issued_;
   if (size == 0) {
     sim_.schedule_after(0.0, std::move(on_complete));
@@ -49,13 +49,27 @@ void Client::issue_read(const SubRequest& sub,
 
 void Client::issue_write(IoOp op, const SubRequest& sub,
                          const std::shared_ptr<sim::JoinCounter>& join) {
-  DataServer* server = servers_[sub.server];
-  network_.transfer(id_, sub.server, sub.size, net::Direction::kClientToServer,
-                    [op, server, sub, join] {
-                      server->submit(op, sub.object, sub.server_offset,
-                                     sub.size, sub.pieces,
-                                     [join] { join->done(); });
-                    });
+  // Packed continuation: capturing the whole SubRequest would overflow
+  // InlineTask's in-place buffer, so only the fields the server needs ride
+  // along (52 bytes — the sizing case for InlineTask::kCapacity).
+  struct SubmitAfterTransfer {
+    DataServer* server;
+    Bytes server_offset;
+    Bytes size;
+    std::shared_ptr<sim::JoinCounter> join;
+    std::uint32_t object;
+    std::uint32_t pieces;
+    IoOp op;
+    void operator()() {
+      server->submit(op, object, server_offset, size, pieces,
+                     [join = std::move(join)] { join->done(); });
+    }
+  };
+  network_.transfer(
+      id_, sub.server, sub.size, net::Direction::kClientToServer,
+      SubmitAfterTransfer{servers_[sub.server], sub.server_offset, sub.size,
+                          join, sub.object,
+                          static_cast<std::uint32_t>(sub.pieces), op});
 }
 
 }  // namespace harl::pfs

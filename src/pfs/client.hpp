@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,7 +31,7 @@ class Client {
   /// sub-requests have finished.  Zero-byte requests complete immediately
   /// (next event-loop turn).
   void io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
-          std::function<void()> on_complete);
+          sim::InlineTask on_complete);
 
   std::size_t id() const { return id_; }
   std::uint64_t requests_issued() const { return requests_issued_; }

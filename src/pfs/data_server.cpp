@@ -17,7 +17,7 @@ DataServer::DataServer(sim::Simulator& sim,
       queue_(sim_, name_ + "/disk") {}
 
 void DataServer::submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
-                        Bytes pieces, std::function<void()> on_complete) {
+                        Bytes pieces, sim::InlineTask on_complete) {
   const Bytes device_offset = static_cast<Bytes>(object) * kObjectStride + offset;
   // FIFO order equals arrival order, so sampling the device at submission
   // time preserves the sequential-access detection of stateful devices.

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 
@@ -31,7 +30,7 @@ class DataServer {
   /// `on_complete` fires when the device finishes it (FIFO after all
   /// previously queued accesses).
   void submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
-              Bytes pieces, std::function<void()> on_complete);
+              Bytes pieces, sim::InlineTask on_complete);
 
   const std::string& name() const { return name_; }
   bool is_ssd() const { return is_ssd_; }

@@ -1,0 +1,157 @@
+// Small-buffer-optimized callable for simulator events.
+//
+// `std::function<void()>` heap-allocates any capture beyond its ~16-byte
+// small-object buffer, which made every event pushed through the simulator a
+// malloc/free pair.  InlineTask stores the callable in place when it fits in
+// kCapacity bytes, falling back to the heap only for oversized captures.
+// The buffer is sized so every hot-path callback in net/, pfs/ and
+// middleware/ stays inline; see DESIGN.md §10 for the capture-size audit.
+//
+// Unlike std::function, InlineTask is move-only and accepts move-only
+// callables (e.g. lambdas owning a unique_ptr).  Copyable callables still
+// convert implicitly, so existing call sites that pass lambdas or
+// std::function lvalues keep compiling unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace harl::sim {
+
+class InlineTask {
+ public:
+  /// In-place storage: 56 bytes of buffer + the 8-byte vtable pointer puts
+  /// the whole object on one 64-byte cache line.  56 is chosen as the
+  /// smallest multiple of 8 that keeps the largest hot-path capture (the
+  /// client write-path continuation: server pointer, offset, size, join
+  /// handle, object/pieces ids, op — 52 bytes) inline.
+  static constexpr std::size_t kCapacity = 56;
+  static constexpr std::size_t kAlignment = 16;
+
+  InlineTask() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineTask> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineTask(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for
+                        // the std::function parameters it replaces.
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineTask(InlineTask&& other) noexcept { move_from(other); }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the callable lives in the in-place buffer (no allocation).
+  bool stored_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+  /// Invokes the callable.  Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs dst's callable from src's and destroys src's.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_stored;
+    /// True when a raw byte copy is a complete relocation (trivially
+    /// copyable inline callables, and the heap case's stored pointer):
+    /// move_from then uses one fixed-size memcpy instead of an indirect
+    /// call, which matters on the event queue's move-heavy paths.
+    bool trivially_relocatable;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kCapacity && alignof(D) <= kAlignment &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* storage) { (*std::launder(reinterpret_cast<D*>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<D*>(storage))->~D();
+      },
+      /*inline_stored=*/true,
+      /*trivially_relocatable=*/std::is_trivially_copyable_v<D>,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* storage) {
+        (**std::launder(reinterpret_cast<D**>(storage)))();
+      },
+      [](void* dst, void* src) noexcept {
+        // The stored pointer is trivially destructible: copying it over is a
+        // complete relocation.
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* storage) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(storage));
+      },
+      /*inline_stored=*/false,
+      /*trivially_relocatable=*/true,
+  };
+
+  void move_from(InlineTask& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->trivially_relocatable) {
+        std::memcpy(storage_, other.storage_, kCapacity);
+      } else {
+        ops_->relocate(storage_, other.storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  // Zero-initialized so the fixed-size memcpy in move_from never reads
+  // indeterminate tail bytes (callables smaller than kCapacity leave the
+  // rest of the buffer untouched).
+  alignas(kAlignment) unsigned char storage_[kCapacity] = {};
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(InlineTask) == 64, "InlineTask should fill one cache line");
+
+}  // namespace harl::sim

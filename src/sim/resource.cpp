@@ -9,7 +9,7 @@ namespace harl::sim {
 FifoResource::FifoResource(Simulator& sim, std::string name)
     : sim_(sim), name_(std::move(name)) {}
 
-void FifoResource::submit(Seconds service, std::function<void()> on_complete) {
+void FifoResource::submit(Seconds service, InlineTask on_complete) {
   if (service < 0.0) throw std::invalid_argument("negative service time");
   const Time arrival = sim_.now();
   const Time start = std::max(arrival, next_free_);
@@ -29,7 +29,7 @@ void FifoResource::reset_stats() {
   jobs_ = 0;
 }
 
-JoinCounter::JoinCounter(std::uint64_t expected, std::function<void()> on_all_done)
+JoinCounter::JoinCounter(std::uint64_t expected, InlineTask on_all_done)
     : remaining_(expected), on_all_done_(std::move(on_all_done)) {
   if (expected == 0) throw std::invalid_argument("JoinCounter needs >= 1 child");
 }

@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 
+#include "src/sim/inline_task.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace harl::sim {
@@ -27,7 +27,7 @@ class FifoResource {
   /// Enqueues a job with the given service time; `on_complete` fires at the
   /// simulated time the job finishes (queueing delay + service).
   /// Requires service >= 0.
-  void submit(Seconds service, std::function<void()> on_complete);
+  void submit(Seconds service, InlineTask on_complete);
 
   /// Time at which the resource next becomes free (== now when idle).
   Time next_free() const;
@@ -66,7 +66,7 @@ class FifoResource {
 /// completion callback; the counter frees itself when the last child fires.
 class JoinCounter {
  public:
-  JoinCounter(std::uint64_t expected, std::function<void()> on_all_done);
+  JoinCounter(std::uint64_t expected, InlineTask on_all_done);
 
   /// Reports one child completion.  Must be called exactly `expected` times.
   void done();
@@ -75,7 +75,7 @@ class JoinCounter {
 
  private:
   std::uint64_t remaining_;
-  std::function<void()> on_all_done_;
+  InlineTask on_all_done_;
 };
 
 }  // namespace harl::sim

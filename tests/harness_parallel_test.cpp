@@ -1,0 +1,140 @@
+// Parallel experiment harness: run_all / run_replicated on a thread pool
+// must produce results exactly equal to the serial runs — the simulator is
+// deterministic per instance and the harness orders results by index, so
+// pool width can only change wall time, never a byte of output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/common/thread_pool.hpp"
+#include "src/harness/experiment.hpp"
+
+namespace harl::harness {
+namespace {
+
+WorkloadBundle small_bundle() {
+  workloads::IorConfig ior;
+  ior.processes = 4;
+  ior.request_size = 128 * KiB;
+  ior.file_size = 64 * MiB;
+  ior.requests_per_process = 8;
+  return ior_bundle(ior);
+}
+
+ExperimentOptions small_options(ThreadPool* pool) {
+  ExperimentOptions options;
+  options.cluster.num_hservers = 3;
+  options.cluster.num_sservers = 1;
+  options.cluster.num_clients = 2;
+  options.calibration.samples_per_size = 50;
+  options.calibration.beta_samples = 50;
+  options.pool = pool;
+  return options;
+}
+
+std::vector<LayoutScheme> scheme_lineup() {
+  return {
+      LayoutScheme::fixed(64 * KiB),
+      LayoutScheme::fixed(256 * KiB),
+      LayoutScheme::random_stripes(1),
+      LayoutScheme::harl(),
+  };
+}
+
+/// Serializes every numeric field of a result so "exactly equal" means
+/// bit-for-bit equal formatted output, the property the figure tables need.
+std::string fingerprint(const SchemeResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << r.label << '|' << r.layout_description << '|' << r.region_count << '|'
+     << r.write.makespan << '|' << r.write.bytes << '|' << r.read.makespan
+     << '|' << r.read.bytes << '|' << r.total.makespan << '|' << r.total.bytes;
+  for (const Seconds io_time : r.server_io_time) os << '|' << io_time;
+  os << '|' << r.sim_stats.events_dispatched << '|'
+     << r.sim_stats.peak_queue_depth;
+  return os.str();
+}
+
+TEST(HarnessParallel, RunAllMatchesSerialExactly) {
+  const WorkloadBundle bundle = small_bundle();
+  const auto schemes = scheme_lineup();
+
+  Experiment serial(small_options(nullptr));
+  const auto serial_results = serial.run_all(bundle, schemes);
+
+  ThreadPool pool(4);
+  Experiment parallel(small_options(&pool));
+  const auto parallel_results = parallel.run_all(bundle, schemes);
+
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    EXPECT_EQ(fingerprint(serial_results[i]), fingerprint(parallel_results[i]))
+        << "scheme " << schemes[i].label();
+  }
+}
+
+TEST(HarnessParallel, RunAllMatchesAtEveryPoolWidth) {
+  const WorkloadBundle bundle = small_bundle();
+  const auto schemes = scheme_lineup();
+  Experiment serial(small_options(nullptr));
+  const auto want = serial.run_all(bundle, schemes);
+
+  for (const std::size_t width : {1u, 2u, 7u}) {
+    ThreadPool pool(width);
+    Experiment exp(small_options(&pool));
+    const auto got = exp.run_all(bundle, schemes);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(fingerprint(want[i]), fingerprint(got[i]))
+          << "width " << width << " scheme " << schemes[i].label();
+    }
+  }
+}
+
+TEST(HarnessParallel, RunReplicatedMatchesSerialExactly) {
+  const WorkloadBundle bundle = small_bundle();
+  const LayoutScheme scheme = LayoutScheme::harl();
+
+  Experiment serial(small_options(nullptr));
+  const auto serial_out = serial.run_replicated(bundle, scheme, 4);
+
+  ThreadPool pool(3);
+  Experiment parallel(small_options(&pool));
+  const auto parallel_out = parallel.run_replicated(bundle, scheme, 4);
+
+  ASSERT_EQ(serial_out.runs.size(), parallel_out.runs.size());
+  for (std::size_t i = 0; i < serial_out.runs.size(); ++i) {
+    EXPECT_EQ(fingerprint(serial_out.runs[i]),
+              fingerprint(parallel_out.runs[i]))
+        << "replica " << i;
+  }
+  EXPECT_EQ(serial_out.mean_total, parallel_out.mean_total);
+  EXPECT_EQ(serial_out.min_total, parallel_out.min_total);
+  EXPECT_EQ(serial_out.max_total, parallel_out.max_total);
+}
+
+TEST(HarnessParallel, PoolMayBeSharedWithPlanner) {
+  // One pool for both harness-level scheme fan-out and the planner's
+  // region-level parallel_for: nesting on the same (work-helping) pool must
+  // neither deadlock nor change any result.
+  const WorkloadBundle bundle = small_bundle();
+  const auto schemes = scheme_lineup();
+  Experiment serial(small_options(nullptr));
+  const auto want = serial.run_all(bundle, schemes);
+
+  ThreadPool pool(2);
+  ExperimentOptions options = small_options(&pool);
+  options.planner.pool = &pool;
+  Experiment shared(options);
+  const auto got = shared.run_all(bundle, schemes);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(fingerprint(want[i]), fingerprint(got[i]))
+        << "scheme " << schemes[i].label();
+  }
+}
+
+}  // namespace
+}  // namespace harl::harness

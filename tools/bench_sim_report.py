@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Summarize bench_micro_simulator output and gate engine regressions.
+
+Reads the google-benchmark JSON produced by
+
+    ./build/bench/bench_micro_simulator \
+        --benchmark_out=results.json --benchmark_out_format=json
+
+and writes BENCH_sim.json with the engine's headline numbers: the event
+dispatch rate (BM_EventDispatch, the raw schedule+dispatch loop), the
+zero-delay now-lane rate, and allocations per event at steady state.
+
+When a baseline file (bench/bench_sim_baseline.json) is given, the script
+exits non-zero if the dispatch rate fell more than `max_rate_regression`
+below the recorded baseline or if allocations per event exceeded the
+recorded ceiling — the CI smoke check for the allocation-free simulator
+core.
+
+Usage:
+    tools/bench_sim_report.py results.json \
+        [--baseline bench/bench_sim_baseline.json] [--out BENCH_sim.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def find_benchmark(results, name):
+    for entry in results.get("benchmarks", []):
+        if entry.get("name") == name:
+            return entry
+    raise KeyError(f"benchmark {name!r} not found in results")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="bench_micro_simulator JSON output")
+    parser.add_argument("--baseline", help="recorded baseline JSON to gate on")
+    parser.add_argument("--out", default="BENCH_sim.json",
+                        help="summary output path (default: BENCH_sim.json)")
+    args = parser.parse_args()
+
+    with open(args.results, encoding="utf-8") as f:
+        results = json.load(f)
+
+    dispatch = find_benchmark(results, "BM_EventDispatch/100000")
+    dispatch_small = find_benchmark(results, "BM_EventDispatch/1000")
+    zero_delay = find_benchmark(results, "BM_EventDispatchZeroDelay/100000")
+
+    summary = {
+        "schema": "harl-bench-sim/1",
+        "benchmark": "bench_micro_simulator",
+        "dispatch_rate_per_s": dispatch["items_per_second"],
+        "dispatch_rate_small_per_s": dispatch_small["items_per_second"],
+        "zero_delay_rate_per_s": zero_delay["items_per_second"],
+        "allocs_per_event": dispatch["allocs_per_event"],
+        "zero_delay_allocs_per_event": zero_delay["allocs_per_event"],
+    }
+
+    failures = []
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+        summary["baseline_dispatch_rate_per_s"] = baseline["dispatch_rate_per_s"]
+        summary["speedup_vs_baseline"] = (
+            summary["dispatch_rate_per_s"] / baseline["dispatch_rate_per_s"])
+        if "pre_pr_dispatch_rate_per_s" in baseline:
+            summary["pre_pr_dispatch_rate_per_s"] = (
+                baseline["pre_pr_dispatch_rate_per_s"])
+            summary["speedup_vs_pre_pr"] = (
+                summary["dispatch_rate_per_s"]
+                / baseline["pre_pr_dispatch_rate_per_s"])
+
+        max_regression = baseline.get("max_rate_regression", 0.30)
+        floor = baseline["dispatch_rate_per_s"] * (1.0 - max_regression)
+        if summary["dispatch_rate_per_s"] < floor:
+            failures.append(
+                f"dispatch rate {summary['dispatch_rate_per_s']:.0f}/s is more "
+                f"than {max_regression:.0%} below the recorded baseline "
+                f"{baseline['dispatch_rate_per_s']:.0f}/s")
+        ceiling = baseline.get("allocs_per_event_ceiling")
+        if ceiling is not None and summary["allocs_per_event"] > ceiling:
+            failures.append(
+                f"allocs/event {summary['allocs_per_event']:.5f} exceeds the "
+                f"recorded ceiling {ceiling}")
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=2)
+        f.write("\n")
+
+    print(f"wrote {args.out}:")
+    print(json.dumps(summary, indent=2))
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,8 +3,8 @@
 // Runs one workload x layout-scheme grid on the simulated hybrid PFS and
 // prints the comparison table.  All parameters are key=value arguments:
 //
-//   ./build/tools/harl_sim workload=ior request=512K procs=16 file=4G \
-//        requests=64 schemes=64K,256K,harl
+//   ./build/tools/harl_sim workload=ior request=512K procs=16 file=4G
+//        requests=64 schemes=64K,256K,harl          (one command line)
 //
 // Keys (defaults in parentheses):
 //   workload   ior | multiregion | btio            (ior)
@@ -21,9 +21,10 @@
 //   schemes    comma list: <size> | randN | harl | harl-file | segment
 //              (64K,256K,harl)
 //   seed       workload seed                       (7)
-//   threads    planner threads, 0 = serial         (0)
-//              (plans are bit-identical at any width; only analysis
-//              wall time changes)
+//   threads    worker threads, 0 = serial          (0)
+//              parallelizes the planner's analysis AND the per-scheme
+//              measured runs; tables are bit-identical at any width
+//   stats      1 = print per-scheme event-engine counters (0)
 //   save-plan  path; write the first analysis-based scheme's Plan
 //              artifact (binary, or CSV if the path ends in .csv)
 //   load-plan  path; Placing Phase only — append a scheme built from a
@@ -63,9 +64,10 @@ All parameters are key=value arguments (defaults in parentheses):
   schemes    comma list: <size> | randN | harl | harl-file | segment
              (64K,256K,harl)
   seed       workload seed                       (7)
-  threads    planner threads, 0 = serial         (0)
-             plans are bit-identical at any thread count; only
-             analysis wall time changes
+  threads    worker threads, 0 = serial          (0)
+             parallelizes the planner's analysis AND the per-scheme
+             measured runs; tables are bit-identical at any width
+  stats      1 = print per-scheme event-engine counters (0)
   save-plan  path; write the first analysis-based scheme's Plan
              artifact (binary, or CSV if the path ends in .csv)
   load-plan  path; Placing Phase only — append a scheme built from a
@@ -147,8 +149,10 @@ int main(int argc, char** argv) {
     options.cluster.num_clients =
         static_cast<std::size_t>(cfg.get_int("clients", 8));
 
-    // Optional region-parallel analysis; the pool must outlive the
-    // experiment, which keeps a pointer to it through PlannerOptions.
+    // Optional parallelism: one pool drives both the planner's
+    // region-parallel analysis and the harness's per-scheme measured runs
+    // (nested use is safe — parallel_for is work-helping).  The pool must
+    // outlive the experiment, which keeps pointers to it via the options.
     std::unique_ptr<ThreadPool> pool;
     const long long threads = cfg.get_int("threads", 0);
     if (threads < 0 || threads > 1024) {
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
     if (threads > 0) {
       pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
       options.planner.pool = pool.get();
+      options.pool = pool.get();
     }
 
     std::vector<harness::LayoutScheme> schemes;
@@ -206,6 +211,35 @@ int main(int argc, char** argv) {
       });
     }
     table.print(std::cout);
+
+    if (cfg.get_int("stats", 0) != 0) {
+      // Engine counters of each scheme's measured run: how the event core
+      // behaved (dispatch volume, queue shape, arena allocation behaviour).
+      std::cout << "\n== event engine (measured runs) ==\n";
+      harness::Table stats_table({"layout", "events", "peak queue", "now-lane",
+                                  "ascending", "pool hit%", "chunks",
+                                  "inline", "spilled"});
+      for (const auto& r : results) {
+        const auto& s = r.sim_stats;
+        const std::uint64_t slots = s.pool_hits + s.pool_misses;
+        const double hit_rate =
+            slots > 0 ? 100.0 * static_cast<double>(s.pool_hits) /
+                            static_cast<double>(slots)
+                      : 0.0;
+        stats_table.add_row({
+            r.label,
+            std::to_string(s.events_dispatched),
+            std::to_string(s.peak_queue_depth),
+            std::to_string(s.now_lane_events),
+            std::to_string(s.ascending_events),
+            harness::cell(hit_rate, 1),
+            std::to_string(s.pool_chunks),
+            std::to_string(s.inline_callbacks),
+            std::to_string(s.heap_callbacks),
+        });
+      }
+      stats_table.print(std::cout);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "harl_sim: " << e.what() << "\n";
