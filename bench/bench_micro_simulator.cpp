@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/recorder.hpp"
 #include "src/pfs/cluster.hpp"
 #include "src/sim/resource.hpp"
 #include "src/sim/simulator.hpp"
@@ -23,7 +24,37 @@ double allocs_per_event(const sim::Simulator::Stats& stats) {
          static_cast<double>(stats.events_dispatched);
 }
 
+/// Exports the engine's lane/pool/spill counters so BENCH_sim.json shows
+/// *where* events went, not just how fast: a regression that silently
+/// reroutes traffic from the ascending lane to the heap keeps the rate
+/// plausible while destroying the O(1) path — the fractions catch it.
+void export_engine_counters(benchmark::State& state,
+                            const sim::Simulator::Stats& stats) {
+  const double events =
+      stats.events_dispatched > 0
+          ? static_cast<double>(stats.events_dispatched)
+          : 1.0;
+  state.counters["allocs_per_event"] = allocs_per_event(stats);
+  state.counters["pool_chunks"] = static_cast<double>(stats.pool_chunks);
+  state.counters["now_lane_fraction"] =
+      static_cast<double>(stats.now_lane_events) / events;
+  state.counters["ascending_fraction"] =
+      static_cast<double>(stats.ascending_events) / events;
+  state.counters["pool_hit_rate"] =
+      static_cast<double>(stats.pool_hits) /
+      static_cast<double>(stats.pool_hits + stats.pool_misses > 0
+                              ? stats.pool_hits + stats.pool_misses
+                              : 1);
+  state.counters["inline_callback_fraction"] =
+      static_cast<double>(stats.inline_callbacks) / events;
+  state.counters["peak_queue_depth"] =
+      static_cast<double>(stats.peak_queue_depth);
+}
+
 void BM_EventDispatch(benchmark::State& state) {
+  // Note: src/obs is compiled in and linked, but no observer is attached —
+  // this entry is the "instrumentation disabled" rate the overhead guard in
+  // tools/bench_sim_report.py gates against bench_sim_baseline.json.
   const int batch = static_cast<int>(state.range(0));
   sim::Simulator::Stats last_stats;
   for (auto _ : state) {
@@ -36,9 +67,7 @@ void BM_EventDispatch(benchmark::State& state) {
     last_stats = sim.stats();
   }
   state.SetItemsProcessed(state.iterations() * batch);
-  state.counters["allocs_per_event"] = allocs_per_event(last_stats);
-  state.counters["pool_chunks"] =
-      static_cast<double>(last_stats.pool_chunks);
+  export_engine_counters(state, last_stats);
 }
 BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(100000);
 
@@ -60,7 +89,7 @@ void BM_EventDispatchZeroDelay(benchmark::State& state) {
     last_stats = sim.stats();
   }
   state.SetItemsProcessed(state.iterations() * batch);
-  state.counters["allocs_per_event"] = allocs_per_event(last_stats);
+  export_engine_counters(state, last_stats);
 }
 BENCHMARK(BM_EventDispatchZeroDelay)->Arg(100000);
 
@@ -107,6 +136,35 @@ void BM_FifoResourceChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * jobs);
 }
 BENCHMARK(BM_FifoResourceChain)->Arg(10000);
+
+void BM_FifoResourceChainObs(benchmark::State& state) {
+  // Same chain with a flight recorder attached and the resource bound to a
+  // track: every submit takes the instrumented branch (histogram update +
+  // ring-buffered trace event).  BENCH_sim.json reports the rate next to
+  // BM_FifoResourceChain as the enabled-mode observability overhead.
+  const int jobs = static_cast<int>(state.range(0));
+  std::uint64_t recorded = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    obs::Recorder::Options options;
+    options.max_trace_events = 4096;  // ring mode: memory stays bounded
+    obs::Recorder recorder(options);
+    sim.set_observer(&recorder);
+    sim::FifoResource res(sim, "disk");
+    res.set_obs_track(recorder.register_server(0, 0, "disk", false));
+    int remaining = jobs;
+    std::function<void()> submit_next = [&] {
+      if (remaining-- > 0) res.submit(1e-4, submit_next);
+    };
+    submit_next();
+    sim.run();
+    benchmark::DoNotOptimize(res.busy_time());
+    recorded = recorder.trace_events_recorded();
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+  state.counters["trace_events_recorded"] = static_cast<double>(recorded);
+}
+BENCHMARK(BM_FifoResourceChainObs)->Arg(10000);
 
 void BM_ClusterRequests(benchmark::State& state) {
   // End-to-end: client -> layout split -> disks -> NICs -> completion.

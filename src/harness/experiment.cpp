@@ -4,10 +4,100 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/core/cost_model.hpp"
+#include "src/core/tiered_cost_model.hpp"
 #include "src/middleware/mpi_world.hpp"
+#include "src/pfs/region_layout.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace harl::harness {
+
+namespace {
+
+/// Builds the recorder's cost-model predictor for `layout`: the analytic
+/// tiered request cost with the stripe vector of the region the request
+/// falls in (requests spanning regions take the worst segment, matching the
+/// "maximal cost of all sub-requests" reading).  Layout shapes without a
+/// per-tier stripe interpretation get no predictor.
+obs::Recorder::Predictor make_predictor(
+    const std::shared_ptr<const pfs::Layout>& layout,
+    core::TieredCostParams params) {
+  if (auto rl = std::dynamic_pointer_cast<const pfs::RegionLayout>(layout)) {
+    return [rl, params = std::move(params)](IoOp op, Bytes offset,
+                                            Bytes size) -> Seconds {
+      Seconds worst = 0.0;
+      Bytes pos = offset;
+      const Bytes end = offset + size;
+      while (pos < end) {
+        const std::size_t ri = rl->region_of(pos);
+        const pfs::RegionSpec& spec = rl->region(ri);
+        const Bytes seg_end = std::min(end, rl->region_end(ri));
+        worst = std::max(worst, core::tiered_request_cost(
+                                    params, op, pos - spec.offset,
+                                    seg_end - pos, spec.stripes));
+        pos = seg_end;
+      }
+      return worst;
+    };
+  }
+  if (auto vl =
+          std::dynamic_pointer_cast<const pfs::VariedStripeLayout>(layout)) {
+    // Per-tier stripe vector from the per-server stripes (layouts built by
+    // make_fixed/make_two_tier/make_tiered_layout are uniform within a tier).
+    std::vector<Bytes> stripes;
+    stripes.reserve(params.tiers.size());
+    std::size_t begin = 0;
+    for (const core::TierSpec& tier : params.tiers) {
+      stripes.push_back(begin < vl->stripes().size() ? vl->stripes()[begin]
+                                                     : 0);
+      begin += tier.count;
+    }
+    return [params = std::move(params), stripes = std::move(stripes)](
+               IoOp op, Bytes offset, Bytes size) -> Seconds {
+      return core::tiered_request_cost(params, op, offset, size, stripes);
+    };
+  }
+  return {};
+}
+
+/// Lands the Analysis Phase diagnostics already carried by the Plan in the
+/// same registry as the measured run, so metrics-out= shows what Algorithm 2
+/// spent (grid size, cost-kernel calls, coalescing savings, modeled cost)
+/// next to what the placement actually did.  Region labels index the
+/// pre-merge regions — the grain the optimizer worked at.
+void record_plan_metrics(obs::MetricsRegistry& metrics,
+                         const core::Plan& plan) {
+  using Kind = obs::MetricsRegistry::Kind;
+  const auto requests =
+      metrics.family("planner.region.requests", Kind::kCounter);
+  const auto candidates =
+      metrics.family("planner.region.candidates", Kind::kCounter);
+  const auto evals =
+      metrics.family("planner.region.cost_evals", Kind::kCounter);
+  const auto saved =
+      metrics.family("planner.region.cost_evals_saved", Kind::kCounter);
+  const auto model_cost =
+      metrics.family("planner.region.model_cost_s", Kind::kGauge);
+  for (std::size_t i = 0; i < plan.regions.size(); ++i) {
+    const core::PlannedRegion& r = plan.regions[i];
+    const auto labels = obs::LabelSet{}.region(static_cast<std::uint32_t>(i));
+    metrics.add(requests, labels, static_cast<double>(r.request_count));
+    metrics.add(candidates, labels,
+                static_cast<double>(r.candidates_evaluated));
+    metrics.add(evals, labels, static_cast<double>(r.cost_evals));
+    metrics.add(saved, labels, static_cast<double>(r.cost_evals_saved));
+    metrics.set(model_cost, labels, r.model_cost);
+  }
+  const auto no_labels = obs::LabelSet{};
+  metrics.set(metrics.family("planner.regions_before_merge", Kind::kGauge),
+              no_labels, static_cast<double>(plan.regions_before_merge));
+  metrics.set(metrics.family("planner.regions_after_merge", Kind::kGauge),
+              no_labels, static_cast<double>(plan.regions_after_merge));
+  metrics.set(metrics.family("planner.total_model_cost_s", Kind::kGauge),
+              no_labels, plan.total_model_cost());
+}
+
+}  // namespace
 
 WorkloadBundle ior_bundle(const workloads::IorConfig& config) {
   WorkloadBundle bundle;
@@ -103,9 +193,19 @@ SchemeResult Experiment::run_with_trace(
     result.plan = std::move(plan);
   }
 
-  // Measured run on a fresh cluster.
+  // Measured run on a fresh cluster; the observer must be in place before
+  // the cluster is built so components register their tracks.
   sim::Simulator sim;
+  if (options_.observe) {
+    result.obs = std::make_shared<obs::Recorder>(options_.recorder);
+    sim.set_observer(result.obs.get());
+  }
   pfs::Cluster cluster(sim, options_.cluster);
+  if (result.obs) {
+    result.obs->set_predictor(
+        make_predictor(layout, core::to_tiered(cost_params())));
+    if (result.plan) record_plan_metrics(result.obs->metrics(), *result.plan);
+  }
   mw::MpiWorld world(cluster, bundle.processes);
   mw::ProgramRunner runner(world, bundle.name, layout, nullptr,
                            options_.collective);

@@ -16,6 +16,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/core/planner.hpp"
 #include "src/harness/calibration.hpp"
+#include "src/obs/recorder.hpp"
 #include "src/harness/scheme.hpp"
 #include "src/middleware/program.hpp"
 #include "src/middleware/runner.hpp"
@@ -64,6 +65,9 @@ struct SchemeResult {
   std::optional<core::Plan> plan;       ///< plan-producing schemes only
   /// Event-engine counters of the measured run (harl_sim stats=1).
   sim::Simulator::Stats sim_stats;
+  /// Flight recorder of the measured run (ExperimentOptions::observe only):
+  /// metrics registry, trace events, per-request T_X/T_S/T_T attribution.
+  std::shared_ptr<obs::Recorder> obs;
 };
 
 struct ExperimentOptions {
@@ -79,6 +83,12 @@ struct ExperimentOptions {
   /// serial order regardless of pool width.  May alias planner.pool: nested
   /// parallel_for on the same pool is deadlock-free (work-helping).
   ThreadPool* pool = nullptr;
+  /// Attach a flight recorder to every measured run.  Each SchemeResult then
+  /// carries its own obs::Recorder (one per scheme/replica, so parallel
+  /// run_all stays lock-free) with a cost-model predictor derived from the
+  /// scheme's layout, feeding the per-region model-error histogram.
+  bool observe = false;
+  obs::Recorder::Options recorder;
 };
 
 class Experiment {

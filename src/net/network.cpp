@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/sink.hpp"
+
 namespace harl::net {
 
 NetworkParams gigabit_ethernet() {
@@ -31,6 +33,21 @@ Network::Network(sim::Simulator& sim, NetworkParams params,
   for (std::size_t i = 0; i < num_servers; ++i) {
     server_links_.push_back(std::make_unique<sim::FifoResource>(
         sim, "server_nic_" + std::to_string(i)));
+  }
+}
+
+void Network::attach_observer() {
+  obs::Sink* obs = sim_.observer();
+  if (obs == nullptr) return;
+  for (std::size_t i = 0; i < client_links_.size(); ++i) {
+    client_links_[i]->set_obs_track(
+        obs->track(client_links_[i]->name(), obs::TrackKind::kClientNic,
+                   static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t i = 0; i < server_links_.size(); ++i) {
+    server_links_[i]->set_obs_track(
+        obs->track(server_links_[i]->name(), obs::TrackKind::kServerNic,
+                   static_cast<std::uint32_t>(i)));
   }
 }
 

@@ -61,6 +61,11 @@ class Network {
     return *server_links_.at(i);
   }
 
+  /// Registers one trace track per NIC link with the simulator's observer
+  /// (client links as kClientNic, server links as kServerNic) and binds the
+  /// links to them.  Call once, before any traffic.
+  void attach_observer();
+
  private:
   Seconds wire_time(Bytes size) const {
     return params_.message_latency + static_cast<double>(size) * params_.per_byte;

@@ -1,0 +1,213 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace harl::obs {
+
+namespace {
+
+/// Minimal JSON string escaping (metric names are plain identifiers, but a
+/// malformed name must not produce malformed JSON).
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_labels(std::ostream& out, const LabelSet& labels) {
+  bool first = true;
+  auto field = [&](const char* key, bool present, auto&& value) {
+    if (!present) return;
+    out << (first ? "" : ", ");
+    first = false;
+    out << '"' << key << "\": " << value;
+  };
+  out << '{';
+  field("server", labels.server_value() != LabelSet::kNone,
+        labels.server_value());
+  field("tier", labels.tier_value() != 0xFFu, labels.tier_value());
+  field("region", labels.region_value() != LabelSet::kNoneRegion,
+        labels.region_value());
+  field("client", labels.client_value() != LabelSet::kNone,
+        labels.client_value());
+  if (labels.has_op()) {
+    out << (first ? "" : ", ");
+    first = false;
+    out << "\"op\": \"" << to_string(labels.op_value()) << '"';
+  }
+  out << '}';
+}
+
+void write_histogram(std::ostream& out, const LogHistogram& h) {
+  out << "\"count\": " << h.count() << ", \"sum\": " << h.sum()
+      << ", \"min\": " << h.min() << ", \"max\": " << h.max()
+      << ", \"mean\": " << h.mean() << ", \"p50\": " << h.percentile(50.0)
+      << ", \"p95\": " << h.percentile(95.0)
+      << ", \"p99\": " << h.percentile(99.0) << ", \"buckets\": [";
+  bool first = true;
+  for (const auto& b : h.buckets()) {
+    if (!first) out << ", ";
+    first = false;
+    out << '[' << b.lo << ", " << b.hi << ", " << b.count << ']';
+  }
+  out << ']';
+}
+
+}  // namespace
+
+MetricsRegistry::FamilyId MetricsRegistry::family(std::string_view name,
+                                                  Kind kind) {
+  if (auto it = by_name_.find(std::string(name)); it != by_name_.end()) {
+    if (families_[it->second].kind != kind) {
+      throw std::invalid_argument("metric family kind mismatch: " +
+                                  std::string(name));
+    }
+    return it->second;
+  }
+  const auto id = static_cast<FamilyId>(families_.size());
+  Family f;
+  f.name = std::string(name);
+  f.kind = kind;
+  families_.push_back(std::move(f));
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+std::size_t MetricsRegistry::series_index(Family& f, LabelSet labels) {
+  auto [it, inserted] = f.series.try_emplace(labels.bits(), 0);
+  if (inserted) {
+    if (f.kind == Kind::kHistogram) {
+      it->second = f.histograms.size();
+      f.histograms.emplace_back();
+    } else {
+      it->second = f.scalars.size();
+      f.scalars.push_back(0.0);
+    }
+  }
+  return it->second;
+}
+
+void MetricsRegistry::add(FamilyId family, LabelSet labels, double delta) {
+  Family& f = families_.at(family);
+  f.scalars[series_index(f, labels)] += delta;
+}
+
+void MetricsRegistry::set(FamilyId family, LabelSet labels, double value) {
+  Family& f = families_.at(family);
+  f.scalars[series_index(f, labels)] = value;
+}
+
+void MetricsRegistry::set_max(FamilyId family, LabelSet labels, double value) {
+  Family& f = families_.at(family);
+  double& slot = f.scalars[series_index(f, labels)];
+  slot = std::max(slot, value);
+}
+
+void MetricsRegistry::observe(FamilyId family, LabelSet labels, double value) {
+  Family& f = families_.at(family);
+  f.histograms[series_index(f, labels)].add(value);
+}
+
+MetricsRegistry::Family* MetricsRegistry::find(std::string_view name) {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &families_[it->second];
+}
+
+const MetricsRegistry::Family* MetricsRegistry::find(
+    std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &families_[it->second];
+}
+
+double MetricsRegistry::value(std::string_view name, LabelSet labels) const {
+  const Family* f = find(name);
+  if (f == nullptr) return 0.0;
+  auto it = f->series.find(labels.bits());
+  if (it == f->series.end() || f->kind == Kind::kHistogram) return 0.0;
+  return f->scalars[it->second];
+}
+
+const LogHistogram* MetricsRegistry::histogram(std::string_view name,
+                                               LabelSet labels) const {
+  const Family* f = find(name);
+  if (f == nullptr || f->kind != Kind::kHistogram) return nullptr;
+  auto it = f->series.find(labels.bits());
+  return it == f->series.end() ? nullptr : &f->histograms[it->second];
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const Family& of : other.families_) {
+    const FamilyId id = family(of.name, of.kind);
+    Family& f = families_[id];
+    // Deterministic order: sort the other side's series by label bits so the
+    // merged registry's series insertion order never depends on hash layout.
+    std::vector<std::pair<std::uint64_t, std::size_t>> entries(
+        of.series.begin(), of.series.end());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [bits, idx] : entries) {
+      const std::size_t mine = series_index(f, LabelSet::from_bits(bits));
+      switch (f.kind) {
+        case Kind::kCounter:
+          f.scalars[mine] += of.scalars[idx];
+          break;
+        case Kind::kGauge:
+          f.scalars[mine] = std::max(f.scalars[mine], of.scalars[idx]);
+          break;
+        case Kind::kHistogram:
+          f.histograms[mine].merge(of.histograms[idx]);
+          break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out, int indent) const {
+  out.precision(17);  // round-trip doubles: 6 digits would corrupt merges
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::vector<std::size_t> order(families_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return families_[a].name < families_[b].name;
+  });
+
+  out << "[";
+  bool first_series = true;
+  for (std::size_t fi : order) {
+    const Family& f = families_[fi];
+    std::vector<std::pair<std::uint64_t, std::size_t>> entries(
+        f.series.begin(), f.series.end());
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [bits, idx] : entries) {
+      if (!first_series) out << ",";
+      first_series = false;
+      out << "\n" << pad << "  {\"name\": ";
+      write_escaped(out, f.name);
+      out << ", \"type\": \""
+          << (f.kind == Kind::kCounter
+                  ? "counter"
+                  : f.kind == Kind::kGauge ? "gauge" : "histogram")
+          << "\", \"labels\": ";
+      write_labels(out, LabelSet::from_bits(bits));
+      out << ", ";
+      if (f.kind == Kind::kHistogram) {
+        write_histogram(out, f.histograms[idx]);
+      } else {
+        out << "\"value\": " << f.scalars[idx];
+      }
+      out << '}';
+    }
+  }
+  out << "\n" << pad << "]";
+}
+
+}  // namespace harl::obs

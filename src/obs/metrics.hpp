@@ -1,0 +1,126 @@
+// Metrics registry: counters, gauges and log-bucketed histograms keyed by a
+// cheap interned label set.
+//
+// A metric *family* is registered once by name (cold path) and returns a
+// small integer id; every observation then carries a packed 64-bit
+// `LabelSet` (server id, tier, region, op, client — each field optional), so
+// the hot enabled path hashes one integer instead of strings.  Registries
+// are single-threaded by design — one per Simulator/replica — and
+// `merge()` combines them deterministically afterwards, which is how the
+// parallel harness aggregates per-replica metrics without locks.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/stats.hpp"
+
+namespace harl::obs {
+
+/// Packed label set.  Fields default to "absent"; setters are chainable:
+/// `LabelSet{}.server(3).tier(0).op(IoOp::kRead)`.
+class LabelSet {
+ public:
+  static constexpr std::uint32_t kNone = 0xFFFFu;
+  static constexpr std::uint32_t kNoneRegion = 0xFFFFFu;
+
+  LabelSet() = default;
+
+  LabelSet& server(std::uint32_t v) { return set(0, 16, v); }
+  LabelSet& tier(std::uint32_t v) { return set(16, 8, v); }
+  LabelSet& region(std::uint32_t v) { return set(24, 20, v); }
+  LabelSet& client(std::uint32_t v) { return set(44, 16, v); }
+  LabelSet& op(IoOp o) { return set(60, 4, o == IoOp::kRead ? 0u : 1u); }
+
+  std::uint32_t server_value() const { return get(0, 16); }
+  std::uint32_t tier_value() const { return get(16, 8); }
+  std::uint32_t region_value() const { return get(24, 20); }
+  std::uint32_t client_value() const { return get(44, 16); }
+  bool has_op() const { return get(60, 4) != 0xFu; }
+  IoOp op_value() const { return get(60, 4) == 0 ? IoOp::kRead : IoOp::kWrite; }
+
+  std::uint64_t bits() const { return bits_; }
+
+  /// Rebuilds a label set from `bits()` (the pack is transparent).
+  static LabelSet from_bits(std::uint64_t bits) {
+    LabelSet l;
+    l.bits_ = bits;
+    return l;
+  }
+
+  friend bool operator==(const LabelSet&, const LabelSet&) = default;
+
+ private:
+  LabelSet& set(unsigned shift, unsigned width, std::uint32_t v) {
+    const std::uint64_t mask = ((std::uint64_t{1} << width) - 1) << shift;
+    bits_ = (bits_ & ~mask) |
+            ((static_cast<std::uint64_t>(v) << shift) & mask);
+    return *this;
+  }
+  std::uint32_t get(unsigned shift, unsigned width) const {
+    return static_cast<std::uint32_t>((bits_ >> shift) &
+                                      ((std::uint64_t{1} << width) - 1));
+  }
+
+  std::uint64_t bits_ = ~std::uint64_t{0};  // all fields absent
+};
+
+class MetricsRegistry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  using FamilyId = std::uint32_t;
+
+  /// Registers (or finds) the family `name`; the kind must match on reuse.
+  FamilyId family(std::string_view name, Kind kind);
+
+  /// counter += delta.
+  void add(FamilyId family, LabelSet labels, double delta);
+  /// gauge = value (last write wins).
+  void set(FamilyId family, LabelSet labels, double value);
+  /// gauge = max(gauge, value).
+  void set_max(FamilyId family, LabelSet labels, double value);
+  /// histogram <- value.
+  void observe(FamilyId family, LabelSet labels, double value);
+
+  /// Reads back a scalar (counter/gauge); 0 when the series doesn't exist.
+  double value(std::string_view name, LabelSet labels = {}) const;
+  /// Reads back a histogram series; nullptr when it doesn't exist.
+  const LogHistogram* histogram(std::string_view name,
+                                LabelSet labels = {}) const;
+
+  /// Merges `other` into this registry: counters add, gauges take the max
+  /// (they are high-water marks across replicas), histograms merge exactly.
+  /// Families are matched by name, so merge order never changes the result.
+  void merge(const MetricsRegistry& other);
+
+  /// Deterministic JSON dump: families sorted by name, series by label bits.
+  /// Emits one object per series with decoded labels.
+  void write_json(std::ostream& out, int indent = 0) const;
+
+  std::size_t family_count() const { return families_.size(); }
+
+ private:
+  struct Family {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    // label bits -> index into scalars/histograms
+    std::unordered_map<std::uint64_t, std::size_t> series;
+    std::vector<double> scalars;
+    std::vector<LogHistogram> histograms;
+  };
+
+  Family* find(std::string_view name);
+  const Family* find(std::string_view name) const;
+  std::size_t series_index(Family& f, LabelSet labels);
+
+  std::vector<Family> families_;
+  std::unordered_map<std::string, FamilyId> by_name_;
+};
+
+}  // namespace harl::obs

@@ -1,0 +1,521 @@
+#include "src/obs/recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace harl::obs {
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+double to_us(Seconds t) { return t * 1e6; }
+
+const char* kind_name(TrackKind k) {
+  switch (k) {
+    case TrackKind::kServerDisk: return "server_disk";
+    case TrackKind::kServerNic: return "server_nic";
+    case TrackKind::kClientNic: return "client_nic";
+    case TrackKind::kClient: return "client";
+    case TrackKind::kOther: return "other";
+  }
+  return "other";
+}
+
+}  // namespace
+
+// --- Timeline ---------------------------------------------------------------
+
+Timeline::Timeline(Seconds initial_width, std::size_t max_buckets,
+                   bool take_max)
+    : width_(initial_width), max_buckets_(max_buckets), take_max_(take_max) {
+  if (!(initial_width > 0.0) || max_buckets < 2) {
+    throw std::invalid_argument("Timeline requires width > 0 and >= 2 buckets");
+  }
+}
+
+void Timeline::fit(Seconds t) {
+  while (t >= width_ * static_cast<double>(max_buckets_)) {
+    // Coalesce adjacent pairs; the bucket width doubles.
+    const std::size_t half = (values_.size() + 1) / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const double a = values_[2 * i];
+      const double b = 2 * i + 1 < values_.size() ? values_[2 * i + 1] : 0.0;
+      values_[i] = take_max_ ? std::max(a, b) : a + b;
+    }
+    values_.resize(half);
+    width_ *= 2.0;
+  }
+}
+
+void Timeline::add_span(Seconds t0, Seconds t1) {
+  if (!(t1 > t0)) return;
+  fit(t1);
+  auto first = static_cast<std::size_t>(t0 / width_);
+  auto last = static_cast<std::size_t>(t1 / width_);
+  last = std::min(last, max_buckets_ - 1);
+  if (last >= values_.size()) values_.resize(last + 1, 0.0);
+  for (std::size_t i = first; i <= last; ++i) {
+    const Seconds lo = std::max(t0, width_ * static_cast<double>(i));
+    const Seconds hi = std::min(t1, width_ * static_cast<double>(i + 1));
+    if (hi > lo) values_[i] += hi - lo;
+  }
+}
+
+void Timeline::sample_max(Seconds t, double v) {
+  if (t < 0.0) return;
+  fit(t);
+  auto idx = static_cast<std::size_t>(t / width_);
+  idx = std::min(idx, max_buckets_ - 1);
+  if (idx >= values_.size()) values_.resize(idx + 1, 0.0);
+  values_[idx] = std::max(values_[idx], v);
+}
+
+// --- Recorder ---------------------------------------------------------------
+
+Recorder::TrackState::TrackState(std::string name_, TrackKind kind_,
+                                 std::uint32_t entity_, const Options& opts)
+    : name(std::move(name_)),
+      kind(kind_),
+      entity(entity_),
+      busy_timeline(opts.timeline_initial_width, opts.timeline_buckets, false),
+      depth_timeline(opts.timeline_initial_width, opts.timeline_buckets, true) {}
+
+Recorder::Recorder() : Recorder(Options{}) {}
+
+Recorder::Recorder(Options options) : options_(options) {
+  using Kind = MetricsRegistry::Kind;
+  m_bytes_ = metrics_.family("pfs.server.bytes", Kind::kCounter);
+  m_accesses_ = metrics_.family("pfs.server.accesses", Kind::kCounter);
+  m_pieces_ = metrics_.family("pfs.server.pieces", Kind::kCounter);
+  m_region_switches_ =
+      metrics_.family("pfs.server.region_switches", Kind::kCounter);
+  m_latency_ = metrics_.family("client.request.latency", Kind::kHistogram);
+  m_wait_ = metrics_.family("request.queue_wait", Kind::kHistogram);
+  m_ts_ = metrics_.family("request.t_s", Kind::kHistogram);
+  m_tt_ = metrics_.family("request.t_t", Kind::kHistogram);
+  m_tx_ = metrics_.family("request.t_x", Kind::kHistogram);
+  m_rel_error_ = metrics_.family("model.rel_error", Kind::kHistogram);
+  if (options_.max_trace_events > 0) {
+    events_.reserve(options_.max_trace_events);
+  }
+}
+
+std::uint32_t Recorder::track(std::string_view name, TrackKind kind,
+                              std::uint32_t entity) {
+  const auto id = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.emplace_back(std::string(name), kind, entity, options_);
+  return id;
+}
+
+std::uint32_t Recorder::register_server(std::uint32_t server,
+                                        std::uint32_t tier,
+                                        std::string_view name, bool is_ssd) {
+  const std::uint32_t id = track(name, TrackKind::kServerDisk, server);
+  tracks_[id].tier = tier;
+  tracks_[id].is_ssd = is_ssd;
+  if (server >= servers_.size()) servers_.resize(server + 1);
+  servers_[server] = ServerMeta{id, tier, kNoId, is_ssd};
+  return id;
+}
+
+std::uint32_t Recorder::register_client(std::uint32_t client) {
+  const std::uint32_t id =
+      track("client " + std::to_string(client), TrackKind::kClient, client);
+  if (client >= client_tracks_.size()) {
+    client_tracks_.resize(client + 1, kNoId);
+  }
+  client_tracks_[client] = id;
+  return id;
+}
+
+void Recorder::push_event(const TraceEvent& event) {
+  ++events_recorded_;
+  if (options_.max_trace_events == 0) {
+    events_.push_back(event);
+    return;
+  }
+  if (events_.size() < options_.max_trace_events) {
+    events_.push_back(event);
+    return;
+  }
+  events_[ring_next_] = event;
+  ring_next_ = (ring_next_ + 1) % events_.size();
+  ++events_dropped_;
+}
+
+void Recorder::resource_event(std::uint32_t track, Seconds arrival,
+                              Seconds start, Seconds finish) {
+  if (track >= tracks_.size()) return;
+  TrackState& t = tracks_[track];
+  note_time(finish);
+  const Seconds wait = start - arrival;
+  const Seconds service = finish - start;
+  ++t.jobs;
+  t.busy += service;
+  t.queue_delay += wait;
+  t.wait.add(wait);
+  t.service.add(service);
+  t.busy_timeline.add_span(start, finish);
+  // Per-track arrivals are monotone (instrumentation fires at submission in
+  // event order), so popping finished jobs gives the exact in-flight count.
+  while (!t.inflight.empty() && t.inflight.top() <= arrival) t.inflight.pop();
+  t.inflight.push(finish);
+  const auto depth = static_cast<std::uint64_t>(t.inflight.size());
+  t.depth_max = std::max(t.depth_max, depth);
+  t.depth_timeline.sample_max(arrival, static_cast<double>(depth));
+  if (options_.trace) {
+    push_event(TraceEvent{start, service, track, EventType::kService, 0xFF,
+                          0, 0});
+    if (wait > 0.0) {
+      push_event(TraceEvent{arrival, wait, track, EventType::kWait, 0xFF,
+                            next_async_id_++, 0});
+    }
+  }
+}
+
+void Recorder::server_access(std::uint32_t server, IoOp op,
+                             std::uint32_t region, Bytes bytes, Bytes pieces,
+                             Seconds now) {
+  note_time(now);
+  if (server >= servers_.size()) servers_.resize(server + 1);
+  ServerMeta& meta = servers_[server];
+  const LabelSet labels = LabelSet{}.server(server).tier(meta.tier).op(op);
+  metrics_.add(m_accesses_, labels, 1.0);
+  metrics_.add(m_bytes_, labels, static_cast<double>(bytes));
+  metrics_.add(m_pieces_, labels, static_cast<double>(pieces));
+  if (meta.last_region != region) {
+    if (meta.last_region != kNoId) {
+      metrics_.add(m_region_switches_,
+                   LabelSet{}.server(server).tier(meta.tier), 1.0);
+      if (options_.trace && meta.track != kNoId) {
+        push_event(TraceEvent{now, 0.0, meta.track, EventType::kInstant, 0xFF,
+                              0, region});
+      }
+    }
+    meta.last_region = region;
+  }
+}
+
+std::uint32_t Recorder::begin_request(std::uint32_t client, IoOp op,
+                                      Bytes offset, Bytes size, Seconds now) {
+  note_time(now);
+  std::uint32_t id;
+  if (!req_free_.empty()) {
+    id = req_free_.back();
+    req_free_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(req_slots_.size());
+    req_slots_.emplace_back();
+  }
+  ActiveRequest& r = req_slots_[id];
+  r = ActiveRequest{};
+  r.client = client;
+  r.op = op;
+  r.offset = offset;
+  r.size = size;
+  r.issue = now;
+  return id;
+}
+
+std::uint32_t Recorder::begin_sub(std::uint32_t request, std::uint32_t server,
+                                  std::uint32_t region, Bytes bytes,
+                                  Seconds now) {
+  note_time(now);
+  if (request >= req_slots_.size()) return kNoId;
+  ActiveRequest& r = req_slots_[request];
+  if (r.region == kNoId) r.region = region;
+  std::uint32_t id;
+  if (!sub_free_.empty()) {
+    id = sub_free_.back();
+    sub_free_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(sub_slots_.size());
+    sub_slots_.emplace_back();
+  }
+  ActiveSub& s = sub_slots_[id];
+  s = ActiveSub{};
+  s.request = request;
+  s.server = server;
+  s.region = region;
+  s.bytes = bytes;
+  s.issue = now;
+  return id;
+}
+
+void Recorder::sub_storage(std::uint32_t sub, Seconds arrival, Seconds start,
+                           Seconds startup, Seconds service) {
+  if (sub >= sub_slots_.size()) return;
+  ActiveSub& s = sub_slots_[sub];
+  s.arrival = arrival;
+  s.start = start;
+  s.startup = startup;
+  s.service = service;
+  note_time(start + service);
+  if (s.request < req_slots_.size() &&
+      req_slots_[s.request].op == IoOp::kWrite) {
+    // The disk is a write's final stage: T_X is the client -> server
+    // delivery time and the sub-request completes when service does.
+    finalize_sub(sub, arrival - s.issue, start + service);
+  }
+}
+
+void Recorder::sub_net_done(std::uint32_t sub, Seconds now) {
+  if (sub >= sub_slots_.size()) return;
+  const ActiveSub& s = sub_slots_[sub];
+  // T_X for a read: time from storage completion to the last byte landing
+  // at the client NIC.
+  finalize_sub(sub, now - (s.start + s.service), now);
+}
+
+void Recorder::finalize_sub(std::uint32_t sub, Seconds t_x, Seconds done) {
+  ActiveSub& s = sub_slots_[sub];
+  note_time(done);
+  const std::uint32_t tier =
+      s.server < servers_.size() ? servers_[s.server].tier : kNoId;
+  SubSample sample;
+  sample.server = s.server;
+  sample.tier = tier;
+  sample.region = s.region;
+  sample.bytes = s.bytes;
+  sample.issue = s.issue;
+  sample.wait = s.start - s.arrival;
+  sample.t_s = s.startup;
+  sample.t_t = s.service - s.startup;
+  sample.t_x = t_x;
+  sample.done = done;
+  if (s.request < req_slots_.size()) {
+    ActiveRequest& r = req_slots_[s.request];
+    r.subs.push_back(sample);
+    const LabelSet labels = LabelSet{}.tier(tier).op(r.op);
+    metrics_.observe(m_wait_, labels, sample.wait);
+    metrics_.observe(m_ts_, labels, sample.t_s);
+    metrics_.observe(m_tt_, labels, sample.t_t);
+    metrics_.observe(m_tx_, labels, sample.t_x);
+  }
+  sub_free_.push_back(sub);
+}
+
+void Recorder::end_request(std::uint32_t request, Seconds now) {
+  if (request >= req_slots_.size()) return;
+  note_time(now);
+  ActiveRequest& r = req_slots_[request];
+  ++requests_completed_;
+
+  RequestSample sample;
+  sample.client = r.client;
+  sample.op = r.op;
+  sample.offset = r.offset;
+  sample.size = r.size;
+  sample.region = r.region;
+  sample.issue = r.issue;
+  sample.done = now;
+  sample.subs = std::move(r.subs);
+
+  metrics_.observe(m_latency_, LabelSet{}.op(r.op), now - r.issue);
+  if (predictor_) {
+    sample.predicted = predictor_(r.op, r.offset, r.size);
+    if (sample.predicted > 0.0 && now > r.issue) {
+      const double rel =
+          std::abs(sample.predicted - (now - r.issue)) / (now - r.issue);
+      metrics_.observe(m_rel_error_, LabelSet{}.region(r.region).op(r.op),
+                       rel);
+    }
+  }
+
+  if (options_.trace && r.client < client_tracks_.size() &&
+      client_tracks_[r.client] != kNoId) {
+    push_event(TraceEvent{r.issue, now - r.issue, client_tracks_[r.client],
+                          EventType::kRequest,
+                          static_cast<std::uint8_t>(r.op == IoOp::kRead ? 0 : 1),
+                          next_async_id_++, r.size});
+  }
+
+  if (options_.max_request_samples > 0) {
+    if (samples_.size() < options_.max_request_samples) {
+      samples_.push_back(std::move(sample));
+    } else {
+      samples_[samples_next_] = std::move(sample);
+      samples_next_ = (samples_next_ + 1) % samples_.size();
+    }
+  }
+  req_free_.push_back(request);
+}
+
+std::vector<Recorder::ResourceSummary> Recorder::resource_summaries() const {
+  std::vector<ResourceSummary> out;
+  out.reserve(tracks_.size());
+  for (const TrackState& t : tracks_) {
+    ResourceSummary s;
+    s.name = t.name;
+    s.kind = t.kind;
+    s.entity = t.entity;
+    s.tier = t.tier;
+    s.is_ssd = t.is_ssd;
+    s.busy = t.busy;
+    s.queue_delay = t.queue_delay;
+    s.jobs = t.jobs;
+    s.depth_max = t.depth_max;
+    s.wait = &t.wait;
+    s.service = &t.service;
+    s.busy_timeline = &t.busy_timeline;
+    s.depth_timeline = &t.depth_timeline;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// --- export -----------------------------------------------------------------
+
+void Recorder::append_trace_events(std::ostream& out, std::uint32_t pid,
+                                   std::string_view process_name,
+                                   bool& first) const {
+  // Round-trip precision: the default 6 significant digits would round
+  // microsecond timestamps enough to make adjacent spans appear to overlap.
+  out.precision(17);
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  ";
+  };
+
+  sep();
+  out << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << pid
+      << ", \"tid\": 0, \"args\": {\"name\": ";
+  write_escaped(out, process_name);
+  out << "}}";
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    sep();
+    out << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << pid
+        << ", \"tid\": " << i + 1 << ", \"args\": {\"name\": ";
+    write_escaped(out, tracks_[i].name);
+    out << "}}";
+    sep();
+    out << "{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": " << pid
+        << ", \"tid\": " << i + 1 << ", \"args\": {\"sort_index\": " << i
+        << "}}";
+  }
+
+  // Ring mode stores events out of order once wrapped; export oldest-first.
+  const std::size_t n = events_.size();
+  const std::size_t begin =
+      options_.max_trace_events > 0 && n == options_.max_trace_events
+          ? ring_next_
+          : 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const TraceEvent& e = events_[(begin + k) % n];
+    const std::uint32_t tid = e.track + 1;
+    switch (e.type) {
+      case EventType::kService:
+        sep();
+        out << "{\"ph\": \"X\", \"name\": \"service\", \"cat\": \"resource\", "
+               "\"pid\": "
+            << pid << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
+            << ", \"dur\": " << to_us(e.dur) << "}";
+        break;
+      case EventType::kWait:
+      case EventType::kRequest: {
+        const bool is_wait = e.type == EventType::kWait;
+        const char* name = is_wait ? "wait"
+                           : e.op == 0 ? "read" : "write";
+        const char* cat = is_wait ? "queue" : "request";
+        sep();
+        out << "{\"ph\": \"b\", \"name\": \"" << name << "\", \"cat\": \""
+            << cat << "\", \"id\": " << e.id << ", \"pid\": " << pid
+            << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts);
+        if (!is_wait) out << ", \"args\": {\"bytes\": " << e.arg << "}";
+        out << "}";
+        sep();
+        out << "{\"ph\": \"e\", \"name\": \"" << name << "\", \"cat\": \""
+            << cat << "\", \"id\": " << e.id << ", \"pid\": " << pid
+            << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts + e.dur)
+            << "}";
+        break;
+      }
+      case EventType::kInstant:
+        sep();
+        out << "{\"ph\": \"i\", \"name\": \"region_switch\", \"cat\": "
+               "\"region\", \"s\": \"t\", \"pid\": "
+            << pid << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
+            << ", \"args\": {\"region\": " << e.arg << "}}";
+        break;
+    }
+  }
+}
+
+void Recorder::write_trace_json(std::ostream& out,
+                                std::string_view process_name) const {
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  append_trace_events(out, 1, process_name, first);
+  out << "\n]}\n";
+}
+
+void Recorder::write_metrics_json(std::ostream& out, int indent) const {
+  out.precision(17);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const Seconds horizon = last_time_;
+  out << "{\n";
+  out << pad << "  \"horizon_s\": " << horizon << ",\n";
+  out << pad << "  \"requests_completed\": " << requests_completed_ << ",\n";
+  out << pad << "  \"trace_events_recorded\": " << events_recorded_ << ",\n";
+  out << pad << "  \"trace_events_dropped\": " << events_dropped_ << ",\n";
+  out << pad << "  \"resources\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    const TrackState& t = tracks_[i];
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << pad << "    {\"track\": " << i << ", \"name\": ";
+    write_escaped(out, t.name);
+    out << ", \"kind\": \"" << kind_name(t.kind) << "\"";
+    if (t.entity != kNoId) out << ", \"entity\": " << t.entity;
+    if (t.tier != kNoId) {
+      out << ", \"tier\": " << t.tier
+          << ", \"is_ssd\": " << (t.is_ssd ? "true" : "false");
+    }
+    out << ", \"jobs\": " << t.jobs << ", \"busy_s\": " << t.busy
+        << ", \"queue_delay_s\": " << t.queue_delay
+        << ", \"utilization\": " << (horizon > 0.0 ? t.busy / horizon : 0.0)
+        << ", \"depth_max\": " << t.depth_max
+        << ", \"wait_p99_s\": " << t.wait.percentile(99.0)
+        << ", \"service_p99_s\": " << t.service.percentile(99.0);
+    out << ", \"busy_timeline\": {\"bucket_s\": "
+        << t.busy_timeline.bucket_width() << ", \"busy_s\": [";
+    bool f2 = true;
+    for (double v : t.busy_timeline.values()) {
+      if (!f2) out << ", ";
+      f2 = false;
+      out << v;
+    }
+    out << "]}, \"depth_timeline\": {\"bucket_s\": "
+        << t.depth_timeline.bucket_width() << ", \"depth_max\": [";
+    f2 = true;
+    for (double v : t.depth_timeline.values()) {
+      if (!f2) out << ", ";
+      f2 = false;
+      out << v;
+    }
+    out << "]}}";
+  }
+  out << "\n" << pad << "  ],\n";
+  out << pad << "  \"metrics\": ";
+  metrics_.write_json(out, indent + 2);
+  out << "\n" << pad << "}";
+}
+
+}  // namespace harl::obs

@@ -1,0 +1,103 @@
+// Observability sink interface.
+//
+// Every instrumented component (FIFO resources, data servers, PFS clients)
+// reports to an abstract `Sink` reached through the owning Simulator's
+// observer pointer.  The default is no observer: the disabled path is one
+// pointer load and branch per instrumentation point, the dispatch loop of
+// the event engine itself is untouched, and nothing is allocated — the CI
+// overhead guard (tools/bench_sim_report.py, obs_guard_* fields of
+// bench/bench_sim_baseline.json) pins that property.  `obs::Recorder` is the
+// standard implementation: a metrics registry plus a simulated-time flight
+// recorder; tests may substitute their own sinks.
+//
+// All timestamps are *simulated* seconds (sim::Time == Seconds): the trace
+// shows where simulated time goes, which is the quantity the paper's Fig. 1a
+// and Section III-D decomposition reason about.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+
+namespace harl::obs {
+
+/// Invalid id for tracks, requests and sub-requests.
+inline constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+/// What a trace track represents (one track per server/client/NIC).
+enum class TrackKind : std::uint8_t {
+  kServerDisk,   ///< data server storage queue
+  kServerNic,    ///< server network link
+  kClientNic,    ///< client (compute node) network link
+  kClient,       ///< per-client request track (request-lifetime spans)
+  kOther,        ///< anything else (MDS queue, ad-hoc resources)
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  // --- registration (cold path, once per entity) ---------------------------
+
+  /// Registers a trace track; returns its id.  `entity` is the component
+  /// index within its kind (server index, client index, ...), kNoId if none.
+  virtual std::uint32_t track(std::string_view name, TrackKind kind,
+                              std::uint32_t entity) = 0;
+
+  /// Registers data server `server` (global index) of tier `tier` and
+  /// returns the id of its storage track.
+  virtual std::uint32_t register_server(std::uint32_t server,
+                                        std::uint32_t tier,
+                                        std::string_view name,
+                                        bool is_ssd) = 0;
+
+  /// Registers client `client` and returns the id of its request track.
+  virtual std::uint32_t register_client(std::uint32_t client) = 0;
+
+  // --- flight recorder (hot path, POD arguments only) ----------------------
+
+  /// One FIFO resource job: arrived at `arrival`, started service at
+  /// `start` (== arrival when the resource was idle), finished at `finish`.
+  /// Produces the queue-wait vs service spans and feeds the per-track
+  /// utilization/queue-depth timelines.
+  virtual void resource_event(std::uint32_t track, Seconds arrival, Seconds start,
+                              Seconds finish) = 0;
+
+  /// One server-local access: op/region/bytes accounting per server, plus
+  /// the region-boundary-crossing instant event when `region` differs from
+  /// the server's previous access.
+  virtual void server_access(std::uint32_t server, IoOp op,
+                             std::uint32_t region, Bytes bytes, Bytes pieces,
+                             Seconds now) = 0;
+
+  // --- per-request attribution (paper Section III-D: T_X, T_S, T_T) --------
+
+  /// Starts attribution of one client file request; returns a request id.
+  virtual std::uint32_t begin_request(std::uint32_t client, IoOp op,
+                                      Bytes offset, Bytes size, Seconds now) = 0;
+
+  /// Starts one sub-request of `request` on global server `server`
+  /// addressing `region`; returns a sub-request id.
+  virtual std::uint32_t begin_sub(std::uint32_t request, std::uint32_t server,
+                                  std::uint32_t region, Bytes bytes,
+                                  Seconds now) = 0;
+
+  /// Storage stage of a sub-request, reported at submission (FIFO service
+  /// times are fixed then): queue arrival/start, the device's startup
+  /// component (measured T_S) and the total service time (T_S + T_T).
+  /// For writes this is the final stage (the sub-request completes at
+  /// start + service).
+  virtual void sub_storage(std::uint32_t sub, Seconds arrival, Seconds start,
+                           Seconds startup, Seconds service) = 0;
+
+  /// Final network stage of a read sub-request (last byte reached the
+  /// client NIC): measured T_X is `now` minus the storage finish time.
+  virtual void sub_net_done(std::uint32_t sub, Seconds now) = 0;
+
+  /// All sub-requests of `request` completed at `now`.
+  virtual void end_request(std::uint32_t request, Seconds now) = 0;
+};
+
+}  // namespace harl::obs

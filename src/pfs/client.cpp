@@ -11,11 +11,23 @@ Client::Client(sim::Simulator& sim, net::Network& network,
   if (servers_.empty()) throw std::invalid_argument("client needs servers");
 }
 
+void Client::attach_observer() {
+  if (obs::Sink* obs = sim_.observer(); obs != nullptr) {
+    obs->register_client(static_cast<std::uint32_t>(id_));
+    observed_ = true;
+  }
+}
+
 void Client::io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
                 sim::InlineTask on_complete) {
   ++requests_issued_;
   if (size == 0) {
     sim_.schedule_after(0.0, std::move(on_complete));
+    return;
+  }
+  if (obs::Sink* obs = sim_.observer(); obs != nullptr && observed_)
+      [[unlikely]] {
+    io_observed(*obs, layout, op, offset, size, std::move(on_complete));
     return;
   }
   auto subs = layout.map(offset, size);
@@ -70,6 +82,68 @@ void Client::issue_write(IoOp op, const SubRequest& sub,
       SubmitAfterTransfer{servers_[sub.server], sub.server_offset, sub.size,
                           join, sub.object,
                           static_cast<std::uint32_t>(sub.pieces), op});
+}
+
+void Client::io_observed(obs::Sink& obs, const Layout& layout, IoOp op,
+                         Bytes offset, Bytes size,
+                         sim::InlineTask on_complete) {
+  // Cold mirror of io()/issue_read()/issue_write(): same data path, plus
+  // request/sub-request attribution hooks.  The extra captures may spill
+  // some lambdas past InlineTask's in-place buffer; only enabled runs pay.
+  auto subs = layout.map(offset, size);
+  if (subs.empty()) throw std::logic_error("layout mapped request to nothing");
+  const std::uint32_t req = obs.begin_request(static_cast<std::uint32_t>(id_),
+                                              op, offset, size, sim_.now());
+  auto join = std::make_shared<sim::JoinCounter>(
+      subs.size(), [this, req, done = std::move(on_complete)]() mutable {
+        sim_.observer()->end_request(req, sim_.now());
+        done();
+      });
+  for (const auto& sub : subs) {
+    if (sub.server >= servers_.size()) {
+      throw std::out_of_range("layout references unknown server");
+    }
+    const std::uint32_t osub =
+        obs.begin_sub(req, sub.server, sub.object, sub.size, sim_.now());
+    if (op == IoOp::kRead) {
+      DataServer& server = *servers_[sub.server];
+      const std::size_t server_idx = sub.server;
+      const Bytes bytes = sub.size;
+      server.submit(
+          IoOp::kRead, sub.object, sub.server_offset, bytes, sub.pieces,
+          [this, server_idx, bytes, osub, join] {
+            network_.transfer(id_, server_idx, bytes,
+                              net::Direction::kServerToClient,
+                              [this, osub, join] {
+                                sim_.observer()->sub_net_done(osub, sim_.now());
+                                join->done();
+                              });
+          },
+          osub);
+    } else {
+      struct SubmitAfterTransferObs {
+        DataServer* server;
+        Bytes server_offset;
+        Bytes size;
+        std::shared_ptr<sim::JoinCounter> join;
+        std::uint32_t object;
+        std::uint32_t pieces;
+        IoOp op;
+        std::uint32_t obs_sub;
+        void operator()() {
+          server->submit(
+              op, object, server_offset, size, pieces,
+              [join = std::move(join)] { join->done(); }, obs_sub);
+        }
+      };
+      network_.transfer(id_, sub.server, sub.size,
+                        net::Direction::kClientToServer,
+                        SubmitAfterTransferObs{
+                            servers_[sub.server], sub.server_offset, sub.size,
+                            join, sub.object,
+                            static_cast<std::uint32_t>(sub.pieces), op, osub});
+    }
+  }
 }
 
 }  // namespace harl::pfs

@@ -33,6 +33,11 @@ class Client {
   void io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
           sim::InlineTask on_complete);
 
+  /// Registers this client with the simulator's observer: every subsequent
+  /// io() records request/sub-request attribution (T_X/T_S/T_T) through the
+  /// cold `io_observed` path.  Call once, before any traffic.
+  void attach_observer();
+
   std::size_t id() const { return id_; }
   std::uint64_t requests_issued() const { return requests_issued_; }
 
@@ -41,12 +46,15 @@ class Client {
                   const std::shared_ptr<sim::JoinCounter>& join);
   void issue_write(IoOp op, const SubRequest& sub,
                    const std::shared_ptr<sim::JoinCounter>& join);
+  void io_observed(obs::Sink& obs, const Layout& layout, IoOp op, Bytes offset,
+                   Bytes size, sim::InlineTask on_complete);
 
   sim::Simulator& sim_;
   net::Network& network_;
   std::vector<DataServer*> servers_;
   std::size_t id_;
   std::uint64_t requests_issued_ = 0;
+  bool observed_ = false;
 };
 
 }  // namespace harl::pfs

@@ -73,6 +73,21 @@ Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
   for (std::size_t i = 0; i < config.num_clients; ++i) {
     clients_.push_back(std::make_unique<Client>(sim_, *network_, server_ptrs, i));
   }
+
+  // Set the simulator's observer *before* constructing the cluster to get
+  // per-component tracks and attribution; a cluster built without one runs
+  // the uninstrumented fast paths.
+  if (sim_.observer() != nullptr) {
+    std::size_t global = 0;
+    for (std::size_t ti = 0; ti < tiers_.size(); ++ti) {
+      for (std::size_t i = 0; i < tiers_[ti].count; ++i, ++global) {
+        servers_[global]->attach_observer(static_cast<std::uint32_t>(global),
+                                          static_cast<std::uint32_t>(ti));
+      }
+    }
+    network_->attach_observer();
+    for (auto& c : clients_) c->attach_observer();
+  }
 }
 
 Seconds Cluster::server_io_time(std::size_t i) const {

@@ -17,7 +17,8 @@ DataServer::DataServer(sim::Simulator& sim,
       queue_(sim_, name_ + "/disk") {}
 
 void DataServer::submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
-                        Bytes pieces, sim::InlineTask on_complete) {
+                        Bytes pieces, sim::InlineTask on_complete,
+                        std::uint32_t obs_sub) {
   const Bytes device_offset = static_cast<Bytes>(object) * kObjectStride + offset;
   // FIFO order equals arrival order, so sampling the device at submission
   // time preserves the sequential-access detection of stateful devices.
@@ -29,7 +30,24 @@ void DataServer::submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
   } else {
     bytes_written_ += size;
   }
+  if (obs::Sink* obs = sim_.observer();
+      obs != nullptr && obs_server_ != obs::kNoId) [[unlikely]] {
+    const sim::Time arrival = sim_.now();
+    obs->server_access(obs_server_, op, object, size, pieces, arrival);
+    if (obs_sub != obs::kNoId) {
+      const sim::Time start = std::max(arrival, queue_.next_free());
+      obs->sub_storage(obs_sub, arrival, start, device_->last_startup(),
+                       service);
+    }
+  }
   queue_.submit(service, std::move(on_complete));
+}
+
+void DataServer::attach_observer(std::uint32_t server, std::uint32_t tier) {
+  if (obs::Sink* obs = sim_.observer(); obs != nullptr) {
+    obs_server_ = server;
+    queue_.set_obs_track(obs->register_server(server, tier, name_, is_ssd_));
+  }
 }
 
 void DataServer::reset_stats() {

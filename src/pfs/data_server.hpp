@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/common/io.hpp"
+#include "src/obs/sink.hpp"
 #include "src/sim/resource.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/storage/device.hpp"
@@ -28,9 +29,18 @@ class DataServer {
 
   /// Queues one server-local access spanning `pieces` stripe units;
   /// `on_complete` fires when the device finishes it (FIFO after all
-  /// previously queued accesses).
+  /// previously queued accesses).  `obs_sub` optionally names the
+  /// observability sub-request this access belongs to (obs::Sink::begin_sub),
+  /// so the recorder can split the access into startup (T_S) and transfer
+  /// (T_T) via the device's last_startup().
   void submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
-              Bytes pieces, sim::InlineTask on_complete);
+              Bytes pieces, sim::InlineTask on_complete,
+              std::uint32_t obs_sub = obs::kNoId);
+
+  /// Registers this server with the simulator's observer under global server
+  /// index `server` and tier `tier`; binds the storage queue to its trace
+  /// track.  Call once, before any traffic.
+  void attach_observer(std::uint32_t server, std::uint32_t tier);
 
   const std::string& name() const { return name_; }
   bool is_ssd() const { return is_ssd_; }
@@ -60,6 +70,7 @@ class DataServer {
   sim::FifoResource queue_;
   Bytes bytes_read_ = 0;
   Bytes bytes_written_ = 0;
+  std::uint32_t obs_server_ = obs::kNoId;  // global index under the observer
 };
 
 }  // namespace harl::pfs

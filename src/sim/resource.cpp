@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/sink.hpp"
+
 namespace harl::sim {
 
 FifoResource::FifoResource(Simulator& sim, std::string name)
@@ -18,6 +20,10 @@ void FifoResource::submit(Seconds service, InlineTask on_complete) {
   busy_ += service;
   queue_delay_ += start - arrival;
   ++jobs_;
+  if (obs::Sink* obs = sim_.observer();
+      obs != nullptr && obs_track_ != obs::kNoId) [[unlikely]] {
+    obs->resource_event(obs_track_, arrival, start, finish);
+  }
   sim_.schedule_at(finish, std::move(on_complete));
 }
 

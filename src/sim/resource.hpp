@@ -52,6 +52,12 @@ class FifoResource {
     return horizon > 0.0 ? busy_ / horizon : 0.0;
   }
 
+  /// Binds this resource to a trace track of the simulator's observer; every
+  /// subsequent job reports its arrival/start/finish.  With no observer (or
+  /// no bound track) submit() performs one pointer comparison extra.
+  void set_obs_track(std::uint32_t track) { obs_track_ = track; }
+  std::uint32_t obs_track() const { return obs_track_; }
+
  private:
   Simulator& sim_;
   std::string name_;
@@ -59,6 +65,7 @@ class FifoResource {
   Seconds busy_ = 0.0;
   Seconds queue_delay_ = 0.0;
   std::uint64_t jobs_ = 0;
+  std::uint32_t obs_track_ = 0xFFFFFFFFu;  // obs::kNoId
 };
 
 /// Calls `on_all_done` once `expected` child completions have been reported.

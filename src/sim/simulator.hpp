@@ -41,6 +41,10 @@
 #include "src/common/units.hpp"
 #include "src/sim/inline_task.hpp"
 
+namespace harl::obs {
+class Sink;
+}  // namespace harl::obs
+
 namespace harl::sim {
 
 /// Simulated time in seconds from simulation start.
@@ -110,6 +114,14 @@ class Simulator {
     std::uint64_t heap_callbacks = 0;    ///< tasks that spilled to the heap
   };
   Stats stats() const;
+
+  /// Observability sink shared by every component built on this simulator
+  /// (see src/obs/sink.hpp).  The simulator itself never calls it — the
+  /// dispatch loop stays untouched — it only distributes the pointer so
+  /// instrumented components (FifoResource, DataServer, Client) can branch
+  /// on it.  nullptr (the default) disables all instrumentation.
+  void set_observer(obs::Sink* observer) { observer_ = observer; }
+  obs::Sink* observer() const { return observer_; }
 
  private:
 #if defined(__SIZEOF_INT128__)
@@ -201,6 +213,8 @@ class Simulator {
 
   std::vector<std::unique_ptr<Chunk>> chunks_;
   std::vector<std::uint32_t> free_slots_;
+
+  obs::Sink* observer_ = nullptr;
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 0;

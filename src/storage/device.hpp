@@ -21,6 +21,11 @@ class StorageDevice {
   /// GC debt, RNG stream).
   virtual Seconds service_time(IoOp op, Bytes offset, Bytes size) = 0;
 
+  /// Startup component (the paper's T_S: seek/flash-issue latency plus any
+  /// stall) of the most recent service_time() call — observability splits
+  /// each access into startup vs transfer.  0 for models without one.
+  virtual Seconds last_startup() const { return 0.0; }
+
   /// The nominal parameter profile this device was built from.
   virtual const TierProfile& profile() const = 0;
 

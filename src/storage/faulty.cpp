@@ -19,11 +19,14 @@ FaultyDevice::FaultyDevice(std::unique_ptr<StorageDevice> inner, Faults faults)
 Seconds FaultyDevice::service_time(IoOp op, Bytes offset, Bytes size) {
   ++accesses_;
   Seconds t = inner_->service_time(op, offset, size) * faults_.slowdown;
+  Seconds startup = inner_->last_startup() * faults_.slowdown;
   if (faults_.hiccup_every > 0 &&
       accesses_ % static_cast<std::uint64_t>(faults_.hiccup_every) == 0) {
     t += faults_.hiccup_delay;
+    startup += faults_.hiccup_delay;
     ++hiccups_;
   }
+  last_startup_ = startup;
   return t;
 }
 
@@ -31,6 +34,7 @@ void FaultyDevice::reset() {
   inner_->reset();
   accesses_ = 0;
   hiccups_ = 0;
+  last_startup_ = 0.0;
 }
 
 }  // namespace harl::storage

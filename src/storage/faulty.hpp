@@ -24,6 +24,7 @@ class FaultyDevice final : public StorageDevice {
   FaultyDevice(std::unique_ptr<StorageDevice> inner, Faults faults);
 
   Seconds service_time(IoOp op, Bytes offset, Bytes size) override;
+  Seconds last_startup() const override { return last_startup_; }
   const TierProfile& profile() const override { return inner_->profile(); }
   void reset() override;
 
@@ -35,6 +36,7 @@ class FaultyDevice final : public StorageDevice {
   Faults faults_;
   std::uint64_t accesses_ = 0;
   std::uint64_t hiccups_ = 0;
+  Seconds last_startup_ = 0.0;
 };
 
 }  // namespace harl::storage

@@ -21,12 +21,14 @@ Seconds HddDevice::service_time(IoOp op, Bytes offset, Bytes size) {
   Seconds startup = rng_.uniform(p.startup_min, p.startup_max);
   if (offset == last_end_) startup *= sequential_factor_;
   last_end_ = offset + size;
+  last_startup_ = startup;
   return startup + static_cast<double>(size) * p.per_byte;
 }
 
 void HddDevice::reset() {
   rng_ = Rng(seed_);
   last_end_ = ~static_cast<Bytes>(0);
+  last_startup_ = 0.0;
 }
 
 }  // namespace harl::storage

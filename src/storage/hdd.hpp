@@ -23,6 +23,7 @@ class HddDevice final : public StorageDevice {
             double sequential_factor = 0.55);
 
   Seconds service_time(IoOp op, Bytes offset, Bytes size) override;
+  Seconds last_startup() const override { return last_startup_; }
   const TierProfile& profile() const override { return profile_; }
   void reset() override;
 
@@ -32,6 +33,7 @@ class HddDevice final : public StorageDevice {
   double sequential_factor_;
   Rng rng_;
   Bytes last_end_ = ~static_cast<Bytes>(0);  // "nowhere": first access seeks
+  Seconds last_startup_ = 0.0;
 };
 
 }  // namespace harl::storage

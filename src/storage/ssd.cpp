@@ -9,8 +9,8 @@ SsdDevice::SsdDevice(TierProfile profile, std::uint64_t seed, GcModel gc)
 
 Seconds SsdDevice::service_time(IoOp op, Bytes /*offset*/, Bytes size) {
   const OpProfile& p = profile_.op(op);
-  Seconds t = rng_.uniform(p.startup_min, p.startup_max) +
-              static_cast<double>(size) * p.per_byte;
+  Seconds startup = rng_.uniform(p.startup_min, p.startup_max);
+  Seconds t = startup + static_cast<double>(size) * p.per_byte;
   if (op == IoOp::kWrite) {
     bytes_written_ += size;
     if (gc_.interval > 0) {
@@ -18,9 +18,11 @@ Seconds SsdDevice::service_time(IoOp op, Bytes /*offset*/, Bytes size) {
       while (gc_debt_ >= gc_.interval) {
         gc_debt_ -= gc_.interval;
         t += gc_.stall;
+        startup += gc_.stall;  // GC stalls delay the first byte like a seek
       }
     }
   }
+  last_startup_ = startup;
   return t;
 }
 
@@ -28,6 +30,7 @@ void SsdDevice::reset() {
   rng_ = Rng(seed_);
   bytes_written_ = 0;
   gc_debt_ = 0;
+  last_startup_ = 0.0;
 }
 
 }  // namespace harl::storage

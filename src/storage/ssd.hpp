@@ -27,6 +27,7 @@ class SsdDevice final : public StorageDevice {
       : SsdDevice(std::move(profile), seed, GcModel{}) {}
 
   Seconds service_time(IoOp op, Bytes offset, Bytes size) override;
+  Seconds last_startup() const override { return last_startup_; }
   const TierProfile& profile() const override { return profile_; }
   void reset() override;
 
@@ -41,6 +42,7 @@ class SsdDevice final : public StorageDevice {
   Rng rng_;
   Bytes bytes_written_ = 0;
   Bytes gc_debt_ = 0;
+  Seconds last_startup_ = 0.0;
 };
 
 }  // namespace harl::storage

@@ -180,6 +180,23 @@ TEST(RunningStats, ResetClearsEverything) {
   rs.reset();
   EXPECT_EQ(rs.count(), 0u);
   EXPECT_EQ(rs.mean(), 0.0);
+  // min/max must not leak across a reset: an all-negative second window
+  // would otherwise report the stale max from the first.
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+  rs.add(-3.0);
+  EXPECT_EQ(rs.min(), -3.0);
+  EXPECT_EQ(rs.max(), -3.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroCv) {
+  RunningStats rs;
+  rs.add(7.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.cv(), 0.0);
+  EXPECT_EQ(rs.min(), 7.5);
+  EXPECT_EQ(rs.max(), 7.5);
 }
 
 TEST(RunningStats, NumericallyStableOnLargeOffsets) {
@@ -230,6 +247,148 @@ TEST(Histogram, CountsBucketsAndOverflow) {
 TEST(Histogram, RejectsDegenerateRanges) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// --------------------------------------------------------- log histogram ----
+
+TEST(LogHistogram, TracksExactEnvelopeAndBucketedBody) {
+  LogHistogram h;
+  for (double x : {1e-6, 3e-3, 3e-3, 0.5, 12.0}) h.add(x);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(h.max(), 12.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 1e-6 + 3e-3 + 3e-3 + 0.5 + 12.0);
+  // Percentiles interpolate inside a bucket, so they are only bucket-exact:
+  // relative error bounded by 1/2^sub_bits, and always inside [min, max].
+  const double p50 = h.percentile(50.0);
+  EXPECT_NEAR(p50, 3e-3, 3e-3 / (1 << h.sub_bits()));
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(100.0), h.max());
+}
+
+TEST(LogHistogram, CountsNonPositivesSeparately) {
+  LogHistogram h;
+  h.add(0.0);
+  h.add(-1.5);
+  h.add(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.non_positive(), 2u);
+  std::uint64_t bucketed = 0;
+  for (const auto& b : h.buckets()) bucketed += b.count;
+  EXPECT_EQ(bucketed, 1u);
+  // Non-positives sort below every bucket: the median of {-1.5, 0, 2} is 0.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LogHistogram, SummaryRoundTripsThroughBuckets) {
+  // Every sample must land in exactly one exported bucket whose [lo, hi)
+  // bounds contain it, and bucket counts must sum to count().
+  LogHistogram h;
+  std::vector<double> xs;
+  for (int i = 1; i <= 200; ++i) xs.push_back(1e-5 * i * i);
+  for (double x : xs) h.add(x);
+  std::uint64_t total = 0;
+  for (const auto& b : h.buckets()) {
+    EXPECT_LT(b.lo, b.hi);
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+  for (double x : xs) {
+    bool contained = false;
+    for (const auto& b : h.buckets()) {
+      if (x >= b.lo && x < b.hi) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "sample " << x << " in no bucket";
+  }
+}
+
+/// Exact (integer/envelope) content equality: bucket counts, totals, min and
+/// max merge exactly in any order.  `sum` is excluded on purpose — summing
+/// doubles is not associative, so it is only reproducible for a fixed merge
+/// order (which CrossThreadMergeIsDeterministic pins).
+void expect_same_distribution(const LogHistogram& a, const LogHistogram& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.non_positive(), b.non_positive());
+  EXPECT_DOUBLE_EQ(a.min(), b.min());
+  EXPECT_DOUBLE_EQ(a.max(), b.max());
+  const auto ab = a.buckets();
+  const auto bb = b.buckets();
+  ASSERT_EQ(ab.size(), bb.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ab[i].lo, bb[i].lo);
+    EXPECT_EQ(ab[i].count, bb[i].count);
+  }
+}
+
+TEST(LogHistogram, MergeEqualsSingleStreamInAnyOrder) {
+  // The property that makes per-thread collection safe: merging shards
+  // yields the same distribution as one histogram that saw every sample,
+  // regardless of merge order.
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(0.37 * i);
+  LogHistogram whole;
+  for (double x : xs) whole.add(x);
+
+  LogHistogram a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(xs[i]);
+  }
+  LogHistogram abc = a;
+  abc.merge(b);
+  abc.merge(c);
+  LogHistogram cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  expect_same_distribution(abc, whole);
+  expect_same_distribution(cba, whole);
+  EXPECT_NEAR(abc.sum(), whole.sum(), 1e-9 * whole.sum());
+  EXPECT_NEAR(cba.sum(), whole.sum(), 1e-9 * whole.sum());
+}
+
+TEST(LogHistogram, CrossThreadMergeIsDeterministic) {
+  // Four threads fill disjoint shards concurrently; merging in index order
+  // must be bit-identical (operator==, sum included) to merging the same
+  // shards filled serially — thread interleaving must leave no residue.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  auto fill = [](LogHistogram& h, int t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      h.add(1e-4 * (static_cast<double>(t) * kPerThread + i + 1));
+    }
+  };
+  std::vector<LogHistogram> shards(kThreads);
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(kThreads,
+                      [&](std::size_t t) { fill(shards[t], static_cast<int>(t)); });
+  }
+  LogHistogram merged;
+  for (const auto& s : shards) merged.merge(s);
+
+  std::vector<LogHistogram> serial_shards(kThreads);
+  for (int t = 0; t < kThreads; ++t) fill(serial_shards[t], t);
+  LogHistogram serial;
+  for (const auto& s : serial_shards) serial.merge(s);
+
+  EXPECT_EQ(merged, serial);
+  EXPECT_EQ(merged.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  expect_same_distribution(merged, serial);
+}
+
+TEST(LogHistogram, ResetForgetsEverything) {
+  LogHistogram h;
+  h.add(4.0);
+  h.add(-1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.non_positive(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h, LogHistogram{});
 }
 
 // ------------------------------------------------------------- interval ----

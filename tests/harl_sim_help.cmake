@@ -1,0 +1,49 @@
+# CTest script: pins `harl_sim help` to the option table the binary actually
+# parses.  usage() is generated from the same kOptions table validate_keys()
+# enforces, so drift inside the binary is structurally impossible; this test
+# guards the remaining seams: every documented key must appear in the help
+# text as `key=`, and an unknown key must be rejected with a pointer to help
+# rather than silently ignored (the pre-table behavior).
+if(NOT DEFINED HARL_SIM)
+  message(FATAL_ERROR "pass -DHARL_SIM=<harl_sim binary>")
+endif()
+
+execute_process(
+  COMMAND ${HARL_SIM} help
+  OUTPUT_VARIABLE help_out
+  ERROR_VARIABLE help_err
+  RESULT_VARIABLE help_rc)
+if(NOT help_rc EQUAL 0)
+  message(FATAL_ERROR "harl_sim help failed (${help_rc}): ${help_err}")
+endif()
+
+# Every key the binary parses, including the observability flags.  The
+# usage table prints each key at the start of its own (indented) line.
+set(known_keys
+  workload procs request file requests coverage grid dumps
+  hservers sservers clients schemes seed threads stats
+  save-plan load-plan metrics-out trace-out trace-events)
+foreach(key IN LISTS known_keys)
+  if(NOT help_out MATCHES "\n +${key} ")
+    message(FATAL_ERROR "help output is missing documented key '${key}':\n"
+                        "${help_out}")
+  endif()
+endforeach()
+
+# Unknown keys must be an error that names the option and points at help.
+execute_process(
+  COMMAND ${HARL_SIM} workload=ior no-such-option=1
+  OUTPUT_VARIABLE bogus_out
+  ERROR_VARIABLE bogus_err
+  RESULT_VARIABLE bogus_rc)
+if(bogus_rc EQUAL 0)
+  message(FATAL_ERROR "harl_sim accepted an unknown option")
+endif()
+if(NOT "${bogus_out}${bogus_err}" MATCHES "no-such-option")
+  message(FATAL_ERROR "unknown-option error does not name the bad key:\n"
+                      "${bogus_out}${bogus_err}")
+endif()
+
+list(LENGTH known_keys n_keys)
+message(STATUS "help lists all ${n_keys} documented keys; unknown keys "
+               "rejected")

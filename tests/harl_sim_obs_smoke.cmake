@@ -1,0 +1,58 @@
+# CTest script: end-to-end observability smoke through the real harl_sim
+# binary.  One small run with metrics-out= and trace-out= must produce both
+# files, and tools/obs_report.py --check must validate them: schemes present
+# and sane in the metrics, well-formed Chrome trace JSON with monotone span
+# nesting per track and matched async pairs.  The Python validation is
+# skipped (with a notice) when no python3 is on PATH.
+if(NOT DEFINED HARL_SIM OR NOT DEFINED WORK_DIR OR NOT DEFINED OBS_REPORT)
+  message(FATAL_ERROR
+          "pass -DHARL_SIM=<binary> -DWORK_DIR=<dir> -DOBS_REPORT=<script>")
+endif()
+
+set(metrics_file ${WORK_DIR}/obs_smoke_metrics.json)
+set(trace_file ${WORK_DIR}/obs_smoke_trace.json)
+file(REMOVE ${metrics_file} ${trace_file})
+
+execute_process(
+  COMMAND ${HARL_SIM} workload=ior procs=4 file=64M request=512K requests=8
+          schemes=64K,harl metrics-out=${metrics_file} trace-out=${trace_file}
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "instrumented run failed (${run_rc}): ${run_err}")
+endif()
+
+foreach(out_file IN ITEMS ${metrics_file} ${trace_file})
+  if(NOT EXISTS ${out_file})
+    message(FATAL_ERROR "run did not write ${out_file}")
+  endif()
+  file(SIZE ${out_file} out_size)
+  if(out_size EQUAL 0)
+    message(FATAL_ERROR "${out_file} is empty")
+  endif()
+endforeach()
+
+# The summary table must still appear on stdout: observability is additive.
+if(NOT run_out MATCHES "HARL")
+  message(FATAL_ERROR "instrumented run lost its normal output:\n${run_out}")
+endif()
+
+find_program(PYTHON3 NAMES python3 python)
+if(NOT PYTHON3)
+  message(STATUS "python3 not found; wrote and size-checked "
+                 "${metrics_file} and ${trace_file} only")
+  return()
+endif()
+
+execute_process(
+  COMMAND ${PYTHON3} ${OBS_REPORT} ${metrics_file} --trace ${trace_file}
+          --check
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "obs_report.py --check failed (${check_rc}):\n"
+                      "${check_out}${check_err}")
+endif()
+message(STATUS "obs smoke ok: ${check_out}")

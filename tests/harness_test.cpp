@@ -214,6 +214,51 @@ TEST(Experiment, HarlSchemeProducesAPlan) {
   EXPECT_GT(result.total.throughput(), 0.0);
 }
 
+TEST(Experiment, ObservedHarlRunExportsPlannerMetrics) {
+  ExperimentOptions opts;
+  opts.cluster.num_clients = 4;
+  opts.calibration.samples_per_size = 200;
+  opts.calibration.beta_samples = 200;
+  opts.observe = true;
+
+  workloads::IorConfig ior;
+  ior.processes = 4;
+  ior.file_size = 64 * MiB;
+  ior.request_size = 512 * KiB;
+  ior.requests_per_process = 16;
+
+  Experiment exp(opts);
+  const auto result = exp.run(ior_bundle(ior), LayoutScheme::harl());
+  ASSERT_TRUE(result.obs);
+  ASSERT_TRUE(result.plan.has_value());
+  const obs::MetricsRegistry& m = result.obs->metrics();
+
+  // The per-region Analysis Phase counters must sum to the Plan's own
+  // aggregates: the registry mirrors the planner, it does not re-measure it.
+  double evals = 0.0, saved = 0.0, candidates = 0.0;
+  for (std::size_t i = 0; i < result.plan->regions.size(); ++i) {
+    const auto labels = obs::LabelSet{}.region(static_cast<std::uint32_t>(i));
+    evals += m.value("planner.region.cost_evals", labels);
+    saved += m.value("planner.region.cost_evals_saved", labels);
+    candidates += m.value("planner.region.candidates", labels);
+  }
+  EXPECT_EQ(evals, static_cast<double>(result.plan->total_cost_evals()));
+  EXPECT_EQ(saved,
+            static_cast<double>(result.plan->total_cost_evals_saved()));
+  EXPECT_GT(candidates, 0.0);
+  EXPECT_DOUBLE_EQ(m.value("planner.total_model_cost_s"),
+                   result.plan->total_model_cost());
+  EXPECT_EQ(m.value("planner.regions_after_merge"),
+            static_cast<double>(result.plan->regions_after_merge));
+
+  // The measured run landed in the same registry (per-server byte counters
+  // from the PFS layer), so one JSON dump carries both sides.
+  std::ostringstream json;
+  m.write_json(json);
+  EXPECT_NE(json.str().find("planner.region.cost_evals"), std::string::npos);
+  EXPECT_NE(json.str().find("pfs.server.bytes"), std::string::npos);
+}
+
 TEST(Experiment, ResultsAreDeterministic) {
   ExperimentOptions opts;
   opts.cluster.num_clients = 4;

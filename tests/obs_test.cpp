@@ -1,0 +1,425 @@
+// Unit and integration tests for src/obs: label packing, metrics registry
+// semantics (including deterministic merge), the flight recorder's spans,
+// summaries and ring buffer, and — the load-bearing one — reconciliation of
+// the measured T_X/T_S/T_T decomposition against the analytic
+// tiered_cost_model on a deterministic single-request scenario.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/core/tiered_cost_model.hpp"
+#include "src/net/network.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/recorder.hpp"
+#include "src/pfs/cluster.hpp"
+#include "src/pfs/layout.hpp"
+#include "src/sim/resource.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/storage/profiles.hpp"
+
+namespace harl {
+namespace {
+
+// ------------------------------------------------------------- label set ----
+
+TEST(LabelSet, DefaultsToAllAbsent) {
+  const obs::LabelSet l;
+  EXPECT_EQ(l.server_value(), obs::LabelSet::kNone);
+  EXPECT_EQ(l.region_value(), obs::LabelSet::kNoneRegion);
+  EXPECT_EQ(l.client_value(), obs::LabelSet::kNone);
+  EXPECT_FALSE(l.has_op());
+}
+
+TEST(LabelSet, PacksFieldsIndependently) {
+  const obs::LabelSet l =
+      obs::LabelSet{}.server(3).tier(1).region(42).client(7).op(IoOp::kWrite);
+  EXPECT_EQ(l.server_value(), 3u);
+  EXPECT_EQ(l.tier_value(), 1u);
+  EXPECT_EQ(l.region_value(), 42u);
+  EXPECT_EQ(l.client_value(), 7u);
+  EXPECT_TRUE(l.has_op());
+  EXPECT_EQ(l.op_value(), IoOp::kWrite);
+  // A partial set leaves the other fields absent.
+  const obs::LabelSet partial = obs::LabelSet{}.tier(0).op(IoOp::kRead);
+  EXPECT_EQ(partial.server_value(), obs::LabelSet::kNone);
+  EXPECT_EQ(partial.tier_value(), 0u);
+  EXPECT_EQ(partial.op_value(), IoOp::kRead);
+}
+
+TEST(LabelSet, BitsRoundTrip) {
+  const obs::LabelSet l = obs::LabelSet{}.server(9).region(100).op(IoOp::kRead);
+  EXPECT_EQ(obs::LabelSet::from_bits(l.bits()), l);
+}
+
+// ------------------------------------------------------- metrics registry ----
+
+TEST(MetricsRegistry, CountersGaugesAndHistograms) {
+  obs::MetricsRegistry reg;
+  const auto c = reg.family("bytes", obs::MetricsRegistry::Kind::kCounter);
+  const auto g = reg.family("depth", obs::MetricsRegistry::Kind::kGauge);
+  const auto h = reg.family("lat", obs::MetricsRegistry::Kind::kHistogram);
+  const obs::LabelSet s0 = obs::LabelSet{}.server(0);
+  const obs::LabelSet s1 = obs::LabelSet{}.server(1);
+
+  reg.add(c, s0, 100.0);
+  reg.add(c, s0, 20.0);
+  reg.add(c, s1, 7.0);
+  reg.set_max(g, s0, 3.0);
+  reg.set_max(g, s0, 2.0);  // lower sample must not win
+  reg.observe(h, s0, 1e-3);
+  reg.observe(h, s0, 4e-3);
+
+  EXPECT_DOUBLE_EQ(reg.value("bytes", s0), 120.0);
+  EXPECT_DOUBLE_EQ(reg.value("bytes", s1), 7.0);
+  EXPECT_DOUBLE_EQ(reg.value("depth", s0), 3.0);
+  EXPECT_DOUBLE_EQ(reg.value("missing", s0), 0.0);
+  const LogHistogram* lat = reg.histogram("lat", s0);
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), 2u);
+  EXPECT_DOUBLE_EQ(lat->max(), 4e-3);
+  EXPECT_EQ(reg.histogram("lat", s1), nullptr);
+}
+
+TEST(MetricsRegistry, FamilyKindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.family("x", obs::MetricsRegistry::Kind::kCounter);
+  EXPECT_THROW(reg.family("x", obs::MetricsRegistry::Kind::kHistogram),
+               std::invalid_argument);
+}
+
+std::string registry_json(const obs::MetricsRegistry& reg) {
+  std::ostringstream out;
+  reg.write_json(out);
+  return out.str();
+}
+
+TEST(MetricsRegistry, MergeIsExactAndOrderIndependent) {
+  // Shards as the parallel harness produces them: same families, label sets
+  // inserted in different orders, merged in different orders — the JSON dump
+  // (the canonical serialized form) must be byte-identical either way.
+  auto make_shard = [](std::uint32_t first, std::uint32_t second, double w) {
+    obs::MetricsRegistry reg;
+    const auto c = reg.family("bytes", obs::MetricsRegistry::Kind::kCounter);
+    const auto h = reg.family("lat", obs::MetricsRegistry::Kind::kHistogram);
+    reg.add(c, obs::LabelSet{}.server(first), w);
+    reg.add(c, obs::LabelSet{}.server(second), 2.0 * w);
+    reg.observe(h, obs::LabelSet{}.server(first), w * 1e-3);
+    return reg;
+  };
+  const obs::MetricsRegistry a = make_shard(0, 1, 10.0);
+  const obs::MetricsRegistry b = make_shard(1, 0, 5.0);
+
+  obs::MetricsRegistry ab;
+  ab.merge(a);
+  ab.merge(b);
+  obs::MetricsRegistry ba;
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(registry_json(ab), registry_json(ba));
+  EXPECT_DOUBLE_EQ(ab.value("bytes", obs::LabelSet{}.server(0)), 20.0);
+  EXPECT_DOUBLE_EQ(ab.value("bytes", obs::LabelSet{}.server(1)), 25.0);
+}
+
+// -------------------------------------------------------------- timeline ----
+
+TEST(Timeline, CoalescesInsteadOfGrowing) {
+  obs::Timeline tl(1e-3, 8, /*take_max=*/false);
+  // Busy the first millisecond, then jump 10 simulated seconds ahead: the
+  // bucket width must double until t fits, and the recorded busy-seconds
+  // must be conserved across coalescing.
+  tl.add_span(0.0, 1e-3);
+  tl.add_span(10.0, 10.5);
+  EXPECT_LE(tl.values().size(), 8u);
+  double total = 0.0;
+  for (double v : tl.values()) total += v;
+  EXPECT_NEAR(total, 1e-3 + 0.5, 1e-9);
+  EXPECT_GE(tl.bucket_width() * 8.0, 10.5);
+}
+
+TEST(Timeline, MaxModeKeepsHighWaterMarks) {
+  obs::Timeline tl(1.0, 4, /*take_max=*/true);
+  tl.sample_max(0.5, 3.0);
+  tl.sample_max(0.6, 2.0);  // lower sample in the same bucket must not win
+  EXPECT_DOUBLE_EQ(tl.values()[0], 3.0);
+}
+
+// ----------------------------------------------------- recorder: resources ----
+
+TEST(Recorder, FifoSpansWaitsAndSummaries) {
+  sim::Simulator sim;
+  obs::Recorder rec;
+  sim.set_observer(&rec);
+  sim::FifoResource res(sim, "disk");
+  res.set_obs_track(rec.register_server(0, 0, "disk", false));
+
+  // Two back-to-back jobs: the second queues behind the first.
+  res.submit(1e-3, [] {});
+  res.submit(2e-3, [] {});
+  sim.run();
+
+  const auto summaries = rec.resource_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  const auto& s = summaries[0];
+  EXPECT_EQ(s.kind, obs::TrackKind::kServerDisk);
+  EXPECT_EQ(s.jobs, 2u);
+  EXPECT_NEAR(s.busy, res.busy_time(), 1e-12);
+  EXPECT_NEAR(s.queue_delay, 1e-3, 1e-12);  // job 2 waited for job 1
+  EXPECT_EQ(s.depth_max, 2u);
+  ASSERT_NE(s.wait, nullptr);
+  ASSERT_NE(s.service, nullptr);
+  EXPECT_EQ(s.service->count(), 2u);
+  EXPECT_NEAR(s.service->max(), 2e-3, 1e-12);
+  // One X span per job plus one wait record for the queued job (async b/e
+  // pairs are stored once and expanded at export time).
+  EXPECT_EQ(rec.trace_events_recorded(), 3u);
+  EXPECT_NEAR(rec.last_time(), 3e-3, 1e-12);
+}
+
+TEST(Recorder, RingBufferBoundsTraceMemory) {
+  obs::Recorder::Options opts;
+  opts.max_trace_events = 8;
+  sim::Simulator sim;
+  obs::Recorder rec(opts);
+  sim.set_observer(&rec);
+  sim::FifoResource res(sim, "disk");
+  res.set_obs_track(rec.register_server(0, 0, "disk", false));
+  for (int i = 0; i < 100; ++i) res.submit(1e-4, [] {});
+  sim.run();
+
+  EXPECT_GT(rec.trace_events_recorded(), 8u);
+  EXPECT_EQ(rec.trace_events_dropped(), rec.trace_events_recorded() - 8u);
+  // The exported trace holds only the ring's survivors (plus metadata).
+  std::ostringstream out;
+  rec.write_trace_json(out);
+  const std::string json = out.str();
+  std::size_t spans = 0;
+  for (std::size_t pos = json.find("\"ph\": \"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"X\"", pos + 1)) {
+    ++spans;
+  }
+  EXPECT_LE(spans, 8u);
+  EXPECT_GT(spans, 0u);
+}
+
+TEST(Recorder, TraceJsonHasChromeTraceShape) {
+  sim::Simulator sim;
+  obs::Recorder rec;
+  sim.set_observer(&rec);
+  sim::FifoResource res(sim, "disk");
+  res.set_obs_track(rec.register_server(2, 1, "sserver_2", true));
+  res.submit(1e-3, [] {});
+  res.submit(1e-3, [] {});
+  sim.run();
+
+  std::ostringstream out;
+  rec.write_trace_json(out, "harl-test");
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("sserver_2"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // service span
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);  // queue wait
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+}
+
+// ------------------------------------------- recorder: request attribution ----
+
+/// Deterministic one-tier cluster: fixed startup window (min == max), flat
+/// per-byte rates, no GC, no faults — every component of the paper's
+/// decomposition is analytically known.
+pfs::ClusterConfig deterministic_config() {
+  storage::TierProfile det;
+  det.name = "det";
+  det.read = storage::OpProfile{500e-6, 500e-6, 1e-8};
+  det.write = storage::OpProfile{500e-6, 500e-6, 1e-8};
+  pfs::ClusterConfig cfg;
+  cfg.tiers = {pfs::TierGroup{"det", 2, det, /*is_ssd=*/true}};
+  cfg.num_clients = 1;
+  cfg.network = net::NetworkParams{1e-9, 40e-6};
+  cfg.server_per_stripe_overhead = 50e-6;
+  return cfg;
+}
+
+/// The analytic cost parameters matching what the simulator actually charges
+/// an uncontended request: each transfer serializes on two FIFO links, so
+/// the model sees 2 hops and twice the per-message latency.
+core::TieredCostParams matching_params(const pfs::ClusterConfig& cfg) {
+  core::TieredCostParams params;
+  for (const auto& group : cfg.tiers) {
+    params.tiers.push_back(core::TierSpec{group.count, group.profile});
+  }
+  params.t = cfg.network.per_byte;
+  params.net_latency = 2.0 * cfg.network.message_latency;
+  params.net_hops = 2;
+  params.per_stripe_overhead = cfg.server_per_stripe_overhead;
+  return params;
+}
+
+TEST(Recorder, ReconcilesMeasuredDecompositionAgainstCostModel) {
+  // Acceptance scenario: single request, idle deterministic cluster.  The
+  // measured T_X/T_S/T_T (+ queue wait) must sum to the request's completion
+  // time exactly, and the tiered cost model with the matching parameters
+  // must predict that completion time to float round-off.
+  for (const IoOp op : {IoOp::kRead, IoOp::kWrite}) {
+    const pfs::ClusterConfig cfg = deterministic_config();
+    const core::TieredCostParams params = matching_params(cfg);
+    const std::vector<Bytes> stripes = {64 * KiB};
+
+    sim::Simulator sim;
+    obs::Recorder rec;
+    rec.set_predictor([&](IoOp o, Bytes offset, Bytes size) {
+      return core::tiered_request_cost(params, o, offset, size, stripes);
+    });
+    sim.set_observer(&rec);
+    pfs::Cluster cluster(sim, cfg);
+    auto layout = pfs::make_fixed_layout(cluster.num_servers(), 64 * KiB);
+
+    bool completed = false;
+    cluster.client(0).io(*layout, op, 0, 64 * KiB, [&] { completed = true; });
+    sim.run();
+    ASSERT_TRUE(completed);
+
+    ASSERT_EQ(rec.requests().size(), 1u);
+    const obs::Recorder::RequestSample& r = rec.requests().front();
+    EXPECT_EQ(r.op, op);
+    ASSERT_EQ(r.subs.size(), 1u);  // 64K at offset 0 touches one server
+    const obs::Recorder::SubSample& sub = r.subs.front();
+
+    // Analytically known components.
+    const Seconds hop = 40e-6 + 64.0 * 1024.0 * 1e-9;
+    EXPECT_NEAR(sub.t_x, 2.0 * hop, 1e-12);           // two serialized links
+    EXPECT_NEAR(sub.t_s, 500e-6, 1e-12);              // fixed startup window
+    EXPECT_NEAR(sub.t_t, 64.0 * 1024.0 * 1e-8 + 50e-6, 1e-12);
+    EXPECT_NEAR(sub.wait, 0.0, 1e-12);                // idle queue
+
+    // The decomposition must account for the whole request, end to end.
+    EXPECT_NEAR(sub.wait + sub.t_s + sub.t_t + sub.t_x, r.latency(), 1e-12);
+
+    // And the analytic model must reconcile with the measurement.
+    ASSERT_GE(r.predicted, 0.0);
+    EXPECT_NEAR(r.predicted, r.latency(), 1e-9);
+    const LogHistogram* err = rec.metrics().histogram(
+        "model.rel_error", obs::LabelSet{}.region(r.region).op(op));
+    ASSERT_NE(err, nullptr);
+    EXPECT_EQ(err->count(), 1u);
+    EXPECT_LT(err->max(), 1e-6);
+  }
+}
+
+TEST(Recorder, SubComponentsSumEvenUnderContention) {
+  // A striped request whose sub-transfers contend on the client NIC: the
+  // per-sub identity wait + T_S + T_T + T_X == done - issue must still hold
+  // exactly, because queueing shows up in wait (storage) or T_X (network).
+  const pfs::ClusterConfig cfg = deterministic_config();
+  sim::Simulator sim;
+  obs::Recorder rec;
+  sim.set_observer(&rec);
+  pfs::Cluster cluster(sim, cfg);
+  auto layout = pfs::make_fixed_layout(cluster.num_servers(), 64 * KiB);
+
+  int completed = 0;
+  cluster.client(0).io(*layout, IoOp::kRead, 0, 256 * KiB,
+                       [&] { ++completed; });
+  cluster.client(0).io(*layout, IoOp::kWrite, 256 * KiB, 256 * KiB,
+                       [&] { ++completed; });
+  sim.run();
+  ASSERT_EQ(completed, 2);
+
+  ASSERT_EQ(rec.requests().size(), 2u);
+  for (const auto& r : rec.requests()) {
+    ASSERT_GT(r.subs.size(), 1u);
+    Seconds last_done = 0.0;
+    for (const auto& sub : r.subs) {
+      EXPECT_NEAR(sub.wait + sub.t_s + sub.t_t + sub.t_x,
+                  sub.done - sub.issue, 1e-12);
+      last_done = std::max(last_done, sub.done);
+    }
+    // The request completes when its slowest sub-request does.
+    EXPECT_NEAR(last_done, r.done, 1e-12);
+  }
+  EXPECT_EQ(rec.requests_completed(), 2u);
+}
+
+TEST(Recorder, ReproducesFig1aImbalanceOrderingUnderRoundRobin) {
+  // The paper's Fig. 1a story: uniform round-robin striping on a hybrid
+  // cluster loads every server with the same bytes, so the HDD servers'
+  // I/O time dominates the SSD servers'.  The recorder's per-server
+  // summaries and metrics must reproduce that ordering.
+  pfs::ClusterConfig cfg;  // paper default: 6 HServers + 2 SServers
+  cfg.num_clients = 4;
+  sim::Simulator sim;
+  obs::Recorder rec;
+  sim.set_observer(&rec);
+  pfs::Cluster cluster(sim, cfg);
+  auto layout = pfs::make_fixed_layout(cluster.num_servers(), 64 * KiB);
+
+  int completed = 0;
+  for (int i = 0; i < 16; ++i) {
+    cluster.client(i % 4).io(*layout, i % 2 ? IoOp::kRead : IoOp::kWrite,
+                             static_cast<Bytes>(i) * MiB, 1 * MiB,
+                             [&] { ++completed; });
+  }
+  sim.run();
+  ASSERT_EQ(completed, 16);
+
+  double hdd_busy = 0.0, ssd_busy = 0.0;
+  std::size_t hdd_n = 0, ssd_n = 0;
+  for (const auto& s : rec.resource_summaries()) {
+    if (s.kind != obs::TrackKind::kServerDisk) continue;
+    EXPECT_GT(s.jobs, 0u);
+    if (s.is_ssd) {
+      ssd_busy += s.busy;
+      ++ssd_n;
+    } else {
+      hdd_busy += s.busy;
+      ++hdd_n;
+    }
+  }
+  ASSERT_EQ(hdd_n, 6u);
+  ASSERT_EQ(ssd_n, 2u);
+  EXPECT_GT(hdd_busy / static_cast<double>(hdd_n),
+            ssd_busy / static_cast<double>(ssd_n));
+
+  // Same ordering through the metrics registry's per-server byte counters:
+  // round-robin spreads bytes evenly, so the imbalance is time, not bytes.
+  const auto& reg = rec.metrics();
+  const double bytes_h0 = reg.value(
+      "pfs.server.bytes", obs::LabelSet{}.server(0).tier(0).op(IoOp::kRead));
+  const double bytes_s7 = reg.value(
+      "pfs.server.bytes", obs::LabelSet{}.server(7).tier(1).op(IoOp::kRead));
+  EXPECT_DOUBLE_EQ(bytes_h0, bytes_s7);
+}
+
+TEST(Recorder, MetricsJsonIsWellFormedEnoughToGrep) {
+  const pfs::ClusterConfig cfg = deterministic_config();
+  sim::Simulator sim;
+  obs::Recorder rec;
+  sim.set_observer(&rec);
+  pfs::Cluster cluster(sim, cfg);
+  auto layout = pfs::make_fixed_layout(cluster.num_servers(), 64 * KiB);
+  bool completed = false;
+  cluster.client(0).io(*layout, IoOp::kRead, 0, 64 * KiB,
+                       [&] { completed = true; });
+  sim.run();
+  ASSERT_TRUE(completed);
+
+  std::ostringstream out;
+  rec.write_metrics_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"horizon_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"requests_completed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"resources\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy_timeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth_timeline\""), std::string::npos);
+  EXPECT_NE(json.find("client.request.latency"), std::string::npos);
+  EXPECT_NE(json.find("request.t_x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harl

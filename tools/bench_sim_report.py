@@ -8,13 +8,20 @@ Reads the google-benchmark JSON produced by
 
 and writes BENCH_sim.json with the engine's headline numbers: the event
 dispatch rate (BM_EventDispatch, the raw schedule+dispatch loop), the
-zero-delay now-lane rate, and allocations per event at steady state.
+zero-delay now-lane rate, allocations per event at steady state, the
+lane/pool/spill counter breakdown (where events were routed, not just how
+fast), and the observability overhead pair — BM_FifoResourceChain vs
+BM_FifoResourceChainObs, i.e. the same job chain with the flight recorder
+detached vs attached.
 
 When a baseline file (bench/bench_sim_baseline.json) is given, the script
 exits non-zero if the dispatch rate fell more than `max_rate_regression`
-below the recorded baseline or if allocations per event exceeded the
-recorded ceiling — the CI smoke check for the allocation-free simulator
-core.
+below the recorded baseline, if allocations per event exceeded the
+recorded ceiling, or if the obs-disabled dispatch rate fell more than
+`max_obs_disabled_regression` (5%) below the recorded
+`obs_disabled_dispatch_rate_per_s` reference — the CI smoke check for the
+allocation-free simulator core and for "observability compiled in but
+disabled costs (almost) nothing".
 
 Usage:
     tools/bench_sim_report.py results.json \
@@ -27,7 +34,13 @@ import sys
 
 
 def find_benchmark(results, name):
-    for entry in results.get("benchmarks", []):
+    # With --benchmark_repetitions the file holds one entry per repetition
+    # plus aggregates; prefer the median so the guards compare like to like.
+    entries = results.get("benchmarks", [])
+    for entry in entries:
+        if entry.get("name") == f"{name}_median":
+            return entry
+    for entry in entries:
         if entry.get("name") == name:
             return entry
     raise KeyError(f"benchmark {name!r} not found in results")
@@ -49,7 +62,7 @@ def main():
     zero_delay = find_benchmark(results, "BM_EventDispatchZeroDelay/100000")
 
     summary = {
-        "schema": "harl-bench-sim/1",
+        "schema": "harl-bench-sim/2",
         "benchmark": "bench_micro_simulator",
         "dispatch_rate_per_s": dispatch["items_per_second"],
         "dispatch_rate_small_per_s": dispatch_small["items_per_second"],
@@ -57,6 +70,30 @@ def main():
         "allocs_per_event": dispatch["allocs_per_event"],
         "zero_delay_allocs_per_event": zero_delay["allocs_per_event"],
     }
+
+    # Engine lane/pool/spill counters: a regression that reroutes events from
+    # the O(1) lanes to the heap can keep the headline rate plausible while
+    # destroying the design — the fractions make that visible in CI history.
+    for counter in ("now_lane_fraction", "ascending_fraction",
+                    "pool_hit_rate", "inline_callback_fraction",
+                    "peak_queue_depth", "pool_chunks"):
+        if counter in dispatch:
+            summary[f"dispatch_{counter}"] = dispatch[counter]
+        if counter in zero_delay:
+            summary[f"zero_delay_{counter}"] = zero_delay[counter]
+
+    # Observability overhead: the same FIFO job chain with the flight
+    # recorder detached (plain) vs attached (obs).  Paired within one binary
+    # run, so machine noise mostly cancels.
+    try:
+        fifo = find_benchmark(results, "BM_FifoResourceChain/10000")
+        fifo_obs = find_benchmark(results, "BM_FifoResourceChainObs/10000")
+        summary["fifo_rate_per_s"] = fifo["items_per_second"]
+        summary["fifo_obs_rate_per_s"] = fifo_obs["items_per_second"]
+        summary["obs_enabled_overhead"] = (
+            1.0 - fifo_obs["items_per_second"] / fifo["items_per_second"])
+    except KeyError:
+        pass
 
     failures = []
     if args.baseline:
@@ -84,6 +121,26 @@ def main():
             failures.append(
                 f"allocs/event {summary['allocs_per_event']:.5f} exceeds the "
                 f"recorded ceiling {ceiling}")
+
+        # Overhead guard: with src/obs compiled in but no observer attached,
+        # BM_EventDispatch must stay within max_obs_disabled_regression (5%)
+        # of the recorded obs-era reference.  Compare medians to medians: run
+        # the benchmark with --benchmark_repetitions and feed this script the
+        # aggregate, or accept single-run noise on quiet machines only.
+        obs_ref = baseline.get("obs_disabled_dispatch_rate_per_s")
+        if obs_ref is not None:
+            max_obs_regression = baseline.get(
+                "max_obs_disabled_regression", 0.05)
+            summary["obs_disabled_reference_rate_per_s"] = obs_ref
+            summary["obs_disabled_rate_vs_reference"] = (
+                summary["dispatch_rate_per_s"] / obs_ref)
+            if (summary["dispatch_rate_per_s"]
+                    < obs_ref * (1.0 - max_obs_regression)):
+                failures.append(
+                    f"obs-disabled dispatch rate "
+                    f"{summary['dispatch_rate_per_s']:.0f}/s is more than "
+                    f"{max_obs_regression:.0%} below the recorded reference "
+                    f"{obs_ref:.0f}/s")
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(summary, f, indent=2)

@@ -29,8 +29,15 @@
 //              artifact (binary, or CSV if the path ends in .csv)
 //   load-plan  path; Placing Phase only — append a scheme built from a
 //              previously saved Plan artifact, skipping trace + analysis
+//   metrics-out  path; per-scheme observability report JSON (per-server
+//                utilization/queue timelines, T_X/T_S/T_T histograms)
+//   trace-out    path; combined Chrome trace-event JSON of every scheme's
+//                measured run (one pid per scheme; load in Perfetto)
+//   trace-events ring-buffer capacity for trace events, 0 = unbounded
 //
-// `harl_sim help` prints this key table.
+// `harl_sim help` prints this key table — generated from the same option
+// table that validates arguments, so help and parser cannot drift.
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -47,36 +54,112 @@ using namespace harl;
 
 namespace {
 
-constexpr const char* kUsage = R"(harl_sim — config-driven experiment runner.
+/// Every recognized key=value option.  This single table generates the help
+/// text AND rejects unknown keys, so the two cannot drift apart (there is a
+/// test greping `harl_sim help` for each key).
+struct OptionSpec {
+  const char* key;
+  /// First line is the summary (defaults in parentheses); further lines are
+  /// indented continuations.
+  const char* help;
+};
 
-All parameters are key=value arguments (defaults in parentheses):
-  workload   ior | multiregion | btio            (ior)
-  procs      process count                       (16)
-  request    IOR request size                    (512K)
-  file       IOR file size                       (4G)
-  requests   IOR requests per process, 0 = full  (64)
-  coverage   multiregion coverage fraction       (0.1)
-  grid       BTIO grid points per dimension      (48)
-  dumps      BTIO max dumps, 0 = all             (4)
-  hservers   HDD server count                    (6)
-  sservers   SSD server count                    (2)
-  clients    compute nodes                       (8)
-  schemes    comma list: <size> | randN | harl | harl-file | segment
-             (64K,256K,harl)
-  seed       workload seed                       (7)
-  threads    worker threads, 0 = serial          (0)
-             parallelizes the planner's analysis AND the per-scheme
-             measured runs; tables are bit-identical at any width
-  stats      1 = print per-scheme event-engine counters (0)
-  save-plan  path; write the first analysis-based scheme's Plan
-             artifact (binary, or CSV if the path ends in .csv)
-  load-plan  path; Placing Phase only — append a scheme built from a
-             previously saved Plan artifact, skipping trace + analysis
+constexpr OptionSpec kOptions[] = {
+    {"workload", "ior | multiregion | btio            (ior)"},
+    {"procs", "process count                       (16)"},
+    {"request", "IOR request size                    (512K)"},
+    {"file", "IOR file size                       (4G)"},
+    {"requests", "IOR requests per process, 0 = full  (64)"},
+    {"coverage", "multiregion coverage fraction       (0.1)"},
+    {"grid", "BTIO grid points per dimension      (48)"},
+    {"dumps", "BTIO max dumps, 0 = all             (4)"},
+    {"hservers", "HDD server count                    (6)"},
+    {"sservers", "SSD server count                    (2)"},
+    {"clients", "compute nodes                       (8)"},
+    {"schemes",
+     "comma list: <size> | randN | harl | harl-file | segment\n"
+     "(64K,256K,harl)"},
+    {"seed", "workload seed                       (7)"},
+    {"threads",
+     "worker threads, 0 = serial          (0)\n"
+     "parallelizes the planner's analysis AND the per-scheme\n"
+     "measured runs; tables are bit-identical at any width"},
+    {"stats", "1 = print per-scheme event-engine counters (0)"},
+    {"save-plan",
+     "path; write the first analysis-based scheme's Plan\n"
+     "artifact (binary, or CSV if the path ends in .csv)"},
+    {"load-plan",
+     "path; Placing Phase only — append a scheme built from a\n"
+     "previously saved Plan artifact, skipping trace + analysis"},
+    {"metrics-out",
+     "path; per-scheme observability report JSON: per-server\n"
+     "utilization and queue-depth timelines (Fig. 1a), T_X/T_S/T_T\n"
+     "attribution histograms, cost-model error per region"},
+    {"trace-out",
+     "path; combined Chrome trace-event JSON of every scheme's\n"
+     "measured run, one pid per scheme (load in Perfetto or\n"
+     "chrome://tracing; validate with tools/obs_report.py --check)"},
+    {"trace-events",
+     "flight-recorder ring-buffer capacity, 0 = unbounded (0);\n"
+     "when full, the oldest trace events are dropped"},
+};
 
-Separate Analysis and Placing processes:
-  harl_sim schemes=harl save-plan=ior.plan     # analyze + save
-  harl_sim schemes=64K load-plan=ior.plan      # place from the artifact
-)";
+std::string usage() {
+  std::ostringstream out;
+  out << "harl_sim — config-driven experiment runner.\n\n"
+      << "All parameters are key=value arguments (defaults in parentheses):\n";
+  for (const OptionSpec& opt : kOptions) {
+    std::istringstream lines(opt.help);
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      if (first) {
+        const std::string key(opt.key);
+        out << "  " << key
+            << std::string(key.size() < 13 ? 13 - key.size() : 1, ' ') << line
+            << "\n";
+        first = false;
+      } else {
+        out << std::string(15, ' ') << line << "\n";
+      }
+    }
+  }
+  out << "\nSeparate Analysis and Placing processes:\n"
+      << "  harl_sim schemes=harl save-plan=ior.plan     # analyze + save\n"
+      << "  harl_sim schemes=64K load-plan=ior.plan      # place from the "
+         "artifact\n"
+      << "\nObservability (flight recorder):\n"
+      << "  harl_sim schemes=64K,harl metrics-out=m.json trace-out=t.json\n"
+      << "  python3 tools/obs_report.py m.json --trace t.json --check\n";
+  return out.str();
+}
+
+/// Rejects keys that no OptionSpec covers (typos like thread=4 would
+/// otherwise be silently ignored).
+void validate_keys(const Config& cfg) {
+  for (const auto& [key, value] : cfg.entries()) {
+    bool known = false;
+    for (const OptionSpec& opt : kOptions) {
+      if (key == opt.key) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw std::invalid_argument("unknown option '" + key +
+                                  "' (see `harl_sim help`)");
+    }
+  }
+}
+
+void write_json_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
 
 std::vector<std::string> split_commas(const std::string& text) {
   std::vector<std::string> out;
@@ -135,11 +218,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     for (const auto& a : args) {
       if (a == "help" || a == "-h" || a == "--help") {
-        std::cout << kUsage;
+        std::cout << usage();
         return 0;
       }
     }
     const Config cfg = Config::from_args(args);
+    validate_keys(cfg);
 
     harness::ExperimentOptions options;
     options.cluster.num_hservers =
@@ -162,6 +246,15 @@ int main(int argc, char** argv) {
       pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads));
       options.planner.pool = pool.get();
       options.pool = pool.get();
+    }
+
+    const std::string metrics_out = cfg.get_or("metrics-out", "");
+    const std::string trace_out = cfg.get_or("trace-out", "");
+    if (!metrics_out.empty() || !trace_out.empty()) {
+      options.observe = true;
+      options.recorder.trace = !trace_out.empty();
+      options.recorder.max_trace_events =
+          static_cast<std::size_t>(cfg.get_int("trace-events", 0));
     }
 
     std::vector<harness::LayoutScheme> schemes;
@@ -196,6 +289,46 @@ int main(int argc, char** argv) {
       std::cout << "saved " << analyzed->label << " plan ("
                 << analyzed->region_count << " region(s)) to "
                 << save_plan_path << "\n";
+    }
+
+    if (!trace_out.empty()) {
+      // One combined Chrome trace: each scheme's measured run is a process
+      // (pid = scheme index + 1), each simulated resource a thread.
+      std::ofstream out(trace_out);
+      if (!out) throw std::runtime_error("cannot write " + trace_out);
+      out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+      bool first = true;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].obs) {
+          results[i].obs->append_trace_events(
+              out, static_cast<std::uint32_t>(i + 1), results[i].label, first);
+        }
+      }
+      out << "\n]}\n";
+      std::cout << "wrote trace to " << trace_out << "\n";
+    }
+
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) throw std::runtime_error("cannot write " + metrics_out);
+      out << "{\n  \"schemes\": [";
+      bool first = true;
+      for (const auto& r : results) {
+        if (!r.obs) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "\n    {\"label\": ";
+        write_json_escaped(out, r.label);
+        out << ", \"layout\": ";
+        write_json_escaped(out, r.layout_description);
+        out << ", \"regions\": " << r.region_count
+            << ", \"makespan_s\": " << r.total.makespan
+            << ", \"total_bytes\": " << r.total.bytes << ", \"report\": ";
+        r.obs->write_metrics_json(out, 4);
+        out << "}";
+      }
+      out << "\n  ]\n}\n";
+      std::cout << "wrote metrics to " << metrics_out << "\n";
     }
 
     harness::Table table({"layout", "read MB/s", "write MB/s", "total MB/s",

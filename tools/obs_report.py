@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Summarize and validate harl_sim observability output.
+
+Usage:
+  obs_report.py METRICS.json [--trace TRACE.json] [--check] [--quiet]
+
+METRICS.json is the file written by `harl_sim metrics-out=...`; TRACE.json is
+the Chrome trace-event file from `trace-out=...`.
+
+Default mode prints, per scheme: the per-server I/O-time breakdown (disk busy
++ server-NIC busy, the paper's Fig. 1a quantity) with utilization, the
+measured request decomposition (T_X / T_S / T_T medians per tier), and the
+cost-model relative-error distribution per region.
+
+--check validates instead of summarizing:
+  * metrics: schemes present; busy/jobs/utilization sane; histogram
+    bucket counts consistent with totals.
+  * trace: valid Chrome trace JSON; complete ("X") spans on each track are
+    disjoint and sorted, so span nesting is monotone per track; every async
+    "b" has a matching "e" with end >= begin; instants carry timestamps.
+Exit code 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+ANSI_OK = True
+
+
+def fail(msg):
+    print(f"obs_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+# --- metrics ----------------------------------------------------------------
+
+def check_metrics(doc):
+    schemes = doc.get("schemes")
+    if not isinstance(schemes, list) or not schemes:
+        fail("metrics: no schemes array")
+    for scheme in schemes:
+        label = scheme.get("label", "?")
+        report = scheme.get("report")
+        if not isinstance(report, dict):
+            fail(f"metrics[{label}]: missing report")
+        horizon = report.get("horizon_s", 0.0)
+        if horizon < 0:
+            fail(f"metrics[{label}]: negative horizon")
+        if report.get("requests_completed", 0) < 0:
+            fail(f"metrics[{label}]: negative request count")
+        for res in report.get("resources", []):
+            name = res.get("name", "?")
+            if res.get("busy_s", 0.0) < -1e-12:
+                fail(f"metrics[{label}]/{name}: negative busy time")
+            if res.get("queue_delay_s", 0.0) < -1e-12:
+                fail(f"metrics[{label}]/{name}: negative queue delay")
+            util = res.get("utilization", 0.0)
+            if not (0.0 <= util <= 1.0 + 1e-9):
+                fail(f"metrics[{label}]/{name}: utilization {util} not in [0,1]")
+            tl = res.get("busy_timeline", {})
+            width = tl.get("bucket_s", 0.0)
+            if width <= 0:
+                fail(f"metrics[{label}]/{name}: non-positive timeline bucket")
+            for v in tl.get("busy_s", []):
+                if v < -1e-12 or v > width * (1 + 1e-9):
+                    fail(f"metrics[{label}]/{name}: timeline bucket busy {v} "
+                         f"outside [0, {width}]")
+        for series in report.get("metrics", []):
+            if series.get("type") != "histogram":
+                continue
+            count = series.get("count", 0)
+            bucket_total = sum(b[2] for b in series.get("buckets", []))
+            if bucket_total > count:
+                fail(f"metrics[{label}]/{series.get('name')}: bucket counts "
+                     f"{bucket_total} exceed total {count}")
+            if count > 0 and series.get("min", 0) > series.get("max", 0):
+                fail(f"metrics[{label}]/{series.get('name')}: min > max")
+    return len(schemes)
+
+
+def server_breakdown(report):
+    """Per server entity: disk busy + server-NIC busy (Fig. 1a I/O time)."""
+    servers = {}
+    for res in report.get("resources", []):
+        kind = res.get("kind")
+        entity = res.get("entity")
+        if entity is None or kind not in ("server_disk", "server_nic"):
+            continue
+        row = servers.setdefault(entity, {
+            "name": None, "tier": None, "is_ssd": False,
+            "disk_s": 0.0, "nic_s": 0.0, "jobs": 0, "depth_max": 0,
+        })
+        if kind == "server_disk":
+            row["name"] = res.get("name")
+            row["tier"] = res.get("tier")
+            row["is_ssd"] = bool(res.get("is_ssd"))
+            row["disk_s"] = res.get("busy_s", 0.0)
+            row["jobs"] = res.get("jobs", 0)
+            row["depth_max"] = res.get("depth_max", 0)
+        else:
+            row["nic_s"] = res.get("busy_s", 0.0)
+    return dict(sorted(servers.items()))
+
+
+def histogram_rows(report, name):
+    return [s for s in report.get("metrics", []) if s.get("name") == name]
+
+
+def label_str(labels):
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items())) or "-"
+
+
+def summarize(doc):
+    for scheme in doc["schemes"]:
+        report = scheme["report"]
+        horizon = report.get("horizon_s", 0.0)
+        print(f"== {scheme.get('label', '?')} "
+              f"({scheme.get('layout', '')}, {scheme.get('regions', 1)} "
+              f"region(s)) ==")
+        print(f"horizon {horizon:.4f}s, "
+              f"{report.get('requests_completed', 0)} requests, "
+              f"{report.get('trace_events_recorded', 0)} trace events "
+              f"({report.get('trace_events_dropped', 0)} dropped)")
+
+        servers = server_breakdown(report)
+        if servers:
+            print("  per-server I/O time (disk + server NIC, Fig. 1a):")
+            for entity, row in servers.items():
+                io_time = row["disk_s"] + row["nic_s"]
+                util = io_time / horizon if horizon > 0 else 0.0
+                bar = "#" * int(round(40 * min(util, 1.0)))
+                print(f"    s{entity:<2} {row['name'] or '?':<12} "
+                      f"{io_time:9.4f}s (disk {row['disk_s']:.4f} + nic "
+                      f"{row['nic_s']:.4f}) util {util:5.1%} "
+                      f"depth<= {row['depth_max']:<4} {bar}")
+            hs = [r["disk_s"] + r["nic_s"]
+                  for r in servers.values() if not r["is_ssd"]]
+            ss = [r["disk_s"] + r["nic_s"]
+                  for r in servers.values() if r["is_ssd"]]
+            if hs and ss:
+                print(f"    HServer mean {sum(hs) / len(hs):.4f}s vs "
+                      f"SServer mean {sum(ss) / len(ss):.4f}s "
+                      f"(imbalance x{(sum(hs) / len(hs)) / (sum(ss) / len(ss)):.2f})"
+                      if sum(ss) > 0 else "")
+
+        comp = {}
+        for name in ("request.t_x", "request.t_s", "request.t_t",
+                     "request.queue_wait"):
+            for series in histogram_rows(report, name):
+                key = label_str(series.get("labels", {}))
+                comp.setdefault(key, {})[name.split(".")[1]] = series
+        if comp:
+            print("  request decomposition (per sub-request, medians):")
+            for key, parts in sorted(comp.items()):
+                cells = []
+                for part in ("t_x", "t_s", "t_t", "queue_wait"):
+                    s = parts.get(part)
+                    cells.append(f"{part}={s['p50'] * 1e3:8.3f}ms"
+                                 if s and s.get("count") else f"{part}=      --")
+                print(f"    [{key}] " + " ".join(cells))
+
+        errors = histogram_rows(report, "model.rel_error")
+        if errors:
+            print("  cost-model relative error |predicted-measured|/measured:")
+            for series in errors:
+                print(f"    [{label_str(series.get('labels', {}))}] "
+                      f"n={series['count']} p50={series['p50']:.3f} "
+                      f"p95={series['p95']:.3f} max={series['max']:.3f}")
+        print()
+
+
+# --- trace ------------------------------------------------------------------
+
+def check_trace(doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("trace: no traceEvents array")
+    spans = defaultdict(list)       # (pid, tid) -> [(ts, dur)]
+    asyncs = defaultdict(list)      # (pid, cat, id, name) -> [(ph, ts)]
+    counts = defaultdict(int)
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None or "pid" not in e:
+            fail(f"trace[{i}]: event without ph/pid")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"trace[{i}]: bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur", 0)
+            if dur < 0:
+                fail(f"trace[{i}]: negative dur")
+            spans[(e["pid"], e.get("tid"))].append((ts, dur))
+        elif ph in ("b", "e"):
+            asyncs[(e["pid"], e.get("cat"), e.get("id"), e.get("name"))] \
+                .append((ph, ts))
+        elif ph != "i":
+            fail(f"trace[{i}]: unexpected phase {ph!r}")
+
+    # Complete spans on one track come from a FIFO resource: they must be
+    # sorted by start and disjoint (allowing float round-off), which is what
+    # makes per-track nesting monotone.
+    for (pid, tid), track in spans.items():
+        prev_end = -1.0
+        prev_ts = -1.0
+        for ts, dur in track:
+            if ts < prev_ts:
+                fail(f"trace pid={pid} tid={tid}: X spans out of order "
+                     f"({ts} after {prev_ts})")
+            if ts < prev_end - 1e-6:
+                fail(f"trace pid={pid} tid={tid}: X spans overlap "
+                     f"(start {ts} < previous end {prev_end})")
+            prev_ts = ts
+            prev_end = max(prev_end, ts + dur)
+
+    for key, pair_events in asyncs.items():
+        begins = [ts for ph, ts in pair_events if ph == "b"]
+        ends = [ts for ph, ts in pair_events if ph == "e"]
+        if len(begins) != 1 or len(ends) != 1:
+            fail(f"trace async {key}: expected one b/e pair, got "
+                 f"{len(begins)}b/{len(ends)}e")
+        if ends[0] < begins[0] - 1e-9:
+            fail(f"trace async {key}: ends before it begins")
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize/validate harl_sim observability output")
+    parser.add_argument("metrics", help="metrics-out JSON file")
+    parser.add_argument("--trace", help="trace-out Chrome trace JSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate files instead of summarizing")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the OK lines in --check mode")
+    args = parser.parse_args()
+
+    metrics_doc = load_json(args.metrics)
+    n_schemes = check_metrics(metrics_doc)
+    trace_counts = None
+    if args.trace:
+        trace_counts = check_trace(load_json(args.trace))
+
+    if args.check:
+        if not args.quiet:
+            print(f"obs_report: OK: {args.metrics}: {n_schemes} scheme(s) valid")
+            if trace_counts is not None:
+                total = sum(trace_counts.values())
+                detail = ", ".join(f"{k}:{v}" for k, v in
+                                   sorted(trace_counts.items()))
+                print(f"obs_report: OK: {args.trace}: {total} events "
+                      f"({detail}); spans nested per track, async pairs "
+                      f"matched")
+        return 0
+
+    summarize(metrics_doc)
+    if trace_counts is not None:
+        total = sum(trace_counts.values())
+        print(f"trace: {total} events "
+              + ", ".join(f"{k}:{v}" for k, v in sorted(trace_counts.items())))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
