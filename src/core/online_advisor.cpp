@@ -35,7 +35,12 @@ Seconds OnlineAdvisor::cost_under(const CostParams& params,
 
 std::optional<OnlineAdvisor::Recommendation> OnlineAdvisor::observe(
     const trace::TraceRecord& record) {
-  window_.push_back(record);
+  // Binary insertion keeps the window in ByOffset order as it fills, so a
+  // full window is already the sorted trace `analyze` expects (its
+  // pre-sorted fast path takes over) instead of re-sorting per window.
+  window_.insert(
+      std::upper_bound(window_.begin(), window_.end(), record, trace::ByOffset{}),
+      record);
   if (window_.size() < options_.window) return std::nullopt;
 
   // Window complete: re-run the Analysis Phase on the window alone.
@@ -45,12 +50,19 @@ std::optional<OnlineAdvisor::Recommendation> OnlineAdvisor::observe(
   window_.reserve(options_.window);
 
   const Seconds current_cost = cost_under(params_, current_, window);
+  // Thread the persistent scratch memo through the re-optimization (the
+  // planner drops it automatically on the region-parallel path, where
+  // per-shard memos apply instead).
+  PlannerOptions planner = options_.planner;
+  planner.optimizer.scratch = &memo_;
   Plan plan;
   try {
-    plan = analyze(window, params_, options_.planner);
+    plan = analyze(window, params_, planner);
   } catch (const std::exception&) {
     return std::nullopt;  // degenerate window (should not happen in practice)
   }
+  cost_evals_ += plan.total_cost_evals();
+  cost_evals_saved_ += plan.total_cost_evals_saved();
   const Seconds optimized_cost = cost_under(params_, plan.rst, window);
   if (current_cost <= 0.0) return std::nullopt;
   const double gain = 1.0 - optimized_cost / current_cost;
@@ -63,7 +75,9 @@ std::optional<OnlineAdvisor::Recommendation> OnlineAdvisor::observe(
   rec.window_requests = window.size();
 
   // Affected extent: file span covered by the window whose governing stripe
-  // pair changes — the upper bound on bytes a migration would move.
+  // pair changes — the upper bound on bytes a migration would move.  The
+  // changed spans themselves (coalesced) ride along for the migration
+  // engine.
   Bytes max_end = 0;
   for (const auto& r : window) max_end = std::max(max_end, r.offset + r.size);
   Bytes affected = 0;
@@ -81,7 +95,15 @@ std::optional<OnlineAdvisor::Recommendation> OnlineAdvisor::observe(
     if (new_idx + 1 < plan.rst.size()) {
       next = std::min(next, plan.rst.entry(new_idx + 1).offset);
     }
-    if (!(old_entry.stripes == new_entry.stripes)) affected += next - cursor;
+    if (!(old_entry.stripes == new_entry.stripes)) {
+      affected += next - cursor;
+      if (!rec.changed_ranges.empty() &&
+          rec.changed_ranges.back().second == cursor) {
+        rec.changed_ranges.back().second = next;  // coalesce adjacent spans
+      } else {
+        rec.changed_ranges.emplace_back(cursor, next);
+      }
+    }
     cursor = next;
   }
   rec.affected_extent = affected;

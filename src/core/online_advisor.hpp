@@ -13,8 +13,10 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "src/core/cost_memo.hpp"
 #include "src/core/planner.hpp"
 
 namespace harl::core {
@@ -36,6 +38,10 @@ class OnlineAdvisor {
     double gain = 0.0;              ///< 1 - optimized/current
     Bytes affected_extent = 0;      ///< bytes of file span whose stripes change
     std::size_t window_requests = 0;
+    /// Maximal [begin, end) spans (within the window's touched extent) whose
+    /// governing stripes change — exactly the data a migration must move.
+    /// Their lengths sum to `affected_extent`.
+    std::vector<std::pair<Bytes, Bytes>> changed_ranges;
   };
 
   /// `current` is the RST installed by the offline Analysis Phase (or a
@@ -53,6 +59,13 @@ class OnlineAdvisor {
   std::size_t windows_analyzed() const { return windows_analyzed_; }
   std::size_t recommendations_made() const { return recommendations_made_; }
 
+  /// Cost-kernel evaluations performed / avoided across every per-window
+  /// re-optimization so far.  The scratch memo and (when serial) the planner
+  /// pool are threaded through `observe`'s analyze call, so saved
+  /// evaluations accumulate across windows instead of starting cold.
+  std::uint64_t cost_evals() const { return cost_evals_; }
+  std::uint64_t cost_evals_saved() const { return cost_evals_saved_; }
+
   /// Model cost of `records` when each request is striped per `rst`'s
   /// governing region (requests spanning a boundary are costed with the
   /// stripes of their starting region — the dominant share of their bytes).
@@ -64,9 +77,15 @@ class OnlineAdvisor {
   CostParams params_;
   RegionStripeTable current_;
   Options options_;
+  /// Kept in ByOffset order by insertion, so each full window is already the
+  /// sorted trace `analyze` expects — no per-window re-sort of the world.
   std::vector<trace::TraceRecord> window_;
+  /// Optimizer scratch threaded through every window's analyze call.
+  CostMemo memo_;
   std::size_t windows_analyzed_ = 0;
   std::size_t recommendations_made_ = 0;
+  std::uint64_t cost_evals_ = 0;
+  std::uint64_t cost_evals_saved_ = 0;
 };
 
 }  // namespace harl::core

@@ -10,69 +10,96 @@ namespace harl::core {
 
 namespace {
 
-/// One pass of Algorithm 1 at a fixed threshold.
-std::vector<DividedRegion> divide_once(std::span<const trace::TraceRecord> sorted,
-                                       double threshold) {
-  std::vector<DividedRegion> regions;
-  RunningStats window;
-  double cv_prev = 0.0;
-  std::size_t reg_init = 0;
+/// One pass of Algorithm 1 at a fixed threshold: the batch view of the
+/// streaming core.
+std::vector<DividedRegion> divide_once(
+    std::span<const trace::TraceRecord> sorted, double threshold,
+    std::vector<StreamingDivider::CvSample>* trajectory = nullptr) {
+  StreamingDivider divider(threshold, trajectory);
+  for (const auto& record : sorted) divider.add(record.offset, record.size);
+  return divider.finish();
+}
 
-  auto close_region = [&](std::size_t last_exclusive) {
-    DividedRegion reg;
-    reg.offset = sorted[reg_init].offset;
-    reg.avg_request = window.mean();
-    reg.first_request = reg_init;
-    reg.last_request = last_exclusive;
-    regions.push_back(reg);
-  };
+}  // namespace
 
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    window.add(static_cast<double>(sorted[i].size));
-    const double cv_new = window.cv();
+StreamingDivider::StreamingDivider(double threshold,
+                                   std::vector<CvSample>* trajectory)
+    : threshold_(threshold), trajectory_(trajectory) {
+  if (threshold <= 0.0) {
+    throw std::invalid_argument("divider threshold must be positive");
+  }
+}
 
-    if (window.count() <= 2) {
-      // Seeding: the paper computes the first CV from the first two entries
-      // and only tests from the third onwards.
-      cv_prev = cv_new;
-      continue;
-    }
+void StreamingDivider::add(Bytes offset, Bytes size) {
+  if (index_ > 0 && offset < last_offset_) {
+    throw std::invalid_argument("StreamingDivider requires ascending offsets");
+  }
+  last_offset_ = offset;
+  max_end_ = std::max(max_end_, offset + size);
+  if (window_.count() == 0) {
+    reg_init_ = index_;
+    region_offset_ = offset;
+  }
+  window_.add(static_cast<double>(size));
+  const double cv_new = window_.cv();
+
+  bool split = false;
+  double relative_change = 0.0;
+  if (window_.count() <= 2) {
+    // Seeding: the paper computes the first CV from the first two entries
+    // and only tests from the third onwards.
+    cv_prev_ = cv_new;
+  } else {
     // Relative CV change.  The denominator is floored at kCvFloor so that a
     // jump away from a zero CV (constant-size window) is a very large but
     // *finite* relative change — otherwise raising the threshold (the
     // paper's region-count control) could never loosen such splits.
-    constexpr double kCvFloor = 0.01;
-    const double relative_change =
-        std::abs(cv_new - cv_prev) / std::max(cv_prev, kCvFloor);
-    if (relative_change < threshold) {
-      cv_prev = cv_new;
-      continue;
+    relative_change = std::abs(cv_new - cv_prev_) / std::max(cv_prev_, kCvFloor);
+    if (relative_change < threshold_) {
+      cv_prev_ = cv_new;
+    } else {
+      // CV jumped: this request closes the region (it is included, as in the
+      // printed algorithm where avg is computed before the split) and the
+      // next region starts at the following request.
+      split = true;
+      DividedRegion reg;
+      reg.offset = region_offset_;
+      reg.avg_request = window_.mean();
+      reg.first_request = reg_init_;
+      reg.last_request = index_ + 1;
+      regions_.push_back(reg);
+      window_.reset();
+      cv_prev_ = 0.0;
     }
-    // CV jumped: request i closes this region (it is included, as in the
-    // printed algorithm where avg is computed before the split) and the next
-    // region starts at request i + 1.
-    close_region(i + 1);
-    window.reset();
-    cv_prev = 0.0;
-    reg_init = i + 1;
   }
-  if (reg_init < sorted.size()) close_region(sorted.size());
-
-  // Tile the touched extent: clamp the first region to offset 0 and set each
-  // region's end to its successor's start.
-  if (!regions.empty()) {
-    regions.front().offset = 0;
-    Bytes max_end = 0;
-    for (const auto& r : sorted) max_end = std::max(max_end, r.offset + r.size);
-    for (std::size_t i = 0; i + 1 < regions.size(); ++i) {
-      regions[i].end = regions[i + 1].offset;
-    }
-    regions.back().end = max_end;
+  if (trajectory_ != nullptr) {
+    trajectory_->push_back(
+        CvSample{index_, offset, size, cv_new, relative_change, split});
   }
-  return regions;
+  ++index_;
 }
 
-}  // namespace
+std::vector<DividedRegion> StreamingDivider::finish() {
+  if (window_.count() > 0) {
+    DividedRegion reg;
+    reg.offset = region_offset_;
+    reg.avg_request = window_.mean();
+    reg.first_request = reg_init_;
+    reg.last_request = index_;
+    regions_.push_back(reg);
+    window_.reset();
+  }
+  // Tile the touched extent: clamp the first region to offset 0 and set each
+  // region's end to its successor's start.
+  if (!regions_.empty()) {
+    regions_.front().offset = 0;
+    for (std::size_t i = 0; i + 1 < regions_.size(); ++i) {
+      regions_[i].end = regions_[i + 1].offset;
+    }
+    regions_.back().end = max_end_;
+  }
+  return std::move(regions_);
+}
 
 RegionDivision divide_regions_fixed(std::span<const trace::TraceRecord> sorted,
                                     Bytes chunk_size) {
@@ -120,6 +147,13 @@ RegionDivision divide_regions_fixed(std::span<const trace::TraceRecord> sorted,
 
 RegionDivision divide_regions(std::span<const trace::TraceRecord> sorted,
                               const DividerOptions& options) {
+  return divide_regions_traced(sorted, options, nullptr, nullptr);
+}
+
+RegionDivision divide_regions_traced(
+    std::span<const trace::TraceRecord> sorted, const DividerOptions& options,
+    std::vector<StreamingDivider::CvSample>* trajectory,
+    std::vector<TuningRound>* rounds) {
   if (options.threshold <= 0.0) {
     throw std::invalid_argument("divider threshold must be positive");
   }
@@ -149,9 +183,18 @@ RegionDivision divide_regions(std::span<const trace::TraceRecord> sorted,
     division.regions = divide_once(sorted, threshold);
     division.threshold_used = threshold;
     division.tuning_rounds = round;
+    if (rounds != nullptr) {
+      rounds->push_back(TuningRound{round, threshold, division.regions.size()});
+    }
     const bool too_many = fixed_count > 0 && division.regions.size() > fixed_count;
     if (!too_many || round >= options.max_tuning_rounds) break;
     threshold *= options.threshold_growth;
+  }
+  if (trajectory != nullptr) {
+    // The trajectory of the accepted round only: one extra O(n) pass at the
+    // final threshold (the tuning loop above may have tried several).
+    trajectory->clear();
+    divide_once(sorted, division.threshold_used, trajectory);
   }
   return division;
 }

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/stats.hpp"
 #include "src/common/units.hpp"
 #include "src/trace/record.hpp"
 
@@ -56,12 +57,82 @@ struct RegionDivision {
   int tuning_rounds = 0;
 };
 
+/// Incremental Algorithm 1: one CV update per appended request, O(1) state.
+///
+/// The batch `divide_regions` is this class fed in a loop (the two are
+/// bit-identical by construction); the streaming form exists so online
+/// consumers — the advisor's per-window analysis, `harl_trace divide` —
+/// process each request once as it arrives instead of re-sorting and
+/// re-walking the whole trace per window.  Offsets must be appended in
+/// ascending order; `finish` closes the open region and tiles the touched
+/// extent exactly like the batch pass.  One-shot: construct anew per pass.
+class StreamingDivider {
+ public:
+  /// Relative-CV denominator floor (see divide_regions header comment): a
+  /// jump away from a zero-CV window reads as a large but finite change.
+  static constexpr double kCvFloor = 0.01;
+
+  /// Per-request CV trajectory sample (captured when a trajectory vector is
+  /// supplied — the `harl_trace divide` dump).
+  struct CvSample {
+    std::size_t index = 0;  ///< request index in feed order
+    Bytes offset = 0;
+    Bytes size = 0;
+    double cv = 0.0;               ///< window CV after this request
+    double relative_change = 0.0;  ///< 0 while the window is seeding
+    bool split = false;            ///< this request closed a region
+  };
+
+  explicit StreamingDivider(double threshold,
+                            std::vector<CvSample>* trajectory = nullptr);
+
+  /// Appends one request; throws if `offset` decreases.
+  void add(Bytes offset, Bytes size);
+  void add(const trace::TraceRecord& record) { add(record.offset, record.size); }
+
+  std::size_t fed() const { return index_; }
+  /// Regions closed so far plus the open window (if any).
+  std::size_t region_count() const {
+    return regions_.size() + (window_.count() > 0 ? 1 : 0);
+  }
+
+  /// Closes the open region and tiles the touched extent ([0, max end)).
+  std::vector<DividedRegion> finish();
+
+ private:
+  double threshold_;
+  std::vector<CvSample>* trajectory_;
+  std::vector<DividedRegion> regions_;
+  RunningStats window_;
+  double cv_prev_ = 0.0;
+  std::size_t reg_init_ = 0;
+  Bytes region_offset_ = 0;
+  Bytes last_offset_ = 0;
+  Bytes max_end_ = 0;
+  std::size_t index_ = 0;
+};
+
+/// One threshold-tuning round of `divide_regions` (for diagnostics dumps).
+struct TuningRound {
+  int round = 0;
+  double threshold = 0.0;
+  std::size_t regions = 0;
+};
+
 /// Runs Algorithm 1 over `sorted` (must be ascending by offset — use
 /// TraceCollector::sorted_by_offset()).  The first region is clamped to
 /// start at offset 0 and the last extends to max(offset+size) so the regions
 /// tile the touched extent.  An empty trace yields no regions.
 RegionDivision divide_regions(std::span<const trace::TraceRecord> sorted,
                               const DividerOptions& options = {});
+
+/// `divide_regions` plus diagnostics: when non-null, `trajectory` receives
+/// the per-request CV trajectory of the final accepted round and `rounds`
+/// one entry per threshold-tuning round (threshold tried, regions produced).
+RegionDivision divide_regions_traced(
+    std::span<const trace::TraceRecord> sorted, const DividerOptions& options,
+    std::vector<StreamingDivider::CvSample>* trajectory,
+    std::vector<TuningRound>* rounds);
 
 /// The strawman the paper rejects (Section III-C): "logically divide the
 /// address space of a file into regions by a fixed chunk size (e.g. 64MB or

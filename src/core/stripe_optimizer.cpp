@@ -94,7 +94,8 @@ EngineResult search_engine(const TieredCostParams& params,
                            std::span<const FileRequest> requests,
                            const std::vector<std::vector<Bytes>>& candidates,
                            std::size_t max_requests, ThreadPool* pool,
-                           bool coalesce, bool tie_from_front) {
+                           bool coalesce, bool tie_from_front,
+                           CostMemo* scratch = nullptr) {
   const std::size_t k = params.tiers.size();
   std::vector<std::size_t> counts(k);
   std::vector<const storage::OpProfile*> read_profiles(k);
@@ -177,14 +178,20 @@ EngineResult search_engine(const TieredCostParams& params,
       cost_evals_saved += shard_saved[shard];
     }
   } else {
-    CostMemo memo;
-    std::vector<TierGeometry> scratch(k);
+    // A caller-provided scratch memo keeps its table capacity across calls;
+    // its counters are cumulative, so report this call's work as deltas.
+    CostMemo local;
+    CostMemo& memo = scratch != nullptr ? *scratch : local;
+    const std::uint64_t misses_before = memo.misses();
+    const std::uint64_t hits_before = memo.hits();
+    std::vector<TierGeometry> geometry(k);
     for (const auto& stripes : candidates) {
-      Candidate c{score(stripes, coalesce ? &memo : nullptr, scratch), stripes};
+      Candidate c{score(stripes, coalesce ? &memo : nullptr, geometry), stripes};
       if (c.better_than(best, tie_from_front)) best = std::move(c);
     }
-    cost_evals = coalesce ? memo.misses() : candidates.size() * sampled;
-    cost_evals_saved = memo.hits();
+    cost_evals = coalesce ? memo.misses() - misses_before
+                          : candidates.size() * sampled;
+    cost_evals_saved = memo.hits() - hits_before;
   }
 
   EngineResult result;
@@ -269,9 +276,9 @@ RegionStripes search(const CostParams& params,
   for (const auto& hs : candidates) {
     vectors.push_back({hs.h, hs.s});
   }
-  EngineResult engine =
-      search_engine(to_tiered(params), requests, vectors, options.max_requests,
-                    options.pool, options.coalesce, /*tie_from_front=*/true);
+  EngineResult engine = search_engine(
+      to_tiered(params), requests, vectors, options.max_requests, options.pool,
+      options.coalesce, /*tie_from_front=*/true, options.scratch);
 
   RegionStripes result;
   result.stripes = StripePair{engine.stripes[0], engine.stripes[1]};

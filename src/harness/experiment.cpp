@@ -194,13 +194,25 @@ SchemeResult Experiment::run_with_trace(
   }
 
   // Measured run on a fresh cluster; the observer must be in place before
-  // the cluster is built so components register their tracks.
+  // the cluster is built so components register their tracks.  For the
+  // adaptive scheme the AdaptiveLayoutManager takes the observer seat
+  // (forwarding to the recorder, when one is attached) so completed requests
+  // feed its advisor, and its epoched facade replaces the epoch-0 layout.
+  const bool adaptive = scheme.kind == SchemeKind::kHarlAdaptive;
   sim::Simulator sim;
+  std::unique_ptr<mw::AdaptiveLayoutManager> manager;
   if (options_.observe) {
     result.obs = std::make_shared<obs::Recorder>(options_.recorder);
+  }
+  if (adaptive) {
+    manager = std::make_unique<mw::AdaptiveLayoutManager>(
+        cost_params(), result.plan->rst, options_.adaptive, result.obs.get());
+    sim.set_observer(manager.get());
+  } else if (result.obs) {
     sim.set_observer(result.obs.get());
   }
   pfs::Cluster cluster(sim, options_.cluster);
+  if (adaptive) layout = manager->install(cluster, bundle.name);
   if (result.obs) {
     result.obs->set_predictor(
         make_predictor(layout, core::to_tiered(cost_params())));
@@ -234,6 +246,16 @@ SchemeResult Experiment::run_with_trace(
   run_phase(bundle.write_programs, true);
   run_phase(bundle.read_programs, true);
   run_phase(bundle.mixed_programs, true);
+
+  if (manager != nullptr) {
+    result.adaptive = manager->summary();
+    // Post-run state: describe the lineage the run ended with, and persist
+    // the *latest* epoch as the plan (a saved artifact resumes from there).
+    result.layout_description = layout->describe();
+    result.plan = manager->latest_plan();
+    result.region_count = result.plan->rst.size();
+    if (result.obs) result.obs->metrics().merge(manager->metrics());
+  }
 
   result.server_io_time.reserve(cluster.num_servers());
   for (std::size_t i = 0; i < cluster.num_servers(); ++i) {

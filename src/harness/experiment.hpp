@@ -18,6 +18,7 @@
 #include "src/harness/calibration.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/harness/scheme.hpp"
+#include "src/middleware/adaptive.hpp"
 #include "src/middleware/program.hpp"
 #include "src/middleware/runner.hpp"
 #include "src/sim/simulator.hpp"
@@ -63,6 +64,10 @@ struct SchemeResult {
   std::vector<Seconds> server_io_time;  ///< per server, all phases (Fig. 1a)
   std::size_t region_count = 1;
   std::optional<core::Plan> plan;       ///< plan-producing schemes only
+  /// Adaptive runs only (harl-adaptive scheme): epoch/migration counters of
+  /// the measured run.  `plan` then holds the *latest* epoch's RST, so a
+  /// saved artifact resumes from where adaptation ended.
+  std::optional<mw::AdaptiveLayoutManager::Summary> adaptive;
   /// Event-engine counters of the measured run (harl_sim stats=1).
   sim::Simulator::Stats sim_stats;
   /// Flight recorder of the measured run (ExperimentOptions::observe only):
@@ -89,6 +94,9 @@ struct ExperimentOptions {
   /// scheme's layout, feeding the per-region model-error histogram.
   bool observe = false;
   obs::Recorder::Options recorder;
+  /// Tuning for the harl-adaptive scheme: advisor window/min_gain/planner
+  /// plus the migration throttle.  Ignored by every other scheme.
+  mw::AdaptiveOptions adaptive;
 };
 
 class Experiment {

@@ -26,6 +26,7 @@ enum class SchemeKind {
   kFixed,
   kRandomStripes,
   kHarl,
+  kHarlAdaptive,
   kFileLevelHarl,
   kSegmentLevel,
   kCarl,
@@ -44,6 +45,11 @@ struct LayoutScheme {
   static LayoutScheme fixed(Bytes stripe);
   static LayoutScheme random_stripes(std::uint64_t seed);
   static LayoutScheme harl();
+  /// Epoch-versioned adaptive HARL: epoch 0 is the offline plan (same
+  /// analysis as `harl()`), then an AdaptiveLayoutManager re-optimizes live
+  /// windows during the measured run, swapping epochs and migrating changed
+  /// ranges as background I/O (ExperimentOptions::adaptive tunes it).
+  static LayoutScheme harl_adaptive();
   static LayoutScheme file_level_harl();
   static LayoutScheme segment_level();
   /// CARL baseline (paper reference [31]): each region entirely on one tier,
@@ -62,7 +68,8 @@ struct LayoutScheme {
 
   /// True for the schemes that require a trace + Analysis Phase.
   bool needs_analysis() const {
-    return kind == SchemeKind::kHarl || kind == SchemeKind::kFileLevelHarl ||
+    return kind == SchemeKind::kHarl || kind == SchemeKind::kHarlAdaptive ||
+           kind == SchemeKind::kFileLevelHarl ||
            kind == SchemeKind::kSegmentLevel || kind == SchemeKind::kCarl ||
            kind == SchemeKind::kHarlSpaceBounded;
   }

@@ -23,6 +23,22 @@ RegionFileMap RegionFileMap::for_file(const std::string& logical_name,
   return map;
 }
 
+RegionFileMap RegionFileMap::for_epoch(const std::string& logical_name,
+                                       std::uint32_t epoch,
+                                       std::size_t region_count) {
+  if (epoch == 0) return for_file(logical_name, region_count);
+  if (logical_name.empty()) throw std::invalid_argument("empty logical name");
+  if (region_count == 0) throw std::invalid_argument("R2F needs >= 1 region");
+  RegionFileMap map;
+  map.logical_ = logical_name;
+  map.physical_.reserve(region_count);
+  const std::string stem = logical_name + ".e" + std::to_string(epoch) + ".r";
+  for (std::size_t i = 0; i < region_count; ++i) {
+    map.physical_.push_back(stem + std::to_string(i));
+  }
+  return map;
+}
+
 void RegionFileMap::save(std::ostream& os) const {
   os << kHeader << '\n' << logical_ << '\n';
   for (const auto& name : physical_) os << name << '\n';

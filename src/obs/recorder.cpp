@@ -356,6 +356,20 @@ void Recorder::end_request(std::uint32_t request, Seconds now) {
   req_free_.push_back(request);
 }
 
+void Recorder::adaptive_event(AdaptiveEvent event, std::uint32_t epoch,
+                              Bytes bytes, Seconds now) {
+  note_time(now);
+  if (!options_.trace) return;
+  if (adaptive_track_ == kNoId) {
+    adaptive_track_ = track("adaptive layout", TrackKind::kOther, kNoId);
+  }
+  // Instants on the adaptive track reuse the op byte as the event kind
+  // (region-switch instants keep the 0xFF sentinel), epoch in `id`, bytes
+  // in `arg`.
+  push_event(TraceEvent{now, 0.0, adaptive_track_, EventType::kInstant,
+                        static_cast<std::uint8_t>(event), epoch, bytes});
+}
+
 std::vector<Recorder::ResourceSummary> Recorder::resource_summaries() const {
   std::vector<ResourceSummary> out;
   out.reserve(tracks_.size());
@@ -448,10 +462,25 @@ void Recorder::append_trace_events(std::ostream& out, std::uint32_t pid,
       }
       case EventType::kInstant:
         sep();
-        out << "{\"ph\": \"i\", \"name\": \"region_switch\", \"cat\": "
-               "\"region\", \"s\": \"t\", \"pid\": "
-            << pid << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
-            << ", \"args\": {\"region\": " << e.arg << "}}";
+        if (e.op == 0xFF) {
+          out << "{\"ph\": \"i\", \"name\": \"region_switch\", \"cat\": "
+                 "\"region\", \"s\": \"t\", \"pid\": "
+              << pid << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
+              << ", \"args\": {\"region\": " << e.arg << "}}";
+        } else {
+          const char* name =
+              e.op == static_cast<std::uint8_t>(AdaptiveEvent::kEpochInstalled)
+                  ? "epoch_install"
+              : e.op ==
+                      static_cast<std::uint8_t>(AdaptiveEvent::kMigrationStarted)
+                  ? "migration_start"
+                  : "migration_done";
+          out << "{\"ph\": \"i\", \"name\": \"" << name
+              << "\", \"cat\": \"adaptive\", \"s\": \"t\", \"pid\": " << pid
+              << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
+              << ", \"args\": {\"epoch\": " << e.id << ", \"bytes\": " << e.arg
+              << "}}";
+        }
         break;
     }
   }

@@ -97,6 +97,8 @@ class Recorder final : public Sink {
                    Seconds startup, Seconds service) override;
   void sub_net_done(std::uint32_t sub, Seconds now) override;
   void end_request(std::uint32_t request, Seconds now) override;
+  void adaptive_event(AdaptiveEvent event, std::uint32_t epoch, Bytes bytes,
+                      Seconds now) override;
 
   // --- attribution --------------------------------------------------------
 
@@ -259,6 +261,7 @@ class Recorder final : public Sink {
   std::vector<TrackState> tracks_;
   std::vector<ServerMeta> servers_;        // by global server index
   std::vector<std::uint32_t> client_tracks_;  // by client index
+  std::uint32_t adaptive_track_ = kNoId;   // lazily created on first event
 
   std::vector<TraceEvent> events_;  // ring when max_trace_events > 0
   std::size_t ring_next_ = 0;

@@ -98,6 +98,27 @@ class Sink {
 
   /// All sub-requests of `request` completed at `now`.
   virtual void end_request(std::uint32_t request, Seconds now) = 0;
+
+  // --- adaptive layout (cold path, optional) -------------------------------
+
+  /// Adaptive-layout lifecycle instants (epoch swaps and migration phases),
+  /// emitted by the middleware AdaptiveLayoutManager.
+  enum class AdaptiveEvent : std::uint8_t {
+    kEpochInstalled,     ///< a new epoch became the planning target
+    kMigrationStarted,   ///< background copy toward `epoch` began
+    kMigrationFinished,  ///< background copy toward `epoch` completed
+  };
+
+  /// One adaptive-layout instant: `epoch` is the epoch id, `bytes` the
+  /// event's payload (affected extent / bytes scheduled / bytes migrated).
+  /// Defaulted to a no-op so existing sinks are unaffected.
+  virtual void adaptive_event(AdaptiveEvent event, std::uint32_t epoch,
+                              Bytes bytes, Seconds now) {
+    (void)event;
+    (void)epoch;
+    (void)bytes;
+    (void)now;
+  }
 };
 
 }  // namespace harl::obs

@@ -1,0 +1,170 @@
+#include "src/pfs/epoch_layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace harl::pfs {
+
+namespace {
+
+constexpr Bytes kNoEnd = std::numeric_limits<Bytes>::max();
+
+/// Full-file view of one epoch with objects rebased into its partition.
+class EpochViewLayout final : public Layout {
+ public:
+  EpochViewLayout(std::shared_ptr<const RegionLayout> layout,
+                  std::uint32_t epoch)
+      : layout_(std::move(layout)), epoch_(epoch) {}
+
+  std::vector<SubRequest> map(Bytes offset, Bytes size) const override {
+    auto subs = layout_->map(offset, size);
+    for (auto& sub : subs) {
+      sub.object += epoch_ * EpochedLayout::kObjectsPerEpoch;
+    }
+    return subs;
+  }
+  std::size_t server_count() const override { return layout_->server_count(); }
+  std::string describe() const override {
+    return "epoch-view(e" + std::to_string(epoch_) + ")";
+  }
+
+ private:
+  std::shared_ptr<const RegionLayout> layout_;
+  std::uint32_t epoch_;
+};
+
+}  // namespace
+
+EpochedLayout::EpochedLayout(std::shared_ptr<const RegionLayout> epoch0) {
+  if (epoch0 == nullptr) {
+    throw std::invalid_argument("epoched layout needs an epoch-0 layout");
+  }
+  if (epoch0->region_count() >= kObjectsPerEpoch) {
+    throw std::invalid_argument("epoch has too many regions for its partition");
+  }
+  epochs_.push_back(std::move(epoch0));
+  owners_.push_back(Span{0, 0});
+}
+
+std::uint32_t EpochedLayout::add_epoch(
+    std::shared_ptr<const RegionLayout> layout) {
+  if (layout == nullptr) throw std::invalid_argument("null epoch layout");
+  if (layout->tier_counts() != epochs_.front()->tier_counts()) {
+    throw std::invalid_argument("epoch tier shape differs from epoch 0");
+  }
+  if (layout->region_count() >= kObjectsPerEpoch) {
+    throw std::invalid_argument("epoch has too many regions for its partition");
+  }
+  epochs_.push_back(std::move(layout));
+  return latest_epoch();
+}
+
+std::size_t EpochedLayout::owner_index(Bytes offset) const {
+  // Last span with span.begin <= offset.
+  auto it = std::upper_bound(
+      owners_.begin(), owners_.end(), offset,
+      [](Bytes off, const Span& span) { return off < span.begin; });
+  return static_cast<std::size_t>(std::distance(owners_.begin(), it)) - 1;
+}
+
+std::uint32_t EpochedLayout::owner_of(Bytes offset) const {
+  return owners_[owner_index(offset)].epoch;
+}
+
+Bytes EpochedLayout::owner_end(Bytes offset) const {
+  const std::size_t idx = owner_index(offset);
+  return idx + 1 < owners_.size() ? owners_[idx + 1].begin : kNoEnd;
+}
+
+void EpochedLayout::assign(Bytes begin, Bytes end, std::uint32_t epoch) {
+  if (begin >= end) return;
+  if (epoch >= epochs_.size()) {
+    throw std::invalid_argument("assign to unknown epoch");
+  }
+  std::vector<Span> next;
+  next.reserve(owners_.size() + 2);
+  auto emit = [&](Bytes b, std::uint32_t e) {
+    if (!next.empty() && next.back().epoch == e) return;  // coalesce runs
+    next.push_back(Span{b, e});
+  };
+  bool inserted = false;
+  for (std::size_t i = 0; i < owners_.size(); ++i) {
+    const Bytes b = owners_[i].begin;
+    const Bytes span_end = i + 1 < owners_.size() ? owners_[i + 1].begin : kNoEnd;
+    if (b < begin) emit(b, owners_[i].epoch);  // piece before the new range
+    if (!inserted && span_end > begin) {
+      emit(begin, epoch);
+      inserted = true;
+    }
+    if (span_end > end) {  // piece after the new range resumes the old owner
+      emit(std::max(b, end), owners_[i].epoch);
+    }
+  }
+  owners_ = std::move(next);
+}
+
+std::vector<std::pair<Bytes, std::uint32_t>> EpochedLayout::owners() const {
+  std::vector<std::pair<Bytes, std::uint32_t>> out;
+  out.reserve(owners_.size());
+  for (const Span& span : owners_) out.emplace_back(span.begin, span.epoch);
+  return out;
+}
+
+std::size_t EpochedLayout::effective_region_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < owners_.size(); ++i) {
+    const RegionLayout& layout = *epochs_[owners_[i].epoch];
+    const Bytes b = owners_[i].begin;
+    const Bytes span_end = i + 1 < owners_.size() ? owners_[i + 1].begin : kNoEnd;
+    const std::size_t first = layout.region_of(b);
+    const std::size_t last = span_end == kNoEnd
+                                 ? layout.region_count() - 1
+                                 : layout.region_of(span_end - 1);
+    count += last - first + 1;
+  }
+  return count;
+}
+
+std::vector<SubRequest> EpochedLayout::map(Bytes offset, Bytes size) const {
+  std::vector<SubRequest> out;
+  Bytes pos = offset;
+  const Bytes end = offset + size;
+  while (pos < end) {
+    const std::size_t idx = owner_index(pos);
+    const Bytes span_end =
+        idx + 1 < owners_.size() ? owners_[idx + 1].begin : kNoEnd;
+    const Bytes take = std::min(end, span_end) - pos;
+    const std::uint32_t e = owners_[idx].epoch;
+    // Epoch RSTs cover the whole file, so the epoch's layout resolves the
+    // absolute offsets directly; only the object ids need rebasing.
+    auto subs = epochs_[e]->map(pos, take);
+    for (auto& sub : subs) {
+      sub.object += e * kObjectsPerEpoch;
+      out.push_back(std::move(sub));
+    }
+    pos += take;
+  }
+  return out;
+}
+
+std::size_t EpochedLayout::server_count() const {
+  return epochs_.front()->server_count();
+}
+
+std::string EpochedLayout::describe() const {
+  std::ostringstream os;
+  os << "epoched(" << epochs_.size() << " epoch"
+     << (epochs_.size() == 1 ? "" : "s") << ", " << owners_.size()
+     << " span" << (owners_.size() == 1 ? "" : "s") << "; latest "
+     << epochs_.back()->describe() << ")";
+  return os.str();
+}
+
+std::shared_ptr<const Layout> EpochedLayout::epoch_view(
+    std::uint32_t e) const {
+  return std::make_shared<EpochViewLayout>(epochs_.at(e), e);
+}
+
+}  // namespace harl::pfs

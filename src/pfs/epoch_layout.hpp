@@ -1,0 +1,94 @@
+// Epoch-versioned region-level layout.
+//
+// The adaptive path (middleware AdaptiveLayoutManager) re-optimizes the RST
+// while a file is live.  Rewriting the installed layout in place would
+// teleport already-written bytes into the new striping for free; instead the
+// file's placement is a *stack of epochs* — immutable RegionLayouts, epoch 0
+// installed by HarlDriver — plus an ownership map assigning each byte range
+// to the epoch that currently governs it.  A request is resolved by the
+// governing epoch of each byte it touches: ranges flip to a newer epoch only
+// after the migration engine has actually copied them through the simulated
+// servers, so layout changes cost what they cost.
+//
+// Physical addressing: each (epoch, region) pair is its own physical object.
+// SubRequest::object is partitioned as epoch * kObjectsPerEpoch + region,
+// mirroring the per-epoch R2F physical file names ("<logical>.e<e>.r<k>"),
+// so a migrated region never aliases the bytes of its predecessor.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/pfs/region_layout.hpp"
+
+namespace harl::pfs {
+
+class EpochedLayout final : public Layout {
+ public:
+  /// Object-id partition width: region index space reserved per epoch.
+  static constexpr std::uint32_t kObjectsPerEpoch = 4096;
+
+  /// Starts the lineage with epoch 0 owning the whole file.
+  explicit EpochedLayout(std::shared_ptr<const RegionLayout> epoch0);
+
+  // --- Layout: resolve each byte range against its governing epoch --------
+  std::vector<SubRequest> map(Bytes offset, Bytes size) const override;
+  std::size_t server_count() const override;
+  std::string describe() const override;
+
+  // --- epoch lineage -------------------------------------------------------
+
+  /// Installs a new epoch (same tier shape as epoch 0, fewer than
+  /// kObjectsPerEpoch regions) and returns its id.  Ownership is unchanged:
+  /// ranges move to the new epoch through `assign` as migration completes.
+  std::uint32_t add_epoch(std::shared_ptr<const RegionLayout> layout);
+
+  std::size_t epoch_count() const { return epochs_.size(); }
+  std::uint32_t latest_epoch() const {
+    return static_cast<std::uint32_t>(epochs_.size() - 1);
+  }
+  const RegionLayout& epoch(std::uint32_t e) const { return *epochs_.at(e); }
+
+  // --- ownership map -------------------------------------------------------
+
+  /// Epoch governing `offset`.
+  std::uint32_t owner_of(Bytes offset) const;
+
+  /// End of the contiguous same-owner run containing `offset` (max Bytes for
+  /// the final run).
+  Bytes owner_end(Bytes offset) const;
+
+  /// Reassigns [begin, end) to `epoch`; adjacent same-epoch runs coalesce.
+  /// The migration engine flips each chunk as its copy lands.
+  void assign(Bytes begin, Bytes end, std::uint32_t epoch);
+
+  /// Ownership runs currently in effect: (begin, epoch), ascending begins,
+  /// first begin == 0, each run extending to the next begin.
+  std::vector<std::pair<Bytes, std::uint32_t>> owners() const;
+
+  /// Distinct (epoch, region) spans the ownership map resolves to — the
+  /// MDS's effective RST size for placement-lookup costing.
+  std::size_t effective_region_count() const;
+
+  // --- migration addressing ------------------------------------------------
+
+  /// Full-file view that resolves *every* offset against epoch `e`'s
+  /// RegionLayout (object ids rebased into e's partition), regardless of
+  /// current ownership.  Migration reads source-epoch objects and writes
+  /// target-epoch objects through these views before flipping ownership.
+  std::shared_ptr<const Layout> epoch_view(std::uint32_t e) const;
+
+ private:
+  struct Span {
+    Bytes begin = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  std::size_t owner_index(Bytes offset) const;
+
+  std::vector<std::shared_ptr<const RegionLayout>> epochs_;
+  std::vector<Span> owners_;  ///< sorted by begin; owners_[0].begin == 0
+};
+
+}  // namespace harl::pfs

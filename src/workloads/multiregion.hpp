@@ -37,6 +37,15 @@ struct MultiRegionConfig {
   double coverage = 1.0;
   bool random_offsets = true;
   std::uint64_t seed = 11;
+
+  /// Workload drift (the adaptive-layout stressor): the whole region pass is
+  /// repeated `drift_phases` times, with every region's request size scaled
+  /// by drift_factor^phase (4K-aligned, clamped to [4K, per-rank segment]).
+  /// The default single phase is byte-identical to the classic workload; a
+  /// factor far from 1 makes any layout optimized for phase 0 stale by the
+  /// last phase.
+  std::size_t drift_phases = 1;
+  double drift_factor = 1.0;
 };
 
 std::vector<mw::RankProgram> make_multiregion_programs(
@@ -45,7 +54,14 @@ std::vector<mw::RankProgram> make_multiregion_programs(
 /// Total file extent covered by the configured regions.
 Bytes multiregion_file_size(const MultiRegionConfig& config);
 
-/// Total application bytes issued.
+/// Total application bytes issued (all drift phases).
 Bytes multiregion_total_bytes(const MultiRegionConfig& config);
+
+/// Request size a region uses in drift phase `phase` (0-based): the base
+/// size scaled by drift_factor^phase, rounded down to 4K alignment and
+/// clamped to [4K, per-rank segment].
+Bytes multiregion_drifted_request(const MultiRegionConfig& config,
+                                  const MultiRegionConfig::Region& region,
+                                  std::size_t phase);
 
 }  // namespace harl::workloads

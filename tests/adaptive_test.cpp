@@ -1,0 +1,322 @@
+// Epoch-versioned adaptive layout: EpochedLayout ownership semantics, the
+// AdaptiveLayoutManager + MigrationEngine end to end on a drifting workload,
+// and the Plan-artifact round trip of the latest epoch.
+//
+// The end-to-end pins are the PR's acceptance bar: on a drift workload whose
+// offline plan is *stale* (traced from phase 0 only), harl-adaptive must beat
+// static HARL even though migration traffic runs through the same simulated
+// servers and is charged to the makespan — and it must LOSE that advantage
+// when min_gain gating suppresses the swaps or the migration throttle makes
+// re-layout unprofitable.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "src/core/plan_artifact.hpp"
+#include "src/harness/experiment.hpp"
+#include "src/middleware/adaptive.hpp"
+#include "src/middleware/mpi_world.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/pfs/epoch_layout.hpp"
+#include "src/trace/collector.hpp"
+
+namespace harl {
+namespace {
+
+using core::RegionStripeTable;
+using pfs::EpochedLayout;
+using pfs::SubRequest;
+
+// --- EpochedLayout ----------------------------------------------------------
+
+std::shared_ptr<pfs::RegionLayout> two_region_layout(Bytes boundary,
+                                                     Bytes h0, Bytes s0,
+                                                     Bytes h1, Bytes s1) {
+  RegionStripeTable rst;
+  rst.add(0, {h0, s0});
+  rst.add(boundary, {h1, s1});
+  return rst.to_layout(2, 2);
+}
+
+TEST(EpochedLayout, EpochZeroResolvesLikeItsRegionLayout) {
+  auto base = two_region_layout(1 * MiB, 64 * KiB, 64 * KiB, 0, 128 * KiB);
+  EpochedLayout epoched(base);
+
+  EXPECT_EQ(epoched.epoch_count(), 1u);
+  EXPECT_EQ(epoched.server_count(), base->server_count());
+  EXPECT_EQ(epoched.owner_of(0), 0u);
+  EXPECT_EQ(epoched.owner_of(100 * GiB), 0u);
+
+  // Same sub-requests as the raw layout: epoch 0's object partition starts
+  // at 0, so object ids are untouched.
+  const auto want = base->map(512 * KiB, 1 * MiB);
+  const auto got = epoched.map(512 * KiB, 1 * MiB);
+  EXPECT_EQ(got, want);
+}
+
+TEST(EpochedLayout, AssignSplitsResolutionAtOwnershipBoundaries) {
+  auto e0 = two_region_layout(1 * MiB, 64 * KiB, 64 * KiB, 64 * KiB, 64 * KiB);
+  auto e1 = two_region_layout(1 * MiB, 0, 128 * KiB, 0, 128 * KiB);
+  EpochedLayout epoched(e0);
+  ASSERT_EQ(epoched.add_epoch(e1), 1u);
+
+  epoched.assign(256 * KiB, 512 * KiB, 1);
+  EXPECT_EQ(epoched.owner_of(256 * KiB - 1), 0u);
+  EXPECT_EQ(epoched.owner_of(256 * KiB), 1u);
+  EXPECT_EQ(epoched.owner_of(512 * KiB - 1), 1u);
+  EXPECT_EQ(epoched.owner_of(512 * KiB), 0u);
+  EXPECT_EQ(epoched.owner_end(256 * KiB), 512 * KiB);
+  EXPECT_EQ(epoched.owners().size(), 3u);
+
+  // A request spanning all three runs resolves each byte against its owner:
+  // the middle part must carry epoch-1 object ids, the rest epoch 0's.
+  const auto subs = epoched.map(0, 1 * MiB);
+  Bytes bytes_by_epoch[2] = {0, 0};
+  for (const SubRequest& sub : subs) {
+    bytes_by_epoch[sub.object / EpochedLayout::kObjectsPerEpoch] += sub.size;
+  }
+  EXPECT_EQ(bytes_by_epoch[0], 768 * KiB);
+  EXPECT_EQ(bytes_by_epoch[1], 256 * KiB);
+}
+
+TEST(EpochedLayout, AssignCoalescesAdjacentSameEpochRuns) {
+  auto e0 = two_region_layout(1 * MiB, 64 * KiB, 64 * KiB, 64 * KiB, 64 * KiB);
+  auto e1 = two_region_layout(1 * MiB, 0, 128 * KiB, 0, 128 * KiB);
+  EpochedLayout epoched(e0);
+  epoched.add_epoch(e1);
+
+  epoched.assign(0, 256 * KiB, 1);
+  epoched.assign(256 * KiB, 512 * KiB, 1);  // adjacent: must coalesce
+  const auto owners = epoched.owners();
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_EQ(owners[0], (std::pair<Bytes, std::uint32_t>{0, 1}));
+  EXPECT_EQ(owners[1], (std::pair<Bytes, std::uint32_t>{512 * KiB, 0}));
+
+  // Migrating everything back to epoch 0 restores a single run.
+  epoched.assign(0, 100 * GiB, 0);
+  EXPECT_EQ(epoched.owners().size(), 1u);
+  EXPECT_EQ(epoched.owner_of(0), 0u);
+}
+
+TEST(EpochedLayout, EpochViewRebasesObjectsIgnoringOwnership) {
+  auto e0 = two_region_layout(1 * MiB, 64 * KiB, 64 * KiB, 64 * KiB, 64 * KiB);
+  auto e1 = two_region_layout(1 * MiB, 0, 128 * KiB, 0, 128 * KiB);
+  EpochedLayout epoched(e0);
+  epoched.add_epoch(e1);
+
+  // Ownership still belongs to epoch 0 everywhere, but the view addresses
+  // epoch 1's objects — what the migration engine writes before flipping.
+  const auto view = epoched.epoch_view(1);
+  for (const SubRequest& sub : view->map(0, 2 * MiB)) {
+    EXPECT_GE(sub.object, EpochedLayout::kObjectsPerEpoch);
+    EXPECT_LT(sub.object, 2 * EpochedLayout::kObjectsPerEpoch);
+  }
+  for (const SubRequest& sub : epoched.map(0, 2 * MiB)) {
+    EXPECT_LT(sub.object, EpochedLayout::kObjectsPerEpoch);
+  }
+}
+
+TEST(EpochedLayout, EffectiveRegionCountFollowsOwnership) {
+  auto e0 = two_region_layout(1 * MiB, 64 * KiB, 64 * KiB, 0, 128 * KiB);
+  auto e1 = two_region_layout(2 * MiB, 0, 128 * KiB, 32 * KiB, 96 * KiB);
+  EpochedLayout epoched(e0);
+  EXPECT_EQ(epoched.effective_region_count(), 2u);  // epoch 0's two regions
+
+  epoched.add_epoch(e1);
+  // [0, 512K) flips to epoch 1 (within e1's first region): the map is now
+  // e1-region-0 + the tail of e0-region-0 + e0-region-1.
+  epoched.assign(0, 512 * KiB, 1);
+  EXPECT_EQ(epoched.effective_region_count(), 3u);
+}
+
+TEST(EpochedLayout, AddEpochValidatesShape) {
+  auto e0 = two_region_layout(1 * MiB, 64 * KiB, 64 * KiB, 0, 128 * KiB);
+  EpochedLayout epoched(e0);
+
+  RegionStripeTable other_shape;
+  other_shape.add(0, {64 * KiB, 64 * KiB});
+  EXPECT_THROW(epoched.add_epoch(other_shape.to_layout(3, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(epoched.add_epoch(nullptr), std::invalid_argument);
+  EXPECT_THROW(epoched.assign(0, 1 * KiB, 7), std::invalid_argument);
+}
+
+// --- end-to-end: adaptive vs stale static on a drifting workload ------------
+
+/// Single-region drift workload: phase 0 writes 2 MiB requests (the stale
+/// plan's world); the steep drift factor clamps every later phase to the
+/// 4 KiB request floor — one drift step, then a stable small-request regime
+/// where the optimal layout flips to SServer-only striping (paper Fig. 9).
+/// Sequential slots keep each rank's touched extent compact so migration has
+/// a meaningful, bounded amount of data to move.
+workloads::MultiRegionConfig drift_config(std::size_t phases) {
+  workloads::MultiRegionConfig mr;
+  mr.regions = {{256 * MiB, 2 * MiB}};
+  mr.processes = 4;
+  mr.coverage = 0.25;
+  mr.random_offsets = false;
+  mr.drift_phases = phases;
+  mr.drift_factor = 1.0 / 512.0;
+  return mr;
+}
+
+harness::ExperimentOptions adaptive_options() {
+  harness::ExperimentOptions options;
+  options.cluster.num_hservers = 4;
+  options.cluster.num_sservers = 2;
+  options.cluster.num_clients = 4;
+  options.calibration.samples_per_size = 100;
+  options.calibration.beta_samples = 100;
+  options.adaptive.advisor.window = 256;
+  options.adaptive.advisor.min_gain = 0.10;
+  options.adaptive.migrate_bandwidth = 1.0 * GiB;
+  // One live swap: without a budget the advisor re-swaps every window the
+  // read/write mix flips, and repeated migration of the same extent drowns
+  // the gain.  A small epoch budget is the realistic deployment choice.
+  options.adaptive.max_epochs = 2;
+  return options;
+}
+
+/// First-execution trace of the *phase-0-only* workload: the offline plan
+/// built from it is exactly right for phase 0 and stale for the rest.
+std::vector<trace::TraceRecord> stale_trace(
+    const harness::ExperimentOptions& options,
+    const harness::WorkloadBundle& phase0) {
+  sim::Simulator sim;
+  pfs::Cluster cluster(sim, options.cluster);
+  mw::MpiWorld world(cluster, phase0.processes);
+  trace::TraceCollector collector;
+  auto layout =
+      pfs::make_fixed_layout(cluster.num_servers(), options.tracing_stripe);
+  mw::ProgramRunner runner(world, phase0.name, layout, &collector,
+                           options.collective);
+  if (!phase0.write_programs.empty()) runner.run(phase0.write_programs);
+  if (!phase0.read_programs.empty()) runner.run(phase0.read_programs);
+  return collector.sorted_by_offset();
+}
+
+struct DriftRuns {
+  harness::SchemeResult static_harl;
+  harness::SchemeResult adaptive;
+};
+
+DriftRuns run_drift(const harness::ExperimentOptions& options,
+                    std::size_t phases = 3) {
+  harness::Experiment experiment(options);
+  const auto bundle = harness::multiregion_bundle(drift_config(phases));
+  const auto trace0 =
+      stale_trace(options, harness::multiregion_bundle(drift_config(1)));
+  DriftRuns runs;
+  runs.static_harl = experiment.run_with_trace(
+      bundle, harness::LayoutScheme::harl(), trace0);
+  runs.adaptive = experiment.run_with_trace(
+      bundle, harness::LayoutScheme::harl_adaptive(), trace0);
+  return runs;
+}
+
+TEST(AdaptiveExperiment, BeatsStaleStaticPlanWithMigrationCharged) {
+  // Six phases: the one migration (~192 MiB through the live servers) is paid
+  // early in phase 1, and the five post-drift phases amortize it.  With only
+  // three phases the same migration still outweighs its savings — adaptation
+  // has a break-even horizon, which is exactly the point of charging it.
+  const DriftRuns runs = run_drift(adaptive_options(), 6);
+
+  ASSERT_TRUE(runs.adaptive.adaptive.has_value());
+  const auto& a = *runs.adaptive.adaptive;
+  EXPECT_GE(a.epochs_installed, 1u);
+  EXPECT_GT(a.migrated_bytes, 0u);
+  EXPECT_GT(a.migration_chunks, 0u);
+  EXPECT_GT(a.migration_interference, 0.0);
+  EXPECT_GE(a.recommendations, a.epochs_installed);
+  EXPECT_GT(a.cost_evals, 0u);
+
+  // The bar: total completion time, with every migration chunk's server and
+  // network time inside the measured makespan.
+  EXPECT_LT(runs.adaptive.total.makespan, runs.static_harl.total.makespan)
+      << "adaptive " << runs.adaptive.total.makespan << "s vs static "
+      << runs.static_harl.total.makespan << "s";
+}
+
+TEST(AdaptiveExperiment, MinGainGateSuppressesUnprofitableMigration) {
+  harness::ExperimentOptions options = adaptive_options();
+  options.adaptive.advisor.min_gain = 0.95;  // practically unreachable
+  const DriftRuns runs = run_drift(options);
+
+  ASSERT_TRUE(runs.adaptive.adaptive.has_value());
+  const auto& a = *runs.adaptive.adaptive;
+  EXPECT_EQ(a.epochs_installed, 0u);
+  EXPECT_EQ(a.migrated_bytes, 0u);
+  EXPECT_GT(a.windows_analyzed, 0u);
+
+  // With every swap gated off, the epoched facade is pure pass-through over
+  // the same epoch-0 plan: the runs are the same simulation.
+  EXPECT_DOUBLE_EQ(runs.adaptive.total.makespan,
+                   runs.static_harl.total.makespan);
+}
+
+TEST(AdaptiveExperiment, ThrottledMigrationMakesAdaptationLose) {
+  // Migration is real work: squeeze the throttle to a trickle and the
+  // adopted re-layouts cost more than they save — adaptive must LOSE to the
+  // stale static plan, proving the cost is charged, not modeled away.
+  harness::ExperimentOptions options = adaptive_options();
+  options.adaptive.migrate_bandwidth = 2.0 * MiB;
+  const DriftRuns runs = run_drift(options);
+
+  ASSERT_TRUE(runs.adaptive.adaptive.has_value());
+  ASSERT_GE(runs.adaptive.adaptive->epochs_installed, 1u);
+  EXPECT_GT(runs.adaptive.total.makespan, runs.static_harl.total.makespan)
+      << "adaptive " << runs.adaptive.total.makespan << "s vs static "
+      << runs.static_harl.total.makespan << "s";
+}
+
+TEST(AdaptiveExperiment, PlanArtifactRoundTripsTheLatestEpoch) {
+  const DriftRuns runs = run_drift(adaptive_options());
+  ASSERT_TRUE(runs.adaptive.plan.has_value());
+  ASSERT_GE(runs.adaptive.adaptive->epochs_installed, 1u);
+
+  // The adaptive result's plan is the *latest* epoch, not epoch 0.
+  const core::Plan& plan = *runs.adaptive.plan;
+  EXPECT_NE(plan.rst.entries(), runs.static_harl.plan->rst.entries());
+
+  std::stringstream buffer;
+  core::save_plan_binary(core::PlanArtifact::from_plan(plan), buffer);
+  const core::PlanArtifact loaded = core::load_plan_binary(buffer);
+  EXPECT_EQ(loaded.rst.entries(), plan.rst.entries());
+  EXPECT_EQ(loaded.tier_counts, plan.tier_counts);
+  EXPECT_EQ(loaded.calibration_fingerprint, plan.calibration_fingerprint);
+}
+
+TEST(AdaptiveExperiment, MigrationMetricsMergeOrderIndependently) {
+  // The manager's adaptive/migration families are all counters, so merging
+  // them into a recorder registry must commute — per-scheme registries can
+  // land in any order without changing the report.
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  for (obs::MetricsRegistry* reg : {&a, &b}) {
+    const auto bytes_id = reg->family("migration.migrated_bytes",
+                                      obs::MetricsRegistry::Kind::kCounter);
+    const auto intf_id = reg->family("migration.interference_s",
+                                     obs::MetricsRegistry::Kind::kCounter);
+    const double scale = reg == &a ? 1.0 : 3.0;
+    reg->add(bytes_id, obs::LabelSet{}.region(1), 4096.0 * scale);
+    reg->add(bytes_id, obs::LabelSet{}.region(2), 8192.0 * scale);
+    reg->add(intf_id, obs::LabelSet{}.region(1), 0.25 * scale);
+  }
+
+  obs::MetricsRegistry ab;
+  ab.merge(a);
+  ab.merge(b);
+  obs::MetricsRegistry ba;
+  ba.merge(b);
+  ba.merge(a);
+
+  std::ostringstream ab_json;
+  std::ostringstream ba_json;
+  ab.write_json(ab_json, 0);
+  ba.write_json(ba_json, 0);
+  EXPECT_EQ(ab_json.str(), ba_json.str());
+}
+
+}  // namespace
+}  // namespace harl

@@ -191,6 +191,86 @@ TEST(Divider, RejectsBadOptions) {
   EXPECT_THROW(divide_regions(records, growth), std::invalid_argument);
 }
 
+bool regions_equal(const std::vector<DividedRegion>& a,
+                   const std::vector<DividedRegion>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].offset != b[i].offset || a[i].end != b[i].end ||
+        a[i].first_request != b[i].first_request ||
+        a[i].last_request != b[i].last_request ||
+        a[i].avg_request != b[i].avg_request) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(StreamingDivider, MatchesBatchDivisionExactly) {
+  // The streaming form fed one request at a time must reproduce the batch
+  // division bit-for-bit (same threshold, no tuning in the stream).
+  std::vector<std::pair<Bytes, Bytes>> v;
+  append_run(v, 0, 50, 128 * KiB);
+  append_run(v, 50 * 128 * KiB, 50, 2 * MiB);
+  append_run(v, 50 * 128 * KiB + 100 * MiB, 50, 256 * KiB);
+  const auto records = trace_of_sizes(v);
+  const auto batch = divide_regions(records);
+
+  StreamingDivider stream(batch.threshold_used);
+  for (const auto& r : records) stream.add(r);
+  EXPECT_EQ(stream.fed(), records.size());
+  const auto streamed = stream.finish();
+  EXPECT_TRUE(regions_equal(batch.regions, streamed));
+}
+
+TEST(StreamingDivider, RegionCountTracksOpenWindow) {
+  StreamingDivider stream(1.0);
+  EXPECT_EQ(stream.region_count(), 0u);
+  stream.add(0, 64 * KiB);
+  EXPECT_EQ(stream.region_count(), 1u);  // the open window counts
+  stream.add(64 * KiB, 64 * KiB);
+  EXPECT_EQ(stream.region_count(), 1u);
+  EXPECT_THROW(stream.add(0, 64 * KiB), std::invalid_argument);  // descending
+}
+
+TEST(StreamingDivider, TracedDivisionMatchesPlainAndExplainsItself) {
+  // Frequent size flips force threshold tuning; the traced variant must
+  // return the identical division plus a coherent diagnostics dump.
+  std::vector<std::pair<Bytes, Bytes>> v;
+  Bytes base = 0;
+  for (int run = 0; run < 60; ++run) {
+    const Bytes size = (run % 2 == 0) ? 64 * KiB : 2 * MiB;
+    for (int i = 0; i < 6; ++i) {
+      v.emplace_back(base, size);
+      base += size;
+    }
+  }
+  DividerOptions opts;
+  opts.fixed_region_size = 64 * MiB;
+  const auto records = trace_of_sizes(v);
+  const auto plain = divide_regions(records, opts);
+
+  std::vector<StreamingDivider::CvSample> trajectory;
+  std::vector<TuningRound> rounds;
+  const auto traced =
+      divide_regions_traced(records, opts, &trajectory, &rounds);
+
+  EXPECT_TRUE(regions_equal(plain.regions, traced.regions));
+  EXPECT_EQ(traced.threshold_used, plain.threshold_used);
+  EXPECT_EQ(traced.tuning_rounds, plain.tuning_rounds);
+
+  // One tuning-round row per attempt, the last row being the accepted one.
+  ASSERT_EQ(rounds.size(), static_cast<std::size_t>(plain.tuning_rounds) + 1);
+  EXPECT_DOUBLE_EQ(rounds.back().threshold, plain.threshold_used);
+  EXPECT_EQ(rounds.back().regions, plain.regions.size());
+
+  // The trajectory covers the accepted round request-for-request, and its
+  // split markers are exactly the interior region boundaries.
+  ASSERT_EQ(trajectory.size(), records.size());
+  std::size_t splits = 0;
+  for (const auto& s : trajectory) splits += s.split ? 1 : 0;
+  EXPECT_EQ(splits, plain.regions.size() - 1);
+}
+
 TEST(Divider, DeterministicForIdenticalInput) {
   std::vector<std::pair<Bytes, Bytes>> v;
   append_run(v, 0, 64, 128 * KiB);

@@ -1,6 +1,8 @@
 // Tests for the on-line re-layout advisor (paper future work #2).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/online_advisor.hpp"
 #include "src/storage/profiles.hpp"
 
@@ -120,6 +122,58 @@ TEST(OnlineAdvisor, CostUnderUsesGoverningRegions) {
       request_cost(params, IoOp::kRead, 2 * GiB, 512 * KiB,
                    {28 * KiB, 172 * KiB});
   EXPECT_DOUBLE_EQ(total, expect);
+}
+
+TEST(OnlineAdvisor, BoundarySpanningRequestCostedByStartingRegion) {
+  // Pin the convention: a request crossing a region boundary is costed with
+  // the stripes of the region its *first byte* falls in, for its full size.
+  const CostParams params = calibrated_params();
+  RegionStripeTable rst;
+  rst.add(0, {0, 64 * KiB});
+  rst.add(1 * GiB, {28 * KiB, 172 * KiB});
+
+  // 96 KiB before the boundary, 32 KiB after: starting region is region 0.
+  const Bytes offset = 1 * GiB - 96 * KiB;
+  const std::vector<trace::TraceRecord> records = {
+      request(offset, 128 * KiB, IoOp::kWrite)};
+  const Seconds got = OnlineAdvisor::cost_under(params, rst, records);
+  EXPECT_DOUBLE_EQ(got, request_cost(params, IoOp::kWrite, offset, 128 * KiB,
+                                     {0, 64 * KiB}));
+  // And NOT the crossed region's stripes.
+  EXPECT_NE(got, request_cost(params, IoOp::kWrite, offset, 128 * KiB,
+                              {28 * KiB, 172 * KiB}));
+}
+
+TEST(OnlineAdvisor, BoundarySpanApproximationErrorIsBounded) {
+  // The starting-region convention is an approximation.  The reference is
+  // the cost of splitting the request at the boundary and costing each piece
+  // under its own region, serialized — an upper bound, since each piece pays
+  // its own startup.  The approximation drops the boundary-crossing
+  // overhead, so it must never exceed that split cost; and it must stay
+  // within 4x below it (the split's double-paid startups on small pieces
+  // account for the gap), keeping a window's gain estimate the right order
+  // of magnitude even when every request straddled a boundary.
+  const CostParams params = calibrated_params();
+  RegionStripeTable rst;
+  rst.add(0, {0, 64 * KiB});
+  rst.add(1 * GiB, {28 * KiB, 172 * KiB});
+
+  for (const Bytes head : {96 * KiB, 80 * KiB, 72 * KiB}) {
+    const Bytes size = 128 * KiB;  // head in region 0, size-head in region 1
+    const Bytes offset = 1 * GiB - head;
+    const std::vector<trace::TraceRecord> records = {
+        request(offset, size, IoOp::kRead)};
+    const Seconds approx = OnlineAdvisor::cost_under(params, rst, records);
+    const Seconds split =
+        request_cost(params, IoOp::kRead, offset, head, {0, 64 * KiB}) +
+        request_cost(params, IoOp::kRead, 1 * GiB, size - head,
+                     {28 * KiB, 172 * KiB});
+    ASSERT_GT(split, 0.0);
+    EXPECT_LE(approx, split)
+        << "head " << head << ": approx " << approx << " vs split " << split;
+    EXPECT_GE(approx, split / 4.0)
+        << "head " << head << ": approx " << approx << " vs split " << split;
+  }
 }
 
 TEST(OnlineAdvisor, ValidatesConstruction) {

@@ -71,14 +71,29 @@ constexpr OptionSpec kOptions[] = {
     {"file", "IOR file size                       (4G)"},
     {"requests", "IOR requests per process, 0 = full  (64)"},
     {"coverage", "multiregion coverage fraction       (0.1)"},
+    {"drift",
+     "multiregion drift phases            (1)\n"
+     "each phase replays the regions with request sizes scaled\n"
+     "by drift-factor^phase (1 = classic static workload)"},
+    {"drift-factor", "per-phase request-size scale factor (1.0)"},
     {"grid", "BTIO grid points per dimension      (48)"},
     {"dumps", "BTIO max dumps, 0 = all             (4)"},
     {"hservers", "HDD server count                    (6)"},
     {"sservers", "SSD server count                    (2)"},
     {"clients", "compute nodes                       (8)"},
     {"schemes",
-     "comma list: <size> | randN | harl | harl-file | segment\n"
-     "(64K,256K,harl)"},
+     "comma list: <size> | randN | harl | harl-adaptive |\n"
+     "harl-file | segment                 (64K,256K,harl)"},
+    {"adapt",
+     "1 = append the harl-adaptive scheme: epoch 0 is the\n"
+     "offline plan, then live window re-optimization swaps\n"
+     "epochs and migrates changed ranges mid-run (0)"},
+    {"adapt-window", "adaptive advisor requests per window (1024)"},
+    {"adapt-min-gain",
+     "min relative model-cost gain before an epoch swap (0.1)"},
+    {"migrate-bw",
+     "migration throttle, bytes/s of copied data (256M);\n"
+     "background copies share the real servers and network"},
     {"seed", "workload seed                       (7)"},
     {"threads",
      "worker threads, 0 = serial          (0)\n"
@@ -173,6 +188,7 @@ std::vector<std::string> split_commas(const std::string& text) {
 
 harness::LayoutScheme parse_scheme(const std::string& token) {
   if (token == "harl") return harness::LayoutScheme::harl();
+  if (token == "harl-adaptive") return harness::LayoutScheme::harl_adaptive();
   if (token == "harl-file") return harness::LayoutScheme::file_level_harl();
   if (token == "segment") return harness::LayoutScheme::segment_level();
   if (token.rfind("rand", 0) == 0) {
@@ -199,6 +215,8 @@ harness::WorkloadBundle make_bundle(const Config& cfg) {
     mr.processes = static_cast<std::size_t>(cfg.get_int("procs", 16));
     mr.coverage = cfg.get_double("coverage", 0.1);
     mr.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+    mr.drift_phases = static_cast<std::size_t>(cfg.get_int("drift", 1));
+    mr.drift_factor = cfg.get_double("drift-factor", 1.0);
     return harness::multiregion_bundle(mr);
   }
   if (kind == "btio") {
@@ -248,6 +266,16 @@ int main(int argc, char** argv) {
       options.pool = pool.get();
     }
 
+    // Adaptive (harl-adaptive scheme) tuning.  The advisor reuses the
+    // planner options — including the shared pool — so per-window
+    // re-optimizations are as fast as the offline Analysis Phase.
+    options.adaptive.advisor.window =
+        static_cast<std::size_t>(cfg.get_int("adapt-window", 1024));
+    options.adaptive.advisor.min_gain = cfg.get_double("adapt-min-gain", 0.1);
+    options.adaptive.advisor.planner = options.planner;
+    options.adaptive.migrate_bandwidth =
+        static_cast<double>(cfg.get_size("migrate-bw", 256 * MiB));
+
     const std::string metrics_out = cfg.get_or("metrics-out", "");
     const std::string trace_out = cfg.get_or("trace-out", "");
     if (!metrics_out.empty() || !trace_out.empty()) {
@@ -261,6 +289,13 @@ int main(int argc, char** argv) {
     for (const auto& token :
          split_commas(cfg.get_or("schemes", "64K,256K,harl"))) {
       schemes.push_back(parse_scheme(token));
+    }
+    if (cfg.get_int("adapt", 0) != 0) {
+      bool present = false;
+      for (const auto& s : schemes) {
+        present |= s.kind == harness::SchemeKind::kHarlAdaptive;
+      }
+      if (!present) schemes.push_back(harness::LayoutScheme::harl_adaptive());
     }
     const std::string load_plan_path = cfg.get_or("load-plan", "");
     if (!load_plan_path.empty()) {
@@ -344,6 +379,34 @@ int main(int argc, char** argv) {
       });
     }
     table.print(std::cout);
+
+    bool any_adaptive = false;
+    for (const auto& r : results) any_adaptive |= r.adaptive.has_value();
+    if (any_adaptive) {
+      // What the adaptive run(s) actually did: epoch swaps, deferred
+      // recommendations, and the migration traffic the makespan paid for.
+      std::cout << "\n== adaptive re-layout ==\n";
+      harness::Table adaptive_table({"layout", "epochs", "windows", "recs",
+                                     "deferred", "migrated MB",
+                                     "interference s", "evals saved"});
+      for (const auto& r : results) {
+        if (!r.adaptive.has_value()) continue;
+        const auto& a = *r.adaptive;
+        adaptive_table.add_row({
+            r.label,
+            std::to_string(a.epochs_installed),
+            std::to_string(a.windows_analyzed),
+            std::to_string(a.recommendations),
+            std::to_string(a.recommendations_deferred),
+            harness::cell(static_cast<double>(a.migrated_bytes) /
+                              (1024.0 * 1024.0),
+                          1),
+            harness::cell(a.migration_interference, 3),
+            std::to_string(a.cost_evals_saved),
+        });
+      }
+      adaptive_table.print(std::cout);
+    }
 
     if (cfg.get_int("stats", 0) != 0) {
       // Engine counters of each scheme's measured run: how the event core

@@ -4,6 +4,12 @@
 //   harl_trace convert <in> <out>         CSV <-> binary (by extension)
 //   harl_trace regions <trace> [k=v ...]  run Algorithm 1 and print regions
 //                                         (threshold=1.0 chunk=64M)
+//   harl_trace divide  <trace> [k=v ...]  Algorithm 1 diagnostics: the
+//                                         threshold-tuning rounds, the split
+//                                         points with their CV jumps, and the
+//                                         final boundaries; csv=<path> dumps
+//                                         the full per-request CV trajectory
+//                                         (threshold=1.0 chunk=64M)
 //   harl_trace gen     <out> [k=v ...]    generate a synthetic trace
 //                                         (requests=1000 file=1G min=4K
 //                                          max=2M writes=0.5 seed=1234)
@@ -14,6 +20,7 @@
 //                                          threshold=1.0 chunk=64M threads=0)
 //   harl_trace plan    <artifact>         inspect a saved Plan artifact
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -74,6 +81,74 @@ int cmd_regions(const std::string& path, const Config& cfg) {
                    std::to_string(r.request_count())});
   }
   table.print(std::cout);
+  return 0;
+}
+
+int cmd_divide(const std::string& path, const Config& cfg) {
+  auto records = trace::load_trace(path);
+  std::sort(records.begin(), records.end(), trace::ByOffset{});
+  core::DividerOptions opts;
+  opts.threshold = cfg.get_double("threshold", 1.0);
+  opts.fixed_region_size = cfg.get_size("chunk", 64 * MiB);
+
+  std::vector<core::StreamingDivider::CvSample> trajectory;
+  std::vector<core::TuningRound> rounds;
+  const auto division =
+      core::divide_regions_traced(records, opts, &trajectory, &rounds);
+
+  std::cout << records.size() << " request(s) -> "
+            << division.regions.size() << " region(s), threshold "
+            << division.threshold_used * 100.0 << "% after "
+            << division.tuning_rounds << " tuning round(s)\n";
+
+  if (rounds.size() > 1) {
+    std::cout << "\nthreshold tuning (region-count cap from chunk="
+              << format_size(opts.fixed_region_size) << "):\n";
+    harness::Table tuning({"round", "threshold %", "regions"});
+    for (const auto& r : rounds) {
+      tuning.add_row({std::to_string(r.round),
+                      harness::cell(r.threshold * 100.0, 1),
+                      std::to_string(r.regions)});
+    }
+    tuning.print(std::cout);
+  }
+
+  std::cout << "\nsplit points (CV jump > "
+            << division.threshold_used * 100.0 << "%):\n";
+  harness::Table splits({"request", "offset", "size", "window CV",
+                         "rel change %"});
+  for (const auto& s : trajectory) {
+    if (!s.split) continue;
+    splits.add_row({std::to_string(s.index), format_size(s.offset),
+                    format_size(s.size), harness::cell(s.cv, 4),
+                    harness::cell(s.relative_change * 100.0, 1)});
+  }
+  splits.print(std::cout);
+
+  std::cout << "\nregion boundaries:\n";
+  harness::Table table({"region", "offset", "end", "avg request", "requests"});
+  for (std::size_t i = 0; i < division.regions.size(); ++i) {
+    const auto& r = division.regions[i];
+    table.add_row({std::to_string(i), format_size(r.offset),
+                   format_size(r.end),
+                   format_size(static_cast<Bytes>(r.avg_request)),
+                   std::to_string(r.request_count())});
+  }
+  table.print(std::cout);
+
+  const std::string csv = cfg.get_or("csv", "");
+  if (!csv.empty()) {
+    std::ofstream out(csv);
+    if (!out) throw std::runtime_error("cannot write " + csv);
+    out << "index,offset,size,cv,relative_change,split\n";
+    out.precision(17);
+    for (const auto& s : trajectory) {
+      out << s.index << "," << s.offset << "," << s.size << "," << s.cv << ","
+          << s.relative_change << "," << (s.split ? 1 : 0) << "\n";
+    }
+    std::cout << "\nwrote " << trajectory.size()
+              << " CV trajectory sample(s) to " << csv << "\n";
+  }
   return 0;
 }
 
@@ -162,6 +237,10 @@ int main(int argc, char** argv) {
       return cmd_regions(args[1], Config::from_args({args.begin() + 2,
                                                      args.end()}));
     }
+    if (args.size() >= 2 && args[0] == "divide") {
+      return cmd_divide(args[1], Config::from_args({args.begin() + 2,
+                                                    args.end()}));
+    }
     if (args.size() >= 2 && args[0] == "gen") {
       return cmd_gen(args[1],
                      Config::from_args({args.begin() + 2, args.end()}));
@@ -171,7 +250,8 @@ int main(int argc, char** argv) {
                          Config::from_args({args.begin() + 2, args.end()}));
     }
     if (args.size() >= 2 && args[0] == "plan") return cmd_plan(args[1]);
-    std::cerr << "usage: harl_trace stats|convert|regions|gen|analyze|plan "
+    std::cerr << "usage: harl_trace "
+                 "stats|convert|regions|divide|gen|analyze|plan "
                  "... (see header comment)\n";
     return 2;
   } catch (const std::exception& e) {

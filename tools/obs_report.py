@@ -14,10 +14,15 @@ cost-model relative-error distribution per region.
 
 --check validates instead of summarizing:
   * metrics: schemes present; busy/jobs/utilization sane; histogram
-    bucket counts consistent with totals.
+    bucket counts consistent with totals; counters non-negative; adaptive
+    runs (adaptive.* / migration.* families) internally consistent —
+    epoch installs never exceed recommendations, and installed epochs
+    imply migration traffic (bytes, chunks, interference).
   * trace: valid Chrome trace JSON; complete ("X") spans on each track are
     disjoint and sorted, so span nesting is monotone per track; every async
     "b" has a matching "e" with end >= begin; instants carry timestamps.
+--require-adaptive additionally fails unless at least one scheme carries
+adaptive epoch metrics (used by the CI adaptive smoke step).
 Exit code 0 when every check passes, 1 otherwise.
 """
 
@@ -44,10 +49,51 @@ def load_json(path):
 
 # --- metrics ----------------------------------------------------------------
 
+def counter_total(report, name):
+    """Sum of a counter family's series values, or None if absent."""
+    series = [s for s in report.get("metrics", [])
+              if s.get("name") == name and s.get("type") == "counter"]
+    if not series:
+        return None
+    return sum(s.get("value", 0.0) for s in series)
+
+
+def check_adaptive(label, report):
+    """Consistency of the adaptive.* / migration.* counter families."""
+    windows = counter_total(report, "adaptive.windows")
+    if windows is None:
+        return False  # not an adaptive run
+    recs = counter_total(report, "adaptive.recommendations") or 0.0
+    epochs = counter_total(report, "adaptive.epoch_installs") or 0.0
+    deferred = counter_total(report, "adaptive.recommendations_deferred") or 0.0
+    migrated = counter_total(report, "migration.migrated_bytes") or 0.0
+    chunks = counter_total(report, "migration.chunks") or 0.0
+    interference = counter_total(report, "migration.interference_s") or 0.0
+    if epochs + deferred > recs + 1e-9:
+        fail(f"metrics[{label}]: {epochs} epochs + {deferred} deferred exceed "
+             f"{recs} recommendations")
+    if recs > windows + 1e-9:
+        fail(f"metrics[{label}]: more recommendations ({recs}) than analysis "
+             f"windows ({windows})")
+    if epochs > 0 and (migrated <= 0 or chunks <= 0):
+        fail(f"metrics[{label}]: {epochs} epoch(s) installed but no migration "
+             f"traffic recorded")
+    if epochs == 0 and migrated > 0:
+        fail(f"metrics[{label}]: migration bytes without any installed epoch")
+    if interference < -1e-12:
+        fail(f"metrics[{label}]: negative migration interference")
+    evals = counter_total(report, "adaptive.cost_evals") or 0.0
+    if windows > 0 and evals <= 0:
+        fail(f"metrics[{label}]: analysis windows ran but zero cost "
+             f"evaluations recorded")
+    return True
+
+
 def check_metrics(doc):
     schemes = doc.get("schemes")
     if not isinstance(schemes, list) or not schemes:
         fail("metrics: no schemes array")
+    adaptive_schemes = 0
     for scheme in schemes:
         label = scheme.get("label", "?")
         report = scheme.get("report")
@@ -76,6 +122,11 @@ def check_metrics(doc):
                     fail(f"metrics[{label}]/{name}: timeline bucket busy {v} "
                          f"outside [0, {width}]")
         for series in report.get("metrics", []):
+            if series.get("type") == "counter":
+                if series.get("value", 0.0) < -1e-12:
+                    fail(f"metrics[{label}]/{series.get('name')}: negative "
+                         f"counter")
+                continue
             if series.get("type") != "histogram":
                 continue
             count = series.get("count", 0)
@@ -85,7 +136,9 @@ def check_metrics(doc):
                      f"{bucket_total} exceed total {count}")
             if count > 0 and series.get("min", 0) > series.get("max", 0):
                 fail(f"metrics[{label}]/{series.get('name')}: min > max")
-    return len(schemes)
+        if check_adaptive(label, report):
+            adaptive_schemes += 1
+    return len(schemes), adaptive_schemes
 
 
 def server_breakdown(report):
@@ -169,6 +222,19 @@ def summarize(doc):
                                  if s and s.get("count") else f"{part}=      --")
                 print(f"    [{key}] " + " ".join(cells))
 
+        windows = counter_total(report, "adaptive.windows")
+        if windows is not None:
+            epochs = counter_total(report, "adaptive.epoch_installs") or 0
+            migrated = counter_total(report, "migration.migrated_bytes") or 0
+            print(f"  adaptive re-layout: {int(windows)} window(s) analyzed, "
+                  f"{int(counter_total(report, 'adaptive.recommendations') or 0)} "
+                  f"recommendation(s), {int(epochs)} epoch swap(s), "
+                  f"{migrated / (1024 * 1024):.1f} MB migrated in "
+                  f"{int(counter_total(report, 'migration.chunks') or 0)} "
+                  f"chunk(s) "
+                  f"({counter_total(report, 'migration.interference_s') or 0:.3f}s "
+                  f"in flight)")
+
         errors = histogram_rows(report, "model.rel_error")
         if errors:
             print("  cost-model relative error |predicted-measured|/measured:")
@@ -245,17 +311,24 @@ def main():
                         help="validate files instead of summarizing")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the OK lines in --check mode")
+    parser.add_argument("--require-adaptive", action="store_true",
+                        help="fail unless >=1 scheme has adaptive epoch "
+                             "metrics")
     args = parser.parse_args()
 
     metrics_doc = load_json(args.metrics)
-    n_schemes = check_metrics(metrics_doc)
+    n_schemes, n_adaptive = check_metrics(metrics_doc)
+    if args.require_adaptive and n_adaptive == 0:
+        fail(f"{args.metrics}: no scheme carries adaptive epoch metrics "
+             f"(adaptive.* families)")
     trace_counts = None
     if args.trace:
         trace_counts = check_trace(load_json(args.trace))
 
     if args.check:
         if not args.quiet:
-            print(f"obs_report: OK: {args.metrics}: {n_schemes} scheme(s) valid")
+            print(f"obs_report: OK: {args.metrics}: {n_schemes} scheme(s) "
+                  f"valid ({n_adaptive} adaptive)")
             if trace_counts is not None:
                 total = sum(trace_counts.values())
                 detail = ", ".join(f"{k}:{v}" for k, v in
