@@ -97,6 +97,13 @@ struct ExperimentOptions {
   /// Tuning for the harl-adaptive scheme: advisor window/min_gain/planner
   /// plus the migration throttle.  Ignored by every other scheme.
   mw::AdaptiveOptions adaptive;
+  /// Worker threads for the event engine of each simulated run (tracing and
+  /// measured): 0 = the sequential engine, >= 1 = the conservative PDES
+  /// runtime (src/sim/pdes.hpp) at that width.  Every output — metrics,
+  /// traces, plans, adaptive summaries — is byte-identical across widths,
+  /// including the sequential engine.  Independent of `pool`, which
+  /// parallelizes across runs; sim_threads parallelizes within one run.
+  unsigned sim_threads = 0;
 };
 
 class Experiment {

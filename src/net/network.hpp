@@ -66,6 +66,15 @@ class Network {
   /// links to them.  Call once, before any traffic.
   void attach_observer();
 
+  /// Assigns every link to its PDES logical process (client link i to
+  /// client_lps[i], server link j to server_lps[j]) and switches transfers
+  /// to the parallel store-and-forward chain: each hop completion is an
+  /// event on the next link's LP, so link state is only touched in LP time
+  /// order and every hop costs at least the message latency the PDES
+  /// lookahead is derived from.  Call once, before any traffic.
+  void attach_pdes(const std::vector<std::uint32_t>& client_lps,
+                   const std::vector<std::uint32_t>& server_lps);
+
  private:
   Seconds wire_time(Bytes size) const {
     return params_.message_latency + static_cast<double>(size) * params_.per_byte;
@@ -73,11 +82,15 @@ class Network {
 
   void two_hop(sim::FifoResource& src, sim::FifoResource& dst, Seconds hop,
                sim::InlineTask on_done);
+  void two_hop_pdes(sim::FifoResource& src, sim::FifoResource& dst,
+                    Seconds hop, std::uint32_t final_lp,
+                    sim::InlineTask on_done);
 
   sim::Simulator& sim_;
   NetworkParams params_;
   std::vector<std::unique_ptr<sim::FifoResource>> client_links_;
   std::vector<std::unique_ptr<sim::FifoResource>> server_links_;
+  bool pdes_ = false;  ///< attach_pdes() called: route via two_hop_pdes
 };
 
 /// Estimates the unit transfer time `t` the way the paper does: repeated

@@ -108,6 +108,18 @@ class Cluster {
   /// Zeroes all server/NIC statistics and device state between phases.
   void reset_stats();
 
+  /// Logical processes a PDES run of this cluster shape needs: the app LP,
+  /// one per data server, and one per client-NIC shard (clients are sharded
+  /// over min(clients, servers) link LPs — beyond that the NICs stop being
+  /// the parallelism bottleneck and extra LPs only add window overhead).
+  static std::size_t pdes_lp_count(const ClusterConfig& config);
+
+  /// Partitions the cluster over the runtime's LPs (server j — disk queue
+  /// and NIC link — on LP 1 + j; client NIC i on shard LP
+  /// 1 + num_servers + (i % shards)).  Call after construction and before
+  /// any traffic, with `sim.attach_pdes(&runtime)` already in effect.
+  void attach_pdes(sim::pdes::Runtime& runtime);
+
  private:
   sim::Simulator& sim_;
   ClusterConfig config_;

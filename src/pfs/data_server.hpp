@@ -42,6 +42,16 @@ class DataServer {
   /// track.  Call once, before any traffic.
   void attach_observer(std::uint32_t server, std::uint32_t tier);
 
+  /// Assigns this server (and its storage queue) to logical process `lp`
+  /// under PDES.  submit() calls issued off this LP relay themselves onto it
+  /// (with their observability anchor) so the device and queue state are
+  /// only ever touched in LP time order.
+  void set_lp(std::uint32_t lp) {
+    lp_ = lp;
+    queue_.set_lp(lp);
+  }
+  std::uint32_t lp() const { return lp_; }
+
   const std::string& name() const { return name_; }
   bool is_ssd() const { return is_ssd_; }
   storage::StorageDevice& device() { return *device_; }
@@ -62,6 +72,11 @@ class DataServer {
   /// Device-address stride separating physical objects (regions).
   static constexpr Bytes kObjectStride = static_cast<Bytes>(1) << 40;
 
+  /// The body of submit(), always running on this server's LP under PDES.
+  void submit_local(IoOp op, std::uint32_t object, Bytes offset, Bytes size,
+                    Bytes pieces, sim::InlineTask on_complete,
+                    std::uint32_t obs_sub);
+
   sim::Simulator& sim_;
   std::unique_ptr<storage::StorageDevice> device_;
   std::string name_;
@@ -71,6 +86,7 @@ class DataServer {
   Bytes bytes_read_ = 0;
   Bytes bytes_written_ = 0;
   std::uint32_t obs_server_ = obs::kNoId;  // global index under the observer
+  std::uint32_t lp_ = 0;                   // owning logical process under PDES
 };
 
 }  // namespace harl::pfs

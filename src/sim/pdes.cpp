@@ -1,0 +1,671 @@
+#include "src/sim/pdes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace harl::sim::pdes {
+
+namespace {
+
+/// Dispatch context of the calling thread.  `rt` scopes the context to one
+/// runtime (several runtimes may live on one machine — the harness pool runs
+/// one per scheme); `dispatching` is true only while an LP callback runs.
+/// Outside dispatch every thread is app (LP 0) context: pre-run scheduling
+/// and coordinator code between windows land on LP 0 with fresh tags.
+struct TlsContext {
+  const Runtime* rt = nullptr;
+  std::uint32_t lp = 0;
+  unsigned exec = 0;
+  bool dispatching = false;
+};
+
+thread_local TlsContext t_ctx;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+// --- ObsSequencer ------------------------------------------------------------
+
+bool ObsSequencer::buffering() const {
+  return target_ != nullptr && t_ctx.rt == &rt_ && t_ctx.dispatching;
+}
+
+ObsSequencer::Record& ObsSequencer::push(Kind kind) {
+  Runtime::Lp& lp = rt_.lps_[t_ctx.lp];
+  std::vector<Record>& records = shards_[t_ctx.lp].records;
+  records.emplace_back();
+  Record& r = records.back();
+  r.pos = lp.obs_key;
+  if (lp.obs_anchored) {
+    r.s1 = lp.obs_seq;
+    r.s2 = lp.obs_sub++;
+  } else {
+    r.s1 = lp.obs_seq++;
+    r.s2 = 0;
+  }
+  r.kind = kind;
+  return r;
+}
+
+std::uint32_t ObsSequencer::track(std::string_view name, obs::TrackKind kind,
+                                  std::uint32_t entity) {
+  // Registration is pre-run, coordinator-only: pass through so ids are real.
+  return target_ != nullptr ? target_->track(name, kind, entity) : obs::kNoId;
+}
+
+std::uint32_t ObsSequencer::register_server(std::uint32_t server,
+                                            std::uint32_t tier,
+                                            std::string_view name,
+                                            bool is_ssd) {
+  return target_ != nullptr ? target_->register_server(server, tier, name,
+                                                       is_ssd)
+                            : obs::kNoId;
+}
+
+std::uint32_t ObsSequencer::register_client(std::uint32_t client) {
+  return target_ != nullptr ? target_->register_client(client) : obs::kNoId;
+}
+
+void ObsSequencer::resource_event(std::uint32_t track, Seconds arrival,
+                                  Seconds start, Seconds finish) {
+  if (!buffering()) {
+    if (target_ != nullptr) target_->resource_event(track, arrival, start,
+                                                    finish);
+    return;
+  }
+  Record& r = push(Kind::kResource);
+  r.a = track;
+  r.t0 = arrival;
+  r.t1 = start;
+  r.t2 = finish;
+}
+
+void ObsSequencer::server_access(std::uint32_t server, IoOp op,
+                                 std::uint32_t region, Bytes bytes,
+                                 Bytes pieces, Seconds now) {
+  if (!buffering()) {
+    if (target_ != nullptr) {
+      target_->server_access(server, op, region, bytes, pieces, now);
+    }
+    return;
+  }
+  Record& r = push(Kind::kAccess);
+  r.a = server;
+  r.op = static_cast<std::uint8_t>(op);
+  r.b = region;
+  r.u = bytes;
+  r.v = pieces;
+  r.t0 = now;
+}
+
+std::uint32_t ObsSequencer::begin_request(std::uint32_t client, IoOp op,
+                                          Bytes offset, Bytes size,
+                                          Seconds now) {
+  if (!buffering()) {
+    return target_ != nullptr
+               ? target_->begin_request(client, op, offset, size, now)
+               : obs::kNoId;
+  }
+  // Client-side call: LP 0 / coordinator, so the synthetic counter needs no
+  // synchronization and ids are allocated in deterministic dispatch order.
+  const std::uint32_t id = next_req_++;
+  Record& r = push(Kind::kBeginRequest);
+  r.a = client;
+  r.op = static_cast<std::uint8_t>(op);
+  r.b = id;
+  r.u = offset;
+  r.v = size;
+  r.t0 = now;
+  return id;
+}
+
+std::uint32_t ObsSequencer::begin_sub(std::uint32_t request,
+                                      std::uint32_t server,
+                                      std::uint32_t region, Bytes bytes,
+                                      Seconds now) {
+  if (!buffering()) {
+    return target_ != nullptr
+               ? target_->begin_sub(request, server, region, bytes, now)
+               : obs::kNoId;
+  }
+  const std::uint32_t id = next_sub_++;
+  Record& r = push(Kind::kBeginSub);
+  r.a = request;
+  r.b = server;
+  r.c = region;
+  r.d = id;
+  r.u = bytes;
+  r.t0 = now;
+  return id;
+}
+
+void ObsSequencer::sub_storage(std::uint32_t sub, Seconds arrival,
+                               Seconds start, Seconds startup,
+                               Seconds service) {
+  if (!buffering()) {
+    if (target_ != nullptr) {
+      target_->sub_storage(sub, arrival, start, startup, service);
+    }
+    return;
+  }
+  Record& r = push(Kind::kSubStorage);
+  r.a = sub;
+  r.t0 = arrival;
+  r.t1 = start;
+  r.t2 = startup;
+  r.t3 = service;
+}
+
+void ObsSequencer::sub_net_done(std::uint32_t sub, Seconds now) {
+  if (!buffering()) {
+    if (target_ != nullptr) target_->sub_net_done(sub, now);
+    return;
+  }
+  Record& r = push(Kind::kSubNetDone);
+  r.a = sub;
+  r.t0 = now;
+}
+
+void ObsSequencer::end_request(std::uint32_t request, Seconds now) {
+  if (!buffering()) {
+    if (target_ != nullptr) target_->end_request(request, now);
+    return;
+  }
+  Record& r = push(Kind::kEndRequest);
+  r.a = request;
+  r.t0 = now;
+}
+
+void ObsSequencer::adaptive_event(AdaptiveEvent event, std::uint32_t epoch,
+                                  Bytes bytes, Seconds now) {
+  if (!buffering()) {
+    if (target_ != nullptr) target_->adaptive_event(event, epoch, bytes, now);
+    return;
+  }
+  Record& r = push(Kind::kAdaptive);
+  r.op = static_cast<std::uint8_t>(event);
+  r.a = epoch;
+  r.u = bytes;
+  r.t0 = now;
+}
+
+void ObsSequencer::replay() {
+  if (target_ == nullptr) return;
+  merged_.clear();
+  for (Shard& shard : shards_) {
+    merged_.insert(merged_.end(), shard.records.begin(), shard.records.end());
+    shard.records.clear();
+  }
+  if (merged_.empty()) return;
+  std::sort(merged_.begin(), merged_.end(),
+            [](const Record& a, const Record& b) {
+              if (!(a.pos == b.pos)) return a.pos < b.pos;
+              if (a.s1 != b.s1) return a.s1 < b.s1;
+              return a.s2 < b.s2;
+            });
+  auto req_of = [this](std::uint32_t synth) {
+    return synth < req_real_.size() ? req_real_[synth] : obs::kNoId;
+  };
+  auto sub_of = [this](std::uint32_t synth) {
+    return synth < sub_real_.size() ? sub_real_[synth] : obs::kNoId;
+  };
+  for (const Record& r : merged_) {
+    switch (r.kind) {
+      case Kind::kResource:
+        target_->resource_event(r.a, r.t0, r.t1, r.t2);
+        break;
+      case Kind::kAccess:
+        target_->server_access(r.a, static_cast<IoOp>(r.op), r.b, r.u, r.v,
+                               r.t0);
+        break;
+      case Kind::kBeginRequest: {
+        const std::uint32_t real = target_->begin_request(
+            r.a, static_cast<IoOp>(r.op), r.u, r.v, r.t0);
+        if (r.b >= req_real_.size()) req_real_.resize(r.b + 1, obs::kNoId);
+        req_real_[r.b] = real;
+        break;
+      }
+      case Kind::kBeginSub: {
+        const std::uint32_t real =
+            target_->begin_sub(req_of(r.a), r.b, r.c, r.u, r.t0);
+        if (r.d >= sub_real_.size()) sub_real_.resize(r.d + 1, obs::kNoId);
+        sub_real_[r.d] = real;
+        break;
+      }
+      case Kind::kSubStorage:
+        target_->sub_storage(sub_of(r.a), r.t0, r.t1, r.t2, r.t3);
+        break;
+      case Kind::kSubNetDone:
+        target_->sub_net_done(sub_of(r.a), r.t0);
+        break;
+      case Kind::kEndRequest:
+        target_->end_request(req_of(r.a), r.t0);
+        break;
+      case Kind::kAdaptive:
+        target_->adaptive_event(static_cast<obs::Sink::AdaptiveEvent>(r.op),
+                                r.a, r.u, r.t0);
+        break;
+    }
+  }
+  merged_.clear();
+}
+
+// --- Runtime: queues and arena ----------------------------------------------
+
+void Runtime::EntryRing::grow() {
+  const std::size_t old_cap = buf.size();
+  const std::size_t new_cap = old_cap == 0 ? 64 : old_cap * 2;
+  std::vector<Entry> grown(new_cap);
+  for (std::size_t i = 0; i < count; ++i) {
+    grown[i] = buf[(head + i) & (old_cap - 1)];
+  }
+  buf = std::move(grown);
+  head = 0;
+}
+
+std::uint32_t Runtime::lp_alloc_slot(Lp& lp, InlineTask&& fn) {
+  const bool stored_inline = fn.stored_inline();
+  lp.inline_callbacks += stored_inline ? 1 : 0;
+  lp.heap_callbacks += stored_inline ? 0 : 1;
+  if (lp.free_slots.empty()) {
+    ++lp.pool_misses;
+    const auto base =
+        static_cast<std::uint32_t>(lp.chunks.size()) * kChunkSlots;
+    lp.chunks.push_back(std::make_unique<Chunk>());
+    lp.free_slots.reserve(lp.free_slots.size() + kChunkSlots);
+    for (std::uint32_t i = kChunkSlots; i > 0; --i) {
+      lp.free_slots.push_back(base + i - 1);
+    }
+  } else {
+    ++lp.pool_hits;
+  }
+  const std::uint32_t index = lp.free_slots.back();
+  lp.free_slots.pop_back();
+  lp_slot(lp, index) = std::move(fn);
+  return index;
+}
+
+void Runtime::heap_push(std::vector<Entry>& heap, const Entry& e) {
+  std::size_t i = heap.size();
+  heap.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!(e.key < heap[parent].key)) break;
+    heap[i] = heap[parent];
+    i = parent;
+  }
+  heap[i] = e;
+}
+
+void Runtime::heap_remove_min(std::vector<Entry>& heap) {
+  const std::size_t n = heap.size() - 1;
+  const Entry last = heap[n];
+  heap.pop_back();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap[c].key < heap[best].key) best = c;
+    }
+    heap[hole] = heap[best];
+    hole = best;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!(last.key < heap[parent].key)) break;
+    heap[hole] = heap[parent];
+    hole = parent;
+  }
+  heap[hole] = last;
+}
+
+const Runtime::Entry* Runtime::lp_front(const Lp& lp) const {
+  const Entry* best = nullptr;
+  if (lp.now_lane.count != 0) best = &lp.now_lane.front();
+  if (lp.asc_lane.count != 0) {
+    const Entry& e = lp.asc_lane.front();
+    if (best == nullptr || e.key < best->key) best = &e;
+  }
+  if (!lp.heap.empty()) {
+    const Entry& e = lp.heap.front();
+    if (best == nullptr || e.key < best->key) best = &e;
+  }
+  return best;
+}
+
+Runtime::Entry Runtime::lp_pop_min(Lp& lp) {
+  const bool have_now = lp.now_lane.count != 0;
+  const bool have_asc = lp.asc_lane.count != 0;
+  const bool have_heap = !lp.heap.empty();
+  const Key* now_k = have_now ? &lp.now_lane.front().key : nullptr;
+  const Key* asc_k = have_asc ? &lp.asc_lane.front().key : nullptr;
+  const Key* heap_k = have_heap ? &lp.heap.front().key : nullptr;
+  const bool now_beats_asc = have_now && (!have_asc || *now_k < *asc_k);
+  const Key* lane_k = now_beats_asc ? now_k : asc_k;
+  if (lane_k != nullptr && (!have_heap || *lane_k < *heap_k)) {
+    return now_beats_asc ? lp.now_lane.pop() : lp.asc_lane.pop();
+  }
+  const Entry e = lp.heap.front();
+  heap_remove_min(lp.heap);
+  return e;
+}
+
+void Runtime::push_local(Lp& lp, const Entry& e, bool zero_delay) {
+  if (zero_delay &&
+      (lp.now_lane.count == 0 || lp.now_lane.back().key < e.key)) {
+    lp.now_lane.push(e);
+    ++lp.now_lane_events;
+  } else if (lp.asc_lane.count == 0 || !(e.key < lp.asc_lane.back().key)) {
+    lp.asc_lane.push(e);
+    ++lp.ascending_events;
+  } else {
+    heap_push(lp.heap, e);
+  }
+}
+
+void Runtime::push_external(Lp& lp, const Key& key, InlineTask&& fn) {
+  const Entry e{key, lp_alloc_slot(lp, std::move(fn))};
+  if (lp.asc_lane.count == 0 || !(e.key < lp.asc_lane.back().key)) {
+    lp.asc_lane.push(e);
+    ++lp.ascending_events;
+  } else {
+    heap_push(lp.heap, e);
+  }
+}
+
+// --- Runtime: scheduling -----------------------------------------------------
+
+Runtime::Runtime(std::uint32_t num_lps, const Options& options)
+    : options_(options), num_lps_(num_lps) {
+  if (num_lps == 0) {
+    throw std::invalid_argument("pdes::Runtime requires at least one LP");
+  }
+  if (!(options.lookahead > 0.0)) {
+    throw std::invalid_argument("pdes::Runtime requires lookahead > 0");
+  }
+  threads_ = options.threads == 0 ? 1 : options.threads;
+  window_ = options.lookahead;
+  if (options.window_cap > 0.0 && options.window_cap < window_) {
+    window_ = options.window_cap;
+  }
+  lps_ = std::vector<Lp>(num_lps_);
+  execs_ = std::vector<Executor>(threads_);
+  for (Executor& ex : execs_) ex.outbox.reserve(kMailboxReserve);
+  sequencer_.shards_.resize(num_lps_);
+  workers_.reserve(threads_ - 1);
+  for (unsigned e = 1; e < threads_; ++e) {
+    workers_.emplace_back([this, e] { worker_main(e); });
+  }
+}
+
+Runtime::~Runtime() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::jthread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::uint32_t Runtime::current_lp() const {
+  return (t_ctx.rt == this && t_ctx.dispatching) ? t_ctx.lp : kAppLp;
+}
+
+Time Runtime::now() const {
+  if (t_ctx.rt == this && t_ctx.dispatching) return lps_[t_ctx.lp].now;
+  return global_now_;
+}
+
+bool Runtime::idle() const {
+  for (const Lp& lp : lps_) {
+    if (lp.pending() != 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t Runtime::events_dispatched() const {
+  std::uint64_t total = 0;
+  for (const Lp& lp : lps_) total += lp.dispatched;
+  return total;
+}
+
+void Runtime::schedule(Time t, InlineTask fn) {
+  schedule_on(current_lp(), t, std::move(fn));
+}
+
+void Runtime::schedule_on(std::uint32_t target, Time t, InlineTask fn) {
+  if (target >= num_lps_) {
+    throw std::out_of_range("pdes: schedule_on target LP out of range");
+  }
+  const bool in_dispatch = t_ctx.rt == this && t_ctx.dispatching;
+  const std::uint32_t src = in_dispatch ? t_ctx.lp : kAppLp;
+  Lp& src_lp = lps_[src];
+  const double ref = in_dispatch ? src_lp.now : global_now_;
+  // `!(t >= ref)` rather than `t < ref` so NaN times are rejected too.
+  if (!(t >= ref)) {
+    throw std::invalid_argument("cannot schedule event in the past");
+  }
+  Key key;
+  key.time_bits = time_to_bits(t);
+  key.send_bits = time_to_bits(ref);
+  if (src == kAppLp && !in_dispatch) {
+    // Pre-run / inter-window scheduling: a fresh root chain.
+    key.tag = next_tag_++;
+    key.hop_lp = kAppLp;
+  } else if (src == kAppLp) {
+    // LP 0 dispatch: fresh root tags in dispatch order — the deterministic
+    // tie-break that stands in for the sequential engine's global seq.
+    key.tag = next_tag_++;
+    key.hop_lp = kAppLp;
+  } else {
+    // Chain continuation: inherit the root tag, bump the hop.
+    key.tag = src_lp.current.tag;
+    std::uint32_t hop = (src_lp.current.hop_lp >> 16) + 1;
+    if (hop > 0xFFFF) hop = 0xFFFF;
+    key.hop_lp = (hop << 16) | src;
+  }
+  key.ord = src_lp.next_ord++;
+  const Entry local{key, 0};
+  if (target == src) {
+    Entry e = local;
+    e.slot = lp_alloc_slot(src_lp, std::move(fn));
+    push_local(src_lp, e, in_dispatch && t == src_lp.now);
+  } else if (src == kAppLp) {
+    // LP 0 only runs in stage A / between windows, when workers are parked:
+    // direct pushes into any queue are safe and need no lookahead.
+    push_external(lps_[target], key, std::move(fn));
+  } else {
+    execs_[t_ctx.exec].outbox.push_back(MailEntry{key, target, std::move(fn)});
+  }
+}
+
+ObsAnchor Runtime::take_obs_anchor() {
+  Lp& lp = lps_[current_lp()];
+  ObsAnchor anchor;
+  anchor.key = lp.obs_key;
+  anchor.seq = lp.obs_anchored ? lp.obs_seq : lp.obs_seq++;
+  return anchor;
+}
+
+void Runtime::adopt_obs_anchor(const ObsAnchor& anchor) {
+  Lp& lp = lps_[current_lp()];
+  lp.obs_key = anchor.key;
+  lp.obs_seq = anchor.seq;
+  lp.obs_sub = 0;
+  lp.obs_anchored = true;
+}
+
+// --- Runtime: the window protocol -------------------------------------------
+
+void Runtime::run_lp(std::uint32_t lp_id, double end, unsigned exec) {
+  Lp& lp = lps_[lp_id];
+  const TlsContext saved = t_ctx;
+  t_ctx = TlsContext{this, lp_id, exec, true};
+  for (;;) {
+    const Entry* front = lp_front(lp);
+    if (front == nullptr || !(bits_to_time(front->key.time_bits) < end)) {
+      break;
+    }
+    const Entry e = lp_pop_min(lp);
+    lp.now = bits_to_time(e.key.time_bits);
+    lp.current = e.key;
+    lp.obs_key = e.key;
+    lp.obs_seq = 0;
+    lp.obs_sub = 0;
+    lp.obs_anchored = false;
+    ++lp.dispatched;
+    // Run in place: the slot stays off the free list while the callback
+    // runs, so new events land in other slots (same discipline as the
+    // sequential engine).
+    InlineTask& task = lp_slot(lp, e.slot);
+    task();
+    task.reset();
+    lp.free_slots.push_back(e.slot);
+  }
+  t_ctx = saved;
+}
+
+void Runtime::drain_mailboxes() {
+  drain_scratch_.clear();
+  for (Executor& ex : execs_) {
+    mailbox_enqueues_ += ex.outbox.size();
+    for (MailEntry& m : ex.outbox) drain_scratch_.push_back(std::move(m));
+    ex.outbox.clear();
+  }
+  if (drain_scratch_.empty()) return;
+  // Landing order must not depend on which worker carried which entry: sort
+  // by key (unique, so the order is total) before insertion.  This also
+  // keeps the per-LP lane routing — and with it the engine counters —
+  // identical at every worker count.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(),
+            [](const MailEntry& a, const MailEntry& b) { return a.key < b.key; });
+  for (MailEntry& m : drain_scratch_) {
+    if (bits_to_time(m.key.time_bits) < window_end_) ++lookahead_violations_;
+    push_external(lps_[m.target], m.key, std::move(m.task));
+  }
+  drain_scratch_.clear();
+}
+
+void Runtime::run_windows(double limit) {
+  const double hard_end =
+      limit < kInf ? std::nextafter(limit, kInf) : kInf;
+  for (;;) {
+    double base = kInf;
+    for (const Lp& lp : lps_) {
+      const Entry* front = lp_front(lp);
+      if (front != nullptr) {
+        const double t = bits_to_time(front->key.time_bits);
+        if (t < base) base = t;
+      }
+    }
+    if (base == kInf || base > limit) break;
+    double end = base + window_;
+    if (end > hard_end) end = hard_end;
+    window_end_ = end;
+    for (const Lp& lp : lps_) {
+      const Entry* front = lp_front(lp);
+      if (front != nullptr && !(bits_to_time(front->key.time_bits) < end)) {
+        ++window_stalls_;
+      }
+    }
+    // Stage A: client-side logic; may push directly into any LP.
+    run_lp(kAppLp, end, 0);
+    // Stage B: the server/NIC LPs, sharded over the worker team.
+    if (num_lps_ > 1) {
+      if (threads_ == 1) {
+        for (std::uint32_t lp = 1; lp < num_lps_; ++lp) run_lp(lp, end, 0);
+      } else {
+        running_.store(threads_ - 1, std::memory_order_relaxed);
+        epoch_.fetch_add(1, std::memory_order_release);
+        epoch_.notify_all();
+        for (std::uint32_t lp = 1; lp < num_lps_; lp += threads_) {
+          run_lp(lp, end, 0);
+        }
+        for (int spin = 0; spin < 4096; ++spin) {
+          if (running_.load(std::memory_order_acquire) == 0) break;
+        }
+        for (;;) {
+          const unsigned r = running_.load(std::memory_order_acquire);
+          if (r == 0) break;
+          running_.wait(r, std::memory_order_acquire);
+        }
+      }
+    }
+    drain_mailboxes();
+    sequencer_.replay();
+    ++windows_;
+    std::uint64_t depth = 0;
+    for (const Lp& lp : lps_) depth += lp.pending();
+    if (depth > peak_depth_) peak_depth_ = depth;
+  }
+  sequencer_.replay();
+  double horizon = global_now_;
+  for (const Lp& lp : lps_) {
+    if (lp.now > horizon) horizon = lp.now;
+  }
+  global_now_ = horizon;
+}
+
+void Runtime::worker_main(unsigned exec) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t cur = epoch_.load(std::memory_order_acquire);
+    if (cur == seen) {
+      for (int spin = 0; spin < 4096 && cur == seen; ++spin) {
+        cur = epoch_.load(std::memory_order_acquire);
+      }
+      while (cur == seen) {
+        epoch_.wait(seen, std::memory_order_acquire);
+        cur = epoch_.load(std::memory_order_acquire);
+      }
+    }
+    seen = cur;
+    if (stop_.load(std::memory_order_acquire)) return;
+    const double end = window_end_;
+    for (std::uint32_t lp = 1 + exec; lp < num_lps_; lp += threads_) {
+      run_lp(lp, end, exec);
+    }
+    running_.fetch_sub(1, std::memory_order_acq_rel);
+    running_.notify_all();
+  }
+}
+
+Time Runtime::run() {
+  run_windows(kInf);
+  return global_now_;
+}
+
+Time Runtime::run_until(Time limit) {
+  run_windows(limit);
+  return global_now_;
+}
+
+Simulator::Stats Runtime::stats() const {
+  Simulator::Stats s;
+  for (const Lp& lp : lps_) {
+    s.events_dispatched += lp.dispatched;
+    s.now_lane_events += lp.now_lane_events;
+    s.ascending_events += lp.ascending_events;
+    s.pool_hits += lp.pool_hits;
+    s.pool_misses += lp.pool_misses;
+    s.pool_chunks += lp.chunks.size();
+    s.inline_callbacks += lp.inline_callbacks;
+    s.heap_callbacks += lp.heap_callbacks;
+  }
+  s.peak_queue_depth = peak_depth_;
+  s.mailbox_enqueues = mailbox_enqueues_;
+  s.window_stalls = window_stalls_;
+  s.lookahead_violations =
+      lookahead_violations_ + off_lp_submits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace harl::sim::pdes

@@ -1,0 +1,447 @@
+// Conservative parallel discrete-event execution (PDES) for one run.
+//
+// The sequential engine in simulator.hpp dispatches one totally-ordered
+// event queue.  This runtime shards that queue into logical processes (LPs):
+// LP 0 hosts everything client-side (client logic, the program runner, the
+// MDS queue, join counters, the adaptive layout manager), and every data
+// server — its storage queue, its device and its server-side NIC link — is
+// its own LP, with client NIC links sharded over a further group of LPs.
+// Each LP owns a private copy of the sequential engine's allocation-free
+// structures (now lane / ascending FIFO lane / 4-ary heap over packed keys,
+// slab arena of InlineTask slots), so the per-event cost is the sequential
+// engine's, not a concurrent queue's.
+//
+// Synchronization is conservative and window-based.  Every cross-LP
+// interaction in the PFS model crosses either a network link (minimum cost:
+// the link's message latency, the paper's network unit time t) or a storage
+// queue (minimum cost: the per-stripe overhead), so any event an LP sends to
+// another LP is delivered at least `lookahead` after the sender's clock.
+// With B = min over LPs of their next event time, every event in
+// [B, B + lookahead) can therefore be executed without ever receiving a
+// straggler.  One window:
+//
+//   stage A   the coordinator runs LP 0 up to the window end.  Workers are
+//             parked, so LP 0 (which is where new work originates) may push
+//             events directly into any LP's queue — client->server traffic
+//             needs no lookahead.
+//   stage B   worker threads run the non-app LPs they own up to the window
+//             end.  All cross-LP sends are buffered in per-worker mailboxes
+//             (bounded vectors, single producer, drained only at the
+//             barrier), never pushed into another LP's queue.
+//   barrier   the coordinator drains every mailbox in deterministic (key)
+//             order into the target queues, checks the lookahead contract
+//             (delivery >= window end; violations are counted and must be
+//             zero), replays buffered observability calls (below), and
+//             recomputes B.
+//
+// Determinism: every event carries a 40-byte key
+//     (time, send time, root tag, hop | source LP, per-source ord)
+// compared lexicographically.  Time and send time use the IEEE-754 bit
+// trick from simulator.hpp; the root tag is a global counter drawn in LP 0
+// dispatch order and inherited down event chains, so keys are unique and
+// the dispatch order is a pure function of the workload — identical at any
+// worker count, including one.  The key order also reproduces the
+// sequential engine's (time, seq) order: for same-time events, sequential
+// seq order equals scheduling order, scheduling happens at nondecreasing
+// simulated time (ordered by the send field), and same-send ties are
+// resolved by the tag/ord fields, which follow LP 0 issue order — see
+// DESIGN.md §12 for the argument and the measure-zero corner cases.
+//
+// Observability: trace/metrics sinks are order-sensitive (the flight
+// recorder appends trace events and allocates async ids in call order), so
+// data-path sink calls made during a window are buffered per LP together
+// with the calling dispatch's key and call index, then replayed into the
+// real sink at the barrier in global key order — the recorder observes
+// exactly the sequential call sequence and its output stays byte-identical.
+// Calls that the sequential engine made synchronously from an LP 0 dispatch
+// but that now run in a relay event on another LP (a DataServer::submit
+// issued by a client, the first hop of a transfer) adopt an *anchor* — the
+// issuing dispatch's key and the call position where the relay was posted —
+// so their records sort back into the exact position the sequential engine
+// emitted them from.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/units.hpp"
+#include "src/obs/sink.hpp"
+#include "src/sim/inline_task.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace harl::sim::pdes {
+
+/// LP 0 hosts all client-side logic; it is the only LP that creates fresh
+/// event chains, and the only one that runs in stage A.
+inline constexpr std::uint32_t kAppLp = 0;
+
+/// Deterministic event ordering key, compared lexicographically.  `time` and
+/// `send` are raw IEEE-754 bits (valid times are >= +0.0, so unsigned bit
+/// order equals numeric order); `tag` is the chain's root tag (drawn from a
+/// global counter in LP 0 dispatch order, inherited by every event the chain
+/// schedules); `hop_lp` packs the chain hop count (high 16 bits, saturating)
+/// over the scheduling LP; `ord` is a per-scheduling-LP counter.  The
+/// (tag, hop_lp, ord) tail makes every key unique, so the order is total and
+/// independent of queue insertion order — the foundation of worker-count
+/// independence.
+struct Key {
+  std::uint64_t time_bits = 0;
+  std::uint64_t send_bits = 0;
+  std::uint64_t tag = 0;
+  std::uint32_t hop_lp = 0;
+  std::uint32_t ord = 0;
+
+  friend bool operator<(const Key& a, const Key& b) {
+    if (a.time_bits != b.time_bits) return a.time_bits < b.time_bits;
+    if (a.send_bits != b.send_bits) return a.send_bits < b.send_bits;
+    if (a.tag != b.tag) return a.tag < b.tag;
+    if (a.hop_lp != b.hop_lp) return a.hop_lp < b.hop_lp;
+    return a.ord < b.ord;
+  }
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.time_bits == b.time_bits && a.send_bits == b.send_bits &&
+           a.tag == b.tag && a.hop_lp == b.hop_lp && a.ord == b.ord;
+  }
+};
+
+inline std::uint64_t time_to_bits(Seconds t) {
+  const double canonical = t + 0.0;  // -0.0 -> +0.0
+  std::uint64_t bits;
+  std::memcpy(&bits, &canonical, sizeof(bits));
+  return bits;
+}
+
+inline Seconds bits_to_time(std::uint64_t bits) {
+  double t;
+  std::memcpy(&t, &bits, sizeof(t));
+  return t;
+}
+
+/// Position in the global observability call order: the issuing dispatch's
+/// key plus the call index reserved when the anchor was taken.  A relay
+/// event adopting an anchor emits its sink calls at exactly the position the
+/// sequential engine emitted them from (see file comment).
+struct ObsAnchor {
+  Key key;
+  std::uint32_t seq = 0;
+};
+
+class Runtime;
+
+/// Order-restoring observability sink.  Sits directly in front of the real
+/// sink (a Recorder, or the AdaptiveLayoutManager's downstream): data-path
+/// calls made during a window are buffered per LP with their global
+/// position, then replayed into the target in sorted order at the window
+/// barrier.  begin_request/begin_sub return synthetic ids that are
+/// translated to the target's ids at replay.  Registration calls (pre-run,
+/// coordinator only) pass through unchanged, as does everything when no
+/// window is executing.
+class ObsSequencer final : public obs::Sink {
+ public:
+  explicit ObsSequencer(Runtime& runtime) : rt_(runtime) {}
+
+  void set_target(obs::Sink* target) { target_ = target; }
+  obs::Sink* target() const { return target_; }
+
+  std::uint32_t track(std::string_view name, obs::TrackKind kind,
+                      std::uint32_t entity) override;
+  std::uint32_t register_server(std::uint32_t server, std::uint32_t tier,
+                                std::string_view name, bool is_ssd) override;
+  std::uint32_t register_client(std::uint32_t client) override;
+  void resource_event(std::uint32_t track, Seconds arrival, Seconds start,
+                      Seconds finish) override;
+  void server_access(std::uint32_t server, IoOp op, std::uint32_t region,
+                     Bytes bytes, Bytes pieces, Seconds now) override;
+  std::uint32_t begin_request(std::uint32_t client, IoOp op, Bytes offset,
+                              Bytes size, Seconds now) override;
+  std::uint32_t begin_sub(std::uint32_t request, std::uint32_t server,
+                          std::uint32_t region, Bytes bytes,
+                          Seconds now) override;
+  void sub_storage(std::uint32_t sub, Seconds arrival, Seconds start,
+                   Seconds startup, Seconds service) override;
+  void sub_net_done(std::uint32_t sub, Seconds now) override;
+  void end_request(std::uint32_t request, Seconds now) override;
+  void adaptive_event(AdaptiveEvent event, std::uint32_t epoch, Bytes bytes,
+                      Seconds now) override;
+
+ private:
+  friend class Runtime;
+
+  enum class Kind : std::uint8_t {
+    kResource,
+    kAccess,
+    kBeginRequest,
+    kBeginSub,
+    kSubStorage,
+    kSubNetDone,
+    kEndRequest,
+    kAdaptive,
+  };
+
+  /// One buffered sink call: (pos, s1, s2) is the global replay order,
+  /// the rest is the flattened argument list.
+  struct Record {
+    Key pos;
+    std::uint32_t s1 = 0;
+    std::uint32_t s2 = 0;
+    Kind kind = Kind::kResource;
+    std::uint8_t op = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    std::uint32_t d = 0;
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    double t0 = 0.0;
+    double t1 = 0.0;
+    double t2 = 0.0;
+    double t3 = 0.0;
+  };
+
+  /// Per-LP record buffer; cache-line-aligned so concurrent appends from
+  /// different worker threads never share a line.
+  struct alignas(64) Shard {
+    std::vector<Record> records;
+  };
+
+  bool buffering() const;
+  Record& push(Kind kind);
+  /// Coordinator only, at the window barrier: merge + sort + forward.
+  void replay();
+
+  Runtime& rt_;
+  obs::Sink* target_ = nullptr;
+  std::vector<Shard> shards_;
+  std::vector<Record> merged_;
+  // Synthetic-id translation (synthetic ids are allocated in LP 0 dispatch
+  // order — begin_request/begin_sub are client-side calls — and resolved to
+  // the target's ids when the replayed call returns).
+  std::vector<std::uint32_t> req_real_;
+  std::vector<std::uint32_t> sub_real_;
+  std::uint32_t next_req_ = 0;
+  std::uint32_t next_sub_ = 0;
+};
+
+/// The conservative PDES executor.  Attach to a Simulator with
+/// `sim.attach_pdes(&runtime)`: the simulator facade then forwards
+/// now()/schedule/run/stats to the runtime and components keep their code
+/// unchanged, except that LP owners (FifoResource, DataServer, Network) are
+/// told their LP via set_lp()/attach_pdes() so completions are routed to the
+/// right queue.
+class Runtime {
+ public:
+  struct Options {
+    /// Worker count including the coordinator; 1 = the full window protocol
+    /// on one thread (the determinism reference for wider runs).
+    unsigned threads = 1;
+    /// Minimum cross-LP delivery delay (seconds); must be > 0.  For the PFS
+    /// model: min(network message latency, server per-stripe overhead).
+    Seconds lookahead = 0.0;
+    /// Optional cap on the window length (seconds); 0 = use `lookahead`.
+    /// Narrower windows only add synchronization overhead — exposed for
+    /// BM_LookaheadSensitivity.
+    Seconds window_cap = 0.0;
+  };
+
+  Runtime(std::uint32_t num_lps, const Options& options);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  std::uint32_t num_lps() const { return num_lps_; }
+  unsigned threads() const { return threads_; }
+  Seconds window() const { return window_; }
+  std::uint64_t windows_run() const { return windows_; }
+
+  /// LP of the running dispatch; kAppLp outside any dispatch (pre-run
+  /// scheduling and the coordinator between windows are app context).
+  std::uint32_t current_lp() const;
+
+  /// Clock of the current dispatch's LP; the global horizon (max dispatched
+  /// time) outside dispatch.
+  Time now() const;
+
+  bool idle() const;
+  std::uint64_t events_dispatched() const;
+
+  /// Schedules onto the current LP (the facade's schedule_at/schedule_after).
+  void schedule(Time t, InlineTask fn);
+
+  /// Schedules onto `lp` at absolute time `t` (>= the scheduling context's
+  /// clock).  From LP 0 or pre-run this pushes directly (workers are
+  /// parked); from a non-app LP a cross-LP send goes through the executor's
+  /// mailbox and must respect the lookahead contract.
+  void schedule_on(std::uint32_t lp, Time t, InlineTask fn);
+
+  /// Reserves the current dispatch's next observability call position, to be
+  /// adopted by a relay event (see ObsAnchor).
+  ObsAnchor take_obs_anchor();
+  /// Inside a relay dispatch: emit subsequent sink calls at `anchor`.
+  void adopt_obs_anchor(const ObsAnchor& anchor);
+
+  /// Called by FifoResource when submitted off its owner LP — a routing bug
+  /// that would corrupt FIFO arrival order; counted into
+  /// `lookahead_violations` (which must be 0).
+  void note_off_lp_submit() {
+    off_lp_submits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Runs until every LP drains.  Returns the final global time.
+  Time run();
+  /// Runs windows while events at time <= `limit` exist (later events stay
+  /// queued).  Returns the global time (last dispatched).
+  Time run_until(Time limit);
+
+  /// Aggregated engine stats across LPs, plus the PDES counters
+  /// (mailbox_enqueues / window_stalls / lookahead_violations).  All fields
+  /// are deterministic and identical at any worker count.
+  Simulator::Stats stats() const;
+
+  ObsSequencer& sequencer() { return sequencer_; }
+
+ private:
+  friend class ObsSequencer;
+
+  struct Entry {
+    Key key;
+    std::uint32_t slot = 0;
+  };
+
+  /// FIFO ring of entries (power-of-two capacity), head = minimum.
+  struct EntryRing {
+    std::vector<Entry> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+
+    bool empty() const { return count == 0; }
+    const Entry& front() const { return buf[head]; }
+    const Entry& back() const {
+      return buf[(head + count - 1) & (buf.size() - 1)];
+    }
+    void push(const Entry& e) {
+      if (count == buf.size()) grow();
+      buf[(head + count) & (buf.size() - 1)] = e;
+      ++count;
+    }
+    Entry pop() {
+      const Entry e = buf[head];
+      head = (head + 1) & (buf.size() - 1);
+      --count;
+      return e;
+    }
+    void grow();
+  };
+
+  static constexpr std::uint32_t kChunkSlots = 256;
+  struct Chunk {
+    InlineTask slots[kChunkSlots];
+  };
+
+  /// One logical process: the sequential engine's queue + arena, a clock,
+  /// the dispatch context used for key assignment and observability
+  /// ordering, and per-LP counters.  Aligned so neighbouring LPs run by
+  /// different workers never share a cache line.
+  struct alignas(64) Lp {
+    EntryRing now_lane;
+    EntryRing asc_lane;
+    std::vector<Entry> heap;
+
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::vector<std::uint32_t> free_slots;
+
+    Key current{};       ///< key of the dispatch being executed
+    double now = 0.0;    ///< LP clock (last dispatched time)
+    std::uint32_t next_ord = 0;
+
+    // Observability position of the running dispatch (see ObsSequencer).
+    Key obs_key{};
+    std::uint32_t obs_seq = 0;
+    std::uint32_t obs_sub = 0;
+    bool obs_anchored = false;
+
+    std::uint64_t dispatched = 0;
+    std::uint64_t now_lane_events = 0;
+    std::uint64_t ascending_events = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_misses = 0;
+    std::uint64_t inline_callbacks = 0;
+    std::uint64_t heap_callbacks = 0;
+
+    std::size_t pending() const {
+      return now_lane.count + asc_lane.count + heap.size();
+    }
+  };
+
+  /// Cross-LP send buffered during stage B; the InlineTask rides along (no
+  /// arena slot until the coordinator lands it on the target LP).
+  struct MailEntry {
+    Key key;
+    std::uint32_t target = 0;
+    InlineTask task;
+  };
+
+  /// Per-executor mailbox: single producer (the owning worker during stage
+  /// B), single consumer (the coordinator at the barrier) — phases are
+  /// separated by the window's release/acquire pair, so no per-entry
+  /// synchronization is needed.  Bounded by the reserve below; growth past
+  /// it is an allocation, not an error.
+  static constexpr std::size_t kMailboxReserve = 4096;
+  struct alignas(64) Executor {
+    std::vector<MailEntry> outbox;
+  };
+
+  InlineTask& lp_slot(Lp& lp, std::uint32_t index) const {
+    return lp.chunks[index / kChunkSlots]->slots[index % kChunkSlots];
+  }
+  std::uint32_t lp_alloc_slot(Lp& lp, InlineTask&& fn);
+
+  static void heap_push(std::vector<Entry>& heap, const Entry& e);
+  static void heap_remove_min(std::vector<Entry>& heap);
+
+  /// Minimum of the three lane fronts; nullptr when the LP is idle.
+  const Entry* lp_front(const Lp& lp) const;
+  Entry lp_pop_min(Lp& lp);
+
+  void push_local(Lp& lp, const Entry& e, bool zero_delay);
+  void push_external(Lp& lp, const Key& key, InlineTask&& fn);
+
+  void run_lp(std::uint32_t lp_id, double end, unsigned exec);
+  void run_windows(double limit);
+  void drain_mailboxes();
+  void worker_main(unsigned exec);
+
+  Options options_;
+  std::uint32_t num_lps_ = 0;
+  unsigned threads_ = 1;
+  double window_ = 0.0;
+
+  std::vector<Lp> lps_;
+  std::vector<Executor> execs_;
+  std::vector<MailEntry> drain_scratch_;
+  ObsSequencer sequencer_{*this};
+
+  std::uint64_t next_tag_ = 0;
+  double global_now_ = 0.0;
+  double window_end_ = 0.0;  ///< written pre-release, read by workers
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t window_stalls_ = 0;
+  std::uint64_t mailbox_enqueues_ = 0;
+  std::uint64_t lookahead_violations_ = 0;
+  std::uint64_t peak_depth_ = 0;
+  std::atomic<std::uint64_t> off_lp_submits_{0};
+
+  // Window barrier: the coordinator publishes window_end_, bumps epoch_
+  // (release) and waits for running_ to reach zero (acquire); workers wait
+  // on epoch_, run their LPs, and decrement running_.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> running_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace harl::sim::pdes
