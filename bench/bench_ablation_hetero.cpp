@@ -2,6 +2,14 @@
 // stripes vs region division alone?  Compares full HARL against the
 // segment-level scheme (the paper's reference [10]): same Algorithm-1
 // regions, but one homogeneous stripe size per region.
+//
+// Aged-fleet sweep: on a fleet where half the SSD tier has aged (per-device
+// time factor 1x/2x/4x), compares device-aware HARL (planner sees per-slot
+// speeds, may restrict striping to the fastest members) against tier-blind
+// HARL (pre-device-model planner: one profile per tier) and fixed 64K.
+// bench_sim_report.py --hetero gates on the aware/blind ratios.
+#include <sstream>
+
 #include "bench/bench_common.hpp"
 
 namespace harl::bench {
@@ -55,6 +63,48 @@ std::vector<harness::SchemeResult> run() {
   std::cout << "(segment = Algorithm-1 regions with homogeneous per-region "
                "stripes; the gap to HARL is the value of per-tier stripe "
                "sizing)\n";
+
+  // Aged-SSD speed-spread sweep: 4 SServers, the slower half aged by the
+  // spread factor.  The multiregion workload mixes request sizes, so both
+  // the member-restriction and the share-shift responses of the
+  // device-aware planner get exercised.
+  for (const double spread : {1.0, 2.0, 4.0}) {
+    harness::ExperimentOptions opts = default_options();
+    opts.cluster.num_sservers = 4;
+    if (spread > 1.0) {
+      opts.cluster.ssd_factors = {1.0, 1.0, spread, spread};
+    }
+    workloads::MultiRegionConfig mr;
+    mr.processes = 8;
+    mr.coverage = paper_scale() ? 1.0 : 0.1;
+    const auto bundle = harness::multiregion_bundle(mr);
+
+    harness::Experiment aware(opts);
+    auto results =
+        aware.run_all(bundle, {harness::LayoutScheme::fixed(64 * KiB),
+                               harness::LayoutScheme::harl()});
+    harness::ExperimentOptions blind_opts = opts;
+    blind_opts.calibration.device_blind = true;
+    harness::Experiment blind(blind_opts);
+    auto blind_results =
+        blind.run_all(bundle, {harness::LayoutScheme::harl()});
+    blind_results[0].label = "HARL-blind";
+    results.push_back(std::move(blind_results[0]));
+
+    std::ostringstream title;
+    title << "Aged fleet: device-aware vs tier-blind HARL (half of 4 "
+             "SServers aged "
+          << spread << "x)";
+    print_scheme_table(std::cout, title.str(), results);
+    const std::string tag =
+        "aged" + std::to_string(static_cast<int>(spread)) + "x/";
+    for (auto& r : results) {
+      r.label = tag + r.label;
+      all.push_back(std::move(r));
+    }
+  }
+  std::cout << "(HARL-blind = planner calibrated per tier only; HARL = "
+               "planner sees per-device speed factors)\n";
   return all;
 }
 

@@ -35,8 +35,13 @@ class CostMemo {
  public:
   /// Starts a new candidate: logically clears the table.  `expected_keys`
   /// sizes the table (typically the sampled request count); capacity is
-  /// kept across candidates so steady-state reset is O(1).
-  void reset(std::size_t expected_keys) {
+  /// kept across candidates so steady-state reset is O(1).  `context`
+  /// extends the class key beyond (op, size, residue) — the device-aware
+  /// optimizer passes a hash of the candidate's member-device selection so
+  /// two candidates with equal periods but different member sets never
+  /// coalesce.  The default 0 preserves the pre-device behaviour exactly.
+  void reset(std::size_t expected_keys, std::uint64_t context = 0) {
+    context_ = context;
     const std::size_t want = table_size_for(expected_keys);
     if (slots_.size() < want) {
       slots_.assign(want, Slot{});
@@ -55,7 +60,7 @@ class CostMemo {
   /// must be deterministic.
   template <typename Fn>
   Seconds cost(IoOp op, Bytes size, Bytes residue, Fn&& compute) {
-    const std::uint64_t hash = mix(op, size, residue);
+    const std::uint64_t hash = mix(op, size, residue) ^ context_;
     std::size_t idx = static_cast<std::size_t>(hash) & mask_;
     for (;;) {
       Slot& slot = slots_[idx];
@@ -106,6 +111,7 @@ class CostMemo {
 
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
+  std::uint64_t context_ = 0;
   std::uint32_t generation_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

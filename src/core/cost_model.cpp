@@ -36,6 +36,15 @@ TieredCostParams to_tiered(const CostParams& params) {
   out.tiers[1].profile.name = "sserver";
   out.tiers[1].profile.read = params.sserver_read;
   out.tiers[1].profile.write = params.sserver_write;
+  // A factor vector only travels when it matches the tier's census; CARL
+  // builds half-params with M = 0 or N = 0 where the other tier's factors
+  // would otherwise dangle against a zero count.
+  if (params.hserver_factors.size() == params.M) {
+    out.tiers[0].device_factors = params.hserver_factors;
+  }
+  if (params.sserver_factors.size() == params.N) {
+    out.tiers[1].device_factors = params.sserver_factors;
+  }
   out.t = params.t;
   out.net_latency = params.net_latency;
   out.net_hops = params.net_hops;

@@ -36,6 +36,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "src/common/io.hpp"
 #include "src/common/units.hpp"
@@ -81,6 +82,13 @@ struct CostParams {
   storage::OpProfile hserver_write;  ///< alpha_h / beta_h (writes)
   storage::OpProfile sserver_read;   ///< alpha_sr / beta_sr
   storage::OpProfile sserver_write;  ///< alpha_sw / beta_sw
+
+  /// Per-member device speed factors (canonical ascending, empty =
+  /// homogeneous; see TierSpec::device_factors).  When non-empty the size
+  /// must equal M / N respectively — to_tiered drops a vector whose size
+  /// disagrees with the count (e.g. when CARL zeroes out one tier).
+  std::vector<double> hserver_factors;
+  std::vector<double> sserver_factors;
 };
 
 /// Builds CostParams from tier profiles and a unit network time.

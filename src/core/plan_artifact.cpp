@@ -62,20 +62,65 @@ void check_files_shape(const PlanArtifact& artifact) {
   }
 }
 
+void check_device_shape(const PlanArtifact& artifact) {
+  if (artifact.device_factors.empty()) return;
+  if (artifact.device_factors.size() != artifact.tier_counts.size()) {
+    throw std::runtime_error(
+        "plan artifact device table does not match tier table");
+  }
+  for (std::size_t j = 0; j < artifact.device_factors.size(); ++j) {
+    const auto& f = artifact.device_factors[j];
+    if (!f.empty() && f.size() != artifact.tier_counts[j]) {
+      throw std::runtime_error(
+          "plan artifact device table does not match tier counts");
+    }
+  }
+}
+
+/// Whether the artifact carries any device information (and thus needs the
+/// version-2 encoding).
+bool has_device_info(const PlanArtifact& artifact) {
+  for (const auto& f : artifact.device_factors) {
+    if (!f.empty()) return true;
+  }
+  for (const RstEntry& e : artifact.rst.entries()) {
+    if (!e.members.empty()) return true;
+  }
+  return false;
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double d;
+  __builtin_memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
 }  // namespace
 
 PlanArtifact PlanArtifact::from_plan(const Plan& plan) {
   PlanArtifact artifact;
   artifact.tier_counts = plan.tier_counts;
   artifact.calibration_fingerprint = plan.calibration_fingerprint;
+  artifact.device_factors = plan.device_factors;
   artifact.rst = plan.rst;
   return artifact;
 }
 
 void save_plan_binary(const PlanArtifact& artifact, std::ostream& os) {
   check_files_shape(artifact);
+  check_device_shape(artifact);
+  // Version 2 only when device information is present: homogeneous plans
+  // stay byte-identical to the pre-device-model version-1 encoding.
+  const bool v2 = has_device_info(artifact);
   os.write(kMagic, sizeof(kMagic));
-  put_u32(os, kPlanArtifactVersion);
+  put_u32(os, v2 ? 2 : 1);
   put_u32(os, static_cast<std::uint32_t>(artifact.tier_counts.size()));
   put_u64(os, artifact.calibration_fingerprint);
   for (std::size_t c : artifact.tier_counts) put_u64(os, c);
@@ -92,6 +137,31 @@ void save_plan_binary(const PlanArtifact& artifact, std::ostream& os) {
     put_u32(os, static_cast<std::uint32_t>(name.size()));
     os.write(name.data(), static_cast<std::streamsize>(name.size()));
   }
+  if (v2) {
+    // Device table: one row per tier — factor count (0 = homogeneous tier)
+    // then each factor's IEEE-754 bit pattern.
+    for (std::size_t j = 0; j < artifact.tier_counts.size(); ++j) {
+      const std::vector<double>& f = artifact.device_factors.empty()
+                                         ? std::vector<double>{}
+                                         : artifact.device_factors[j];
+      put_u64(os, f.size());
+      for (double v : f) put_u64(os, double_bits(v));
+    }
+    // Member section: flag, then per region the k member counts (all zeros
+    // = unrestricted region).
+    bool any_members = false;
+    for (const RstEntry& e : artifact.rst.entries()) {
+      if (!e.members.empty()) any_members = true;
+    }
+    put_u64(os, any_members ? 1 : 0);
+    if (any_members) {
+      for (const RstEntry& e : artifact.rst.entries()) {
+        for (std::size_t j = 0; j < artifact.tier_counts.size(); ++j) {
+          put_u64(os, e.members.empty() ? 0 : e.members[j]);
+        }
+      }
+    }
+  }
   if (!os) throw std::runtime_error("plan artifact write failed");
 }
 
@@ -102,7 +172,7 @@ PlanArtifact load_plan_binary(std::istream& is) {
     throw std::runtime_error("bad plan artifact magic");
   }
   const std::uint32_t version = get_u32(is);
-  if (version != kPlanArtifactVersion) {
+  if (version != 1 && version != 2) {
     throw std::runtime_error("unsupported plan artifact version " +
                              std::to_string(version));
   }
@@ -119,11 +189,14 @@ PlanArtifact load_plan_binary(std::istream& is) {
   if (regions > kMaxRegions) {
     throw std::runtime_error("corrupt plan artifact region count");
   }
+  // Regions are buffered until the (version-2) member section is known so
+  // each entry can be added with its member restriction.
+  std::vector<Bytes> offsets(regions);
+  std::vector<std::vector<Bytes>> stripes(regions);
   for (std::uint64_t r = 0; r < regions; ++r) {
-    const Bytes offset = get_u64(is);
-    std::vector<Bytes> stripes(k);
-    for (std::uint64_t j = 0; j < k; ++j) stripes[j] = get_u64(is);
-    artifact.rst.add(offset, std::move(stripes));
+    offsets[r] = get_u64(is);
+    stripes[r].resize(k);
+    for (std::uint64_t j = 0; j < k; ++j) stripes[r][j] = get_u64(is);
   }
   const std::uint64_t files = get_u64(is);
   if (files != 0 && files != regions) {
@@ -140,16 +213,59 @@ PlanArtifact load_plan_binary(std::istream& is) {
     }
     artifact.region_files.push_back(std::move(name));
   }
+  std::vector<std::vector<std::size_t>> members(regions);
+  if (version >= 2) {
+    for (std::uint64_t j = 0; j < k; ++j) {
+      const std::uint64_t count = get_u64(is);
+      if (count > kMaxTiers * kMaxTiers) {
+        throw std::runtime_error("corrupt plan artifact device table");
+      }
+      std::vector<double> factors(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        factors[i] = bits_double(get_u64(is));
+      }
+      if (artifact.device_factors.empty() && count > 0) {
+        artifact.device_factors.resize(k);
+      }
+      if (!artifact.device_factors.empty()) {
+        artifact.device_factors[j] = std::move(factors);
+      }
+    }
+    if (get_u64(is) != 0) {
+      for (std::uint64_t r = 0; r < regions; ++r) {
+        members[r].resize(k);
+        for (std::uint64_t j = 0; j < k; ++j) {
+          members[r][j] = static_cast<std::size_t>(get_u64(is));
+        }
+      }
+    }
+  }
+  for (std::uint64_t r = 0; r < regions; ++r) {
+    artifact.rst.add(offsets[r], std::move(stripes[r]), std::move(members[r]));
+  }
+  check_device_shape(artifact);
   return artifact;
 }
 
 void save_plan_csv(const PlanArtifact& artifact, std::ostream& os) {
   check_files_shape(artifact);
+  check_device_shape(artifact);
   os << kCsvHeader << '\n';
   os << "fingerprint," << artifact.calibration_fingerprint << '\n';
   os << "tiers";
   for (std::size_t c : artifact.tier_counts) os << ',' << c;
   os << '\n';
+  // Device rows appear only for heterogeneous tiers, so homogeneous plans
+  // stay byte-identical to the pre-device-model output.
+  for (std::size_t j = 0; j < artifact.device_factors.size(); ++j) {
+    if (artifact.device_factors[j].empty()) continue;
+    os << "devtier," << j;
+    const auto old_precision = os.precision(17);
+    for (double f : artifact.device_factors[j]) os << ',' << f;
+    os.precision(old_precision);
+    os << '\n';
+  }
+  std::size_t region_index = 0;
   for (const RstEntry& e : artifact.rst.entries()) {
     if (e.stripes.size() != artifact.tier_counts.size()) {
       throw std::runtime_error("plan artifact RST does not match tier table");
@@ -157,6 +273,12 @@ void save_plan_csv(const PlanArtifact& artifact, std::ostream& os) {
     os << "region," << e.offset;
     for (Bytes s : e.stripes) os << ',' << s;
     os << '\n';
+    if (!e.members.empty()) {
+      os << "members," << region_index;
+      for (std::size_t m : e.members) os << ',' << m;
+      os << '\n';
+    }
+    ++region_index;
   }
   for (std::size_t i = 0; i < artifact.region_files.size(); ++i) {
     os << "file," << i << ',' << artifact.region_files[i] << '\n';
@@ -172,6 +294,11 @@ PlanArtifact load_plan_csv(std::istream& is) {
   PlanArtifact artifact;
   bool saw_fingerprint = false;
   bool saw_tiers = false;
+  // Regions are buffered so "members" rows (which follow their region row)
+  // can be attached before the RST is assembled.
+  std::vector<Bytes> offsets;
+  std::vector<std::vector<Bytes>> stripes_rows;
+  std::vector<std::vector<std::size_t>> members_rows;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     std::istringstream ss(line);
@@ -230,7 +357,53 @@ PlanArtifact load_plan_csv(std::istream& is) {
       if (std::getline(ss, extra, ',')) {
         throw std::runtime_error("malformed plan artifact row: " + line);
       }
-      artifact.rst.add(offset, std::move(stripes));
+      offsets.push_back(offset);
+      stripes_rows.push_back(std::move(stripes));
+      members_rows.emplace_back();
+    } else if (field == "devtier") {
+      if (!saw_tiers) {
+        throw std::runtime_error("plan artifact devtier row before tiers row");
+      }
+      const std::uint64_t j = next_u64();
+      if (j >= artifact.tier_counts.size()) {
+        throw std::runtime_error("plan artifact devtier index out of range");
+      }
+      std::vector<double> factors;
+      std::string token;
+      while (std::getline(ss, token, ',')) {
+        std::size_t pos = 0;
+        double v = 0.0;
+        try {
+          v = std::stod(token, &pos);
+        } catch (const std::exception&) {
+          throw std::runtime_error("malformed plan artifact row: " + line);
+        }
+        if (pos != token.size()) {
+          throw std::runtime_error("malformed plan artifact row: " + line);
+        }
+        factors.push_back(v);
+      }
+      if (factors.empty()) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      if (artifact.device_factors.empty()) {
+        artifact.device_factors.resize(artifact.tier_counts.size());
+      }
+      artifact.device_factors[j] = std::move(factors);
+    } else if (field == "members") {
+      const std::uint64_t index = next_u64();
+      if (index >= offsets.size()) {
+        throw std::runtime_error("plan artifact members row out of range");
+      }
+      std::vector<std::size_t> members;
+      for (std::size_t j = 0; j < artifact.tier_counts.size(); ++j) {
+        members.push_back(static_cast<std::size_t>(next_u64()));
+      }
+      std::string extra;
+      if (std::getline(ss, extra, ',')) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      members_rows[index] = std::move(members);
     } else if (field == "file") {
       const std::uint64_t index = next_u64();
       if (index != artifact.region_files.size()) {
@@ -246,10 +419,15 @@ PlanArtifact load_plan_csv(std::istream& is) {
   if (!saw_fingerprint || !saw_tiers) {
     throw std::runtime_error("plan artifact CSV missing header rows");
   }
+  for (std::size_t r = 0; r < offsets.size(); ++r) {
+    artifact.rst.add(offsets[r], std::move(stripes_rows[r]),
+                     std::move(members_rows[r]));
+  }
   if (!artifact.region_files.empty() &&
       artifact.region_files.size() != artifact.rst.size()) {
     throw std::runtime_error("plan artifact R2F size does not match RST");
   }
+  check_device_shape(artifact);
   return artifact;
 }
 

@@ -31,12 +31,23 @@
 
 namespace harl::core {
 
-/// Current binary/CSV schema version.
-inline constexpr std::uint32_t kPlanArtifactVersion = 1;
+/// Current binary schema version.  Version 1 is the pre-device-model
+/// format; version 2 appends a per-tier device-factor table and a
+/// per-region member section.  Writers emit version 1 byte-identically
+/// whenever the plan carries no device information, so homogeneous plans
+/// round-trip with version-1 readers; readers accept both versions (a v1
+/// artifact loads with all factors defaulting to 1.0, i.e. empty).
+inline constexpr std::uint32_t kPlanArtifactVersion = 2;
 
 struct PlanArtifact {
   std::vector<std::size_t> tier_counts;   ///< servers per tier, in order
   std::uint64_t calibration_fingerprint = 0;
+  /// Per-tier device speed factors the plan assumed (canonical ascending;
+  /// empty inner vector = homogeneous tier; empty outer vector = no device
+  /// model, the only form version-1 artifacts can express).  When non-empty
+  /// the outer size must equal tier_counts.size() and each non-empty inner
+  /// vector's size the tier's count.
+  std::vector<std::vector<double>> device_factors;
   RegionStripeTable rst;
   /// R2F: physical file name per RST region (paper Fig. 6's Region-to-File
   /// table).  Either empty (not yet placed) or exactly rst.size() entries.

@@ -34,12 +34,29 @@ std::vector<FileRequest> region_requests(
   return reqs;
 }
 
+/// Per-tier device factors of a calibration, for Plan::device_factors; the
+/// outer vector collapses to empty when every tier is homogeneous so
+/// pre-device plans and homogeneous plans share one canonical form.
+std::vector<std::vector<double>> plan_device_factors(
+    const TieredCostParams& params) {
+  bool any = false;
+  for (const auto& t : params.tiers) {
+    if (!t.device_factors.empty()) any = true;
+  }
+  if (!any) return {};
+  std::vector<std::vector<double>> out;
+  out.reserve(params.tiers.size());
+  for (const auto& t : params.tiers) out.push_back(t.device_factors);
+  return out;
+}
+
 PlannedRegion planned_from(const DividedRegion& region,
                            const RegionStripes& opt) {
   PlannedRegion planned;
   planned.offset = region.offset;
   planned.end = region.end;
   planned.stripes = {opt.stripes.h, opt.stripes.s};
+  planned.members = opt.members;
   planned.model_cost = opt.model_cost;
   planned.avg_request = region.avg_request;
   planned.request_count = region.request_count();
@@ -81,6 +98,7 @@ Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
                         const PlannerOptions& options, bool homogeneous) {
   Plan plan;
   plan.tier_counts = {params.M, params.N};
+  plan.device_factors = plan_device_factors(to_tiered(params));
   plan.calibration_fingerprint = params_fingerprint(params);
   plan.threshold_used = division.threshold_used;
   plan.tuning_rounds = division.tuning_rounds;
@@ -104,7 +122,8 @@ Plan plan_from_division(std::span<const trace::TraceRecord> sorted,
   for (std::size_t i = 0; i < count; ++i) {
     plan.regions.push_back(planned_from(division.regions[i], optimized[i]));
     plan.rst.add(division.regions[i].offset,
-                 {optimized[i].stripes.h, optimized[i].stripes.s});
+                 {optimized[i].stripes.h, optimized[i].stripes.s},
+                 optimized[i].members);
   }
 
   plan.regions_before_merge = plan.rst.size();
@@ -271,6 +290,7 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
 
   Plan plan;
   plan.tier_counts = {params.M, params.N};
+  plan.device_factors = plan_device_factors(to_tiered(params));
   plan.calibration_fingerprint = params_fingerprint(params);
   plan.threshold_used = division.threshold_used;
   plan.tuning_rounds = division.tuning_rounds;
@@ -280,6 +300,7 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
     planned.offset = carl[i].region.offset;
     planned.end = carl[i].region.end;
     planned.stripes = {choice.stripes.h, choice.stripes.s};
+    planned.members = choice.members;
     planned.model_cost = choice.model_cost;
     planned.avg_request = carl[i].region.avg_request;
     planned.request_count = carl[i].region.request_count();
@@ -291,7 +312,7 @@ Plan analyze_carl(std::span<const trace::TraceRecord> records,
     planned.cost_evals_saved = carl[i].hdd_only.cost_evals_saved +
                                carl[i].ssd_only.cost_evals_saved;
     plan.regions.push_back(planned);
-    plan.rst.add(planned.offset, planned.stripes);
+    plan.rst.add(planned.offset, planned.stripes, planned.members);
   }
   plan.regions_before_merge = plan.rst.size();
   if (options.merge_adjacent) plan.rst.merge_adjacent();
@@ -310,6 +331,7 @@ Plan analyze_tiered(std::span<const trace::TraceRecord> records,
   Plan plan;
   plan.tier_counts.reserve(params.tiers.size());
   for (const auto& tier : params.tiers) plan.tier_counts.push_back(tier.count);
+  plan.device_factors = plan_device_factors(params);
   plan.calibration_fingerprint = params_fingerprint(params);
   plan.threshold_used = division.threshold_used;
   plan.tuning_rounds = division.tuning_rounds;
@@ -337,6 +359,7 @@ Plan analyze_tiered(std::span<const trace::TraceRecord> records,
     planned.offset = region.offset;
     planned.end = region.end;
     planned.stripes = optimized[i].stripes;
+    planned.members = optimized[i].members;
     planned.model_cost = optimized[i].model_cost;
     planned.avg_request = region.avg_request;
     planned.request_count = region.request_count();
@@ -344,7 +367,7 @@ Plan analyze_tiered(std::span<const trace::TraceRecord> records,
     planned.cost_evals = optimized[i].cost_evals;
     planned.cost_evals_saved = optimized[i].cost_evals_saved;
     plan.regions.push_back(std::move(planned));
-    plan.rst.add(region.offset, optimized[i].stripes);
+    plan.rst.add(region.offset, optimized[i].stripes, optimized[i].members);
   }
 
   plan.regions_before_merge = plan.rst.size();

@@ -38,6 +38,9 @@ struct PlannedRegion {
   Bytes offset = 0;
   Bytes end = 0;
   std::vector<Bytes> stripes;  ///< winning per-tier sizes ({h, s} for k = 2)
+  /// Winning per-tier member counts (empty = full membership; the
+  /// device-aware search may stripe over only a tier's fastest devices).
+  std::vector<std::size_t> members;
   Seconds model_cost = 0.0;
   double avg_request = 0.0;
   std::size_t request_count = 0;
@@ -52,6 +55,11 @@ struct Plan {
   /// Per-tier server counts the plan was computed for ({M, N} for two-tier);
   /// the Placing Phase validates these against the target cluster.
   std::vector<std::size_t> tier_counts;
+  /// Per-tier device speed factors the plan was computed against (canonical
+  /// ascending; an empty inner vector = homogeneous tier, an empty outer
+  /// vector = fully homogeneous / pre-device-model plan).  The Placing
+  /// Phase rejects installation on a cluster whose device table disagrees.
+  std::vector<std::vector<double>> device_factors;
   /// Fingerprint of the calibration used (params_fingerprint); lets a loaded
   /// plan detect that it was computed against different parameters.
   std::uint64_t calibration_fingerprint = 0;

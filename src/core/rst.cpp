@@ -11,6 +11,7 @@ namespace harl::core {
 namespace {
 constexpr char kHeaderV1[] = "harl-rst-v1";  ///< two-tier legacy format
 constexpr char kHeaderV2[] = "harl-rst-v2";  ///< k inferred from columns
+constexpr char kHeaderV3[] = "harl-rst-v3";  ///< stripes + member columns
 }  // namespace
 
 StripePair RstEntry::pair() const {
@@ -21,6 +22,11 @@ StripePair RstEntry::pair() const {
 }
 
 void RegionStripeTable::add(Bytes offset, std::vector<Bytes> stripes) {
+  add(offset, std::move(stripes), {});
+}
+
+void RegionStripeTable::add(Bytes offset, std::vector<Bytes> stripes,
+                            std::vector<std::size_t> members) {
   if (entries_.empty()) {
     if (offset != 0) throw std::invalid_argument("first RST region must start at 0");
   } else if (offset <= entries_.back().offset) {
@@ -36,7 +42,26 @@ void RegionStripeTable::add(Bytes offset, std::vector<Bytes> stripes) {
                   [](Bytes s) { return s == 0; })) {
     throw std::invalid_argument("RST region needs a nonzero stripe");
   }
-  entries_.push_back(RstEntry{offset, std::move(stripes)});
+  if (!members.empty()) {
+    if (members.size() != stripes.size()) {
+      throw std::invalid_argument("RST members must match tier count");
+    }
+    // All-zero member vectors are the "no restriction" serialization
+    // sentinel; store them canonically as empty.
+    if (std::all_of(members.begin(), members.end(),
+                    [](std::size_t m) { return m == 0; })) {
+      members.clear();
+    } else {
+      bool effective = false;
+      for (std::size_t j = 0; j < stripes.size(); ++j) {
+        if (stripes[j] > 0 && members[j] > 0) effective = true;
+      }
+      if (!effective) {
+        throw std::invalid_argument("RST members exclude every striped tier");
+      }
+    }
+  }
+  entries_.push_back(RstEntry{offset, std::move(stripes), std::move(members)});
 }
 
 std::size_t RegionStripeTable::region_of(Bytes offset) const {
@@ -56,7 +81,10 @@ std::size_t RegionStripeTable::merge_adjacent() {
   std::vector<RstEntry> merged;
   merged.reserve(entries_.size());
   for (const auto& e : entries_) {
-    if (!merged.empty() && merged.back().stripes == e.stripes) continue;
+    if (!merged.empty() && merged.back().stripes == e.stripes &&
+        merged.back().members == e.members) {
+      continue;
+    }
     merged.push_back(e);
   }
   const std::size_t removed = entries_.size() - merged.size();
@@ -66,22 +94,33 @@ std::size_t RegionStripeTable::merge_adjacent() {
 
 void RegionStripeTable::save(std::ostream& os) const {
   // Two-tier tables keep the v1 format so files round-trip byte-identically
-  // with pre-refactor readers; other tier counts need the v2 header.
-  const bool v1 = entries_.empty() || num_tiers() == 2;
-  os << (v1 ? kHeaderV1 : kHeaderV2) << '\n';
+  // with pre-refactor readers; other tier counts need the v2 header; any
+  // member-restricted entry (device-aware plans only) forces v3, where each
+  // row appends the k member counts (all zeros = unrestricted entry).
+  const bool v3 = std::any_of(entries_.begin(), entries_.end(),
+                              [](const RstEntry& e) { return !e.members.empty(); });
+  const bool v1 = !v3 && (entries_.empty() || num_tiers() == 2);
+  os << (v3 ? kHeaderV3 : (v1 ? kHeaderV1 : kHeaderV2)) << '\n';
   for (const auto& e : entries_) {
     os << e.offset;
     for (Bytes s : e.stripes) os << ' ' << s;
+    if (v3) {
+      for (std::size_t j = 0; j < e.stripes.size(); ++j) {
+        os << ' ' << (e.members.empty() ? 0 : e.members[j]);
+      }
+    }
     os << '\n';
   }
 }
 
 RegionStripeTable RegionStripeTable::load(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || (line != kHeaderV1 && line != kHeaderV2)) {
+  if (!std::getline(is, line) ||
+      (line != kHeaderV1 && line != kHeaderV2 && line != kHeaderV3)) {
     throw std::runtime_error("bad RST header");
   }
   const bool v1 = line == kHeaderV1;
+  const bool v3 = line == kHeaderV3;
   RegionStripeTable table;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -93,10 +132,18 @@ RegionStripeTable RegionStripeTable::load(std::istream& is) {
     std::vector<Bytes> stripes;
     Bytes s = 0;
     while (ss >> s) stripes.push_back(s);
-    if (!ss.eof() || stripes.empty() || (v1 && stripes.size() != 2)) {
+    if (!ss.eof() || stripes.empty() || (v1 && stripes.size() != 2) ||
+        (v3 && stripes.size() % 2 != 0)) {
       throw std::runtime_error("malformed RST row: " + line);
     }
-    table.add(offset, std::move(stripes));
+    std::vector<std::size_t> members;
+    if (v3) {
+      const std::size_t k = stripes.size() / 2;
+      members.assign(stripes.begin() + static_cast<std::ptrdiff_t>(k),
+                     stripes.end());
+      stripes.resize(k);
+    }
+    table.add(offset, std::move(stripes), std::move(members));
   }
   return table;
 }
@@ -110,7 +157,7 @@ std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
   std::vector<pfs::RegionSpec> specs;
   specs.reserve(entries_.size());
   for (const auto& e : entries_) {
-    specs.push_back(pfs::RegionSpec{e.offset, e.stripes});
+    specs.push_back(pfs::RegionSpec{e.offset, e.stripes, e.members});
   }
   return std::make_shared<pfs::RegionLayout>(
       std::vector<std::size_t>(tier_counts.begin(), tier_counts.end()),

@@ -12,8 +12,10 @@
 //
 // Text serialization: two-tier tables keep the legacy "harl-rst-v1" format
 // ("offset h s" rows) byte-for-byte; tables with k != 2 use "harl-rst-v2"
-// ("offset s_0 ... s_{k-1}" rows, k inferred from the column count).  load()
-// accepts both.
+// ("offset s_0 ... s_{k-1}" rows, k inferred from the column count); tables
+// with any member-restricted entry (device-aware plans) use "harl-rst-v3"
+// ("offset s_0 ... s_{k-1} m_0 ... m_{k-1}" rows, all-zero member columns =
+// entry has no restriction).  load() accepts all three.
 #pragma once
 
 #include <iosfwd>
@@ -31,6 +33,11 @@ namespace harl::core {
 struct RstEntry {
   Bytes offset = 0;
   std::vector<Bytes> stripes;  ///< per-tier stripe sizes (0 = skip the tier)
+  /// Per-tier member restriction (see pfs::RegionSpec::members): only the
+  /// first members[j] servers of tier j participate.  Empty = full
+  /// membership; device-aware plans may restrict a tier to its fastest
+  /// devices.
+  std::vector<std::size_t> members;
 
   /// Two-tier view; requires exactly two tiers.
   StripePair pair() const;
@@ -46,6 +53,11 @@ class RegionStripeTable {
   /// the first must be 0, at least one stripe must be nonzero, and every
   /// entry must carry the same number of tiers.
   void add(Bytes offset, std::vector<Bytes> stripes);
+
+  /// As above with a per-tier member restriction (empty = full membership;
+  /// otherwise one count per tier).
+  void add(Bytes offset, std::vector<Bytes> stripes,
+           std::vector<std::size_t> members);
 
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

@@ -22,9 +22,18 @@ Bytes round_up(Bytes value, Bytes step) {
   return (value + step - 1) / step * step;
 }
 
+/// One candidate layout: a per-tier stripe vector, optionally restricted to
+/// the `members[j]` fastest devices of each tier (empty = full membership,
+/// the only form the homogeneous search produces).
+struct CandidateSpec {
+  std::vector<Bytes> stripes;
+  std::vector<std::size_t> members;
+};
+
 struct Candidate {
   Seconds cost = std::numeric_limits<Seconds>::infinity();
   std::vector<Bytes> stripes;  ///< empty = sentinel (loses to any real one)
+  std::vector<std::size_t> members;  ///< empty = full membership
 
   /// Total order: lower cost wins; ties prefer *larger* stripes.  Round-robin
   /// aggregation makes many stripe vectors cost-equivalent under the model
@@ -35,7 +44,9 @@ struct Candidate {
   /// results are independent of evaluation order and parallel sharding.
   /// `tie_from_front` selects the lexicographic scan direction: the two-tier
   /// API compares (h, s) from the front; the k-tier API compares from the
-  /// last (fastest) tier.
+  /// last (fastest) tier.  Member counts break remaining ties in the same
+  /// direction with larger (wider) membership winning — cost-equivalent
+  /// layouts keep the most devices in play.
   bool better_than(const Candidate& other, bool tie_from_front) const {
     if (cost != other.cost) return cost < other.cost;
     if (stripes.size() != other.stripes.size()) {
@@ -50,9 +61,76 @@ struct Candidate {
         if (stripes[i] != other.stripes[i]) return stripes[i] > other.stripes[i];
       }
     }
+    if (members.size() != other.members.size()) {
+      return members.size() > other.members.size();
+    }
+    if (tie_from_front) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (members[i] != other.members[i]) return members[i] > other.members[i];
+      }
+    } else {
+      for (std::size_t i = members.size(); i-- > 0;) {
+        if (members[i] != other.members[i]) return members[i] > other.members[i];
+      }
+    }
     return false;
   }
 };
+
+/// Member-count choices for one tier: the distinct prefix lengths ending at
+/// factor-group boundaries of the canonical (ascending) factor vector — e.g.
+/// factors {1, 1, 4, 4} yield {2, 4} ("the two fresh devices" or "all
+/// four"); intermediate prefixes are dominated because adding another member
+/// of the same factor widens the stripe at no worst-factor cost.  A
+/// homogeneous tier has the single full-membership choice.
+std::vector<std::size_t> member_choices(const TierSpec& tier) {
+  if (tier.device_factors.empty() || tier.count == 0) return {tier.count};
+  std::vector<std::size_t> out;
+  const std::vector<double>& f = tier.device_factors;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (i + 1 == f.size() || f[i + 1] != f[i]) out.push_back(i + 1);
+  }
+  return out;
+}
+
+/// Crosses one stripe vector with every member-choice combination (tiers
+/// with stripe 0 contribute the single choice 0) and appends the product to
+/// `out`, last tier varying fastest.
+void cross_member_choices(const TieredCostParams& params,
+                          const std::vector<Bytes>& stripes,
+                          std::vector<CandidateSpec>& out) {
+  const std::size_t k = params.tiers.size();
+  std::vector<std::vector<std::size_t>> per_tier(k);
+  std::size_t total = 1;
+  for (std::size_t j = 0; j < k; ++j) {
+    per_tier[j] = stripes[j] == 0 ? std::vector<std::size_t>{0}
+                                  : member_choices(params.tiers[j]);
+    total *= per_tier[j].size();
+  }
+  for (std::size_t n = 0; n < total; ++n) {
+    CandidateSpec c;
+    c.stripes = stripes;
+    c.members.resize(k);
+    std::size_t rem = n;
+    for (std::size_t j = k; j-- > 0;) {
+      c.members[j] = per_tier[j][rem % per_tier[j].size()];
+      rem /= per_tier[j].size();
+    }
+    out.push_back(std::move(c));
+  }
+}
+
+/// FNV-1a over a member vector; 0 for the empty (full-membership) form so
+/// the homogeneous memo context stays exactly 0.
+std::uint64_t members_context(std::span<const std::size_t> members) {
+  if (members.empty()) return 0;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t m : members) {
+    h ^= static_cast<std::uint64_t>(m);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Recursively enumerates k-tier stripe vectors; calls `visit` on each.
 void enumerate(std::vector<Bytes>& stripes, std::size_t tier, Bytes R,
@@ -79,6 +157,7 @@ void enumerate(std::vector<Bytes>& stripes, std::size_t tier, Bytes R,
 
 struct EngineResult {
   std::vector<Bytes> stripes;
+  std::vector<std::size_t> members;  ///< empty = full membership
   Seconds model_cost = 0.0;
   std::size_t candidates_evaluated = 0;
   std::uint64_t cost_evals = 0;
@@ -90,9 +169,12 @@ struct EngineResult {
 /// list when a pool is provided.  Pre-selects per-op profile pointers once
 /// so the hot loop pays no per-request branching beyond the op pick, and
 /// reuses per-shard TierGeometry scratch so scoring never allocates.
+/// Heterogeneous params route through the device-aware kernel with each
+/// candidate's worst-member factors; homogeneous params take the original
+/// kernel with the original memo keying, bit for bit.
 EngineResult search_engine(const TieredCostParams& params,
                            std::span<const FileRequest> requests,
-                           const std::vector<std::vector<Bytes>>& candidates,
+                           const std::vector<CandidateSpec>& candidates,
                            std::size_t max_requests, ThreadPool* pool,
                            bool coalesce, bool tie_from_front,
                            CostMemo* scratch = nullptr) {
@@ -100,10 +182,12 @@ EngineResult search_engine(const TieredCostParams& params,
   std::vector<std::size_t> counts(k);
   std::vector<const storage::OpProfile*> read_profiles(k);
   std::vector<const storage::OpProfile*> write_profiles(k);
+  bool heterogeneous = false;
   for (std::size_t j = 0; j < k; ++j) {
     counts[j] = params.tiers[j].count;
     read_profiles[j] = &params.tiers[j].profile.read;
     write_profiles[j] = &params.tiers[j].profile.write;
+    if (!params.tiers[j].device_factors.empty()) heterogeneous = true;
   }
 
   const std::size_t stride = sample_stride(requests.size(), max_requests);
@@ -112,14 +196,33 @@ EngineResult search_engine(const TieredCostParams& params,
   // Scores one candidate.  With coalescing, `memo` caches the kernel per
   // (op, size, offset mod S) class; requests are still accumulated in their
   // original order with identical values, so the total is bit-identical to
-  // the brute-force sum (see cost_memo.hpp).  Scaled back to the full
-  // region so reported costs are comparable regardless of sampling.
-  auto score = [&](std::span<const Bytes> stripes, CostMemo* memo,
-                   std::span<TierGeometry> scratch) {
+  // the brute-force sum (see cost_memo.hpp).  The memo context carries the
+  // candidate's member selection so equal-period candidates with different
+  // member sets never share classes.  Scaled back to the full region so
+  // reported costs are comparable regardless of sampling.
+  auto score = [&](const CandidateSpec& cand, CostMemo* memo,
+                   std::span<TierGeometry> scratch,
+                   std::span<double> factors) {
+    const std::span<const Bytes> stripes{cand.stripes};
+    const std::span<const std::size_t> use =
+        cand.members.empty() ? std::span<const std::size_t>{counts}
+                             : std::span<const std::size_t>{cand.members};
+    if (heterogeneous) {
+      for (std::size_t j = 0; j < k; ++j) {
+        factors[j] = storage::worst_device_factor(
+            params.tiers[j].device_factors, use[j]);
+      }
+    }
     auto eval = [&](const FileRequest& req, Bytes offset) {
       const auto& profiles =
           req.op == IoOp::kRead ? read_profiles : write_profiles;
-      return tiered_cost_kernel(counts, profiles, params.t, params.net_latency,
+      if (heterogeneous) {
+        return tiered_cost_kernel_devices(
+            use, profiles, factors, params.t, params.net_latency,
+            params.net_hops, params.per_stripe_overhead, offset, req.size,
+            stripes, scratch);
+      }
+      return tiered_cost_kernel(use, profiles, params.t, params.net_latency,
                                 params.net_hops, params.per_stripe_overhead,
                                 offset, req.size, stripes, scratch);
     };
@@ -127,9 +230,9 @@ EngineResult search_engine(const TieredCostParams& params,
     if (memo != nullptr) {
       Bytes S = 0;
       for (std::size_t j = 0; j < k; ++j) {
-        S += static_cast<Bytes>(counts[j]) * stripes[j];
+        S += static_cast<Bytes>(use[j]) * stripes[j];
       }
-      memo->reset(sampled);
+      memo->reset(sampled, members_context(cand.members));
       for (std::size_t i = 0; i < requests.size(); i += stride) {
         const FileRequest& req = requests[i];
         total += memo->cost(req.op, req.size, req.offset % S,
@@ -158,9 +261,11 @@ EngineResult search_engine(const TieredCostParams& params,
       Candidate local;
       CostMemo memo;  // per-shard scratch, reused across candidates
       std::vector<TierGeometry> scratch(k);
+      std::vector<double> factors(k);
       for (std::size_t i = shard; i < candidates.size(); i += shards) {
-        Candidate c{score(candidates[i], coalesce ? &memo : nullptr, scratch),
-                    candidates[i]};
+        Candidate c{score(candidates[i], coalesce ? &memo : nullptr, scratch,
+                          factors),
+                    candidates[i].stripes, candidates[i].members};
         if (c.better_than(local, tie_from_front)) local = std::move(c);
       }
       shard_best[shard] = std::move(local);
@@ -185,8 +290,10 @@ EngineResult search_engine(const TieredCostParams& params,
     const std::uint64_t misses_before = memo.misses();
     const std::uint64_t hits_before = memo.hits();
     std::vector<TierGeometry> geometry(k);
-    for (const auto& stripes : candidates) {
-      Candidate c{score(stripes, coalesce ? &memo : nullptr, geometry), stripes};
+    std::vector<double> factors(k);
+    for (const auto& cand : candidates) {
+      Candidate c{score(cand, coalesce ? &memo : nullptr, geometry, factors),
+                  cand.stripes, cand.members};
       if (c.better_than(best, tie_from_front)) best = std::move(c);
     }
     cost_evals = coalesce ? memo.misses() - misses_before
@@ -196,6 +303,7 @@ EngineResult search_engine(const TieredCostParams& params,
 
   EngineResult result;
   result.stripes = std::move(best.stripes);
+  result.members = std::move(best.members);
   result.model_cost = best.cost;
   result.candidates_evaluated = candidates.size();
   result.cost_evals = cost_evals;
@@ -271,17 +379,25 @@ RegionStripes search(const CostParams& params,
     candidates = std::move(feasible);
   }
 
-  std::vector<std::vector<Bytes>> vectors;
+  const TieredCostParams tiered = to_tiered(params);
+  const bool heterogeneous = !tiered.tiers[0].device_factors.empty() ||
+                             !tiered.tiers[1].device_factors.empty();
+  std::vector<CandidateSpec> vectors;
   vectors.reserve(candidates.size());
   for (const auto& hs : candidates) {
-    vectors.push_back({hs.h, hs.s});
+    if (heterogeneous) {
+      cross_member_choices(tiered, {hs.h, hs.s}, vectors);
+    } else {
+      vectors.push_back(CandidateSpec{{hs.h, hs.s}, {}});
+    }
   }
   EngineResult engine = search_engine(
-      to_tiered(params), requests, vectors, options.max_requests, options.pool,
+      tiered, requests, vectors, options.max_requests, options.pool,
       options.coalesce, /*tie_from_front=*/true, options.scratch);
 
   RegionStripes result;
   result.stripes = StripePair{engine.stripes[0], engine.stripes[1]};
+  result.members = std::move(engine.members);
   result.model_cost = engine.model_cost;
   result.candidates_evaluated = engine.candidates_evaluated;
   result.cost_evals = engine.cost_evals;
@@ -357,12 +473,20 @@ TieredRegionStripes optimize_region_tiered(
   const std::size_t k = params.tiers.size();
 
   // Materialize the candidate list up front so scoring can be sharded.
-  std::vector<std::vector<Bytes>> candidates;
+  bool heterogeneous = false;
+  for (const auto& t : params.tiers) {
+    if (!t.device_factors.empty()) heterogeneous = true;
+  }
+  std::vector<CandidateSpec> candidates;
   {
     std::vector<Bytes> stripes(k, 0);
     enumerate(stripes, 0, R, step, options.monotone,
-              [&candidates](const std::vector<Bytes>& s) {
-                candidates.push_back(s);
+              [&](const std::vector<Bytes>& s) {
+                if (heterogeneous) {
+                  cross_member_choices(params, s, candidates);
+                } else {
+                  candidates.push_back(CandidateSpec{s, {}});
+                }
               });
   }
   if (candidates.empty()) throw std::logic_error("no tiered candidates");
@@ -373,6 +497,7 @@ TieredRegionStripes optimize_region_tiered(
 
   TieredRegionStripes result;
   result.stripes = std::move(engine.stripes);
+  result.members = std::move(engine.members);
   result.model_cost = engine.model_cost;
   result.candidates_evaluated = engine.candidates_evaluated;
   result.cost_evals = engine.cost_evals;

@@ -21,6 +21,16 @@
 // when tiers are ordered slowest-first — the k-tier analogue of "s starts
 // from a size larger than h".  Not all stripes may be zero.
 //
+// Device-aware search: when a tier carries per-member speed factors
+// (TierSpec::device_factors), every stripe candidate is additionally crossed
+// with *member-prefix* choices — stripe over only the d fastest devices of a
+// tier, for each d at a factor-group boundary of the canonical (ascending)
+// factor vector.  The cost of a restricted candidate charges the worst
+// factor among its selected members, so the search can trade width against
+// excluding an aged straggler.  Homogeneous tiers contribute the single
+// full-membership choice, leaving the candidate grid (and every output bit)
+// unchanged.
+//
 // The search is exact, embarrassingly parallel (sharded over the candidate
 // grid), and runs offline; `max_requests` caps the per-candidate scoring
 // work by sampling the region's requests with a deterministic stride when
@@ -73,6 +83,11 @@ struct OptimizerOptions {
 /// Result of optimizing one region (two-tier view).
 struct RegionStripes {
   StripePair stripes;       ///< the winning (H, S)
+  /// Winning per-tier member counts: stripe over only the `members[j]`
+  /// fastest devices of tier j.  Empty = full tier membership (always the
+  /// case for homogeneous params; the device-aware search may shrink a tier
+  /// to exclude aged members when that lowers the modeled cost).
+  std::vector<std::size_t> members;
   Seconds model_cost = 0.0; ///< summed model cost of the scored requests
   std::size_t candidates_evaluated = 0;
   /// Cost-kernel evaluations actually performed across all candidates.
@@ -122,6 +137,9 @@ struct TieredOptimizerOptions {
 /// Result of optimizing one region (general tier-vector view).
 struct TieredRegionStripes {
   std::vector<Bytes> stripes;   ///< winning per-tier sizes
+  /// Winning per-tier member counts (see RegionStripes::members); empty =
+  /// full membership.
+  std::vector<std::size_t> members;
   Seconds model_cost = 0.0;
   std::size_t candidates_evaluated = 0;
   std::uint64_t cost_evals = 0;        ///< cost-kernel calls made

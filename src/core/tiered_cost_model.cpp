@@ -130,6 +130,78 @@ Seconds tiered_cost_kernel(std::span<const std::size_t> counts,
   return network + startup + transfer;
 }
 
+Seconds tiered_cost_kernel_devices(
+    std::span<const std::size_t> counts,
+    std::span<const storage::OpProfile* const> profiles,
+    std::span<const double> tier_factors, Seconds t, Seconds net_latency,
+    int net_hops, Seconds per_stripe_overhead, Bytes offset, Bytes size,
+    std::span<const Bytes> stripes, std::span<TierGeometry> scratch) {
+  tiered_geometry_into(offset, size, counts, stripes, scratch);
+
+  Bytes max_bytes = 0;
+  Seconds startup = 0.0;
+  Seconds transfer = 0.0;
+  // With heterogeneous tiers the dominating piece count is factor-weighted,
+  // so the max runs over doubles rather than integer stripe units.
+  double max_pieces = 0.0;
+  for (std::size_t j = 0; j < scratch.size(); ++j) {
+    const TierGeometry& g = scratch[j];
+    const storage::OpProfile& p = *profiles[j];
+    const double f = tier_factors[j];
+    max_bytes = std::max(max_bytes, g.max_bytes);
+    startup = std::max(startup, f * startup_expected_max(p, g.touched));
+    transfer = std::max(transfer,
+                        f * static_cast<double>(g.max_bytes) * p.per_byte);
+    if (per_stripe_overhead > 0.0 && stripes[j] > 0 && g.max_bytes > 0) {
+      const Bytes pieces = (g.max_bytes + stripes[j] - 1) / stripes[j];
+      max_pieces = std::max(max_pieces, f * static_cast<double>(pieces));
+    }
+  }
+  if (per_stripe_overhead > 0.0) {
+    transfer += per_stripe_overhead * max_pieces;
+  }
+  const Seconds network = net_latency + static_cast<double>(net_hops) * t *
+                                            static_cast<double>(max_bytes);
+  return network + startup + transfer;
+}
+
+namespace {
+
+/// Shared body of the two tiered_request_cost overloads.  `use_counts` is
+/// the per-tier participating-server vector (full counts or a member
+/// restriction); the worst-factor charge is taken over that many members of
+/// each tier's canonical (ascending) factor vector.
+Seconds tiered_request_cost_impl(const TieredCostParams& params, IoOp op,
+                                 Bytes offset, Bytes size,
+                                 std::span<const Bytes> stripes,
+                                 std::span<const std::size_t> use_counts) {
+  const std::size_t k = params.tiers.size();
+  std::vector<const storage::OpProfile*> profiles(k);
+  bool heterogeneous = false;
+  for (std::size_t j = 0; j < k; ++j) {
+    profiles[j] = &params.tiers[j].profile.op(op);
+    if (!params.tiers[j].device_factors.empty()) heterogeneous = true;
+  }
+  std::vector<TierGeometry> scratch(k);
+  if (!heterogeneous) {
+    return tiered_cost_kernel(use_counts, profiles, params.t,
+                              params.net_latency, params.net_hops,
+                              params.per_stripe_overhead, offset, size,
+                              stripes, scratch);
+  }
+  std::vector<double> factors(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    factors[j] = storage::worst_device_factor(params.tiers[j].device_factors,
+                                              use_counts[j]);
+  }
+  return tiered_cost_kernel_devices(
+      use_counts, profiles, factors, params.t, params.net_latency,
+      params.net_hops, params.per_stripe_overhead, offset, size, stripes,
+      scratch);
+}
+
+}  // namespace
+
 Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
                             Bytes offset, Bytes size,
                             std::span<const Bytes> stripes) {
@@ -138,15 +210,24 @@ Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
   }
   const std::size_t k = params.tiers.size();
   std::vector<std::size_t> counts(k);
-  std::vector<const storage::OpProfile*> profiles(k);
-  for (std::size_t j = 0; j < k; ++j) {
-    counts[j] = params.tiers[j].count;
-    profiles[j] = &params.tiers[j].profile.op(op);
+  for (std::size_t j = 0; j < k; ++j) counts[j] = params.tiers[j].count;
+  return tiered_request_cost_impl(params, op, offset, size, stripes, counts);
+}
+
+Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
+                            Bytes offset, Bytes size,
+                            std::span<const Bytes> stripes,
+                            std::span<const std::size_t> members) {
+  if (params.tiers.size() != stripes.size() ||
+      params.tiers.size() != members.size()) {
+    throw std::invalid_argument("tiers/stripes/members size mismatch");
   }
-  std::vector<TierGeometry> scratch(k);
-  return tiered_cost_kernel(counts, profiles, params.t, params.net_latency,
-                            params.net_hops, params.per_stripe_overhead,
-                            offset, size, stripes, scratch);
+  for (std::size_t j = 0; j < members.size(); ++j) {
+    if (members[j] > params.tiers[j].count) {
+      throw std::invalid_argument("members exceed tier count");
+    }
+  }
+  return tiered_request_cost_impl(params, op, offset, size, stripes, members);
 }
 
 std::uint64_t params_fingerprint(const TieredCostParams& params) {
@@ -175,6 +256,14 @@ std::uint64_t params_fingerprint(const TieredCostParams& params) {
       mix_double(p.startup_min);
       mix_double(p.startup_max);
       mix_double(p.per_byte);
+    }
+    // Device table: hashed only when present, so the homogeneous fingerprint
+    // is unchanged from the pre-device-model format while any factor change
+    // (even on a single member) yields a new fingerprint and invalidates
+    // every cache keyed on it.
+    if (!tier.device_factors.empty()) {
+      mix(tier.device_factors.size());
+      for (double f : tier.device_factors) mix_double(f);
     }
   }
   return h;

@@ -25,9 +25,24 @@
 namespace harl::core {
 
 /// One storage tier of the cluster.
+///
+/// `device_factors` generalizes the tier from a homogeneous server class to
+/// an ordered group of member devices: factor i is server slot i's time
+/// multiplier over the tier profile (1.0 = nominal).  The vector is kept in
+/// *canonical* form — sorted ascending (fastest member first) with the
+/// all-1.0 case represented by the empty vector
+/// (storage::canonicalize_device_factors) — so "the d fastest members" is
+/// always the slot prefix [0, d) and the homogeneous configuration takes
+/// exactly the pre-device-model code paths, bit for bit.
 struct TierSpec {
   std::size_t count = 0;           ///< number of servers in this tier
   storage::TierProfile profile;    ///< alpha/beta parameters per op
+  /// Canonical per-member speed factors; empty = homogeneous tier.  When
+  /// non-empty the size must equal `count`.
+  std::vector<double> device_factors;
+
+  /// True when every member matches the tier profile (no device model).
+  bool homogeneous() const { return device_factors.empty(); }
 };
 
 /// Per-tier sub-request distribution of one request.
@@ -81,14 +96,48 @@ Seconds tiered_cost_kernel(std::span<const std::size_t> counts,
                            Bytes size, std::span<const Bytes> stripes,
                            std::span<TierGeometry> scratch);
 
+/// Device-aware variant of the kernel.  `tier_factors[j]` is the worst
+/// (largest) speed factor among the member devices of tier j that the
+/// request's stripes actually use (storage::worst_device_factor over the
+/// selected member prefix).  Every server-side term is charged at that
+/// conservative factor — the slowest touched member dominates its tier:
+///   T_S = max_j f_j * E[max of touched_j startups on tier j's window]
+///   T_T = max_j f_j * max_bytes_j * beta_j
+///        + per_stripe_overhead * max_j f_j * pieces_j
+/// The network terms (T_X) are unchanged: aging is a device property.
+/// With all factors exactly 1.0 this returns a value bit-identical to
+/// `tiered_cost_kernel` (multiplication by 1.0 is exact), but homogeneous
+/// callers still use the unscaled kernel so the hot path is untouched.
+Seconds tiered_cost_kernel_devices(
+    std::span<const std::size_t> counts,
+    std::span<const storage::OpProfile* const> profiles,
+    std::span<const double> tier_factors, Seconds t, Seconds net_latency,
+    int net_hops, Seconds per_stripe_overhead, Bytes offset, Bytes size,
+    std::span<const Bytes> stripes, std::span<TierGeometry> scratch);
+
 /// Cost of one request with per-tier stripe sizes (generalized Eq. 7/8).
+/// Heterogeneous tiers (non-empty device_factors) are charged at the worst
+/// factor over the full tier membership.
 Seconds tiered_request_cost(const TieredCostParams& params, IoOp op, Bytes offset,
                             Bytes size, std::span<const Bytes> stripes);
 
+/// Member-restricted cost: `members[j]` servers of tier j participate in
+/// the round-robin (the j-th tier's *fastest* members — slot prefix of the
+/// canonical factor order); members[j] == 0 skips the tier regardless of
+/// stripes[j].  Requires members[j] <= tiers[j].count.  With
+/// members[j] == count for every tier this equals the base overload.
+Seconds tiered_request_cost(const TieredCostParams& params, IoOp op, Bytes offset,
+                            Bytes size, std::span<const Bytes> stripes,
+                            std::span<const std::size_t> members);
+
 /// Order-independent fingerprint of the calibration (FNV-1a over the tier
-/// counts and every parameter double's bit pattern).  Stored in Plan
-/// artifacts so the Placing Phase can detect that a plan was computed
-/// against a different calibration than the one in force.
+/// counts and every parameter double's bit pattern; for a heterogeneous
+/// tier also its device-factor vector).  Stored in Plan artifacts so the
+/// Placing Phase can detect that a plan was computed against a different
+/// calibration than the one in force.  A homogeneous tier (empty factors)
+/// hashes exactly as before the device model existed, so pre-device plans
+/// keep their fingerprints; changing any device factor changes the
+/// fingerprint, which is what invalidates every cache keyed on it.
 std::uint64_t params_fingerprint(const TieredCostParams& params);
 
 }  // namespace harl::core

@@ -1,5 +1,9 @@
 #include "src/harness/calibration.hpp"
 
+#include <memory>
+#include <stdexcept>
+#include <string>
+
 #include "src/common/rng.hpp"
 #include "src/storage/hdd.hpp"
 #include "src/storage/profiler.hpp"
@@ -45,6 +49,62 @@ storage::TierProfile measured_or_nominal(storage::StorageDevice& device,
   return fitted;
 }
 
+/// Validates and canonicalizes one tier's configured factor vector
+/// (mirroring ClusterConfig::effective_tiers() for the two-tier fields).
+std::vector<double> canonical_factors(std::vector<double> factors,
+                                      std::size_t count, const char* tier) {
+  if (!factors.empty() && factors.size() != count) {
+    throw std::invalid_argument(std::string(tier) + " has " +
+                                std::to_string(factors.size()) +
+                                " device factors for " +
+                                std::to_string(count) + " servers");
+  }
+  storage::canonicalize_device_factors(factors);
+  return factors;
+}
+
+/// Per-slot measured speed factors for one tier.  The paper benchmarks one
+/// server per *class*; with per-device aging each distinct factor value is
+/// its own class, so we probe one aged device per distinct factor and report
+/// its effective unit time relative to a fresh device of the same tier.
+/// With measurement disabled the configured factors are trusted as-is.
+std::vector<double> measured_device_factors(
+    const storage::TierProfile& profile, bool is_ssd,
+    const pfs::ClusterConfig& config, const std::vector<double>& configured,
+    const CalibrationOptions& options) {
+  if (configured.empty() || options.device_blind) return {};
+  if (!options.measure_devices) return configured;
+  auto make_device = [&](const storage::TierProfile& p)
+      -> std::unique_ptr<storage::StorageDevice> {
+    if (is_ssd) {
+      return std::make_unique<storage::SsdDevice>(p, options.seed + 2,
+                                                  config.ssd_gc);
+    }
+    return std::make_unique<storage::HddDevice>(p, options.seed + 2,
+                                                config.hdd_sequential_factor);
+  };
+  const Seconds base_unit = effective_unit_time(
+      *make_device(profile), IoOp::kRead, options.beta_reference_size, options);
+  std::vector<double> out(configured.size(), 1.0);
+  double prev_configured = 1.0;
+  double prev_measured = 1.0;
+  for (std::size_t i = 0; i < configured.size(); ++i) {
+    const double f = configured[i];
+    if (f == prev_configured) {
+      out[i] = prev_measured;
+      continue;
+    }
+    const Seconds aged_unit = effective_unit_time(
+        *make_device(storage::scaled_profile(profile, f)), IoOp::kRead,
+        options.beta_reference_size, options);
+    out[i] = aged_unit / base_unit;
+    prev_configured = f;
+    prev_measured = out[i];
+  }
+  storage::canonicalize_device_factors(out);
+  return out;
+}
+
 }  // namespace
 
 core::CostParams calibrate(const pfs::ClusterConfig& config,
@@ -66,6 +126,16 @@ core::CostParams calibrate(const pfs::ClusterConfig& config,
   // Measured per-stripe request-protocol cost of the PFS servers (probing
   // strided vs contiguous accesses isolates it exactly in this substrate).
   params.per_stripe_overhead = config.server_per_stripe_overhead;
+  // Per-device aging (tentatively beyond the paper): one probe per distinct
+  // configured factor, aligned with the cluster's canonical slot order.
+  params.hserver_factors = measured_device_factors(
+      config.hdd, false, config,
+      canonical_factors(config.hdd_factors, config.num_hservers, "hserver"),
+      options);
+  params.sserver_factors = measured_device_factors(
+      config.ssd, true, config,
+      canonical_factors(config.ssd_factors, config.num_sservers, "sserver"),
+      options);
   return params;
 }
 

@@ -33,6 +33,10 @@ struct CalibrationOptions {
   bool effective_beta = true;
   Bytes beta_reference_size = 64 * KiB;
   int beta_samples = 3000;
+  /// Ignore per-device aging: calibrate the tier profiles only and leave the
+  /// per-slot factor vectors empty, as a pre-device-model HARL would.  The
+  /// heterogeneity ablation uses this as its tier-blind arm.
+  bool device_blind = false;
 };
 
 /// CostParams for the given cluster shape, measured or nominal.

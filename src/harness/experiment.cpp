@@ -24,9 +24,13 @@ namespace {
 std::unique_ptr<sim::pdes::Runtime> make_pdes_runtime(
     const ExperimentOptions& options, sim::Simulator& sim) {
   if (options.sim_threads == 0) return nullptr;
+  // A device faster than its tier profile (factor < 1.0) shrinks the
+  // storage-queue delivery floor, so the overhead term scales by the
+  // cluster's fastest device.
   const Seconds lookahead =
       std::min(options.cluster.network.message_latency,
-               options.cluster.server_per_stripe_overhead);
+               options.cluster.server_per_stripe_overhead *
+                   options.cluster.min_device_factor());
   if (!(lookahead > 0.0)) return nullptr;
   sim::pdes::Runtime::Options ro;
   ro.threads = options.sim_threads;
@@ -56,9 +60,14 @@ obs::Recorder::Predictor make_predictor(
         const std::size_t ri = rl->region_of(pos);
         const pfs::RegionSpec& spec = rl->region(ri);
         const Bytes seg_end = std::min(end, rl->region_end(ri));
-        worst = std::max(worst, core::tiered_request_cost(
-                                    params, op, pos - spec.offset,
-                                    seg_end - pos, spec.stripes));
+        const Seconds cost =
+            spec.members.empty()
+                ? core::tiered_request_cost(params, op, pos - spec.offset,
+                                            seg_end - pos, spec.stripes)
+                : core::tiered_request_cost(params, op, pos - spec.offset,
+                                            seg_end - pos, spec.stripes,
+                                            spec.members);
+        worst = std::max(worst, cost);
         pos = seg_end;
       }
       return worst;

@@ -1,5 +1,7 @@
 #include "src/harness/scheme.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -9,6 +11,35 @@
 #include "src/core/plan_artifact.hpp"
 
 namespace harl::harness {
+
+namespace {
+
+/// Whether a plan artifact's per-tier device-factor table matches the
+/// cluster's configured fleet.  Factors are compared with a relative
+/// tolerance because the artifact carries *measured* factors (probed device
+/// ratios) while the cluster carries configured ones; they agree to ~1e-15
+/// but are not bit-equal by construction.  An absent table (empty outer or
+/// inner vector) means "homogeneous" on either side.
+bool device_table_matches(const std::vector<std::vector<double>>& artifact,
+                          const std::vector<pfs::TierGroup>& tiers) {
+  const auto tier_factors = [&](std::size_t j) -> const std::vector<double>& {
+    static const std::vector<double> kEmpty;
+    return j < artifact.size() ? artifact[j] : kEmpty;
+  };
+  for (std::size_t j = 0; j < tiers.size(); ++j) {
+    const std::vector<double>& a = tier_factors(j);
+    const std::vector<double>& c = tiers[j].device_factors;
+    if (a.empty() != c.empty()) return false;
+    if (a.size() != c.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double scale = std::max({std::abs(a[i]), std::abs(c[i]), 1.0});
+      if (std::abs(a[i] - c[i]) > 1e-6 * scale) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 LayoutScheme LayoutScheme::fixed(Bytes stripe) {
   if (stripe == 0) throw std::invalid_argument("fixed stripe must be nonzero");
@@ -163,10 +194,21 @@ std::shared_ptr<const pfs::Layout> build_layout(
             "plan artifact tier table does not match the cluster: " +
             scheme.plan_file);
       }
+      // A plan computed against a different device fleet must not install:
+      // its member restrictions and stripe choices assume per-slot speeds
+      // this cluster does not have.
+      if (!device_table_matches(artifact.device_factors,
+                                cluster.effective_tiers())) {
+        throw std::runtime_error(
+            "plan artifact device-factor table does not match the cluster's "
+            "fleet: " +
+            scheme.plan_file);
+      }
       auto layout = artifact.rst.to_layout(counts);
       if (plan_out != nullptr) {
         core::Plan plan;
         plan.tier_counts = artifact.tier_counts;
+        plan.device_factors = artifact.device_factors;
         plan.calibration_fingerprint = artifact.calibration_fingerprint;
         plan.regions_before_merge = artifact.rst.size();
         plan.regions_after_merge = artifact.rst.size();

@@ -10,15 +10,37 @@
 namespace harl::pfs {
 
 std::vector<TierGroup> ClusterConfig::effective_tiers() const {
-  if (!tiers.empty()) return tiers;
   std::vector<TierGroup> groups;
-  if (num_hservers > 0) {
-    groups.push_back(TierGroup{"hserver", num_hservers, hdd, false});
+  if (!tiers.empty()) {
+    groups = tiers;
+  } else {
+    if (num_hservers > 0) {
+      groups.push_back(
+          TierGroup{"hserver", num_hservers, hdd, false, hdd_factors});
+    }
+    if (num_sservers > 0) {
+      groups.push_back(
+          TierGroup{"sserver", num_sservers, ssd, true, ssd_factors});
+    }
   }
-  if (num_sservers > 0) {
-    groups.push_back(TierGroup{"sserver", num_sservers, ssd, true});
+  for (auto& g : groups) {
+    if (!g.device_factors.empty() && g.device_factors.size() != g.count) {
+      throw std::invalid_argument("tier \"" + g.name + "\" has " +
+                                  std::to_string(g.device_factors.size()) +
+                                  " device factors for " +
+                                  std::to_string(g.count) + " servers");
+    }
+    storage::canonicalize_device_factors(g.device_factors);
   }
   return groups;
+}
+
+double ClusterConfig::min_device_factor() const {
+  double min_factor = 1.0;
+  for (const auto& g : effective_tiers()) {
+    for (double f : g.device_factors) min_factor = std::min(min_factor, f);
+  }
+  return min_factor;
 }
 
 std::vector<std::size_t> Cluster::tier_counts() const {
@@ -46,13 +68,22 @@ Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
   for (const auto& t : tiers_) {
     for (std::size_t i = 0; i < t.count; ++i) {
       const std::string name = t.name + std::to_string(i);
+      // Slot i runs factor i of the tier's canonical (ascending) vector, so
+      // the fastest members occupy the lowest global indices — the order the
+      // device-aware member-prefix search assumes.  A homogeneous tier uses
+      // t.profile directly: byte-identity with the pre-device-model cluster.
+      const double factor =
+          t.device_factors.empty() ? 1.0 : t.device_factors[i];
+      const storage::TierProfile profile =
+          t.device_factors.empty() ? t.profile
+                                   : storage::scaled_profile(t.profile, factor);
       std::unique_ptr<storage::StorageDevice> device;
       if (t.is_ssd) {
-        device = std::make_unique<storage::SsdDevice>(t.profile, seeder.next(),
+        device = std::make_unique<storage::SsdDevice>(profile, seeder.next(),
                                                       config.ssd_gc);
       } else {
         device = std::make_unique<storage::HddDevice>(
-            t.profile, seeder.next(), config.hdd_sequential_factor);
+            profile, seeder.next(), config.hdd_sequential_factor);
       }
       const std::size_t global_index = servers_.size();
       if (auto it = config.server_faults.find(global_index);
@@ -62,7 +93,7 @@ Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
       }
       servers_.push_back(std::make_unique<DataServer>(
           sim_, std::move(device), name, t.is_ssd,
-          config.server_per_stripe_overhead));
+          config.server_per_stripe_overhead * factor, factor));
     }
   }
 

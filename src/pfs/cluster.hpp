@@ -30,12 +30,18 @@
 
 namespace harl::pfs {
 
-/// One homogeneous group of file servers.
+/// One group of file servers sharing a tier profile.  `device_factors`
+/// optionally ages individual members: factor i multiplies every time
+/// parameter of member i's device (1.0 = fresh, matching the tier profile).
+/// Canonicalized ascending (fastest member first) at cluster construction,
+/// matching the slot order the device-aware planner assumes; empty = all
+/// members run the tier profile exactly (the paper's homogeneous tier).
 struct TierGroup {
   std::string name;                 ///< e.g. "hserver", "sata", "nvme"
   std::size_t count = 0;
   storage::TierProfile profile;
   bool is_ssd = false;              ///< selects the SSD vs HDD device model
+  std::vector<double> device_factors;  ///< empty, or one factor per member
 };
 
 struct ClusterConfig {
@@ -44,6 +50,10 @@ struct ClusterConfig {
   std::size_t num_sservers = 2;  ///< paper default
   storage::TierProfile hdd = storage::hdd_profile();
   storage::TierProfile ssd = storage::pcie_ssd_profile();
+  /// Two-tier convenience device aging (see TierGroup::device_factors):
+  /// per-member speed factors for the H/S tiers.  Empty = homogeneous.
+  std::vector<double> hdd_factors;
+  std::vector<double> ssd_factors;
 
   /// Generalized form: ordered tier groups (slowest first by convention).
   /// When non-empty this overrides the two-tier fields above.
@@ -67,8 +77,15 @@ struct ClusterConfig {
   std::map<std::size_t, storage::FaultyDevice::Faults> server_faults;
 
   /// The tier-group view, synthesizing it from the two-tier fields when
-  /// `tiers` is empty.
+  /// `tiers` is empty.  Device factors are returned canonical (sorted
+  /// ascending, all-1.0 collapsed to empty); throws std::invalid_argument
+  /// when a non-empty factor vector's size disagrees with its tier count.
   std::vector<TierGroup> effective_tiers() const;
+
+  /// Smallest device speed factor across all servers (1.0 when every tier
+  /// is homogeneous).  The PDES lookahead derives the per-stripe overhead
+  /// floor from this so width invariance survives device heterogeneity.
+  double min_device_factor() const;
 };
 
 class Cluster {

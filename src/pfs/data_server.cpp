@@ -10,12 +10,13 @@ namespace harl::pfs {
 DataServer::DataServer(sim::Simulator& sim,
                        std::unique_ptr<storage::StorageDevice> device,
                        std::string name, bool is_ssd,
-                       Seconds per_stripe_overhead)
+                       Seconds per_stripe_overhead, double speed_factor)
     : sim_(sim),
       device_(std::move(device)),
       name_(std::move(name)),
       is_ssd_(is_ssd),
       per_stripe_overhead_(per_stripe_overhead),
+      speed_factor_(speed_factor),
       queue_(sim_, name_ + "/disk") {}
 
 void DataServer::submit(IoOp op, std::uint32_t object, Bytes offset, Bytes size,

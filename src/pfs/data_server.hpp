@@ -23,9 +23,13 @@ class DataServer {
  public:
   /// `per_stripe_overhead` is charged once per stripe unit of each access
   /// (PFS request-protocol/flow-buffer processing): the term that makes tiny
-  /// stripes expensive for large requests (paper Fig. 1b).
+  /// stripes expensive for large requests (paper Fig. 1b).  `speed_factor`
+  /// records the device's aging multiplier relative to its tier profile
+  /// (1.0 = fresh); the cluster has already baked it into the device and the
+  /// overhead — this copy is for observability only.
   DataServer(sim::Simulator& sim, std::unique_ptr<storage::StorageDevice> device,
-             std::string name, bool is_ssd, Seconds per_stripe_overhead = 0.0);
+             std::string name, bool is_ssd, Seconds per_stripe_overhead = 0.0,
+             double speed_factor = 1.0);
 
   /// Queues one server-local access spanning `pieces` stripe units;
   /// `on_complete` fires when the device finishes it (FIFO after all
@@ -54,6 +58,8 @@ class DataServer {
 
   const std::string& name() const { return name_; }
   bool is_ssd() const { return is_ssd_; }
+  /// Device aging multiplier relative to the tier profile (1.0 = fresh).
+  double speed_factor() const { return speed_factor_; }
   storage::StorageDevice& device() { return *device_; }
   const storage::StorageDevice& device() const { return *device_; }
 
@@ -82,6 +88,7 @@ class DataServer {
   std::string name_;
   bool is_ssd_;
   Seconds per_stripe_overhead_;
+  double speed_factor_;
   sim::FifoResource queue_;
   Bytes bytes_read_ = 0;
   Bytes bytes_written_ = 0;

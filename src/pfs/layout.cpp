@@ -150,4 +150,22 @@ std::shared_ptr<VariedStripeLayout> make_tiered_layout(
   return std::make_shared<VariedStripeLayout>(std::move(per_server));
 }
 
+std::shared_ptr<VariedStripeLayout> make_tiered_layout(
+    const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes,
+    const std::vector<std::size_t>& members) {
+  if (members.empty()) return make_tiered_layout(counts, stripes);
+  if (counts.size() != stripes.size() || counts.size() != members.size()) {
+    throw std::invalid_argument("counts/stripes/members size mismatch");
+  }
+  std::vector<Bytes> per_server;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    if (members[j] > counts[j]) {
+      throw std::invalid_argument("members exceed tier count");
+    }
+    per_server.insert(per_server.end(), members[j], stripes[j]);
+    per_server.insert(per_server.end(), counts[j] - members[j], Bytes{0});
+  }
+  return std::make_shared<VariedStripeLayout>(std::move(per_server));
+}
+
 }  // namespace harl::pfs

@@ -99,4 +99,13 @@ std::shared_ptr<VariedStripeLayout> make_two_tier_layout(std::size_t M, Bytes h,
 std::shared_ptr<VariedStripeLayout> make_tiered_layout(
     const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes);
 
+/// Member-restricted per-tier layout: only the first `members[j]` servers of
+/// tier j (the tier's fastest devices under the canonical speed ordering)
+/// stripe at `stripes[j]`; the remaining counts[j] - members[j] servers are
+/// skipped.  An empty `members` means full membership, identical to the
+/// overload above.  Requires members[j] <= counts[j].
+std::shared_ptr<VariedStripeLayout> make_tiered_layout(
+    const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes,
+    const std::vector<std::size_t>& members);
+
 }  // namespace harl::pfs

@@ -23,12 +23,18 @@ RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
     if (specs_[i].stripes.size() != tier_counts_.size()) {
       throw std::invalid_argument("region stripe vector does not match tiers");
     }
+    const std::vector<std::size_t>& members = specs_[i].members;
+    if (!members.empty() && members.size() != tier_counts_.size()) {
+      throw std::invalid_argument("region member vector does not match tiers");
+    }
     bool any_stripe = false;
     bool any_effective = false;  // a nonzero stripe on a tier with servers
     for (std::size_t j = 0; j < tier_counts_.size(); ++j) {
       if (specs_[i].stripes[j] == 0) continue;
       any_stripe = true;
-      if (tier_counts_[j] > 0) any_effective = true;
+      const std::size_t avail =
+          members.empty() ? tier_counts_[j] : std::min(members[j], tier_counts_[j]);
+      if (avail > 0) any_effective = true;
     }
     if (!any_stripe) {
       throw std::invalid_argument("region must stripe over at least one tier");
@@ -37,7 +43,7 @@ RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
       throw std::invalid_argument("region stripes only over absent servers");
     }
     region_layouts_.push_back(
-        make_tiered_layout(tier_counts_, specs_[i].stripes));
+        make_tiered_layout(tier_counts_, specs_[i].stripes, members));
   }
 }
 

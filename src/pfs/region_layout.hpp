@@ -24,10 +24,20 @@ namespace harl::pfs {
 struct RegionSpec {
   Bytes offset = 0;  ///< region start; the region extends to the next spec
   std::vector<Bytes> stripes;  ///< per-tier stripe sizes (0 = skip the tier)
+  /// Per-tier member restriction: only the first members[j] servers of tier
+  /// j participate in the round-robin (the tier's fastest devices — the
+  /// device-aware planner's straggler exclusion).  Empty = full membership,
+  /// the only form homogeneous plans produce.
+  std::vector<std::size_t> members;
 
   RegionSpec() = default;
   RegionSpec(Bytes offset_, std::vector<Bytes> stripes_)
       : offset(offset_), stripes(std::move(stripes_)) {}
+  RegionSpec(Bytes offset_, std::vector<Bytes> stripes_,
+             std::vector<std::size_t> members_)
+      : offset(offset_),
+        stripes(std::move(stripes_)),
+        members(std::move(members_)) {}
   /// Two-tier convenience: HServer stripe `h`, SServer stripe `s`.
   RegionSpec(Bytes offset_, Bytes h, Bytes s) : offset(offset_), stripes{h, s} {}
 

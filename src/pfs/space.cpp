@@ -48,7 +48,8 @@ MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
     const Bytes end = std::min<Bytes>(layout.region_end(i), file_size);
     if (begin >= end) continue;
     auto sub_layout =
-        make_tiered_layout(layout.tier_counts(), plan.regions[i].stripes);
+        make_tiered_layout(layout.tier_counts(), plan.regions[i].stripes,
+                           plan.regions[i].members);
     const SpaceUsage u = storage_footprint(*sub_layout, end - begin);
     region_ssd_bytes[i] = u.sserver_bytes(M);
   }
@@ -92,6 +93,9 @@ MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
     for (Bytes st : spec.stripes) widest = std::max(widest, st);
     spec.stripes.assign(spec.stripes.size(), 0);
     spec.stripes[0] = widest;
+    // Demoted regions spread over the full capacity tier; any device-aware
+    // member restriction applied to the faster tiers no longer applies.
+    spec.members.clear();
     ssd_bytes -= region_ssd_bytes[idx];
     region_ssd_bytes[idx] = 0;
     plan.demoted.push_back(idx);

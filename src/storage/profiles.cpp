@@ -1,6 +1,47 @@
 #include "src/storage/profiles.hpp"
 
+#include <algorithm>
+
 namespace harl::storage {
+
+namespace {
+
+OpProfile scaled_op(const OpProfile& p, double f) {
+  return OpProfile{p.startup_min * f, p.startup_max * f, p.per_byte * f};
+}
+
+}  // namespace
+
+TierProfile scaled_profile(const TierProfile& p, double speed_factor) {
+  TierProfile out;
+  out.name = p.name;
+  out.read = scaled_op(p.read, speed_factor);
+  out.write = scaled_op(p.write, speed_factor);
+  return out;
+}
+
+DeviceProfile make_device_profile(const TierProfile& tier, std::size_t index,
+                                  double speed_factor) {
+  DeviceProfile d;
+  d.name = tier.name + std::to_string(index);
+  d.speed_factor = speed_factor;
+  d.profile = scaled_profile(tier, speed_factor);
+  return d;
+}
+
+void canonicalize_device_factors(std::vector<double>& factors) {
+  std::sort(factors.begin(), factors.end());
+  if (std::all_of(factors.begin(), factors.end(),
+                  [](double f) { return f == 1.0; })) {
+    factors.clear();
+  }
+}
+
+double worst_device_factor(std::span<const double> factors,
+                           std::size_t members) {
+  if (factors.empty() || members == 0) return 1.0;
+  return factors[std::min(members, factors.size()) - 1];
+}
 
 namespace {
 constexpr double mbps(double megabytes_per_second) {

@@ -12,7 +12,10 @@
 // Fig. 1a).  They are defaults, not baked-in: every component takes a profile.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/common/io.hpp"
 #include "src/common/units.hpp"
@@ -37,6 +40,39 @@ struct TierProfile {
 
   const OpProfile& op(IoOp o) const { return o == IoOp::kRead ? read : write; }
 };
+
+/// One concrete server's device: a tier profile degraded (or improved) by a
+/// per-device speed factor.  The factor is a *time multiplier* — 1.0 is a
+/// fresh device matching the tier profile, 2.0 takes twice as long per
+/// access (an aged SSD, a worn disk).  A tier whose members all carry factor
+/// 1.0 is exactly the homogeneous tier the paper models.
+struct DeviceProfile {
+  std::string name;           ///< e.g. "sserver1"
+  double speed_factor = 1.0;  ///< time multiplier vs the tier profile
+  TierProfile profile;        ///< the already-scaled per-op parameters
+};
+
+/// The tier profile with every time parameter (startup window and per-byte
+/// time) multiplied by `speed_factor`.  scaled_profile(p, 1.0) is bit-equal
+/// to p (IEEE multiplication by 1.0 is exact for finite values).
+TierProfile scaled_profile(const TierProfile& p, double speed_factor);
+
+/// Builds the device profile of one tier member.
+DeviceProfile make_device_profile(const TierProfile& tier, std::size_t index,
+                                  double speed_factor);
+
+/// Canonicalizes a per-device factor vector in place: sorts ascending
+/// (fastest member first — the slot order the planner's member-prefix
+/// candidates and the cluster's server construction both use) and clears
+/// the vector entirely when every factor is 1.0, so the homogeneous case is
+/// always represented by the empty vector.
+void canonicalize_device_factors(std::vector<double>& factors);
+
+/// The worst (largest) factor among the first `members` devices of a
+/// canonical (ascending) factor vector; 1.0 for an empty vector or zero
+/// members.
+double worst_device_factor(std::span<const double> factors,
+                           std::size_t members);
 
 /// 7200-rpm SATA HDD (HServer default): multi-millisecond positioning,
 /// ~100 MB/s media rate, read ~= write.

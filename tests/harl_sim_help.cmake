@@ -21,8 +21,9 @@ endif()
 # usage table prints each key at the start of its own (indented) line.
 set(known_keys
   workload procs request file requests coverage drift drift-factor grid dumps
-  hservers sservers clients schemes adapt adapt-window adapt-min-gain
-  migrate-bw seed threads stats
+  hservers sservers clients device-spread aging device-blind
+  schemes adapt adapt-window adapt-min-gain
+  migrate-bw seed threads sim-threads stats
   save-plan load-plan metrics-out trace-out trace-events)
 foreach(key IN LISTS known_keys)
   if(NOT help_out MATCHES "\n +${key} ")

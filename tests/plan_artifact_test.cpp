@@ -26,6 +26,19 @@ PlanArtifact sample_artifact(bool with_files = true) {
   return artifact;
 }
 
+/// Device-aware artifact: an aged SSD tier plus one member-restricted
+/// region — the shape that forces the version-2 encoding.
+PlanArtifact device_artifact() {
+  PlanArtifact artifact;
+  artifact.tier_counts = {6, 4};
+  artifact.calibration_fingerprint = 0xfeedfacecafebeefull;
+  artifact.device_factors = {{}, {1.0, 1.0, 2.0, 2.0}};
+  artifact.rst.add(0, {16 * KiB, 64 * KiB});
+  artifact.rst.add(128 * MiB, {0, 128 * KiB}, {0, 2});
+  artifact.rst.add(192 * MiB, {36 * KiB, 144 * KiB});
+  return artifact;
+}
+
 PlanArtifact three_tier_artifact() {
   PlanArtifact artifact;
   artifact.tier_counts = {4, 2, 2};
@@ -39,10 +52,12 @@ void expect_equal(const PlanArtifact& got, const PlanArtifact& want) {
   EXPECT_EQ(got.tier_counts, want.tier_counts);
   EXPECT_EQ(got.calibration_fingerprint, want.calibration_fingerprint);
   ASSERT_EQ(got.rst.size(), want.rst.size());
+  EXPECT_EQ(got.device_factors, want.device_factors);
   for (std::size_t i = 0; i < want.rst.size(); ++i) {
     SCOPED_TRACE("region " + std::to_string(i));
     EXPECT_EQ(got.rst.entry(i).offset, want.rst.entry(i).offset);
     EXPECT_EQ(got.rst.entry(i).stripes, want.rst.entry(i).stripes);
+    EXPECT_EQ(got.rst.entry(i).members, want.rst.entry(i).members);
   }
   EXPECT_EQ(got.region_files, want.region_files);
 }
@@ -208,6 +223,113 @@ TEST(PlanArtifact, PathBasedSaveLoadPicksFormatByExtension) {
 
 TEST(PlanArtifact, LoadOnMissingFileThrows) {
   EXPECT_THROW(load_plan("/nonexistent/nope.plan"), std::runtime_error);
+}
+
+TEST(PlanArtifact, DeviceTableRoundTripsBinary) {
+  const PlanArtifact artifact = device_artifact();
+  std::stringstream ss;
+  save_plan_binary(artifact, ss);
+  expect_equal(load_plan_binary(ss), artifact);
+}
+
+TEST(PlanArtifact, DeviceTableRoundTripsCsv) {
+  const PlanArtifact artifact = device_artifact();
+  std::stringstream ss;
+  save_plan_csv(artifact, ss);
+  const std::string text = ss.str();
+  // The inspectable form names the aged tier and the restricted region.
+  EXPECT_NE(text.find("devtier,1,1,1,2,2"), std::string::npos) << text;
+  EXPECT_NE(text.find("members,1,0,2"), std::string::npos) << text;
+  std::stringstream in(text);
+  expect_equal(load_plan_csv(in), artifact);
+}
+
+TEST(PlanArtifact, HomogeneousPlansKeepTheVersionOneEncoding) {
+  // Byte-compatibility both ways: a plan without device information writes
+  // the pre-device-model version-1 bytes (so old readers still load it),
+  // and device information forces version 2.
+  std::stringstream plain;
+  save_plan_binary(sample_artifact(), plain);
+  EXPECT_EQ(plain.str()[8], 1);
+
+  std::stringstream dev;
+  save_plan_binary(device_artifact(), dev);
+  EXPECT_EQ(dev.str()[8], 2);
+
+  // An artifact whose device table exists but is all-empty carries no
+  // device information: still version 1.
+  PlanArtifact hollow = sample_artifact();
+  hollow.device_factors = {{}, {}};
+  std::stringstream hollow_ss;
+  save_plan_binary(hollow, hollow_ss);
+  EXPECT_EQ(hollow_ss.str()[8], 1);
+}
+
+TEST(PlanArtifact, VersionOneArtifactLoadsWithEmptyDeviceTable) {
+  // A pre-device-model artifact (version-1 bytes) must load cleanly with
+  // the device fields defaulting to "homogeneous".
+  std::stringstream ss;
+  save_plan_binary(sample_artifact(), ss);
+  ASSERT_EQ(ss.str()[8], 1);
+  const PlanArtifact loaded = load_plan_binary(ss);
+  EXPECT_TRUE(loaded.device_factors.empty());
+  for (const RstEntry& e : loaded.rst.entries()) {
+    EXPECT_TRUE(e.members.empty());
+  }
+}
+
+TEST(PlanArtifact, RejectsTruncationMidDeviceTable) {
+  const PlanArtifact artifact = device_artifact();
+  std::stringstream full;
+  save_plan_binary(artifact, full);
+  const std::string bytes = full.str();
+  // The device table and member section are the trailing
+  // 2*8 + 4*8 + 8 + 3*2*8 = 104 bytes; every cut inside them (and the
+  // byte before) must throw, never yield a partially-device-aware plan.
+  for (std::size_t len = bytes.size() - 105; len < bytes.size(); ++len) {
+    SCOPED_TRACE("prefix length " + std::to_string(len));
+    std::stringstream cut(bytes.substr(0, len));
+    EXPECT_THROW(load_plan_binary(cut), std::runtime_error);
+  }
+}
+
+TEST(PlanArtifact, RejectsDeviceTableShapeMismatch) {
+  // A device table whose shape disagrees with the tier table is refused on
+  // save (and by symmetry on load, which routes through the same check).
+  PlanArtifact artifact = device_artifact();
+  artifact.device_factors = {{1.0, 1.0, 2.0, 2.0}};  // 1 row, 2 tiers
+  std::stringstream ss;
+  EXPECT_THROW(save_plan_binary(artifact, ss), std::runtime_error);
+  EXPECT_THROW(save_plan_csv(artifact, ss), std::runtime_error);
+
+  artifact.device_factors = {{}, {1.0, 2.0}};  // 2 factors, 4 servers
+  EXPECT_THROW(save_plan_binary(artifact, ss), std::runtime_error);
+  EXPECT_THROW(save_plan_csv(artifact, ss), std::runtime_error);
+}
+
+TEST(PlanArtifact, RejectsMalformedDeviceCsvRows) {
+  const std::string header = "harl-plan-csv-v1\nfingerprint,1\ntiers,6,4\n";
+  for (const std::string row :
+       {"devtier,2,1,2\n",        // tier index out of range
+        "devtier,1\n",            // no factors
+        "devtier,1,fast,2\n",     // non-numeric factor
+        "members,0,0,2\n"}) {     // members row before any region row
+    SCOPED_TRACE(row);
+    std::stringstream ss(header + row);
+    EXPECT_THROW(load_plan_csv(ss), std::runtime_error);
+  }
+}
+
+TEST(PlanArtifact, FromPlanCarriesTheDeviceTable) {
+  Plan plan;
+  plan.tier_counts = {6, 4};
+  plan.calibration_fingerprint = 7;
+  plan.device_factors = {{}, {1.0, 1.0, 2.0, 2.0}};
+  plan.rst.add(0, {16 * KiB, 64 * KiB}, {0, 2});
+  const PlanArtifact artifact = PlanArtifact::from_plan(plan);
+  EXPECT_EQ(artifact.device_factors, plan.device_factors);
+  ASSERT_EQ(artifact.rst.size(), 1u);
+  EXPECT_EQ(artifact.rst.entry(0).members, (std::vector<std::size_t>{0, 2}));
 }
 
 }  // namespace

@@ -23,9 +23,18 @@ recorded ceiling, or if the obs-disabled dispatch rate fell more than
 allocation-free simulator core and for "observability compiled in but
 disabled costs (almost) nothing".
 
+With --hetero, additionally reads a bench_ablation_hetero JSON and gates
+the aged-fleet sweep: device-aware HARL vs tier-blind HARL at each aged-SSD
+speed spread.  At 1x the two planners must coincide (the homogeneous fleet
+is byte-identical by construction); at 2x device-aware must stay within 2%
+of tier-blind (the conservative worst-member charge can slightly under-use
+a mildly aged tier); at 4x device-aware must beat tier-blind by >= 5%
+(member restriction excludes the heavily aged devices).
+
 Usage:
     tools/bench_sim_report.py results.json \
-        [--baseline bench/bench_sim_baseline.json] [--out BENCH_sim.json]
+        [--baseline bench/bench_sim_baseline.json] [--out BENCH_sim.json] \
+        [--hetero hetero_results.json]
 """
 
 import argparse
@@ -52,6 +61,9 @@ def main():
     parser.add_argument("--baseline", help="recorded baseline JSON to gate on")
     parser.add_argument("--out", default="BENCH_sim.json",
                         help="summary output path (default: BENCH_sim.json)")
+    parser.add_argument("--hetero",
+                        help="bench_ablation_hetero JSON; gates the aged-SSD "
+                             "sweep (device-aware vs tier-blind HARL)")
     args = parser.parse_args()
 
     with open(args.results, encoding="utf-8") as f:
@@ -197,6 +209,50 @@ def main():
             else:
                 summary["pdes_speedup_gate"] = (
                     f"skipped ({num_cpus} cpus < 8)")
+
+    if args.hetero:
+        with open(args.hetero, encoding="utf-8") as f:
+            hetero = json.load(f)
+        totals = {}
+        for entry in hetero.get("benchmarks", []):
+            name = entry.get("name", "")
+            if "/aged" in name and "sim_total_MBps" in entry:
+                totals[name.split("/iterations")[0]] = entry["sim_total_MBps"]
+
+        def total(spread, arm):
+            key = f"ablation_hetero/aged{spread}x/{arm}"
+            if key not in totals:
+                raise KeyError(f"benchmark {key!r} not found in hetero "
+                               f"results")
+            return totals[key]
+
+        hetero_summary = {}
+        # (spread, floor on aware/blind): 1x must coincide exactly (modulo
+        # fp printing, hence 0.999); 2x is a non-inferiority bound; 4x is
+        # the win the device model exists for.
+        for spread, floor in ((1, 0.999), (2, 0.98), (4, 1.05)):
+            aware = total(spread, "HARL")
+            blind = total(spread, "HARL-blind")
+            fixed = total(spread, "64K")
+            ratio = aware / blind
+            hetero_summary[f"aged{spread}x"] = {
+                "device_aware_MBps": aware,
+                "tier_blind_MBps": blind,
+                "fixed_64K_MBps": fixed,
+                "aware_over_blind": ratio,
+                "aware_over_fixed": aware / fixed,
+                "required_aware_over_blind": floor,
+            }
+            if ratio < floor:
+                failures.append(
+                    f"aged{spread}x: device-aware HARL at {aware:.1f} MB/s "
+                    f"is {ratio:.3f}x of tier-blind {blind:.1f} MB/s "
+                    f"(required >= {floor})")
+            if aware / fixed < 1.2:
+                failures.append(
+                    f"aged{spread}x: device-aware HARL at {aware:.1f} MB/s "
+                    f"is below 1.2x fixed 64K striping {fixed:.1f} MB/s")
+        summary["hetero"] = hetero_summary
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(summary, f, indent=2)

@@ -81,6 +81,17 @@ constexpr OptionSpec kOptions[] = {
     {"hservers", "HDD server count                    (6)"},
     {"sservers", "SSD server count                    (2)"},
     {"clients", "compute nodes                       (8)"},
+    {"device-spread",
+     "age the second half of the SSD tier by this time\n"
+     "factor (1.0 = homogeneous fleet); the planner sees the\n"
+     "per-device speeds unless device-blind=1 (1.0)"},
+    {"aging",
+     "explicit per-device speed factors, e.g.\n"
+     "aging=hserver=1:1:2,sserver=1:4 (one colon list per\n"
+     "tier, one factor per server; overrides device-spread)"},
+    {"device-blind",
+     "1 = calibrate tier profiles only, hiding per-device\n"
+     "aging from the planner (the tier-blind ablation arm) (0)"},
     {"schemes",
      "comma list: <size> | randN | harl | harl-adaptive |\n"
      "harl-file | segment                 (64K,256K,harl)"},
@@ -193,6 +204,56 @@ std::vector<std::string> split_commas(const std::string& text) {
   return out;
 }
 
+std::vector<std::string> split_on(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream ss(text);
+  while (std::getline(ss, token, sep)) out.push_back(token);
+  return out;
+}
+
+/// Applies device-spread= / aging= to the cluster config.  device-spread=F
+/// ages the second half of the SSD tier by F; aging= gives explicit
+/// per-server factor lists per tier name.
+void apply_device_config(const Config& cfg, pfs::ClusterConfig& cluster) {
+  const double spread = cfg.get_double("device-spread", 1.0);
+  if (spread < 1.0) {
+    throw std::invalid_argument("device-spread must be >= 1.0");
+  }
+  if (spread > 1.0) {
+    const std::size_t aged = cluster.num_sservers / 2;
+    cluster.ssd_factors.assign(cluster.num_sservers, 1.0);
+    for (std::size_t i = cluster.num_sservers - aged;
+         i < cluster.num_sservers; ++i) {
+      cluster.ssd_factors[i] = spread;
+    }
+  }
+  const std::string aging = cfg.get_or("aging", "");
+  if (aging.empty()) return;
+  cluster.hdd_factors.clear();
+  cluster.ssd_factors.clear();
+  for (const auto& clause : split_commas(aging)) {
+    const auto eq = clause.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("aging clause needs tier=f0:f1:...: " +
+                                  clause);
+    }
+    const std::string tier = clause.substr(0, eq);
+    std::vector<double> factors;
+    for (const auto& f : split_on(clause.substr(eq + 1), ':')) {
+      factors.push_back(std::stod(f));
+    }
+    if (tier == "hserver") {
+      cluster.hdd_factors = std::move(factors);
+    } else if (tier == "sserver") {
+      cluster.ssd_factors = std::move(factors);
+    } else {
+      throw std::invalid_argument("aging tier must be hserver or sserver: " +
+                                  tier);
+    }
+  }
+}
+
 harness::LayoutScheme parse_scheme(const std::string& token) {
   if (token == "harl") return harness::LayoutScheme::harl();
   if (token == "harl-adaptive") return harness::LayoutScheme::harl_adaptive();
@@ -257,6 +318,8 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cfg.get_int("sservers", 2));
     options.cluster.num_clients =
         static_cast<std::size_t>(cfg.get_int("clients", 8));
+    apply_device_config(cfg, options.cluster);
+    options.calibration.device_blind = cfg.get_int("device-blind", 0) != 0;
 
     // Optional parallelism: one pool drives both the planner's
     // region-parallel analysis and the harness's per-scheme measured runs
@@ -359,6 +422,12 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       std::ofstream out(metrics_out);
       if (!out) throw std::runtime_error("cannot write " + metrics_out);
+      // Per-server device descriptors (canonical tier view); the devices
+      // block is emitted only for heterogeneous fleets so homogeneous
+      // metrics files stay byte-identical to the pre-device-model format.
+      const auto device_tiers = options.cluster.effective_tiers();
+      bool any_aged = false;
+      for (const auto& t : device_tiers) any_aged |= !t.device_factors.empty();
       out << "{\n  \"schemes\": [";
       bool first = true;
       for (const auto& r : results) {
@@ -372,6 +441,29 @@ int main(int argc, char** argv) {
         out << ", \"regions\": " << r.region_count
             << ", \"makespan_s\": " << r.total.makespan
             << ", \"total_bytes\": " << r.total.bytes;
+        if (any_aged) {
+          out << ", \"devices\": [";
+          std::size_t global = 0;
+          bool dev_first = true;
+          for (std::size_t ti = 0; ti < device_tiers.size(); ++ti) {
+            const auto& t = device_tiers[ti];
+            for (std::size_t i = 0; i < t.count; ++i, ++global) {
+              if (!dev_first) out << ", ";
+              dev_first = false;
+              out << "{\"server\": " << global << ", \"tier\": " << ti
+                  << ", \"name\": ";
+              write_json_escaped(out, t.name + std::to_string(i));
+              out << ", \"factor\": "
+                  << (t.device_factors.empty() ? 1.0 : t.device_factors[i])
+                  << ", \"busy_s\": "
+                  << (global < r.server_io_time.size()
+                          ? r.server_io_time[global]
+                          : 0.0)
+                  << "}";
+            }
+          }
+          out << "]";
+        }
         if (options.sim_threads > 0) {
           // PDES health of the measured run (obs_report.py --check asserts
           // lookahead_violations == 0).

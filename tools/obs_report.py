@@ -18,6 +18,15 @@ cost-model relative-error distribution per region.
     runs (adaptive.* / migration.* families) internally consistent —
     epoch installs never exceed recommendations, and installed epochs
     imply migration traffic (bytes, chunks, interference).
+  * devices (heterogeneous fleets only): per-server device blocks carry
+    consecutive server indices, positive speed factors in canonical
+    (ascending-per-tier) order, and non-negative busy times; when both a
+    fixed-stripe scheme and the offline HARL scheme are present, HARL's
+    relative busy-time spread across the devices it actually drives on
+    each aged tier must not exceed the fixed layout's — the device-aware
+    planner either levels aged tiers or excludes the stragglers outright
+    (idle devices don't count as imbalance), blind round-robin striping
+    does neither.
   * trace: valid Chrome trace JSON; complete ("X") spans on each track are
     disjoint and sorted, so span nesting is monotone per track; every async
     "b" has a matching "e" with end >= begin; instants carry timestamps.
@@ -87,6 +96,78 @@ def check_adaptive(label, report):
         fail(f"metrics[{label}]: analysis windows ran but zero cost "
              f"evaluations recorded")
     return True
+
+
+def is_fixed_label(label):
+    """Fixed-stripe scheme labels look like a size ("64K", "1M")."""
+    return (len(label) >= 2 and label[-1] in "KMG"
+            and label[:-1].isdigit())
+
+
+def check_devices(doc):
+    """Validate per-scheme devices blocks; cross-check busy-time spread."""
+    # label -> {tier: relative busy spread over that aged tier}
+    spreads = {}
+    for scheme in doc.get("schemes", []):
+        label = scheme.get("label", "?")
+        devices = scheme.get("devices")
+        if devices is None:
+            continue
+        if not isinstance(devices, list) or not devices:
+            fail(f"metrics[{label}]: devices block present but empty")
+        by_tier = defaultdict(list)  # tier -> [(factor, busy_s)]
+        for i, dev in enumerate(devices):
+            for key in ("server", "tier", "name", "factor", "busy_s"):
+                if key not in dev:
+                    fail(f"metrics[{label}]: devices[{i}] missing {key!r}")
+            if dev["server"] != i:
+                fail(f"metrics[{label}]: devices[{i}] has server index "
+                     f"{dev['server']} (must be consecutive)")
+            if dev["factor"] <= 0:
+                fail(f"metrics[{label}]: devices[{i}] has non-positive "
+                     f"speed factor {dev['factor']}")
+            if dev["busy_s"] < -1e-12:
+                fail(f"metrics[{label}]: devices[{i}] has negative busy "
+                     f"time")
+            by_tier[dev["tier"]].append((dev["factor"], dev["busy_s"]))
+        if all(f == 1.0 for rows in by_tier.values() for f, _ in rows):
+            fail(f"metrics[{label}]: devices block present but every "
+                 f"factor is 1.0 (homogeneous fleets must omit it)")
+        tier_spreads = {}
+        for tier, rows in by_tier.items():
+            factors = [f for f, _ in rows]
+            if factors != sorted(factors):
+                fail(f"metrics[{label}]: tier {tier} device factors "
+                     f"{factors} not in canonical ascending order")
+            if len(set(factors)) > 1:
+                # A device-aware plan may exclude aged stragglers from the
+                # stripe entirely; an idle device is the planner's answer,
+                # not an imbalance, so spread counts participants only.
+                busy = [b for _, b in rows if b > 1e-12]
+                if len(busy) >= 2:
+                    mean = sum(busy) / len(busy)
+                    if mean > 0:
+                        tier_spreads[tier] = (max(busy) - min(busy)) / mean
+        spreads[label] = tier_spreads
+    if not spreads:
+        return 0
+    # Utilization-spread cross-check: across the devices it drives, the
+    # device-aware offline HARL scheme levels aged tiers relative to
+    # blind fixed striping.
+    fixed = next((spreads[lbl] for lbl in spreads if is_fixed_label(lbl)),
+                 None)
+    harl = spreads.get("HARL")
+    if fixed is not None and harl is not None:
+        for tier, harl_spread in harl.items():
+            fixed_spread = fixed.get(tier)
+            if fixed_spread is None or fixed_spread <= 0:
+                continue
+            if harl_spread > fixed_spread * 1.02:
+                fail(f"devices: HARL busy-time spread {harl_spread:.3f} "
+                     f"over its participants on aged tier {tier} exceeds "
+                     f"fixed striping's {fixed_spread:.3f} — device-aware "
+                     f"planning should level the devices it drives")
+    return len(spreads)
 
 
 def check_metrics(doc):
@@ -335,6 +416,7 @@ def main():
 
     metrics_doc = load_json(args.metrics)
     n_schemes, n_adaptive = check_metrics(metrics_doc)
+    n_devices = check_devices(metrics_doc)
     if args.require_adaptive and n_adaptive == 0:
         fail(f"{args.metrics}: no scheme carries adaptive epoch metrics "
              f"(adaptive.* families)")
@@ -345,7 +427,8 @@ def main():
     if args.check:
         if not args.quiet:
             print(f"obs_report: OK: {args.metrics}: {n_schemes} scheme(s) "
-                  f"valid ({n_adaptive} adaptive)")
+                  f"valid ({n_adaptive} adaptive, {n_devices} with device "
+                  f"blocks)")
             if trace_counts is not None:
                 total = sum(trace_counts.values())
                 detail = ", ".join(f"{k}:{v}" for k, v in
