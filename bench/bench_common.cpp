@@ -67,15 +67,30 @@ void register_sim_results(const std::string& prefix,
     const double read = r.read.throughput() / (1024.0 * 1024.0);
     const double write = r.write.throughput() / (1024.0 * 1024.0);
     const double total = r.total.throughput() / (1024.0 * 1024.0);
+    // Cache-enabled runs also expose the directory counters, so report
+    // scripts can gate on the achieved hit rate next to the throughput.
+    double hit_rate = -1.0;
+    double fill_mb = -1.0;
+    if (r.cache) {
+      hit_rate = r.cache->tier.lookups > 0
+                     ? static_cast<double>(r.cache->tier.hits) /
+                           static_cast<double>(r.cache->tier.lookups)
+                     : 0.0;
+      fill_mb = static_cast<double>(r.cache->fill_bytes) / (1024.0 * 1024.0);
+    }
     benchmark::RegisterBenchmark(
         (prefix + "/" + r.label).c_str(),
-        [read, write, total](benchmark::State& state) {
+        [read, write, total, hit_rate, fill_mb](benchmark::State& state) {
           for (auto _ : state) {
             benchmark::DoNotOptimize(total);
           }
           state.counters["sim_read_MBps"] = read;
           state.counters["sim_write_MBps"] = write;
           state.counters["sim_total_MBps"] = total;
+          if (hit_rate >= 0.0) {
+            state.counters["sim_cache_hit_rate"] = hit_rate;
+            state.counters["sim_cache_fill_MB"] = fill_mb;
+          }
         })
         ->Iterations(1);
   }

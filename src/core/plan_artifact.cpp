@@ -12,6 +12,8 @@ namespace harl::core {
 namespace {
 
 constexpr char kMagic[8] = {'H', 'A', 'R', 'L', 'P', 'L', 'A', 'N'};
+/// Marker of the optional trailing cache section (cache-aware plans only).
+constexpr char kCacheMagic[8] = {'H', 'A', 'R', 'L', 'C', 'A', 'C', 'H'};
 constexpr char kCsvHeader[] = "harl-plan-csv-v1";
 /// Allocation guards against corrupt length fields; generous compared to any
 /// realistic cluster (tiers) or trace (regions, name length).
@@ -110,6 +112,7 @@ PlanArtifact PlanArtifact::from_plan(const Plan& plan) {
   artifact.calibration_fingerprint = plan.calibration_fingerprint;
   artifact.device_factors = plan.device_factors;
   artifact.rst = plan.rst;
+  artifact.cache = plan.cache;
   return artifact;
 }
 
@@ -161,6 +164,17 @@ void save_plan_binary(const PlanArtifact& artifact, std::ostream& os) {
         }
       }
     }
+  }
+  if (artifact.cache) {
+    // Optional trailing section (does not bump the version — readers that
+    // stop after the sections above simply never see it).
+    os.write(kCacheMagic, sizeof(kCacheMagic));
+    put_u64(os, artifact.cache->tier);
+    put_u64(os, artifact.cache->devices);
+    put_u64(os, artifact.cache->budget);
+    put_u64(os, artifact.cache->chunk);
+    put_u32(os, artifact.cache->policy == storage::CachePolicy::kSlru ? 1 : 0);
+    put_u64(os, double_bits(artifact.cache->expected_hit_rate));
   }
   if (!os) throw std::runtime_error("plan artifact write failed");
 }
@@ -243,6 +257,28 @@ PlanArtifact load_plan_binary(std::istream& is) {
   for (std::uint64_t r = 0; r < regions; ++r) {
     artifact.rst.add(offsets[r], std::move(stripes[r]), std::move(members[r]));
   }
+  // Optional trailing cache section; absence (EOF here) is the normal
+  // cache-less case.
+  char cache_magic[sizeof(kCacheMagic)];
+  if (is.read(cache_magic, sizeof(cache_magic))) {
+    if (!std::equal(std::begin(cache_magic), std::end(cache_magic),
+                    std::begin(kCacheMagic))) {
+      throw std::runtime_error("bad plan artifact cache section magic");
+    }
+    PlanCacheSpec spec;
+    spec.tier = static_cast<std::size_t>(get_u64(is));
+    spec.devices = static_cast<std::size_t>(get_u64(is));
+    spec.budget = get_u64(is);
+    spec.chunk = get_u64(is);
+    spec.policy = get_u32(is) != 0 ? storage::CachePolicy::kSlru
+                                   : storage::CachePolicy::kLru;
+    spec.expected_hit_rate = bits_double(get_u64(is));
+    if (spec.tier >= artifact.tier_counts.size() || spec.devices == 0 ||
+        spec.devices >= artifact.tier_counts[spec.tier] || spec.chunk == 0) {
+      throw std::runtime_error("corrupt plan artifact cache section");
+    }
+    artifact.cache = spec;
+  }
   check_device_shape(artifact);
   return artifact;
 }
@@ -282,6 +318,15 @@ void save_plan_csv(const PlanArtifact& artifact, std::ostream& os) {
   }
   for (std::size_t i = 0; i < artifact.region_files.size(); ++i) {
     os << "file," << i << ',' << artifact.region_files[i] << '\n';
+  }
+  if (artifact.cache) {
+    // Optional trailing row, mirroring the binary cache section.
+    const auto old_precision = os.precision(17);
+    os << "cache," << artifact.cache->tier << ',' << artifact.cache->devices
+       << ',' << artifact.cache->budget << ',' << artifact.cache->chunk << ','
+       << to_string(artifact.cache->policy) << ','
+       << artifact.cache->expected_hit_rate << '\n';
+    os.precision(old_precision);
   }
   if (!os) throw std::runtime_error("plan artifact write failed");
 }
@@ -404,6 +449,40 @@ PlanArtifact load_plan_csv(std::istream& is) {
         throw std::runtime_error("malformed plan artifact row: " + line);
       }
       members_rows[index] = std::move(members);
+    } else if (field == "cache") {
+      if (!saw_tiers) {
+        throw std::runtime_error("plan artifact cache row before tiers row");
+      }
+      PlanCacheSpec spec;
+      spec.tier = static_cast<std::size_t>(next_u64());
+      spec.devices = static_cast<std::size_t>(next_u64());
+      spec.budget = next_u64();
+      spec.chunk = next_u64();
+      std::string policy;
+      if (!std::getline(ss, policy, ',')) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      try {
+        spec.policy = storage::parse_cache_policy(policy);
+      } catch (const std::exception&) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      std::string rate;
+      if (!std::getline(ss, rate, ',')) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      try {
+        std::size_t pos = 0;
+        spec.expected_hit_rate = std::stod(rate, &pos);
+        if (pos != rate.size()) throw std::invalid_argument(rate);
+      } catch (const std::exception&) {
+        throw std::runtime_error("malformed plan artifact row: " + line);
+      }
+      if (spec.tier >= artifact.tier_counts.size() || spec.devices == 0 ||
+          spec.devices >= artifact.tier_counts[spec.tier] || spec.chunk == 0) {
+        throw std::runtime_error("corrupt plan artifact cache row");
+      }
+      artifact.cache = spec;
     } else if (field == "file") {
       const std::uint64_t index = next_u64();
       if (index != artifact.region_files.size()) {

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct PlanArtifact {
   /// R2F: physical file name per RST region (paper Fig. 6's Region-to-File
   /// table).  Either empty (not yet placed) or exactly rst.size() entries.
   std::vector<std::string> region_files;
+  /// Cache reservation of a cache-aware plan (Plan::cache).  Serialized as
+  /// an optional *trailing* section in both encodings, so cache-less
+  /// artifacts stay byte-identical to the pre-cache formats and old readers
+  /// reject nothing they used to accept.
+  std::optional<PlanCacheSpec> cache;
 
   /// Snapshot of an Analysis Phase result (region_files left empty; the
   /// Placing Phase fills them when it installs the plan).

@@ -164,6 +164,306 @@ Plan analyze(std::span<const trace::TraceRecord> records,
   return plan_from_division(sorted, division, params, options, false);
 }
 
+Plan analyze_cached(std::span<const trace::TraceRecord> records,
+                    const CostParams& params, const CachePlannerOptions& cache,
+                    const PlannerOptions& options) {
+  // Disabled cache planning (or no SSD tier to reserve from) degenerates to
+  // the plain Analysis Phase, bit for bit.
+  if (!cache.enabled() || params.N == 0) {
+    return analyze(records, params, options);
+  }
+  if (records.empty()) throw std::invalid_argument("cannot analyze empty trace");
+  std::vector<trace::TraceRecord> sorted_storage;
+  const auto sorted = ensure_sorted(records, sorted_storage);
+  // Region division depends only on the trace, so the whole r-sweep shares
+  // one division — and one per-region hit-rate estimate.
+  const RegionDivision division = divide_regions(sorted, options.divider);
+  const std::size_t count = division.regions.size();
+
+  // --- Per-region read hit-rate estimate: one deterministic replay of the
+  // trace in time order through the same CacheTier policy structure the
+  // runtime drives, keyed by logical file chunk.  The estimate depends on
+  // the budget/chunk/policy, not on how many devices the budget is spread
+  // over, so it is shared across every r candidate.
+  std::vector<double> hit_rate(count, 0.0);
+  std::vector<std::uint64_t> lookups(count, 0);
+  std::vector<std::uint64_t> hits(count, 0);
+  std::uint64_t total_lookups = 0;
+  std::uint64_t total_hits = 0;
+  {
+    std::vector<std::size_t> order(sorted.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return sorted[a].t_start < sorted[b].t_start;
+                     });
+    storage::CacheTier::Config cfg;
+    cfg.capacity = cache.budget;
+    cfg.chunk = cache.chunk;
+    cfg.policy = cache.policy;
+    storage::CacheTier replay(cfg);
+    std::vector<std::uint64_t> evicted;
+    auto region_of = [&](Bytes offset) {
+      auto it = std::upper_bound(
+          division.regions.begin(), division.regions.end(), offset,
+          [](Bytes off, const DividedRegion& reg) { return off < reg.offset; });
+      return it == division.regions.begin()
+                 ? std::size_t{0}
+                 : static_cast<std::size_t>(
+                       std::distance(division.regions.begin(), it)) -
+                       1;
+    };
+    for (std::size_t idx : order) {
+      const trace::TraceRecord& rec = sorted[idx];
+      if (rec.size == 0) continue;
+      const Bytes first = rec.offset / cache.chunk;
+      const Bytes last = (rec.offset + rec.size - 1) / cache.chunk;
+      if (rec.op == IoOp::kWrite) {
+        for (Bytes c = first; c <= last; ++c) replay.invalidate(c);
+        continue;
+      }
+      const std::size_t reg = region_of(rec.offset);
+      for (Bytes c = first; c <= last; ++c) {
+        ++lookups[reg];
+        ++total_lookups;
+        if (replay.lookup(c) == storage::CacheTier::State::kResident) {
+          ++hits[reg];
+          ++total_hits;
+        } else {
+          // Offline replay: fills land instantly (the classic stack-distance
+          // idealization; the runtime charges them over real servers).
+          evicted.clear();
+          if (replay.admit(c, evicted)) replay.fill_complete(c);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      hit_rate[i] = lookups[i] > 0 ? static_cast<double>(hits[i]) /
+                                         static_cast<double>(lookups[i])
+                                   : 0.0;
+    }
+  }
+
+  // --- The r-sweep: reserve the fastest r SServers as cache vs stripe over
+  // them.  Every candidate's objective is computed the same way (per-request
+  // model cost with the hit-rate mix on reads), so candidates are directly
+  // comparable; ties go to the smaller r, making r = 0 the exact analyze()
+  // plan whenever caching cannot help.
+  //
+  // Each candidate is priced twice: with the cache live (hit mix on reads,
+  // hit + fill traffic on the reserved devices) and with the reserved
+  // devices idle (same reduced striping, no cache traffic).  The idle walls
+  // form the *reserve-and-idle baseline*: withholding devices from striping
+  // sometimes lowers the floor by itself (the latency-driven optimizer can
+  // pile every region onto one fast member whose NIC then saturates), and
+  // that gain belongs to striping, not caching.  A reservation is kept only
+  // when its cached wall beats the best idle wall of every candidate —
+  // otherwise the plain analyze() plan stands.
+  const std::size_t r_max = std::min(cache.max_devices, params.N - 1);
+  // Distinct issuing ranks: the latency sum divided by this is the
+  // pipeline-parallel completion proxy the bandwidth floor is compared to.
+  double processes = 1.0;
+  {
+    std::vector<std::uint32_t> ranks;
+    ranks.reserve(sorted.size());
+    for (const auto& rec : sorted) ranks.push_back(rec.rank);
+    std::sort(ranks.begin(), ranks.end());
+    ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    if (!ranks.empty()) processes = static_cast<double>(ranks.size());
+  }
+  // Prices one candidate layout under the shared objective.  Bottleneck-
+  // bandwidth floor (the makespan bound): the latency sum prices each
+  // request in isolation, which lets every region pile onto the same
+  // fastest members for free.  The floor charges each server resource's
+  // aggregate service time — disk: bytes x per-byte x mean member factor /
+  // members; NIC: bytes x t / members (aging slows media, not NICs) — plus,
+  // with the cache live, the reserved devices' hit and fill traffic, so
+  // "reserve the fastest devices as cache" and "stripe over them" compete
+  // under the same capacity story.  Tier byte shares use the steady-state
+  // striping-period fractions (exact for whole-period traffic).  Fill
+  // traffic (one read-around fill per modeled miss: a full chunk read on
+  // the home layout, a full chunk write on the cache devices) is charged
+  // for every live-cache candidate — including zero-hit-rate regions, where
+  // the runtime still admits and fills every miss.
+  struct CandidateEval {
+    double wall = 0.0;
+    std::vector<double> region_cost;
+  };
+  const auto evaluate = [&](const Plan& plan_r, const TieredCostParams& tiered,
+                            std::size_t r, const CacheReadSpec& spec,
+                            bool live_cache) {
+    CandidateEval ev;
+    ev.region_cost.assign(count, 0.0);
+    double total = 0.0;
+    double busy_cache = 0.0;
+    double busy_cache_nic = 0.0;
+    std::vector<double> busy(tiered.tiers.size(), 0.0);
+    std::vector<double> busy_nic(tiered.tiers.size(), 0.0);
+    const double cache_mean =
+        live_cache ? storage::mean_device_factor(params.sserver_factors, r)
+                   : 1.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const DividedRegion& region = division.regions[i];
+      const PlannedRegion& planned = plan_r.regions[i];
+      const double h = live_cache ? hit_rate[i] : 0.0;
+      double cost = 0.0;
+      double region_read = 0.0;
+      double region_write = 0.0;
+      for (std::size_t q = region.first_request; q < region.last_request; ++q) {
+        const trace::TraceRecord& rec = sorted[q];
+        if (rec.op == IoOp::kRead) {
+          region_read += static_cast<double>(rec.size);
+        } else {
+          region_write += static_cast<double>(rec.size);
+        }
+        const Seconds home =
+            planned.members.empty()
+                ? tiered_request_cost(tiered, rec.op, rec.offset, rec.size,
+                                      planned.stripes)
+                : tiered_request_cost(tiered, rec.op, rec.offset, rec.size,
+                                      planned.stripes, planned.members);
+        if (rec.op == IoOp::kRead && h > 0.0) {
+          cost += expected_read_cost(
+              home, cached_read_cost(tiered, spec, rec.offset, rec.size), h);
+        } else {
+          cost += home;
+        }
+      }
+      ev.region_cost[i] = cost;
+      total += cost;
+
+      const double fill_bytes =
+          live_cache ? static_cast<double>(lookups[i] - hits[i]) *
+                           static_cast<double>(cache.chunk)
+                     : 0.0;
+      Bytes period = 0;
+      for (std::size_t j = 0; j < tiered.tiers.size(); ++j) {
+        const std::size_t use = planned.members.empty()
+                                    ? tiered.tiers[j].count
+                                    : planned.members[j];
+        period += static_cast<Bytes>(use) * planned.stripes[j];
+      }
+      if (period == 0) continue;
+      for (std::size_t j = 0; j < tiered.tiers.size(); ++j) {
+        const std::size_t use = planned.members.empty()
+                                    ? tiered.tiers[j].count
+                                    : planned.members[j];
+        if (use == 0 || planned.stripes[j] == 0) continue;
+        const double share =
+            static_cast<double>(use) * static_cast<double>(planned.stripes[j]) /
+            static_cast<double>(period);
+        const double tier_reads = share * ((1.0 - h) * region_read + fill_bytes);
+        const double tier_writes = share * region_write;
+        // Device time = per-sub-request startup (seek/positioning, the term
+        // that dominates small random access on HDDs) + streaming transfer.
+        // Sub-requests land at stripe granularity in steady state.
+        const double stripe = static_cast<double>(planned.stripes[j]);
+        const storage::OpProfile& rd = tiered.tiers[j].profile.op(IoOp::kRead);
+        const storage::OpProfile& wr = tiered.tiers[j].profile.op(IoOp::kWrite);
+        busy[j] += (tier_reads * rd.per_byte + tier_writes * wr.per_byte +
+                    (tier_reads / stripe) * rd.startup_mean() +
+                    (tier_writes / stripe) * wr.startup_mean()) *
+                   storage::mean_device_factor(tiered.tiers[j].device_factors,
+                                               use) /
+                   static_cast<double>(use);
+        busy_nic[j] +=
+            (tier_reads + tier_writes) * tiered.t / static_cast<double>(use);
+      }
+      if (live_cache) {
+        const double cache_bytes = h * region_read + fill_bytes;
+        const double chunkf = static_cast<double>(cache.chunk);
+        busy_cache += (h * region_read * params.sserver_read.per_byte +
+                       fill_bytes * params.sserver_write.per_byte +
+                       (h * region_read / chunkf) *
+                           params.sserver_read.startup_mean() +
+                       (fill_bytes / chunkf) *
+                           params.sserver_write.startup_mean()) *
+                      cache_mean / static_cast<double>(r);
+        busy_cache_nic += cache_bytes * tiered.t / static_cast<double>(r);
+      }
+    }
+    double busy_max = std::max(busy_cache, busy_cache_nic);
+    for (const double b : busy) busy_max = std::max(busy_max, b);
+    for (const double b : busy_nic) busy_max = std::max(busy_max, b);
+    ev.wall = std::max(total / processes, busy_max);
+    return ev;
+  };
+
+  Plan base_plan;           // the exact analyze() plan (r = 0)
+  Plan best_plan;           // best live-cache candidate (r > 0)
+  std::vector<double> best_region_cost;
+  double best_idle_wall = 0.0;  // reserve-and-idle baseline over all r
+  double best_wall = 0.0;
+  std::size_t best_r = 0;
+  for (std::size_t r = 0; r <= r_max; ++r) {
+    CostParams reduced = params;
+    reduced.N = params.N - r;
+    if (!reduced.sserver_factors.empty()) {
+      // The reserved prefix is the canonical vector's fastest r members;
+      // the remainder re-canonicalizes (it may collapse to homogeneous).
+      reduced.sserver_factors.erase(
+          reduced.sserver_factors.begin(),
+          reduced.sserver_factors.begin() + static_cast<std::ptrdiff_t>(r));
+      storage::canonicalize_device_factors(reduced.sserver_factors);
+    }
+    Plan plan_r = plan_from_division(sorted, division, reduced, options, false);
+
+    const TieredCostParams tiered = to_tiered(reduced);
+    CacheReadSpec spec;
+    if (r > 0) {
+      spec.devices = r;
+      spec.chunk = cache.chunk;
+      spec.profile = params.sserver_read;
+      spec.worst_factor = storage::worst_device_factor(params.sserver_factors, r);
+    }
+    const CandidateEval idle = evaluate(plan_r, tiered, r, spec, false);
+    if (r == 0) {
+      best_idle_wall = idle.wall;
+      base_plan = std::move(plan_r);
+      continue;
+    }
+    best_idle_wall = std::min(best_idle_wall, idle.wall);
+    CandidateEval live = evaluate(plan_r, tiered, r, spec, true);
+    if (best_r == 0 || live.wall < best_wall) {
+      best_plan = std::move(plan_r);
+      best_region_cost = std::move(live.region_cost);
+      best_wall = live.wall;
+      best_r = r;
+    }
+  }
+
+  // No reservation pays for itself: every live-cache candidate loses to
+  // striping alone (including "stripe over fewer devices and idle the
+  // rest", whose gain r = 0 can realize without a cache).  Return the plain
+  // analyze() plan untouched so cache-aware analysis of a cache-hostile
+  // trace is bit-identical to the cache-less pipeline.
+  if (best_r == 0 || !(best_wall < best_idle_wall)) return base_plan;
+
+  Plan plan = std::move(best_plan);
+  // The plan describes the *physical* cluster: full tier counts, full device
+  // table, and the fingerprint of the calibration in force.  The reduced
+  // view it was optimized under is implied by the cache reservation.
+  plan.tier_counts = {params.M, params.N};
+  plan.device_factors = plan_device_factors(to_tiered(params));
+  plan.calibration_fingerprint = params_fingerprint(params);
+  for (std::size_t i = 0; i < count; ++i) {
+    plan.regions[i].expected_hit_rate = hit_rate[i];
+    plan.regions[i].model_cost = best_region_cost[i];
+  }
+  PlanCacheSpec cache_spec;
+  cache_spec.tier = 1;
+  cache_spec.devices = best_r;
+  cache_spec.budget = cache.budget;
+  cache_spec.chunk = cache.chunk;
+  cache_spec.policy = cache.policy;
+  cache_spec.expected_hit_rate =
+      total_lookups > 0
+          ? static_cast<double>(total_hits) / static_cast<double>(total_lookups)
+          : 0.0;
+  plan.cache = cache_spec;
+  return plan;
+}
+
 Plan analyze_file_level(std::span<const trace::TraceRecord> records,
                         const CostParams& params,
                         const PlannerOptions& options) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "src/core/region_divider.hpp"
 #include "src/core/rst.hpp"
 #include "src/core/stripe_optimizer.hpp"
+#include "src/storage/cache_tier.hpp"
 
 namespace harl::core {
 
@@ -33,6 +35,33 @@ struct PlannerOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// Cache-tier planning knobs (HACache direction): analyze_cached may reserve
+/// the fastest devices of the SSD tier as a chunk-granular read cache and
+/// trades stripe width against the expected hit rate.  budget == 0 or
+/// max_devices == 0 disables cache planning entirely (analyze_cached then
+/// equals analyze, bit for bit).
+struct CachePlannerOptions {
+  Bytes budget = 0;             ///< total cache capacity in bytes
+  Bytes chunk = MiB;            ///< cache chunk granularity
+  std::size_t max_devices = 0;  ///< largest reservation the sweep considers
+  storage::CachePolicy policy = storage::CachePolicy::kLru;
+
+  bool enabled() const { return budget > 0 && max_devices > 0; }
+};
+
+/// The winning cache reservation of a cache-aware Analysis Phase.  The
+/// Placing Phase withholds the first `devices` servers of `tier` from every
+/// region (RegionLayout's reserved vector) and hands them to the runtime
+/// pfs::CacheManager instead.
+struct PlanCacheSpec {
+  std::size_t tier = 1;     ///< tier whose fastest prefix is reserved
+  std::size_t devices = 0;  ///< reserved device count (always > 0 when set)
+  Bytes budget = 0;
+  Bytes chunk = 0;
+  storage::CachePolicy policy = storage::CachePolicy::kLru;
+  double expected_hit_rate = 0.0;  ///< trace-wide read chunk hit-rate estimate
+};
+
 /// Per-region planning outcome (pre-merge).
 struct PlannedRegion {
   Bytes offset = 0;
@@ -47,6 +76,9 @@ struct PlannedRegion {
   std::size_t candidates_evaluated = 0;  ///< Algorithm 2 grid size
   std::uint64_t cost_evals = 0;          ///< cost-kernel calls made
   std::uint64_t cost_evals_saved = 0;    ///< calls avoided by coalescing
+  /// Estimated read chunk hit rate under the planned cache reservation
+  /// (0.0 for cache-less plans); see analyze_cached.
+  double expected_hit_rate = 0.0;
 };
 
 struct Plan {
@@ -63,6 +95,9 @@ struct Plan {
   /// Fingerprint of the calibration used (params_fingerprint); lets a loaded
   /// plan detect that it was computed against different parameters.
   std::uint64_t calibration_fingerprint = 0;
+  /// Cache reservation chosen by analyze_cached; absent for cache-less plans
+  /// (including cache-aware analyses where reserving never beat striping).
+  std::optional<PlanCacheSpec> cache;
   double threshold_used = 1.0;
   int tuning_rounds = 0;
   std::size_t regions_before_merge = 0;
@@ -82,6 +117,22 @@ struct Plan {
 /// Throws std::invalid_argument on an empty trace.
 Plan analyze(std::span<const trace::TraceRecord> records,
              const CostParams& params, const PlannerOptions& options = {});
+
+/// Cache-aware Analysis Phase: enumerates reserving the fastest r devices of
+/// the SSD tier (tier 1) as a read cache, r = 0..cache.max_devices, as
+/// first-class candidates against striping over them.  Per r the remaining
+/// N - r SServers are re-optimized exactly as analyze() would (the region
+/// division is trace-only, so it is shared across the sweep), and the
+/// candidate's objective is the per-request model cost with each read costed
+/// at its region's expected-hit-rate mix of home layout and cache tier
+/// (expected_read_cost).  Per-region hit rates come from one deterministic
+/// replay of the trace, in time order, through a storage::CacheTier over
+/// logical file chunks — the same policy structure the runtime CacheManager
+/// drives.  Ties go to the smaller r, so when caching cannot help the result
+/// is bit-identical to analyze().
+Plan analyze_cached(std::span<const trace::TraceRecord> records,
+                    const CostParams& params, const CachePlannerOptions& cache,
+                    const PlannerOptions& options = {});
 
 /// File-level ablation: one region spanning the whole trace (heterogeneity-
 /// aware stripes but no region division).

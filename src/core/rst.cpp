@@ -150,6 +150,12 @@ RegionStripeTable RegionStripeTable::load(std::istream& is) {
 
 std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
     std::span<const std::size_t> tier_counts) const {
+  return to_layout(tier_counts, {});
+}
+
+std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
+    std::span<const std::size_t> tier_counts,
+    std::span<const std::size_t> reserved) const {
   if (entries_.empty()) throw std::logic_error("cannot build layout from empty RST");
   if (tier_counts.size() != num_tiers()) {
     throw std::invalid_argument("RST tier count does not match cluster tiers");
@@ -161,7 +167,8 @@ std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(
   }
   return std::make_shared<pfs::RegionLayout>(
       std::vector<std::size_t>(tier_counts.begin(), tier_counts.end()),
-      std::move(specs));
+      std::move(specs),
+      std::vector<std::size_t>(reserved.begin(), reserved.end()));
 }
 
 std::shared_ptr<pfs::RegionLayout> RegionStripeTable::to_layout(

@@ -90,6 +90,15 @@ class RegionStripeTable {
   std::shared_ptr<pfs::RegionLayout> to_layout(
       std::span<const std::size_t> tier_counts) const;
 
+  /// Reservation-aware conversion: tier j's first `reserved[j]` servers are
+  /// withheld from every region (the cache tier's device reservation); the
+  /// table's stripe/member columns then address the remaining servers.  Used
+  /// by plans whose Analysis Phase reserved the fastest devices as a read
+  /// cache (Plan::cache).
+  std::shared_ptr<pfs::RegionLayout> to_layout(
+      std::span<const std::size_t> tier_counts,
+      std::span<const std::size_t> reserved) const;
+
   /// Two-tier convenience: M HServers and N SServers.
   std::shared_ptr<pfs::RegionLayout> to_layout(std::size_t M, std::size_t N) const;
 

@@ -230,6 +230,30 @@ Seconds tiered_request_cost(const TieredCostParams& params, IoOp op,
   return tiered_request_cost_impl(params, op, offset, size, stripes, members);
 }
 
+Seconds cached_read_cost(const TieredCostParams& params,
+                         const CacheReadSpec& spec, Bytes offset, Bytes size) {
+  if (spec.devices == 0 || spec.chunk == 0) {
+    throw std::invalid_argument("cache spec needs devices and a chunk size");
+  }
+  // A hit is a one-tier layout: `devices` servers striped at `chunk`, read
+  // with the cache devices' profile.  Network terms come from the same
+  // calibration as the miss path, so hit and miss costs are comparable.
+  const std::size_t counts[1] = {spec.devices};
+  const Bytes stripes[1] = {spec.chunk};
+  const storage::OpProfile* profiles[1] = {&spec.profile};
+  TierGeometry scratch[1];
+  if (spec.worst_factor == 1.0) {
+    return tiered_cost_kernel(counts, profiles, params.t, params.net_latency,
+                              params.net_hops, params.per_stripe_overhead,
+                              offset, size, stripes, scratch);
+  }
+  const double factors[1] = {spec.worst_factor};
+  return tiered_cost_kernel_devices(counts, profiles, factors, params.t,
+                                    params.net_latency, params.net_hops,
+                                    params.per_stripe_overhead, offset, size,
+                                    stripes, scratch);
+}
+
 std::uint64_t params_fingerprint(const TieredCostParams& params) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
   auto mix = [&h](std::uint64_t v) {

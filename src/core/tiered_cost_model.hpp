@@ -130,6 +130,36 @@ Seconds tiered_request_cost(const TieredCostParams& params, IoOp op, Bytes offse
                             Bytes size, std::span<const Bytes> stripes,
                             std::span<const std::size_t> members);
 
+/// Geometry of the read-cache tier, for the expected-hit-rate cost term
+/// (HACache direction): the fastest `devices` members of one tier are
+/// reserved as a chunk-granular read cache, so a cache hit is served by
+/// chunk-wise round-robin striping over those devices instead of by the
+/// region's home-server layout.
+struct CacheReadSpec {
+  std::size_t devices = 0;     ///< reserved cache devices
+  Bytes chunk = 0;             ///< cache chunk size (the hit stripe unit)
+  storage::OpProfile profile;  ///< cache-device read alpha/beta
+  /// Worst (largest) speed factor among the reserved member prefix — the
+  /// slowest cache device dominates a multi-chunk hit, mirroring
+  /// tiered_cost_kernel_devices' conservative charging.
+  double worst_factor = 1.0;
+};
+
+/// Cost of serving read [offset, offset+size) entirely from the cache tier:
+/// the same kernel as a one-tier layout of `spec.devices` servers striped at
+/// `spec.chunk`, with network terms (t, latency, hops, per-stripe overhead)
+/// taken from `params`.  Requires devices > 0 and chunk > 0.
+Seconds cached_read_cost(const TieredCostParams& params,
+                         const CacheReadSpec& spec, Bytes offset, Bytes size);
+
+/// The expected-hit-rate term: a read's expected cost under a cache with
+/// per-region hit rate `hit_rate` is the convex mix of its miss path (the
+/// region's home layout) and its hit path (the cache tier).
+inline Seconds expected_read_cost(Seconds miss_cost, Seconds hit_cost,
+                                  double hit_rate) {
+  return (1.0 - hit_rate) * miss_cost + hit_rate * hit_cost;
+}
+
 /// Order-independent fingerprint of the calibration (FNV-1a over the tier
 /// counts and every parameter double's bit pattern; for a heterogeneous
 /// tier also its device-factor vector).  Stored in Plan artifacts so the

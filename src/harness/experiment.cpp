@@ -130,6 +130,35 @@ void record_plan_metrics(obs::MetricsRegistry& metrics,
               no_labels, plan.total_model_cost());
 }
 
+/// Lands the measured run's read-cache counters in the metrics registry
+/// (cache.* families) so metrics-out= carries the hit/miss/fill/evict story
+/// next to the server and planner metrics.  obs_report.py --check validates
+/// the reconciliation invariants over exactly these families.
+void record_cache_metrics(obs::MetricsRegistry& metrics,
+                          const pfs::CacheManager::Stats& stats) {
+  using Kind = obs::MetricsRegistry::Kind;
+  const auto no_labels = obs::LabelSet{};
+  const auto add = [&](const char* name, std::uint64_t value) {
+    metrics.add(metrics.family(name, Kind::kCounter), no_labels,
+                static_cast<double>(value));
+  };
+  add("cache.lookups", stats.tier.lookups);
+  add("cache.hits", stats.tier.hits);
+  add("cache.misses", stats.tier.misses);
+  add("cache.admissions", stats.tier.admissions);
+  add("cache.evictions", stats.tier.evictions);
+  add("cache.invalidations", stats.tier.invalidations);
+  add("cache.fills_completed", stats.tier.fills_completed);
+  add("cache.fills_discarded", stats.tier.fills_discarded);
+  add("cache.hit_bytes", stats.hit_read_bytes);
+  add("cache.miss_bytes", stats.miss_read_bytes);
+  add("cache.fill_bytes", stats.fill_bytes);
+  add("cache.resplits", stats.resplits);
+  add("cache.clears", stats.clears);
+  metrics.set(metrics.family("cache.active_devices", Kind::kGauge), no_labels,
+              static_cast<double>(stats.active_devices));
+}
+
 }  // namespace
 
 WorkloadBundle ior_bundle(const workloads::IorConfig& config) {
@@ -145,6 +174,15 @@ WorkloadBundle ior_bundle(const workloads::IorConfig& config) {
   workloads::IorConfig read_cfg = config;
   read_cfg.op = IoOp::kRead;
   bundle.read_programs = workloads::make_ior_programs(read_cfg);
+  return bundle;
+}
+
+WorkloadBundle zipf_bundle(const workloads::ZipfConfig& config) {
+  WorkloadBundle bundle;
+  bundle.name = "zipf.dat";
+  bundle.processes = config.processes;
+  bundle.write_programs = workloads::make_zipf_write_programs(config);
+  bundle.read_programs = workloads::make_zipf_read_programs(config);
   return bundle;
 }
 
@@ -219,9 +257,16 @@ SchemeResult Experiment::run_with_trace(
   SchemeResult result;
   result.label = scheme.label();
   core::Plan plan;
+  core::CachePlannerOptions cache_planner;
+  if (options_.cache.enabled() && !options_.cache.blind) {
+    cache_planner.budget = options_.cache.budget;
+    cache_planner.chunk = options_.cache.chunk;
+    cache_planner.max_devices = options_.cache.devices;
+    cache_planner.policy = options_.cache.policy;
+  }
   auto layout =
       build_layout(scheme, options_.cluster, trace_records, cost_params(),
-                   options_.planner, &plan);
+                   options_.planner, &plan, cache_planner);
   result.layout_description = layout->describe();
   if (scheme.produces_plan()) {
     result.region_count = plan.rst.size();
@@ -250,9 +295,28 @@ SchemeResult Experiment::run_with_trace(
     pdes_rt->sequencer().set_target(tail);
     tail = &pdes_rt->sequencer();
   }
+  // Devices the measured run's cache covers: the plan's reservation when the
+  // Analysis Phase was cache-aware, the configured count for blind and
+  // non-plan schemes (see ExperimentOptions::cache).
+  std::size_t cache_devices = 0;
+  if (options_.cache.enabled()) {
+    if (result.plan && result.plan->cache) {
+      cache_devices = result.plan->cache->devices;
+    } else if (options_.cache.blind || !scheme.produces_plan()) {
+      cache_devices = options_.cache.devices;
+    }
+  }
   if (adaptive) {
+    mw::AdaptiveOptions adaptive_options = options_.adaptive;
+    if (result.plan->cache) {
+      // Every epoch inherits the offline reservation; window re-optimization
+      // plans over the unreserved fleet.
+      adaptive_options.reserved =
+          std::vector<std::size_t>{0, result.plan->cache->devices};
+      adaptive_options.cache_spec = result.plan->cache;
+    }
     manager = std::make_unique<mw::AdaptiveLayoutManager>(
-        cost_params(), result.plan->rst, options_.adaptive, tail);
+        cost_params(), result.plan->rst, std::move(adaptive_options), tail);
     sim.set_observer(manager.get());
   } else if (tail != nullptr) {
     sim.set_observer(tail);
@@ -260,6 +324,23 @@ SchemeResult Experiment::run_with_trace(
   pfs::Cluster cluster(sim, options_.cluster);
   if (pdes_rt != nullptr) cluster.attach_pdes(*pdes_rt);
   if (adaptive) layout = manager->install(cluster, bundle.name);
+  std::unique_ptr<pfs::CacheManager> cache_manager;
+  if (cache_devices > 0) {
+    pfs::CacheManager::Config cache_config;
+    cache_config.budget = options_.cache.budget;
+    cache_config.chunk = options_.cache.chunk;
+    cache_config.devices = cache_devices;
+    cache_config.policy = options_.cache.policy;
+    cache_config.blind = options_.cache.blind;
+    cache_manager = std::make_unique<pfs::CacheManager>(cluster, cache_config);
+    for (std::size_t i = 0; i < cluster.num_clients(); ++i) {
+      cluster.client(i).set_cache(cache_manager.get());
+    }
+    if (manager != nullptr) {
+      manager->set_epoch_hook(
+          [cache = cache_manager.get()](std::uint32_t) { cache->on_epoch(); });
+    }
+  }
   if (result.obs) {
     result.obs->set_predictor(
         make_predictor(layout, core::to_tiered(cost_params())));
@@ -302,6 +383,13 @@ SchemeResult Experiment::run_with_trace(
     result.plan = manager->latest_plan();
     result.region_count = result.plan->rst.size();
     if (result.obs) result.obs->metrics().merge(manager->metrics());
+  }
+
+  if (cache_manager != nullptr) {
+    result.cache = cache_manager->stats();
+    if (result.obs) {
+      record_cache_metrics(result.obs->metrics(), *result.cache);
+    }
   }
 
   result.server_io_time.reserve(cluster.num_servers());

@@ -20,11 +20,13 @@
 #include "src/harness/scheme.hpp"
 #include "src/middleware/adaptive.hpp"
 #include "src/middleware/program.hpp"
+#include "src/pfs/cache_manager.hpp"
 #include "src/middleware/runner.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/workloads/btio.hpp"
 #include "src/workloads/ior.hpp"
 #include "src/workloads/multiregion.hpp"
+#include "src/workloads/zipf.hpp"
 
 namespace harl::harness {
 
@@ -42,6 +44,10 @@ WorkloadBundle ior_bundle(const workloads::IorConfig& config);
 
 /// Four-region non-uniform IOR variant: write pass + read pass.
 WorkloadBundle multiregion_bundle(const workloads::MultiRegionConfig& config);
+
+/// Skewed re-read workload: sequential seeding write pass + Zipf-distributed
+/// read phases over the whole file (the cache-tier stressor).
+WorkloadBundle zipf_bundle(const workloads::ZipfConfig& config);
 
 /// BTIO: one mixed run (interleaved compute, collective writes, read-back).
 WorkloadBundle btio_bundle(const workloads::BtioConfig& config);
@@ -68,6 +74,8 @@ struct SchemeResult {
   /// the measured run.  `plan` then holds the *latest* epoch's RST, so a
   /// saved artifact resumes from where adaptation ended.
   std::optional<mw::AdaptiveLayoutManager::Summary> adaptive;
+  /// Read-cache counters of the measured run (cache-enabled runs only).
+  std::optional<pfs::CacheManager::Stats> cache;
   /// Event-engine counters of the measured run (harl_sim stats=1).
   sim::Simulator::Stats sim_stats;
   /// Flight recorder of the measured run (ExperimentOptions::observe only):
@@ -97,6 +105,26 @@ struct ExperimentOptions {
   /// Tuning for the harl-adaptive scheme: advisor window/min_gain/planner
   /// plus the migration throttle.  Ignored by every other scheme.
   mw::AdaptiveOptions adaptive;
+  /// Heterogeneity-aware read cache (HACache direction).  budget > 0 and
+  /// devices > 0 arm a pfs::CacheManager over the fastest SSD devices of the
+  /// measured run.  Cache-aware mode (blind == false): the HARL schemes run
+  /// core::analyze_cached, and the runtime cache uses exactly the plan's
+  /// winning reservation — which may be *no* reservation, in which case the
+  /// run is cache-less (the model said striping wins); non-HARL plan schemes
+  /// stay cache-less too.  Blind mode (blind == true): the planner is left
+  /// untouched and the cache runs over the configured devices while regions
+  /// still stripe across them — the bolted-on ablation arm.  Non-plan
+  /// schemes (fixed/random) also take the configured devices.
+  struct CacheOptions {
+    Bytes budget = 0;
+    Bytes chunk = MiB;
+    std::size_t devices = 0;
+    storage::CachePolicy policy = storage::CachePolicy::kLru;
+    bool blind = false;
+
+    bool enabled() const { return budget > 0 && devices > 0; }
+  };
+  CacheOptions cache;
   /// Worker threads for the event engine of each simulated run (tracing and
   /// measured): 0 = the sequential engine, >= 1 = the conservative PDES
   /// runtime (src/sim/pdes.hpp) at that width.  Every output — metrics,

@@ -125,9 +125,21 @@ std::shared_ptr<const pfs::Layout> build_layout(
     const LayoutScheme& scheme, const pfs::ClusterConfig& cluster,
     std::span<const trace::TraceRecord> trace_records,
     const core::CostParams& params,
-    const core::PlannerOptions& planner_options, core::Plan* plan_out) {
+    const core::PlannerOptions& planner_options, core::Plan* plan_out,
+    const core::CachePlannerOptions& cache_options) {
   const std::size_t M = cluster.num_hservers;
   const std::size_t N = cluster.num_sservers;
+
+  // A plan whose Analysis Phase reserved cache devices installs with those
+  // devices withheld from every region (the cache-less path is untouched:
+  // no reservation means the exact pre-cache to_layout call).
+  const auto place = [&](const core::Plan& plan) {
+    if (!plan.cache.has_value()) return plan.rst.to_layout(M, N);
+    const std::vector<std::size_t> counts = {M, N};
+    std::vector<std::size_t> reserved(counts.size(), 0);
+    reserved[plan.cache->tier] = plan.cache->devices;
+    return plan.rst.to_layout(counts, reserved);
+  };
 
   switch (scheme.kind) {
     case SchemeKind::kFixed:
@@ -160,7 +172,10 @@ std::shared_ptr<const pfs::Layout> build_layout(
       core::Plan plan;
       if (scheme.kind == SchemeKind::kHarl ||
           scheme.kind == SchemeKind::kHarlAdaptive) {
-        plan = core::analyze(trace_records, params, planner_options);
+        plan = cache_options.enabled()
+                   ? core::analyze_cached(trace_records, params, cache_options,
+                                          planner_options)
+                   : core::analyze(trace_records, params, planner_options);
       } else if (scheme.kind == SchemeKind::kHarlSpaceBounded) {
         core::PlannerOptions bounded = planner_options;
         bounded.optimizer.max_sserver_share = scheme.max_sserver_share;
@@ -174,7 +189,7 @@ std::shared_ptr<const pfs::Layout> build_layout(
         plan = core::analyze_segment_level(trace_records, params,
                                            planner_options);
       }
-      auto layout = plan.rst.to_layout(M, N);
+      auto layout = place(plan);
       if (plan_out != nullptr) *plan_out = std::move(plan);
       return layout;
     }
@@ -204,17 +219,16 @@ std::shared_ptr<const pfs::Layout> build_layout(
             "fleet: " +
             scheme.plan_file);
       }
-      auto layout = artifact.rst.to_layout(counts);
-      if (plan_out != nullptr) {
-        core::Plan plan;
-        plan.tier_counts = artifact.tier_counts;
-        plan.device_factors = artifact.device_factors;
-        plan.calibration_fingerprint = artifact.calibration_fingerprint;
-        plan.regions_before_merge = artifact.rst.size();
-        plan.regions_after_merge = artifact.rst.size();
-        plan.rst = std::move(artifact.rst);
-        *plan_out = std::move(plan);
-      }
+      core::Plan plan;
+      plan.tier_counts = artifact.tier_counts;
+      plan.device_factors = artifact.device_factors;
+      plan.calibration_fingerprint = artifact.calibration_fingerprint;
+      plan.regions_before_merge = artifact.rst.size();
+      plan.regions_after_merge = artifact.rst.size();
+      plan.cache = artifact.cache;
+      plan.rst = std::move(artifact.rst);
+      auto layout = place(plan);
+      if (plan_out != nullptr) *plan_out = std::move(plan);
       return layout;
     }
   }

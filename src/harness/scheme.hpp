@@ -84,11 +84,16 @@ struct LayoutScheme {
 /// Materializes a scheme into a concrete layout for `cluster`.  For
 /// analysis-based schemes, `trace` (the first-execution trace) and `params`
 /// (calibrated model) drive the planner; `plan_out` (optional) receives the
-/// plan for diagnostics.
+/// plan for diagnostics.  With `cache_options` enabled, the HARL schemes
+/// (kHarl / kHarlAdaptive) run the cache-aware Analysis Phase
+/// (core::analyze_cached); a winning reservation shows up as plan.cache and
+/// the returned layout withholds those devices from every region.  Loaded
+/// plan artifacts honour their own embedded cache section instead.
 std::shared_ptr<const pfs::Layout> build_layout(
     const LayoutScheme& scheme, const pfs::ClusterConfig& cluster,
     std::span<const trace::TraceRecord> trace_records,
     const core::CostParams& params, const core::PlannerOptions& planner_options,
-    core::Plan* plan_out = nullptr);
+    core::Plan* plan_out = nullptr,
+    const core::CachePlannerOptions& cache_options = {});
 
 }  // namespace harl::harness

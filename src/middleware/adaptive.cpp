@@ -5,6 +5,7 @@
 
 #include "src/core/cost_model.hpp"
 #include "src/middleware/harl_driver.hpp"
+#include "src/storage/profiles.hpp"
 #include "src/middleware/r2f.hpp"
 #include "src/pfs/layout.hpp"
 
@@ -19,6 +20,27 @@ std::vector<pfs::DataServer*> server_ptrs(pfs::Cluster& cluster) {
     servers.push_back(&cluster.server(i));
   }
   return servers;
+}
+
+/// The advisor's view of the fleet under a cache reservation: the reserved
+/// SSD-tier prefix belongs to the CacheManager, so per-window re-optimization
+/// plans over the remaining servers (mirroring analyze_cached's reduced
+/// sweep).  Without a reservation this is the identity.
+core::CostParams advisor_params(core::CostParams params,
+                                const std::vector<std::size_t>& reserved) {
+  const std::size_t r = reserved.size() > 1 ? reserved[1] : 0;
+  if (r == 0) return params;
+  if (r >= params.N) {
+    throw std::invalid_argument("cache reservation consumes every SServer");
+  }
+  params.N -= r;
+  if (!params.sserver_factors.empty()) {
+    params.sserver_factors.erase(
+        params.sserver_factors.begin(),
+        params.sserver_factors.begin() + static_cast<std::ptrdiff_t>(r));
+    storage::canonicalize_device_factors(params.sserver_factors);
+  }
+  return params;
 }
 
 }  // namespace
@@ -118,7 +140,8 @@ AdaptiveLayoutManager::AdaptiveLayoutManager(core::CostParams params,
     : params_(std::move(params)),
       options_(std::move(options)),
       downstream_(downstream),
-      advisor_(params_, std::move(epoch0), options_.advisor) {
+      advisor_(advisor_params(params_, options_.reserved), std::move(epoch0),
+               options_.advisor) {
   if (options_.max_epochs == 0) {
     throw std::invalid_argument("max_epochs must be >= 1");
   }
@@ -144,13 +167,15 @@ std::shared_ptr<const pfs::Layout> AdaptiveLayoutManager::install(
   logical_name_ = logical_name;
   const core::RegionStripeTable& rst = advisor_.current();
   tier_counts_ = HarlDriver::tier_counts_for(rst, cluster);
-  epoched_ = std::make_shared<pfs::EpochedLayout>(rst.to_layout(tier_counts_));
+  epoched_ = std::make_shared<pfs::EpochedLayout>(
+      rst.to_layout(tier_counts_, options_.reserved));
   cluster.mds().register_file(logical_name, epoched_);
   const auto r2f = RegionFileMap::for_epoch(logical_name, 0, rst.size());
   for (std::size_t i = 0; i < rst.size(); ++i) {
     cluster.mds().register_file(
         r2f.physical(i),
-        pfs::make_tiered_layout(tier_counts_, rst.entry(i).stripes));
+        pfs::make_tiered_layout(tier_counts_, rst.entry(i).stripes, {},
+                                options_.reserved));
   }
   migration_ = std::make_unique<MigrationEngine>(cluster, epoched_);
   migration_->set_chunk_hook([this](std::uint32_t epoch, Bytes bytes,
@@ -309,13 +334,14 @@ void AdaptiveLayoutManager::handle(
     return;
   }
   advisor_.adopt(rec);
-  const std::uint32_t epoch =
-      epoched_->add_epoch(rec.rst.to_layout(tier_counts_));
+  const std::uint32_t epoch = epoched_->add_epoch(
+      rec.rst.to_layout(tier_counts_, options_.reserved));
   const auto r2f = RegionFileMap::for_epoch(logical_name_, epoch, rec.rst.size());
   for (std::size_t i = 0; i < rec.rst.size(); ++i) {
     cluster_->mds().register_file(
         r2f.physical(i),
-        pfs::make_tiered_layout(tier_counts_, rec.rst.entry(i).stripes));
+        pfs::make_tiered_layout(tier_counts_, rec.rst.entry(i).stripes, {},
+                                options_.reserved));
   }
   ++epochs_installed_;
   metrics_.add(m_epochs_, obs::LabelSet{}.region(epoch), 1.0);
@@ -329,6 +355,7 @@ void AdaptiveLayoutManager::handle(
                       adaptive_event(AdaptiveEvent::kMigrationFinished, epoch,
                                      moved, cluster_->simulator().now());
                     });
+  if (epoch_hook_) epoch_hook_(epoch);
 }
 
 // --- results -----------------------------------------------------------------
@@ -356,6 +383,7 @@ core::Plan AdaptiveLayoutManager::latest_plan() const {
   plan.calibration_fingerprint = core::params_fingerprint(params_);
   plan.regions_before_merge = plan.rst.size();
   plan.regions_after_merge = plan.rst.size();
+  plan.cache = options_.cache_spec;
   return plan;
 }
 

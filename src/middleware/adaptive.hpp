@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -53,6 +54,15 @@ struct AdaptiveOptions {
   /// Upper bound on stacked epochs (EpochedLayout's object partition allows
   /// kObjectsPerEpoch regions each); further recommendations are deferred.
   std::size_t max_epochs = 16;
+  /// Per-tier cache-device reservation (Plan::cache of a cache-aware offline
+  /// analysis): tier j's first reserved[j] servers are withheld from every
+  /// epoch's region layout, and the advisor re-optimizes windows against the
+  /// unreserved fleet so recommendations stay consistent with epoch 0.
+  /// Empty = no reservation (the pre-cache behaviour, bit for bit).
+  std::vector<std::size_t> reserved;
+  /// Cache spec carried into latest_plan() so an artifact saved after an
+  /// adaptive run resumes with the same reservation.
+  std::optional<core::PlanCacheSpec> cache_spec;
 };
 
 /// Background copier for one adopted recommendation.  Owns a private PFS
@@ -176,6 +186,13 @@ class AdaptiveLayoutManager final : public obs::Sink {
   /// after the run, e.g. recorder.metrics().merge(manager.metrics()).
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Epoch-adoption hook, fired (with the new epoch id) right after a
+  /// recommendation is installed and its migration armed.  The experiment
+  /// runner points it at pfs::CacheManager::on_epoch so the read cache drops
+  /// its stale directory and re-splits its budget at every epoch boundary.
+  using EpochHook = std::function<void(std::uint32_t)>;
+  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
  private:
   void feed(std::uint32_t client, IoOp op, Bytes offset, Bytes size,
             Seconds issue, Seconds now);
@@ -205,6 +222,7 @@ class AdaptiveLayoutManager final : public obs::Sink {
   std::vector<PendingReq> reqs_;
   std::vector<std::uint32_t> req_free_;
 
+  EpochHook epoch_hook_;
   std::uint64_t last_cost_evals_ = 0;
   std::uint64_t last_cost_evals_saved_ = 0;
   std::size_t epochs_installed_ = 0;

@@ -138,6 +138,17 @@ void Network::transfer(std::size_t client, std::size_t server, Bytes size,
   two_hop(src, dst, wire_time(size), std::move(on_done));
 }
 
+void Network::push_transfer(std::size_t client, std::size_t server, Bytes size,
+                            sim::InlineTask on_done) {
+  if (pdes_) {
+    two_hop_pdes(client_link(client), server_link(server), wire_time(size),
+                 sim::pdes::kAppLp, std::move(on_done));
+    return;
+  }
+  two_hop(client_link(client), server_link(server), wire_time(size),
+          std::move(on_done));
+}
+
 void Network::client_transfer(std::size_t from, std::size_t to, Bytes size,
                               sim::InlineTask on_done) {
   if (from == to) {

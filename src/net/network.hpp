@@ -48,6 +48,17 @@ class Network {
   void client_transfer(std::size_t from, std::size_t to, Bytes size,
                        sim::InlineTask on_done);
 
+  /// Client-to-server transfer whose completion runs with client-side logic
+  /// (under PDES: on the app LP, not the destination server's LP).  For
+  /// client-driven background pushes — cache fills — where the completion
+  /// submits device work: issuing that submit from the app LP makes
+  /// same-time arrivals at the device sort in client dispatch order, which
+  /// is exactly the order the sequential engine produces when it runs the
+  /// completion synchronously inside a client-side dispatch.  Sequentially
+  /// this is identical to transfer(kClientToServer).
+  void push_transfer(std::size_t client, std::size_t server, Bytes size,
+                     sim::InlineTask on_done);
+
   const NetworkParams& params() const { return params_; }
   std::size_t num_clients() const { return client_links_.size(); }
   std::size_t num_servers() const { return server_links_.size(); }

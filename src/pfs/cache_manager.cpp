@@ -1,0 +1,290 @@
+#include "src/pfs/cache_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/net/network.hpp"
+#include "src/pfs/data_server.hpp"
+#include "src/sim/resource.hpp"
+
+namespace harl::pfs {
+
+CacheManager::CacheManager(Cluster& cluster, Config config)
+    : cluster_(cluster),
+      sim_(cluster.simulator()),
+      config_(config),
+      tier_(storage::CacheTier::Config{config.budget, config.chunk,
+                                       config.policy}) {
+  if (config_.devices == 0 || tier_.slots() == 0) {
+    // Disabled manager: enabled() is false and every hook no-ops, so hook
+    // sites need no null checks beyond the pointer itself.
+    return;
+  }
+  if (config_.tier >= cluster_.num_tiers()) {
+    throw std::invalid_argument("cache tier out of range for cluster");
+  }
+  if (config_.devices > cluster_.tier_counts()[config_.tier]) {
+    throw std::invalid_argument("cache devices exceed tier size");
+  }
+  cache_base_ = cluster_.tier_begin(config_.tier);
+  active_devices_ = config_.devices;
+  reset_slots();
+}
+
+CacheManager::Stats CacheManager::stats() const {
+  Stats stats;
+  stats.tier = tier_.stats();
+  stats.hit_read_bytes = hit_read_bytes_;
+  stats.miss_read_bytes = miss_read_bytes_;
+  stats.fill_bytes = fill_bytes_;
+  stats.active_devices = active_devices_;
+  stats.resplits = resplits_;
+  stats.clears = clears_;
+  return stats;
+}
+
+void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
+                              Bytes offset, Bytes size,
+                              const std::shared_ptr<sim::JoinCounter>& join,
+                              obs::Sink* obs, std::uint32_t obs_req) {
+  // Walk the file range chunk by chunk, coalescing adjacent resident chunks
+  // into cache-device reads and adjacent non-resident chunks into *miss
+  // runs* that map through the home layout as one striped read.  Missed
+  // chunks are admitted here, at issue time on the app LP; their fills
+  // launch once the owning miss run's data has reached the client, each
+  // re-reading the full chunk from its home servers (read-around — the
+  // mapping is captured now, so the fill is independent of the layout's
+  // lifetime).
+  const Bytes chunk = config_.chunk;
+  const Bytes end = offset + size;
+
+  struct HitPiece {
+    std::size_t device = 0;
+    Bytes address = 0;
+    Bytes size = 0;
+  };
+  struct MissRun {
+    Bytes begin = 0;
+    Bytes end = 0;
+    std::vector<Fill> fills;  ///< launched when this run reaches the client
+  };
+  std::vector<HitPiece> hits;
+  std::vector<MissRun> runs;
+  bool run_open = false;
+
+  for (Bytes c = offset / chunk; c <= (end - 1) / chunk; ++c) {
+    const Bytes chunk_begin = c * chunk;
+    const Bytes span_begin = std::max(offset, chunk_begin);
+    const Bytes span_end = std::min(end, chunk_begin + chunk);
+    const auto state = tier_.lookup(c);
+    if (state == storage::CacheTier::State::kResident) {
+      run_open = false;
+      const SlotInfo& info = slots_.at(c);
+      hit_read_bytes_ += span_end - span_begin;
+      hits.push_back({slot_device(info.slot),
+                      slot_address(info.slot) + (span_begin - chunk_begin),
+                      span_end - span_begin});
+    } else {
+      miss_read_bytes_ += span_end - span_begin;
+      if (!run_open) {
+        run_open = true;
+        runs.push_back({span_begin, span_end, {}});
+      } else {
+        runs.back().end = span_end;
+      }
+      if (state == storage::CacheTier::State::kAbsent) {
+        evicted_scratch_.clear();
+        if (tier_.admit(c, evicted_scratch_)) {
+          for (const std::uint64_t victim : evicted_scratch_) {
+            free_slot(victim);
+          }
+          const std::uint32_t slot = free_slots_.back();
+          free_slots_.pop_back();
+          const std::uint64_t seq = ++fill_seq_;
+          slots_[c] = SlotInfo{slot, seq};
+          runs.back().fills.push_back(
+              Fill{c, seq, slot, layout.map(chunk_begin, chunk)});
+        }
+      }
+    }
+  }
+
+  // The foreground request completes when every hit piece and every miss
+  // run's mapped sub-request has reached the client.
+  auto inner = std::make_shared<sim::JoinCounter>(hits.size() + runs.size(),
+                                                  [join] { join->done(); });
+  for (const HitPiece& hit : hits) {
+    const std::uint32_t osub =
+        obs != nullptr ? obs->begin_sub(obs_req, hit.device, kCacheObject,
+                                        hit.size, sim_.now())
+                       : obs::kNoId;
+    DataServer& device = cluster_.server(hit.device);
+    const std::size_t device_idx = hit.device;
+    const Bytes bytes = hit.size;
+    device.submit(
+        IoOp::kRead, kCacheObject, hit.address, bytes, 1,
+        [this, client_id, device_idx, bytes, osub, inner] {
+          cluster_.network().transfer(
+              client_id, device_idx, bytes, net::Direction::kServerToClient,
+              [this, osub, inner] {
+                if (osub != obs::kNoId) {
+                  sim_.observer()->sub_net_done(osub, sim_.now());
+                }
+                inner->done();
+              });
+        },
+        osub);
+  }
+  for (MissRun& run : runs) {
+    auto subs = layout.map(run.begin, run.end - run.begin);
+    if (subs.empty()) throw std::logic_error("layout mapped run to nothing");
+    // The run's fills launch once all of its home sub-requests have landed;
+    // the data the client forwards is then in hand.
+    auto run_join = std::make_shared<sim::JoinCounter>(
+        subs.size(),
+        [this, client_id, inner, fills = std::move(run.fills)]() mutable {
+          for (const Fill& fill : fills) issue_fill(client_id, fill);
+          inner->done();
+        });
+    for (const SubRequest& sub : subs) {
+      const std::uint32_t osub =
+          obs != nullptr ? obs->begin_sub(obs_req, sub.server, sub.object,
+                                          sub.size, sim_.now())
+                         : obs::kNoId;
+      DataServer& server = cluster_.server(sub.server);
+      const std::size_t server_idx = sub.server;
+      const Bytes bytes = sub.size;
+      server.submit(
+          IoOp::kRead, sub.object, sub.server_offset, bytes, sub.pieces,
+          [this, client_id, server_idx, bytes, osub, run_join] {
+            cluster_.network().transfer(
+                client_id, server_idx, bytes, net::Direction::kServerToClient,
+                [this, osub, run_join] {
+                  if (osub != obs::kNoId) {
+                    sim_.observer()->sub_net_done(osub, sim_.now());
+                  }
+                  run_join->done();
+                });
+          },
+          osub);
+    }
+  }
+}
+
+void CacheManager::issue_fill(std::size_t client_id, const Fill& fill) {
+  // The admission may have been superseded (write-invalidate, a re-split
+  // clear, even a re-admission) while the miss run was in flight; a stale
+  // fill is discarded before it touches the network.
+  const auto it = slots_.find(fill.key);
+  if (it == slots_.end() || it->second.seq != fill.seq) {
+    tier_.discard_fill();
+    return;
+  }
+  // Read-around promotion: the full chunk is read from its home servers
+  // (captured mapping), shipped to the client, and forwarded to the cache
+  // device — honest legs that queue behind and interfere with foreground
+  // traffic.
+  fill_bytes_ += config_.chunk;
+  const std::size_t device_idx = slot_device(fill.slot);
+  const Bytes address = slot_address(fill.slot);
+  const Bytes chunk = config_.chunk;
+  auto forward = std::make_shared<sim::JoinCounter>(
+      fill.subs.size(),
+      [this, client_id, device_idx, address, chunk, key = fill.key,
+       seq = fill.seq] {
+        // push_transfer lands the completion with client-side logic, so the
+        // device write below is issued from the app LP like every hit read
+        // and foreground sub: same-time arrivals at the cache device then
+        // sort in client dispatch order under PDES, exactly as the
+        // sequential engine orders them.
+        cluster_.network().push_transfer(
+            client_id, device_idx, chunk,
+            [this, device_idx, address, chunk, key, seq] {
+              cluster_.server(device_idx)
+                  .submit(IoOp::kWrite, kCacheObject, address, chunk, 1,
+                          [this, key, seq] { fill_landed(key, seq); });
+            });
+      });
+  for (const SubRequest& sub : fill.subs) {
+    DataServer& server = cluster_.server(sub.server);
+    const std::size_t server_idx = sub.server;
+    const Bytes bytes = sub.size;
+    server.submit(IoOp::kRead, sub.object, sub.server_offset, bytes,
+                  sub.pieces, [this, client_id, server_idx, bytes, forward] {
+                    cluster_.network().transfer(
+                        client_id, server_idx, bytes,
+                        net::Direction::kServerToClient,
+                        [forward] { forward->done(); });
+                  });
+  }
+}
+
+void CacheManager::fill_landed(std::uint64_t key, std::uint64_t seq) {
+  const auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.seq != seq) {
+    // Invalidated (and possibly re-admitted with a fresh fill) after launch.
+    tier_.discard_fill();
+    return;
+  }
+  tier_.fill_complete(key);
+}
+
+void CacheManager::invalidate(Bytes offset, Bytes size) {
+  if (!enabled() || size == 0) return;
+  const Bytes chunk = config_.chunk;
+  const Bytes end = offset + size;
+  for (Bytes c = offset / chunk; c <= (end - 1) / chunk; ++c) {
+    if (tier_.invalidate(c)) free_slot(c);
+  }
+}
+
+void CacheManager::clear() {
+  tier_.clear();
+  reset_slots();
+  ++clears_;
+}
+
+void CacheManager::set_active_devices(std::size_t devices) {
+  devices = std::min(devices, config_.devices);
+  if (devices == active_devices_) return;
+  // Changing the spread re-maps every slot -> (device, address) pair, so
+  // resident data is unreachable at its old coordinates; drop everything.
+  active_devices_ = devices;
+  clear();
+  ++resplits_;
+}
+
+void CacheManager::on_epoch() {
+  if (config_.devices == 0 || tier_.slots() == 0) return;
+  // Spread proportional to utilization, floor one device, ceiling the full
+  // reservation.  Cached file chunks survive an epoch swap (migration moves
+  // home placement, not file contents), so an unchanged spread keeps the
+  // directory warm.
+  const double utilization = static_cast<double>(tier_.resident()) /
+                             static_cast<double>(tier_.slots());
+  const double scaled =
+      static_cast<double>(config_.devices) * std::min(1.0, 2.0 * utilization);
+  const std::size_t target = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::ceil(scaled)), 1, config_.devices);
+  set_active_devices(target);
+}
+
+void CacheManager::free_slot(std::uint64_t key) {
+  const auto it = slots_.find(key);
+  if (it == slots_.end()) return;
+  free_slots_.push_back(it->second.slot);
+  slots_.erase(it);
+}
+
+void CacheManager::reset_slots() {
+  slots_.clear();
+  free_slots_.clear();
+  free_slots_.reserve(tier_.slots());
+  for (std::size_t i = tier_.slots(); i-- > 0;) {
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace harl::pfs

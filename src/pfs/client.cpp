@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/pfs/cache_manager.hpp"
+
 namespace harl::pfs {
 
 Client::Client(sim::Simulator& sim, net::Network& network,
@@ -29,6 +31,17 @@ void Client::io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
       [[unlikely]] {
     io_observed(*obs, layout, op, offset, size, std::move(on_complete));
     return;
+  }
+  if (cache_ != nullptr && cache_->enabled()) [[unlikely]] {
+    // The cache fronts the whole file request: hits read from the cache
+    // devices, miss runs map through the layout inside the manager.
+    if (op == IoOp::kRead) {
+      auto join =
+          std::make_shared<sim::JoinCounter>(1, std::move(on_complete));
+      cache_->issue_read(id_, layout, offset, size, join);
+      return;
+    }
+    cache_->invalidate(offset, size);
   }
   auto subs = layout.map(offset, size);
   if (subs.empty()) throw std::logic_error("layout mapped request to nothing");
@@ -90,6 +103,22 @@ void Client::io_observed(obs::Sink& obs, const Layout& layout, IoOp op,
   // Cold mirror of io()/issue_read()/issue_write(): same data path, plus
   // request/sub-request attribution hooks.  The extra captures may spill
   // some lambdas past InlineTask's in-place buffer; only enabled runs pay.
+  const bool cached = cache_ != nullptr && cache_->enabled();
+  if (cached && op == IoOp::kRead) {
+    // The cache splits the request into per-piece sub attributions (hit
+    // spans on cache devices, miss runs on the home servers), so only the
+    // request-level bracket lives here.
+    const std::uint32_t req = obs.begin_request(
+        static_cast<std::uint32_t>(id_), op, offset, size, sim_.now());
+    auto join = std::make_shared<sim::JoinCounter>(
+        1, [this, req, done = std::move(on_complete)]() mutable {
+          sim_.observer()->end_request(req, sim_.now());
+          done();
+        });
+    cache_->issue_read(id_, layout, offset, size, join, &obs, req);
+    return;
+  }
+  if (cached) cache_->invalidate(offset, size);
   auto subs = layout.map(offset, size);
   if (subs.empty()) throw std::logic_error("layout mapped request to nothing");
   const std::uint32_t req = obs.begin_request(static_cast<std::uint32_t>(id_),

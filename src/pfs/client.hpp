@@ -20,6 +20,8 @@
 
 namespace harl::pfs {
 
+class CacheManager;
+
 class Client {
  public:
   /// `servers` must outlive the client; `id` indexes the client's NIC link
@@ -38,6 +40,11 @@ class Client {
   /// cold `io_observed` path.  Call once, before any traffic.
   void attach_observer();
 
+  /// Routes reads homed on cache-fronted servers through `cache` (and
+  /// write-invalidates through it); nullptr restores the direct path.  The
+  /// manager must outlive the client.
+  void set_cache(CacheManager* cache) { cache_ = cache; }
+
   std::size_t id() const { return id_; }
   std::uint64_t requests_issued() const { return requests_issued_; }
 
@@ -55,6 +62,7 @@ class Client {
   std::size_t id_;
   std::uint64_t requests_issued_ = 0;
   bool observed_ = false;
+  CacheManager* cache_ = nullptr;
 };
 
 }  // namespace harl::pfs

@@ -168,4 +168,30 @@ std::shared_ptr<VariedStripeLayout> make_tiered_layout(
   return std::make_shared<VariedStripeLayout>(std::move(per_server));
 }
 
+std::shared_ptr<VariedStripeLayout> make_tiered_layout(
+    const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes,
+    const std::vector<std::size_t>& members,
+    const std::vector<std::size_t>& reserved) {
+  if (reserved.empty()) return make_tiered_layout(counts, stripes, members);
+  if (counts.size() != stripes.size() || counts.size() != reserved.size() ||
+      (!members.empty() && members.size() != counts.size())) {
+    throw std::invalid_argument("counts/stripes/members/reserved size mismatch");
+  }
+  std::vector<Bytes> per_server;
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    if (reserved[j] > counts[j]) {
+      throw std::invalid_argument("reservation exceeds tier count");
+    }
+    const std::size_t m =
+        members.empty() ? counts[j] - reserved[j] : members[j];
+    if (reserved[j] + m > counts[j]) {
+      throw std::invalid_argument("members + reservation exceed tier count");
+    }
+    per_server.insert(per_server.end(), reserved[j], Bytes{0});
+    per_server.insert(per_server.end(), m, stripes[j]);
+    per_server.insert(per_server.end(), counts[j] - reserved[j] - m, Bytes{0});
+  }
+  return std::make_shared<VariedStripeLayout>(std::move(per_server));
+}
+
 }  // namespace harl::pfs

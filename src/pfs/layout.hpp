@@ -108,4 +108,19 @@ std::shared_ptr<VariedStripeLayout> make_tiered_layout(
     const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes,
     const std::vector<std::size_t>& members);
 
+/// Reservation-aware per-tier layout: tier j's first `reserved[j]` servers
+/// are withheld from the round-robin entirely (the cache tier's device
+/// reservation — those servers serve cache fills/hits instead of regions),
+/// and the member restriction applies to the servers after them: slots
+/// [reserved[j], reserved[j] + m_j) of tier j stripe at stripes[j], where
+/// m_j is members[j] (or counts[j] - reserved[j] under full membership).
+/// Under the canonical fastest-first device order this keeps "the m fastest
+/// *unreserved* members" a contiguous slot run.  An empty `reserved` is
+/// identical to the overload above.  Requires reserved[j] + members[j] <=
+/// counts[j].
+std::shared_ptr<VariedStripeLayout> make_tiered_layout(
+    const std::vector<std::size_t>& counts, const std::vector<Bytes>& stripes,
+    const std::vector<std::size_t>& members,
+    const std::vector<std::size_t>& reserved);
+
 }  // namespace harl::pfs

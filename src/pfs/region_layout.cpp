@@ -8,11 +8,17 @@
 namespace harl::pfs {
 
 RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
-                           std::vector<RegionSpec> regions)
-    : tier_counts_(std::move(tier_counts)), specs_(std::move(regions)) {
+                           std::vector<RegionSpec> regions,
+                           std::vector<std::size_t> reserved)
+    : tier_counts_(std::move(tier_counts)),
+      reserved_(std::move(reserved)),
+      specs_(std::move(regions)) {
   for (std::size_t c : tier_counts_) total_servers_ += c;
   if (total_servers_ == 0) throw std::invalid_argument("layout needs servers");
   if (specs_.empty()) throw std::invalid_argument("region layout needs regions");
+  if (!reserved_.empty() && reserved_.size() != tier_counts_.size()) {
+    throw std::invalid_argument("reserved vector does not match tiers");
+  }
   if (specs_.front().offset != 0) {
     throw std::invalid_argument("first region must start at offset 0");
   }
@@ -32,8 +38,12 @@ RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
     for (std::size_t j = 0; j < tier_counts_.size(); ++j) {
       if (specs_[i].stripes[j] == 0) continue;
       any_stripe = true;
+      const std::size_t unreserved =
+          tier_counts_[j] - (reserved_.empty()
+                                 ? 0
+                                 : std::min(reserved_[j], tier_counts_[j]));
       const std::size_t avail =
-          members.empty() ? tier_counts_[j] : std::min(members[j], tier_counts_[j]);
+          members.empty() ? unreserved : std::min(members[j], unreserved);
       if (avail > 0) any_effective = true;
     }
     if (!any_stripe) {
@@ -43,9 +53,14 @@ RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
       throw std::invalid_argument("region stripes only over absent servers");
     }
     region_layouts_.push_back(
-        make_tiered_layout(tier_counts_, specs_[i].stripes, members));
+        make_tiered_layout(tier_counts_, specs_[i].stripes, members, reserved_));
   }
 }
+
+RegionLayout::RegionLayout(std::vector<std::size_t> tier_counts,
+                           std::vector<RegionSpec> regions)
+    : RegionLayout(std::move(tier_counts), std::move(regions),
+                   std::vector<std::size_t>{}) {}
 
 RegionLayout::RegionLayout(std::size_t M, std::size_t N,
                            std::vector<RegionSpec> regions)
@@ -98,6 +113,16 @@ std::string RegionLayout::describe() const {
     os << '}';
   }
   if (specs_.size() > 4) os << " ...";
+  bool any_reserved = false;
+  for (std::size_t r : reserved_) any_reserved |= r > 0;
+  if (any_reserved) {
+    os << " cache-reserved{";
+    for (std::size_t j = 0; j < reserved_.size(); ++j) {
+      if (j > 0) os << ',';
+      os << reserved_[j];
+    }
+    os << '}';
+  }
   os << ')';
   return os.str();
 }

@@ -58,6 +58,16 @@ class RegionLayout final : public Layout {
   RegionLayout(std::vector<std::size_t> tier_counts,
                std::vector<RegionSpec> regions);
 
+  /// Reservation-aware form: tier j's first `reserved[j]` servers (its
+  /// fastest devices) are withheld from every region's round-robin — the
+  /// cache tier's device reservation.  Region member restrictions then
+  /// count from the first unreserved slot (see the make_tiered_layout
+  /// reserved overload).  An empty `reserved` is identical to the plain
+  /// constructor.
+  RegionLayout(std::vector<std::size_t> tier_counts,
+               std::vector<RegionSpec> regions,
+               std::vector<std::size_t> reserved);
+
   /// Two-tier convenience: `M` HServers occupy global server slots [0, M);
   /// `N` SServers occupy [M, M+N).
   RegionLayout(std::size_t M, std::size_t N, std::vector<RegionSpec> regions);
@@ -79,6 +89,9 @@ class RegionLayout final : public Layout {
   std::size_t num_tiers() const { return tier_counts_.size(); }
   const std::vector<std::size_t>& tier_counts() const { return tier_counts_; }
 
+  /// Per-tier reserved (cache) device counts; empty = no reservation.
+  const std::vector<std::size_t>& reserved() const { return reserved_; }
+
   /// Two-tier views: tier 0 / tier 1 server counts (0 when absent).
   std::size_t num_hservers() const {
     return tier_counts_.empty() ? 0 : tier_counts_[0];
@@ -89,6 +102,7 @@ class RegionLayout final : public Layout {
 
  private:
   std::vector<std::size_t> tier_counts_;
+  std::vector<std::size_t> reserved_;
   std::size_t total_servers_ = 0;
   std::vector<RegionSpec> specs_;
   std::vector<std::shared_ptr<VariedStripeLayout>> region_layouts_;

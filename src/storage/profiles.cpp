@@ -43,6 +43,15 @@ double worst_device_factor(std::span<const double> factors,
   return factors[std::min(members, factors.size()) - 1];
 }
 
+double mean_device_factor(std::span<const double> factors,
+                          std::size_t members) {
+  if (factors.empty() || members == 0) return 1.0;
+  const std::size_t n = std::min(members, factors.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += factors[i];
+  return sum / static_cast<double>(n);
+}
+
 namespace {
 constexpr double mbps(double megabytes_per_second) {
   // Seconds per byte for a given MB/s media rate.

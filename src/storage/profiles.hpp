@@ -74,6 +74,13 @@ void canonicalize_device_factors(std::vector<double>& factors);
 double worst_device_factor(std::span<const double> factors,
                            std::size_t members);
 
+/// The mean factor among the first `members` devices of a canonical
+/// (ascending) factor vector; 1.0 for an empty vector or zero members.
+/// The throughput (busy-time) analogue of worst_device_factor: a bandwidth
+/// bound cares about aggregate service rate, not the straggler.
+double mean_device_factor(std::span<const double> factors,
+                          std::size_t members);
+
 /// 7200-rpm SATA HDD (HServer default): multi-millisecond positioning,
 /// ~100 MB/s media rate, read ~= write.
 TierProfile hdd_profile();

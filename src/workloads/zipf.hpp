@@ -1,0 +1,47 @@
+// Skewed re-read workload (Zipf popularity over file blocks).
+//
+// The cache-tier stressor: a sequential write pass seeds the file, then every
+// rank issues reads whose block offsets follow a Zipf(theta) popularity
+// distribution over the whole file — all ranks share the same hot set, so a
+// small fraction of blocks absorbs most of the read traffic.  theta = 0 is
+// uniform (no locality, caching cannot win); theta around 0.9-1.2 mimics the
+// heavy reuse real analysis workloads show and is where a read cache on the
+// fastest devices pays for its fill traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/common/units.hpp"
+#include "src/middleware/program.hpp"
+
+namespace harl::workloads {
+
+struct ZipfConfig {
+  Bytes file_size = 1 * GiB;
+  Bytes request_size = 256 * KiB;  ///< block granularity of the popularity law
+  std::size_t processes = 16;
+  std::size_t reads_per_process = 256;  ///< per read phase
+  /// Zipf exponent in [0, 8]: P(block k) proportional to 1/(k+1)^theta.
+  double theta = 0.9;
+  /// Read phases (barrier-separated); later phases re-draw from the same
+  /// popularity law, so resident hot blocks keep hitting.
+  std::size_t read_phases = 2;
+  std::uint64_t seed = 23;
+};
+
+/// Write pass: each rank sequentially writes its file segment (seeds data).
+std::vector<mw::RankProgram> make_zipf_write_programs(const ZipfConfig& config);
+
+/// Read passes: Zipf-distributed whole-file block reads, one barrier between
+/// phases.
+std::vector<mw::RankProgram> make_zipf_read_programs(const ZipfConfig& config);
+
+/// Number of popularity blocks (file_size / request_size).
+Bytes zipf_block_count(const ZipfConfig& config);
+
+/// Total application bytes issued across both passes.
+Bytes zipf_total_bytes(const ZipfConfig& config);
+
+}  // namespace harl::workloads

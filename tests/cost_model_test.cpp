@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/rng.hpp"
+#include "src/core/cost_memo.hpp"
 #include "src/core/cost_model.hpp"
 #include "src/core/tiered_cost_model.hpp"
 #include "src/storage/profiles.hpp"
@@ -365,6 +366,77 @@ TEST(TieredModel, ValidatesInputs) {
   const std::vector<std::size_t> counts = {1};
   const std::vector<Bytes> stripes = {0};
   EXPECT_THROW(tiered_geometry(0, 1, counts, stripes), std::invalid_argument);
+}
+
+TEST(CostMemo, CountsHitsAndMissesPerClass) {
+  CostMemo memo;
+  memo.reset(16);
+  int computes = 0;
+  const auto compute = [&](Bytes) { ++computes; return 1.5; };
+  EXPECT_EQ(memo.cost(IoOp::kRead, 64 * KiB, 0, compute), 1.5);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 64 * KiB, 0, compute), 1.5);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 64 * KiB, 0, compute), 1.5);
+  // Different op, size, or residue each open a fresh class.
+  memo.cost(IoOp::kWrite, 64 * KiB, 0, compute);
+  memo.cost(IoOp::kRead, 128 * KiB, 0, compute);
+  memo.cost(IoOp::kRead, 64 * KiB, 4 * KiB, compute);
+  EXPECT_EQ(computes, 4);
+  EXPECT_EQ(memo.misses(), 4u);
+  EXPECT_EQ(memo.hits(), 2u);
+}
+
+TEST(CostMemo, ResetLogicallyEvictsEveryClass) {
+  // reset() is the memo's eviction: the generation bump must make every
+  // prior class invisible without a memset, so a stale cost can never leak
+  // into the next candidate.
+  CostMemo memo;
+  memo.reset(8);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 64 * KiB, 0, [](Bytes) { return 1.0; }),
+            1.0);
+  memo.reset(8);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 64 * KiB, 0, [](Bytes) { return 2.0; }),
+            2.0);
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.hits(), 0u);
+}
+
+TEST(CostMemo, MemberContextKeysNeverCoalesce) {
+  // Two candidates with the same striping period but different member-device
+  // prefixes pass distinct context hashes: the same (op, size, residue)
+  // class must recompute under the new context — a cross-context hit would
+  // price the fast-members candidate with the slow-members cost.
+  CostMemo memo;
+  const std::uint64_t context_full = 0x1234'5678'9abc'def0ULL;
+  const std::uint64_t context_fast2 = 0x0fed'cba9'8765'4321ULL;
+  memo.reset(8, context_full);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 256 * KiB, 0, [](Bytes) { return 3.0; }),
+            3.0);
+  memo.reset(8, context_fast2);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 256 * KiB, 0, [](Bytes) { return 4.0; }),
+            4.0);
+  // Back to the first context: still a fresh candidate (reset cleared it),
+  // so the value is recomputed, not resurrected.
+  memo.reset(8, context_full);
+  EXPECT_EQ(memo.cost(IoOp::kRead, 256 * KiB, 0, [](Bytes) { return 5.0; }),
+            5.0);
+  EXPECT_EQ(memo.misses(), 3u);
+  EXPECT_EQ(memo.hits(), 0u);
+}
+
+TEST(CostMemo, MixedMemberPrefixCountersStayPerCandidate) {
+  // Interleaved hit/miss traffic across two candidate contexts: the
+  // counters accumulate across resets (they report whole-search totals),
+  // and every hit must come from the candidate's own generation.
+  CostMemo memo;
+  int computes = 0;
+  const auto compute = [&](Bytes) { ++computes; return 7.0; };
+  memo.reset(8, /*context=*/1);
+  for (int i = 0; i < 3; ++i) memo.cost(IoOp::kRead, 64 * KiB, 0, compute);
+  memo.reset(8, /*context=*/2);
+  for (int i = 0; i < 5; ++i) memo.cost(IoOp::kRead, 64 * KiB, 0, compute);
+  EXPECT_EQ(computes, 2);   // one per candidate
+  EXPECT_EQ(memo.misses(), 2u);
+  EXPECT_EQ(memo.hits(), 6u);  // 2 + 4 within the owning candidates
 }
 
 }  // namespace

@@ -20,10 +20,12 @@ endif()
 # Every key the binary parses, including the observability flags.  The
 # usage table prints each key at the start of its own (indented) line.
 set(known_keys
-  workload procs request file requests coverage drift drift-factor grid dumps
+  workload procs request file requests coverage drift drift-factor
+  zipf-theta zipf-reads zipf-phases grid dumps
   hservers sservers clients device-spread aging device-blind
   schemes adapt adapt-window adapt-min-gain
-  migrate-bw seed threads sim-threads stats
+  migrate-bw cache-budget cache-devices cache-chunk cache-policy cache-blind
+  seed threads sim-threads stats
   save-plan load-plan metrics-out trace-out trace-events)
 foreach(key IN LISTS known_keys)
   if(NOT help_out MATCHES "\n +${key} ")
@@ -45,6 +47,28 @@ if(NOT "${bogus_out}${bogus_err}" MATCHES "no-such-option")
   message(FATAL_ERROR "unknown-option error does not name the bad key:\n"
                       "${bogus_out}${bogus_err}")
 endif()
+
+# The rejection must list the valid keys so a typo like `cache-buget=` is a
+# guided error, not a silent fall-through.  Every documented key must appear
+# in the suggestion list.
+execute_process(
+  COMMAND ${HARL_SIM} workload=ior cache-buget=64M
+  OUTPUT_VARIABLE typo_out
+  ERROR_VARIABLE typo_err
+  RESULT_VARIABLE typo_rc)
+if(typo_rc EQUAL 0)
+  message(FATAL_ERROR "harl_sim accepted the misspelled key 'cache-buget'")
+endif()
+set(typo_all "${typo_out}${typo_err}")
+if(NOT typo_all MATCHES "valid keys")
+  message(FATAL_ERROR "unknown-option error does not list valid keys:\n"
+                      "${typo_all}")
+endif()
+foreach(key IN LISTS known_keys)
+  if(NOT typo_all MATCHES "${key}")
+    message(FATAL_ERROR "valid-keys list is missing '${key}':\n${typo_all}")
+  endif()
+endforeach()
 
 list(LENGTH known_keys n_keys)
 message(STATUS "help lists all ${n_keys} documented keys; unknown keys "

@@ -31,10 +31,19 @@ of tier-blind (the conservative worst-member charge can slightly under-use
 a mildly aged tier); at 4x device-aware must beat tier-blind by >= 5%
 (member restriction excludes the heavily aged devices).
 
+With --cache, additionally reads a bench_ablation_cache JSON and gates the
+read-cache tier: at 4x HDD aging, cache-on read throughput must be
+>= 1.15x cache-off under the fixed 64K deployment layout (measured ~2.4x);
+the cache-budget=0 arm must be byte-identical to cache-off (same printed
+read and write rates — enabled() is false, so the cache path must be
+unreachable); and the cache-aware HARL arm must beat cache-off reads by
+>= 1.05x with a replayed-vs-achieved hit rate of at least 50% (the
+planner's reservation actually fired).
+
 Usage:
     tools/bench_sim_report.py results.json \
         [--baseline bench/bench_sim_baseline.json] [--out BENCH_sim.json] \
-        [--hetero hetero_results.json]
+        [--hetero hetero_results.json] [--cache cache_results.json]
 """
 
 import argparse
@@ -64,6 +73,10 @@ def main():
     parser.add_argument("--hetero",
                         help="bench_ablation_hetero JSON; gates the aged-SSD "
                              "sweep (device-aware vs tier-blind HARL)")
+    parser.add_argument("--cache",
+                        help="bench_ablation_cache JSON; gates the read-cache "
+                             "tier (cache-on vs cache-off at 4x aging, "
+                             "zero-budget identity, aware reservation)")
     args = parser.parse_args()
 
     with open(args.results, encoding="utf-8") as f:
@@ -253,6 +266,82 @@ def main():
                     f"aged{spread}x: device-aware HARL at {aware:.1f} MB/s "
                     f"is below 1.2x fixed 64K striping {fixed:.1f} MB/s")
         summary["hetero"] = hetero_summary
+
+    if args.cache:
+        with open(args.cache, encoding="utf-8") as f:
+            cache = json.load(f)
+        arms = {}
+        for entry in cache.get("benchmarks", []):
+            name = entry.get("name", "")
+            if name.startswith("ablation_cache/"):
+                arms[name.split("/iterations")[0]] = entry
+
+        def arm(tag, label):
+            key = f"ablation_cache/{tag}/{label}"
+            if key not in arms:
+                raise KeyError(f"benchmark {key!r} not found in cache "
+                               f"results")
+            return arms[key]
+
+        # Headline gate: at 4x HDD aging the cache is the only escape from
+        # the aged tier under the fixed deployment layout.
+        off4 = arm("aged4x", "off")
+        on4 = arm("aged4x", "cache")
+        zero4 = arm("aged4x", "cache0")
+        ratio4 = on4["sim_read_MBps"] / off4["sim_read_MBps"]
+        cache_summary = {
+            "aged4x": {
+                "off_read_MBps": off4["sim_read_MBps"],
+                "cache_read_MBps": on4["sim_read_MBps"],
+                "cache_over_off_read": ratio4,
+                "cache_hit_rate": on4.get("sim_cache_hit_rate"),
+                "required_cache_over_off_read": 1.15,
+            },
+        }
+        if ratio4 < 1.15:
+            failures.append(
+                f"aged4x: cache-on read {on4['sim_read_MBps']:.1f} MB/s is "
+                f"only {ratio4:.3f}x of cache-off "
+                f"{off4['sim_read_MBps']:.1f} MB/s (required >= 1.15)")
+
+        # Zero-budget identity: bit-identical runs print bit-identical rates.
+        for column in ("sim_read_MBps", "sim_write_MBps"):
+            if zero4[column] != off4[column]:
+                failures.append(
+                    f"aged4x: cache-budget=0 arm {column} "
+                    f"{zero4[column]!r} differs from cache-off "
+                    f"{off4[column]!r} — the disabled cache touched the "
+                    f"data path")
+        cache_summary["aged4x"]["zero_budget_identity"] = (
+            zero4["sim_read_MBps"] == off4["sim_read_MBps"]
+            and zero4["sim_write_MBps"] == off4["sim_write_MBps"])
+
+        # Cache-aware planning: the reservation must fire (hit rate) and pay
+        # (read non-inferiority with margin; writes legitimately lose members
+        # to the reservation, so only reads gate).
+        off_aware = arm("aware3s", "off")
+        aware = arm("aware3s", "aware")
+        aware_ratio = aware["sim_read_MBps"] / off_aware["sim_read_MBps"]
+        aware_hits = aware.get("sim_cache_hit_rate", 0.0)
+        cache_summary["aware3s"] = {
+            "off_read_MBps": off_aware["sim_read_MBps"],
+            "aware_read_MBps": aware["sim_read_MBps"],
+            "aware_over_off_read": aware_ratio,
+            "aware_hit_rate": aware_hits,
+            "required_aware_over_off_read": 1.05,
+            "required_hit_rate": 0.5,
+        }
+        if aware_ratio < 1.05:
+            failures.append(
+                f"aware3s: cache-aware read {aware['sim_read_MBps']:.1f} "
+                f"MB/s is only {aware_ratio:.3f}x of cache-off "
+                f"{off_aware['sim_read_MBps']:.1f} MB/s (required >= 1.05)")
+        if aware_hits < 0.5:
+            failures.append(
+                f"aware3s: achieved hit rate {aware_hits:.3f} is below 0.5 "
+                f"— the planner's reservation did not fire or the replay "
+                f"estimate diverged from the run")
+        summary["cache"] = cache_summary
 
     with open(args.out, "w", encoding="utf-8") as f:
         json.dump(summary, f, indent=2)

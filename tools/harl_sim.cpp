@@ -65,7 +65,7 @@ struct OptionSpec {
 };
 
 constexpr OptionSpec kOptions[] = {
-    {"workload", "ior | multiregion | btio            (ior)"},
+    {"workload", "ior | multiregion | btio | zipf     (ior)"},
     {"procs", "process count                       (16)"},
     {"request", "IOR request size                    (512K)"},
     {"file", "IOR file size                       (4G)"},
@@ -76,6 +76,12 @@ constexpr OptionSpec kOptions[] = {
      "each phase replays the regions with request sizes scaled\n"
      "by drift-factor^phase (1 = classic static workload)"},
     {"drift-factor", "per-phase request-size scale factor (1.0)"},
+    {"zipf-theta",
+     "zipf skew exponent, 0 = uniform     (0.9)\n"
+     "block popularity ~ 1/rank^theta over the whole file;\n"
+     "all ranks share the hot set (read-cache stressor)"},
+    {"zipf-reads", "zipf reads per process per phase    (256)"},
+    {"zipf-phases", "zipf barrier-separated read phases  (2)"},
     {"grid", "BTIO grid points per dimension      (48)"},
     {"dumps", "BTIO max dumps, 0 = all             (4)"},
     {"hservers", "HDD server count                    (6)"},
@@ -105,6 +111,19 @@ constexpr OptionSpec kOptions[] = {
     {"migrate-bw",
      "migration throttle, bytes/s of copied data (256M);\n"
      "background copies share the real servers and network"},
+    {"cache-budget",
+     "read-cache capacity in bytes over the fastest SSD\n"
+     "devices, 0 = no cache (0); unless cache-blind=1 the\n"
+     "Analysis Phase weighs reserving those devices as a\n"
+     "chunk cache against striping over them"},
+    {"cache-devices",
+     "most SSD devices the read cache may claim      (1)"},
+    {"cache-chunk", "read-cache chunk granularity        (1M)"},
+    {"cache-policy", "read-cache eviction: lru | slru     (lru)"},
+    {"cache-blind",
+     "1 = run the cache but keep the planner blind to it:\n"
+     "regions still stripe over the cache devices and the\n"
+     "two roles contend (the bolted-on ablation arm) (0)"},
     {"seed", "workload seed                       (7)"},
     {"threads",
      "worker threads, 0 = serial          (0)\n"
@@ -179,8 +198,13 @@ void validate_keys(const Config& cfg) {
       }
     }
     if (!known) {
+      std::string valid;
+      for (const OptionSpec& opt : kOptions) {
+        if (!valid.empty()) valid += ", ";
+        valid += opt.key;
+      }
       throw std::invalid_argument("unknown option '" + key +
-                                  "' (see `harl_sim help`)");
+                                  "'; valid keys: " + valid);
     }
   }
 }
@@ -287,6 +311,19 @@ harness::WorkloadBundle make_bundle(const Config& cfg) {
     mr.drift_factor = cfg.get_double("drift-factor", 1.0);
     return harness::multiregion_bundle(mr);
   }
+  if (kind == "zipf") {
+    workloads::ZipfConfig zipf;
+    zipf.processes = static_cast<std::size_t>(cfg.get_int("procs", 16));
+    zipf.file_size = cfg.get_size("file", 1 * GiB);
+    zipf.request_size = cfg.get_size("request", 256 * KiB);
+    zipf.reads_per_process =
+        static_cast<std::size_t>(cfg.get_int("zipf-reads", 256));
+    zipf.theta = cfg.get_double("zipf-theta", 0.9);
+    zipf.read_phases =
+        static_cast<std::size_t>(cfg.get_int("zipf-phases", 2));
+    zipf.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+    return harness::zipf_bundle(zipf);
+  }
   if (kind == "btio") {
     workloads::BtioConfig btio;
     btio.processes = static_cast<std::size_t>(cfg.get_int("procs", 16));
@@ -351,6 +388,16 @@ int main(int argc, char** argv) {
     options.adaptive.advisor.planner = options.planner;
     options.adaptive.migrate_bandwidth =
         static_cast<double>(cfg.get_size("migrate-bw", 256 * MiB));
+
+    // Read-cache tier: budget 0 keeps every code path (planner, runtime,
+    // output) byte-identical to a cache-less build.
+    options.cache.budget = cfg.get_size("cache-budget", 0);
+    options.cache.chunk = cfg.get_size("cache-chunk", MiB);
+    options.cache.devices =
+        static_cast<std::size_t>(cfg.get_int("cache-devices", 1));
+    options.cache.policy =
+        storage::parse_cache_policy(cfg.get_or("cache-policy", "lru"));
+    options.cache.blind = cfg.get_int("cache-blind", 0) != 0;
 
     const std::string metrics_out = cfg.get_or("metrics-out", "");
     const std::string trace_out = cfg.get_or("trace-out", "");
@@ -464,6 +511,27 @@ int main(int argc, char** argv) {
           }
           out << "]";
         }
+        if (r.cache.has_value()) {
+          // Read-cache counters (obs_report.py --check validates the
+          // reconciliation: lookups == hits + misses, completed + discarded
+          // fills == admissions).  Emitted only for cache-enabled runs so
+          // cache-less metrics files stay byte-identical.
+          const auto& c = *r.cache;
+          out << ", \"cache\": {\"lookups\": " << c.tier.lookups
+              << ", \"hits\": " << c.tier.hits
+              << ", \"misses\": " << c.tier.misses
+              << ", \"admissions\": " << c.tier.admissions
+              << ", \"evictions\": " << c.tier.evictions
+              << ", \"invalidations\": " << c.tier.invalidations
+              << ", \"fills_completed\": " << c.tier.fills_completed
+              << ", \"fills_discarded\": " << c.tier.fills_discarded
+              << ", \"hit_bytes\": " << c.hit_read_bytes
+              << ", \"miss_bytes\": " << c.miss_read_bytes
+              << ", \"fill_bytes\": " << c.fill_bytes
+              << ", \"active_devices\": " << c.active_devices
+              << ", \"resplits\": " << c.resplits
+              << ", \"clears\": " << c.clears << "}";
+        }
         if (options.sim_threads > 0) {
           // PDES health of the measured run (obs_report.py --check asserts
           // lookahead_violations == 0).
@@ -521,6 +589,40 @@ int main(int argc, char** argv) {
         });
       }
       adaptive_table.print(std::cout);
+    }
+
+    bool any_cache = false;
+    for (const auto& r : results) any_cache |= r.cache.has_value();
+    if (any_cache) {
+      // What the read cache did per measured run: hit rate over chunk
+      // lookups, promotion traffic, and the write-invalidate churn.
+      std::cout << "\n== read cache ==\n";
+      harness::Table cache_table({"layout", "devices", "lookups", "hit%",
+                                  "fills", "discarded", "evicted", "inval",
+                                  "fill MB", "resplits"});
+      for (const auto& r : results) {
+        if (!r.cache.has_value()) continue;
+        const auto& c = *r.cache;
+        const double hit_rate =
+            c.tier.lookups > 0 ? 100.0 * static_cast<double>(c.tier.hits) /
+                                     static_cast<double>(c.tier.lookups)
+                               : 0.0;
+        cache_table.add_row({
+            r.label,
+            std::to_string(c.active_devices),
+            std::to_string(c.tier.lookups),
+            harness::cell(hit_rate, 1),
+            std::to_string(c.tier.fills_completed),
+            std::to_string(c.tier.fills_discarded),
+            std::to_string(c.tier.evictions),
+            std::to_string(c.tier.invalidations),
+            harness::cell(static_cast<double>(c.fill_bytes) /
+                              (1024.0 * 1024.0),
+                          1),
+            std::to_string(c.resplits),
+        });
+      }
+      cache_table.print(std::cout);
     }
 
     if (cfg.get_int("stats", 0) != 0) {

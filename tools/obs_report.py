@@ -18,6 +18,11 @@ cost-model relative-error distribution per region.
     runs (adaptive.* / migration.* families) internally consistent —
     epoch installs never exceed recommendations, and installed epochs
     imply migration traffic (bytes, chunks, interference).
+  * cache runs (cache.* families): the directory counters reconcile —
+    lookups == hits + misses, admissions == fills_completed +
+    fills_discarded (the run drains, so every issued fill either landed
+    or was poisoned), hit/miss byte totals consistent with the lookup
+    counts, and fill traffic present whenever fills completed.
   * devices (heterogeneous fleets only): per-server device blocks carry
     consecutive server indices, positive speed factors in canonical
     (ascending-per-tier) order, and non-negative busy times; when both a
@@ -98,6 +103,41 @@ def check_adaptive(label, report):
     return True
 
 
+def check_cache(label, report):
+    """Reconciliation of the cache.* counter families (read-cache runs)."""
+    lookups = counter_total(report, "cache.lookups")
+    if lookups is None:
+        return False  # not a cache-enabled run
+    hits = counter_total(report, "cache.hits") or 0.0
+    misses = counter_total(report, "cache.misses") or 0.0
+    admissions = counter_total(report, "cache.admissions") or 0.0
+    completed = counter_total(report, "cache.fills_completed") or 0.0
+    discarded = counter_total(report, "cache.fills_discarded") or 0.0
+    evictions = counter_total(report, "cache.evictions") or 0.0
+    hit_bytes = counter_total(report, "cache.hit_bytes") or 0.0
+    miss_bytes = counter_total(report, "cache.miss_bytes") or 0.0
+    fill_bytes = counter_total(report, "cache.fill_bytes") or 0.0
+    if abs(hits + misses - lookups) > 1e-6:
+        fail(f"metrics[{label}]: cache lookups {lookups} != hits {hits} + "
+             f"misses {misses}")
+    # The measured run drains before stats are read, so every admission's
+    # fill either landed or was poisoned by an invalidate/re-split.
+    if abs(completed + discarded - admissions) > 1e-6:
+        fail(f"metrics[{label}]: cache admissions {admissions} != "
+             f"fills_completed {completed} + fills_discarded {discarded}")
+    if hits > 0 and hit_bytes <= 0:
+        fail(f"metrics[{label}]: {hits} cache hits but zero hit bytes")
+    if misses > 0 and miss_bytes <= 0:
+        fail(f"metrics[{label}]: {misses} cache misses but zero miss bytes")
+    if completed > 0 and fill_bytes <= 0:
+        fail(f"metrics[{label}]: {completed} fills completed but zero fill "
+             f"traffic")
+    if evictions > admissions:
+        fail(f"metrics[{label}]: more cache evictions ({evictions}) than "
+             f"admissions ({admissions})")
+    return True
+
+
 def is_fixed_label(label):
     """Fixed-stripe scheme labels look like a size ("64K", "1M")."""
     return (len(label) >= 2 and label[-1] in "KMG"
@@ -175,6 +215,7 @@ def check_metrics(doc):
     if not isinstance(schemes, list) or not schemes:
         fail("metrics: no schemes array")
     adaptive_schemes = 0
+    cache_schemes = 0
     for scheme in schemes:
         label = scheme.get("label", "?")
         report = scheme.get("report")
@@ -236,7 +277,9 @@ def check_metrics(doc):
                      f"window")
         if check_adaptive(label, report):
             adaptive_schemes += 1
-    return len(schemes), adaptive_schemes
+        if check_cache(label, report):
+            cache_schemes += 1
+    return len(schemes), adaptive_schemes, cache_schemes
 
 
 def server_breakdown(report):
@@ -333,6 +376,19 @@ def summarize(doc):
                   f"({counter_total(report, 'migration.interference_s') or 0:.3f}s "
                   f"in flight)")
 
+        cache_lookups = counter_total(report, "cache.lookups")
+        if cache_lookups:
+            hits = counter_total(report, "cache.hits") or 0
+            print(f"  read cache: {int(cache_lookups)} lookups, "
+                  f"{hits / cache_lookups:.1%} hits, "
+                  f"{int(counter_total(report, 'cache.fills_completed') or 0)} "
+                  f"fill(s) "
+                  f"({(counter_total(report, 'cache.fill_bytes') or 0) / (1024 * 1024):.1f} MB), "
+                  f"{int(counter_total(report, 'cache.evictions') or 0)} "
+                  f"eviction(s), "
+                  f"{int(counter_total(report, 'cache.invalidations') or 0)} "
+                  f"invalidation(s)")
+
         errors = histogram_rows(report, "model.rel_error")
         if errors:
             print("  cost-model relative error |predicted-measured|/measured:")
@@ -412,14 +468,19 @@ def main():
     parser.add_argument("--require-adaptive", action="store_true",
                         help="fail unless >=1 scheme has adaptive epoch "
                              "metrics")
+    parser.add_argument("--require-cache", action="store_true",
+                        help="fail unless >=1 scheme has read-cache metrics")
     args = parser.parse_args()
 
     metrics_doc = load_json(args.metrics)
-    n_schemes, n_adaptive = check_metrics(metrics_doc)
+    n_schemes, n_adaptive, n_cache = check_metrics(metrics_doc)
     n_devices = check_devices(metrics_doc)
     if args.require_adaptive and n_adaptive == 0:
         fail(f"{args.metrics}: no scheme carries adaptive epoch metrics "
              f"(adaptive.* families)")
+    if args.require_cache and n_cache == 0:
+        fail(f"{args.metrics}: no scheme carries read-cache metrics "
+             f"(cache.* families)")
     trace_counts = None
     if args.trace:
         trace_counts = check_trace(load_json(args.trace))
@@ -427,8 +488,8 @@ def main():
     if args.check:
         if not args.quiet:
             print(f"obs_report: OK: {args.metrics}: {n_schemes} scheme(s) "
-                  f"valid ({n_adaptive} adaptive, {n_devices} with device "
-                  f"blocks)")
+                  f"valid ({n_adaptive} adaptive, {n_cache} cached, "
+                  f"{n_devices} with device blocks)")
             if trace_counts is not None:
                 total = sum(trace_counts.values())
                 detail = ", ".join(f"{k}:{v}" for k, v in
