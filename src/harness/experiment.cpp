@@ -210,7 +210,10 @@ WorkloadBundle btio_bundle(const workloads::BtioConfig& config) {
 }
 
 Experiment::Experiment(ExperimentOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  // The telemetry plane rides the flight recorder's observer chain.
+  if (options_.telemetry.enabled()) options_.observe = true;
+}
 
 const core::CostParams& Experiment::cost_params() {
   if (!cached_params_) {
@@ -291,6 +294,23 @@ SchemeResult Experiment::run_with_trace(
   // hooks are stateless forwards) stays in front as the simulator-facing
   // sink so completed requests still feed its advisor synchronously.
   obs::Sink* tail = result.obs.get();
+  // The telemetry plane wraps the recorder first, so under PDES it sits
+  // *behind* the sequencer (chain: sim -> [manager] -> [sequencer] ->
+  // [health] -> recorder) and only ever sees replayed, deterministic call
+  // order — its window watermark stays monotone at every width.
+  if (options_.telemetry.enabled() && tail != nullptr) {
+    obs::HealthMonitor::Options hm;
+    hm.interval = options_.telemetry.interval;
+    hm.window_capacity = options_.telemetry.window_capacity;
+    hm.slo = options_.telemetry.slo;
+    hm.flag_threshold = options_.telemetry.flag_threshold;
+    hm.recover_threshold = options_.telemetry.recover_threshold;
+    hm.flag_windows = options_.telemetry.flag_windows;
+    hm.recover_windows = options_.telemetry.recover_windows;
+    hm.min_window_jobs = options_.telemetry.min_window_jobs;
+    result.health = std::make_shared<obs::HealthMonitor>(hm, tail);
+    tail = result.health.get();
+  }
   if (pdes_rt != nullptr && tail != nullptr) {
     pdes_rt->sequencer().set_target(tail);
     tail = &pdes_rt->sequencer();
@@ -383,6 +403,11 @@ SchemeResult Experiment::run_with_trace(
     result.plan = manager->latest_plan();
     result.region_count = result.plan->rst.size();
     if (result.obs) result.obs->metrics().merge(manager->metrics());
+  }
+
+  if (result.health) {
+    result.health->finalize();
+    if (result.obs) result.obs->metrics().merge(result.health->metrics());
   }
 
   if (cache_manager != nullptr) {

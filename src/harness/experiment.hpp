@@ -16,6 +16,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/core/planner.hpp"
 #include "src/harness/calibration.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/recorder.hpp"
 #include "src/harness/scheme.hpp"
 #include "src/middleware/adaptive.hpp"
@@ -81,6 +82,11 @@ struct SchemeResult {
   /// Flight recorder of the measured run (ExperimentOptions::observe only):
   /// metrics registry, trace events, per-request T_X/T_S/T_T attribution.
   std::shared_ptr<obs::Recorder> obs;
+  /// Telemetry plane of the measured run (ExperimentOptions::telemetry
+  /// enabled + observe): windowed per-server time series and the
+  /// straggler/SLO health monitor, already finalized; its health.* metrics
+  /// are merged into `obs`'s registry.
+  std::shared_ptr<obs::HealthMonitor> health;
 };
 
 struct ExperimentOptions {
@@ -125,6 +131,23 @@ struct ExperimentOptions {
     bool enabled() const { return budget > 0 && devices > 0; }
   };
   CacheOptions cache;
+  /// Telemetry plane (DESIGN.md §15): interval > 0 arms an
+  /// obs::HealthMonitor (which owns the run's TimeSeries) behind the
+  /// ObsSequencer of every measured run.  Requires `observe`; the runner
+  /// forces it on when telemetry is enabled.
+  struct TelemetryOptions {
+    Seconds interval = 0.0;            ///< window width; 0 = disabled
+    std::size_t window_capacity = 4096;
+    Seconds slo = 0.0;                 ///< request deadline; 0 = no SLO
+    double flag_threshold = 2.0;
+    double recover_threshold = 1.25;
+    std::size_t flag_windows = 2;
+    std::size_t recover_windows = 2;
+    std::uint64_t min_window_jobs = 1;
+
+    bool enabled() const { return interval > 0.0; }
+  };
+  TelemetryOptions telemetry;
   /// Worker threads for the event engine of each simulated run (tracing and
   /// measured): 0 = the sequential engine, >= 1 = the conservative PDES
   /// runtime (src/sim/pdes.hpp) at that width.  Every output — metrics,

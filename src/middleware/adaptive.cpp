@@ -291,6 +291,23 @@ void AdaptiveLayoutManager::adaptive_event(AdaptiveEvent event,
   }
 }
 
+void AdaptiveLayoutManager::cache_event(Bytes hit_bytes, Bytes miss_bytes,
+                                        Seconds now) {
+  // Must forward explicitly: the inherited no-op would swallow the event
+  // before it reaches the sequencer/health monitor downstream.
+  if (downstream_ != nullptr) {
+    downstream_->cache_event(hit_bytes, miss_bytes, now);
+  }
+}
+
+void AdaptiveLayoutManager::health_event(HealthEvent event,
+                                         std::uint32_t server, double score,
+                                         Seconds now) {
+  if (downstream_ != nullptr) {
+    downstream_->health_event(event, server, score, now);
+  }
+}
+
 // --- the adaptation loop -----------------------------------------------------
 
 void AdaptiveLayoutManager::feed(std::uint32_t client, IoOp op, Bytes offset,

@@ -63,6 +63,22 @@ void write_histogram(std::ostream& out, const LogHistogram& h) {
   out << ']';
 }
 
+void write_sketch(std::ostream& out, const QuantileSketch& s) {
+  out << "\"count\": " << s.count() << ", \"sum\": " << s.sum()
+      << ", \"min\": " << s.min() << ", \"max\": " << s.max()
+      << ", \"mean\": " << s.mean() << ", \"p50\": " << s.percentile(50.0)
+      << ", \"p95\": " << s.percentile(95.0)
+      << ", \"p99\": " << s.percentile(99.0)
+      << ", \"p999\": " << s.quantile(0.999) << ", \"buckets\": [";
+  bool first = true;
+  for (const auto& b : s.buckets()) {
+    if (!first) out << ", ";
+    first = false;
+    out << '[' << b.lo << ", " << b.hi << ", " << b.count << ']';
+  }
+  out << ']';
+}
+
 }  // namespace
 
 MetricsRegistry::FamilyId MetricsRegistry::family(std::string_view name,
@@ -89,6 +105,9 @@ std::size_t MetricsRegistry::series_index(Family& f, LabelSet labels) {
     if (f.kind == Kind::kHistogram) {
       it->second = f.histograms.size();
       f.histograms.emplace_back();
+    } else if (f.kind == Kind::kSketch) {
+      it->second = f.sketches.size();
+      f.sketches.emplace_back();
     } else {
       it->second = f.scalars.size();
       f.scalars.push_back(0.0);
@@ -115,7 +134,11 @@ void MetricsRegistry::set_max(FamilyId family, LabelSet labels, double value) {
 
 void MetricsRegistry::observe(FamilyId family, LabelSet labels, double value) {
   Family& f = families_.at(family);
-  f.histograms[series_index(f, labels)].add(value);
+  if (f.kind == Kind::kSketch) {
+    f.sketches[series_index(f, labels)].add(value);
+  } else {
+    f.histograms[series_index(f, labels)].add(value);
+  }
 }
 
 MetricsRegistry::Family* MetricsRegistry::find(std::string_view name) {
@@ -133,7 +156,10 @@ double MetricsRegistry::value(std::string_view name, LabelSet labels) const {
   const Family* f = find(name);
   if (f == nullptr) return 0.0;
   auto it = f->series.find(labels.bits());
-  if (it == f->series.end() || f->kind == Kind::kHistogram) return 0.0;
+  if (it == f->series.end() ||
+      (f->kind != Kind::kCounter && f->kind != Kind::kGauge)) {
+    return 0.0;
+  }
   return f->scalars[it->second];
 }
 
@@ -143,6 +169,14 @@ const LogHistogram* MetricsRegistry::histogram(std::string_view name,
   if (f == nullptr || f->kind != Kind::kHistogram) return nullptr;
   auto it = f->series.find(labels.bits());
   return it == f->series.end() ? nullptr : &f->histograms[it->second];
+}
+
+const QuantileSketch* MetricsRegistry::sketch(std::string_view name,
+                                              LabelSet labels) const {
+  const Family* f = find(name);
+  if (f == nullptr || f->kind != Kind::kSketch) return nullptr;
+  auto it = f->series.find(labels.bits());
+  return it == f->series.end() ? nullptr : &f->sketches[it->second];
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
@@ -165,6 +199,9 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
           break;
         case Kind::kHistogram:
           f.histograms[mine].merge(of.histograms[idx]);
+          break;
+        case Kind::kSketch:
+          f.sketches[mine].merge(of.sketches[idx]);
           break;
       }
     }
@@ -195,12 +232,16 @@ void MetricsRegistry::write_json(std::ostream& out, int indent) const {
       out << ", \"type\": \""
           << (f.kind == Kind::kCounter
                   ? "counter"
-                  : f.kind == Kind::kGauge ? "gauge" : "histogram")
+                  : f.kind == Kind::kGauge
+                        ? "gauge"
+                        : f.kind == Kind::kSketch ? "sketch" : "histogram")
           << "\", \"labels\": ";
       write_labels(out, LabelSet::from_bits(bits));
       out << ", ";
       if (f.kind == Kind::kHistogram) {
         write_histogram(out, f.histograms[idx]);
+      } else if (f.kind == Kind::kSketch) {
+        write_sketch(out, f.sketches[idx]);
       } else {
         out << "\"value\": " << f.scalars[idx];
       }

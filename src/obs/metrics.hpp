@@ -19,6 +19,7 @@
 
 #include "src/common/io.hpp"
 #include "src/common/stats.hpp"
+#include "src/obs/sketch.hpp"
 
 namespace harl::obs {
 
@@ -72,7 +73,7 @@ class LabelSet {
 
 class MetricsRegistry {
  public:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kSketch };
 
   using FamilyId = std::uint32_t;
 
@@ -85,7 +86,7 @@ class MetricsRegistry {
   void set(FamilyId family, LabelSet labels, double value);
   /// gauge = max(gauge, value).
   void set_max(FamilyId family, LabelSet labels, double value);
-  /// histogram <- value.
+  /// histogram or sketch <- value (dispatches on the family's kind).
   void observe(FamilyId family, LabelSet labels, double value);
 
   /// Reads back a scalar (counter/gauge); 0 when the series doesn't exist.
@@ -93,10 +94,14 @@ class MetricsRegistry {
   /// Reads back a histogram series; nullptr when it doesn't exist.
   const LogHistogram* histogram(std::string_view name,
                                 LabelSet labels = {}) const;
+  /// Reads back a quantile-sketch series; nullptr when it doesn't exist.
+  const QuantileSketch* sketch(std::string_view name,
+                               LabelSet labels = {}) const;
 
   /// Merges `other` into this registry: counters add, gauges take the max
-  /// (they are high-water marks across replicas), histograms merge exactly.
-  /// Families are matched by name, so merge order never changes the result.
+  /// (they are high-water marks across replicas), histograms and sketches
+  /// merge exactly.  Families are matched by name, so merge order never
+  /// changes the result.
   void merge(const MetricsRegistry& other);
 
   /// Deterministic JSON dump: families sorted by name, series by label bits.
@@ -109,10 +114,11 @@ class MetricsRegistry {
   struct Family {
     std::string name;
     Kind kind = Kind::kCounter;
-    // label bits -> index into scalars/histograms
+    // label bits -> index into scalars/histograms/sketches
     std::unordered_map<std::uint64_t, std::size_t> series;
     std::vector<double> scalars;
     std::vector<LogHistogram> histograms;
+    std::vector<QuantileSketch> sketches;
   };
 
   Family* find(std::string_view name);

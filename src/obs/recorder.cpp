@@ -110,6 +110,7 @@ Recorder::Recorder(Options options) : options_(options) {
   m_tt_ = metrics_.family("request.t_t", Kind::kHistogram);
   m_tx_ = metrics_.family("request.t_x", Kind::kHistogram);
   m_rel_error_ = metrics_.family("model.rel_error", Kind::kHistogram);
+  m_server_time_ = metrics_.family("pfs.server.time", Kind::kSketch);
   if (options_.max_trace_events > 0) {
     events_.reserve(options_.max_trace_events);
   }
@@ -306,6 +307,11 @@ void Recorder::finalize_sub(std::uint32_t sub, Seconds t_x, Seconds done) {
     metrics_.observe(m_ts_, labels, sample.t_s);
     metrics_.observe(m_tt_, labels, sample.t_t);
     metrics_.observe(m_tx_, labels, sample.t_x);
+    // Server-resident time per {server,tier,op}: the straggler scheduler's
+    // per-server tail input (p50/p95/p99/p999 via the sketch family).
+    metrics_.observe(m_server_time_,
+                     LabelSet{}.server(s.server).tier(tier).op(r.op),
+                     sample.wait + sample.t_s + sample.t_t);
   }
   sub_free_.push_back(sub);
 }
@@ -368,6 +374,22 @@ void Recorder::adaptive_event(AdaptiveEvent event, std::uint32_t epoch,
   // in `arg`.
   push_event(TraceEvent{now, 0.0, adaptive_track_, EventType::kInstant,
                         static_cast<std::uint8_t>(event), epoch, bytes});
+}
+
+void Recorder::health_event(HealthEvent event, std::uint32_t server,
+                            double score, Seconds now) {
+  note_time(now);
+  if (!options_.trace) return;
+  if (health_track_ == kNoId) {
+    health_track_ = track("health", TrackKind::kOther, kNoId);
+  }
+  // Health instants share the adaptive op-byte scheme with bit 7 set so the
+  // exporter can tell them apart; server in `id`, score (micro-units) in
+  // `arg`.
+  push_event(TraceEvent{
+      now, 0.0, health_track_, EventType::kInstant,
+      static_cast<std::uint8_t>(0x80u | static_cast<std::uint8_t>(event)),
+      server, static_cast<std::uint64_t>(score * 1e6)});
 }
 
 std::vector<Recorder::ResourceSummary> Recorder::resource_summaries() const {
@@ -467,6 +489,17 @@ void Recorder::append_trace_events(std::ostream& out, std::uint32_t pid,
                  "\"region\", \"s\": \"t\", \"pid\": "
               << pid << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
               << ", \"args\": {\"region\": " << e.arg << "}}";
+        } else if ((e.op & 0x80u) != 0) {
+          const char* name =
+              (e.op & 0x7Fu) ==
+                      static_cast<std::uint8_t>(HealthEvent::kStragglerFlagged)
+                  ? "straggler_flagged"
+                  : "straggler_recovered";
+          out << "{\"ph\": \"i\", \"name\": \"" << name
+              << "\", \"cat\": \"health\", \"s\": \"t\", \"pid\": " << pid
+              << ", \"tid\": " << tid << ", \"ts\": " << to_us(e.ts)
+              << ", \"args\": {\"server\": " << e.id
+              << ", \"score\": " << static_cast<double>(e.arg) / 1e6 << "}}";
         } else {
           const char* name =
               e.op == static_cast<std::uint8_t>(AdaptiveEvent::kEpochInstalled)

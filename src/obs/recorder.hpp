@@ -99,6 +99,8 @@ class Recorder final : public Sink {
   void end_request(std::uint32_t request, Seconds now) override;
   void adaptive_event(AdaptiveEvent event, std::uint32_t epoch, Bytes bytes,
                       Seconds now) override;
+  void health_event(HealthEvent event, std::uint32_t server, double score,
+                    Seconds now) override;
 
   // --- attribution --------------------------------------------------------
 
@@ -262,6 +264,7 @@ class Recorder final : public Sink {
   std::vector<ServerMeta> servers_;        // by global server index
   std::vector<std::uint32_t> client_tracks_;  // by client index
   std::uint32_t adaptive_track_ = kNoId;   // lazily created on first event
+  std::uint32_t health_track_ = kNoId;     // lazily created on first event
 
   std::vector<TraceEvent> events_;  // ring when max_trace_events > 0
   std::size_t ring_next_ = 0;
@@ -291,6 +294,7 @@ class Recorder final : public Sink {
   MetricsRegistry::FamilyId m_tt_;
   MetricsRegistry::FamilyId m_tx_;
   MetricsRegistry::FamilyId m_rel_error_;
+  MetricsRegistry::FamilyId m_server_time_;
 };
 
 }  // namespace harl::obs

@@ -119,6 +119,37 @@ class Sink {
     (void)bytes;
     (void)now;
   }
+
+  // --- telemetry plane (DESIGN.md §15, optional) ---------------------------
+
+  /// Cache read outcome for one client call: `hit_bytes` were served from the
+  /// read cache, `miss_bytes` went to the backing layout.  Emitted by the
+  /// CacheManager; feeds the TimeSeries hit-rate timeline.  Defaulted to a
+  /// no-op so existing sinks are unaffected.  Forwarding sinks that sit in
+  /// front of the ObsSequencer (e.g. AdaptiveLayoutManager) must override and
+  /// forward, or the event is swallowed.
+  virtual void cache_event(Bytes hit_bytes, Bytes miss_bytes, Seconds now) {
+    (void)hit_bytes;
+    (void)miss_bytes;
+    (void)now;
+  }
+
+  /// Health-monitor lifecycle instants, emitted by obs::HealthMonitor when a
+  /// server's rolling slowness score crosses the flag/recover hysteresis.
+  enum class HealthEvent : std::uint8_t {
+    kStragglerFlagged,    ///< score stayed above the flag threshold
+    kStragglerRecovered,  ///< score dropped back below the recover threshold
+  };
+
+  /// One health instant for `server` with the triggering slowness `score`.
+  /// Defaulted to a no-op so existing sinks are unaffected.
+  virtual void health_event(HealthEvent event, std::uint32_t server,
+                            double score, Seconds now) {
+    (void)event;
+    (void)server;
+    (void)score;
+    (void)now;
+  }
 };
 
 }  // namespace harl::obs

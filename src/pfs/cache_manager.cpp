@@ -73,6 +73,8 @@ void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
   std::vector<HitPiece> hits;
   std::vector<MissRun> runs;
   bool run_open = false;
+  Bytes call_hit = 0;
+  Bytes call_miss = 0;
 
   for (Bytes c = offset / chunk; c <= (end - 1) / chunk; ++c) {
     const Bytes chunk_begin = c * chunk;
@@ -83,11 +85,13 @@ void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
       run_open = false;
       const SlotInfo& info = slots_.at(c);
       hit_read_bytes_ += span_end - span_begin;
+      call_hit += span_end - span_begin;
       hits.push_back({slot_device(info.slot),
                       slot_address(info.slot) + (span_begin - chunk_begin),
                       span_end - span_begin});
     } else {
       miss_read_bytes_ += span_end - span_begin;
+      call_miss += span_end - span_begin;
       if (!run_open) {
         run_open = true;
         runs.push_back({span_begin, span_end, {}});
@@ -109,6 +113,10 @@ void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
         }
       }
     }
+  }
+
+  if (obs != nullptr && call_hit + call_miss > 0) {
+    obs->cache_event(call_hit, call_miss, sim_.now());
   }
 
   // The foreground request completes when every hit piece and every miss

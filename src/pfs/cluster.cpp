@@ -97,6 +97,31 @@ Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
     }
   }
 
+  if (config.gc_pause.period > 0.0 && config.gc_pause.duration > 0.0) {
+    if (!(config.gc_pause.factor >= 1.0)) {
+      throw std::invalid_argument(
+          "gc_pause.factor must be >= 1 (lookahead floor)");
+    }
+    std::size_t target = 0;
+    if (config.gc_pause.server >= 0) {
+      target = static_cast<std::size_t>(config.gc_pause.server);
+      if (target >= servers_.size()) {
+        throw std::invalid_argument("gc_pause.server out of range");
+      }
+    } else {
+      // Default: the first SSD server — the paper's long-tailed device class.
+      for (std::size_t ti = 0; ti < tiers_.size(); ++ti) {
+        if (tiers_[ti].is_ssd) {
+          target = tier_begin_[ti];
+          break;
+        }
+      }
+    }
+    servers_[target]->set_gc_pause(config.gc_pause.period,
+                                   config.gc_pause.duration,
+                                   config.gc_pause.factor);
+  }
+
   mds_ = std::make_unique<MetadataServer>(sim_, config.mds_lookup_cost,
                                           config.mds_per_region_cost);
 

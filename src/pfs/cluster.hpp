@@ -76,6 +76,18 @@ struct ClusterConfig {
   /// slowdown factor and/or periodic hiccups.
   std::map<std::size_t, storage::FaultyDevice::Faults> server_faults;
 
+  /// Periodic GC-pause service-time inflation on one server — the telemetry
+  /// plane's canonical straggler (DESIGN.md §15).  Disabled while period or
+  /// duration is 0.  `server` < 0 targets the first SSD server (first member
+  /// of the first is_ssd tier; server 0 when there is none).
+  struct GcPause {
+    Seconds period = 0.0;    ///< pause cycle length (sim seconds)
+    Seconds duration = 0.0;  ///< inflated prefix of each cycle
+    double factor = 8.0;     ///< service multiplier during the pause (>= 1)
+    std::int64_t server = -1;
+  };
+  GcPause gc_pause;
+
   /// The tier-group view, synthesizing it from the two-tier fields when
   /// `tiers` is empty.  Device factors are returned canonical (sorted
   /// ascending, all-1.0 collapsed to empty); throws std::invalid_argument

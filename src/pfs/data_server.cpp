@@ -1,6 +1,7 @@
 #include "src/pfs/data_server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/sim/pdes.hpp"
@@ -51,9 +52,17 @@ void DataServer::submit_local(IoOp op, std::uint32_t object, Bytes offset,
   const Bytes device_offset = static_cast<Bytes>(object) * kObjectStride + offset;
   // FIFO order equals arrival order, so sampling the device at submission
   // time preserves the sequential-access detection of stateful devices.
-  const Seconds service =
+  Seconds service =
       device_->service_time(op, device_offset, size) +
       per_stripe_overhead_ * static_cast<double>(std::max<Bytes>(pieces, 1));
+  if (gc_period_ > 0.0 &&
+      std::fmod(sim_.now(), gc_period_) < gc_duration_) {
+    // Inside a GC pause: inflate the whole access.  Pure function of
+    // simulated time, so identical at every PDES width (the relay in
+    // submit() preserves sim time), and factor >= 1 keeps every service
+    // above the lookahead floor.
+    service *= gc_factor_;
+  }
   if (op == IoOp::kRead) {
     bytes_read_ += size;
   } else {

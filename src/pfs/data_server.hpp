@@ -74,6 +74,16 @@ class DataServer {
   /// Clears statistics and device state between experiment phases.
   void reset_stats();
 
+  /// Arms periodic service-time inflation (a GC-pause model): while
+  /// fmod(sim.now(), period) < duration, every access's service time is
+  /// multiplied by `factor` (>= 1, so the PDES lookahead floor still holds).
+  /// Deterministic in simulated time, hence PDES-width-invariant.
+  void set_gc_pause(Seconds period, Seconds duration, double factor) {
+    gc_period_ = period;
+    gc_duration_ = duration;
+    gc_factor_ = factor;
+  }
+
  private:
   /// Device-address stride separating physical objects (regions).
   static constexpr Bytes kObjectStride = static_cast<Bytes>(1) << 40;
@@ -90,6 +100,9 @@ class DataServer {
   Seconds per_stripe_overhead_;
   double speed_factor_;
   sim::FifoResource queue_;
+  Seconds gc_period_ = 0.0;    ///< 0 = GC-pause model disabled
+  Seconds gc_duration_ = 0.0;
+  double gc_factor_ = 1.0;
   Bytes bytes_read_ = 0;
   Bytes bytes_written_ = 0;
   std::uint32_t obs_server_ = obs::kNoId;  // global index under the observer

@@ -193,6 +193,18 @@ void ObsSequencer::adaptive_event(AdaptiveEvent event, std::uint32_t epoch,
   r.t0 = now;
 }
 
+void ObsSequencer::cache_event(Bytes hit_bytes, Bytes miss_bytes,
+                               Seconds now) {
+  if (!buffering()) {
+    if (target_ != nullptr) target_->cache_event(hit_bytes, miss_bytes, now);
+    return;
+  }
+  Record& r = push(Kind::kCacheEvent);
+  r.u = hit_bytes;
+  r.v = miss_bytes;
+  r.t0 = now;
+}
+
 void ObsSequencer::replay() {
   if (target_ == nullptr) return;
   merged_.clear();
@@ -248,6 +260,9 @@ void ObsSequencer::replay() {
       case Kind::kAdaptive:
         target_->adaptive_event(static_cast<obs::Sink::AdaptiveEvent>(r.op),
                                 r.a, r.u, r.t0);
+        break;
+      case Kind::kCacheEvent:
+        target_->cache_event(r.u, r.v, r.t0);
         break;
     }
   }

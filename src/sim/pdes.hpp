@@ -167,6 +167,7 @@ class ObsSequencer final : public obs::Sink {
   void end_request(std::uint32_t request, Seconds now) override;
   void adaptive_event(AdaptiveEvent event, std::uint32_t epoch, Bytes bytes,
                       Seconds now) override;
+  void cache_event(Bytes hit_bytes, Bytes miss_bytes, Seconds now) override;
 
  private:
   friend class Runtime;
@@ -180,6 +181,7 @@ class ObsSequencer final : public obs::Sink {
     kSubNetDone,
     kEndRequest,
     kAdaptive,
+    kCacheEvent,
   };
 
   /// One buffered sink call: (pos, s1, s2) is the global replay order,

@@ -14,6 +14,7 @@
 #include "src/common/stats.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/units.hpp"
+#include "src/obs/sketch.hpp"
 
 namespace harl {
 namespace {
@@ -389,6 +390,139 @@ TEST(LogHistogram, ResetForgetsEverything) {
   EXPECT_EQ(h.min(), 0.0);
   EXPECT_EQ(h.max(), 0.0);
   EXPECT_EQ(h, LogHistogram{});
+}
+
+// ------------------------------------------------------- quantile sketch ----
+
+TEST(QuantileSketch, TracksExactEnvelopeAndBucketedBody) {
+  obs::QuantileSketch s;
+  for (double x : {1e-6, 3e-3, 3e-3, 0.5, 12.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(s.max(), 12.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 1e-6 + 3e-3 + 3e-3 + 0.5 + 12.0);
+  // Quantiles interpolate inside a log bucket: relative error bounded by
+  // 1/2^sub_bits, and always inside the exact [min, max] envelope.
+  EXPECT_NEAR(s.percentile(50.0), 3e-3, 3e-3 / (1 << s.sub_bits()));
+  EXPECT_GE(s.quantile(0.0), s.min());
+  EXPECT_LE(s.quantile(1.0), s.max());
+  EXPECT_LE(s.percentile(99.0), s.percentile(99.9));
+}
+
+TEST(QuantileSketch, CountsNonPositivesSeparately) {
+  obs::QuantileSketch s;
+  s.add(0.0);
+  s.add(-1.5);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.non_positive(), 2u);
+  std::uint64_t bucketed = 0;
+  for (const auto& b : s.buckets()) bucketed += b.count;
+  EXPECT_EQ(bucketed, 1u);
+  // Non-positives sort below every bucket: the median of {-1.5, 0, 2} is
+  // the non-positive envelope, never a positive bucket value.
+  EXPECT_LE(s.percentile(50.0), 0.0);
+}
+
+TEST(QuantileSketch, BucketsContainEverySample) {
+  obs::QuantileSketch s;
+  std::vector<double> xs;
+  for (int i = 1; i <= 200; ++i) xs.push_back(1e-5 * i * i);
+  for (double x : xs) s.add(x);
+  std::uint64_t total = 0;
+  for (const auto& b : s.buckets()) {
+    EXPECT_LT(b.lo, b.hi);
+    total += b.count;
+  }
+  EXPECT_EQ(total, s.count());
+  for (double x : xs) {
+    bool contained = false;
+    for (const auto& b : s.buckets()) {
+      if (x >= b.lo && x < b.hi) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "sample " << x << " in no bucket";
+  }
+}
+
+TEST(QuantileSketch, StateIsAPureFunctionOfTheSampleMultiset) {
+  // The property the MetricsRegistry's merge relies on: sharding a stream
+  // and merging in ANY order reproduces the single-stream sketch exactly —
+  // default operator==, every member.  Dyadic sample values keep the sum
+  // bit-exact under reassociation, so even sum_ must match.
+  std::vector<double> xs;
+  for (int i = 1; i <= 1000; ++i) xs.push_back(0.25 * i);
+  obs::QuantileSketch whole;
+  for (double x : xs) whole.add(x);
+
+  obs::QuantileSketch a, b, c;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(xs[i]);
+  }
+  obs::QuantileSketch abc = a;
+  abc.merge(b);
+  abc.merge(c);
+  obs::QuantileSketch cba = c;
+  cba.merge(b);
+  cba.merge(a);
+  EXPECT_EQ(abc, whole);
+  EXPECT_EQ(cba, whole);
+  // Growth must stay exact: no amortized slack may leak into the state.
+  EXPECT_EQ(abc.buckets().size(), whole.buckets().size());
+}
+
+TEST(QuantileSketch, CrossThreadMergeIsDeterministic) {
+  // Shards filled concurrently at several pool widths, merged in index
+  // order, must be bit-identical to serially filled shards — thread
+  // interleaving must leave no residue (the parallel-replica guarantee).
+  constexpr int kShards = 4;
+  constexpr int kPerShard = 5000;
+  auto fill = [](obs::QuantileSketch& s, int t) {
+    for (int i = 0; i < kPerShard; ++i) {
+      s.add(1e-4 * (static_cast<double>(t) * kPerShard + i + 1));
+    }
+  };
+  std::vector<obs::QuantileSketch> serial_shards(kShards);
+  for (int t = 0; t < kShards; ++t) fill(serial_shards[t], t);
+  obs::QuantileSketch serial;
+  for (const auto& s : serial_shards) serial.merge(s);
+
+  for (const std::size_t width : {1u, 2u, 4u, 7u}) {
+    std::vector<obs::QuantileSketch> shards(kShards);
+    {
+      ThreadPool pool(width);
+      pool.parallel_for(kShards, [&](std::size_t t) {
+        fill(shards[t], static_cast<int>(t));
+      });
+    }
+    obs::QuantileSketch merged;
+    for (const auto& s : shards) merged.merge(s);
+    EXPECT_EQ(merged, serial) << "pool width " << width;
+  }
+  EXPECT_EQ(serial.count(),
+            static_cast<std::uint64_t>(kShards) * kPerShard);
+}
+
+TEST(QuantileSketch, ResetForgetsEverything) {
+  obs::QuantileSketch s;
+  s.add(4.0);
+  s.add(-1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.non_positive(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s, obs::QuantileSketch{});
+}
+
+TEST(QuantileSketch, RejectsMismatchedMergeAndExcessiveResolution) {
+  EXPECT_THROW(obs::QuantileSketch(13), std::invalid_argument);
+  obs::QuantileSketch coarse(4), fine(8);
+  coarse.add(1.0);
+  fine.add(1.0);
+  EXPECT_THROW(coarse.merge(fine), std::invalid_argument);
 }
 
 // ------------------------------------------------------------- interval ----

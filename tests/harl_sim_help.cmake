@@ -26,7 +26,9 @@ set(known_keys
   schemes adapt adapt-window adapt-min-gain
   migrate-bw cache-budget cache-devices cache-chunk cache-policy cache-blind
   seed threads sim-threads stats
-  save-plan load-plan metrics-out trace-out trace-events)
+  save-plan load-plan metrics-out trace-out trace-events
+  timeseries-out timeseries-interval health slo-ms
+  gc-pause-ms gc-period gc-factor gc-server)
 foreach(key IN LISTS known_keys)
   if(NOT help_out MATCHES "\n +${key} ")
     message(FATAL_ERROR "help output is missing documented key '${key}':\n"

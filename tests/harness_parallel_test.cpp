@@ -162,6 +162,14 @@ std::string obs_fingerprint(const SchemeResult& r) {
     bool first = true;
     r.obs->append_trace_events(os, 1, r.label, first);
   }
+  // Telemetry plane: the windowed time series (quantile sketches included)
+  // and the health monitor summary ride the same byte-equality claim.
+  if (r.health) {
+    os << '|';
+    r.health->timeseries().write_json(os, 0);
+    os << '|';
+    r.health->write_json(os, 0);
+  }
   return os.str();
 }
 
@@ -170,6 +178,14 @@ ExperimentOptions observed_options(unsigned sim_threads) {
   options.observe = true;
   options.recorder.trace = true;
   options.sim_threads = sim_threads;
+  // Arm the telemetry plane with a deterministic GC-pause straggler so the
+  // byte-equality fingerprints cover windowed rollups, sketch quantiles,
+  // health scoring and SLO attainment across engines and widths.
+  options.telemetry.interval = 0.01;
+  options.telemetry.slo = 0.002;
+  options.cluster.gc_pause.period = 0.05;
+  options.cluster.gc_pause.duration = 0.02;
+  options.cluster.gc_pause.factor = 4.0;
   return options;
 }
 

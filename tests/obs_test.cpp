@@ -13,8 +13,10 @@
 #include "src/common/units.hpp"
 #include "src/core/tiered_cost_model.hpp"
 #include "src/net/network.hpp"
+#include "src/obs/health.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/recorder.hpp"
+#include "src/obs/timeseries.hpp"
 #include "src/pfs/cluster.hpp"
 #include "src/pfs/layout.hpp"
 #include "src/sim/resource.hpp"
@@ -122,6 +124,229 @@ TEST(MetricsRegistry, MergeIsExactAndOrderIndependent) {
   EXPECT_EQ(registry_json(ab), registry_json(ba));
   EXPECT_DOUBLE_EQ(ab.value("bytes", obs::LabelSet{}.server(0)), 20.0);
   EXPECT_DOUBLE_EQ(ab.value("bytes", obs::LabelSet{}.server(1)), 25.0);
+}
+
+TEST(MetricsRegistry, SketchFamiliesObserveAndMergeLikeCounters) {
+  // kSketch is a first-class family kind: observe() feeds the sketch, the
+  // sketch() accessor exposes it, merge is exact/order-independent, and the
+  // JSON dump carries the p50/p95/p99/p999 summary.
+  auto make_shard = [](std::uint32_t first, std::uint32_t second, double w) {
+    obs::MetricsRegistry reg;
+    const auto q = reg.family("svc", obs::MetricsRegistry::Kind::kSketch);
+    reg.observe(q, obs::LabelSet{}.server(first), w * 0.25);
+    reg.observe(q, obs::LabelSet{}.server(second), w * 0.5);
+    return reg;
+  };
+  const obs::MetricsRegistry a = make_shard(0, 1, 1.0);
+  const obs::MetricsRegistry b = make_shard(1, 0, 2.0);
+
+  obs::MetricsRegistry ab;
+  ab.merge(a);
+  ab.merge(b);
+  obs::MetricsRegistry ba;
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(registry_json(ab), registry_json(ba));
+
+  const obs::QuantileSketch* s0 = ab.sketch("svc", obs::LabelSet{}.server(0));
+  ASSERT_NE(s0, nullptr);
+  EXPECT_EQ(s0->count(), 2u);
+  EXPECT_DOUBLE_EQ(s0->min(), 0.25);
+  EXPECT_DOUBLE_EQ(s0->max(), 1.0);
+  EXPECT_EQ(ab.sketch("svc", obs::LabelSet{}.server(9)), nullptr);
+
+  const std::string json = registry_json(ab);
+  EXPECT_NE(json.find("\"type\": \"sketch\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ time series ----
+
+TEST(TimeSeries, RollsUpWindowsAndClipsBusyAtBoundaries) {
+  obs::TimeSeries ts(obs::TimeSeries::Options{1.0, 16});
+  // A job whose service straddles the w0/w1 boundary: latency lands in the
+  // arrival window, busy time splits exactly across the two windows
+  // (dyadic endpoints keep the clipped spans float-exact).
+  ts.record_span(3, /*arrival=*/0.5, /*start=*/0.75, /*finish=*/1.25);
+  ts.record_depth(3, 0.5, 2);
+  ts.record_cache(100, 50, 0.25);
+
+  EXPECT_EQ(ts.window_of(0.5), 0);
+  EXPECT_EQ(ts.window_jobs(0, 3), 1u);
+  EXPECT_DOUBLE_EQ(ts.window_latency_mean(0, 3), 0.75);
+  const auto stats = ts.window_stats(0);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].server, 3u);
+
+  std::ostringstream os;
+  ts.write_json(os, 0);
+  const std::string json = os.str();
+  // busy 0.25 s in window 0 and 0.25 s in window 1.
+  EXPECT_NE(json.find("\"busy_s\": [0.25, 0.25]"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"hit_bytes\": [100, 0]"), std::string::npos);
+  EXPECT_NE(json.find("\"depth_max\": [2, 0]"), std::string::npos);
+}
+
+TEST(TimeSeries, BoundedRingDropsOldestWindowsLoudly) {
+  obs::TimeSeries ts(obs::TimeSeries::Options{1.0, 4});
+  for (int w = 0; w < 10; ++w) {
+    ts.record_span(0, w + 0.1, w + 0.2, w + 0.4);
+  }
+  EXPECT_EQ(ts.window_count(), 4u);
+  EXPECT_EQ(ts.dropped_windows(), 6u);
+  EXPECT_EQ(ts.last_window(), 9);
+  // Dropped windows read as idle, and late data for them is discarded.
+  EXPECT_EQ(ts.window_jobs(0, 0), 0u);
+  ts.record_span(0, 0.5, 0.6, 0.7);
+  EXPECT_EQ(ts.window_jobs(0, 0), 0u);
+}
+
+// ---------------------------------------------------------- health monitor ----
+
+/// Drives one synthetic job per (window, server) directly through the Sink
+/// surface: server `slow`'s latency is `slow_lat`, everyone else's 0.1 s.
+void feed_window(obs::HealthMonitor& hm,
+                 const std::vector<std::uint32_t>& tracks, std::int64_t w,
+                 int slow, double slow_lat) {
+  for (std::size_t s = 0; s < tracks.size(); ++s) {
+    const double arrival = static_cast<double>(w) + 0.05;
+    const double lat = static_cast<int>(s) == slow ? slow_lat : 0.1;
+    hm.resource_event(tracks[s], arrival, arrival, arrival + lat);
+  }
+}
+
+TEST(HealthMonitor, FlagAndRecoverHysteresis) {
+  obs::HealthMonitor::Options opt;
+  opt.interval = 1.0;
+  opt.flag_threshold = 2.0;
+  opt.recover_threshold = 1.25;
+  opt.flag_windows = 2;
+  opt.recover_windows = 2;
+  obs::HealthMonitor hm(opt, nullptr);
+  std::vector<std::uint32_t> tracks;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    tracks.push_back(hm.register_server(s, 0, "srv", false));
+  }
+
+  // Windows 0-1 healthy; 2-3 server 0 slow (score 10 >= threshold).  One
+  // slow window must NOT flag (hysteresis); the second must.
+  feed_window(hm, tracks, 0, -1, 0.0);
+  feed_window(hm, tracks, 1, -1, 0.0);
+  feed_window(hm, tracks, 2, 0, 1.0);
+  feed_window(hm, tracks, 3, 0, 1.0);
+  feed_window(hm, tracks, 4, 0, 0.1);  // watermark: scores windows 0-3
+  EXPECT_TRUE(hm.is_flagged(0));
+  EXPECT_FALSE(hm.is_flagged(1));
+  EXPECT_NEAR(hm.server_score(0), 10.0, 1e-9);
+
+  // Two healthy windows recover it — but only after BOTH have scored.
+  feed_window(hm, tracks, 5, -1, 0.0);  // scores window 4: one healthy
+  EXPECT_TRUE(hm.is_flagged(0));
+  feed_window(hm, tracks, 6, -1, 0.0);  // scores window 5: second healthy
+  EXPECT_FALSE(hm.is_flagged(0));
+  hm.finalize();  // scores the trailing window 6 (idempotent afterwards)
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.straggler_flagged",
+                                      obs::LabelSet{}.server(0)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.recovered",
+                                      obs::LabelSet{}.server(0)),
+                   1.0);
+
+  std::ostringstream os;
+  hm.write_json(os, 0);
+  EXPECT_NE(os.str().find("\"flag_count\": 1"), std::string::npos);
+}
+
+TEST(HealthMonitor, DeadBandResetsBothStreaks) {
+  // Scores inside (recover_threshold, flag_threshold) are the hysteresis
+  // dead band: a straggler that hovers at ~1.5x never accumulates enough
+  // consecutive slow windows to flag.
+  obs::HealthMonitor::Options opt;
+  opt.interval = 1.0;
+  opt.flag_threshold = 2.0;
+  opt.recover_threshold = 1.25;
+  opt.flag_windows = 2;
+  obs::HealthMonitor hm(opt, nullptr);
+  std::vector<std::uint32_t> tracks;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    tracks.push_back(hm.register_server(s, 0, "srv", false));
+  }
+  // Alternate slow (score 10) and dead-band (score 1.5) windows: the flag
+  // streak resets every other window, so server 0 is never flagged.
+  for (std::int64_t w = 0; w < 8; ++w) {
+    feed_window(hm, tracks, w, 0, w % 2 == 0 ? 1.0 : 0.15);
+  }
+  hm.finalize();
+  EXPECT_FALSE(hm.is_flagged(0));
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.straggler_flagged",
+                                      obs::LabelSet{}.server(0)),
+                   0.0);
+}
+
+TEST(HealthMonitor, SloAttainmentTracksRequestsAndSubs) {
+  obs::HealthMonitor::Options opt;
+  opt.interval = 1.0;
+  opt.slo = 0.5;
+  obs::HealthMonitor hm(opt, nullptr);
+  const std::uint32_t track = hm.register_server(2, 0, "srv", true);
+  (void)track;
+
+  // Request 1 (read): sub resident 0.3 s <= SLO, request latency 0.4 s.
+  const std::uint32_t r1 = hm.begin_request(0, IoOp::kRead, 0, KiB, 0.0);
+  const std::uint32_t s1 = hm.begin_sub(r1, 2, 0, KiB, 0.0);
+  hm.sub_storage(s1, 0.0, 0.1, 0.05, 0.2);  // (0.1-0.0) + 0.2 = 0.3
+  hm.sub_net_done(s1, 0.35);
+  hm.end_request(r1, 0.4);
+  // Request 2 (read): sub resident 0.8 s > SLO, request latency 0.9 s.
+  const std::uint32_t r2 = hm.begin_request(0, IoOp::kRead, 0, KiB, 1.0);
+  const std::uint32_t s2 = hm.begin_sub(r2, 2, 0, KiB, 1.0);
+  hm.sub_storage(s2, 1.0, 1.6, 0.05, 0.2);  // (1.6-1.0) + 0.2 = 0.8
+  hm.sub_net_done(s2, 1.85);
+  hm.end_request(r2, 1.9);
+  hm.finalize();
+
+  const obs::LabelSet by_server = obs::LabelSet{}.server(2);
+  const obs::LabelSet by_op = obs::LabelSet{}.op(IoOp::kRead);
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.slo.subs_total", by_server),
+                   2.0);
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.slo.subs_met", by_server), 1.0);
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.slo.requests_total", by_op),
+                   2.0);
+  EXPECT_DOUBLE_EQ(hm.metrics().value("health.slo.requests_met", by_op), 1.0);
+
+  std::ostringstream os;
+  hm.write_json(os, 0);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"read_total\": 2, \"read_met\": 1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"slo_subs_total\": 2, \"slo_subs_met\": 1"),
+            std::string::npos);
+}
+
+TEST(HealthMonitor, ForwardsEverySinkCallDownstream) {
+  // As a transparent forwarder in front of a Recorder, the monitor must not
+  // swallow anything: the recorder sees the same spans/requests it would
+  // have seen directly, plus the health instants the monitor originates.
+  sim::Simulator sim;
+  obs::Recorder rec;
+  obs::HealthMonitor::Options opt;
+  opt.interval = 1e-3;
+  opt.flag_windows = 1;
+  opt.min_window_jobs = 1;
+  obs::HealthMonitor hm(opt, &rec);
+  sim.set_observer(&hm);
+  sim::FifoResource res(sim, "disk");
+  res.set_obs_track(hm.register_server(0, 0, "disk", false));
+  res.submit(1e-3, [] {});
+  res.submit(2e-3, [] {});
+  sim.run();
+
+  const auto summaries = rec.resource_summaries();
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].jobs, 2u);
+  // Both jobs were submitted at t=0, so both land in telemetry window 0.
+  EXPECT_EQ(hm.timeseries().window_jobs(0, 0), 2u);
 }
 
 // -------------------------------------------------------------- timeline ----

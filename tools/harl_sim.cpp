@@ -34,6 +34,8 @@
 //   trace-out    path; combined Chrome trace-event JSON of every scheme's
 //                measured run (one pid per scheme; load in Perfetto)
 //   trace-events ring-buffer capacity for trace events, 0 = unbounded
+//   timeseries-out  path; windowed per-server telemetry + health summary
+//   health       1 = arm the straggler/SLO health monitor
 //
 // `harl_sim help` prints this key table — generated from the same option
 // table that validates arguments, so help and parser cannot drift.
@@ -154,6 +156,29 @@ constexpr OptionSpec kOptions[] = {
     {"trace-events",
      "flight-recorder ring-buffer capacity, 0 = unbounded (0);\n"
      "when full, the oldest trace events are dropped"},
+    {"timeseries-out",
+     "path; per-scheme telemetry JSON: windowed per-server\n"
+     "time series (columnar) plus the health monitor summary;\n"
+     "arms the telemetry plane (DESIGN.md §15)"},
+    {"timeseries-interval",
+     "telemetry window width in simulated seconds (0.1 when\n"
+     "timeseries-out or health=1 arms the plane, else off)"},
+    {"health",
+     "1 = arm the straggler/SLO health monitor even without\n"
+     "timeseries-out (scores land in metrics-out / trace-out) (0)"},
+    {"slo-ms",
+     "request/sub-request SLO deadline in milliseconds, 0 = no\n"
+     "SLO tracking (0); attainment is reported per op and per\n"
+     "server (the per-server view localizes a straggler)"},
+    {"gc-pause-ms",
+     "periodic GC-pause duration in milliseconds on one server,\n"
+     "0 = off (0); a deterministic straggler injector — service\n"
+     "times inflate by gc-factor during the pause window"},
+    {"gc-period", "GC-pause cycle length in seconds       (0.5)"},
+    {"gc-factor", "service multiplier during a GC pause   (8.0)"},
+    {"gc-server",
+     "global server index to inject GC pauses on, -1 = the\n"
+     "first SSD server (-1)"},
 };
 
 std::string usage() {
@@ -182,7 +207,12 @@ std::string usage() {
          "artifact\n"
       << "\nObservability (flight recorder):\n"
       << "  harl_sim schemes=64K,harl metrics-out=m.json trace-out=t.json\n"
-      << "  python3 tools/obs_report.py m.json --trace t.json --check\n";
+      << "  python3 tools/obs_report.py m.json --trace t.json --check\n"
+      << "\nTelemetry plane (straggler timeline):\n"
+      << "  harl_sim schemes=harl timeseries-out=ts.json health=1 "
+         "slo-ms=5 gc-pause-ms=20\n"
+      << "  python3 tools/obs_report.py --timeseries ts.json "
+         "--require-health --html dash.html\n";
   return out.str();
 }
 
@@ -408,6 +438,33 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(cfg.get_int("trace-events", 0));
     }
 
+    // Telemetry plane: timeseries-out or health=1 arms the HealthMonitor
+    // (which forces observe); the default 0.1 s window suits the short
+    // simulated makespans of the bundled workloads.
+    const std::string timeseries_out = cfg.get_or("timeseries-out", "");
+    const bool health = cfg.get_int("health", 0) != 0;
+    double ts_interval = cfg.get_double("timeseries-interval", 0.0);
+    if ((!timeseries_out.empty() || health) && ts_interval <= 0.0) {
+      ts_interval = 0.1;
+    }
+    if (ts_interval < 0.0) {
+      throw std::invalid_argument("timeseries-interval must be >= 0");
+    }
+    options.telemetry.interval = ts_interval;
+    const double slo_ms = cfg.get_double("slo-ms", 0.0);
+    if (slo_ms < 0.0) throw std::invalid_argument("slo-ms must be >= 0");
+    options.telemetry.slo = slo_ms / 1000.0;
+
+    // Deterministic straggler injection: periodic per-server GC pauses.
+    const double gc_pause_ms = cfg.get_double("gc-pause-ms", 0.0);
+    if (gc_pause_ms < 0.0) {
+      throw std::invalid_argument("gc-pause-ms must be >= 0");
+    }
+    options.cluster.gc_pause.duration = gc_pause_ms / 1000.0;
+    options.cluster.gc_pause.period = cfg.get_double("gc-period", 0.5);
+    options.cluster.gc_pause.factor = cfg.get_double("gc-factor", 8.0);
+    options.cluster.gc_pause.server = cfg.get_int("gc-server", -1);
+
     std::vector<harness::LayoutScheme> schemes;
     for (const auto& token :
          split_commas(cfg.get_or("schemes", "64K,256K,harl"))) {
@@ -547,6 +604,30 @@ int main(int argc, char** argv) {
       }
       out << "\n  ]\n}\n";
       std::cout << "wrote metrics to " << metrics_out << "\n";
+    }
+
+    if (!timeseries_out.empty()) {
+      // Telemetry plane dump: per scheme, the columnar windowed time series
+      // and the health monitor's summary (obs_report.py --timeseries /
+      // --require-health validate both).
+      std::ofstream out(timeseries_out);
+      if (!out) throw std::runtime_error("cannot write " + timeseries_out);
+      out << "{\n  \"schemes\": [";
+      bool first = true;
+      for (const auto& r : results) {
+        if (!r.health) continue;
+        if (!first) out << ",";
+        first = false;
+        out << "\n    {\"label\": ";
+        write_json_escaped(out, r.label);
+        out << ",\n     \"timeseries\": ";
+        r.health->timeseries().write_json(out, 5);
+        out << ",\n     \"health\": ";
+        r.health->write_json(out, 5);
+        out << "}";
+      }
+      out << "\n  ]\n}\n";
+      std::cout << "wrote timeseries to " << timeseries_out << "\n";
     }
 
     harness::Table table({"layout", "read MB/s", "write MB/s", "total MB/s",

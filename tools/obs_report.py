@@ -3,9 +3,12 @@
 
 Usage:
   obs_report.py METRICS.json [--trace TRACE.json] [--check] [--quiet]
+  obs_report.py --timeseries TS.json [--require-health] [--html DASH.html]
 
 METRICS.json is the file written by `harl_sim metrics-out=...`; TRACE.json is
-the Chrome trace-event file from `trace-out=...`.
+the Chrome trace-event file from `trace-out=...`; TS.json is the telemetry
+plane dump from `timeseries-out=...` (windowed per-server time series plus
+the straggler/SLO health monitor summary, DESIGN.md §15).
 
 Default mode prints, per scheme: the per-server I/O-time breakdown (disk busy
 + server-NIC busy, the paper's Fig. 1a quantity) with utilization, the
@@ -35,9 +38,22 @@ cost-model relative-error distribution per region.
   * trace: valid Chrome trace JSON; complete ("X") spans on each track are
     disjoint and sorted, so span nesting is monotone per track; every async
     "b" has a matching "e" with end >= begin; instants carry timestamps.
+  * timeseries (--timeseries): column arrays all share the window count,
+    window indices strictly increase, per-window busy never exceeds the
+    window width, utilization == busy/interval, and latency quantiles are
+    monotone (p50 <= p95 <= p99) wherever the window saw jobs.
+  * health (--timeseries): per-server scores/counters sane, SLO attainment
+    never exceeds totals, recover counts never exceed flag counts.
 --require-adaptive additionally fails unless at least one scheme carries
 adaptive epoch metrics (used by the CI adaptive smoke step).
-Exit code 0 when every check passes, 1 otherwise.
+--require-health additionally fails unless at least one scheme flagged a
+straggler AND (when an SLO is armed) the flagged servers' attainment is
+strictly below every healthy server's — i.e. the regression localizes to
+the injected straggler (used by the CI telemetry smoke step).
+--html writes a self-contained SVG dashboard (no JavaScript) of the
+per-server utilization / p99 latency / queue-depth timelines.
+Exit code 0 when every check passes, 1 otherwise; malformed input (empty,
+truncated, or wrong-shape JSON) is a clear FAIL, never a traceback.
 """
 
 import argparse
@@ -59,6 +75,30 @@ def load_json(path):
             return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
+
+
+def load_doc(path):
+    """Loads a report file and insists on the top-level envelope shape.
+
+    Truncated or empty files die inside load_json; this catches valid JSON
+    of the wrong shape (null, a list, a bare number) so every malformed
+    input is a clear FAIL instead of an AttributeError traceback.
+    """
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level JSON must be an object, got "
+             f"{type(doc).__name__}")
+    return doc
+
+
+def scheme_list(doc, path):
+    schemes = doc.get("schemes")
+    if not isinstance(schemes, list) or not schemes:
+        fail(f"{path}: no schemes array")
+    for i, scheme in enumerate(schemes):
+        if not isinstance(scheme, dict):
+            fail(f"{path}: schemes[{i}] is not an object")
+    return schemes
 
 
 # --- metrics ----------------------------------------------------------------
@@ -210,10 +250,8 @@ def check_devices(doc):
     return len(spreads)
 
 
-def check_metrics(doc):
-    schemes = doc.get("schemes")
-    if not isinstance(schemes, list) or not schemes:
-        fail("metrics: no schemes array")
+def check_metrics(doc, path="metrics"):
+    schemes = scheme_list(doc, path)
     adaptive_schemes = 0
     cache_schemes = 0
     for scheme in schemes:
@@ -249,7 +287,7 @@ def check_metrics(doc):
                     fail(f"metrics[{label}]/{series.get('name')}: negative "
                          f"counter")
                 continue
-            if series.get("type") != "histogram":
+            if series.get("type") not in ("histogram", "sketch"):
                 continue
             count = series.get("count", 0)
             bucket_total = sum(b[2] for b in series.get("buckets", []))
@@ -258,6 +296,18 @@ def check_metrics(doc):
                      f"{bucket_total} exceed total {count}")
             if count > 0 and series.get("min", 0) > series.get("max", 0):
                 fail(f"metrics[{label}]/{series.get('name')}: min > max")
+            if series.get("type") == "sketch" and count > 0:
+                # Mergeable quantile sketch: the reported quantiles come
+                # from one monotone CDF walk, so they must be monotone too.
+                qs = [series.get(q, 0.0)
+                      for q in ("p50", "p95", "p99", "p999")]
+                if any(b < a - 1e-12 for a, b in zip(qs, qs[1:])):
+                    fail(f"metrics[{label}]/{series.get('name')}: sketch "
+                         f"quantiles not monotone: {qs}")
+                if (qs[0] < series.get("min", 0.0) - 1e-12
+                        or qs[-1] > series.get("max", 0.0) + 1e-12):
+                    fail(f"metrics[{label}]/{series.get('name')}: sketch "
+                         f"quantiles outside [min, max]")
         engine = scheme.get("engine")
         if engine is not None:
             # PDES health block (present when the run used sim-threads>0):
@@ -399,6 +449,255 @@ def summarize(doc):
         print()
 
 
+# --- timeseries / health ----------------------------------------------------
+
+TS_COLUMNS = ("jobs", "busy_s", "utilization", "depth_max",
+              "lat_mean_s", "lat_p50_s", "lat_p95_s", "lat_p99_s")
+
+
+def check_timeseries_block(label, ts):
+    if not isinstance(ts, dict):
+        fail(f"timeseries[{label}]: block is not an object")
+    interval = ts.get("interval_s", 0.0)
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        fail(f"timeseries[{label}]: non-positive interval {interval!r}")
+    n = ts.get("windows")
+    index = ts.get("window_index")
+    if not isinstance(index, list) or len(index) != n:
+        fail(f"timeseries[{label}]: window_index length != windows ({n})")
+    if any(b <= a for a, b in zip(index, index[1:])):
+        fail(f"timeseries[{label}]: window_index not strictly increasing")
+    if ts.get("dropped_windows", 0) < 0:
+        fail(f"timeseries[{label}]: negative dropped_windows")
+    cache = ts.get("cache", {})
+    for key in ("hit_bytes", "miss_bytes"):
+        col = cache.get(key)
+        if not isinstance(col, list) or len(col) != n:
+            fail(f"timeseries[{label}]: cache.{key} length != windows")
+        if any(v < 0 for v in col):
+            fail(f"timeseries[{label}]: negative cache.{key}")
+    servers = ts.get("servers")
+    if not isinstance(servers, list):
+        fail(f"timeseries[{label}]: no servers array")
+    for srv in servers:
+        sid = srv.get("server", "?")
+        for key in TS_COLUMNS:
+            col = srv.get(key)
+            if not isinstance(col, list) or len(col) != n:
+                fail(f"timeseries[{label}]/s{sid}: column {key} length "
+                     f"!= windows ({n})")
+        for w in range(n):
+            busy = srv["busy_s"][w]
+            # One FIFO disk per server: a window can never hold more busy
+            # time than its own width.
+            if busy < -1e-12 or busy > interval * (1 + 1e-9):
+                fail(f"timeseries[{label}]/s{sid}: window {index[w]} busy "
+                     f"{busy} outside [0, {interval}]")
+            if abs(srv["utilization"][w] - busy / interval) > 1e-9:
+                fail(f"timeseries[{label}]/s{sid}: window {index[w]} "
+                     f"utilization != busy / interval")
+            jobs = srv["jobs"][w]
+            if jobs < 0 or srv["depth_max"][w] < 0:
+                fail(f"timeseries[{label}]/s{sid}: negative jobs/depth")
+            if jobs > 0:
+                qs = [srv[k][w]
+                      for k in ("lat_p50_s", "lat_p95_s", "lat_p99_s")]
+                if any(b < a - 1e-12 for a, b in zip(qs, qs[1:])):
+                    fail(f"timeseries[{label}]/s{sid}: window {index[w]} "
+                         f"latency quantiles not monotone: {qs}")
+                if srv["lat_mean_s"][w] < 0:
+                    fail(f"timeseries[{label}]/s{sid}: negative latency")
+    return len(servers)
+
+
+def check_health_block(label, health):
+    """Sanity of the monitor summary; returns the flagged server ids."""
+    if not isinstance(health, dict):
+        fail(f"health[{label}]: block is not an object")
+    reqs = health.get("requests", {})
+    for op in ("read", "write"):
+        total = reqs.get(f"{op}_total", 0)
+        met = reqs.get(f"{op}_met", 0)
+        if total < 0 or met < 0 or met > total:
+            fail(f"health[{label}]: {op} SLO attainment {met}/{total} "
+                 f"inconsistent")
+    servers = health.get("servers")
+    if not isinstance(servers, list):
+        fail(f"health[{label}]: no servers array")
+    flagged = []
+    for srv in servers:
+        sid = srv.get("server", "?")
+        if srv.get("score", 0.0) < 0:
+            fail(f"health[{label}]/s{sid}: negative score")
+        flags = srv.get("flag_count", 0)
+        recovers = srv.get("recover_count", 0)
+        if flags < 0 or recovers < 0 or recovers > flags:
+            fail(f"health[{label}]/s{sid}: {recovers} recoveries for "
+                 f"{flags} flag(s)")
+        if srv.get("flagged") and flags == 0:
+            fail(f"health[{label}]/s{sid}: flagged without a flag event")
+        if srv.get("slo_subs_met", 0) > srv.get("slo_subs_total", 0):
+            fail(f"health[{label}]/s{sid}: SLO met exceeds total")
+        if srv.get("flagged"):
+            flagged.append(sid)
+    return flagged
+
+
+def check_require_health(label, health, flagged):
+    """The CI telemetry gate: a straggler was flagged, and when an SLO is
+    armed the attainment regression localizes to the flagged server(s)."""
+    if not flagged:
+        return False
+    if health.get("slo_s", 0.0) > 0:
+        def attainment(srv):
+            total = srv.get("slo_subs_total", 0)
+            return srv.get("slo_subs_met", 0) / total if total > 0 else None
+
+        bad, good = [], []
+        for srv in health.get("servers", []):
+            a = attainment(srv)
+            if a is None:
+                continue
+            (bad if srv.get("server") in flagged else good).append(a)
+        if bad and good and max(bad) >= min(good):
+            fail(f"health[{label}]: flagged server SLO attainment "
+                 f"{max(bad):.3f} not below every healthy server's "
+                 f"(min {min(good):.3f}) — regression does not localize")
+    return True
+
+
+def check_timeseries(doc, path, require_health):
+    schemes = scheme_list(doc, path)
+    n_flagged_schemes = 0
+    for scheme in schemes:
+        label = scheme.get("label", "?")
+        check_timeseries_block(label, scheme.get("timeseries"))
+        flagged = check_health_block(label, scheme.get("health"))
+        if check_require_health(label, scheme.get("health"), flagged):
+            n_flagged_schemes += 1
+    if require_health and n_flagged_schemes == 0:
+        fail(f"{path}: no scheme flagged a straggler "
+             f"(--require-health)")
+    return len(schemes), n_flagged_schemes
+
+
+def summarize_timeseries(doc):
+    for scheme in doc["schemes"]:
+        ts = scheme["timeseries"]
+        health = scheme["health"]
+        print(f"== {scheme.get('label', '?')} telemetry ==")
+        print(f"  {ts['windows']} window(s) x {ts['interval_s']}s "
+              f"({ts['dropped_windows']} dropped), "
+              f"{len(ts['servers'])} server(s)")
+        for srv in health.get("servers", []):
+            state = "FLAGGED" if srv.get("flagged") else "ok"
+            total = srv.get("slo_subs_total", 0)
+            slo = (f", SLO {srv.get('slo_subs_met', 0)}/{total}"
+                   if total else "")
+            print(f"    s{srv['server']:<3} score {srv['score']:6.2f} "
+                  f"[{state}] flags {srv['flag_count']} "
+                  f"recoveries {srv['recover_count']}{slo}")
+        print()
+
+
+# --- HTML dashboard ----------------------------------------------------------
+
+SVG_W, SVG_H, SVG_PAD = 640, 160, 28
+PALETTE = ("#4363d8", "#3cb44b", "#e6194b", "#f58231", "#911eb4",
+           "#46f0f0", "#f032e6", "#9a6324", "#808000", "#000075")
+
+
+def svg_chart(title, windows, series, y_label):
+    """One inline SVG: a polyline per server over the window axis."""
+    top = max((max(vals) for _, vals, _ in series if vals), default=0.0)
+    top = top if top > 0 else 1.0
+    n = max(len(windows), 2)
+
+    def x(i):
+        return SVG_PAD + (SVG_W - 2 * SVG_PAD) * i / (n - 1)
+
+    def y(v):
+        return SVG_H - SVG_PAD - (SVG_H - 2 * SVG_PAD) * v / top
+
+    parts = [f'<svg viewBox="0 0 {SVG_W} {SVG_H}" width="{SVG_W}" '
+             f'height="{SVG_H}" role="img">',
+             f'<text x="{SVG_PAD}" y="14" class="t">{title}</text>',
+             f'<text x="{SVG_PAD}" y="{SVG_H - 8}" class="a">window '
+             f'{windows[0]}..{windows[-1]} · y-max {top:.4g} {y_label}'
+             f'</text>',
+             f'<rect x="{SVG_PAD}" y="{SVG_PAD - 8}" '
+             f'width="{SVG_W - 2 * SVG_PAD}" '
+             f'height="{SVG_H - 2 * SVG_PAD - 8}" class="f"/>']
+    for name, vals, color in series:
+        pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in enumerate(vals))
+        parts.append(f'<polyline points="{pts}" fill="none" '
+                     f'stroke="{color}" stroke-width="1.5">'
+                     f'<title>{name}</title></polyline>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def write_html(doc, path):
+    """Self-contained dashboard: no JavaScript, no external assets."""
+    out = ["<!DOCTYPE html><html><head><meta charset='utf-8'>",
+           "<title>harl telemetry dashboard</title><style>",
+           "body{font:14px sans-serif;margin:24px;background:#fafafa}",
+           ".t{font:bold 13px sans-serif}.a{font:11px sans-serif;"
+           "fill:#666}",
+           ".f{fill:#fff;stroke:#ddd}",
+           "td,th{padding:2px 10px;text-align:right;"
+           "border-bottom:1px solid #eee}",
+           ".flag{color:#c00;font-weight:bold}",
+           "</style></head><body><h1>harl telemetry dashboard</h1>"]
+    for scheme in doc.get("schemes", []):
+        label = scheme.get("label", "?")
+        ts = scheme.get("timeseries", {})
+        health = scheme.get("health", {})
+        windows = ts.get("window_index", [])
+        servers = ts.get("servers", [])
+        flagged = {s.get("server") for s in health.get("servers", [])
+                   if s.get("flagged")}
+        out.append(f"<h2>{label}</h2>")
+        out.append(f"<p>{ts.get('windows', 0)} window(s) × "
+                   f"{ts.get('interval_s', 0)} s, "
+                   f"{ts.get('dropped_windows', 0)} dropped; flagged "
+                   f"stragglers: "
+                   f"{sorted(flagged) if flagged else 'none'}</p>")
+        if windows and servers:
+            def color(i, sid):
+                return "#c00" if sid in flagged \
+                    else PALETTE[i % len(PALETTE)]
+
+            for title, key, unit in (
+                    ("utilization", "utilization", ""),
+                    ("p99 service latency", "lat_p99_s", "s"),
+                    ("max queue depth", "depth_max", "jobs")):
+                series = [(f"s{srv.get('server')}", srv.get(key, []),
+                           color(i, srv.get("server")))
+                          for i, srv in enumerate(servers)]
+                out.append(svg_chart(f"{label}: {title}", windows, series,
+                                     unit))
+        rows = health.get("servers", [])
+        if rows:
+            out.append("<table><tr><th>server</th><th>score</th>"
+                       "<th>state</th><th>flags</th><th>recoveries</th>"
+                       "<th>SLO subs met/total</th></tr>")
+            for srv in rows:
+                state = ("<span class='flag'>FLAGGED</span>"
+                         if srv.get("flagged") else "ok")
+                out.append(
+                    f"<tr><td>s{srv.get('server')}</td>"
+                    f"<td>{srv.get('score', 0):.2f}</td><td>{state}</td>"
+                    f"<td>{srv.get('flag_count', 0)}</td>"
+                    f"<td>{srv.get('recover_count', 0)}</td>"
+                    f"<td>{srv.get('slo_subs_met', 0)}/"
+                    f"{srv.get('slo_subs_total', 0)}</td></tr>")
+            out.append("</table>")
+    out.append("</body></html>")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(out))
+
+
 # --- trace ------------------------------------------------------------------
 
 def check_trace(doc):
@@ -459,8 +758,11 @@ def check_trace(doc):
 def main():
     parser = argparse.ArgumentParser(
         description="Summarize/validate harl_sim observability output")
-    parser.add_argument("metrics", help="metrics-out JSON file")
+    parser.add_argument("metrics", nargs="?",
+                        help="metrics-out JSON file")
     parser.add_argument("--trace", help="trace-out Chrome trace JSON file")
+    parser.add_argument("--timeseries",
+                        help="timeseries-out telemetry JSON file")
     parser.add_argument("--check", action="store_true",
                         help="validate files instead of summarizing")
     parser.add_argument("--quiet", action="store_true",
@@ -470,26 +772,48 @@ def main():
                              "metrics")
     parser.add_argument("--require-cache", action="store_true",
                         help="fail unless >=1 scheme has read-cache metrics")
+    parser.add_argument("--require-health", action="store_true",
+                        help="fail unless >=1 scheme flagged a straggler "
+                             "with a localized SLO regression")
+    parser.add_argument("--html",
+                        help="write a self-contained SVG dashboard of the "
+                             "--timeseries file to this path")
     args = parser.parse_args()
+    if args.metrics is None and args.timeseries is None:
+        parser.error("need a METRICS.json argument and/or --timeseries")
+    if (args.require_health or args.html) and args.timeseries is None:
+        parser.error("--require-health/--html need --timeseries")
 
-    metrics_doc = load_json(args.metrics)
-    n_schemes, n_adaptive, n_cache = check_metrics(metrics_doc)
-    n_devices = check_devices(metrics_doc)
-    if args.require_adaptive and n_adaptive == 0:
-        fail(f"{args.metrics}: no scheme carries adaptive epoch metrics "
-             f"(adaptive.* families)")
-    if args.require_cache and n_cache == 0:
-        fail(f"{args.metrics}: no scheme carries read-cache metrics "
-             f"(cache.* families)")
+    n_schemes = n_adaptive = n_cache = n_devices = 0
+    metrics_doc = None
+    if args.metrics is not None:
+        metrics_doc = load_doc(args.metrics)
+        n_schemes, n_adaptive, n_cache = check_metrics(metrics_doc)
+        n_devices = check_devices(metrics_doc)
+        if args.require_adaptive and n_adaptive == 0:
+            fail(f"{args.metrics}: no scheme carries adaptive epoch metrics "
+                 f"(adaptive.* families)")
+        if args.require_cache and n_cache == 0:
+            fail(f"{args.metrics}: no scheme carries read-cache metrics "
+                 f"(cache.* families)")
     trace_counts = None
     if args.trace:
-        trace_counts = check_trace(load_json(args.trace))
+        trace_counts = check_trace(load_doc(args.trace))
+    ts_doc = None
+    n_ts = n_health = 0
+    if args.timeseries is not None:
+        ts_doc = load_doc(args.timeseries)
+        n_ts, n_health = check_timeseries(ts_doc, args.timeseries,
+                                          args.require_health)
+        if args.html:
+            write_html(ts_doc, args.html)
 
     if args.check:
         if not args.quiet:
-            print(f"obs_report: OK: {args.metrics}: {n_schemes} scheme(s) "
-                  f"valid ({n_adaptive} adaptive, {n_cache} cached, "
-                  f"{n_devices} with device blocks)")
+            if metrics_doc is not None:
+                print(f"obs_report: OK: {args.metrics}: {n_schemes} "
+                      f"scheme(s) valid ({n_adaptive} adaptive, {n_cache} "
+                      f"cached, {n_devices} with device blocks)")
             if trace_counts is not None:
                 total = sum(trace_counts.values())
                 detail = ", ".join(f"{k}:{v}" for k, v in
@@ -497,9 +821,16 @@ def main():
                 print(f"obs_report: OK: {args.trace}: {total} events "
                       f"({detail}); spans nested per track, async pairs "
                       f"matched")
+            if ts_doc is not None:
+                print(f"obs_report: OK: {args.timeseries}: {n_ts} "
+                      f"scheme(s) valid ({n_health} with flagged "
+                      f"straggler(s))")
         return 0
 
-    summarize(metrics_doc)
+    if metrics_doc is not None:
+        summarize(metrics_doc)
+    if ts_doc is not None:
+        summarize_timeseries(ts_doc)
     if trace_counts is not None:
         total = sum(trace_counts.values())
         print(f"trace: {total} events "
