@@ -11,6 +11,7 @@
 
 #include "src/obs/recorder.hpp"
 #include "src/pfs/cluster.hpp"
+#include "src/pfs/replication.hpp"
 #include "src/sim/pdes.hpp"
 #include "src/sim/resource.hpp"
 #include "src/sim/simulator.hpp"
@@ -188,6 +189,34 @@ void BM_ClusterRequests(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * requests);
 }
 BENCHMARK(BM_ClusterRequests)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_MultiFileDispatch(benchmark::State& state) {
+  // Namespace data path: the same open-loop replay spread round-robin over
+  // Arg files, every write mirrored through a chained replica map.  Arg(1)
+  // vs Arg(8) isolates what file-id threading and the replica write legs
+  // cost per request; tools/bench_sim_report.py exports the pair as the
+  // multi_file block of BENCH_sim.json.
+  const int files = static_cast<int>(state.range(0));
+  const int requests = 1000;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    pfs::ClusterConfig cfg;
+    pfs::Cluster cluster(sim, cfg);
+    auto layout = pfs::make_fixed_layout(cluster.num_servers(), 64 * KiB);
+    const pfs::ReplicaMap replicas =
+        pfs::ReplicaMap::chained(cluster.num_servers());
+    for (int i = 0; i < requests; ++i) {
+      cluster.client(static_cast<std::size_t>(i) % cluster.num_clients())
+          .io(*layout, i % 2 ? IoOp::kRead : IoOp::kWrite,
+              static_cast<Bytes>(i / files) * 512 * KiB, 512 * KiB, [] {},
+              static_cast<std::uint32_t>(i % files), &replicas);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * requests);
+}
+BENCHMARK(BM_MultiFileDispatch)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 /// One end-to-end cluster replay under the conservative PDES runtime (or
 /// the sequential engine when `sim_threads == 0`).  Returns the engine

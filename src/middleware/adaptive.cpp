@@ -43,6 +43,28 @@ core::CostParams advisor_params(core::CostParams params,
   return params;
 }
 
+/// Effectively-infinite device factor for a failed server: any candidate
+/// that touches the slot is priced out, so the member-prefix search excludes
+/// it from every region of every new epoch.
+constexpr double kFailedDeviceFactor = 1e6;
+
+/// The advisor's view of the fleet after a server failure: the failed tier's
+/// trailing slot (device factors are canonical ascending, so only the tail
+/// can be prefix-excluded) carries kFailedDeviceFactor.
+core::CostParams degraded_params(core::CostParams params, std::size_t tier) {
+  auto& factors =
+      tier == 0 ? params.hserver_factors : params.sserver_factors;
+  const std::size_t count = tier == 0 ? params.M : params.N;
+  if (count < 2) {
+    throw std::invalid_argument(
+        "cannot degrade a tier with fewer than two servers");
+  }
+  if (factors.empty()) factors.assign(count, 1.0);
+  factors.back() = kFailedDeviceFactor;
+  storage::canonicalize_device_factors(factors);
+  return params;
+}
+
 }  // namespace
 
 // --- MigrationEngine --------------------------------------------------------
@@ -158,6 +180,7 @@ AdaptiveLayoutManager::AdaptiveLayoutManager(core::CostParams params,
   m_chunks_ = metrics_.family("migration.chunks", Kind::kCounter);
   m_interference_ =
       metrics_.family("migration.interference_s", Kind::kCounter);
+  m_degraded_ = metrics_.family("adaptive.degraded_replans", Kind::kCounter);
 }
 
 std::shared_ptr<const pfs::Layout> AdaptiveLayoutManager::install(
@@ -228,7 +251,8 @@ void AdaptiveLayoutManager::server_access(std::uint32_t server, IoOp op,
 
 std::uint32_t AdaptiveLayoutManager::begin_request(std::uint32_t client,
                                                    IoOp op, Bytes offset,
-                                                   Bytes size, Seconds now) {
+                                                   Bytes size, Seconds now,
+                                                   std::uint32_t file) {
   std::uint32_t id;
   if (!req_free_.empty()) {
     id = req_free_.back();
@@ -239,13 +263,14 @@ std::uint32_t AdaptiveLayoutManager::begin_request(std::uint32_t client,
   }
   PendingReq& r = reqs_[id];
   r.down = downstream_ != nullptr
-               ? downstream_->begin_request(client, op, offset, size, now)
+               ? downstream_->begin_request(client, op, offset, size, now, file)
                : obs::kNoId;
   r.op = op;
   r.offset = offset;
   r.size = size;
   r.issue = now;
   r.client = client;
+  r.file = file;
   return id;
 }
 
@@ -280,7 +305,9 @@ void AdaptiveLayoutManager::end_request(std::uint32_t request, Seconds now) {
   if (downstream_ != nullptr && r.down != obs::kNoId) {
     downstream_->end_request(r.down, now);
   }
-  feed(r.client, r.op, r.offset, r.size, r.issue, now);
+  if (file_filter_ == obs::kNoId || r.file == file_filter_) {
+    feed(r.client, r.op, r.offset, r.size, r.issue, now);
+  }
 }
 
 void AdaptiveLayoutManager::adaptive_event(AdaptiveEvent event,
@@ -312,6 +339,22 @@ void AdaptiveLayoutManager::health_event(HealthEvent event,
 
 void AdaptiveLayoutManager::feed(std::uint32_t client, IoOp op, Bytes offset,
                                  Bytes size, Seconds issue, Seconds now) {
+  if (options_.fail && !degraded_applied_ && now >= options_.fail->at) {
+    // The failure instant passed: rebuild the advisor against the degraded
+    // fleet (current RST carried over), so every subsequent window's
+    // re-optimization excludes the failed trailing slot of its tier.
+    degraded_applied_ = true;
+    windows_offset_ += advisor_.windows_analyzed();
+    evals_offset_ += advisor_.cost_evals();
+    evals_saved_offset_ += advisor_.cost_evals_saved();
+    last_cost_evals_ = 0;
+    last_cost_evals_saved_ = 0;
+    advisor_ = core::OnlineAdvisor(
+        degraded_params(advisor_params(params_, options_.reserved),
+                        options_.fail->tier),
+        advisor_.current(), options_.advisor);
+    metrics_.add(m_degraded_, obs::LabelSet{}, 1.0);
+  }
   trace::TraceRecord record;
   record.pid = client;
   record.rank = client;
@@ -380,7 +423,7 @@ void AdaptiveLayoutManager::handle(
 AdaptiveLayoutManager::Summary AdaptiveLayoutManager::summary() const {
   Summary s;
   s.epochs_installed = epochs_installed_;
-  s.windows_analyzed = advisor_.windows_analyzed();
+  s.windows_analyzed = windows_offset_ + advisor_.windows_analyzed();
   s.recommendations = recommendations_;
   s.recommendations_deferred = deferred_;
   if (migration_ != nullptr) {
@@ -388,8 +431,8 @@ AdaptiveLayoutManager::Summary AdaptiveLayoutManager::summary() const {
     s.migration_chunks = migration_->chunks_copied();
     s.migration_interference = migration_->interference();
   }
-  s.cost_evals = advisor_.cost_evals();
-  s.cost_evals_saved = advisor_.cost_evals_saved();
+  s.cost_evals = evals_offset_ + advisor_.cost_evals();
+  s.cost_evals_saved = evals_saved_offset_ + advisor_.cost_evals_saved();
   return s;
 }
 

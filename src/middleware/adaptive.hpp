@@ -63,6 +63,19 @@ struct AdaptiveOptions {
   /// Cache spec carried into latest_plan() so an artifact saved after an
   /// adaptive run resumes with the same reservation.
   std::optional<core::PlanCacheSpec> cache_spec;
+  /// Mid-run data-server failure (rebuild-storm runs).  From simulated time
+  /// `at` on, the advisor re-optimizes windows against cost parameters whose
+  /// failed slot carries an effectively infinite device factor, so the
+  /// device-aware member-prefix search prices the degraded server out of
+  /// every new epoch — the same mechanism that routes around workload drift
+  /// also routes around the failure.  The failed server must be the *last*
+  /// slot of its tier (device factors are canonical ascending, so only the
+  /// trailing slot can be excluded by a member prefix).
+  struct FailSpec {
+    std::size_t tier = 0;  ///< 0 = HServer tier, 1 = SServer tier
+    Seconds at = 0.0;      ///< failure instant (simulated seconds)
+  };
+  std::optional<FailSpec> fail;
 };
 
 /// Background copier for one adopted recommendation.  Owns a private PFS
@@ -160,7 +173,8 @@ class AdaptiveLayoutManager final : public obs::Sink {
   void server_access(std::uint32_t server, IoOp op, std::uint32_t region,
                      Bytes bytes, Bytes pieces, Seconds now) override;
   std::uint32_t begin_request(std::uint32_t client, IoOp op, Bytes offset,
-                              Bytes size, Seconds now) override;
+                              Bytes size, Seconds now,
+                              std::uint32_t file = obs::kNoId) override;
   std::uint32_t begin_sub(std::uint32_t request, std::uint32_t server,
                           std::uint32_t region, Bytes bytes,
                           Seconds now) override;
@@ -196,6 +210,16 @@ class AdaptiveLayoutManager final : public obs::Sink {
   using EpochHook = std::function<void(std::uint32_t)>;
   void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
 
+  /// Namespace scoping: only requests tagged with this FileId feed the
+  /// advisor (others pass through untouched), so each file's epochs adapt to
+  /// its own traffic.  obs::kNoId (the default) accepts everything — the
+  /// legacy single-file behaviour.
+  void set_file_filter(std::uint32_t file) { file_filter_ = file; }
+
+  /// True once the failure instant has passed and the advisor was rebuilt
+  /// against the degraded fleet (FailSpec set only).
+  bool degraded_active() const { return degraded_applied_; }
+
  private:
   void feed(std::uint32_t client, IoOp op, Bytes offset, Bytes size,
             Seconds issue, Seconds now);
@@ -221,11 +245,18 @@ class AdaptiveLayoutManager final : public obs::Sink {
     Bytes size = 0;
     Seconds issue = 0.0;
     std::uint32_t client = 0;
+    std::uint32_t file = obs::kNoId;
   };
   std::vector<PendingReq> reqs_;
   std::vector<std::uint32_t> req_free_;
 
   EpochHook epoch_hook_;
+  std::uint32_t file_filter_ = obs::kNoId;
+  bool degraded_applied_ = false;
+  /// Advisor counter totals carried across the degraded-advisor swap.
+  std::size_t windows_offset_ = 0;
+  std::uint64_t evals_offset_ = 0;
+  std::uint64_t evals_saved_offset_ = 0;
   std::uint64_t last_cost_evals_ = 0;
   std::uint64_t last_cost_evals_saved_ = 0;
   std::size_t epochs_installed_ = 0;
@@ -242,6 +273,7 @@ class AdaptiveLayoutManager final : public obs::Sink {
   obs::MetricsRegistry::FamilyId m_migrated_;
   obs::MetricsRegistry::FamilyId m_chunks_;
   obs::MetricsRegistry::FamilyId m_interference_;
+  obs::MetricsRegistry::FamilyId m_degraded_;
 };
 
 }  // namespace harl::mw

@@ -7,18 +7,19 @@
 #include <utility>
 
 #include "src/common/interval.hpp"
+#include "src/pfs/replication.hpp"
 #include "src/sim/resource.hpp"
 
 namespace harl::mw {
 
-namespace {
+namespace detail {
 
-/// Mutable execution state shared by all in-flight callbacks of one run().
-/// run() is synchronous (it drains the simulator before returning), so the
-/// raw references outlive every event.
+/// Mutable execution state shared by all in-flight callbacks of one launch.
+/// The runner's layout (shared_ptr member) and world outlive the simulator
+/// drain; the programs are copied so a launch() caller's vector may die.
 struct RunState {
   MpiWorld& world;
-  const std::vector<RankProgram>& programs;
+  std::vector<RankProgram> programs;
   const pfs::Layout& layout;
   trace::TraceCollector* collector;
   std::size_t num_aggregators;
@@ -26,10 +27,15 @@ struct RunState {
   bool per_request_metadata;
   NoncontigStrategy noncontig;
   double sieve_min_density;
+  std::uint32_t file;
+  const pfs::ReplicaMap* replicas;
   std::string file_name;
 
   std::vector<std::size_t> pc;        // per-rank program counter
   std::vector<std::size_t> sync_seq;  // per-rank sync points passed
+  std::vector<char> rank_done;        // per-rank completion latch
+  std::size_t ranks_done = 0;
+  Seconds completed_at = 0.0;  // instant the last rank finished
 
   struct SyncPoint {
     std::size_t arrived = 0;
@@ -40,11 +46,11 @@ struct RunState {
   Bytes bytes_read = 0;
   Bytes bytes_written = 0;
 
-  RunState(MpiWorld& w, const std::vector<RankProgram>& p,
-           const pfs::Layout& l, trace::TraceCollector* c,
-           const RunnerOptions& opts, std::string name)
+  RunState(MpiWorld& w, std::vector<RankProgram> p, const pfs::Layout& l,
+           trace::TraceCollector* c, const RunnerOptions& opts,
+           std::string name)
       : world(w),
-        programs(p),
+        programs(std::move(p)),
         layout(l),
         collector(c),
         num_aggregators(opts.collective.aggregators),
@@ -52,9 +58,12 @@ struct RunState {
         per_request_metadata(opts.per_request_metadata),
         noncontig(opts.noncontig),
         sieve_min_density(opts.sieve_min_density),
+        file(opts.file),
+        replicas(opts.replicas),
         file_name(std::move(name)),
-        pc(p.size(), 0),
-        sync_seq(p.size(), 0) {}
+        pc(programs.size(), 0),
+        sync_seq(programs.size(), 0),
+        rank_done(programs.size(), 0) {}
 
   sim::Simulator& sim() { return world.cluster().simulator(); }
 
@@ -65,10 +74,19 @@ struct RunState {
   void trace_request(std::uint32_t rank, IoOp op, Bytes offset, Bytes size,
                      Seconds t_start) {
     if (collector != nullptr) {
-      collector->record(rank, /*fd=*/0, op, offset, size, t_start, sim().now());
+      // The FileId doubles as the trace fd, so multi-file traces keep their
+      // per-file request streams separable (fd 0 = legacy single file).
+      const std::uint32_t fd = file == obs::kNoId ? 0 : file;
+      collector->record(rank, fd, op, offset, size, t_start, sim().now());
     }
   }
 };
+
+}  // namespace detail
+
+namespace {
+
+using detail::RunState;
 
 void step(const std::shared_ptr<RunState>& st, std::size_t rank);
 
@@ -94,7 +112,8 @@ void issue_list_naive(const std::shared_ptr<RunState>& st, std::size_t rank,
         st->trace_request(static_cast<std::uint32_t>(rank), op, e.offset,
                           e.size, t0);
         issue_list_naive(st, rank, op, extents, index + 1);
-      });
+      },
+      st->file, st->replicas);
 }
 
 /// List I/O path: the extent list travels as one request and its pieces are
@@ -106,11 +125,13 @@ void issue_list_io(const std::shared_ptr<RunState>& st, std::size_t rank,
   for (const Extent& e : extents) {
     const Seconds t0 = st->sim().now();
     st->world.client_of(rank).io(
-        st->layout, op, e.offset, e.size, [st, rank, op, e, t0, join] {
+        st->layout, op, e.offset, e.size,
+        [st, rank, op, e, t0, join] {
           st->trace_request(static_cast<std::uint32_t>(rank), op, e.offset,
                             e.size, t0);
           join->done();
-        });
+        },
+        st->file, st->replicas);
   }
 }
 
@@ -143,27 +164,32 @@ void issue_noncontig(const std::shared_ptr<RunState>& st, std::size_t rank,
     const Bytes cover = hi - lo;
     const Seconds t0 = st->sim().now();
     if (op == IoOp::kRead) {
-      st->world.client_of(rank).io(st->layout, IoOp::kRead, lo, cover,
-                                   [st, rank, lo, cover, t0] {
-                                     st->trace_request(
-                                         static_cast<std::uint32_t>(rank),
-                                         IoOp::kRead, lo, cover, t0);
-                                     advance(st, rank);
-                                   });
+      st->world.client_of(rank).io(
+          st->layout, IoOp::kRead, lo, cover,
+          [st, rank, lo, cover, t0] {
+            st->trace_request(static_cast<std::uint32_t>(rank), IoOp::kRead,
+                              lo, cover, t0);
+            advance(st, rank);
+          },
+          st->file, st->replicas);
     } else {
       // Read-modify-write: fetch the covering extent, then write it back.
       st->world.client_of(rank).io(
-          st->layout, IoOp::kRead, lo, cover, [st, rank, lo, cover, t0] {
+          st->layout, IoOp::kRead, lo, cover,
+          [st, rank, lo, cover, t0] {
             st->trace_request(static_cast<std::uint32_t>(rank), IoOp::kRead,
                               lo, cover, t0);
             const Seconds t1 = st->sim().now();
             st->world.client_of(rank).io(
-                st->layout, IoOp::kWrite, lo, cover, [st, rank, lo, cover, t1] {
+                st->layout, IoOp::kWrite, lo, cover,
+                [st, rank, lo, cover, t1] {
                   st->trace_request(static_cast<std::uint32_t>(rank),
                                     IoOp::kWrite, lo, cover, t1);
                   advance(st, rank);
-                });
-          });
+                },
+                st->file, st->replicas);
+          },
+          st->file, st->replicas);
     }
     return;
   }
@@ -197,7 +223,8 @@ void issue_aggregator_rounds(const std::shared_ptr<RunState>& st,
             } else {
               join->done();
             }
-          });
+          },
+          st->file, st->replicas);
 }
 
 /// Two-phase collective I/O over the actions gathered at one sync point.
@@ -346,7 +373,15 @@ void resolve_sync(const std::shared_ptr<RunState>& st, std::size_t seq) {
 
 void step(const std::shared_ptr<RunState>& st, std::size_t rank) {
   const RankProgram& prog = st->programs[rank];
-  if (st->pc[rank] >= prog.size()) return;  // rank finished
+  if (st->pc[rank] >= prog.size()) {  // rank finished
+    if (!st->rank_done[rank]) {
+      st->rank_done[rank] = 1;
+      if (++st->ranks_done == st->programs.size()) {
+        st->completed_at = st->sim().now();
+      }
+    }
+    return;
+  }
   const IoAction& action = prog[st->pc[rank]];
 
   switch (action.kind) {
@@ -361,11 +396,13 @@ void step(const std::shared_ptr<RunState>& st, std::size_t rank) {
       const Seconds t0 = st->sim().now();
       auto issue = [st, rank, op, e, t0] {
         st->world.client_of(rank).io(
-            st->layout, op, e.offset, e.size, [st, rank, op, e, t0] {
+            st->layout, op, e.offset, e.size,
+            [st, rank, op, e, t0] {
               st->trace_request(static_cast<std::uint32_t>(rank), op, e.offset,
                                 e.size, t0);
               advance(st, rank);
-            });
+            },
+            st->file, st->replicas);
       };
       if (st->per_request_metadata) {
         // Placement resolution: the MDS consults the RST for this request.
@@ -420,15 +457,18 @@ ProgramRunner::ProgramRunner(MpiWorld& world, std::string file_name,
   world_.cluster().mds().register_file(file_name_, layout_);
 }
 
-RunResult ProgramRunner::run(const std::vector<RankProgram>& programs) {
+ProgramRunner::Launch ProgramRunner::launch(
+    const std::vector<RankProgram>& programs) {
   if (programs.size() != world_.size()) {
     throw std::invalid_argument("one program per rank required");
   }
   auto& sim = world_.cluster().simulator();
-  const Seconds start = sim.now();
 
-  auto st = std::make_shared<RunState>(world_, programs, *layout_, collector_,
-                                       options_, file_name_);
+  Launch launch;
+  launch.start = sim.now();
+  launch.state = std::make_shared<RunState>(world_, programs, *layout_,
+                                            collector_, options_, file_name_);
+  const auto& st = launch.state;
 
   // MPI_File_open: every compute node resolves the file at the MDS once,
   // then all ranks start.
@@ -442,20 +482,32 @@ RunResult ProgramRunner::run(const std::vector<RankProgram>& programs) {
           open_join->done();
         });
   }
-  sim.run();
+  return launch;
+}
+
+RunResult ProgramRunner::finish(const Launch& launch) const {
+  const auto& st = launch.state;
+  if (!st) throw std::logic_error("finish() of an empty launch");
 
   // The advance past the final action leaves pc == size for every rank.
-  for (std::size_t r = 0; r < programs.size(); ++r) {
-    if (st->pc[r] < programs[r].size()) {
+  for (std::size_t r = 0; r < st->programs.size(); ++r) {
+    if (st->pc[r] < st->programs[r].size()) {
       throw std::logic_error("rank deadlocked: mismatched sync points?");
     }
   }
 
   RunResult result;
-  result.makespan = sim.now() - start;
+  result.makespan = world_.cluster().simulator().now() - launch.start;
+  result.completed_at = st->completed_at;
   result.bytes_read = st->bytes_read;
   result.bytes_written = st->bytes_written;
   return result;
+}
+
+RunResult ProgramRunner::run(const std::vector<RankProgram>& programs) {
+  Launch launch = this->launch(programs);
+  world_.cluster().simulator().run();
+  return finish(launch);
 }
 
 }  // namespace harl::mw

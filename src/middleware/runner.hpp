@@ -14,8 +14,13 @@
 
 #include "src/middleware/mpi_world.hpp"
 #include "src/middleware/program.hpp"
+#include "src/obs/sink.hpp"
 #include "src/pfs/layout.hpp"
 #include "src/trace/collector.hpp"
+
+namespace harl::pfs {
+class ReplicaMap;
+}
 
 namespace harl::mw {
 
@@ -57,12 +62,25 @@ struct RunnerOptions {
   /// fraction of the covering extent (ROMIO applies a similar density
   /// heuristic via its buffer limits).
   double sieve_min_density = 0.5;
+  /// Namespace FileId: attributes this runner's requests to one file of a
+  /// multi-file population (telemetry labels, trace fd).  obs::kNoId keeps
+  /// the legacy single-file outputs byte-identical.
+  std::uint32_t file = obs::kNoId;
+  /// Replica placement for this file (owned by the caller, must outlive the
+  /// runner).  When set, writes also land on each sub-request's replica and
+  /// reads fail over to it once the primary's server has failed.
+  const pfs::ReplicaMap* replicas = nullptr;
 };
 
 struct RunResult {
-  Seconds makespan = 0.0;   ///< first issue to last completion
+  Seconds makespan = 0.0;   ///< launch to simulator quiescence
   Bytes bytes_read = 0;     ///< application-level bytes
   Bytes bytes_written = 0;
+  /// Simulated instant the launch's last rank finished.  Equals launch start
+  /// + makespan for a solo run with no trailing background work; under a
+  /// shared multi-file simulator run it is this file's own completion, while
+  /// makespan spans the whole drain.
+  Seconds completed_at = 0.0;
 
   double read_throughput() const {
     return makespan > 0.0 ? static_cast<double>(bytes_read) / makespan : 0.0;
@@ -76,6 +94,10 @@ struct RunResult {
                : 0.0;
   }
 };
+
+namespace detail {
+struct RunState;
+}
 
 class ProgramRunner {
  public:
@@ -97,6 +119,24 @@ class ProgramRunner {
   /// the world size) and returns the aggregate result.  May be called
   /// repeatedly; simulated time carries forward, makespan is per-call.
   RunResult run(const std::vector<RankProgram>& programs);
+
+  /// A program set scheduled onto the shared simulator but not yet drained.
+  /// Several runners — one per file of a namespace — can each launch() onto
+  /// the same cluster, then a single Simulator::run() interleaves all their
+  /// traffic; finish() harvests each file's result afterwards.
+  struct Launch {
+    std::shared_ptr<detail::RunState> state;
+    Seconds start = 0.0;
+  };
+
+  /// Schedules the MPI_File_open fan-out and the rank programs (a copy is
+  /// taken; the caller's vector need not outlive the launch).  No simulated
+  /// time elapses until the caller runs the simulator.
+  Launch launch(const std::vector<RankProgram>& programs);
+
+  /// Harvests the result of a drained launch.  Throws std::logic_error if
+  /// any rank has not finished (deadlock / simulator not run to quiescence).
+  RunResult finish(const Launch& launch) const;
 
  private:
   MpiWorld& world_;

@@ -26,7 +26,11 @@ HealthMonitor::HealthMonitor(Options options, Sink* downstream)
       m_slo_sub_total_(metrics_.family("health.slo.subs_total",
                                        MetricsRegistry::Kind::kCounter)),
       m_slo_sub_met_(metrics_.family("health.slo.subs_met",
-                                     MetricsRegistry::Kind::kCounter)) {}
+                                     MetricsRegistry::Kind::kCounter)),
+      m_slo_tenant_total_(metrics_.family("health.slo.tenant_total",
+                                          MetricsRegistry::Kind::kCounter)),
+      m_slo_tenant_met_(metrics_.family("health.slo.tenant_met",
+                                        MetricsRegistry::Kind::kCounter)) {}
 
 // --- registration (own track ids so server attribution survives a null
 // downstream) ----------------------------------------------------------------
@@ -95,7 +99,7 @@ void HealthMonitor::server_access(std::uint32_t server, IoOp op,
 
 std::uint32_t HealthMonitor::begin_request(std::uint32_t client, IoOp op,
                                            Bytes offset, Bytes size,
-                                           Seconds now) {
+                                           Seconds now, std::uint32_t file) {
   advance(now);
   std::uint32_t id;
   if (!req_free_.empty()) {
@@ -107,9 +111,10 @@ std::uint32_t HealthMonitor::begin_request(std::uint32_t client, IoOp op,
   }
   PendingReq& r = reqs_[id];
   r.down = downstream_ != nullptr
-               ? downstream_->begin_request(client, op, offset, size, now)
+               ? downstream_->begin_request(client, op, offset, size, now, file)
                : kNoId;
   r.op = op;
+  r.file = file;
   r.issue = now;
   r.live = true;
   return id;
@@ -187,9 +192,21 @@ void HealthMonitor::end_request(std::uint32_t request, Seconds now) {
       ++req_total_[op];
       const LabelSet labels = LabelSet{}.op(r.op);
       metrics_.add(m_slo_req_total_, labels, 1.0);
-      if (now - r.issue <= options_.slo) {
+      const bool met = now - r.issue <= options_.slo;
+      if (met) {
         ++req_met_[op];
         metrics_.add(m_slo_req_met_, labels, 1.0);
+      }
+      if (r.file != kNoId && r.file < tenant_of_.size()) {
+        const std::uint32_t tenant = tenant_of_[r.file];
+        TenantSlo& ts = tenant_slo_[tenant];
+        ++ts.total;
+        const LabelSet tl = LabelSet{}.tenant(tenant);
+        metrics_.add(m_slo_tenant_total_, tl, 1.0);
+        if (met) {
+          ++ts.met;
+          metrics_.add(m_slo_tenant_met_, tl, 1.0);
+        }
       }
     }
     if (downstream_ != nullptr && r.down != kNoId) {
@@ -325,6 +342,13 @@ bool HealthMonitor::is_flagged(std::uint32_t server) const {
   return it != servers_.end() && it->second.flagged;
 }
 
+double HealthMonitor::tenant_slo_attainment(std::uint32_t tenant) const {
+  auto it = tenant_slo_.find(tenant);
+  if (it == tenant_slo_.end() || it->second.total == 0) return 1.0;
+  return static_cast<double>(it->second.met) /
+         static_cast<double>(it->second.total);
+}
+
 void HealthMonitor::write_json(std::ostream& out, int indent) const {
   out.precision(17);
   const std::string pad(static_cast<std::size_t>(indent), ' ');
@@ -336,8 +360,24 @@ void HealthMonitor::write_json(std::ostream& out, int indent) const {
       << pad << "  \"requests\": {\"read_total\": " << req_total_[0]
       << ", \"read_met\": " << req_met_[0]
       << ", \"write_total\": " << req_total_[1]
-      << ", \"write_met\": " << req_met_[1] << "},\n"
-      << pad << "  \"servers\": [";
+      << ", \"write_met\": " << req_met_[1] << "},\n";
+  if (!tenant_slo_.empty()) {
+    out << pad << "  \"tenants\": [";
+    bool tf = true;
+    for (const auto& [tenant, s] : tenant_slo_) {
+      if (!tf) out << ",";
+      tf = false;
+      out << "\n" << pad << "    {\"tenant\": " << tenant
+          << ", \"total\": " << s.total << ", \"met\": " << s.met
+          << ", \"attainment\": "
+          << (s.total > 0
+                  ? static_cast<double>(s.met) / static_cast<double>(s.total)
+                  : 1.0)
+          << '}';
+    }
+    out << "\n" << pad << "  ],\n";
+  }
+  out << pad << "  \"servers\": [";
   bool first = true;
   for (const auto& [id, s] : servers_) {
     if (!first) out << ",";

@@ -58,6 +58,13 @@ class HealthMonitor final : public Sink {
   /// plus the health_event instants this monitor originates.
   explicit HealthMonitor(Options options, Sink* downstream = nullptr);
 
+  /// Namespace tenant mapping: tenant_of[file] attributes whole-request SLO
+  /// attainment to tenants (files beyond the vector, and the legacy kNoId
+  /// path, stay unattributed — single-file output is unchanged).
+  void set_tenant_of(std::vector<std::uint32_t> tenant_of) {
+    tenant_of_ = std::move(tenant_of);
+  }
+
   // --- obs::Sink: forward everything, harvest telemetry --------------------
   std::uint32_t track(std::string_view name, TrackKind kind,
                       std::uint32_t entity) override;
@@ -69,7 +76,8 @@ class HealthMonitor final : public Sink {
   void server_access(std::uint32_t server, IoOp op, std::uint32_t region,
                      Bytes bytes, Bytes pieces, Seconds now) override;
   std::uint32_t begin_request(std::uint32_t client, IoOp op, Bytes offset,
-                              Bytes size, Seconds now) override;
+                              Bytes size, Seconds now,
+                              std::uint32_t file = kNoId) override;
   std::uint32_t begin_sub(std::uint32_t request, std::uint32_t server,
                           std::uint32_t region, Bytes bytes,
                           Seconds now) override;
@@ -93,6 +101,10 @@ class HealthMonitor final : public Sink {
   /// server's first scored window.  The straggler scheduler's input.
   double server_score(std::uint32_t server) const;
   bool is_flagged(std::uint32_t server) const;
+
+  /// Per-tenant whole-request SLO attainment in [0, 1]; 1.0 when the tenant
+  /// completed no SLO-checked requests.  Requires an SLO and set_tenant_of.
+  double tenant_slo_attainment(std::uint32_t tenant) const;
 
   const TimeSeries& timeseries() const { return ts_; }
   const Options& options() const { return options_; }
@@ -127,6 +139,7 @@ class HealthMonitor final : public Sink {
   struct PendingReq {
     std::uint32_t down = kNoId;
     IoOp op = IoOp::kRead;
+    std::uint32_t file = kNoId;
     Seconds issue = 0.0;
     bool live = false;
   };
@@ -165,6 +178,14 @@ class HealthMonitor final : public Sink {
   std::uint64_t req_total_[2] = {0, 0};
   std::uint64_t req_met_[2] = {0, 0};
 
+  /// Per-tenant whole-request SLO attainment (namespace runs only).
+  struct TenantSlo {
+    std::uint64_t total = 0;
+    std::uint64_t met = 0;
+  };
+  std::map<std::uint32_t, TenantSlo> tenant_slo_;
+  std::vector<std::uint32_t> tenant_of_;  // by FileId; empty = no tenants
+
   MetricsRegistry metrics_;
   MetricsRegistry::FamilyId m_windows_scored_;
   MetricsRegistry::FamilyId m_flagged_;
@@ -174,6 +195,8 @@ class HealthMonitor final : public Sink {
   MetricsRegistry::FamilyId m_slo_req_met_;
   MetricsRegistry::FamilyId m_slo_sub_total_;
   MetricsRegistry::FamilyId m_slo_sub_met_;
+  MetricsRegistry::FamilyId m_slo_tenant_total_;
+  MetricsRegistry::FamilyId m_slo_tenant_met_;
 };
 
 }  // namespace harl::obs

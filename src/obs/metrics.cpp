@@ -40,6 +40,9 @@ void write_labels(std::ostream& out, const LabelSet& labels) {
         labels.region_value());
   field("client", labels.client_value() != LabelSet::kNone,
         labels.client_value());
+  field("file", labels.file_value() != LabelSet::kNone, labels.file_value());
+  field("tenant", labels.tenant_value() != LabelSet::kNone,
+        labels.tenant_value());
   if (labels.has_op()) {
     out << (first ? "" : ", ");
     first = false;
@@ -100,7 +103,8 @@ MetricsRegistry::FamilyId MetricsRegistry::family(std::string_view name,
 }
 
 std::size_t MetricsRegistry::series_index(Family& f, LabelSet labels) {
-  auto [it, inserted] = f.series.try_emplace(labels.bits(), 0);
+  auto [it, inserted] =
+      f.series.try_emplace(SeriesKey{labels.bits(), labels.ext_bits()}, 0);
   if (inserted) {
     if (f.kind == Kind::kHistogram) {
       it->second = f.histograms.size();
@@ -155,7 +159,7 @@ const MetricsRegistry::Family* MetricsRegistry::find(
 double MetricsRegistry::value(std::string_view name, LabelSet labels) const {
   const Family* f = find(name);
   if (f == nullptr) return 0.0;
-  auto it = f->series.find(labels.bits());
+  auto it = f->series.find(SeriesKey{labels.bits(), labels.ext_bits()});
   if (it == f->series.end() ||
       (f->kind != Kind::kCounter && f->kind != Kind::kGauge)) {
     return 0.0;
@@ -167,7 +171,7 @@ const LogHistogram* MetricsRegistry::histogram(std::string_view name,
                                                LabelSet labels) const {
   const Family* f = find(name);
   if (f == nullptr || f->kind != Kind::kHistogram) return nullptr;
-  auto it = f->series.find(labels.bits());
+  auto it = f->series.find(SeriesKey{labels.bits(), labels.ext_bits()});
   return it == f->series.end() ? nullptr : &f->histograms[it->second];
 }
 
@@ -175,7 +179,7 @@ const QuantileSketch* MetricsRegistry::sketch(std::string_view name,
                                               LabelSet labels) const {
   const Family* f = find(name);
   if (f == nullptr || f->kind != Kind::kSketch) return nullptr;
-  auto it = f->series.find(labels.bits());
+  auto it = f->series.find(SeriesKey{labels.bits(), labels.ext_bits()});
   return it == f->series.end() ? nullptr : &f->sketches[it->second];
 }
 
@@ -185,11 +189,13 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     Family& f = families_[id];
     // Deterministic order: sort the other side's series by label bits so the
     // merged registry's series insertion order never depends on hash layout.
-    std::vector<std::pair<std::uint64_t, std::size_t>> entries(
-        of.series.begin(), of.series.end());
-    std::sort(entries.begin(), entries.end());
-    for (const auto& [bits, idx] : entries) {
-      const std::size_t mine = series_index(f, LabelSet::from_bits(bits));
+    std::vector<std::pair<SeriesKey, std::size_t>> entries(of.series.begin(),
+                                                           of.series.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, idx] : entries) {
+      const std::size_t mine =
+          series_index(f, LabelSet::from_bits(key.bits, key.ext));
       switch (f.kind) {
         case Kind::kCounter:
           f.scalars[mine] += of.scalars[idx];
@@ -221,10 +227,11 @@ void MetricsRegistry::write_json(std::ostream& out, int indent) const {
   bool first_series = true;
   for (std::size_t fi : order) {
     const Family& f = families_[fi];
-    std::vector<std::pair<std::uint64_t, std::size_t>> entries(
-        f.series.begin(), f.series.end());
-    std::sort(entries.begin(), entries.end());
-    for (const auto& [bits, idx] : entries) {
+    std::vector<std::pair<SeriesKey, std::size_t>> entries(f.series.begin(),
+                                                           f.series.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, idx] : entries) {
       if (!first_series) out << ",";
       first_series = false;
       out << "\n" << pad << "  {\"name\": ";
@@ -236,7 +243,7 @@ void MetricsRegistry::write_json(std::ostream& out, int indent) const {
                         ? "gauge"
                         : f.kind == Kind::kSketch ? "sketch" : "histogram")
           << "\", \"labels\": ";
-      write_labels(out, LabelSet::from_bits(bits));
+      write_labels(out, LabelSet::from_bits(key.bits, key.ext));
       out << ", ";
       if (f.kind == Kind::kHistogram) {
         write_histogram(out, f.histograms[idx]);

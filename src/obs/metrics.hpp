@@ -25,6 +25,11 @@ namespace harl::obs {
 
 /// Packed label set.  Fields default to "absent"; setters are chainable:
 /// `LabelSet{}.server(3).tier(0).op(IoOp::kRead)`.
+///
+/// The primary word packs {server, tier, region, client, op} and is full; the
+/// namespace dimensions (file, tenant) live in a second extension word that
+/// is all-absent by default, so single-file workloads — which never set them
+/// — key, merge and serialize exactly as before the namespace refactor.
 class LabelSet {
  public:
   static constexpr std::uint32_t kNone = 0xFFFFu;
@@ -32,43 +37,54 @@ class LabelSet {
 
   LabelSet() = default;
 
-  LabelSet& server(std::uint32_t v) { return set(0, 16, v); }
-  LabelSet& tier(std::uint32_t v) { return set(16, 8, v); }
-  LabelSet& region(std::uint32_t v) { return set(24, 20, v); }
-  LabelSet& client(std::uint32_t v) { return set(44, 16, v); }
-  LabelSet& op(IoOp o) { return set(60, 4, o == IoOp::kRead ? 0u : 1u); }
+  LabelSet& server(std::uint32_t v) { return set(bits_, 0, 16, v); }
+  LabelSet& tier(std::uint32_t v) { return set(bits_, 16, 8, v); }
+  LabelSet& region(std::uint32_t v) { return set(bits_, 24, 20, v); }
+  LabelSet& client(std::uint32_t v) { return set(bits_, 44, 16, v); }
+  LabelSet& op(IoOp o) { return set(bits_, 60, 4, o == IoOp::kRead ? 0u : 1u); }
+  LabelSet& file(std::uint32_t v) { return set(ext_bits_, 0, 16, v); }
+  LabelSet& tenant(std::uint32_t v) { return set(ext_bits_, 16, 16, v); }
 
-  std::uint32_t server_value() const { return get(0, 16); }
-  std::uint32_t tier_value() const { return get(16, 8); }
-  std::uint32_t region_value() const { return get(24, 20); }
-  std::uint32_t client_value() const { return get(44, 16); }
-  bool has_op() const { return get(60, 4) != 0xFu; }
-  IoOp op_value() const { return get(60, 4) == 0 ? IoOp::kRead : IoOp::kWrite; }
+  std::uint32_t server_value() const { return get(bits_, 0, 16); }
+  std::uint32_t tier_value() const { return get(bits_, 16, 8); }
+  std::uint32_t region_value() const { return get(bits_, 24, 20); }
+  std::uint32_t client_value() const { return get(bits_, 44, 16); }
+  bool has_op() const { return get(bits_, 60, 4) != 0xFu; }
+  IoOp op_value() const {
+    return get(bits_, 60, 4) == 0 ? IoOp::kRead : IoOp::kWrite;
+  }
+  std::uint32_t file_value() const { return get(ext_bits_, 0, 16); }
+  std::uint32_t tenant_value() const { return get(ext_bits_, 16, 16); }
 
   std::uint64_t bits() const { return bits_; }
+  std::uint64_t ext_bits() const { return ext_bits_; }
 
   /// Rebuilds a label set from `bits()` (the pack is transparent).
-  static LabelSet from_bits(std::uint64_t bits) {
+  static LabelSet from_bits(std::uint64_t bits,
+                            std::uint64_t ext = ~std::uint64_t{0}) {
     LabelSet l;
     l.bits_ = bits;
+    l.ext_bits_ = ext;
     return l;
   }
 
   friend bool operator==(const LabelSet&, const LabelSet&) = default;
 
  private:
-  LabelSet& set(unsigned shift, unsigned width, std::uint32_t v) {
+  LabelSet& set(std::uint64_t& word, unsigned shift, unsigned width,
+                std::uint32_t v) {
     const std::uint64_t mask = ((std::uint64_t{1} << width) - 1) << shift;
-    bits_ = (bits_ & ~mask) |
-            ((static_cast<std::uint64_t>(v) << shift) & mask);
+    word = (word & ~mask) | ((static_cast<std::uint64_t>(v) << shift) & mask);
     return *this;
   }
-  std::uint32_t get(unsigned shift, unsigned width) const {
-    return static_cast<std::uint32_t>((bits_ >> shift) &
+  static std::uint32_t get(std::uint64_t word, unsigned shift,
+                           unsigned width) {
+    return static_cast<std::uint32_t>((word >> shift) &
                                       ((std::uint64_t{1} << width) - 1));
   }
 
-  std::uint64_t bits_ = ~std::uint64_t{0};  // all fields absent
+  std::uint64_t bits_ = ~std::uint64_t{0};      // all fields absent
+  std::uint64_t ext_bits_ = ~std::uint64_t{0};  // file/tenant absent
 };
 
 class MetricsRegistry {
@@ -111,11 +127,29 @@ class MetricsRegistry {
   std::size_t family_count() const { return families_.size(); }
 
  private:
+  /// 128-bit series key: the packed primary word plus the file/tenant
+  /// extension word (all-absent for legacy series, so they hash and sort
+  /// exactly as their pre-namespace 64-bit keys did).
+  struct SeriesKey {
+    std::uint64_t bits = 0;
+    std::uint64_t ext = 0;
+    friend bool operator==(const SeriesKey&, const SeriesKey&) = default;
+    friend bool operator<(const SeriesKey& a, const SeriesKey& b) {
+      return a.bits != b.bits ? a.bits < b.bits : a.ext < b.ext;
+    }
+  };
+  struct SeriesKeyHash {
+    std::size_t operator()(const SeriesKey& k) const {
+      return static_cast<std::size_t>(
+          (k.bits * 0x9E3779B97F4A7C15ull) ^ k.ext);
+    }
+  };
+
   struct Family {
     std::string name;
     Kind kind = Kind::kCounter;
-    // label bits -> index into scalars/histograms/sketches
-    std::unordered_map<std::uint64_t, std::size_t> series;
+    // label words -> index into scalars/histograms/sketches
+    std::unordered_map<SeriesKey, std::size_t, SeriesKeyHash> series;
     std::vector<double> scalars;
     std::vector<LogHistogram> histograms;
     std::vector<QuantileSketch> sketches;

@@ -111,6 +111,9 @@ Recorder::Recorder(Options options) : options_(options) {
   m_tx_ = metrics_.family("request.t_x", Kind::kHistogram);
   m_rel_error_ = metrics_.family("model.rel_error", Kind::kHistogram);
   m_server_time_ = metrics_.family("pfs.server.time", Kind::kSketch);
+  m_mds_time_ = metrics_.family("pfs.mds.time", Kind::kSketch);
+  m_file_bytes_ = metrics_.family("pfs.file.bytes", Kind::kCounter);
+  m_file_latency_ = metrics_.family("pfs.file.latency", Kind::kHistogram);
   if (options_.max_trace_events > 0) {
     events_.reserve(options_.max_trace_events);
   }
@@ -120,6 +123,7 @@ std::uint32_t Recorder::track(std::string_view name, TrackKind kind,
                               std::uint32_t entity) {
   const auto id = static_cast<std::uint32_t>(tracks_.size());
   tracks_.emplace_back(std::string(name), kind, entity, options_);
+  tracks_.back().is_mds = kind == TrackKind::kOther && name == "mds";
   return id;
 }
 
@@ -179,6 +183,12 @@ void Recorder::resource_event(std::uint32_t track, Seconds arrival,
   const auto depth = static_cast<std::uint64_t>(t.inflight.size());
   t.depth_max = std::max(t.depth_max, depth);
   t.depth_timeline.sample_max(arrival, static_cast<double>(depth));
+  if (t.is_mds) {
+    // MDS resident time (queue wait + lookup service): contention across
+    // colliding opens shows up in this sketch's tail exactly as the
+    // per-server pfs.server.time sketches expose storage stragglers.
+    metrics_.observe(m_mds_time_, LabelSet{}, finish - arrival);
+  }
   if (options_.trace) {
     push_event(TraceEvent{start, service, track, EventType::kService, 0xFF,
                           0, 0});
@@ -213,7 +223,8 @@ void Recorder::server_access(std::uint32_t server, IoOp op,
 }
 
 std::uint32_t Recorder::begin_request(std::uint32_t client, IoOp op,
-                                      Bytes offset, Bytes size, Seconds now) {
+                                      Bytes offset, Bytes size, Seconds now,
+                                      std::uint32_t file) {
   note_time(now);
   std::uint32_t id;
   if (!req_free_.empty()) {
@@ -229,6 +240,7 @@ std::uint32_t Recorder::begin_request(std::uint32_t client, IoOp op,
   r.op = op;
   r.offset = offset;
   r.size = size;
+  r.file = file;
   r.issue = now;
   return id;
 }
@@ -328,11 +340,18 @@ void Recorder::end_request(std::uint32_t request, Seconds now) {
   sample.offset = r.offset;
   sample.size = r.size;
   sample.region = r.region;
+  sample.file = r.file;
   sample.issue = r.issue;
   sample.done = now;
   sample.subs = std::move(r.subs);
 
   metrics_.observe(m_latency_, LabelSet{}.op(r.op), now - r.issue);
+  if (r.file != kNoId) {
+    const LabelSet fl = file_labels(r.file);
+    metrics_.add(m_file_bytes_, LabelSet{fl}.op(r.op),
+                 static_cast<double>(r.size));
+    metrics_.observe(m_file_latency_, LabelSet{fl}.op(r.op), now - r.issue);
+  }
   if (predictor_) {
     sample.predicted = predictor_(r.op, r.offset, r.size);
     if (sample.predicted > 0.0 && now > r.issue) {
@@ -360,6 +379,14 @@ void Recorder::end_request(std::uint32_t request, Seconds now) {
     }
   }
   req_free_.push_back(request);
+}
+
+LabelSet Recorder::file_labels(std::uint32_t file) const {
+  LabelSet l;
+  if (file == kNoId) return l;
+  l.file(file);
+  if (file < tenant_of_.size()) l.tenant(tenant_of_[file]);
+  return l;
 }
 
 void Recorder::adaptive_event(AdaptiveEvent event, std::uint32_t epoch,

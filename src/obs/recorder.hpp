@@ -89,7 +89,8 @@ class Recorder final : public Sink {
   void server_access(std::uint32_t server, IoOp op, std::uint32_t region,
                      Bytes bytes, Bytes pieces, Seconds now) override;
   std::uint32_t begin_request(std::uint32_t client, IoOp op, Bytes offset,
-                              Bytes size, Seconds now) override;
+                              Bytes size, Seconds now,
+                              std::uint32_t file = kNoId) override;
   std::uint32_t begin_sub(std::uint32_t request, std::uint32_t server,
                           std::uint32_t region, Bytes bytes,
                           Seconds now) override;
@@ -109,6 +110,13 @@ class Recorder final : public Sink {
   /// relative model error into the per-region "model.rel_error" histogram.
   using Predictor = std::function<Seconds(IoOp, Bytes, Bytes)>;
   void set_predictor(Predictor predictor) { predictor_ = std::move(predictor); }
+
+  /// Namespace tenant mapping: tenant_of[file] labels per-file series with
+  /// their tenant.  Files beyond the vector (and the legacy kNoId path) get
+  /// no tenant label.
+  void set_tenant_of(std::vector<std::uint32_t> tenant_of) {
+    tenant_of_ = std::move(tenant_of);
+  }
 
   /// Measured decomposition of one sub-request (all in simulated seconds).
   struct SubSample {
@@ -130,6 +138,7 @@ class Recorder final : public Sink {
     Bytes offset = 0;
     Bytes size = 0;
     std::uint32_t region = 0;     ///< region of the first sub-request
+    std::uint32_t file = kNoId;   ///< namespace FileId (kNoId = single-file)
     Seconds issue = 0.0;
     Seconds done = 0.0;
     Seconds predicted = -1.0;     ///< model cost; < 0 when no predictor set
@@ -207,6 +216,10 @@ class Recorder final : public Sink {
     std::uint32_t entity = kNoId;
     std::uint32_t tier = kNoId;
     bool is_ssd = false;
+    /// MDS queue track: resource events additionally feed the
+    /// "pfs.mds.time" resident-time sketch (satellite: open-storm
+    /// contention must be visible next to the pfs.server.time sketches).
+    bool is_mds = false;
     Seconds busy = 0.0;
     Seconds queue_delay = 0.0;
     std::uint64_t jobs = 0;
@@ -241,6 +254,7 @@ class Recorder final : public Sink {
     Bytes offset = 0;
     Bytes size = 0;
     std::uint32_t region = kNoId;
+    std::uint32_t file = kNoId;
     Seconds issue = 0.0;
     std::vector<SubSample> subs;
   };
@@ -255,6 +269,8 @@ class Recorder final : public Sink {
   void push_event(const TraceEvent& event);
   void note_time(Seconds t) { last_time_ = std::max(last_time_, t); }
   void finalize_sub(std::uint32_t sub, Seconds t_x, Seconds done);
+  /// {file, tenant} labels for a namespace file (no-op labels for kNoId).
+  LabelSet file_labels(std::uint32_t file) const;
 
   Options options_;
   MetricsRegistry metrics_;
@@ -295,6 +311,11 @@ class Recorder final : public Sink {
   MetricsRegistry::FamilyId m_tx_;
   MetricsRegistry::FamilyId m_rel_error_;
   MetricsRegistry::FamilyId m_server_time_;
+  MetricsRegistry::FamilyId m_mds_time_;
+  MetricsRegistry::FamilyId m_file_bytes_;
+  MetricsRegistry::FamilyId m_file_latency_;
+
+  std::vector<std::uint32_t> tenant_of_;  // by FileId; empty = no tenants
 };
 
 }  // namespace harl::obs

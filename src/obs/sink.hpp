@@ -75,8 +75,12 @@ class Sink {
   // --- per-request attribution (paper Section III-D: T_X, T_S, T_T) --------
 
   /// Starts attribution of one client file request; returns a request id.
+  /// `file` is the namespace FileId the request addresses (kNoId for the
+  /// legacy single-file path — labels and per-file accounting are then
+  /// suppressed, keeping single-file telemetry byte-identical).
   virtual std::uint32_t begin_request(std::uint32_t client, IoOp op,
-                                      Bytes offset, Bytes size, Seconds now) = 0;
+                                      Bytes offset, Bytes size, Seconds now,
+                                      std::uint32_t file = kNoId) = 0;
 
   /// Starts one sub-request of `request` on global server `server`
   /// addressing `region`; returns a sub-request id.

@@ -48,7 +48,8 @@ CacheManager::Stats CacheManager::stats() const {
 void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
                               Bytes offset, Bytes size,
                               const std::shared_ptr<sim::JoinCounter>& join,
-                              obs::Sink* obs, std::uint32_t obs_req) {
+                              obs::Sink* obs, std::uint32_t obs_req,
+                              std::uint32_t file) {
   // Walk the file range chunk by chunk, coalescing adjacent resident chunks
   // into cache-device reads and adjacent non-resident chunks into *miss
   // runs* that map through the home layout as one striped read.  Missed
@@ -77,13 +78,14 @@ void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
   Bytes call_miss = 0;
 
   for (Bytes c = offset / chunk; c <= (end - 1) / chunk; ++c) {
+    const std::uint64_t key = chunk_key(file, c);
     const Bytes chunk_begin = c * chunk;
     const Bytes span_begin = std::max(offset, chunk_begin);
     const Bytes span_end = std::min(end, chunk_begin + chunk);
-    const auto state = tier_.lookup(c);
+    const auto state = tier_.lookup(key);
     if (state == storage::CacheTier::State::kResident) {
       run_open = false;
-      const SlotInfo& info = slots_.at(c);
+      const SlotInfo& info = slots_.at(key);
       hit_read_bytes_ += span_end - span_begin;
       call_hit += span_end - span_begin;
       hits.push_back({slot_device(info.slot),
@@ -100,16 +102,16 @@ void CacheManager::issue_read(std::size_t client_id, const Layout& layout,
       }
       if (state == storage::CacheTier::State::kAbsent) {
         evicted_scratch_.clear();
-        if (tier_.admit(c, evicted_scratch_)) {
+        if (tier_.admit(key, evicted_scratch_)) {
           for (const std::uint64_t victim : evicted_scratch_) {
             free_slot(victim);
           }
           const std::uint32_t slot = free_slots_.back();
           free_slots_.pop_back();
           const std::uint64_t seq = ++fill_seq_;
-          slots_[c] = SlotInfo{slot, seq};
+          slots_[key] = SlotInfo{slot, seq};
           runs.back().fills.push_back(
-              Fill{c, seq, slot, layout.map(chunk_begin, chunk)});
+              Fill{key, seq, slot, layout.map(chunk_begin, chunk)});
         }
       }
     }
@@ -239,12 +241,28 @@ void CacheManager::fill_landed(std::uint64_t key, std::uint64_t seq) {
   tier_.fill_complete(key);
 }
 
-void CacheManager::invalidate(Bytes offset, Bytes size) {
+void CacheManager::invalidate(Bytes offset, Bytes size, std::uint32_t file) {
   if (!enabled() || size == 0) return;
   const Bytes chunk = config_.chunk;
   const Bytes end = offset + size;
   for (Bytes c = offset / chunk; c <= (end - 1) / chunk; ++c) {
-    if (tier_.invalidate(c)) free_slot(c);
+    const std::uint64_t key = chunk_key(file, c);
+    if (tier_.invalidate(key)) free_slot(key);
+  }
+}
+
+void CacheManager::invalidate_file(std::uint32_t file) {
+  if (!enabled()) return;
+  // Collect first (invalidate mutates slots_), in sorted order so the
+  // directory's recency structure after a bulk drop is deterministic.
+  const std::uint64_t ns = chunk_key(file, 0) >> 40;
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, info] : slots_) {
+    if ((key >> 40) == ns) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    if (tier_.invalidate(key)) free_slot(key);
   }
 }
 

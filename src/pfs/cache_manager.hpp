@@ -87,15 +87,26 @@ class CacheManager {
   /// once, when every foreground piece has reached client `client_id` (fills
   /// are background traffic and do not hold the request).  With `obs` set,
   /// each piece gets its own sub-request attribution under `obs_req`.
+  /// `file` namespaces the directory: one manager is shared by every file of
+  /// a population, entries are keyed (file, chunk), and the eviction policy
+  /// arbitrates across files — a hot tenant's working set evicts a cold
+  /// tenant's under LRU/SLRU pressure.  kNoId is the legacy single-file
+  /// namespace (keys degenerate to the bare chunk index, bit-identical to
+  /// the pre-namespace directory).
   void issue_read(std::size_t client_id, const Layout& layout, Bytes offset,
                   Bytes size, const std::shared_ptr<sim::JoinCounter>& join,
                   obs::Sink* obs = nullptr,
-                  std::uint32_t obs_req = obs::kNoId);
+                  std::uint32_t obs_req = obs::kNoId,
+                  std::uint32_t file = obs::kNoId);
 
-  /// Write-invalidate: drops every cached chunk overlapping the write
-  /// [offset, offset + size) (in-flight fills for those chunks are
+  /// Write-invalidate: drops every cached chunk of `file` overlapping the
+  /// write [offset, offset + size) (in-flight fills for those chunks are
   /// poisoned).
-  void invalidate(Bytes offset, Bytes size);
+  void invalidate(Bytes offset, Bytes size, std::uint32_t file = obs::kNoId);
+
+  /// Drops every cached chunk of `file` (remove_file / rebuild hygiene);
+  /// other files' entries are untouched.
+  void invalidate_file(std::uint32_t file);
 
   /// Drops every entry and frees every slot.
   void clear();
@@ -136,6 +147,14 @@ class CacheManager {
     std::uint32_t slot = 0;
     std::vector<SubRequest> subs;  ///< the chunk's home mapping
   };
+
+  /// Directory key of (file, chunk-index): the file namespace (file + 1, 0
+  /// for the legacy kNoId namespace) rides the high bits above the chunk
+  /// index, so legacy keys equal the bare chunk index bit-for-bit.
+  static std::uint64_t chunk_key(std::uint32_t file, Bytes chunk_index) {
+    const std::uint64_t ns = file == obs::kNoId ? 0 : std::uint64_t{file} + 1;
+    return (ns << 40) | chunk_index;
+  }
 
   std::size_t slot_device(std::uint32_t slot) const {
     return cache_base_ + slot % active_devices_;

@@ -6,6 +6,15 @@
 //   write: client NIC -> server NIC -> server disk -> done
 // The request completes when its last sub-request completes (the cost
 // model's "maximal cost of all sub-requests").
+//
+// Namespace identity: io() carries the FileId of the logical file the
+// request addresses (obs::kNoId on the legacy single-file path), which flows
+// into request attribution (per-file/per-tenant metrics) and the cache's
+// (file, chunk) directory keys.  With a ReplicaMap attached the request
+// takes the cold replicated path: writes land on primary and replica, reads
+// whose primary server has failed are transparently redirected to the
+// replica (degraded reads) — both over the same simulated queues and NICs
+// as ordinary traffic.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +30,7 @@
 namespace harl::pfs {
 
 class CacheManager;
+class ReplicaMap;
 
 class Client {
  public:
@@ -31,9 +41,13 @@ class Client {
 
   /// Issues one file request against `layout`; `on_complete` fires when all
   /// sub-requests have finished.  Zero-byte requests complete immediately
-  /// (next event-loop turn).
+  /// (next event-loop turn).  `file` is the namespace FileId for attribution
+  /// (kNoId = legacy single-file, suppressing per-file accounting);
+  /// `replicas` (optional, must outlive the request) routes the request
+  /// through the replicated path.
   void io(const Layout& layout, IoOp op, Bytes offset, Bytes size,
-          sim::InlineTask on_complete);
+          sim::InlineTask on_complete, std::uint32_t file = obs::kNoId,
+          const ReplicaMap* replicas = nullptr);
 
   /// Registers this client with the simulator's observer: every subsequent
   /// io() records request/sub-request attribution (T_X/T_S/T_T) through the
@@ -47,20 +61,36 @@ class Client {
 
   std::size_t id() const { return id_; }
   std::uint64_t requests_issued() const { return requests_issued_; }
+  /// Read sub-requests redirected to a replica because the primary server
+  /// had failed (replicated path only).
+  std::uint64_t degraded_reads() const { return degraded_reads_; }
+  /// Replica copies written (one per primary sub on the replicated path).
+  std::uint64_t replica_writes() const { return replica_writes_; }
 
  private:
   void issue_read(const SubRequest& sub,
                   const std::shared_ptr<sim::JoinCounter>& join);
   void issue_write(IoOp op, const SubRequest& sub,
                    const std::shared_ptr<sim::JoinCounter>& join);
+  void issue_read_observed(const SubRequest& sub,
+                           const std::shared_ptr<sim::JoinCounter>& join,
+                           std::uint32_t osub);
+  void issue_write_observed(IoOp op, const SubRequest& sub,
+                            const std::shared_ptr<sim::JoinCounter>& join,
+                            std::uint32_t osub);
   void io_observed(obs::Sink& obs, const Layout& layout, IoOp op, Bytes offset,
-                   Bytes size, sim::InlineTask on_complete);
+                   Bytes size, sim::InlineTask on_complete, std::uint32_t file);
+  void io_replicated(obs::Sink* obs, const Layout& layout, IoOp op,
+                     Bytes offset, Bytes size, sim::InlineTask on_complete,
+                     std::uint32_t file, const ReplicaMap& replicas);
 
   sim::Simulator& sim_;
   net::Network& network_;
   std::vector<DataServer*> servers_;
   std::size_t id_;
   std::uint64_t requests_issued_ = 0;
+  std::uint64_t degraded_reads_ = 0;
+  std::uint64_t replica_writes_ = 0;
   bool observed_ = false;
   CacheManager* cache_ = nullptr;
 };

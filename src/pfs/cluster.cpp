@@ -122,6 +122,17 @@ Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
                                    config.gc_pause.factor);
   }
 
+  if (config.fail_server >= 0) {
+    const auto target = static_cast<std::size_t>(config.fail_server);
+    if (target >= servers_.size()) {
+      throw std::invalid_argument("fail_server out of range");
+    }
+    if (!(config.fail_at >= 0.0)) {
+      throw std::invalid_argument("fail_at must be >= 0");
+    }
+    servers_[target]->set_failed_at(config.fail_at);
+  }
+
   mds_ = std::make_unique<MetadataServer>(sim_, config.mds_lookup_cost,
                                           config.mds_per_region_cost);
 
@@ -145,6 +156,7 @@ Cluster::Cluster(sim::Simulator& sim, const ClusterConfig& config)
     }
     network_->attach_observer();
     for (auto& c : clients_) c->attach_observer();
+    if (config.observe_mds) mds_->attach_observer();
   }
 }
 

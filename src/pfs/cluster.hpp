@@ -88,6 +88,22 @@ struct ClusterConfig {
   };
   GcPause gc_pause;
 
+  /// Whole-server failure injection: server `fail_server` (global index)
+  /// fails at simulated time `fail_at` (DataServer::set_failed_at) — the
+  /// failure/rebuild-storm scenario.  fail_server < 0 disarms.  Like the GC
+  /// pause, failure is a pure function of simulated time, so degraded
+  /// routing is PDES-width-invariant.  Callers that route around the failure
+  /// (degraded reads, adaptive re-plans) require the failed server to be the
+  /// LAST slot of its tier — the member-prefix layout search can then price
+  /// it out without reordering slots.
+  std::int64_t fail_server = -1;
+  Seconds fail_at = 0.0;
+
+  /// Bind the MDS queue to the observer (MetadataServer::attach_observer):
+  /// lookup RPC resident times land in the "pfs.mds.time" sketch.  Off by
+  /// default so legacy telemetry is byte-identical.
+  bool observe_mds = false;
+
   /// The tier-group view, synthesizing it from the two-tier fields when
   /// `tiers` is empty.  Device factors are returned canonical (sorted
   /// ascending, all-1.0 collapsed to empty); throws std::invalid_argument

@@ -84,6 +84,18 @@ class DataServer {
     gc_factor_ = factor;
   }
 
+  /// Arms a whole-server failure at simulated time `at` (< 0 disarms).
+  /// Like the GC-pause model, failure is a pure function of simulated time —
+  /// clients on any LP evaluate failed(now) identically at identical sim
+  /// times, so degraded routing is PDES-width-invariant.  The server object
+  /// stays alive (the queue would still drain in-flight work); callers are
+  /// expected to stop routing to it instead.
+  void set_failed_at(Seconds at) { failed_at_ = at; }
+  Seconds failed_at() const { return failed_at_; }
+  bool failed(Seconds now) const {
+    return failed_at_ >= 0.0 && now >= failed_at_;
+  }
+
  private:
   /// Device-address stride separating physical objects (regions).
   static constexpr Bytes kObjectStride = static_cast<Bytes>(1) << 40;
@@ -103,6 +115,7 @@ class DataServer {
   Seconds gc_period_ = 0.0;    ///< 0 = GC-pause model disabled
   Seconds gc_duration_ = 0.0;
   double gc_factor_ = 1.0;
+  Seconds failed_at_ = -1.0;   ///< < 0 = never fails
   Bytes bytes_read_ = 0;
   Bytes bytes_written_ = 0;
   std::uint32_t obs_server_ = obs::kNoId;  // global index under the observer

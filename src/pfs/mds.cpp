@@ -1,5 +1,6 @@
 #include "src/pfs/mds.hpp"
 
+#include "src/obs/sink.hpp"
 #include "src/pfs/epoch_layout.hpp"
 #include "src/pfs/region_layout.hpp"
 
@@ -9,9 +10,17 @@ namespace harl::pfs {
 
 MetadataServer::MetadataServer(sim::Simulator& sim, Seconds lookup_cost,
                                Seconds per_region_cost)
-    : queue_(sim, "mds"),
+    : sim_(sim),
+      queue_(sim, "mds"),
       lookup_cost_(lookup_cost),
       per_region_cost_(per_region_cost) {}
+
+void MetadataServer::attach_observer() {
+  if (obs::Sink* obs = sim_.observer(); obs != nullptr) {
+    queue_.set_obs_track(obs->track("mds", obs::TrackKind::kOther,
+                                    /*entity=*/0));
+  }
+}
 
 void MetadataServer::register_file(const std::string& name,
                                    std::shared_ptr<const Layout> layout) {
@@ -27,20 +36,33 @@ bool MetadataServer::has_file(const std::string& name) const {
 void MetadataServer::lookup(
     const std::string& name,
     std::function<void(std::shared_ptr<const Layout>)> cb) {
-  auto layout = layout_of(name);
+  // Resolve at service time: by the instant the RPC is actually served the
+  // namespace may have dropped (or replaced) the file, and the caller must
+  // see that state, not a layout pinned when the RPC entered the queue.
+  // The name rides behind a shared_ptr so the task fits InlineTask's
+  // in-place buffer (8 + 32 + 16 = 56 = kCapacity).
   queue_.submit(lookup_cost_,
-                [cb = std::move(cb), layout = std::move(layout)] { cb(layout); });
+                [this, cb = std::move(cb),
+                 name = std::make_shared<const std::string>(name)] {
+                  cb(layout_of(*name));
+                });
 }
 
 void MetadataServer::placement_lookup(
     const std::string& name,
     std::function<void(std::shared_ptr<const Layout>)> cb) {
+  // The RST consulted for costing is the one visible at submission (the
+  // service time of a FIFO job is fixed when it enqueues); the layout handed
+  // to the callback is re-resolved at service time, like lookup().
   auto layout = layout_of(name);
   const std::size_t regions = layout ? region_count_of(*layout) : 1;
   const Seconds service =
       lookup_cost_ + per_region_cost_ * static_cast<double>(regions);
   queue_.submit(service,
-                [cb = std::move(cb), layout = std::move(layout)] { cb(layout); });
+                [this, cb = std::move(cb),
+                 name = std::make_shared<const std::string>(name)] {
+                  cb(layout_of(*name));
+                });
 }
 
 std::size_t MetadataServer::region_count_of(const Layout& layout) {

@@ -34,8 +34,11 @@ class MetadataServer {
   void remove_file(const std::string& name);
   bool has_file(const std::string& name) const;
 
-  /// Asynchronous lookup with the RPC cost applied; the callback receives the
-  /// layout (nullptr if the file is unknown).
+  /// Asynchronous lookup with the RPC cost applied; the callback receives
+  /// the layout (nullptr if the file is unknown).  The layout is resolved at
+  /// *service* time, not submission time: a remove_file that lands while the
+  /// lookup is queued yields nullptr instead of a layout the namespace no
+  /// longer owns (the dangling-layout hazard of concurrent open/unlink).
   void lookup(const std::string& name,
               std::function<void(std::shared_ptr<const Layout>)> cb);
 
@@ -52,9 +55,20 @@ class MetadataServer {
   /// Immediate, cost-free lookup for tools and assertions.
   std::shared_ptr<const Layout> layout_of(const std::string& name) const;
 
+  /// Registered file count (namespace size).
+  std::size_t file_count() const { return files_.size(); }
+
+  /// Opt-in observability: binds the MDS queue to a trace track of the
+  /// simulator's observer (TrackKind::kOther, name "mds"), which feeds the
+  /// recorder's "pfs.mds.time" resident-time sketch — queue contention under
+  /// open storms becomes measurable.  Off by default so legacy telemetry is
+  /// byte-identical.  Call once, before any traffic.
+  void attach_observer();
+
   std::uint64_t lookups_served() const { return queue_.jobs(); }
 
  private:
+  sim::Simulator& sim_;
   std::map<std::string, std::shared_ptr<const Layout>> files_;
   sim::FifoResource queue_;
   Seconds lookup_cost_;

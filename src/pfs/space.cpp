@@ -30,6 +30,45 @@ SpaceUsage storage_footprint(const Layout& layout, Bytes file_size) {
   return usage;
 }
 
+SpaceUsage namespace_footprint(const std::vector<NamespaceFile>& files,
+                               std::size_t server_count) {
+  SpaceUsage usage;
+  usage.per_server.assign(server_count, 0);
+  for (const NamespaceFile& file : files) {
+    if (file.layout == nullptr) {
+      throw std::invalid_argument("namespace file needs a layout");
+    }
+    if (file.layout->server_count() > server_count) {
+      throw std::invalid_argument("file layout wider than the namespace");
+    }
+    const SpaceUsage one = storage_footprint(*file.layout, file.size);
+    for (std::size_t s = 0; s < one.per_server.size(); ++s) {
+      usage.per_server[s] += one.per_server[s];
+    }
+    usage.total += one.total;
+    if (file.replicated && server_count > 1) {
+      // Uniform spread of the second copy: server s's primary share lands on
+      // the other server_count - 1 servers in equal parts, with the division
+      // remainder dealt one byte at a time so the per-server vector still
+      // sums to the exact doubled total.
+      for (std::size_t s = 0; s < one.per_server.size(); ++s) {
+        const Bytes share = one.per_server[s] / (server_count - 1);
+        Bytes remainder = one.per_server[s] % (server_count - 1);
+        for (std::size_t d = 0; d < server_count; ++d) {
+          if (d == s) continue;
+          usage.per_server[d] += share;
+          if (remainder > 0) {
+            ++usage.per_server[d];
+            --remainder;
+          }
+        }
+      }
+      usage.total += one.total;
+    }
+  }
+  return usage;
+}
+
 MigrationPlan plan_migration(const RegionLayout& layout, Bytes file_size,
                              Bytes ssd_capacity_total,
                              const std::vector<RegionHeat>& heat) {

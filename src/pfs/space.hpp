@@ -24,6 +24,23 @@ struct SpaceUsage {
 /// Bytes each server stores for a file of `file_size` bytes under `layout`.
 SpaceUsage storage_footprint(const Layout& layout, Bytes file_size);
 
+/// One file of a namespace, for aggregate capacity accounting.
+struct NamespaceFile {
+  const Layout* layout = nullptr;  ///< must outlive the call
+  Bytes size = 0;                  ///< logical file size
+  bool replicated = false;         ///< replica copies double the footprint
+};
+
+/// Per-server footprint of a whole namespace: the sum of every file's
+/// layout footprint over `server_count` servers.  Replicated files charge a
+/// second copy, spread uniformly over the other servers of the fleet (the
+/// chained-declustering average — exact per-server replica placement is
+/// region-dependent, but capacity planning needs the aggregate).  Layouts
+/// narrower than `server_count` simply leave the remaining servers empty;
+/// wider layouts throw std::invalid_argument.
+SpaceUsage namespace_footprint(const std::vector<NamespaceFile>& files,
+                               std::size_t server_count);
+
 /// One region's access intensity, as observed in a trace.
 struct RegionHeat {
   std::size_t region = 0;

@@ -104,10 +104,10 @@ void ObsSequencer::server_access(std::uint32_t server, IoOp op,
 
 std::uint32_t ObsSequencer::begin_request(std::uint32_t client, IoOp op,
                                           Bytes offset, Bytes size,
-                                          Seconds now) {
+                                          Seconds now, std::uint32_t file) {
   if (!buffering()) {
     return target_ != nullptr
-               ? target_->begin_request(client, op, offset, size, now)
+               ? target_->begin_request(client, op, offset, size, now, file)
                : obs::kNoId;
   }
   // Client-side call: LP 0 / coordinator, so the synthetic counter needs no
@@ -117,6 +117,7 @@ std::uint32_t ObsSequencer::begin_request(std::uint32_t client, IoOp op,
   r.a = client;
   r.op = static_cast<std::uint8_t>(op);
   r.b = id;
+  r.c = file;
   r.u = offset;
   r.v = size;
   r.t0 = now;
@@ -236,7 +237,7 @@ void ObsSequencer::replay() {
         break;
       case Kind::kBeginRequest: {
         const std::uint32_t real = target_->begin_request(
-            r.a, static_cast<IoOp>(r.op), r.u, r.v, r.t0);
+            r.a, static_cast<IoOp>(r.op), r.u, r.v, r.t0, r.c);
         if (r.b >= req_real_.size()) req_real_.resize(r.b + 1, obs::kNoId);
         req_real_[r.b] = real;
         break;

@@ -157,7 +157,8 @@ class ObsSequencer final : public obs::Sink {
   void server_access(std::uint32_t server, IoOp op, std::uint32_t region,
                      Bytes bytes, Bytes pieces, Seconds now) override;
   std::uint32_t begin_request(std::uint32_t client, IoOp op, Bytes offset,
-                              Bytes size, Seconds now) override;
+                              Bytes size, Seconds now,
+                              std::uint32_t file = obs::kNoId) override;
   std::uint32_t begin_sub(std::uint32_t request, std::uint32_t server,
                           std::uint32_t region, Bytes bytes,
                           Seconds now) override;

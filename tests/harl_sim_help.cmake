@@ -28,7 +28,8 @@ set(known_keys
   seed threads sim-threads stats
   save-plan load-plan metrics-out trace-out trace-events
   timeseries-out timeseries-interval health slo-ms
-  gc-pause-ms gc-period gc-factor gc-server)
+  gc-pause-ms gc-period gc-factor gc-server
+  files tenants zipf-tenant-theta replicas fail-server fail-at)
 foreach(key IN LISTS known_keys)
   if(NOT help_out MATCHES "\n +${key} ")
     message(FATAL_ERROR "help output is missing documented key '${key}':\n"

@@ -120,6 +120,22 @@ def main():
     except KeyError:
         pass
 
+    # Namespace data path: the same open-loop replay over 1 vs 8 files with
+    # chained replication attached.  The ratio bounds what file-id threading
+    # plus the replica write legs cost per request; absent in results files
+    # recorded before the multi-file benchmark existed.
+    try:
+        single = find_benchmark(results, "BM_MultiFileDispatch/1")
+        multi = find_benchmark(results, "BM_MultiFileDispatch/8")
+        summary["multi_file"] = {
+            "single_file_dispatch_rate_per_s": single["items_per_second"],
+            "multi_file_dispatch_rate_per_s": multi["items_per_second"],
+            "multi_over_single": (multi["items_per_second"]
+                                  / single["items_per_second"]),
+        }
+    except KeyError:
+        pass
+
     failures = []
 
     # Conservative-PDES strong scaling: the same cluster replay at 0

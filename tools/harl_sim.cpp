@@ -36,6 +36,12 @@
 //   trace-events ring-buffer capacity for trace events, 0 = unbounded
 //   timeseries-out  path; windowed per-server telemetry + health summary
 //   health       1 = arm the straggler/SLO health monitor
+//   files        namespace population size, 0 = single-file mode
+//   tenants      tenant count for population runs
+//   zipf-tenant-theta  Zipf skew of files-per-tenant shares
+//   replicas     per-region replica placement for population files
+//   fail-server  global server index to kill mid-run (-1 = none)
+//   fail-at      failure instant in simulated seconds
 //
 // `harl_sim help` prints this key table — generated from the same option
 // table that validates arguments, so help and parser cannot drift.
@@ -50,6 +56,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/core/plan_artifact.hpp"
 #include "src/harness/experiment.hpp"
+#include "src/harness/population.hpp"
 #include "src/harness/table.hpp"
 
 using namespace harl;
@@ -179,6 +186,29 @@ constexpr OptionSpec kOptions[] = {
     {"gc-server",
      "global server index to inject GC pauses on, -1 = the\n"
      "first SSD server (-1)"},
+    {"files",
+     "namespace population size, 0 = classic single-file mode (0)\n"
+     "files >= 1 runs every scheme as a multi-file namespace: N\n"
+     "files with rotating workload shapes, each planned and\n"
+     "placed independently, all launched concurrently on ONE\n"
+     "shared cluster (file= and request= default to 32M / 256K\n"
+     "per file in this mode)"},
+    {"tenants", "tenant count for population runs       (2)"},
+    {"zipf-tenant-theta",
+     "Zipf skew of files-per-tenant shares, 0 = uniform (0.8);\n"
+     "tenant 0 is the hot tenant and owns proportionally more\n"
+     "of the namespace"},
+    {"replicas",
+     "1 = per-region replica placement for population files (1)\n"
+     "plan schemes pick each region's replica tier by modeled\n"
+     "cost, other schemes use chained declustering; required\n"
+     "for failure runs (degraded reads need a live copy)"},
+    {"fail-server",
+     "global server index to kill mid-run, -1 = none (-1);\n"
+     "population mode only — foreground reads fail over to\n"
+     "replicas and a throttled rebuild storm re-materializes\n"
+     "the lost copies over the surviving servers"},
+    {"fail-at", "failure instant in simulated seconds   (0.0)"},
 };
 
 std::string usage() {
@@ -465,6 +495,19 @@ int main(int argc, char** argv) {
     options.cluster.gc_pause.factor = cfg.get_double("gc-factor", 8.0);
     options.cluster.gc_pause.server = cfg.get_int("gc-server", -1);
 
+    // Failure/rebuild storm (population mode only: degraded reads need the
+    // per-file replicas a population run places).
+    options.cluster.fail_server = cfg.get_int("fail-server", -1);
+    options.cluster.fail_at = cfg.get_double("fail-at", 0.0);
+    const long long n_files = cfg.get_int("files", 0);
+    if (n_files < 0 || n_files > 4096) {
+      throw std::invalid_argument("files must be in [0, 4096]");
+    }
+    if (options.cluster.fail_server >= 0 && n_files == 0) {
+      throw std::invalid_argument(
+          "fail-server needs a population run (files >= 1)");
+    }
+
     std::vector<harness::LayoutScheme> schemes;
     for (const auto& token :
          split_commas(cfg.get_or("schemes", "64K,256K,harl"))) {
@@ -480,6 +523,192 @@ int main(int argc, char** argv) {
     const std::string load_plan_path = cfg.get_or("load-plan", "");
     if (!load_plan_path.empty()) {
       schemes.push_back(harness::LayoutScheme::from_plan_file(load_plan_path));
+    }
+
+    if (n_files > 0) {
+      // Namespace population mode: N files, T tenants, one shared cluster
+      // per scheme.  save-plan/load-plan are single-file concepts.
+      if (!cfg.get_or("save-plan", "").empty() || !load_plan_path.empty()) {
+        throw std::invalid_argument(
+            "save-plan/load-plan are single-file only (files=0)");
+      }
+      harness::PopulationSpec spec;
+      spec.files = static_cast<std::size_t>(n_files);
+      spec.tenants = static_cast<std::size_t>(cfg.get_int("tenants", 2));
+      spec.tenant_theta = cfg.get_double("zipf-tenant-theta", 0.8);
+      spec.processes = static_cast<std::size_t>(cfg.get_int("procs", 8));
+      spec.file_size = cfg.get_size("file", 32 * MiB);
+      spec.request_size = cfg.get_size("request", 256 * KiB);
+      spec.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 7));
+      const auto population = harness::make_population(spec);
+
+      harness::PopulationRunOptions popts;
+      popts.replicate = cfg.get_int("replicas", 1) != 0;
+      popts.rebuild_bandwidth =
+          static_cast<double>(cfg.get_size("migrate-bw", 256 * MiB));
+
+      harness::Experiment experiment(options);
+      std::vector<harness::PopulationResult> pr(schemes.size());
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        pr[i] =
+            harness::run_population(experiment, population, schemes[i], popts);
+      }
+
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto& r = pr[i];
+        std::cout << "== " << schemes[i].label() << ": " << spec.files
+                  << " file(s), " << spec.tenants << " tenant(s) ==\n";
+        harness::Table table(
+            {"file", "tenant", "layout", "regions", "MB/s", "epochs"});
+        for (const auto& f : r.files) {
+          table.add_row({
+              f.name,
+              std::to_string(f.tenant),
+              f.layout_description,
+              std::to_string(f.region_count),
+              harness::cell(f.total.throughput() / (1024.0 * 1024.0), 1),
+              std::to_string(f.adaptive_epochs),
+          });
+        }
+        table.print(std::cout);
+        std::cout << "aggregate "
+                  << harness::cell(r.total.throughput() / (1024.0 * 1024.0), 1)
+                  << " MB/s over "
+                  << harness::cell(r.total.makespan, 4) << " s\n";
+        if (options.cluster.fail_server >= 0) {
+          std::cout << "failure: server " << options.cluster.fail_server
+                    << " at " << harness::cell(options.cluster.fail_at, 4)
+                    << " s — " << r.degraded_reads << " degraded read(s), "
+                    << r.replica_writes << " replica write leg(s); rebuild "
+                    << harness::cell(static_cast<double>(r.rebuilt_bytes) /
+                                         (1024.0 * 1024.0),
+                                     1)
+                    << " MB in " << r.rebuild_chunks << " chunk(s), ";
+          if (r.rebuild_done) {
+            std::cout << "done at " << harness::cell(r.rebuild_finished_at, 4)
+                      << " s";
+          } else {
+            std::cout << "still draining";
+          }
+          std::cout << "; adaptive replan="
+                    << (r.degraded_replan ? "yes" : "no") << "\n";
+        }
+        if (!r.tenant_slo.empty()) {
+          std::cout << "tenant SLO attainment:";
+          for (std::size_t t = 0; t < r.tenant_slo.size(); ++t) {
+            std::cout << " t" << t << "="
+                      << harness::cell(100.0 * r.tenant_slo[t], 1) << "%";
+          }
+          std::cout << "\n";
+        }
+        if (r.cache.has_value()) {
+          const auto& c = *r.cache;
+          const double hit_rate =
+              c.tier.lookups > 0 ? 100.0 * static_cast<double>(c.tier.hits) /
+                                       static_cast<double>(c.tier.lookups)
+                                 : 0.0;
+          std::cout << "shared cache: " << c.tier.lookups << " lookup(s), "
+                    << harness::cell(hit_rate, 1) << "% hit, "
+                    << c.tier.evictions << " eviction(s), "
+                    << c.tier.invalidations << " invalidation(s)\n";
+        }
+        if (i + 1 < schemes.size()) std::cout << "\n";
+      }
+
+      if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        if (!out) throw std::runtime_error("cannot write " + trace_out);
+        out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+        bool first = true;
+        for (std::size_t i = 0; i < pr.size(); ++i) {
+          if (pr[i].obs) {
+            pr[i].obs->append_trace_events(out,
+                                           static_cast<std::uint32_t>(i + 1),
+                                           schemes[i].label(), first);
+          }
+        }
+        out << "\n]}\n";
+        std::cout << "wrote trace to " << trace_out << "\n";
+      }
+
+      if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        if (!out) throw std::runtime_error("cannot write " + metrics_out);
+        out << "{\n  \"schemes\": [";
+        bool first = true;
+        for (std::size_t i = 0; i < pr.size(); ++i) {
+          const auto& r = pr[i];
+          if (!r.obs) continue;
+          if (!first) out << ",";
+          first = false;
+          out << "\n    {\"label\": ";
+          write_json_escaped(out, schemes[i].label());
+          out << ", \"makespan_s\": " << r.total.makespan
+              << ", \"total_bytes\": " << r.total.bytes << ", \"files\": [";
+          for (std::size_t f = 0; f < r.files.size(); ++f) {
+            const auto& fr = r.files[f];
+            if (f > 0) out << ", ";
+            out << "{\"file\": " << fr.id << ", \"tenant\": " << fr.tenant
+                << ", \"name\": ";
+            write_json_escaped(out, fr.name);
+            out << ", \"regions\": " << fr.region_count
+                << ", \"makespan_s\": " << fr.total.makespan
+                << ", \"bytes\": " << fr.total.bytes
+                << ", \"epochs\": " << fr.adaptive_epochs << "}";
+          }
+          out << "]";
+          if (options.cluster.fail_server >= 0) {
+            out << ", \"failure\": {\"server\": "
+                << options.cluster.fail_server
+                << ", \"at_s\": " << options.cluster.fail_at
+                << ", \"degraded_reads\": " << r.degraded_reads
+                << ", \"replica_writes\": " << r.replica_writes
+                << ", \"rebuilt_bytes\": " << r.rebuilt_bytes
+                << ", \"rebuild_chunks\": " << r.rebuild_chunks
+                << ", \"rebuild_interference_s\": " << r.rebuild_interference
+                << ", \"rebuild_finished_s\": " << r.rebuild_finished_at
+                << ", \"rebuild_done\": "
+                << (r.rebuild_done ? "true" : "false")
+                << ", \"degraded_replan\": "
+                << (r.degraded_replan ? "true" : "false") << "}";
+          }
+          if (!r.tenant_slo.empty()) {
+            out << ", \"tenant_slo\": [";
+            for (std::size_t t = 0; t < r.tenant_slo.size(); ++t) {
+              if (t > 0) out << ", ";
+              out << r.tenant_slo[t];
+            }
+            out << "]";
+          }
+          out << ", \"report\": ";
+          r.obs->write_metrics_json(out, 4);
+          out << "}";
+        }
+        out << "\n  ]\n}\n";
+        std::cout << "wrote metrics to " << metrics_out << "\n";
+      }
+
+      if (!timeseries_out.empty()) {
+        std::ofstream out(timeseries_out);
+        if (!out) throw std::runtime_error("cannot write " + timeseries_out);
+        out << "{\n  \"schemes\": [";
+        bool first = true;
+        for (std::size_t i = 0; i < pr.size(); ++i) {
+          if (!pr[i].health) continue;
+          if (!first) out << ",";
+          first = false;
+          out << "\n    {\"label\": ";
+          write_json_escaped(out, schemes[i].label());
+          out << ",\n     \"timeseries\": ";
+          pr[i].health->timeseries().write_json(out, 5);
+          out << ",\n     \"health\": ";
+          pr[i].health->write_json(out, 5);
+          out << "}";
+        }
+        out << "\n  ]\n}\n";
+        std::cout << "wrote timeseries to " << timeseries_out << "\n";
+      }
+      return 0;
     }
 
     harness::Experiment experiment(options);

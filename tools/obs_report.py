@@ -50,6 +50,10 @@ adaptive epoch metrics (used by the CI adaptive smoke step).
 straggler AND (when an SLO is armed) the flagged servers' attainment is
 strictly below every healthy server's — i.e. the regression localizes to
 the injected straggler (used by the CI telemetry smoke step).
+--require-tenant additionally fails unless at least one scheme's health
+block carries a per-tenant SLO attainment table ("tenants", written by
+namespace population runs with files >= 1 and an SLO) whose counters
+reconcile (used by the CI rebuild-storm smoke step).
 --html writes a self-contained SVG dashboard (no JavaScript) of the
 per-server utilization / p99 latency / queue-depth timelines.
 Exit code 0 when every check passes, 1 otherwise; malformed input (empty,
@@ -566,18 +570,49 @@ def check_require_health(label, health, flagged):
     return True
 
 
-def check_timeseries(doc, path, require_health):
+def check_tenants_block(label, health):
+    """Per-tenant SLO attainment table of a namespace run; returns the
+    tenant count (0 when the block is absent — single-file runs)."""
+    tenants = health.get("tenants")
+    if tenants is None:
+        return 0
+    if not isinstance(tenants, list) or not tenants:
+        fail(f"health[{label}]: tenants block present but empty")
+    for t in tenants:
+        tid = t.get("tenant", "?")
+        total = t.get("total", 0)
+        met = t.get("met", 0)
+        if total < 0 or met < 0 or met > total:
+            fail(f"health[{label}]/t{tid}: tenant SLO {met}/{total} "
+                 f"inconsistent")
+        attainment = t.get("attainment", None)
+        if attainment is None or not 0.0 <= attainment <= 1.0:
+            fail(f"health[{label}]/t{tid}: attainment {attainment} "
+                 f"outside [0, 1]")
+        if total > 0 and abs(attainment - met / total) > 1e-9:
+            fail(f"health[{label}]/t{tid}: attainment {attainment} does not "
+                 f"match {met}/{total}")
+    return len(tenants)
+
+
+def check_timeseries(doc, path, require_health, require_tenant=False):
     schemes = scheme_list(doc, path)
     n_flagged_schemes = 0
+    n_tenant_schemes = 0
     for scheme in schemes:
         label = scheme.get("label", "?")
         check_timeseries_block(label, scheme.get("timeseries"))
         flagged = check_health_block(label, scheme.get("health"))
         if check_require_health(label, scheme.get("health"), flagged):
             n_flagged_schemes += 1
+        if check_tenants_block(label, scheme.get("health")) > 0:
+            n_tenant_schemes += 1
     if require_health and n_flagged_schemes == 0:
         fail(f"{path}: no scheme flagged a straggler "
              f"(--require-health)")
+    if require_tenant and n_tenant_schemes == 0:
+        fail(f"{path}: no scheme carries per-tenant SLO attainment "
+             f"(--require-tenant needs a population run with an SLO)")
     return len(schemes), n_flagged_schemes
 
 
@@ -775,14 +810,19 @@ def main():
     parser.add_argument("--require-health", action="store_true",
                         help="fail unless >=1 scheme flagged a straggler "
                              "with a localized SLO regression")
+    parser.add_argument("--require-tenant", action="store_true",
+                        help="fail unless >=1 scheme carries a per-tenant "
+                             "SLO attainment table (population runs)")
     parser.add_argument("--html",
                         help="write a self-contained SVG dashboard of the "
                              "--timeseries file to this path")
     args = parser.parse_args()
     if args.metrics is None and args.timeseries is None:
         parser.error("need a METRICS.json argument and/or --timeseries")
-    if (args.require_health or args.html) and args.timeseries is None:
-        parser.error("--require-health/--html need --timeseries")
+    if (args.require_health or args.require_tenant or args.html) \
+            and args.timeseries is None:
+        parser.error("--require-health/--require-tenant/--html need "
+                     "--timeseries")
 
     n_schemes = n_adaptive = n_cache = n_devices = 0
     metrics_doc = None
@@ -804,7 +844,8 @@ def main():
     if args.timeseries is not None:
         ts_doc = load_doc(args.timeseries)
         n_ts, n_health = check_timeseries(ts_doc, args.timeseries,
-                                          args.require_health)
+                                          args.require_health,
+                                          args.require_tenant)
         if args.html:
             write_html(ts_doc, args.html)
 
